@@ -1,0 +1,163 @@
+(** The benchmark executable: regenerates every table and figure of
+    the paper's evaluation (Section V) and, separately, runs Bechamel
+    microbenchmarks of the simulator's hot paths (one [Test.make] per
+    paper table/figure, exercising that experiment's kernel).
+
+    Usage:
+      dune exec bench/main.exe                 (everything)
+      dune exec bench/main.exe -- --only tableII --only fig4
+      dune exec bench/main.exe -- --list
+      dune exec bench/main.exe -- --fast       (smaller fig5 grid)
+*)
+
+let experiments : (string * string * (unit -> unit)) list =
+  [
+    ( "tableI",
+      "characteristics matrix of the interposition mechanisms",
+      fun () -> ignore (Harness.Experiments.table1 ()) );
+    ( "tableII",
+      "microbenchmark overheads (syscall 500)",
+      fun () -> ignore (Harness.Experiments.table2 ()) );
+    ( "fig4",
+      "lazypoline overhead breakdown",
+      fun () -> ignore (Harness.Experiments.fig4 ()) );
+    ( "tableIII",
+      "coreutils register-preservation expectations (Pin tool)",
+      fun () -> ignore (Harness.Experiments.table3 ()) );
+    ( "exhaustiveness",
+      "Section V-A: JIT-compiled syscalls under each interposer",
+      fun () -> ignore (Harness.Experiments.exhaustiveness ()) );
+    ( "listing1",
+      "xstate clobbering demo (Listing 1)",
+      fun () -> ignore (Harness.Experiments.listing1 ()) );
+    ( "fig5",
+      "web server macrobenchmarks",
+      fun () -> ignore (Harness.Experiments.fig5 ()) );
+    ( "ablation",
+      "selector-only SUD vs classic deployment; lazy-rewrite amortisation",
+      fun () -> ignore (Harness.Experiments.ablation ()) );
+  ]
+
+let fig5_fast () =
+  ignore
+    (Harness.Experiments.fig5 ~sizes:[ 1; 64 ] ~worker_counts:[ 1 ]
+       ~flavours:[ Workloads.Webserver.Nginx_like ] ())
+
+(* --- Bechamel: simulator hot-path microbenchmarks ------------------ *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  (* One Test.make per paper table/figure, benchmarking the hot kernel
+     of that experiment at a tiny scale. *)
+  let t_table1 =
+    Test.make ~name:"tableI_bpf_filter_run"
+      (Staged.stage (fun () ->
+           let d =
+             {
+               Sim_kernel.Bpf.nr = 39;
+               arch = Sim_kernel.Bpf.audit_arch_x86_64;
+               instruction_pointer = 0x400000;
+               args = Array.make 6 0L;
+             }
+           in
+           ignore (Sim_kernel.Bpf.run Baselines.Seccomp_bpf.inspect_all d)))
+  in
+  let micro_iter config =
+    Staged.stage (fun () ->
+        ignore (Workloads.Microbench_prog.run ~iters:50 config))
+  in
+  let t_table2 =
+    Test.make ~name:"tableII_microbench_50_iters_lazypoline"
+      (micro_iter Workloads.Microbench_prog.Lazypoline_full)
+  in
+  let t_fig4 =
+    Test.make ~name:"fig4_microbench_50_iters_zpoline"
+      (micro_iter Workloads.Microbench_prog.Zpoline)
+  in
+  let t_table3 =
+    Test.make ~name:"tableIII_pin_run_pwd"
+      (Staged.stage (fun () ->
+           ignore
+             (Workloads.Coreutils.run_under_pin
+                ~distro:Workloads.Coreutils.Glibc_2_31 "pwd")))
+  in
+  let t_exh =
+    Test.make ~name:"sectionVA_minicc_compile"
+      (Staged.stage (fun () ->
+           ignore (Minicc.Codegen.compile "long main() { return syscall(39); }")))
+  in
+  let t_fig5 =
+    Test.make ~name:"fig5_cpu_step_1000_insns"
+      (let m = Sim_mem.Mem.create () in
+       let blob =
+         Sim_asm.Asm.assemble ~base:0x1000
+           (Sim_asm.Asm.
+              [
+                Label "top"; mov_ri Sim_isa.Isa.rax 1;
+                add_ri Sim_isa.Isa.rax 2; Jmp_l "top";
+              ])
+       in
+       Sim_mem.Mem.map m ~addr:0x1000 ~len:4096 ~perm:Sim_mem.Mem.rx;
+       Sim_mem.Mem.poke_bytes m 0x1000 blob.Sim_asm.Asm.bytes;
+       let c = Sim_cpu.Cpu.create () in
+       Staged.stage (fun () ->
+           c.Sim_cpu.Cpu.rip <- 0x1000;
+           for _ = 1 to 1000 do
+             ignore (Sim_cpu.Cpu.step c m)
+           done))
+  in
+  [ t_table1; t_table2; t_fig4; t_table3; t_exh; t_fig5 ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  print_endline (String.make 72 '-');
+  print_endline "Bechamel: simulator hot-path microbenchmarks (ns per run)";
+  print_endline (String.make 72 '-');
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.3) ~kde:(Some 100) ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      Hashtbl.iter
+        (fun name raw ->
+          let est = Analyze.one ols Instance.monotonic_clock raw in
+          match Analyze.OLS.estimates est with
+          | Some [ x ] -> Printf.printf "%-44s %12.1f ns/run\n%!" name x
+          | _ -> Printf.printf "%-44s (no estimate)\n%!" name)
+        results)
+    (List.map (fun t -> Test.make_grouped ~name:"" ~fmt:"%s%s" [ t ])
+       (bechamel_tests ()))
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let only =
+    List.filteri (fun i _ -> i > 0) args
+    |> List.fold_left
+         (fun (acc, expect) a ->
+           if expect then (a :: acc, false)
+           else if a = "--only" then (acc, true)
+           else (acc, false))
+         ([], false)
+    |> fst
+  in
+  let fast = List.mem "--fast" args in
+  if List.mem "--list" args then begin
+    List.iter
+      (fun (name, desc, _) -> Printf.printf "%-16s %s\n" name desc)
+      experiments;
+    Printf.printf "%-16s %s\n" "bechamel" "simulator hot-path microbenchmarks";
+    exit 0
+  end;
+  let want name = only = [] || List.mem name only in
+  List.iter
+    (fun (name, _, f) ->
+      if want name then
+        if name = "fig5" && fast then fig5_fast () else f ())
+    experiments;
+  if want "bechamel" then run_bechamel ()

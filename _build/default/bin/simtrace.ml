@@ -1,0 +1,155 @@
+(** simtrace — an strace for the simulated machine.
+
+    Compiles a minicc program, runs it on the simulated kernel under a
+    chosen interposition mechanism, and prints the syscall trace the
+    interposer observed.
+
+      dune exec bin/simtrace.exe -- run prog.c
+      dune exec bin/simtrace.exe -- run --mech zpoline --jit prog.c
+      dune exec bin/simtrace.exe -- disasm prog.c
+      dune exec bin/simtrace.exe -- pin prog.c
+*)
+
+open Cmdliner
+open Sim_kernel
+module Hook = Lazypoline.Hook
+
+type mech = Lazypoline_m | Zpoline_m | Sud_m | Seccomp_user_m | Ptrace_m | None_m
+
+let mech_conv =
+  let parse = function
+    | "lazypoline" -> Ok Lazypoline_m
+    | "zpoline" -> Ok Zpoline_m
+    | "sud" -> Ok Sud_m
+    | "seccomp-user" -> Ok Seccomp_user_m
+    | "ptrace" -> Ok Ptrace_m
+    | "none" -> Ok None_m
+    | s -> Error (`Msg ("unknown mechanism: " ^ s))
+  in
+  let print fmt m =
+    Format.pp_print_string fmt
+      (match m with
+      | Lazypoline_m -> "lazypoline"
+      | Zpoline_m -> "zpoline"
+      | Sud_m -> "sud"
+      | Seccomp_user_m -> "seccomp-user"
+      | Ptrace_m -> "ptrace"
+      | None_m -> "none")
+  in
+  Arg.conv (parse, print)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"PROG.c")
+
+let mech_arg =
+  Arg.(
+    value
+    & opt mech_conv Lazypoline_m
+    & info [ "m"; "mech" ] ~docv:"MECH"
+        ~doc:
+          "Interposition mechanism: lazypoline, zpoline, sud, seccomp-user, \
+           ptrace, or none.")
+
+let jit_arg =
+  Arg.(
+    value & flag
+    & info [ "jit" ]
+        ~doc:
+          "Run the program through the JIT driver (tcc -run style) instead \
+           of loading it statically.")
+
+let xstate_arg =
+  Arg.(
+    value & opt bool true
+    & info [ "preserve-xstate" ]
+        ~doc:"Preserve SSE/x87 state across interposition (lazypoline only).")
+
+let setup_fs k =
+  ignore (Vfs.add_file k.Types.vfs "/etc/hosts" "127.0.0.1 localhost\n");
+  ignore (Vfs.add_file k.Types.vfs "/tmp/file_a" (String.make 256 'a'))
+
+let run_cmd file mech jit preserve_xstate =
+  let src = read_file file in
+  let k = Kernel.create () in
+  setup_fs k;
+  let img =
+    if jit then Minicc.Jit.driver_image src
+    else Minicc.Codegen.compile_to_image src
+  in
+  let t = Kernel.spawn k img in
+  let hook, log = Hook.strace () in
+  (match mech with
+  | None_m -> ()
+  | Lazypoline_m ->
+      ignore (Lazypoline.install ~preserve_xstate k t hook)
+  | Zpoline_m -> ignore (Baselines.Zpoline.install k t hook)
+  | Sud_m -> ignore (Baselines.Sud_interposer.install k t hook)
+  | Seccomp_user_m -> ignore (Baselines.Seccomp_user.install k t hook)
+  | Ptrace_m -> ignore (Baselines.Ptrace_interposer.install k t hook));
+  Kernel.console_hook := Some print_string;
+  let finished = Kernel.run_until_exit k in
+  Kernel.console_hook := None;
+  if not finished then prerr_endline "warning: program did not terminate";
+  List.iter (fun l -> Printf.eprintf "%s\n" l) (List.rev !log);
+  Printf.eprintf "+++ exited with %d (%Ld cycles) +++\n" t.Types.exit_code
+    t.Types.tcycles;
+  if t.Types.exit_code <> 0 then exit t.Types.exit_code
+
+let disasm_cmd file =
+  let src = read_file file in
+  let text, data = Minicc.Codegen.compile src in
+  Printf.printf "; text at 0x%x (%d bytes), data at 0x%x (%d bytes)\n"
+    text.Sim_asm.Asm.base
+    (String.length text.Sim_asm.Asm.bytes)
+    data.Sim_asm.Asm.base
+    (String.length data.Sim_asm.Asm.bytes);
+  List.iter
+    (fun l -> Format.printf "%a@." Sim_isa.Disasm.pp_line l)
+    (Sim_isa.Disasm.sweep ~base:text.Sim_asm.Asm.base text.Sim_asm.Asm.bytes)
+
+let pin_cmd file =
+  let src = read_file file in
+  let k = Kernel.create () in
+  setup_fs k;
+  let t = Kernel.spawn k (Minicc.Codegen.compile_to_image src) in
+  let pin = Sim_pin.Pin.attach k t in
+  if not (Kernel.run_until_exit k) then
+    prerr_endline "warning: program did not terminate";
+  Printf.printf "register-preservation expectations across syscalls:\n";
+  let show e =
+    Printf.printf "  %-6s expected preserved across %s\n"
+      (Sim_pin.Pin.reg_class_to_string e.Sim_pin.Pin.reg)
+      (Defs.syscall_name e.Sim_pin.Pin.across_syscall)
+  in
+  List.iter show (Sim_pin.Pin.xstate_expectations pin);
+  List.iter show (Sim_pin.Pin.gpr_expectations pin);
+  Printf.printf "expects xstate preservation: %b\n"
+    (Sim_pin.Pin.expects_xstate pin)
+
+let run_t =
+  Cmd.v (Cmd.info "run" ~doc:"Run a minicc program under an interposer")
+    Term.(const run_cmd $ file_arg $ mech_arg $ jit_arg $ xstate_arg)
+
+let disasm_t =
+  Cmd.v (Cmd.info "disasm" ~doc:"Compile a minicc program and disassemble it")
+    Term.(const disasm_cmd $ file_arg)
+
+let pin_t =
+  Cmd.v
+    (Cmd.info "pin"
+       ~doc:"Run the Pin-style register-preservation analysis on a program")
+    Term.(const pin_cmd $ file_arg)
+
+let () =
+  let info =
+    Cmd.info "simtrace" ~version:"1.0"
+      ~doc:"strace/objdump/pin for the lazypoline simulator"
+  in
+  exit (Cmd.eval (Cmd.group info [ run_t; disasm_t; pin_t ]))

@@ -1,0 +1,1 @@
+examples/jit_tracing.ml: Baselines Kernel Lazypoline List Minicc Printf Sim_kernel

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Kernel Lazypoline List Minicc Printf Sim_kernel Types Vfs

@@ -1,0 +1,1 @@
+examples/sandbox.ml: Array Defs Int64 Kernel Lazypoline List Minicc Printf Sim_kernel String Types Vfs

@@ -1,0 +1,1 @@
+examples/webserver_demo.ml: Int64 Kernel Lazypoline Printf Sim_kernel String Types Workloads

@@ -1,0 +1,1 @@
+lib/asm_dsl/asm.ml: Buffer Encode Hashtbl Int32 Int64 Isa List Sim_isa String

@@ -1,0 +1,151 @@
+(** A two-pass assembler for x64lite, embedded as an OCaml DSL.
+
+    Runtimes, trampolines and hand-written workload programs are
+    expressed as [item list]s mixing instructions, labels, label-
+    relative branches, absolute label loads, and raw data.  The
+    assembler resolves labels in a first pass (all item sizes are
+    static) and emits bytes in a second.
+
+    External symbols (addresses of code assembled elsewhere, such as
+    the interposer entry point) are supplied through [env]. *)
+
+open Sim_isa
+
+type item =
+  | Ins of Isa.instr
+  | Label of string
+  | Jmp_l of string  (** [jmp label] *)
+  | Jcc_l of Isa.cond * string  (** [jcc label] *)
+  | Call_l of string  (** [call label] *)
+  | Lea_ip of Isa.gpr * string
+      (** [mov reg, imm64] where the immediate is the absolute address
+          of the label; the name recalls RIP-relative [lea] *)
+  | Bytes of string  (** raw data *)
+  | Zeros of int  (** zero-filled region *)
+  | Align of int  (** pad with [nop] to the given power-of-two *)
+
+type blob = {
+  base : int;  (** virtual address the blob was assembled for *)
+  bytes : string;
+  symbols : (string * int) list;  (** label -> absolute address *)
+}
+
+exception Asm_error of string
+
+let item_size at = function
+  | Ins i -> Isa.encoded_length i
+  | Label _ -> 0
+  | Jmp_l _ | Call_l _ -> 5
+  | Jcc_l _ -> 6
+  | Lea_ip _ -> 10
+  | Bytes s -> String.length s
+  | Zeros n -> n
+  | Align a ->
+      if a <= 0 || a land (a - 1) <> 0 then
+        raise (Asm_error "alignment must be a positive power of two")
+      else (a - (at land (a - 1))) land (a - 1)
+
+(** Assemble [items] for virtual address [base].  Raises {!Asm_error}
+    on duplicate or undefined labels. *)
+let assemble ?(base = 0) ?(env = []) (items : item list) : blob =
+  (* Pass 1: label addresses. *)
+  let symbols = Hashtbl.create 16 in
+  List.iter (fun (name, addr) -> Hashtbl.replace symbols name addr) env;
+  let defined = Hashtbl.create 16 in
+  let at = ref base in
+  List.iter
+    (fun it ->
+      (match it with
+      | Label name ->
+          if Hashtbl.mem defined name then
+            raise (Asm_error ("duplicate label " ^ name))
+          else (
+            Hashtbl.replace defined name ();
+            Hashtbl.replace symbols name !at)
+      | _ -> ());
+      at := !at + item_size !at it)
+    items;
+  let resolve name =
+    match Hashtbl.find_opt symbols name with
+    | Some a -> a
+    | None -> raise (Asm_error ("undefined label " ^ name))
+  in
+  (* Pass 2: emission. *)
+  let buf = Buffer.create 256 in
+  let at = ref base in
+  let emit i =
+    Encode.encode buf i;
+    at := !at + Isa.encoded_length i
+  in
+  List.iter
+    (fun it ->
+      match it with
+      | Label _ -> ()
+      | Ins i -> emit i
+      | Jmp_l name ->
+          let rel = resolve name - (!at + 5) in
+          emit (Isa.Jmp (Int32.of_int rel))
+      | Call_l name ->
+          let rel = resolve name - (!at + 5) in
+          emit (Isa.Call (Int32.of_int rel))
+      | Jcc_l (c, name) ->
+          let rel = resolve name - (!at + 6) in
+          emit (Isa.Jcc (c, Int32.of_int rel))
+      | Lea_ip (r, name) -> emit (Isa.Mov_ri (r, Int64.of_int (resolve name)))
+      | Bytes s ->
+          Buffer.add_string buf s;
+          at := !at + String.length s
+      | Zeros n ->
+          Buffer.add_string buf (String.make n '\000');
+          at := !at + n
+      | Align a ->
+          let pad = (a - (!at land (a - 1))) land (a - 1) in
+          for _ = 1 to pad do
+            emit Isa.Nop
+          done)
+    items;
+  let symbols =
+    Hashtbl.fold (fun k _ acc -> (k, Hashtbl.find symbols k) :: acc) defined []
+  in
+  { base; bytes = Buffer.contents buf; symbols }
+
+(** Address of [name] in [b]; raises {!Asm_error} when absent. *)
+let symbol (b : blob) (name : string) : int =
+  match List.assoc_opt name b.symbols with
+  | Some a -> a
+  | None -> raise (Asm_error ("no such symbol: " ^ name))
+
+(** {1 Shorthand constructors}
+
+    Thin sugar over {!Isa.instr} so hand-written runtimes read like
+    assembly listings.  All of these produce [item]s. *)
+
+let i x = Ins x
+let nop = Ins Isa.Nop
+let ret = Ins Isa.Ret
+let hlt = Ins Isa.Hlt
+let syscall = Ins Isa.Syscall
+let hypercall n = Ins (Isa.Hypercall n)
+let push r = Ins (Isa.Push r)
+let pop r = Ins (Isa.Pop r)
+let mov_rr d s = Ins (Isa.Mov_rr (d, s))
+let mov_ri r v = Ins (Isa.Mov_ri (r, Int64.of_int v))
+let mov_ri64 r v = Ins (Isa.Mov_ri (r, v))
+let add_ri r v = Ins (Isa.Alu_ri (Isa.Add, r, Int32.of_int v))
+let sub_ri r v = Ins (Isa.Alu_ri (Isa.Sub, r, Int32.of_int v))
+let cmp_ri r v = Ins (Isa.Alu_ri (Isa.Cmp, r, Int32.of_int v))
+let add_rr d s = Ins (Isa.Alu_rr (Isa.Add, d, s))
+let sub_rr d s = Ins (Isa.Alu_rr (Isa.Sub, d, s))
+let cmp_rr d s = Ins (Isa.Alu_rr (Isa.Cmp, d, s))
+let xor_rr d s = Ins (Isa.Alu_rr (Isa.Xor, d, s))
+let load ?(seg = Isa.Seg_none) d b disp =
+  Ins (Isa.Load (seg, d, b, Int32.of_int disp))
+let store ?(seg = Isa.Seg_none) b disp s =
+  Ins (Isa.Store (seg, b, Int32.of_int disp, s))
+let load8 ?(seg = Isa.Seg_none) d b disp =
+  Ins (Isa.Load8 (seg, d, b, Int32.of_int disp))
+let store8 ?(seg = Isa.Seg_none) b disp s =
+  Ins (Isa.Store8 (seg, b, Int32.of_int disp, s))
+let lea d b disp = Ins (Isa.Lea (d, b, Int32.of_int disp))
+let call_reg r = Ins (Isa.Call_reg r)
+let jmp_reg r = Ins (Isa.Jmp_reg r)

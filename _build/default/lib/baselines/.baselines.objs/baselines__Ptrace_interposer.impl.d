@@ -1,0 +1,1 @@
+lib/baselines/ptrace_interposer.ml: Array Cpu Hashtbl Int64 Isa Lazypoline Sim_cpu Sim_isa Sim_kernel Types

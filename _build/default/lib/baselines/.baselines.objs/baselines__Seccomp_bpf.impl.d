@@ -1,0 +1,1 @@
+lib/baselines/seccomp_bpf.ml: Bpf Defs Sim_kernel Types

@@ -1,0 +1,1 @@
+lib/baselines/seccomp_user.ml: Bpf Defs Lazypoline Sigflow Sim_kernel Types

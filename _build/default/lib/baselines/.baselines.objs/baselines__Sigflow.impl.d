@@ -1,0 +1,1 @@
+lib/baselines/sigflow.ml: Array Cpu Defs Hashtbl Int64 Isa Kernel Ksignal Lazypoline Mem Sim_asm Sim_cpu Sim_isa Sim_kernel Sim_mem String Types

@@ -1,0 +1,1 @@
+lib/baselines/sud_interposer.ml: Char Defs Lazypoline Mem Sigflow Sim_kernel Sim_mem String Types

@@ -1,0 +1,1 @@
+lib/baselines/zpoline.ml: Array Cpu Disasm Int64 Isa Kernel Lazypoline List Mem Sim_asm Sim_cpu Sim_isa Sim_kernel Sim_mem String Types

@@ -1,0 +1,63 @@
+(** The ptrace baseline: a tracer observing syscall-stops.
+
+    The tracer itself is modelled as kernel-side callbacks plus the
+    costs a real tracer pays per stop: two context switches (tracee to
+    tracer and back) at both syscall entry and exit, and the tracer's
+    own ptrace syscalls (GETREGS, SETREGS, PTRACE_SYSCALL).  This is
+    why ptrace lands at "Low" efficiency in Table I despite being
+    fully expressive and exhaustive. *)
+
+open Sim_isa
+open Sim_cpu
+open Sim_kernel
+open Types
+module Hook = Lazypoline.Hook
+
+type stats = { mutable stops : int }
+
+type t = {
+  hook : Hook.t;
+  stats : stats;
+  (* entry-stop -> exit-stop communication for suppressed syscalls *)
+  skip : (int, int64) Hashtbl.t;
+}
+
+let to_i = Int64.to_int
+
+let on_entry (st : t) (k : kernel) (pv : ptrace_view) =
+  st.stats.stops <- st.stats.stops + 1;
+  let t = pv.pv_task in
+  let nr = to_i (pv.pv_get_reg Isa.rax) in
+  let args = Array.map (fun r -> pv.pv_get_reg r) Hook.arg_regs in
+  let site = t.ctx.Cpu.rip - 2 in
+  let ctx = { Hook.kernel = k; task = t; nr; args; site } in
+  charge k st.hook.Hook.body_cost;
+  match st.hook.Hook.on_syscall ctx with
+  | Hook.Return v ->
+      (* The classic trick: rewrite the syscall number to an invalid
+         one, then patch the return value at the exit stop. *)
+      Hashtbl.replace st.skip t.tid v;
+      pv.pv_set_reg Isa.rax (Int64.of_int (-1))
+  | Hook.Emulate -> Hashtbl.remove st.skip t.tid
+
+let on_exit (st : t) (_k : kernel) (pv : ptrace_view) =
+  let t = pv.pv_task in
+  match Hashtbl.find_opt st.skip t.tid with
+  | Some v ->
+      Hashtbl.remove st.skip t.tid;
+      pv.pv_set_reg Isa.rax v
+  | None -> ()
+
+(** Attach a tracer to [t] (children inherit it, like
+    PTRACE_O_TRACEFORK). *)
+let install (k : kernel) (t : task) (hook : Hook.t) : t =
+  let st = { hook; stats = { stops = 0 }; skip = Hashtbl.create 4 } in
+  let monitor =
+    {
+      on_entry = (fun pv -> on_entry st k pv);
+      on_exit = (fun pv -> on_exit st k pv);
+      tracer_syscalls_per_stop = 3;
+    }
+  in
+  t.monitor <- Some monitor;
+  st

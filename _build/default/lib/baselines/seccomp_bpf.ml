@@ -1,0 +1,42 @@
+(** The seccomp-bpf baseline: interposition entirely in kernel space.
+
+    The "hook" here is a classic-BPF program, which is the point: it
+    is fast (no extra mode switches) but cannot dereference pointers,
+    accumulate state across calls, or consult anything beyond the
+    syscall number, the instruction pointer and the raw argument
+    words — the "Limited" expressiveness of Table I made concrete in
+    the types. *)
+
+open Sim_kernel
+open Types
+
+type t = { prog : Bpf.prog }
+
+(** Install [prog] as the interposer.  Children inherit it; it cannot
+    be removed. *)
+let install (_k : kernel) (t : task) (prog : Bpf.prog) : t =
+  Bpf.validate prog;
+  t.filters <- prog :: t.filters;
+  { prog }
+
+(** An "inspection only" filter comparable to the dummy hook of the
+    other mechanisms: classifies the syscall number (a handful of BPF
+    instructions) and allows it.  This is what the efficiency rows of
+    the evaluation run. *)
+let inspect_all : Bpf.prog =
+  let open Bpf in
+  [|
+    stmt (bpf_ld lor bpf_w lor bpf_abs) off_nr;
+    (* a few comparisons, as a small allow-list policy would do *)
+    jump (bpf_jmp lor bpf_jge lor bpf_k) 1024 2 0;
+    jump (bpf_jmp lor bpf_jeq lor bpf_k) Defs.sys_ptrace 1 0;
+    stmt (bpf_ret lor bpf_k) Defs.seccomp_ret_allow;
+    stmt (bpf_ret lor bpf_k) (Defs.seccomp_ret_errno lor Defs.eperm);
+  |]
+
+(** A deny-list sandbox policy: ERRNO(EPERM) for the given syscall
+    numbers, ALLOW otherwise. *)
+let deny_nrs nrs : Bpf.prog =
+  Bpf.filter_on_nrs ~nrs
+    ~action:(Defs.seccomp_ret_errno lor Defs.eperm)
+    ~otherwise:Defs.seccomp_ret_allow

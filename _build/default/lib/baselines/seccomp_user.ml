@@ -1,0 +1,31 @@
+(** The seccomp-user baseline: a seccomp filter returning
+    SECCOMP_RET_TRAP for everything except syscalls issued from the
+    interposer's own code range, with the interposition performed in
+    the SIGSYS handler.
+
+    Compared to SUD this pays an extra BPF-program execution on every
+    syscall and cannot be turned off per-task with a selector byte —
+    the rigidity that made Wine develop SUD in the first place
+    (Section IV-A-a). *)
+
+open Sim_kernel
+open Types
+module Hook = Lazypoline.Hook
+
+type t = Sigflow.t
+
+(** Install into [t]: SIGSYS handler stub plus an instruction-pointer
+    range filter (seccomp filters are inherited by children and
+    survive execve, so no re-arming machinery is needed — or
+    possible). *)
+let install (k : kernel) (t : task) (hook : Hook.t) : t =
+  let st = Sigflow.setup k t hook ~use_selector:false in
+  let filter =
+    Bpf.filter_on_ip_range ~lo:st.Sigflow.stub_lo ~hi:st.Sigflow.stub_hi
+      ~outside_action:Defs.seccomp_ret_trap
+  in
+  Bpf.validate filter;
+  t.filters <- filter :: t.filters;
+  st
+
+let stats (st : t) = st.Sigflow.stats

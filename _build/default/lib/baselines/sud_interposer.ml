@@ -1,0 +1,30 @@
+(** The SUD baseline: a typical Syscall User Dispatch deployment
+    (Section II-A).  Every intercepted syscall costs a full signal
+    delivery and sigreturn round trip — exhaustive and expressive,
+    but "Moderate" efficiency in the paper's Table I and ~20x on the
+    microbenchmark. *)
+
+open Sim_mem
+open Sim_kernel
+open Types
+module Hook = Lazypoline.Hook
+module Layout = Lazypoline.Layout
+
+type t = Sigflow.t
+
+(** Install the classic SUD interposer into [t]: SIGSYS handler stub,
+    per-task selector in a %gs area, SUD enabled with the stub's code
+    range allowlisted (for its sigreturn). *)
+let install (k : kernel) (t : task) (hook : Hook.t) : t =
+  let st = Sigflow.setup k t hook ~use_selector:true in
+  let gs_addr = Lazypoline.setup_gs_area t in
+  Mem.poke_bytes t.mem
+    (gs_addr + Layout.gs_selector)
+    (String.make 1 (Char.chr Defs.syscall_dispatch_filter_block));
+  t.sud.sud_on <- true;
+  t.sud.sud_lo <- st.Sigflow.stub_lo;
+  t.sud.sud_len <- st.Sigflow.stub_hi - st.Sigflow.stub_lo;
+  t.sud.sud_selector <- gs_addr + Layout.gs_selector;
+  st
+
+let stats (st : t) = st.Sigflow.stats

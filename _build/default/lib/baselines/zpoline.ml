@@ -1,0 +1,129 @@
+(** The zpoline baseline: pure load-time binary rewriting.
+
+    At install time, every executable region of the process image is
+    linearly disassembled; every [syscall] instruction the sweep finds
+    is rewritten to [call rax], which lands in the nop-sled trampoline
+    at VA 0 (the syscall number is in [rax] per the ABI) and slides
+    into the interposer entry.
+
+    What this gets right (and why the paper builds on it): the rewrite
+    itself can never fail — [call rax] is exactly as large as
+    [syscall].
+
+    What it gets wrong by design (Section II-B): it cannot see code
+    that does not exist yet (JIT, dynamic loading), and the linear
+    sweep can both miss syscalls hidden by instruction-stream
+    desynchronisation and misidentify data as code.  The tests and the
+    exhaustiveness experiment exercise both failure modes. *)
+
+open Sim_isa
+open Sim_mem
+open Sim_cpu
+open Sim_kernel
+open Types
+module Hook = Lazypoline.Hook
+module Layout = Lazypoline.Layout
+
+type stats = {
+  mutable sites_rewritten : int;
+  mutable hits : int;
+  mutable bytes_scanned : int;
+}
+
+type t = {
+  kernel : kernel;
+  hook : Hook.t;
+  stats : stats;
+  mutable entry_addr : int;
+}
+
+let to_i = Int64.to_int
+
+let hyper_enter (st : t) (k : kernel) (t : task) =
+  charge k Layout.hook_save_cost;
+  st.stats.hits <- st.stats.hits + 1;
+  let c = t.ctx in
+  let nr = to_i (Cpu.peek_reg c Isa.rax) in
+  if st.hook.Hook.clobbers_xstate then
+    (* zpoline does not preserve extended state: the hook's SSE usage
+       leaks straight into the application (Section IV-B-b). *)
+    Lazypoline.clobber_xstate t;
+  charge k st.hook.Hook.body_cost;
+  let site =
+    match Mem.peek_u64 t.mem (to_i (Cpu.peek_reg c Isa.rsp)) with
+    | ret -> to_i ret - 2
+    | exception Mem.Fault _ -> 0
+  in
+  let ctx =
+    {
+      Hook.kernel = k;
+      task = t;
+      nr;
+      args = Array.map (fun r -> Cpu.peek_reg c r) Hook.arg_regs;
+      site;
+    }
+  in
+  match st.hook.Hook.on_syscall ctx with
+  | Hook.Return v ->
+      Cpu.poke_reg c Isa.rax v;
+      c.rip <- c.rip + 2
+  | Hook.Emulate -> ()
+
+let hyper_exit (_st : t) (k : kernel) (_t : task) =
+  charge k Layout.hook_restore_cost
+
+let stub_items ~enter ~exit_ =
+  let open Sim_asm.Asm in
+  [
+    Label "syscall_entry"; hypercall enter; Label "emulated_syscall";
+    syscall; hypercall exit_; ret;
+  ]
+
+(** Rewrite every syscall site a linear sweep finds in the currently
+    mapped executable regions.  Returns the number of rewrites. *)
+let rewrite_image (st : t) (t : task) =
+  let n = ref 0 in
+  List.iter
+    (fun (addr, len, perm) ->
+      if perm land Mem.p_x <> 0 && addr <> Layout.trampoline_base
+         && addr <> Layout.interp_code_base then begin
+        let code = Mem.peek_bytes t.mem addr len in
+        st.stats.bytes_scanned <- st.stats.bytes_scanned + len;
+        List.iter
+          (fun off -> begin
+            Mem.poke_bytes t.mem (addr + off) "\xff\xd0";
+            incr n
+          end)
+          (Disasm.find_syscall_sites code)
+      end)
+    (Mem.regions t.mem);
+  st.stats.sites_rewritten <- st.stats.sites_rewritten + !n;
+  !n
+
+(** Install zpoline into [t]'s process: map the trampoline page at VA
+    0 and the interposer stub, then statically rewrite the image. *)
+let install (k : kernel) (t : task) (hook : Hook.t) : t =
+  let st =
+    {
+      kernel = k;
+      hook;
+      stats = { sites_rewritten = 0; hits = 0; bytes_scanned = 0 };
+      entry_addr = 0;
+    }
+  in
+  let enter = Kernel.register_hypercall k (hyper_enter st) in
+  let exit_ = Kernel.register_hypercall k (hyper_exit st) in
+  let stub =
+    Sim_asm.Asm.assemble ~base:Layout.interp_code_base
+      (stub_items ~enter ~exit_)
+  in
+  st.entry_addr <- Sim_asm.Asm.symbol stub "syscall_entry";
+  Mem.map t.mem ~addr:stub.Sim_asm.Asm.base
+    ~len:(String.length stub.Sim_asm.Asm.bytes) ~perm:Mem.rx;
+  Mem.poke_bytes t.mem stub.Sim_asm.Asm.base stub.Sim_asm.Asm.bytes;
+  let tramp = Layout.trampoline_blob ~entry:st.entry_addr in
+  Mem.map t.mem ~addr:0 ~len:(String.length tramp.Sim_asm.Asm.bytes)
+    ~perm:Mem.rx;
+  Mem.poke_bytes t.mem 0 tramp.Sim_asm.Asm.bytes;
+  ignore (rewrite_image st t);
+  st

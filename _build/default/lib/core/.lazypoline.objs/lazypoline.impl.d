@@ -1,0 +1,1 @@
+lib/core/lazypoline.ml: Array Char Cpu Defs Hashtbl Hook Int64 Isa Kernel Ksignal Layout Mem Sim_asm Sim_cpu Sim_isa Sim_kernel Sim_mem String Types

@@ -1,0 +1,1 @@
+lib/core/lazypoline.mli: Hashtbl Hook Layout Sim_kernel

@@ -1,0 +1,1 @@
+lib/core/hook.ml: Array Defs Int64 List Printf Sim_cpu Sim_isa Sim_kernel Sim_mem String Types

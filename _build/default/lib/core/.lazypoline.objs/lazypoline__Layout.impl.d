@@ -1,0 +1,1 @@
+lib/core/layout.ml: Asm Isa List Sim_asm Sim_cpu Sim_isa

@@ -1,0 +1,166 @@
+(** The user-facing interposition function.
+
+    Every interposer in this repository — lazypoline and all the
+    baselines — funnels intercepted syscalls through a [t].  The hook
+    is *fully expressive*: it sees the syscall number and arguments,
+    can read and write the application's memory and registers, can
+    rewrite arguments, and can suppress the syscall entirely and
+    supply its own return value.  (Contrast with seccomp-bpf, whose
+    "hook" is a BPF program that cannot even dereference a pointer —
+    see {!Baselines.Seccomp_bpf}.) *)
+
+open Sim_kernel
+
+type ctx = {
+  kernel : Types.kernel;
+  task : Types.task;
+  nr : int;
+  args : int64 array;  (** six syscall arguments, by value *)
+  site : int;
+      (** address of the syscall instruction being interposed, when
+          known (0 for mechanisms that do not track it) *)
+}
+
+(** What to do with the intercepted syscall. *)
+type action =
+  | Emulate  (** execute it (possibly with rewritten nr/args) *)
+  | Return of int64  (** suppress it and return this value *)
+
+type t = {
+  name : string;
+  mutable on_syscall : ctx -> action;
+  mutable body_cost : int;
+      (** modelled cycle cost of the hook body (C code in the real
+          tool); the paper's "dummy" interposition function that just
+          re-executes the syscall *)
+  mutable clobbers_xstate : bool;
+      (** when true, the hook body scribbles over xmm0-7 before
+          returning, like interposer C code compiled with SSE
+          enabled.  This is the compatibility hazard of Section
+          IV-B-b; pair with [preserve_xstate:false] to reproduce the
+          Listing 1 breakage. *)
+}
+
+(** Read and rewrite the interposed syscall's register state.  These
+    are "kernel-privileged" accessors: they do not feed the Pin
+    analysis (the app did not touch the registers). *)
+let get_reg (c : ctx) r = Sim_cpu.Cpu.peek_reg c.task.Types.ctx r
+let set_reg (c : ctx) r v = Sim_cpu.Cpu.poke_reg c.task.Types.ctx r v
+
+let set_nr (c : ctx) nr = set_reg c Sim_isa.Isa.rax (Int64.of_int nr)
+
+let arg_regs =
+  Sim_isa.Isa.[| rdi; rsi; rdx; r10; r8; r9 |]
+
+let set_arg (c : ctx) i v = set_reg c arg_regs.(i) v
+
+(** Deep argument inspection: read the task's memory. *)
+let read_mem (c : ctx) addr len =
+  Sim_mem.Mem.peek_bytes c.task.Types.mem addr len
+
+let read_string (c : ctx) addr =
+  Sim_mem.Mem.read_cstring c.task.Types.mem addr
+
+let write_mem (c : ctx) addr s =
+  Sim_mem.Mem.poke_bytes c.task.Types.mem addr s
+
+(** The paper's benchmark hook: pass everything through unchanged. *)
+let dummy () : t =
+  {
+    name = "dummy";
+    on_syscall = (fun _ -> Emulate);
+    body_cost = 12;
+    clobbers_xstate = false;
+  }
+
+(** A tracing hook: records (nr, args) like `strace`, then passes the
+    call through.  Used by the exhaustiveness experiment. *)
+let tracing () : t * (int * int64 array) list ref =
+  let trace = ref [] in
+  ( {
+      name = "trace";
+      on_syscall =
+        (fun c ->
+          trace := (c.nr, Array.copy c.args) :: !trace;
+          Emulate);
+      body_cost = 25;
+      clobbers_xstate = false;
+    },
+    trace )
+
+let recorded trace = List.rev !trace
+
+(** Pretty-print one trace entry, strace-style. *)
+let entry_to_string (nr, args) =
+  Printf.sprintf "%s(%s)" (Defs.syscall_name nr)
+    (String.concat ", "
+       (List.map (fun a -> Printf.sprintf "0x%Lx" a) (Array.to_list args)))
+
+(** {1 Decoded (strace-style) tracing}
+
+    Formats each syscall with the argument kinds of the real thing:
+    path strings are read from the task's memory at interception time
+    (an expressiveness demo in itself — seccomp-bpf could not produce
+    this trace). *)
+
+type arg_kind = Aint | Afd | Apath | Abuf | Asig
+
+let arg_spec nr : arg_kind list =
+  if nr = Defs.sys_read then [ Afd; Abuf; Aint ]
+  else if nr = Defs.sys_write then [ Afd; Abuf; Aint ]
+  else if nr = Defs.sys_open then [ Apath; Aint; Aint ]
+  else if nr = Defs.sys_openat then [ Afd; Apath; Aint; Aint ]
+  else if nr = Defs.sys_close then [ Afd ]
+  else if nr = Defs.sys_stat then [ Apath; Abuf ]
+  else if nr = Defs.sys_fstat then [ Afd; Abuf ]
+  else if nr = Defs.sys_mmap then [ Aint; Aint; Aint; Aint; Afd; Aint ]
+  else if nr = Defs.sys_mprotect || nr = Defs.sys_munmap then
+    [ Aint; Aint; Aint ]
+  else if nr = Defs.sys_rt_sigaction then [ Asig; Abuf; Abuf ]
+  else if nr = Defs.sys_kill then [ Aint; Asig ]
+  else if nr = Defs.sys_tgkill then [ Aint; Aint; Asig ]
+  else if nr = Defs.sys_mkdir || nr = Defs.sys_rmdir || nr = Defs.sys_unlink
+          || nr = Defs.sys_chdir then [ Apath ]
+  else if nr = Defs.sys_chmod then [ Apath; Aint ]
+  else if nr = Defs.sys_rename then [ Apath; Apath ]
+  else if nr = Defs.sys_execve then [ Apath; Abuf; Abuf ]
+  else if nr = Defs.sys_sendfile then [ Afd; Afd; Abuf; Aint ]
+  else if nr = Defs.sys_getpid || nr = Defs.sys_gettid
+          || nr = Defs.sys_getuid || nr = Defs.sys_fork
+          || nr = Defs.sys_vfork || nr = Defs.sys_rt_sigreturn then []
+  else if nr = Defs.sys_exit || nr = Defs.sys_exit_group then [ Aint ]
+  else if nr = Defs.sys_epoll_wait then [ Afd; Abuf; Aint; Aint ]
+  else if nr = Defs.sys_epoll_ctl then [ Afd; Aint; Afd; Abuf ]
+  else if nr = Defs.sys_accept || nr = Defs.sys_accept4 then
+    [ Afd; Abuf; Abuf ]
+  else [ Aint; Aint; Aint; Aint; Aint; Aint ]
+
+let format_call (c : ctx) : string =
+  let fmt kind v =
+    match kind with
+    | Aint -> Int64.to_string v
+    | Afd -> Int64.to_string v
+    | Asig -> Defs.signal_name (Int64.to_int v)
+    | Abuf -> Printf.sprintf "0x%Lx" v
+    | Apath -> (
+        match read_string c (Int64.to_int v) with
+        | s -> Printf.sprintf "%S" s
+        | exception _ -> Printf.sprintf "0x%Lx (bad)" v)
+  in
+  let spec = arg_spec c.nr in
+  let parts = List.mapi (fun idx kind -> fmt kind c.args.(idx)) spec in
+  Printf.sprintf "%s(%s)" (Defs.syscall_name c.nr) (String.concat ", " parts)
+
+(** Like {!tracing} but records fully decoded call strings. *)
+let strace () : t * string list ref =
+  let log = ref [] in
+  ( {
+      name = "strace";
+      on_syscall =
+        (fun c ->
+          log := format_call c :: !log;
+          Emulate);
+      body_cost = 40;
+      clobbers_xstate = false;
+    },
+    log )

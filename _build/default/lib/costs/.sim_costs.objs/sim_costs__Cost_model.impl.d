@@ -1,0 +1,1 @@
+lib/costs/cost_model.ml:

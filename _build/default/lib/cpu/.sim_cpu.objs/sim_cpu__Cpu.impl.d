@@ -1,0 +1,1 @@
+lib/cpu/cpu.ml: Array Bytes Decode Int32 Int64 Isa Mem Sim_isa Sim_mem

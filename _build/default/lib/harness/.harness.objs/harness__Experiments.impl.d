@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Baselines Defs Int64 Kernel Lazypoline List Loader Minicc Printf Sim_asm Sim_kernel Sim_mem Sim_pin Stats String Types Workloads

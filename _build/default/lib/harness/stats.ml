@@ -1,0 +1,34 @@
+(** Small statistics helpers for the experiment harness. *)
+
+let mean xs =
+  match xs with
+  | [] -> nan
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let geomean xs =
+  match xs with
+  | [] -> nan
+  | _ ->
+      exp
+        (List.fold_left (fun acc x -> acc +. log x) 0.0 xs
+        /. float_of_int (List.length xs))
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let m = mean xs in
+      sqrt (mean (List.map (fun x -> (x -. m) ** 2.0) xs))
+
+(** Relative standard deviation, in percent. *)
+let stddev_pct xs =
+  let m = mean xs in
+  if m = 0.0 then 0.0 else 100.0 *. stddev xs /. m
+
+(** A crude ASCII bar for figure-style output. *)
+let bar ?(width = 40) ~max_value v =
+  let n =
+    if max_value <= 0.0 then 0
+    else int_of_float (Float.round (float_of_int width *. v /. max_value))
+  in
+  String.make (max 0 (min width n)) '#'

@@ -1,0 +1,1 @@
+lib/isa/decode.ml: Char Int32 Int64 Isa Printf String

@@ -1,0 +1,1 @@
+lib/isa/disasm.ml: Char Decode Format Int32 Isa List Printf String

@@ -1,0 +1,1 @@
+lib/isa/encode.ml: Buffer Char Int32 Int64 Isa List

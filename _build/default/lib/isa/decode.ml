@@ -1,0 +1,210 @@
+(** Binary decoder for x64lite.
+
+    [decode fetch] reads bytes through [fetch : int -> int] (byte at
+    offset [i] from the current program counter) and returns the
+    decoded instruction together with its encoded length.  [fetch] may
+    raise (e.g. a page fault on an unmapped byte); the exception
+    propagates to the caller, which models instruction-fetch faults
+    precisely. *)
+
+open Isa
+
+type error =
+  | Bad_opcode of int  (** first opcode byte is not a valid encoding *)
+  | Bad_operand of string  (** opcode fine, operand bytes malformed *)
+
+let error_to_string = function
+  | Bad_opcode b -> Printf.sprintf "invalid opcode byte 0x%02X" b
+  | Bad_operand s -> "malformed operand: " ^ s
+
+exception Invalid of error
+
+let reg_at fetch off =
+  let b = fetch off in
+  if b > 15 then raise (Invalid (Bad_operand "register index > 15")) else b
+
+let modbyte_at fetch off =
+  let b = fetch off in
+  let hi = (b lsr 4) land 0xF and lo = b land 0xF in
+  (hi, lo)
+
+let imm32_at fetch off =
+  let b0 = fetch off
+  and b1 = fetch (off + 1)
+  and b2 = fetch (off + 2)
+  and b3 = fetch (off + 3) in
+  Int32.logor
+    (Int32.of_int (b0 lor (b1 lsl 8) lor (b2 lsl 16)))
+    (Int32.shift_left (Int32.of_int b3) 24)
+
+let imm64_at fetch off =
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (fetch (off + i)))
+  done;
+  !v
+
+(* Decode with a segment override already consumed; [p] is the number
+   of prefix bytes (0 or 1) and is added to the reported length. *)
+let rec decode_body fetch seg p : instr * int =
+  let mem_ok i =
+    (* A segment prefix is only legal before a memory-accessing
+       instruction; qualifying this keeps prefixed decodes unambiguous. *)
+    match (seg, i) with
+    | Seg_none, _ -> (i, p)
+    | _, (Load _ | Store _ | Load8 _ | Store8 _ | Movups_load _
+          | Movups_store _ | Fstp _) ->
+        (i, p)
+    | _ -> raise (Invalid (Bad_operand "segment prefix on non-memory opcode"))
+  in
+  let ret i len =
+    let i, p = mem_ok i in
+    (i, len + p)
+  in
+  let op = fetch 0 in
+  match op with
+  | 0x64 | 0x65 ->
+      if seg <> Seg_none then
+        raise (Invalid (Bad_operand "multiple segment prefixes"))
+      else
+        let seg = if op = 0x64 then Seg_fs else Seg_gs in
+        decode_body (fun i -> fetch (i + 1)) seg (p + 1)
+  | 0x90 -> ret Nop 1
+  | 0xC3 -> ret Ret 1
+  | 0xF4 -> ret Hlt 1
+  | 0xCC -> ret Int3 1
+  | 0x0F -> (
+      let op2 = fetch 1 in
+      match op2 with
+      | 0x05 -> ret Syscall 2
+      | 0x0B ->
+          let n = fetch 2 lor (fetch 3 lsl 8) in
+          ret (Hypercall n) 4
+      | 0x31 -> ret Rdtsc 2
+      | 0x1F ->
+          let n = fetch 2 lor (fetch 3 lsl 8) in
+          ret (Nopw n) 4
+      | 0x02 -> ret (Wrpkru (reg_at fetch 2)) 3
+      | 0x03 -> ret (Rdpkru (reg_at fetch 2)) 3
+      | 0x10 ->
+          let x, base = modbyte_at fetch 2 in
+          ret (Movups_load (seg, x, base, imm32_at fetch 3)) 7
+      | 0x11 ->
+          let x, base = modbyte_at fetch 2 in
+          ret (Movups_store (seg, base, imm32_at fetch 3, x)) 7
+      | b when b land 0xF8 = 0x80 -> (
+          match cond_of_code (b land 0x07) with
+          | Some c -> ret (Jcc (c, imm32_at fetch 2)) 6
+          | None -> raise (Invalid (Bad_operand "condition code")))
+      | b when b land 0xF8 = 0x90 -> (
+          match cond_of_code (b land 0x07) with
+          | Some c -> ret (Setcc (c, reg_at fetch 2)) 3
+          | None -> raise (Invalid (Bad_operand "condition code")))
+      | b -> raise (Invalid (Bad_opcode (0x0F00 lor b))))
+  | 0xFF ->
+      let b = fetch 1 in
+      if b land 0xF0 = 0xD0 then ret (Call_reg (b land 0xF)) 2
+      else raise (Invalid (Bad_operand "call-reg modbyte"))
+  | 0xFE ->
+      let b = fetch 1 in
+      if b land 0xF0 = 0xD0 then ret (Jmp_reg (b land 0xF)) 2
+      else raise (Invalid (Bad_operand "jmp-reg modbyte"))
+  | 0x50 -> ret (Push (reg_at fetch 1)) 2
+  | 0x58 -> ret (Pop (reg_at fetch 1)) 2
+  | 0x89 ->
+      let dst, src = modbyte_at fetch 1 in
+      ret (Mov_rr (dst, src)) 2
+  | 0xB8 -> ret (Mov_ri (reg_at fetch 1, imm64_at fetch 2)) 10
+  | 0xC7 -> ret (Mov_ri32 (reg_at fetch 1, imm32_at fetch 2)) 6
+  | 0x8B ->
+      let dst, base = modbyte_at fetch 1 in
+      ret (Load (seg, dst, base, imm32_at fetch 2)) 6
+  | 0x8A ->
+      let src, base = modbyte_at fetch 1 in
+      ret (Store (seg, base, imm32_at fetch 2, src)) 6
+  | 0x8C ->
+      let dst, base = modbyte_at fetch 1 in
+      ret (Load8 (seg, dst, base, imm32_at fetch 2)) 6
+  | 0x8D ->
+      let src, base = modbyte_at fetch 1 in
+      ret (Store8 (seg, base, imm32_at fetch 2, src)) 6
+  | 0x8E ->
+      let dst, base = modbyte_at fetch 1 in
+      ret (Lea (dst, base, imm32_at fetch 2)) 6
+  | 0x01 | 0x29 | 0x21 | 0x09 | 0x31 | 0x39 | 0x6B | 0x6C | 0x6D ->
+      let alu =
+        match op with
+        | 0x01 -> Add
+        | 0x29 -> Sub
+        | 0x21 -> And
+        | 0x09 -> Or
+        | 0x31 -> Xor
+        | 0x39 -> Cmp
+        | 0x6B -> Mul
+        | 0x6C -> Div
+        | _ -> Rem
+      in
+      let dst, src = modbyte_at fetch 1 in
+      ret (Alu_rr (alu, dst, src)) 2
+  | 0x05 | 0x2D | 0x25 | 0x0D | 0x35 | 0x3D ->
+      let alu =
+        match op with
+        | 0x05 -> Add
+        | 0x2D -> Sub
+        | 0x25 -> And
+        | 0x0D -> Or
+        | 0x35 -> Xor
+        | _ -> Cmp
+      in
+      ret (Alu_ri (alu, reg_at fetch 1, imm32_at fetch 2)) 6
+  | 0xE0 | 0xE1 | 0xE2 ->
+      let sh = match op with 0xE0 -> Shl | 0xE1 -> Shr | _ -> Sar in
+      let r = reg_at fetch 1 in
+      let amount = fetch 2 in
+      if amount > 63 then raise (Invalid (Bad_operand "shift amount"))
+      else ret (Shift (sh, r, amount)) 3
+  | 0xE9 -> ret (Jmp (imm32_at fetch 1)) 5
+  | 0xE8 -> ret (Call (imm32_at fetch 1)) 5
+  | 0x66 -> (
+      let op2 = fetch 1 in
+      match op2 with
+      | 0x6E -> ret (Movq_xr (reg_at fetch 2, reg_at fetch 3)) 4
+      | 0x7E -> ret (Movq_rx (reg_at fetch 2, reg_at fetch 3)) 4
+      | 0x6C ->
+          let dst, src = modbyte_at fetch 2 in
+          ret (Punpcklqdq (dst, src)) 3
+      | 0xEF ->
+          let dst, src = modbyte_at fetch 2 in
+          ret (Pxor (dst, src)) 3
+      | b -> raise (Invalid (Bad_opcode (0x6600 lor b))))
+  | 0xD9 -> (
+      match fetch 1 with
+      | 0xE8 -> ret Fld1 2
+      | 0xEE -> ret Fldz 2
+      | b -> raise (Invalid (Bad_opcode (0xD900 lor b))))
+  | 0xDE -> (
+      match fetch 1 with
+      | 0xC1 -> ret Faddp 2
+      | b -> raise (Invalid (Bad_opcode (0xDE00 lor b))))
+  | 0xDD -> ret (Fstp (seg, reg_at fetch 1, imm32_at fetch 2)) 6
+  | b -> raise (Invalid (Bad_opcode b))
+
+(** Decode one instruction; raises {!Invalid} on a malformed
+    encoding.  Returns the instruction and its total encoded length
+    (prefix included). *)
+let decode (fetch : int -> int) : instr * int = decode_body fetch Seg_none 0
+
+(** Like {!decode} but returning a [result]. *)
+let decode_result fetch =
+  match decode fetch with
+  | v -> Ok v
+  | exception Invalid e -> Error e
+
+(** Decode from a string at [pos] (for tests and the disassembler). *)
+let decode_string (s : string) (pos : int) : (instr * int, error) result =
+  let fetch i =
+    if pos + i >= String.length s then
+      raise (Invalid (Bad_operand "truncated instruction"))
+    else Char.code s.[pos + i]
+  in
+  match decode fetch with v -> Ok v | exception Invalid e -> Error e

@@ -1,0 +1,135 @@
+(** Pretty-printing and linear-sweep disassembly.
+
+    The linear sweep is what a static binary rewriter (zpoline, SaBRe)
+    has to rely on.  On a variable-length ISA it desynchronises when
+    data or immediates alias instruction bytes — exactly the hazard
+    the paper's Section II-B describes — so its results are *best
+    effort*, unlike the kernel-verified syscall sites the lazy slow
+    path discovers. *)
+
+open Isa
+
+let string_of_mem seg base disp =
+  let disp = Int32.to_int disp in
+  if disp = 0 then Printf.sprintf "[%s%s]" (seg_name seg) (gpr_name base)
+  else if disp > 0 then
+    Printf.sprintf "[%s%s + 0x%x]" (seg_name seg) (gpr_name base) disp
+  else Printf.sprintf "[%s%s - 0x%x]" (seg_name seg) (gpr_name base) (-disp)
+
+(** Render [i] in an Intel-ish syntax.  [pc] (address of the
+    instruction) resolves relative branch targets when provided. *)
+let string_of_instr ?pc (i : instr) : string =
+  let target rel len =
+    match pc with
+    | Some pc -> Printf.sprintf "0x%x" (pc + len + Int32.to_int rel)
+    | None -> Printf.sprintf ".%+ld" rel
+  in
+  match i with
+  | Nop -> "nop"
+  | Ret -> "ret"
+  | Hlt -> "hlt"
+  | Int3 -> "int3"
+  | Syscall -> "syscall"
+  | Hypercall n -> Printf.sprintf "hypercall %d" n
+  | Rdtsc -> "rdtsc"
+  | Nopw n -> Printf.sprintf "nopw %d" n
+  | Wrpkru r -> "wrpkru " ^ gpr_name r
+  | Rdpkru r -> "rdpkru " ^ gpr_name r
+  | Call_reg r -> "call " ^ gpr_name r
+  | Jmp_reg r -> "jmp " ^ gpr_name r
+  | Push r -> "push " ^ gpr_name r
+  | Pop r -> "pop " ^ gpr_name r
+  | Mov_rr (d, s) -> Printf.sprintf "mov %s, %s" (gpr_name d) (gpr_name s)
+  | Mov_ri (r, v) -> Printf.sprintf "mov %s, 0x%Lx" (gpr_name r) v
+  | Mov_ri32 (r, v) -> Printf.sprintf "mov %s, %ld" (gpr_name r) v
+  | Load (seg, d, b, disp) ->
+      Printf.sprintf "mov %s, %s" (gpr_name d) (string_of_mem seg b disp)
+  | Store (seg, b, disp, s) ->
+      Printf.sprintf "mov %s, %s" (string_of_mem seg b disp) (gpr_name s)
+  | Load8 (seg, d, b, disp) ->
+      Printf.sprintf "movzx %s, byte %s" (gpr_name d) (string_of_mem seg b disp)
+  | Store8 (seg, b, disp, s) ->
+      Printf.sprintf "mov byte %s, %sb" (string_of_mem seg b disp) (gpr_name s)
+  | Lea (d, b, disp) ->
+      Printf.sprintf "lea %s, %s" (gpr_name d) (string_of_mem Seg_none b disp)
+  | Alu_rr (op, d, s) ->
+      Printf.sprintf "%s %s, %s" (alu_name op) (gpr_name d) (gpr_name s)
+  | Alu_ri (op, r, v) ->
+      Printf.sprintf "%s %s, %ld" (alu_name op) (gpr_name r) v
+  | Shift (op, r, n) ->
+      Printf.sprintf "%s %s, %d" (shift_name op) (gpr_name r) n
+  | Jmp rel -> "jmp " ^ target rel 5
+  | Jcc (c, rel) -> Printf.sprintf "j%s %s" (cond_name c) (target rel 6)
+  | Call rel -> "call " ^ target rel 5
+  | Setcc (c, r) -> Printf.sprintf "set%s %s" (cond_name c) (gpr_name r)
+  | Movq_xr (x, r) -> Printf.sprintf "movq %s, %s" (xmm_name x) (gpr_name r)
+  | Movq_rx (r, x) -> Printf.sprintf "movq %s, %s" (gpr_name r) (xmm_name x)
+  | Movups_load (seg, x, b, disp) ->
+      Printf.sprintf "movups %s, %s" (xmm_name x) (string_of_mem seg b disp)
+  | Movups_store (seg, b, disp, x) ->
+      Printf.sprintf "movups %s, %s" (string_of_mem seg b disp) (xmm_name x)
+  | Punpcklqdq (d, s) ->
+      Printf.sprintf "punpcklqdq %s, %s" (xmm_name d) (xmm_name s)
+  | Pxor (d, s) -> Printf.sprintf "pxor %s, %s" (xmm_name d) (xmm_name s)
+  | Fld1 -> "fld1"
+  | Fldz -> "fldz"
+  | Faddp -> "faddp"
+  | Fstp (seg, b, disp) ->
+      Printf.sprintf "fstp qword %s" (string_of_mem seg b disp)
+
+type line = {
+  addr : int;  (** address of the first byte *)
+  raw : string;  (** the bytes this line covers *)
+  what : [ `Instr of instr | `Bad of Decode.error ];
+}
+
+(** Linear-sweep a byte blob starting at virtual address [base].  On a
+    decode error the sweep emits a [`Bad] line for the single
+    offending byte and resynchronises at the next byte, as objdump
+    does. *)
+let sweep ?(base = 0) (code : string) : line list =
+  let n = String.length code in
+  let rec go pos acc =
+    if pos >= n then List.rev acc
+    else
+      match Decode.decode_string code pos with
+      | Ok (i, len) when pos + len <= n ->
+          let l =
+            { addr = base + pos; raw = String.sub code pos len; what = `Instr i }
+          in
+          go (pos + len) (l :: acc)
+      | Ok (_, _) | Error _ ->
+          let e =
+            match Decode.decode_string code pos with
+            | Error e -> e
+            | Ok _ -> Decode.Bad_operand "truncated instruction"
+          in
+          let l =
+            { addr = base + pos; raw = String.sub code pos 1; what = `Bad e }
+          in
+          go (pos + 1) (l :: acc)
+  in
+  go 0 []
+
+(** Offsets (relative to the start of [code]) at which a linear sweep
+    believes a [syscall] instruction starts.  This is the "identify
+    syscall instructions" step of a static rewriter: it both misses
+    instructions materialised later and can misfire on data. *)
+let find_syscall_sites (code : string) : int list =
+  sweep code
+  |> List.filter_map (fun l ->
+         match l.what with `Instr Syscall -> Some l.addr | _ -> None)
+
+let pp_line fmt (l : line) =
+  let bytes =
+    String.concat " "
+      (List.init (String.length l.raw) (fun i ->
+           Printf.sprintf "%02x" (Char.code l.raw.[i])))
+  in
+  match l.what with
+  | `Instr i ->
+      Format.fprintf fmt "%8x:  %-30s %s" l.addr bytes
+        (string_of_instr ~pc:l.addr i)
+  | `Bad e ->
+      Format.fprintf fmt "%8x:  %-30s (bad) %s" l.addr bytes
+        (Decode.error_to_string e)

@@ -1,0 +1,239 @@
+(** Binary encoder for x64lite instructions.
+
+    Encodings are fixed per opcode (see {!Isa}); immediates are
+    little-endian.  [encode] appends to a [Buffer.t] so the assembler
+    can emit straight-line code cheaply. *)
+
+open Isa
+
+exception Cannot_encode of string
+
+let alu_rr_opcode = function
+  | Add -> 0x01
+  | Sub -> 0x29
+  | And -> 0x21
+  | Or -> 0x09
+  | Xor -> 0x31
+  | Cmp -> 0x39
+  | Mul -> 0x6B
+  | Div -> 0x6C
+  | Rem -> 0x6D
+
+let alu_ri_opcode = function
+  | Add -> 0x05
+  | Sub -> 0x2D
+  | And -> 0x25
+  | Or -> 0x0D
+  | Xor -> 0x35
+  | Cmp -> 0x3D
+  | (Mul | Div | Rem) as op ->
+      raise (Cannot_encode (alu_name op ^ " with immediate operand"))
+
+let shift_opcode = function Shl -> 0xE0 | Shr -> 0xE1 | Sar -> 0xE2
+
+let check_reg r =
+  if r < 0 || r > 15 then raise (Cannot_encode "register index out of range")
+
+let byte b buf = Buffer.add_char buf (Char.chr (b land 0xFF))
+
+let imm32 (v : int32) buf =
+  byte (Int32.to_int v land 0xFF) buf;
+  byte (Int32.to_int (Int32.shift_right_logical v 8) land 0xFF) buf;
+  byte (Int32.to_int (Int32.shift_right_logical v 16) land 0xFF) buf;
+  byte (Int32.to_int (Int32.shift_right_logical v 24) land 0xFF) buf
+
+let imm64 (v : int64) buf =
+  for i = 0 to 7 do
+    byte (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xFF) buf
+  done
+
+let modbyte a b buf =
+  check_reg a;
+  check_reg b;
+  byte ((a lsl 4) lor b) buf
+
+let seg_prefix s buf =
+  match s with
+  | Seg_none -> ()
+  | Seg_fs -> byte 0x64 buf
+  | Seg_gs -> byte 0x65 buf
+
+(** Append the encoding of [i] to [buf]. *)
+let encode buf (i : instr) =
+  match i with
+  | Nop -> byte 0x90 buf
+  | Ret -> byte 0xC3 buf
+  | Hlt -> byte 0xF4 buf
+  | Int3 -> byte 0xCC buf
+  | Syscall ->
+      byte 0x0F buf;
+      byte 0x05 buf
+  | Hypercall n ->
+      if n < 0 || n > 0xFFFF then raise (Cannot_encode "hypercall index");
+      byte 0x0F buf;
+      byte 0x0B buf;
+      byte (n land 0xFF) buf;
+      byte ((n lsr 8) land 0xFF) buf
+  | Rdtsc ->
+      byte 0x0F buf;
+      byte 0x31 buf
+  | Nopw n ->
+      if n < 0 || n > 0xFFFF then raise (Cannot_encode "nopw weight");
+      byte 0x0F buf;
+      byte 0x1F buf;
+      byte (n land 0xFF) buf;
+      byte ((n lsr 8) land 0xFF) buf
+  | Wrpkru r ->
+      check_reg r;
+      byte 0x0F buf;
+      byte 0x02 buf;
+      byte r buf
+  | Rdpkru r ->
+      check_reg r;
+      byte 0x0F buf;
+      byte 0x03 buf;
+      byte r buf
+  | Call_reg r ->
+      check_reg r;
+      byte 0xFF buf;
+      byte (0xD0 lor r) buf
+  | Jmp_reg r ->
+      check_reg r;
+      byte 0xFE buf;
+      byte (0xD0 lor r) buf
+  | Push r ->
+      check_reg r;
+      byte 0x50 buf;
+      byte r buf
+  | Pop r ->
+      check_reg r;
+      byte 0x58 buf;
+      byte r buf
+  | Mov_rr (dst, src) ->
+      byte 0x89 buf;
+      modbyte dst src buf
+  | Mov_ri (r, v) ->
+      check_reg r;
+      byte 0xB8 buf;
+      byte r buf;
+      imm64 v buf
+  | Mov_ri32 (r, v) ->
+      check_reg r;
+      byte 0xC7 buf;
+      byte r buf;
+      imm32 v buf
+  | Load (s, dst, base, disp) ->
+      seg_prefix s buf;
+      byte 0x8B buf;
+      modbyte dst base buf;
+      imm32 disp buf
+  | Store (s, base, disp, src) ->
+      seg_prefix s buf;
+      byte 0x8A buf;
+      modbyte src base buf;
+      imm32 disp buf
+  | Load8 (s, dst, base, disp) ->
+      seg_prefix s buf;
+      byte 0x8C buf;
+      modbyte dst base buf;
+      imm32 disp buf
+  | Store8 (s, base, disp, src) ->
+      seg_prefix s buf;
+      byte 0x8D buf;
+      modbyte src base buf;
+      imm32 disp buf
+  | Lea (dst, base, disp) ->
+      byte 0x8E buf;
+      modbyte dst base buf;
+      imm32 disp buf
+  | Alu_rr (op, dst, src) ->
+      byte (alu_rr_opcode op) buf;
+      modbyte dst src buf
+  | Alu_ri (op, r, v) ->
+      check_reg r;
+      byte (alu_ri_opcode op) buf;
+      byte r buf;
+      imm32 v buf
+  | Shift (op, r, amount) ->
+      check_reg r;
+      if amount < 0 || amount > 63 then
+        raise (Cannot_encode "shift amount out of range");
+      byte (shift_opcode op) buf;
+      byte r buf;
+      byte amount buf
+  | Jmp rel ->
+      byte 0xE9 buf;
+      imm32 rel buf
+  | Call rel ->
+      byte 0xE8 buf;
+      imm32 rel buf
+  | Jcc (c, rel) ->
+      byte 0x0F buf;
+      byte (0x80 lor cond_code c) buf;
+      imm32 rel buf
+  | Setcc (c, r) ->
+      check_reg r;
+      byte 0x0F buf;
+      byte (0x90 lor cond_code c) buf;
+      byte r buf
+  | Movq_xr (x, r) ->
+      check_reg x;
+      check_reg r;
+      byte 0x66 buf;
+      byte 0x6E buf;
+      byte x buf;
+      byte r buf
+  | Movq_rx (r, x) ->
+      check_reg x;
+      check_reg r;
+      byte 0x66 buf;
+      byte 0x7E buf;
+      byte r buf;
+      byte x buf
+  | Movups_load (s, x, base, disp) ->
+      seg_prefix s buf;
+      byte 0x0F buf;
+      byte 0x10 buf;
+      modbyte x base buf;
+      imm32 disp buf
+  | Movups_store (s, base, disp, x) ->
+      seg_prefix s buf;
+      byte 0x0F buf;
+      byte 0x11 buf;
+      modbyte x base buf;
+      imm32 disp buf
+  | Punpcklqdq (dst, src) ->
+      byte 0x66 buf;
+      byte 0x6C buf;
+      modbyte dst src buf
+  | Pxor (dst, src) ->
+      byte 0x66 buf;
+      byte 0xEF buf;
+      modbyte dst src buf
+  | Fld1 ->
+      byte 0xD9 buf;
+      byte 0xE8 buf
+  | Fldz ->
+      byte 0xD9 buf;
+      byte 0xEE buf
+  | Faddp ->
+      byte 0xDE buf;
+      byte 0xC1 buf
+  | Fstp (s, base, disp) ->
+      seg_prefix s buf;
+      check_reg base;
+      byte 0xDD buf;
+      byte base buf;
+      imm32 disp buf
+
+(** Encode a single instruction to fresh bytes. *)
+let encode_one (i : instr) : string =
+  let buf = Buffer.create 10 in
+  encode buf i;
+  Buffer.contents buf
+
+(** Encode an instruction list to a byte blob. *)
+let encode_all (is : instr list) : string =
+  let buf = Buffer.create 64 in
+  List.iter (encode buf) is;
+  Buffer.contents buf

@@ -1,0 +1,209 @@
+(** The x64lite instruction set.
+
+    A small, x86-64-flavoured ISA with variable-length encodings.  The
+    two properties the paper's rewriting technique depends on are
+    preserved exactly:
+
+    - [SYSCALL] is the two-byte sequence [0F 05] (as on x86-64), and
+    - [CALL reg] is the two-byte sequence [FF D0+r] (x86-64's
+      [call rax] is [FF D0]),
+
+    so a syscall instruction can be rewritten in place to [call rax]
+    without moving any surrounding code.  Encodings are variable
+    length (1-10 bytes), so static linear-sweep disassembly suffers
+    from the same desynchronisation hazards as on real x86-64:
+    instruction bytes can hide inside immediates and data.
+
+    Registers follow the System V AMD64 convention: syscall number in
+    [rax], arguments in [rdi, rsi, rdx, r10, r8, r9], return value in
+    [rax]; the kernel clobbers only [rcx] and [r11]. *)
+
+(** {1 Registers} *)
+
+type gpr = int
+(** General purpose register index, 0..15. *)
+
+let rax = 0
+let rcx = 1
+let rdx = 2
+let rbx = 3
+let rsp = 4
+let rbp = 5
+let rsi = 6
+let rdi = 7
+let r8 = 8
+let r9 = 9
+let r10 = 10
+let r11 = 11
+let r12 = 12
+let r13 = 13
+let r14 = 14
+let r15 = 15
+
+let gpr_name = function
+  | 0 -> "rax"
+  | 1 -> "rcx"
+  | 2 -> "rdx"
+  | 3 -> "rbx"
+  | 4 -> "rsp"
+  | 5 -> "rbp"
+  | 6 -> "rsi"
+  | 7 -> "rdi"
+  | n when n >= 8 && n <= 15 -> "r" ^ string_of_int n
+  | n -> Printf.sprintf "r?%d" n
+
+type xmm = int
+(** SSE register index, 0..15. *)
+
+let xmm_name i = Printf.sprintf "xmm%d" i
+
+(** Segment override for memory operands.  [Gs]/[Fs] add the task's
+    segment base to the effective address; thread-local interposer
+    state (selector byte, xstate stack) lives behind [Gs]. *)
+type seg = Seg_none | Seg_fs | Seg_gs
+
+let seg_name = function Seg_none -> "" | Seg_fs -> "fs:" | Seg_gs -> "gs:"
+
+(** {1 Conditions and ALU operations} *)
+
+type cond = Eq | Ne | Lt | Le | Gt | Ge | Ult | Uge
+
+let cond_code = function
+  | Eq -> 0
+  | Ne -> 1
+  | Lt -> 2
+  | Le -> 3
+  | Gt -> 4
+  | Ge -> 5
+  | Ult -> 6
+  | Uge -> 7
+
+let cond_of_code = function
+  | 0 -> Some Eq
+  | 1 -> Some Ne
+  | 2 -> Some Lt
+  | 3 -> Some Le
+  | 4 -> Some Gt
+  | 5 -> Some Ge
+  | 6 -> Some Ult
+  | 7 -> Some Uge
+  | _ -> None
+
+let cond_name = function
+  | Eq -> "e"
+  | Ne -> "ne"
+  | Lt -> "l"
+  | Le -> "le"
+  | Gt -> "g"
+  | Ge -> "ge"
+  | Ult -> "b"
+  | Uge -> "ae"
+
+type alu = Add | Sub | And | Or | Xor | Cmp | Mul | Div | Rem
+
+let alu_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Cmp -> "cmp"
+  | Mul -> "imul"
+  | Div -> "idiv"
+  | Rem -> "irem"
+
+type shift = Shl | Shr | Sar
+
+let shift_name = function Shl -> "shl" | Shr -> "shr" | Sar -> "sar"
+
+(** {1 Instructions} *)
+
+type instr =
+  | Nop  (** [90] *)
+  | Ret  (** [C3] *)
+  | Hlt  (** [F4]; terminates the task with the value in [rdi] *)
+  | Int3  (** [CC]; breakpoint trap *)
+  | Syscall  (** [0F 05] *)
+  | Hypercall of int
+      (** [0F 0B imm16] — UD2 plus an index.  Dispatches to an
+          OCaml-level handler registered with the kernel.  Used only
+          by interposer runtime stubs, never by application code. *)
+  | Rdtsc  (** [0F 31]; cycle counter into [rax] *)
+  | Nopw of int
+      (** [0F 1F imm16] — weighted nop: architecturally a no-op that
+          retires in [imm16] cycles.  Stands in for straight-line
+          application work (compressed for simulation speed); never
+          emitted by interposer runtimes. *)
+  | Wrpkru of gpr
+      (** [0F 02 r] — load the protection-key rights register from a
+          GPR (x86's WRPKRU reads eax; we take an operand so stubs can
+          keep rax intact).  Bit k set = writes to pkey-k pages
+          denied. *)
+  | Rdpkru of gpr  (** [0F 03 r] — read PKRU into a GPR *)
+  | Call_reg of gpr  (** [FF D0+r]; pushes return address *)
+  | Jmp_reg of gpr  (** [FE D0+r] *)
+  | Push of gpr  (** [50 r] *)
+  | Pop of gpr  (** [58 r] *)
+  | Mov_rr of gpr * gpr  (** [89 (dst<<4|src)] *)
+  | Mov_ri of gpr * int64  (** [B8 r imm64] *)
+  | Mov_ri32 of gpr * int32  (** [C7 r imm32], sign-extended *)
+  | Load of seg * gpr * gpr * int32
+      (** [8B (dst<<4|base) disp32]: dst := [seg: base + disp], 8 bytes *)
+  | Store of seg * gpr * int32 * gpr
+      (** [8A (src<<4|base) disp32]: [seg: base + disp] := src, 8 bytes *)
+  | Load8 of seg * gpr * gpr * int32
+      (** [8C ...]: one byte, zero-extended *)
+  | Store8 of seg * gpr * int32 * gpr  (** [8D ...]: low byte of src *)
+  | Lea of gpr * gpr * int32  (** [8E (dst<<4|base) disp32] *)
+  | Alu_rr of alu * gpr * gpr  (** two-byte op + modbyte *)
+  | Alu_ri of alu * gpr * int32  (** op + regbyte + imm32 *)
+  | Shift of shift * gpr * int  (** op + regbyte + imm8 *)
+  | Jmp of int32  (** [E9 rel32], relative to next instruction *)
+  | Jcc of cond * int32  (** [0F 80+cc rel32] *)
+  | Call of int32  (** [E8 rel32] *)
+  | Setcc of cond * gpr  (** [0F 90+cc r] *)
+  | Movq_xr of xmm * gpr  (** [66 6E x r]: xmm.lo := gpr, xmm.hi := 0 *)
+  | Movq_rx of gpr * xmm  (** [66 7E r x]: gpr := xmm.lo *)
+  | Movups_load of seg * xmm * gpr * int32
+      (** [0F 10 (x<<4|base) disp32]: 16 bytes *)
+  | Movups_store of seg * gpr * int32 * xmm  (** [0F 11 ...] *)
+  | Punpcklqdq of xmm * xmm
+      (** [66 6C (dst<<4|src)]: dst.hi := src.lo (dst.lo unchanged) *)
+  | Pxor of xmm * xmm  (** [66 EF (dst<<4|src)] *)
+  | Fld1  (** [D9 E8]: push 1.0 on the x87 stack *)
+  | Fldz  (** [D9 EE]: push 0.0 *)
+  | Faddp  (** [DE C1]: st1 := st0 + st1, pop *)
+  | Fstp of seg * gpr * int32  (** [DD (base) disp32]: store st0, pop *)
+
+(** Alias: the byte pair every rewriter cares about. *)
+let syscall_bytes = (0x0F, 0x05)
+
+let call_reg_bytes r = (0xFF, 0xD0 lor r)
+
+(** Maximum encoded instruction length. *)
+let max_instr_len = 10
+
+(** Length of the encoding of [i], including any segment prefix. *)
+let encoded_length i =
+  let seg_len = function Seg_none -> 0 | Seg_fs | Seg_gs -> 1 in
+  match i with
+  | Nop | Ret | Hlt | Int3 -> 1
+  | Syscall | Rdtsc | Call_reg _ | Jmp_reg _ | Push _ | Pop _ | Mov_rr _ -> 2
+  | Fld1 | Fldz | Faddp -> 2
+  | Hypercall _ | Nopw _ -> 4
+  | Wrpkru _ | Rdpkru _ -> 3
+  | Mov_ri _ -> 10
+  | Mov_ri32 _ -> 6
+  | Load (s, _, _, _) | Load8 (s, _, _, _) -> 6 + seg_len s
+  | Store (s, _, _, _) | Store8 (s, _, _, _) -> 6 + seg_len s
+  | Lea _ -> 6
+  | Alu_rr _ -> 2
+  | Alu_ri _ -> 6
+  | Shift _ -> 3
+  | Jmp _ | Call _ -> 5
+  | Jcc _ -> 6
+  | Setcc _ -> 3
+  | Movq_xr _ | Movq_rx _ -> 4
+  | Movups_load (s, _, _, _) | Movups_store (s, _, _, _) -> 7 + seg_len s
+  | Punpcklqdq _ | Pxor _ -> 3
+  | Fstp (s, _, _) -> 6 + seg_len s

@@ -1,0 +1,1 @@
+lib/kernel/bpf.ml: Array Bytes Defs Int32 Int64 List

@@ -1,0 +1,1 @@
+lib/kernel/defs.ml: Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/kernel/fifo.ml: Bytes

@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Array Bpf Buffer Bytes Char Cpu Defs Hashtbl Int32 Int64 Isa Ksignal List Mem Net Queue Random Sim_costs Sim_cpu Sim_isa Sim_mem String Types Vfs

@@ -1,0 +1,1 @@
+lib/kernel/ksignal.ml: Array Cpu Defs Hashtbl Int64 Isa List Mem Sim_cpu Sim_isa Sim_mem Types

@@ -1,0 +1,1 @@
+lib/kernel/loader.ml: List Mem Sim_asm Sim_mem Types

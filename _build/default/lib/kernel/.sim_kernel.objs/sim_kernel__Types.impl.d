@@ -1,0 +1,1 @@
+lib/kernel/types.ml: Array Bpf Cost_model Cpu Hashtbl Int64 Mem Net Random Sim_costs Sim_cpu Sim_mem Vfs

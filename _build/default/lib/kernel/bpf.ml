@@ -1,0 +1,306 @@
+(** Classic BPF, as used by seccomp filters.
+
+    This is a faithful interpreter for the cBPF subset that seccomp
+    accepts: word loads from the read-only [seccomp_data] buffer,
+    ALU/JMP over a 32-bit accumulator [A] and index register [X], 16
+    scratch memory slots, and RET.  Programs are validated on load
+    with the same rules as the kernel: bounded length, in-bounds
+    forward jumps, every path ending in a RET, no stores outside
+    scratch memory.
+
+    seccomp's expressiveness limits fall out of the semantics: a
+    filter sees only the syscall number, architecture, instruction
+    pointer and raw argument words — it cannot dereference user
+    pointers, which is exactly the "Limited expressiveness" entry for
+    seccomp-bpf in the paper's Table I. *)
+
+(* Instruction classes *)
+let bpf_ld = 0x00
+let bpf_ldx = 0x01
+let bpf_st = 0x02
+let bpf_stx = 0x03
+let bpf_alu = 0x04
+let bpf_jmp = 0x05
+let bpf_ret = 0x06
+let bpf_misc = 0x07
+
+(* Size / mode *)
+let bpf_w = 0x00
+let bpf_abs = 0x20
+let bpf_imm = 0x00
+let bpf_mem = 0x60
+let bpf_len = 0x80
+
+(* ALU / JMP subcodes *)
+let bpf_add = 0x00
+let bpf_sub = 0x10
+let bpf_mul = 0x20
+let bpf_div = 0x30
+let bpf_or = 0x40
+let bpf_and = 0x50
+let bpf_lsh = 0x60
+let bpf_rsh = 0x70
+let bpf_neg = 0x80
+let bpf_mod = 0x90
+let bpf_xor = 0xa0
+
+let bpf_ja = 0x00
+let bpf_jeq = 0x10
+let bpf_jgt = 0x20
+let bpf_jge = 0x30
+let bpf_jset = 0x40
+
+let bpf_k = 0x00
+let bpf_x = 0x08
+
+let bpf_tax = 0x00
+let bpf_txa = 0x80
+
+let maxinsns = 4096
+
+type insn = { code : int; jt : int; jf : int; k : int32 }
+
+let stmt code k = { code; jt = 0; jf = 0; k = Int32.of_int k }
+let jump code k jt jf = { code; jt; jf; k = Int32.of_int k }
+
+type prog = insn array
+
+(** The input of a seccomp filter. *)
+type seccomp_data = {
+  nr : int;
+  arch : int32;
+  instruction_pointer : int;
+  args : int64 array;  (** 6 entries *)
+}
+
+(* seccomp_data field offsets, as on Linux x86-64 *)
+let off_nr = 0
+let off_arch = 4
+let off_ip_lo = 8
+let off_ip_hi = 12
+let off_arg_lo i = 16 + (8 * i)
+let off_arg_hi i = 20 + (8 * i)
+
+let audit_arch_x86_64 = 0xC000003El
+
+(** Serialise [seccomp_data] to the 64-byte buffer cBPF loads from. *)
+let data_to_bytes (d : seccomp_data) : Bytes.t =
+  let b = Bytes.make 64 '\000' in
+  Bytes.set_int32_le b off_nr (Int32.of_int d.nr);
+  Bytes.set_int32_le b off_arch d.arch;
+  Bytes.set_int64_le b off_ip_lo (Int64.of_int d.instruction_pointer);
+  for i = 0 to 5 do
+    Bytes.set_int64_le b (off_arg_lo i) d.args.(i)
+  done;
+  b
+
+type verdict =
+  | Ret of int32  (** value of the RET; caller masks out the action *)
+
+exception Invalid_program of string
+
+(** Kernel-style validation; raises {!Invalid_program}. *)
+let validate (p : prog) =
+  let n = Array.length p in
+  if n = 0 then raise (Invalid_program "empty program");
+  if n > maxinsns then raise (Invalid_program "program too long");
+  Array.iteri
+    (fun i ins ->
+      let cls = ins.code land 0x07 in
+      (match cls with
+      | c when c = bpf_ld || c = bpf_ldx ->
+          let mode = ins.code land 0xE0 in
+          if mode <> bpf_abs && mode <> bpf_imm && mode <> bpf_mem
+             && mode <> bpf_len
+          then raise (Invalid_program "unsupported load mode");
+          if mode = bpf_abs then (
+            if ins.code land 0x18 <> bpf_w then
+              raise (Invalid_program "seccomp requires word loads");
+            let k = Int32.to_int ins.k in
+            if k < 0 || k > 60 || k mod 4 <> 0 then
+              raise (Invalid_program "load offset out of seccomp_data"));
+          if mode = bpf_mem && (Int32.to_int ins.k < 0 || Int32.to_int ins.k > 15)
+          then raise (Invalid_program "scratch slot out of range")
+      | c when c = bpf_st || c = bpf_stx ->
+          if Int32.to_int ins.k < 0 || Int32.to_int ins.k > 15 then
+            raise (Invalid_program "scratch slot out of range")
+      | c when c = bpf_alu || c = bpf_misc || c = bpf_ret -> ()
+      | c when c = bpf_jmp ->
+          let op = ins.code land 0xF0 in
+          if op = bpf_ja then (
+            let tgt = i + 1 + Int32.to_int ins.k in
+            if tgt <= i || tgt >= n then
+              raise (Invalid_program "jump out of bounds"))
+          else (
+            if i + 1 + ins.jt >= n || i + 1 + ins.jf >= n then
+              raise (Invalid_program "conditional jump out of bounds"))
+      | _ -> raise (Invalid_program "unknown instruction class"));
+      if i = n - 1 && ins.code land 0x07 <> bpf_ret
+         && ins.code land 0x07 <> bpf_jmp then
+        raise (Invalid_program "program may fall off the end"))
+    p;
+  (* Conservative reachability: ensure a RET is reachable and that no
+     straight-line path runs off the end. *)
+  let rec reaches_ret i seen =
+    if i >= n then false
+    else if List.mem i seen then false
+    else
+      let ins = p.(i) in
+      match ins.code land 0x07 with
+      | c when c = bpf_ret -> true
+      | c when c = bpf_jmp ->
+          let op = ins.code land 0xF0 in
+          if op = bpf_ja then reaches_ret (i + 1 + Int32.to_int ins.k) (i :: seen)
+          else
+            reaches_ret (i + 1 + ins.jt) (i :: seen)
+            || reaches_ret (i + 1 + ins.jf) (i :: seen)
+      | _ -> reaches_ret (i + 1) (i :: seen)
+  in
+  if not (reaches_ret 0 []) then
+    raise (Invalid_program "no reachable return")
+
+let u32 v = Int32.logand v 0xFFFFFFFFl
+
+(** Run the filter over [data]; returns the raw RET value and the
+    number of instructions executed (for cost accounting). *)
+let run (p : prog) (d : seccomp_data) : int32 * int =
+  let data = data_to_bytes d in
+  let a = ref 0l and x = ref 0l in
+  let m = Array.make 16 0l in
+  let steps = ref 0 in
+  let n = Array.length p in
+  let rec exec i =
+    if i >= n then Ret 0l (* validated programs never get here *)
+    else begin
+      incr steps;
+      let ins = p.(i) in
+      let k = ins.k in
+      let kint = Int32.to_int (u32 k) in
+      match ins.code land 0x07 with
+      | c when c = bpf_ld -> (
+          match ins.code land 0xE0 with
+          | m' when m' = bpf_abs ->
+              a := Bytes.get_int32_le data kint;
+              exec (i + 1)
+          | m' when m' = bpf_imm ->
+              a := k;
+              exec (i + 1)
+          | m' when m' = bpf_mem ->
+              a := m.(kint);
+              exec (i + 1)
+          | m' when m' = bpf_len ->
+              a := 64l;
+              exec (i + 1)
+          | _ -> Ret 0l)
+      | c when c = bpf_ldx -> (
+          match ins.code land 0xE0 with
+          | m' when m' = bpf_imm ->
+              x := k;
+              exec (i + 1)
+          | m' when m' = bpf_mem ->
+              x := m.(kint);
+              exec (i + 1)
+          | m' when m' = bpf_len ->
+              x := 64l;
+              exec (i + 1)
+          | _ -> Ret 0l)
+      | c when c = bpf_st ->
+          m.(kint) <- !a;
+          exec (i + 1)
+      | c when c = bpf_stx ->
+          m.(kint) <- !x;
+          exec (i + 1)
+      | c when c = bpf_alu ->
+          let src = if ins.code land 0x08 = bpf_x then !x else k in
+          let v =
+            match ins.code land 0xF0 with
+            | op when op = bpf_add -> Int32.add !a src
+            | op when op = bpf_sub -> Int32.sub !a src
+            | op when op = bpf_mul -> Int32.mul !a src
+            | op when op = bpf_div ->
+                if src = 0l then 0l
+                else
+                  Int32.of_int
+                    (Int32.to_int (u32 !a) / Int32.to_int (u32 src))
+            | op when op = bpf_mod ->
+                if src = 0l then 0l
+                else
+                  Int32.of_int
+                    (Int32.to_int (u32 !a) mod Int32.to_int (u32 src))
+            | op when op = bpf_or -> Int32.logor !a src
+            | op when op = bpf_and -> Int32.logand !a src
+            | op when op = bpf_xor -> Int32.logxor !a src
+            | op when op = bpf_lsh ->
+                Int32.shift_left !a (Int32.to_int src land 31)
+            | op when op = bpf_rsh ->
+                Int32.shift_right_logical !a (Int32.to_int src land 31)
+            | op when op = bpf_neg -> Int32.neg !a
+            | _ -> !a
+          in
+          a := v;
+          exec (i + 1)
+      | c when c = bpf_jmp ->
+          let op = ins.code land 0xF0 in
+          if op = bpf_ja then exec (i + 1 + kint)
+          else
+            let src = if ins.code land 0x08 = bpf_x then !x else k in
+            let au = Int64.of_int32 !a |> Int64.logand 0xFFFFFFFFL in
+            let su = Int64.of_int32 src |> Int64.logand 0xFFFFFFFFL in
+            let taken =
+              match op with
+              | o when o = bpf_jeq -> Int64.equal au su
+              | o when o = bpf_jgt -> Int64.compare au su > 0
+              | o when o = bpf_jge -> Int64.compare au su >= 0
+              | o when o = bpf_jset -> Int64.logand au su <> 0L
+              | _ -> false
+            in
+            exec (i + 1 + if taken then ins.jt else ins.jf)
+      | c when c = bpf_ret ->
+          if ins.code land 0x18 = 0x10 then Ret !a else Ret k
+      | c when c = bpf_misc ->
+          if ins.code land 0xF8 = bpf_txa then a := !x else x := !a;
+          exec (i + 1)
+      | _ -> Ret 0l
+    end
+  in
+  let (Ret v) = exec 0 in
+  (v, !steps)
+
+(** {1 Filter construction helpers} *)
+
+(** A filter that returns [action] for syscall numbers in [nrs] and
+    [otherwise] for the rest. *)
+let filter_on_nrs ~nrs ~action ~otherwise : prog =
+  (* Layout: [ld nr] check_0 .. check_{n-1} [ret otherwise] [ret action].
+     check_i sits at index 1+i; a match must land on index n+2. *)
+  let n = List.length nrs in
+  let checks =
+    List.mapi
+      (fun i nr -> jump (bpf_jmp lor bpf_jeq lor bpf_k) nr (n - i) 0)
+      nrs
+  in
+  Array.of_list
+    ([ stmt (bpf_ld lor bpf_w lor bpf_abs) off_nr ]
+    @ checks
+    @ [ stmt (bpf_ret lor bpf_k) otherwise;
+        stmt (bpf_ret lor bpf_k) action ])
+
+(** A filter allowing syscalls whose instruction pointer lies in
+    [lo, hi) and returning [outside_action] otherwise — the classic
+    way to let an interposer's own syscalls through seccomp.  The
+    range must not straddle a 4 GiB boundary. *)
+let filter_on_ip_range ~lo ~hi ~outside_action : prog =
+  [|
+    (* 0 *) stmt (bpf_ld lor bpf_w lor bpf_abs) off_ip_hi;
+    (* 1: wrong upper word -> outside (index 6) *)
+    jump (bpf_jmp lor bpf_jeq lor bpf_k) (lo lsr 32) 0 4;
+    (* 2 *) stmt (bpf_ld lor bpf_w lor bpf_abs) off_ip_lo;
+    (* 3: ip_lo < lo_lo -> outside *)
+    jump (bpf_jmp lor bpf_jge lor bpf_k) (lo land 0xFFFFFFFF) 0 2;
+    (* 4: ip_lo >= hi_lo -> outside *)
+    jump (bpf_jmp lor bpf_jge lor bpf_k) (hi land 0xFFFFFFFF) 1 0;
+    (* 5 *) stmt (bpf_ret lor bpf_k) Defs.seccomp_ret_allow;
+    (* 6 *) stmt (bpf_ret lor bpf_k) outside_action;
+  |]
+
+let allow_all : prog = [| stmt (bpf_ret lor bpf_k) Defs.seccomp_ret_allow |]

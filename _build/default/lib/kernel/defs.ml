@@ -1,0 +1,293 @@
+(** ABI constants of the simulated kernel.
+
+    Syscall numbers, errno values, signal numbers and flag bits follow
+    x86-64 Linux so that workloads, traces and filters read like the
+    real thing. *)
+
+(** {1 Syscall numbers (x86-64)} *)
+
+let sys_read = 0
+let sys_write = 1
+let sys_open = 2
+let sys_close = 3
+let sys_stat = 4
+let sys_fstat = 5
+let sys_lseek = 8
+let sys_mmap = 9
+let sys_mprotect = 10
+let sys_munmap = 11
+let sys_brk = 12
+let sys_rt_sigaction = 13
+let sys_rt_sigprocmask = 14
+let sys_rt_sigreturn = 15
+let sys_ioctl = 16
+let sys_pipe = 22
+let sys_sched_yield = 24
+let sys_dup = 32
+let sys_nanosleep = 35
+let sys_getpid = 39
+let sys_sendfile = 40
+let sys_socket = 41
+let sys_connect = 42
+let sys_accept = 43
+let sys_shutdown = 48
+let sys_bind = 49
+let sys_listen = 50
+let sys_clone = 56
+let sys_fork = 57
+let sys_vfork = 58
+let sys_execve = 59
+let sys_exit = 60
+let sys_wait4 = 61
+let sys_kill = 62
+let sys_uname = 63
+let sys_fcntl = 72
+let sys_getdents = 78
+let sys_getcwd = 79
+let sys_chdir = 80
+let sys_rename = 82
+let sys_mkdir = 83
+let sys_rmdir = 84
+let sys_unlink = 87
+let sys_chmod = 90
+let sys_gettimeofday = 96
+let sys_ptrace = 101
+let sys_getuid = 102
+let sys_prctl = 157
+let sys_arch_prctl = 158
+let sys_gettid = 186
+let sys_futex = 202
+let sys_epoll_create = 213
+let sys_set_tid_address = 218
+let sys_clock_gettime = 228
+let sys_exit_group = 231
+let sys_epoll_wait = 232
+let sys_epoll_ctl = 233
+let sys_tgkill = 234
+let sys_openat = 257
+let sys_set_robust_list = 273
+let sys_accept4 = 288
+let sys_epoll_create1 = 291
+let sys_seccomp = 317
+let sys_getrandom = 318
+let sys_pkey_mprotect = 329
+
+(** Highest valid syscall number; anything above returns -ENOSYS.  The
+    microbenchmark uses number 500 precisely because it does not
+    exist. *)
+let max_syscall = 450
+
+let syscall_name =
+  let tbl =
+    [
+      (sys_read, "read"); (sys_write, "write"); (sys_open, "open");
+      (sys_close, "close"); (sys_stat, "stat"); (sys_fstat, "fstat");
+      (sys_lseek, "lseek"); (sys_mmap, "mmap"); (sys_mprotect, "mprotect");
+      (sys_munmap, "munmap"); (sys_brk, "brk");
+      (sys_rt_sigaction, "rt_sigaction");
+      (sys_rt_sigprocmask, "rt_sigprocmask");
+      (sys_rt_sigreturn, "rt_sigreturn"); (sys_ioctl, "ioctl");
+      (sys_pipe, "pipe"); (sys_sched_yield, "sched_yield"); (sys_dup, "dup");
+      (sys_nanosleep, "nanosleep"); (sys_getpid, "getpid");
+      (sys_sendfile, "sendfile"); (sys_socket, "socket");
+      (sys_connect, "connect"); (sys_accept, "accept");
+      (sys_shutdown, "shutdown"); (sys_bind, "bind"); (sys_listen, "listen");
+      (sys_clone, "clone"); (sys_fork, "fork"); (sys_vfork, "vfork");
+      (sys_execve, "execve"); (sys_exit, "exit"); (sys_wait4, "wait4");
+      (sys_kill, "kill"); (sys_uname, "uname"); (sys_fcntl, "fcntl");
+      (sys_getdents, "getdents"); (sys_getcwd, "getcwd");
+      (sys_chdir, "chdir"); (sys_rename, "rename"); (sys_mkdir, "mkdir");
+      (sys_rmdir, "rmdir"); (sys_unlink, "unlink"); (sys_chmod, "chmod");
+      (sys_gettimeofday, "gettimeofday"); (sys_ptrace, "ptrace");
+      (sys_getuid, "getuid"); (sys_prctl, "prctl");
+      (sys_arch_prctl, "arch_prctl"); (sys_gettid, "gettid");
+      (sys_futex, "futex"); (sys_epoll_create, "epoll_create");
+      (sys_set_tid_address, "set_tid_address");
+      (sys_clock_gettime, "clock_gettime"); (sys_exit_group, "exit_group");
+      (sys_epoll_wait, "epoll_wait"); (sys_epoll_ctl, "epoll_ctl");
+      (sys_tgkill, "tgkill"); (sys_openat, "openat");
+      (sys_set_robust_list, "set_robust_list"); (sys_accept4, "accept4");
+      (sys_epoll_create1, "epoll_create1"); (sys_seccomp, "seccomp");
+      (sys_getrandom, "getrandom"); (sys_pkey_mprotect, "pkey_mprotect");
+    ]
+  in
+  let h = Hashtbl.create 64 in
+  List.iter (fun (n, s) -> Hashtbl.replace h n s) tbl;
+  fun n ->
+    match Hashtbl.find_opt h n with
+    | Some s -> s
+    | None -> Printf.sprintf "sys_%d" n
+
+(** {1 errno} *)
+
+let eperm = 1
+let enoent = 2
+let eintr = 4
+let ebadf = 9
+let echild = 10
+let eagain = 11
+let enomem = 12
+let eacces = 13
+let efault = 14
+let eexist = 17
+let enotdir = 20
+let eisdir = 21
+let einval = 22
+let emfile = 24
+let enospc = 28
+let espipe = 29
+let epipe = 32
+let enosys = 38
+let enotempty = 39
+let enotsock = 88
+let eaddrinuse = 98
+let econnrefused = 111
+let enotsup = 95
+
+let errno_name e =
+  match e with
+  | 1 -> "EPERM" | 2 -> "ENOENT" | 4 -> "EINTR" | 9 -> "EBADF"
+  | 10 -> "ECHILD" | 11 -> "EAGAIN" | 12 -> "ENOMEM" | 13 -> "EACCES"
+  | 14 -> "EFAULT" | 17 -> "EEXIST" | 20 -> "ENOTDIR" | 21 -> "EISDIR"
+  | 22 -> "EINVAL" | 24 -> "EMFILE" | 28 -> "ENOSPC" | 29 -> "ESPIPE"
+  | 32 -> "EPIPE" | 38 -> "ENOSYS" | 39 -> "ENOTEMPTY" | 88 -> "ENOTSOCK"
+  | 95 -> "ENOTSUP" | 98 -> "EADDRINUSE" | 111 -> "ECONNREFUSED"
+  | e -> Printf.sprintf "E%d" e
+
+(** {1 Signals} *)
+
+let sigint = 2
+let sigill = 4
+let sigabrt = 6
+let sigfpe = 8
+let sigkill = 9
+let sigusr1 = 10
+let sigsegv = 11
+let sigusr2 = 12
+let sigpipe = 13
+let sigalrm = 14
+let sigterm = 15
+let sigchld = 17
+let sigcont = 18
+let sigstop = 19
+let sigsys = 31
+let nsig = 64
+
+let signal_name = function
+  | 2 -> "SIGINT" | 4 -> "SIGILL" | 6 -> "SIGABRT" | 8 -> "SIGFPE"
+  | 9 -> "SIGKILL" | 10 -> "SIGUSR1" | 11 -> "SIGSEGV" | 12 -> "SIGUSR2"
+  | 13 -> "SIGPIPE" | 14 -> "SIGALRM" | 15 -> "SIGTERM" | 17 -> "SIGCHLD"
+  | 18 -> "SIGCONT" | 19 -> "SIGSTOP" | 31 -> "SIGSYS"
+  | n -> Printf.sprintf "SIG%d" n
+
+(* sig handler sentinels *)
+let sig_dfl = 0L
+let sig_ign = 1L
+
+(* si_code for SIGSYS *)
+let sys_seccomp_code = 1 (* SYS_SECCOMP *)
+let sys_user_dispatch_code = 2 (* SYS_USER_DISPATCH *)
+
+(** {1 open(2) flags} *)
+
+let o_rdonly = 0
+let o_wronly = 1
+let o_rdwr = 2
+let o_creat = 0o100
+let o_trunc = 0o1000
+let o_append = 0o2000
+let o_nonblock = 0o4000
+let o_directory = 0o200000
+let o_cloexec = 0o2000000
+
+(** {1 lseek} *)
+
+let seek_set = 0
+let seek_cur = 1
+let seek_end = 2
+
+(** {1 mmap} *)
+
+let prot_read = 1
+let prot_write = 2
+let prot_exec = 4
+let map_shared = 1
+let map_private = 2
+let map_fixed = 16
+let map_anonymous = 32
+
+(** {1 prctl / Syscall User Dispatch} *)
+
+let pr_set_syscall_user_dispatch = 59
+let pr_sys_dispatch_off = 0
+let pr_sys_dispatch_on = 1
+
+(* Values of the SUD selector byte.  As in Linux:
+   0 = allow (do not intercept), 1 = block (intercept). *)
+let syscall_dispatch_filter_allow = 0
+let syscall_dispatch_filter_block = 1
+
+(** {1 arch_prctl} *)
+
+let arch_set_gs = 0x1001
+let arch_set_fs = 0x1002
+let arch_get_fs = 0x1003
+let arch_get_gs = 0x1004
+
+(** {1 clone flags} *)
+
+let clone_vm = 0x100
+let clone_fs = 0x200
+let clone_files = 0x400
+let clone_sighand = 0x800
+let clone_thread = 0x10000
+let clone_settls = 0x80000
+
+(** {1 seccomp} *)
+
+let seccomp_set_mode_strict = 0
+let seccomp_set_mode_filter = 1
+
+let seccomp_ret_kill_process = 0x80000000
+let seccomp_ret_kill_thread = 0x00000000
+let seccomp_ret_trap = 0x00030000
+let seccomp_ret_errno = 0x00050000
+let seccomp_ret_trace = 0x7ff00000
+let seccomp_ret_log = 0x7ffc0000
+let seccomp_ret_allow = 0x7fff0000
+let seccomp_ret_action_full = 0xffff0000
+let seccomp_ret_data = 0x0000ffff
+
+(** {1 epoll} *)
+
+let epollin = 0x1
+let epollout = 0x4
+let epollerr = 0x8
+let epollhup = 0x10
+let epoll_ctl_add = 1
+let epoll_ctl_del = 2
+let epoll_ctl_mod = 3
+
+(** {1 futex} *)
+
+let futex_wait = 0
+let futex_wake = 1
+
+(** {1 fcntl} *)
+
+let f_getfl = 3
+let f_setfl = 4
+
+(** {1 Simulated stat(2) layout}
+
+    Our libc is our own, so we define a compact struct:
+    [mode:u64@0, size:u64@8, mtime:u64@16, ino:u64@24]; 32 bytes. *)
+
+let stat_size = 32
+
+(** {1 Simulated epoll_event layout}
+
+    [events:u64@0, data:u64@8]; 16 bytes (Linux packs this into 12;
+    we keep natural alignment). *)
+
+let epoll_event_size = 16

@@ -1,0 +1,43 @@
+(** A bounded byte ring buffer — the backing store of socket receive
+    queues and pipes.  Bounded capacity is what creates backpressure
+    (partial writes / EAGAIN), which the web-server macrobenchmark
+    depends on for realistic large-response behaviour. *)
+
+type t = {
+  buf : Bytes.t;
+  mutable start : int;  (** index of the first live byte *)
+  mutable len : int;
+}
+
+let create cap =
+  if cap <= 0 then invalid_arg "Fifo.create";
+  { buf = Bytes.create cap; start = 0; len = 0 }
+
+let capacity t = Bytes.length t.buf
+let length t = t.len
+let available t = capacity t - t.len
+let is_empty t = t.len = 0
+
+(** Append as much of [s.[pos..pos+len)] as fits; returns the number
+    of bytes accepted. *)
+let push t s pos len =
+  let cap = capacity t in
+  let n = min len (available t) in
+  let tail = (t.start + t.len) mod cap in
+  let first = min n (cap - tail) in
+  Bytes.blit_string s pos t.buf tail first;
+  if n > first then Bytes.blit_string s (pos + first) t.buf 0 (n - first);
+  t.len <- t.len + n;
+  n
+
+(** Remove up to [len] bytes; returns them. *)
+let pop t len =
+  let cap = capacity t in
+  let n = min len t.len in
+  let out = Bytes.create n in
+  let first = min n (cap - t.start) in
+  Bytes.blit t.buf t.start out 0 first;
+  if n > first then Bytes.blit t.buf 0 out first (n - first);
+  t.start <- (t.start + n) mod cap;
+  t.len <- t.len - n;
+  Bytes.unsafe_to_string out

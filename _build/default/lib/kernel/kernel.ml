@@ -1,0 +1,1311 @@
+(** The simulated kernel: scheduling, syscall dispatch, Syscall User
+    Dispatch, seccomp, ptrace stops, processes and threads.
+
+    The machine has [ncpus] CPUs advancing in lock-step scheduling
+    slices.  Within a slice each CPU runs its current task until the
+    task blocks, exits, or the slice ends; cross-task wakeups
+    (sockets, pipes, child exits) are observed at task-pick time.
+    External actors (the benchmark load generator) are stepped once
+    per slice.
+
+    Syscall entry order matches Linux: Syscall User Dispatch first,
+    then ptrace syscall-stops, then seccomp. *)
+
+open Sim_isa
+open Sim_mem
+open Sim_cpu
+open Types
+
+(** {1 Construction} *)
+
+let create ?(ncpus = 1) ?(cost = Sim_costs.Cost_model.default)
+    ?(slice = 4000L) () : kernel =
+  {
+    cost;
+    cpus = Array.init ncpus (fun _ -> { clk = 0L; last_tid = -1 });
+    cur_cpu = 0;
+    tasks = Hashtbl.create 16;
+    next_tid = 1;
+    vfs = Vfs.create ();
+    net = Net.create ();
+    hypercalls = Hashtbl.create 16;
+    next_hyper = 1;
+    rng = Random.State.make [| 0x1a2b; 0x90c1 |];
+    programs = Hashtbl.create 4;
+    actors = [];
+    slice;
+    slice_end = slice;
+    strace = None;
+    halted = false;
+    cur_task = None;
+  }
+
+(** {1 Hypercalls} *)
+
+(** Register an OCaml handler; returns the index to embed in a
+    [Hypercall] instruction. *)
+let register_hypercall (k : kernel) (f : kernel -> task -> unit) : int =
+  let n = k.next_hyper in
+  k.next_hyper <- n + 1;
+  Hashtbl.replace k.hypercalls n f;
+  n
+
+(** {1 File descriptor tables} *)
+
+let fdtab_create () = { next_fd = 3; fds = Hashtbl.create 8 }
+
+let alloc_fd (t : task) kind ~flags =
+  let fd = t.fdt.next_fd in
+  t.fdt.next_fd <- fd + 1;
+  Hashtbl.replace t.fdt.fds fd { kind; fflags = flags; refs = 1 };
+  fd
+
+let get_fd (t : task) fd = Hashtbl.find_opt t.fdt.fds fd
+
+let release_entry (k : kernel) (e : fd_entry) =
+  e.refs <- e.refs - 1;
+  if e.refs <= 0 then
+    match e.kind with
+    | Kstream ep -> Net.close_endpoint ep
+    | Klisten l -> Net.close_listener k.net l
+    | Kreg _ | Kepoll _ | Kunbound _ -> ()
+
+let close_fd (k : kernel) (t : task) fd =
+  match get_fd t fd with
+  | None -> Error Defs.ebadf
+  | Some e ->
+      Hashtbl.remove t.fdt.fds fd;
+      release_entry k e;
+      Ok ()
+
+(** {1 Readiness} *)
+
+let fd_readable (t : task) fd =
+  match get_fd t fd with
+  | None -> true (* wake so the retry can return EBADF *)
+  | Some e -> (
+      match e.kind with
+      | Kstream ep -> Net.readable ep
+      | Klisten l -> not (Queue.is_empty l.backlog)
+      | Kreg _ -> true
+      | Kepoll _ | Kunbound _ -> true)
+
+let fd_writable (t : task) fd =
+  match get_fd t fd with
+  | None -> true
+  | Some e -> (
+      match e.kind with
+      | Kstream ep -> Net.writable ep || ep.peer = None
+      | Kreg _ -> true
+      | Klisten _ | Kepoll _ | Kunbound _ -> true)
+
+let epoll_ready_list (t : task) (ep : epoll) =
+  Hashtbl.fold
+    (fun fd (mask, data) acc ->
+      let ev = ref 0 in
+      if mask land Defs.epollin <> 0 && fd_readable t fd then
+        ev := !ev lor Defs.epollin;
+      if mask land Defs.epollout <> 0 && fd_writable t fd then
+        ev := !ev lor Defs.epollout;
+      (match get_fd t fd with
+      | Some { kind = Kstream s; _ } when s.peer = None && s.peer_closed ->
+          ev := !ev lor Defs.epollhup
+      | _ -> ());
+      if !ev <> 0 then (fd, !ev, data) :: acc else acc)
+    ep.interest []
+
+(** {1 Task lifecycle} *)
+
+let fresh_tid (k : kernel) =
+  let t = k.next_tid in
+  k.next_tid <- t + 1;
+  t
+
+let make_task (k : kernel) ~mem ~comm ~affinity : task =
+  let tid = fresh_tid k in
+  let t =
+    {
+      tid;
+      tgid = tid;
+      parent_tid = 0;
+      ctx = Cpu.create ();
+      mem;
+      fdt = fdtab_create ();
+      sighand = Array.make (Defs.nsig + 1) sigaction_default;
+      sigmask = 0L;
+      pending = 0L;
+      pending_info = [];
+      state = Runnable;
+      sud = { sud_on = false; sud_selector = 0; sud_lo = 0; sud_len = 0 };
+      filters = [];
+      monitor = None;
+      exit_code = 0;
+      children = [];
+      affinity;
+      on_cpu = -1;
+      last_run = 0L;
+      cwd = "/";
+      comm;
+      brk = 0x3000_0000;
+      tid_address = 0L;
+      robust_list = 0L;
+      tcycles = 0L;
+      sleep_until = None;
+    }
+  in
+  Hashtbl.replace k.tasks tid t;
+  t
+
+(** Map an image's segments into [mem] and return the entry point. *)
+let load_image (mem : Mem.t) (img : image) =
+  List.iter
+    (fun (addr, bytes, perm) ->
+      let len = max 1 (String.length bytes) in
+      Mem.map mem ~addr ~len ~perm;
+      Mem.poke_bytes mem addr bytes)
+    img.img_segments;
+  Mem.map mem
+    ~addr:(img.img_stack_top - img.img_stack_size)
+    ~len:img.img_stack_size ~perm:Mem.rw
+
+(** Create a process from [img]. *)
+let spawn (k : kernel) ?(comm = "a.out") ?(affinity = -1) (img : image) : task
+    =
+  let mem = Mem.create () in
+  load_image mem img;
+  let t = make_task k ~mem ~comm ~affinity in
+  t.ctx.rip <- img.img_entry;
+  Cpu.poke_reg t.ctx Isa.rsp (Int64.of_int img.img_stack_top);
+  t
+
+let do_exit (k : kernel) (t : task) ~code ~group =
+  if group then Ksignal.kill_task_group k t ~code
+  else begin
+    t.exit_code <- code;
+    t.state <- Zombie;
+    t.on_cpu <- -1
+  end;
+  (match find_task k t.parent_tid with
+  | Some p -> Ksignal.post k p Defs.sigchld
+  | None -> ())
+
+(** {1 Reading and writing user memory from syscalls}
+
+    Syscalls accessing bad user pointers return EFAULT. *)
+
+exception Efault
+
+let user_read (t : task) addr len =
+  try Mem.read_bytes t.mem addr len with Mem.Fault _ -> raise Efault
+
+let user_write (t : task) addr s =
+  try Mem.write_bytes t.mem addr s with Mem.Fault _ -> raise Efault
+
+let user_read_u64 (t : task) addr =
+  try Mem.read_u64 t.mem addr with Mem.Fault _ -> raise Efault
+
+let user_write_u64 (t : task) addr v =
+  try Mem.write_u64 t.mem addr v with Mem.Fault _ -> raise Efault
+
+let user_string (t : task) addr =
+  try Mem.read_cstring t.mem addr with Mem.Fault _ -> raise Efault
+
+(** {1 Syscall implementations} *)
+
+type sysres = Ret of int64 | Block of block_reason
+
+let ok v = Ret (Int64.of_int v)
+let err e = Ret (Int64.of_int (-e))
+
+let i64 = Int64.of_int
+let to_i = Int64.to_int
+
+let prot_to_perm prot =
+  let p = ref 0 in
+  if prot land Defs.prot_read <> 0 then p := !p lor Mem.p_r;
+  if prot land Defs.prot_write <> 0 then p := !p lor Mem.p_w;
+  if prot land Defs.prot_exec <> 0 then p := !p lor Mem.p_x;
+  !p
+
+let nonblocking (e : fd_entry) = e.fflags land Defs.o_nonblock <> 0
+
+let write_stat (t : task) addr (inode : Vfs.inode) =
+  user_write_u64 t addr (i64 inode.Vfs.mode);
+  user_write_u64 t (addr + 8) (i64 (Vfs.size_of inode));
+  user_write_u64 t (addr + 16) inode.Vfs.mtime;
+  user_write_u64 t (addr + 24) (i64 inode.Vfs.ino)
+
+(* Console output: writes to fd 1/2 without an entry land here. *)
+let console = Buffer.create 256
+let console_hook : (string -> unit) option ref = ref None
+
+let console_write s =
+  Buffer.add_string console s;
+  match !console_hook with Some f -> f s | None -> ()
+
+let do_fork (k : kernel) (t : task) ~vm ~files ~sighand ~stack ~tls ~thread =
+  let mem = if vm then t.mem else Mem.clone t.mem in
+  let child_tid = fresh_tid k in
+  let child =
+    {
+      tid = child_tid;
+      tgid = (if thread then t.tgid else child_tid);
+      parent_tid = t.tid;
+      ctx = Cpu.copy t.ctx;
+      mem;
+      fdt = t.fdt;
+      sighand = (if sighand then t.sighand else Array.copy t.sighand);
+      sigmask = t.sigmask;
+      pending = 0L;
+      pending_info = [];
+      state = Runnable;
+      (* SUD is deactivated on fork, clone and execve (the paper's
+         Section IV-B-a), so the interposer must re-enable it. *)
+      sud = { sud_on = false; sud_selector = 0; sud_lo = 0; sud_len = 0 };
+      filters = t.filters (* seccomp filters are inherited *);
+      monitor = t.monitor;
+      exit_code = 0;
+      children = [];
+      affinity = t.affinity;
+      on_cpu = -1;
+      last_run = 0L;
+      cwd = t.cwd;
+      comm = t.comm;
+      brk = t.brk;
+      tid_address = 0L;
+      robust_list = 0L;
+      tcycles = 0L;
+      sleep_until = None;
+    }
+  in
+  if files then child.fdt <- t.fdt
+  else begin
+    (* Copy the table; entries (open file descriptions) are shared. *)
+    let fdt = { next_fd = t.fdt.next_fd; fds = Hashtbl.create 8 } in
+    Hashtbl.iter
+      (fun fd e ->
+        e.refs <- e.refs + 1;
+        Hashtbl.replace fdt.fds fd e)
+      t.fdt.fds;
+    child.fdt <- fdt
+  end;
+  if stack <> 0 then Cpu.poke_reg child.ctx Isa.rsp (i64 stack);
+  if tls <> 0 then child.ctx.gs_base <- tls;
+  Cpu.poke_reg child.ctx Isa.rax 0L;
+  t.children <- child_tid :: t.children;
+  Hashtbl.replace k.tasks child_tid child;
+  child
+
+let find_zombie_child (k : kernel) (t : task) ~pid =
+  let candidates =
+    List.filter_map
+      (fun tid ->
+        match find_task k tid with
+        | Some c when c.state = Zombie && (pid = -1 || pid = tid) -> Some c
+        | _ -> None)
+      t.children
+  in
+  match candidates with [] -> None | c :: _ -> Some c
+
+let do_execve (k : kernel) (t : task) path =
+  match Hashtbl.find_opt k.programs path with
+  | None -> err Defs.enoent
+  | Some img ->
+      let mem = Mem.create () in
+      load_image mem img;
+      t.mem <- mem;
+      t.ctx.rip <- img.img_entry;
+      for r = 0 to 15 do
+        Cpu.poke_reg t.ctx r 0L
+      done;
+      Cpu.poke_reg t.ctx Isa.rsp (i64 img.img_stack_top);
+      t.ctx.fs_base <- 0;
+      t.ctx.gs_base <- 0;
+      t.sighand <- Array.make (Defs.nsig + 1) sigaction_default;
+      (* SUD does not survive execve; seccomp filters do. *)
+      t.sud.sud_on <- false;
+      t.comm <- path;
+      (* execve "returns" at the new entry point: the syscall result
+         write must not clobber the fresh context, so we signal that
+         with a special marker the dispatcher understands. *)
+      Ret Int64.min_int
+
+(* Marker meaning "do not write rax / rcx / r11 back". *)
+let no_result = Int64.min_int
+
+let sockaddr_port (t : task) addr = to_i (user_read_u64 t addr)
+
+let do_syscall (k : kernel) (t : task) (nr : int) : sysres =
+  let c = t.ctx in
+  let a1 = Cpu.peek_reg c Isa.rdi
+  and a2 = Cpu.peek_reg c Isa.rsi
+  and a3 = Cpu.peek_reg c Isa.rdx
+  and a4 = Cpu.peek_reg c Isa.r10
+  and a5 = Cpu.peek_reg c Isa.r8 in
+  let cost = k.cost in
+  let charge_copy n = charge k (Sim_costs.Cost_model.copy_cost cost n) in
+  match nr with
+  | n when n = Defs.sys_getpid -> ok t.tgid
+  | n when n = Defs.sys_gettid -> ok t.tid
+  | n when n = Defs.sys_getuid -> ok 1000
+  | n when n = Defs.sys_uname || n = Defs.sys_ioctl -> ok 0
+  | n when n = Defs.sys_sched_yield ->
+      t.last_run <- now k;
+      ok 0
+  | n when n = Defs.sys_set_tid_address ->
+      t.tid_address <- a1;
+      ok t.tid
+  | n when n = Defs.sys_set_robust_list ->
+      t.robust_list <- a1;
+      ok 0
+  | n when n = Defs.sys_getrandom ->
+      let len = to_i a2 in
+      let b = Bytes.init len (fun _ -> Char.chr (Random.State.int k.rng 256)) in
+      user_write t (to_i a1) (Bytes.to_string b);
+      charge_copy len;
+      ok len
+  | n when n = Defs.sys_clock_gettime || n = Defs.sys_gettimeofday ->
+      (* 2.1 GHz: ns = cycles * 10 / 21 *)
+      let ns = Int64.div (Int64.mul (now k) 10L) 21L in
+      let ptr = to_i (if n = Defs.sys_clock_gettime then a2 else a1) in
+      user_write_u64 t ptr (Int64.div ns 1_000_000_000L);
+      user_write_u64 t (ptr + 8) (Int64.rem ns 1_000_000_000L);
+      ok 0
+  | n when n = Defs.sys_nanosleep -> (
+      (* Blocking syscalls are retried by re-executing the syscall
+         instruction, so remember the absolute deadline. *)
+      match t.sleep_until with
+      | Some deadline when now k >= deadline ->
+          t.sleep_until <- None;
+          ok 0
+      | Some deadline -> Block (Wsleep deadline)
+      | None ->
+          let ptr = to_i a1 in
+          let sec = user_read_u64 t ptr and nsec = user_read_u64 t (ptr + 8) in
+          let cycles =
+            Int64.add
+              (Int64.mul sec 2_100_000_000L)
+              (Int64.div (Int64.mul nsec 21L) 10L)
+          in
+          let deadline = Int64.add (now k) cycles in
+          t.sleep_until <- Some deadline;
+          Block (Wsleep deadline))
+  | n when n = Defs.sys_brk ->
+      let want = to_i a1 in
+      if want = 0 then ok t.brk
+      else begin
+        if want > t.brk then
+          Mem.map t.mem ~addr:t.brk ~len:(want - t.brk) ~perm:Mem.rw;
+        t.brk <- want;
+        ok want
+      end
+  | n when n = Defs.sys_mmap ->
+      let addr = to_i a1
+      and len = to_i a2
+      and prot = to_i a3
+      and flags = to_i a4 in
+      let fd = to_i a5 in
+      if len <= 0 then err Defs.einval
+      else begin
+        let perm = prot_to_perm prot in
+        let target =
+          if addr <> 0 && flags land Defs.map_fixed <> 0 then addr
+          else if addr <> 0 then addr
+          else Mem.find_free t.mem ~hint:0x2000_0000 ~len
+        in
+        charge k (cost.page_op * Mem.pages_in_range ~addr:target ~len);
+        Mem.map t.mem ~addr:target ~len ~perm;
+        (if flags land Defs.map_anonymous = 0 && fd >= 0 then
+           match get_fd t fd with
+           | Some { kind = Kreg of_; _ } -> (
+               match Vfs.pread of_ ~pos:(to_i (Cpu.peek_reg c Isa.r9)) len with
+               | Ok data -> Mem.poke_bytes t.mem target data
+               | Error _ -> ())
+           | _ -> ());
+        ok target
+      end
+  | n when n = Defs.sys_munmap ->
+      Mem.unmap t.mem ~addr:(to_i a1) ~len:(to_i a2);
+      charge k (cost.page_op * Mem.pages_in_range ~addr:(to_i a1) ~len:(to_i a2));
+      ok 0
+  | n when n = Defs.sys_mprotect ->
+      let addr = to_i a1 and len = to_i a2 in
+      if addr land (Mem.page_size - 1) <> 0 then err Defs.einval
+      else begin
+        charge k (cost.page_op * Mem.pages_in_range ~addr ~len);
+        match Mem.protect t.mem ~addr ~len ~perm:(prot_to_perm (to_i a3)) with
+        | Ok () -> ok 0
+        | Error `Unmapped -> err Defs.enomem
+      end
+  | n when n = Defs.sys_pkey_mprotect ->
+      let addr = to_i a1 and len = to_i a2 and pkey = to_i a4 in
+      if addr land (Mem.page_size - 1) <> 0 || pkey < 0 || pkey > 15 then
+        err Defs.einval
+      else begin
+        charge k (cost.page_op * Mem.pages_in_range ~addr ~len);
+        match
+          ( Mem.protect t.mem ~addr ~len ~perm:(prot_to_perm (to_i a3)),
+            Mem.set_pkey t.mem ~addr ~len ~pkey )
+        with
+        | Ok (), Ok () -> ok 0
+        | _ -> err Defs.enomem
+      end
+  | n when n = Defs.sys_open || n = Defs.sys_openat ->
+      let path_ptr, flags, mode =
+        if n = Defs.sys_open then (to_i a1, to_i a2, to_i a3)
+        else (to_i a2, to_i a3, to_i a4)
+      in
+      let path = user_string t path_ptr in
+      charge k cost.fs_op;
+      (match Vfs.openf k.vfs ~cwd:t.cwd path ~flags ~mode with
+      | Ok of_ -> ok (alloc_fd t (Kreg of_) ~flags)
+      | Error e -> err e)
+  | n when n = Defs.sys_close -> (
+      match close_fd k t (to_i a1) with Ok () -> ok 0 | Error e -> err e)
+  | n when n = Defs.sys_read -> (
+      let fd = to_i a1 and buf = to_i a2 and len = to_i a3 in
+      match get_fd t fd with
+      | None -> if fd = 0 then ok 0 else err Defs.ebadf
+      | Some e -> (
+          match e.kind with
+          | Kreg of_ -> (
+              charge k cost.fs_op;
+              match Vfs.read of_ len with
+              | Ok s ->
+                  user_write t buf s;
+                  charge_copy (String.length s);
+                  ok (String.length s)
+              | Error er -> err er)
+          | Kstream ep -> (
+              charge k cost.sock_op;
+              match Net.recv ep len with
+              | `Data s ->
+                  user_write t buf s;
+                  charge_copy (String.length s);
+                  ok (String.length s)
+              | `Eof -> ok 0
+              | `Empty ->
+                  if nonblocking e then err Defs.eagain else Block (Wread fd))
+          | Klisten _ | Kepoll _ | Kunbound _ -> err Defs.einval))
+  | n when n = Defs.sys_write -> (
+      let fd = to_i a1 and buf = to_i a2 and len = to_i a3 in
+      match get_fd t fd with
+      | None ->
+          if fd = 1 || fd = 2 then begin
+            let s = user_read t buf len in
+            console_write s;
+            charge_copy len;
+            ok len
+          end
+          else err Defs.ebadf
+      | Some e -> (
+          match e.kind with
+          | Kreg of_ -> (
+              charge k cost.fs_op;
+              let s = user_read t buf len in
+              charge_copy len;
+              match Vfs.write of_ s with Ok n -> ok n | Error er -> err er)
+          | Kstream ep -> (
+              charge k cost.sock_op;
+              let space = Net.send_space ep in
+              if space = 0 then
+                match ep.peer with
+                | None ->
+                    Ksignal.post k t Defs.sigpipe;
+                    err Defs.epipe
+                | Some _ ->
+                    if nonblocking e then err Defs.eagain
+                    else Block (Wwrite fd)
+              else
+                let chunk = min len space in
+                let s = user_read t buf chunk in
+                charge_copy chunk;
+                match Net.send ep s 0 chunk with
+                | Ok sent -> ok sent
+                | Error `Pipe ->
+                    Ksignal.post k t Defs.sigpipe;
+                    err Defs.epipe)
+          | Klisten _ | Kepoll _ | Kunbound _ -> err Defs.einval))
+  | n when n = Defs.sys_lseek -> (
+      match get_fd t (to_i a1) with
+      | Some { kind = Kreg of_; _ } -> (
+          match Vfs.lseek of_ ~off:(to_i a2) ~whence:(to_i a3) with
+          | Ok pos -> ok pos
+          | Error e -> err e)
+      | Some _ -> err Defs.espipe
+      | None -> err Defs.ebadf)
+  | n when n = Defs.sys_stat ->
+      charge k cost.fs_op;
+      let path = user_string t (to_i a1) in
+      (match Vfs.lookup k.vfs ~cwd:t.cwd path with
+      | Ok inode ->
+          write_stat t (to_i a2) inode;
+          ok 0
+      | Error e -> err e)
+  | n when n = Defs.sys_fstat -> (
+      match get_fd t (to_i a1) with
+      | Some { kind = Kreg of_; _ } ->
+          write_stat t (to_i a2) of_.Vfs.inode;
+          ok 0
+      | Some _ ->
+          user_write t (to_i a2) (String.make Defs.stat_size '\000');
+          ok 0
+      | None -> err Defs.ebadf)
+  | n when n = Defs.sys_mkdir ->
+      charge k cost.fs_op;
+      let path = user_string t (to_i a1) in
+      (match Vfs.mkdir k.vfs ~cwd:t.cwd path ~mode:(to_i a2) with
+      | Ok () -> ok 0
+      | Error e -> err e)
+  | n when n = Defs.sys_rmdir ->
+      charge k cost.fs_op;
+      let path = user_string t (to_i a1) in
+      (match Vfs.rmdir k.vfs ~cwd:t.cwd path with
+      | Ok () -> ok 0
+      | Error e -> err e)
+  | n when n = Defs.sys_unlink ->
+      charge k cost.fs_op;
+      let path = user_string t (to_i a1) in
+      (match Vfs.unlink k.vfs ~cwd:t.cwd path with
+      | Ok () -> ok 0
+      | Error e -> err e)
+  | n when n = Defs.sys_rename ->
+      charge k cost.fs_op;
+      let src = user_string t (to_i a1) and dst = user_string t (to_i a2) in
+      (match Vfs.rename k.vfs ~cwd:t.cwd ~src ~dst with
+      | Ok () -> ok 0
+      | Error e -> err e)
+  | n when n = Defs.sys_chmod ->
+      charge k cost.fs_op;
+      let path = user_string t (to_i a1) in
+      (match Vfs.chmod k.vfs ~cwd:t.cwd path ~mode:(to_i a2) with
+      | Ok () -> ok 0
+      | Error e -> err e)
+  | n when n = Defs.sys_chdir ->
+      let path = user_string t (to_i a1) in
+      (match Vfs.lookup k.vfs ~cwd:t.cwd path with
+      | Ok i when Vfs.is_dir i ->
+          t.cwd <- (if path.[0] = '/' then path else t.cwd ^ "/" ^ path);
+          ok 0
+      | Ok _ -> err Defs.enotdir
+      | Error e -> err e)
+  | n when n = Defs.sys_getcwd ->
+      let buf = to_i a1 and size = to_i a2 in
+      let s = t.cwd ^ "\000" in
+      if String.length s > size then err Defs.einval
+      else begin
+        user_write t buf s;
+        ok (String.length s)
+      end
+  | n when n = Defs.sys_getdents -> (
+      (* Custom layout: 64-byte records, name[56] NUL-padded + ino u64. *)
+      match get_fd t (to_i a1) with
+      | Some { kind = Kreg of_; _ } -> (
+          match of_.Vfs.inode.Vfs.node with
+          | Vfs.Dir entries ->
+              let names =
+                Hashtbl.fold (fun k' _ acc -> k' :: acc) entries []
+                |> List.sort compare
+              in
+              let buf = to_i a2 and cap = to_i a3 in
+              let nfit = min (List.length names - of_.Vfs.offset) (cap / 64) in
+              if nfit <= 0 then ok 0
+              else begin
+                let skipped = List.filteri (fun i _ -> i >= of_.Vfs.offset) names in
+                List.iteri
+                  (fun idx name ->
+                    if idx < nfit then begin
+                      let rec_ = Bytes.make 64 '\000' in
+                      let len = min 55 (String.length name) in
+                      Bytes.blit_string name 0 rec_ 0 len;
+                      (match Hashtbl.find_opt entries name with
+                      | Some i -> Bytes.set_int64_le rec_ 56 (i64 i.Vfs.ino)
+                      | None -> ());
+                      user_write t (buf + (64 * idx)) (Bytes.to_string rec_)
+                    end)
+                  skipped;
+                of_.Vfs.offset <- of_.Vfs.offset + nfit;
+                charge_copy (64 * nfit);
+                ok (64 * nfit)
+              end
+          | Vfs.File _ -> err Defs.enotdir)
+      | Some _ -> err Defs.enotdir
+      | None -> err Defs.ebadf)
+  | n when n = Defs.sys_dup -> (
+      match get_fd t (to_i a1) with
+      | None -> err Defs.ebadf
+      | Some e ->
+          e.refs <- e.refs + 1;
+          let fd = t.fdt.next_fd in
+          t.fdt.next_fd <- fd + 1;
+          Hashtbl.replace t.fdt.fds fd e;
+          ok fd)
+  | n when n = Defs.sys_fcntl -> (
+      match get_fd t (to_i a1) with
+      | None -> err Defs.ebadf
+      | Some e ->
+          let cmd = to_i a2 in
+          if cmd = Defs.f_getfl then ok e.fflags
+          else if cmd = Defs.f_setfl then begin
+            e.fflags <- to_i a3;
+            ok 0
+          end
+          else err Defs.einval)
+  | n when n = Defs.sys_pipe ->
+      let a, b = Net.pair k.net in
+      let rfd = alloc_fd t (Kstream a) ~flags:0 in
+      let wfd = alloc_fd t (Kstream b) ~flags:0 in
+      user_write_u64 t (to_i a1) (i64 rfd);
+      user_write_u64 t (to_i a1 + 8) (i64 wfd);
+      ok 0
+  | n when n = Defs.sys_socket -> ok (alloc_fd t (Kunbound { bound_port = None }) ~flags:0)
+  | n when n = Defs.sys_bind -> (
+      match get_fd t (to_i a1) with
+      | Some ({ kind = Kunbound sp; _ } as _e) ->
+          sp.bound_port <- Some (sockaddr_port t (to_i a2));
+          ok 0
+      | Some _ -> err Defs.einval
+      | None -> err Defs.ebadf)
+  | n when n = Defs.sys_listen -> (
+      match get_fd t (to_i a1) with
+      | Some ({ kind = Kunbound { bound_port = Some port }; _ } as e) -> (
+          match Net.listen k.net ~port ~backlog:(max 1 (to_i a2)) with
+          | Ok l ->
+              e.kind <- Klisten l;
+              ok 0
+          | Error `In_use -> err Defs.eaddrinuse)
+      | Some _ -> err Defs.einval
+      | None -> err Defs.ebadf)
+  | n when n = Defs.sys_connect -> (
+      match get_fd t (to_i a1) with
+      | Some ({ kind = Kunbound _; _ } as e) -> (
+          charge k cost.accept_op;
+          match Net.connect k.net ~port:(sockaddr_port t (to_i a2)) with
+          | Ok ep ->
+              e.kind <- Kstream ep;
+              ok 0
+          | Error `Refused -> err Defs.econnrefused)
+      | Some _ -> err Defs.einval
+      | None -> err Defs.ebadf)
+  | n when n = Defs.sys_accept || n = Defs.sys_accept4 -> (
+      let fd = to_i a1 in
+      match get_fd t fd with
+      | Some ({ kind = Klisten l; _ } as e) -> (
+          charge k cost.accept_op;
+          match Net.accept l with
+          | Some ep ->
+              let flags =
+                if n = Defs.sys_accept4 then to_i a4 land Defs.o_nonblock
+                else 0
+              in
+              ok (alloc_fd t (Kstream ep) ~flags)
+          | None ->
+              if nonblocking e then err Defs.eagain else Block (Waccept fd))
+      | Some _ -> err Defs.einval
+      | None -> err Defs.ebadf)
+  | n when n = Defs.sys_shutdown -> (
+      match get_fd t (to_i a1) with
+      | Some { kind = Kstream ep; _ } ->
+          Net.close_endpoint ep;
+          ok 0
+      | Some _ -> err Defs.enotsock
+      | None -> err Defs.ebadf)
+  | n when n = Defs.sys_sendfile -> (
+      let out_fd = to_i a1
+      and in_fd = to_i a2
+      and off_ptr = to_i a3
+      and count = to_i a4 in
+      match (get_fd t out_fd, get_fd t in_fd) with
+      | Some ({ kind = Kstream ep; _ } as oe), Some { kind = Kreg of_; _ } -> (
+          charge k (cost.sock_op + cost.fs_op);
+          let pos =
+            if off_ptr <> 0 then to_i (user_read_u64 t off_ptr)
+            else of_.Vfs.offset
+          in
+          let space = Net.send_space ep in
+          if space = 0 then
+            match ep.peer with
+            | None ->
+                Ksignal.post k t Defs.sigpipe;
+                err Defs.epipe
+            | Some _ ->
+                if nonblocking oe then err Defs.eagain
+                else Block (Wwrite out_fd)
+          else
+            let len = min count space in
+            match Vfs.pread of_ ~pos len with
+            | Error e -> err e
+            | Ok data -> (
+                (* sendfile's raison d'etre: one copy instead of two *)
+                charge_copy (String.length data);
+                match Net.send ep data 0 (String.length data) with
+                | Ok sent ->
+                    if off_ptr <> 0 then
+                      user_write_u64 t off_ptr (i64 (pos + sent))
+                    else of_.Vfs.offset <- pos + sent;
+                    ok sent
+                | Error `Pipe ->
+                    Ksignal.post k t Defs.sigpipe;
+                    err Defs.epipe))
+      | _ -> err Defs.einval)
+  | n when n = Defs.sys_epoll_create || n = Defs.sys_epoll_create1 ->
+      ok (alloc_fd t (Kepoll { interest = Hashtbl.create 8 }) ~flags:0)
+  | n when n = Defs.sys_epoll_ctl -> (
+      match get_fd t (to_i a1) with
+      | Some { kind = Kepoll ep; _ } ->
+          let op = to_i a2 and fd = to_i a3 in
+          charge k cost.epoll_op;
+          if op = Defs.epoll_ctl_del then begin
+            Hashtbl.remove ep.interest fd;
+            ok 0
+          end
+          else begin
+            let evp = to_i a4 in
+            let events = to_i (user_read_u64 t evp) in
+            let data = user_read_u64 t (evp + 8) in
+            Hashtbl.replace ep.interest fd (events, data);
+            ok 0
+          end
+      | Some _ -> err Defs.einval
+      | None -> err Defs.ebadf)
+  | n when n = Defs.sys_epoll_wait -> (
+      let epfd = to_i a1
+      and events_ptr = to_i a2
+      and maxev = to_i a3
+      and timeout = to_i a4 in
+      match get_fd t epfd with
+      | Some { kind = Kepoll ep; _ } -> (
+          charge k cost.epoll_op;
+          let ready = epoll_ready_list t ep in
+          match ready with
+          | [] -> if timeout = 0 then ok 0 else Block (Wepoll epfd)
+          | _ ->
+              let ready = List.filteri (fun i _ -> i < maxev) ready in
+              List.iteri
+                (fun idx (_, ev, data) ->
+                  let base = events_ptr + (Defs.epoll_event_size * idx) in
+                  user_write_u64 t base (i64 ev);
+                  user_write_u64 t (base + 8) data)
+                ready;
+              ok (List.length ready))
+      | Some _ -> err Defs.einval
+      | None -> err Defs.ebadf)
+  | n when n = Defs.sys_rt_sigaction ->
+      let sig_ = to_i a1 and act_ptr = to_i a2 and old_ptr = to_i a3 in
+      if sig_ < 1 || sig_ > Defs.nsig || sig_ = Defs.sigkill
+         || sig_ = Defs.sigstop
+      then err Defs.einval
+      else begin
+        let old = t.sighand.(sig_) in
+        if old_ptr <> 0 then begin
+          user_write_u64 t old_ptr old.sa_handler;
+          user_write_u64 t (old_ptr + 8) old.sa_mask;
+          user_write_u64 t (old_ptr + 16) old.sa_flags;
+          user_write_u64 t (old_ptr + 24) old.sa_restorer
+        end;
+        if act_ptr <> 0 then begin
+          let sa_handler = user_read_u64 t act_ptr in
+          let sa_mask = user_read_u64 t (act_ptr + 8) in
+          let sa_flags = user_read_u64 t (act_ptr + 16) in
+          let sa_restorer = user_read_u64 t (act_ptr + 24) in
+          t.sighand.(sig_) <- { sa_handler; sa_mask; sa_flags; sa_restorer }
+        end;
+        ok 0
+      end
+  | n when n = Defs.sys_rt_sigprocmask ->
+      let how = to_i a1 and set_ptr = to_i a2 and old_ptr = to_i a3 in
+      if old_ptr <> 0 then user_write_u64 t old_ptr t.sigmask;
+      if set_ptr <> 0 then begin
+        let set = user_read_u64 t set_ptr in
+        t.sigmask <-
+          (match how with
+          | 0 (* BLOCK *) -> Int64.logor t.sigmask set
+          | 1 (* UNBLOCK *) -> Int64.logand t.sigmask (Int64.lognot set)
+          | _ (* SETMASK *) -> set)
+      end;
+      ok 0
+  | n when n = Defs.sys_rt_sigreturn ->
+      Ksignal.sigreturn k t;
+      Ret no_result
+  | n when n = Defs.sys_kill ->
+      let pid = to_i a1 and sig_ = to_i a2 in
+      let found = ref false in
+      Hashtbl.iter
+        (fun _ u ->
+          if u.tgid = pid && u.state <> Zombie then begin
+            found := true;
+            if sig_ <> 0 then
+              if sig_ = Defs.sigkill then
+                Ksignal.kill_task_group k u ~code:(128 + sig_)
+              else Ksignal.post k u sig_
+          end)
+        k.tasks;
+      if !found then ok 0 else err 3 (* ESRCH *)
+  | n when n = Defs.sys_tgkill -> (
+      match find_task k (to_i a2) with
+      | Some u when u.state <> Zombie ->
+          if to_i a3 <> 0 then Ksignal.post k u (to_i a3);
+          ok 0
+      | _ -> err 3)
+  | n when n = Defs.sys_fork || n = Defs.sys_vfork ->
+      let child =
+        do_fork k t ~vm:false ~files:false ~sighand:false ~stack:0 ~tls:0
+          ~thread:false
+      in
+      ok child.tid
+  | n when n = Defs.sys_clone ->
+      let flags = to_i a1 and stack = to_i a2 in
+      let tls = to_i a5 in
+      let vm = flags land Defs.clone_vm <> 0 in
+      let child =
+        do_fork k t ~vm ~files:(flags land Defs.clone_files <> 0)
+          ~sighand:(flags land Defs.clone_sighand <> 0)
+          ~stack
+          ~tls:(if flags land Defs.clone_settls <> 0 then tls else 0)
+          ~thread:(flags land Defs.clone_thread <> 0)
+      in
+      ok child.tid
+  | n when n = Defs.sys_execve ->
+      let path = user_string t (to_i a1) in
+      do_execve k t path
+  | n when n = Defs.sys_exit ->
+      do_exit k t ~code:(to_i a1) ~group:false;
+      Ret no_result
+  | n when n = Defs.sys_exit_group ->
+      do_exit k t ~code:(to_i a1) ~group:true;
+      Ret no_result
+  | n when n = Defs.sys_wait4 -> (
+      let pid = to_i a1 and status_ptr = to_i a2 in
+      match find_zombie_child k t ~pid with
+      | Some child ->
+          if status_ptr <> 0 then
+            user_write_u64 t status_ptr (i64 (child.exit_code lsl 8));
+          t.children <- List.filter (fun x -> x <> child.tid) t.children;
+          Hashtbl.remove k.tasks child.tid;
+          ok child.tid
+      | None ->
+          if t.children = [] then err Defs.echild else Block (Wchild pid))
+  | n when n = Defs.sys_prctl ->
+      let op = to_i a1 in
+      if op = Defs.pr_set_syscall_user_dispatch then begin
+        let mode = to_i a2 in
+        if mode = Defs.pr_sys_dispatch_on then begin
+          t.sud.sud_on <- true;
+          t.sud.sud_lo <- to_i a3;
+          t.sud.sud_len <- to_i a4;
+          t.sud.sud_selector <- to_i a5;
+          ok 0
+        end
+        else begin
+          t.sud.sud_on <- false;
+          ok 0
+        end
+      end
+      else err Defs.einval
+  | n when n = Defs.sys_arch_prctl ->
+      let op = to_i a1 in
+      if op = Defs.arch_set_gs then begin
+        t.ctx.gs_base <- to_i a2;
+        ok 0
+      end
+      else if op = Defs.arch_set_fs then begin
+        t.ctx.fs_base <- to_i a2;
+        ok 0
+      end
+      else if op = Defs.arch_get_gs then begin
+        user_write_u64 t (to_i a2) (i64 t.ctx.gs_base);
+        ok 0
+      end
+      else if op = Defs.arch_get_fs then begin
+        user_write_u64 t (to_i a2) (i64 t.ctx.fs_base);
+        ok 0
+      end
+      else err Defs.einval
+  | n when n = Defs.sys_seccomp ->
+      let op = to_i a1 in
+      if op <> Defs.seccomp_set_mode_filter then err Defs.einval
+      else begin
+        (* sock_fprog: len u64 @0, insns ptr u64 @8; each insn is
+           code u16, jt u8, jf u8, k u32. *)
+        let fprog = to_i a3 in
+        let len = to_i (user_read_u64 t fprog) in
+        let insns_ptr = to_i (user_read_u64 t (fprog + 8)) in
+        let raw = user_read t insns_ptr (8 * len) in
+        let prog =
+          Array.init len (fun idx ->
+              let b = idx * 8 in
+              {
+                Bpf.code =
+                  Char.code raw.[b] lor (Char.code raw.[b + 1] lsl 8);
+                jt = Char.code raw.[b + 2];
+                jf = Char.code raw.[b + 3];
+                k =
+                  Int32.logor
+                    (Int32.of_int
+                       (Char.code raw.[b + 4]
+                       lor (Char.code raw.[b + 5] lsl 8)
+                       lor (Char.code raw.[b + 6] lsl 16)))
+                    (Int32.shift_left (Int32.of_int (Char.code raw.[b + 7])) 24);
+              })
+        in
+        match Bpf.validate prog with
+        | () ->
+            t.filters <- prog :: t.filters;
+            ok 0
+        | exception Bpf.Invalid_program _ -> err Defs.einval
+      end
+  | n when n = Defs.sys_futex -> (
+      let addr = to_i a1 and op = to_i a2 land 0x7F and v = to_i a3 in
+      match op with
+      | op when op = Defs.futex_wait ->
+          let cur = to_i (user_read_u64 t addr) in
+          if cur <> v then err Defs.eagain else Block (Wfutex addr)
+      | op when op = Defs.futex_wake ->
+          let woken = ref 0 in
+          Hashtbl.iter
+            (fun _ u ->
+              match u.state with
+              | Blocked (Wfutex a) when a = addr && !woken < v ->
+                  u.state <- Runnable;
+                  (* the waiter returns 0 from futex *)
+                  Cpu.poke_reg u.ctx Isa.rax 0L;
+                  u.ctx.rip <- u.ctx.rip + 2;
+                  incr woken
+              | _ -> ())
+            k.tasks;
+          ok !woken
+      | _ -> err Defs.enosys)
+  | n when n = Defs.sys_ptrace -> err Defs.enosys
+  | _ -> err Defs.enosys
+
+(** {1 Syscall entry: SUD, ptrace, seccomp, dispatch} *)
+
+let seccomp_verdict (k : kernel) (t : task) nr : int =
+  (* All filters run; the most restrictive action wins. *)
+  let call_addr = t.ctx.rip in
+  let data =
+    {
+      Bpf.nr;
+      arch = Bpf.audit_arch_x86_64;
+      instruction_pointer = call_addr;
+      args =
+        (let c = t.ctx in
+         [|
+           Cpu.peek_reg c Isa.rdi; Cpu.peek_reg c Isa.rsi;
+           Cpu.peek_reg c Isa.rdx; Cpu.peek_reg c Isa.r10;
+           Cpu.peek_reg c Isa.r8; Cpu.peek_reg c Isa.r9;
+         |]);
+    }
+  in
+  let precedence action =
+    (* Lower = more restrictive. *)
+    if action = Defs.seccomp_ret_kill_process then 0
+    else if action = Defs.seccomp_ret_kill_thread then 1
+    else if action = Defs.seccomp_ret_trap then 2
+    else if action = Defs.seccomp_ret_errno then 3
+    else if action = Defs.seccomp_ret_trace then 4
+    else if action = Defs.seccomp_ret_log then 5
+    else 6
+  in
+  List.fold_left
+    (fun best prog ->
+      charge k k.cost.seccomp_fixed;
+      let v, steps = Bpf.run prog data in
+      charge k (k.cost.bpf_insn * steps);
+      let v = Int64.to_int (Int64.logand (Int64.of_int32 v) 0xFFFFFFFFL) in
+      if precedence (v land Defs.seccomp_ret_action_full)
+         < precedence (best land Defs.seccomp_ret_action_full)
+      then v
+      else best)
+    Defs.seccomp_ret_allow t.filters
+
+let make_ptrace_view (t : task) : ptrace_view =
+  {
+    pv_task = t;
+    pv_get_reg = (fun r -> Cpu.peek_reg t.ctx r);
+    pv_set_reg = (fun r v -> Cpu.poke_reg t.ctx r v);
+    pv_read_mem = (fun addr len -> Mem.peek_bytes t.mem addr len);
+  }
+
+let ptrace_stop_cost (k : kernel) (m : monitor) =
+  charge k (2 * k.cost.context_switch);
+  charge k (m.tracer_syscalls_per_stop * k.cost.syscall_base)
+
+(** Full syscall entry path for a trap raised by a [syscall]
+    instruction ([t.ctx.rip] already points past it). *)
+let syscall_entry (k : kernel) (t : task) =
+  let c = t.ctx in
+  let nr = Int64.to_int (Cpu.peek_reg c Isa.rax) in
+  (* 1. Syscall User Dispatch *)
+  let sud_intercepts =
+    if not t.sud.sud_on then false
+    else begin
+      charge k k.cost.sud_check;
+      let insn_addr = c.rip - 2 in
+      if insn_addr >= t.sud.sud_lo && insn_addr < t.sud.sud_lo + t.sud.sud_len
+      then false
+      else
+        match Mem.peek_bytes t.mem t.sud.sud_selector 1 with
+        | s -> Char.code s.[0] = Defs.syscall_dispatch_filter_block
+        | exception Mem.Fault _ ->
+            (* An unreadable selector kills the task, as on Linux. *)
+            Ksignal.kill_task_group k t ~code:(128 + Defs.sigsegv);
+            false
+    end
+  in
+  if t.state = Zombie then ()
+  else if sud_intercepts then begin
+    charge k k.cost.syscall_abort;
+    Ksignal.force k t Defs.sigsys
+      {
+        si_signo = Defs.sigsys;
+        si_code = Defs.sys_user_dispatch_code;
+        si_call_addr = c.rip;
+        si_syscall = nr;
+      }
+  end
+  else begin
+    (* 2. ptrace syscall-entry stop *)
+    (match t.monitor with
+    | Some m ->
+        ptrace_stop_cost k m;
+        m.on_entry (make_ptrace_view t)
+    | None -> ());
+    (* The tracer may have rewritten the syscall number. *)
+    let nr = Int64.to_int (Cpu.peek_reg c Isa.rax) in
+    (* 3. seccomp *)
+    let verdict =
+      if t.filters = [] then Defs.seccomp_ret_allow else seccomp_verdict k t nr
+    in
+    let action = verdict land Defs.seccomp_ret_action_full in
+    if action = Defs.seccomp_ret_kill_process
+       || action = Defs.seccomp_ret_kill_thread
+    then Ksignal.kill_task_group k t ~code:(128 + Defs.sigsys)
+    else if action = Defs.seccomp_ret_trap then begin
+      charge k k.cost.syscall_abort;
+      Ksignal.force k t Defs.sigsys
+        {
+          si_signo = Defs.sigsys;
+          si_code = Defs.sys_seccomp_code;
+          si_call_addr = c.rip;
+          si_syscall = nr;
+        }
+    end
+    else if action = Defs.seccomp_ret_errno then begin
+      charge k k.cost.syscall_abort;
+      Cpu.poke_reg c Isa.rax (i64 (-(verdict land Defs.seccomp_ret_data)))
+    end
+    else begin
+      (* 4. Dispatch. *)
+      charge k k.cost.syscall_base;
+      let res =
+        if nr < 0 || nr > Defs.max_syscall then Ret (i64 (-Defs.enosys))
+        else try do_syscall k t nr with Efault -> Ret (i64 (-Defs.efault))
+      in
+      (match res with
+      | Ret v when v = no_result -> ()
+      | Ret v ->
+          Cpu.poke_reg c Isa.rax v;
+          (* The kernel clobbers rcx and r11 (sysret ABI). *)
+          Cpu.poke_reg c Isa.rcx (i64 c.rip);
+          Cpu.poke_reg c Isa.r11 (Ksignal.flags_word c)
+      | Block reason ->
+          (* Rewind to the syscall instruction; it is retried on
+             wakeup. *)
+          c.rip <- c.rip - 2;
+          t.state <- Blocked reason);
+      (match (k.strace, res) with
+      | Some f, Ret v -> f t nr v
+      | Some f, Block _ -> f t nr (i64 (-512) (* ERESTARTSYS-ish *))
+      | None, _ -> ());
+      (* 5. ptrace syscall-exit stop *)
+      match t.monitor with
+      | Some m when t.state <> Zombie ->
+          ptrace_stop_cost k m;
+          m.on_exit (make_ptrace_view t)
+      | _ -> ()
+    end
+  end
+
+(** Kernel services for interposer hypercall handlers: performs [nr]
+    with explicit arguments on behalf of [t], charging the syscall
+    round trip (plus the SUD-enabled entry tax when active) exactly
+    as if the interposer had executed its own [syscall] instruction
+    from an allowlisted context.  Must not be used for syscalls that
+    can block. *)
+let arg_regs = [| Isa.rdi; Isa.rsi; Isa.rdx; Isa.r10; Isa.r8; Isa.r9 |]
+
+let kernel_syscall (k : kernel) (t : task) nr (args : int64 array) : int64 =
+  charge k k.cost.syscall_base;
+  if t.sud.sud_on then charge k k.cost.sud_check;
+  let c = t.ctx in
+  let saved = Array.map (fun r -> Cpu.peek_reg c r) arg_regs in
+  Array.iteri
+    (fun i r ->
+      Cpu.poke_reg c r (if i < Array.length args then args.(i) else 0L))
+    arg_regs;
+  let res =
+    if nr < 0 || nr > Defs.max_syscall then Ret (i64 (-Defs.enosys))
+    else try do_syscall k t nr with Efault -> Ret (i64 (-Defs.efault))
+  in
+  Array.iteri (fun i r -> Cpu.poke_reg c r saved.(i)) arg_regs;
+  match res with
+  | Ret v when v = no_result ->
+      invalid_arg "kernel_syscall: control-transfer syscall"
+  | Ret v -> v
+  | Block _ -> invalid_arg "kernel_syscall: syscall would block"
+
+(** {1 Scheduler} *)
+
+let runnable_on (k : kernel) cpu (t : task) =
+  t.state = Runnable && t.on_cpu = -1 && (t.affinity = -1 || t.affinity = cpu)
+  && not k.halted
+
+(** Wake blocked tasks whose wait condition is satisfied. *)
+let reap_wakeups (k : kernel) =
+  Hashtbl.iter
+    (fun _ t ->
+      match t.state with
+      | Blocked reason ->
+          let wake_eintr () =
+            (* Abandon the syscall: skip the rewound instruction and
+               report EINTR, then let signal delivery run. *)
+            t.sleep_until <- None;
+            t.ctx.rip <- t.ctx.rip + 2;
+            Cpu.poke_reg t.ctx Isa.rax (i64 (-Defs.eintr));
+            t.state <- Runnable
+          in
+          if Ksignal.has_actionable_signal t then wake_eintr ()
+          else
+            let ready =
+              match reason with
+              | Wread fd -> fd_readable t fd
+              | Wwrite fd -> fd_writable t fd
+              | Waccept fd -> fd_readable t fd
+              | Wepoll epfd -> (
+                  match get_fd t epfd with
+                  | Some { kind = Kepoll ep; _ } ->
+                      epoll_ready_list t ep <> []
+                  | _ -> true)
+              | Wchild pid -> find_zombie_child k t ~pid <> None
+              | Wsleep until -> global_time k >= until
+              | Wfutex _ -> false
+            in
+            if ready then t.state <- Runnable
+      | Runnable | Zombie -> ())
+    k.tasks
+
+let pick_task (k : kernel) cpu : task option =
+  reap_wakeups k;
+  let best = ref None in
+  Hashtbl.iter
+    (fun _ t ->
+      if runnable_on k cpu t then
+        match !best with
+        | None -> best := Some t
+        | Some b -> if t.last_run < b.last_run then best := Some t)
+    k.tasks;
+  !best
+
+exception Too_many_steps
+
+(** Run [t] on the current CPU until it blocks, exits, or the slice
+    ends. *)
+let run_task (k : kernel) (t : task) =
+  let slot = k.cpus.(k.cur_cpu) in
+  if slot.last_tid <> t.tid && slot.last_tid <> -1 then
+    charge k k.cost.context_switch;
+  slot.last_tid <- t.tid;
+  t.on_cpu <- k.cur_cpu;
+  t.last_run <- slot.clk;
+  k.cur_task <- Some t;
+  t.ctx.now <- (fun () -> k.cpus.(k.cur_cpu).clk);
+  let cost = k.cost in
+  (try
+     while
+       t.state = Runnable && slot.clk < k.slice_end && not k.halted
+     do
+       if t.pending <> 0L && signal_pending_unmasked t then
+         ignore (Ksignal.deliver_pending k t);
+       if t.state = Runnable then begin
+         match Cpu.step t.ctx t.mem with
+         | Cpu.Stepped -> charge k (cost.insn * t.ctx.Cpu.last_cost)
+         | Cpu.Trap_syscall ->
+             charge k cost.insn;
+             syscall_entry k t
+         | Cpu.Trap_hypercall n -> (
+             charge k cost.insn;
+             match Hashtbl.find_opt k.hypercalls n with
+             | Some f -> f k t
+             | None ->
+                 (* An unregistered hypercall is an illegal
+                    instruction (UD2 semantics). *)
+                 Ksignal.force k t Defs.sigill
+                   { si_signo = Defs.sigill; si_code = 0;
+                     si_call_addr = t.ctx.rip; si_syscall = 0 })
+         | Cpu.Halted -> do_exit k t ~code:(to_i (Cpu.peek_reg t.ctx Isa.rdi)) ~group:true
+         | Cpu.Trap_breakpoint ->
+             Ksignal.force k t 5 (* SIGTRAP *)
+               { si_signo = 5; si_code = 0; si_call_addr = t.ctx.rip;
+                 si_syscall = 0 }
+         | Cpu.Fault (addr, _) ->
+             Ksignal.force k t Defs.sigsegv
+               { si_signo = Defs.sigsegv; si_code = 0; si_call_addr = addr;
+                 si_syscall = 0 }
+         | Cpu.Fault_arith ->
+             Ksignal.force k t Defs.sigfpe
+               { si_signo = Defs.sigfpe; si_code = 0;
+                 si_call_addr = t.ctx.rip; si_syscall = 0 }
+         | Cpu.Bad_instr addr ->
+             Ksignal.force k t Defs.sigill
+               { si_signo = Defs.sigill; si_code = 0; si_call_addr = addr;
+                 si_syscall = 0 }
+       end
+     done
+   with Ksignal.Killed_by_signal _ -> ());
+  k.cur_task <- None;
+  t.on_cpu <- -1
+
+(** Advance the machine by one scheduling slice. *)
+let run_slice (k : kernel) =
+  let ncpu = Array.length k.cpus in
+  for cpu = 0 to ncpu - 1 do
+    k.cur_cpu <- cpu;
+    let slot = k.cpus.(cpu) in
+    if slot.clk < k.slice_end then begin
+      let continue_ = ref true in
+      while !continue_ && slot.clk < k.slice_end && not k.halted do
+        match pick_task k cpu with
+        | Some t -> run_task k t
+        | None ->
+            slot.clk <- k.slice_end;
+            continue_ := false
+      done;
+      if slot.clk < k.slice_end then slot.clk <- k.slice_end
+    end
+  done;
+  List.iter (fun step -> step ()) k.actors;
+  k.slice_end <- Int64.add k.slice_end k.slice
+
+let all_exited (k : kernel) =
+  Hashtbl.fold (fun _ t acc -> acc && t.state = Zombie) k.tasks true
+
+(** Run until every task is a zombie or [max_slices] elapse.  Returns
+    [true] if everything exited. *)
+let run_until_exit ?(max_slices = 2_000_000) (k : kernel) =
+  let rec go n =
+    if all_exited k || k.halted then true
+    else if n = 0 then false
+    else begin
+      run_slice k;
+      go (n - 1)
+    end
+  in
+  go max_slices
+
+(** Run for [cycles] simulated cycles (per CPU). *)
+let run_for (k : kernel) (cycles : int64) =
+  let target = Int64.add (global_time k) cycles in
+  while global_time k < target && (not (all_exited k)) && not k.halted do
+    run_slice k
+  done

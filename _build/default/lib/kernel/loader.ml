@@ -1,0 +1,45 @@
+(** Program images: assembling runnable processes.
+
+    Conventional layout (mirroring a small static ELF binary):
+    code at [0x400000], data at [0x600000], 1 MiB stack topping out
+    at [0x7ff0000], heap (brk) growing from [0x30000000], mmap space
+    from [0x20000000]. *)
+
+open Sim_mem
+open Types
+
+let code_base = 0x400000
+let data_base = 0x600000
+let default_stack_top = 0x7ff0000
+let default_stack_size = 1 lsl 20
+
+(** Build an image from assembled text and data sections.
+
+    [text] is assembled at {!code_base} (use [Asm.assemble
+    ~base:code_base]); [data] at {!data_base}.  [entry] defaults to
+    the start of text. *)
+let image ?(entry : int option) ?(extra : (int * string * int) list = [])
+    ~(text : Sim_asm.Asm.blob) ?(data : Sim_asm.Asm.blob option) () : image =
+  let segments =
+    (text.base, text.bytes, Mem.rx)
+    :: (match data with Some d -> [ (d.base, d.bytes, Mem.rw) ] | None -> [])
+    @ extra
+  in
+  {
+    img_segments = segments;
+    img_entry = (match entry with Some e -> e | None -> text.base);
+    img_stack_top = default_stack_top;
+    img_stack_size = default_stack_size;
+  }
+
+(** One-step convenience: assemble [items] at {!code_base} and build
+    an image whose entry point is the blob start (or the [start]
+    label when defined). *)
+let image_of_items ?(env = []) (items : Sim_asm.Asm.item list) : image =
+  let text = Sim_asm.Asm.assemble ~base:code_base ~env items in
+  let entry =
+    match List.assoc_opt "start" text.symbols with
+    | Some a -> a
+    | None -> text.base
+  in
+  image ~entry ~text ()

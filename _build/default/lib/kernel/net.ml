@@ -1,0 +1,116 @@
+(** Loopback stream sockets.
+
+    A minimal TCP-over-localhost model: listeners hold a backlog of
+    fully-established connections; a connection is a pair of
+    cross-linked endpoints, each owning a bounded receive queue.
+    There is no packet loss, reordering or latency — the paper's
+    macrobenchmark also runs over localhost precisely to avoid
+    network-side bottlenecks ("a maximally intensive workload that is
+    not artificially slowed down by arbitrary throughput limits"). *)
+
+let default_sockbuf = 65536
+
+type endpoint = {
+  id : int;
+  rx : Fifo.t;
+  mutable peer : endpoint option;  (** [None] once the peer is gone *)
+  mutable closed : bool;  (** this endpoint shut down *)
+  mutable peer_closed : bool;  (** EOF pending after draining [rx] *)
+}
+
+type listener = {
+  port : int;
+  backlog : endpoint Queue.t;
+  max_backlog : int;
+  mutable listener_closed : bool;
+}
+
+type t = {
+  listeners : (int, listener) Hashtbl.t;
+  mutable next_ep : int;
+}
+
+let create () = { listeners = Hashtbl.create 8; next_ep = 1 }
+
+let fresh_endpoint ?(bufsize = default_sockbuf) t =
+  let ep =
+    { id = t.next_ep; rx = Fifo.create bufsize; peer = None; closed = false;
+      peer_closed = false }
+  in
+  t.next_ep <- t.next_ep + 1;
+  ep
+
+(** Bind+listen on [port].  [Error `In_use] if taken. *)
+let listen t ~port ~backlog =
+  if Hashtbl.mem t.listeners port then Error `In_use
+  else begin
+    let l =
+      { port; backlog = Queue.create (); max_backlog = max 1 backlog;
+        listener_closed = false }
+    in
+    Hashtbl.replace t.listeners port l;
+    Ok l
+  end
+
+(** Establish a connection to [port]; returns the client endpoint.
+    The server-side endpoint goes on the listener's backlog. *)
+let connect t ~port =
+  match Hashtbl.find_opt t.listeners port with
+  | None -> Error `Refused
+  | Some l when l.listener_closed -> Error `Refused
+  | Some l ->
+      if Queue.length l.backlog >= l.max_backlog then Error `Refused
+      else begin
+        let a = fresh_endpoint t and b = fresh_endpoint t in
+        a.peer <- Some b;
+        b.peer <- Some a;
+        Queue.push b l.backlog;
+        Ok a
+      end
+
+let accept (l : listener) =
+  if Queue.is_empty l.backlog then None else Some (Queue.pop l.backlog)
+
+let close_listener t (l : listener) =
+  l.listener_closed <- true;
+  Hashtbl.remove t.listeners l.port
+
+(** Bytes that can currently be written towards the peer. *)
+let send_space (e : endpoint) =
+  match e.peer with
+  | Some p when not p.closed -> Fifo.available p.rx
+  | _ -> 0
+
+(** Write [s.[pos..pos+len)]; returns bytes accepted, [Error `Pipe]
+    when the peer is gone (the caller raises SIGPIPE/EPIPE). *)
+let send (e : endpoint) s pos len =
+  if e.closed then Error `Pipe
+  else
+    match e.peer with
+    | Some p when not p.closed -> Ok (Fifo.push p.rx s pos len)
+    | _ -> Error `Pipe
+
+(** Read up to [len] bytes.  [Ok ""] means EOF. *)
+let recv (e : endpoint) len =
+  if Fifo.length e.rx > 0 then `Data (Fifo.pop e.rx len)
+  else if e.peer_closed || e.peer = None then `Eof
+  else `Empty
+
+let readable (e : endpoint) = Fifo.length e.rx > 0 || e.peer_closed || e.peer = None
+let writable (e : endpoint) = send_space e > 0
+
+let close_endpoint (e : endpoint) =
+  e.closed <- true;
+  (match e.peer with
+  | Some p ->
+      p.peer_closed <- true;
+      p.peer <- None
+  | None -> ());
+  e.peer <- None
+
+(** A connected pair not going through a listener (socketpair/pipe). *)
+let pair ?(bufsize = default_sockbuf) t =
+  let a = fresh_endpoint ~bufsize t and b = fresh_endpoint ~bufsize t in
+  a.peer <- Some b;
+  b.peer <- Some a;
+  (a, b)

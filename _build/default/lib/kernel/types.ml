@@ -1,0 +1,184 @@
+(** Shared record types of the simulated kernel.
+
+    Kept in one module (operations live in {!Ksignal} and {!Kernel})
+    so that the scheduler, signal machinery, syscall dispatch and
+    hypercall handlers can all see the same task/kernel records
+    without circular dependencies. *)
+
+open Sim_cpu
+open Sim_mem
+open Sim_costs
+
+(** {1 File descriptors} *)
+
+type epoll = { interest : (int, int * int64) Hashtbl.t }
+(** epoll instance: fd -> (event mask, user data). *)
+
+type sock_pending = { mutable bound_port : int option }
+
+type file_kind =
+  | Kreg of Vfs.open_file
+  | Klisten of Net.listener
+  | Kstream of Net.endpoint
+  | Kepoll of epoll
+  | Kunbound of sock_pending  (** socket() before listen()/connect() *)
+
+type fd_entry = {
+  mutable kind : file_kind;
+  mutable fflags : int;  (** O_NONBLOCK and friends *)
+  mutable refs : int;  (** shared after fork()/dup() *)
+}
+
+type fdtab = { mutable next_fd : int; fds : (int, fd_entry) Hashtbl.t }
+
+(** {1 Signals} *)
+
+type sigaction = {
+  sa_handler : int64;  (** SIG_DFL, SIG_IGN, or handler address *)
+  sa_mask : int64;
+  sa_flags : int64;
+  sa_restorer : int64;  (** address the handler returns to *)
+}
+
+let sigaction_default =
+  { sa_handler = 0L; sa_mask = 0L; sa_flags = 0L; sa_restorer = 0L }
+
+type sig_info = {
+  si_signo : int;
+  si_code : int;
+  si_call_addr : int;  (** address just past the trapping syscall *)
+  si_syscall : int;
+}
+
+(** {1 Syscall User Dispatch (per-task)} *)
+
+type sud = {
+  mutable sud_on : bool;
+  mutable sud_selector : int;  (** user VA of the selector byte *)
+  mutable sud_lo : int;  (** allowlisted code range start *)
+  mutable sud_len : int;
+}
+
+(** {1 ptrace}
+
+    The tracer is modelled as kernel-side callbacks plus the cost of
+    the context switches and tracer syscalls a real tracer would
+    need for every syscall-stop (see DESIGN.md: we do not simulate
+    the tracer as a separate machine-code process). *)
+
+type monitor = {
+  mutable on_entry : ptrace_view -> unit;
+  mutable on_exit : ptrace_view -> unit;
+  tracer_syscalls_per_stop : int;
+      (** PTRACE_GETREGS / SETREGS / PTRACE_SYSCALL etc. *)
+}
+
+and ptrace_view = {
+  pv_task : task;
+  pv_get_reg : int -> int64;
+  pv_set_reg : int -> int64 -> unit;
+  pv_read_mem : int -> int -> string;
+}
+
+(** {1 Tasks} *)
+
+and block_reason =
+  | Wread of int  (** fd *)
+  | Wwrite of int
+  | Waccept of int
+  | Wepoll of int
+  | Wchild of int  (** tid, or -1 for any child *)
+  | Wsleep of int64  (** absolute wake time in cycles *)
+  | Wfutex of int  (** futex word address *)
+
+and tstate = Runnable | Blocked of block_reason | Zombie
+
+and task = {
+  tid : int;
+  mutable tgid : int;
+  mutable parent_tid : int;
+  ctx : Cpu.t;
+  mutable mem : Mem.t;
+  mutable fdt : fdtab;
+  mutable sighand : sigaction array;  (** aliased under CLONE_SIGHAND *)
+  mutable sigmask : int64;
+  mutable pending : int64;
+  mutable pending_info : (int * sig_info) list;
+  mutable state : tstate;
+  sud : sud;
+  mutable filters : Bpf.prog list;
+  mutable monitor : monitor option;
+  mutable exit_code : int;
+  mutable children : int list;
+  mutable affinity : int;  (** CPU index, or -1 for any *)
+  mutable on_cpu : int;  (** CPU currently executing this task, or -1 *)
+  mutable last_run : int64;  (** for round-robin fairness *)
+  mutable cwd : string;
+  mutable comm : string;
+  mutable brk : int;
+  mutable tid_address : int64;
+  mutable robust_list : int64;
+  mutable tcycles : int64;
+      (** cycles charged while this task was current (its own
+          execution plus kernel work done on its behalf) *)
+  mutable sleep_until : int64 option;
+      (** in-progress nanosleep deadline: blocking syscalls are
+          retried by re-execution, so the sleep must remember its
+          absolute deadline to be idempotent *)
+}
+
+(** {1 Program images (for the loader and execve)} *)
+
+type image = {
+  img_segments : (int * string * int) list;  (** VA, bytes, Mem perm *)
+  img_entry : int;
+  img_stack_top : int;  (** initial rsp (top of stack region) *)
+  img_stack_size : int;
+}
+
+(** {1 The kernel} *)
+
+type cpu_slot = { mutable clk : int64; mutable last_tid : int }
+
+type kernel = {
+  cost : Cost_model.t;
+  cpus : cpu_slot array;
+  mutable cur_cpu : int;
+  tasks : (int, task) Hashtbl.t;
+  mutable next_tid : int;
+  vfs : Vfs.t;
+  net : Net.t;
+  hypercalls : (int, kernel -> task -> unit) Hashtbl.t;
+  mutable next_hyper : int;
+  rng : Random.State.t;
+  programs : (string, image) Hashtbl.t;  (** execve registry *)
+  mutable actors : (unit -> unit) list;
+      (** external agents (e.g. the load generator) stepped once per
+          scheduling slice *)
+  mutable slice : int64;  (** scheduling quantum in cycles *)
+  mutable slice_end : int64;
+  mutable strace : (task -> int -> int64 -> unit) option;
+      (** kernel-side debug trace: task, syscall nr, result *)
+  mutable halted : bool;
+  mutable cur_task : task option;  (** task being executed right now *)
+}
+
+let charge (k : kernel) n =
+  let c = k.cpus.(k.cur_cpu) in
+  c.clk <- Int64.add c.clk (Int64.of_int n);
+  match k.cur_task with
+  | Some t -> t.tcycles <- Int64.add t.tcycles (Int64.of_int n)
+  | None -> ()
+
+let now (k : kernel) = k.cpus.(k.cur_cpu).clk
+
+(** Earliest per-CPU clock — the kernel's notion of global progress. *)
+let global_time (k : kernel) =
+  Array.fold_left (fun acc c -> min acc c.clk) Int64.max_int k.cpus
+
+let find_task (k : kernel) tid = Hashtbl.find_opt k.tasks tid
+
+let sig_bit s = Int64.shift_left 1L (s - 1)
+
+let signal_pending_unmasked (t : task) =
+  Int64.logand t.pending (Int64.lognot t.sigmask) <> 0L

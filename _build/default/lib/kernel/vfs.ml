@@ -1,0 +1,292 @@
+(** An in-memory filesystem (ramfs).
+
+    Enough POSIX semantics for the paper's workloads: the web servers
+    serve static files out of it, the coreutils simulations walk and
+    mutate it.  Inodes are directories or regular files; paths are
+    resolved against a root and a caller-supplied cwd. *)
+
+type inode = {
+  ino : int;
+  mutable node : node;
+  mutable mode : int;
+  mutable mtime : int64;
+}
+
+and node = Dir of (string, inode) Hashtbl.t | File of file
+
+and file = { mutable data : Bytes.t; mutable size : int }
+
+type t = { root : inode; mutable next_ino : int }
+
+type open_file = {
+  inode : inode;
+  mutable offset : int;
+  flags : int;  (** open(2) flags *)
+}
+
+let fresh_ino t =
+  let i = t.next_ino in
+  t.next_ino <- i + 1;
+  i
+
+let create () =
+  let root =
+    { ino = 1; node = Dir (Hashtbl.create 16); mode = 0o755; mtime = 0L }
+  in
+  { root; next_ino = 2 }
+
+let is_dir i = match i.node with Dir _ -> true | File _ -> false
+
+(* Split "/a/b/c" into components; empty and "." segments drop out. *)
+let components path =
+  String.split_on_char '/' path
+  |> List.filter (fun c -> c <> "" && c <> ".")
+
+let absolute ~cwd path =
+  if String.length path > 0 && path.[0] = '/' then components path
+  else components cwd @ components path
+
+(* Resolve, handling "..". *)
+let resolve t ~cwd path : (inode, int) result =
+  let rec go node trail = function
+    | [] -> Ok node
+    | ".." :: rest -> (
+        match trail with
+        | [] -> go t.root [] rest
+        | parent :: up -> go parent up rest)
+    | name :: rest -> (
+        match node.node with
+        | File _ -> Error Defs.enotdir
+        | Dir entries -> (
+            match Hashtbl.find_opt entries name with
+            | Some child -> go child (node :: trail) rest
+            | None -> Error Defs.enoent))
+  in
+  go t.root [] (absolute ~cwd path)
+
+(* Resolve the parent directory of [path] plus the final component. *)
+let resolve_parent t ~cwd path : (inode * string, int) result =
+  match List.rev (absolute ~cwd path) with
+  | [] -> Error Defs.eexist (* refers to the root *)
+  | last :: rev_prefix -> (
+      if last = ".." then Error Defs.einval
+      else
+        let prefix = List.rev rev_prefix in
+        let rec go node trail = function
+          | [] -> Ok (node, last)
+          | ".." :: rest -> (
+              match trail with
+              | [] -> go t.root [] rest
+              | parent :: up -> go parent up rest)
+          | name :: rest -> (
+              match node.node with
+              | File _ -> Error Defs.enotdir
+              | Dir entries -> (
+                  match Hashtbl.find_opt entries name with
+                  | Some child -> go child (node :: trail) rest
+                  | None -> Error Defs.enoent))
+        in
+        go t.root [] prefix)
+
+let lookup t ~cwd path = resolve t ~cwd path
+
+let mkdir t ~cwd path ~mode : (unit, int) result =
+  match resolve_parent t ~cwd path with
+  | Error e -> Error e
+  | Ok (parent, name) -> (
+      match parent.node with
+      | File _ -> Error Defs.enotdir
+      | Dir entries ->
+          if Hashtbl.mem entries name then Error Defs.eexist
+          else begin
+            Hashtbl.replace entries name
+              { ino = fresh_ino t; node = Dir (Hashtbl.create 8); mode;
+                mtime = 0L };
+            Ok ()
+          end)
+
+(** Create or open a file per [flags]; returns an [open_file]. *)
+let openf t ~cwd path ~flags ~mode : (open_file, int) result =
+  let want_write = flags land 3 <> Defs.o_rdonly in
+  match resolve t ~cwd path with
+  | Ok inode -> (
+      match inode.node with
+      | Dir _ ->
+          if want_write then Error Defs.eisdir
+          else Ok { inode; offset = 0; flags }
+      | File f ->
+          if flags land Defs.o_directory <> 0 then Error Defs.enotdir
+          else begin
+            if flags land Defs.o_trunc <> 0 && want_write then f.size <- 0;
+            Ok { inode; offset = 0; flags }
+          end)
+  | Error e when e = Defs.enoent && flags land Defs.o_creat <> 0 -> (
+      match resolve_parent t ~cwd path with
+      | Error e -> Error e
+      | Ok (parent, name) -> (
+          match parent.node with
+          | File _ -> Error Defs.enotdir
+          | Dir entries ->
+              if Hashtbl.mem entries name then Error Defs.eexist
+              else begin
+                let inode =
+                  { ino = fresh_ino t;
+                    node = File { data = Bytes.create 0; size = 0 };
+                    mode; mtime = 0L }
+                in
+                Hashtbl.replace entries name inode;
+                Ok { inode; offset = 0; flags }
+              end))
+  | Error e -> Error e
+
+let file_of of_ =
+  match of_.inode.node with
+  | File f -> Ok f
+  | Dir _ -> Error Defs.eisdir
+
+(** Read from the current offset; advances it. *)
+let read (of_ : open_file) len : (string, int) result =
+  match file_of of_ with
+  | Error e -> Error e
+  | Ok f ->
+      let n = max 0 (min len (f.size - of_.offset)) in
+      let s = Bytes.sub_string f.data of_.offset n in
+      of_.offset <- of_.offset + n;
+      Ok s
+
+(** Read at an explicit offset without moving the file offset
+    (pread-style; also used by sendfile). *)
+let pread (of_ : open_file) ~pos len : (string, int) result =
+  match file_of of_ with
+  | Error e -> Error e
+  | Ok f ->
+      let n = max 0 (min len (f.size - pos)) in
+      Ok (Bytes.sub_string f.data pos n)
+
+let ensure_capacity f n =
+  if Bytes.length f.data < n then begin
+    let cap = max n (max 64 (2 * Bytes.length f.data)) in
+    let nd = Bytes.make cap '\000' in
+    Bytes.blit f.data 0 nd 0 f.size;
+    f.data <- nd
+  end
+
+let write (of_ : open_file) (s : string) : (int, int) result =
+  match file_of of_ with
+  | Error e -> Error e
+  | Ok f ->
+      if of_.flags land 3 = Defs.o_rdonly then Error Defs.ebadf
+      else begin
+        if of_.flags land Defs.o_append <> 0 then of_.offset <- f.size;
+        let need = of_.offset + String.length s in
+        ensure_capacity f need;
+        Bytes.blit_string s 0 f.data of_.offset (String.length s);
+        of_.offset <- of_.offset + String.length s;
+        if of_.offset > f.size then f.size <- of_.offset;
+        Ok (String.length s)
+      end
+
+let lseek (of_ : open_file) ~off ~whence : (int, int) result =
+  match file_of of_ with
+  | Error e -> Error e
+  | Ok f ->
+      let base =
+        if whence = Defs.seek_set then Some 0
+        else if whence = Defs.seek_cur then Some of_.offset
+        else if whence = Defs.seek_end then Some f.size
+        else None
+      in
+      (match base with
+      | None -> Error Defs.einval
+      | Some b ->
+          let pos = b + off in
+          if pos < 0 then Error Defs.einval
+          else begin
+            of_.offset <- pos;
+            Ok pos
+          end)
+
+let size_of inode =
+  match inode.node with File f -> f.size | Dir d -> Hashtbl.length d
+
+let unlink t ~cwd path : (unit, int) result =
+  match resolve_parent t ~cwd path with
+  | Error e -> Error e
+  | Ok (parent, name) -> (
+      match parent.node with
+      | File _ -> Error Defs.enotdir
+      | Dir entries -> (
+          match Hashtbl.find_opt entries name with
+          | None -> Error Defs.enoent
+          | Some i when is_dir i -> Error Defs.eisdir
+          | Some _ ->
+              Hashtbl.remove entries name;
+              Ok ()))
+
+let rmdir t ~cwd path : (unit, int) result =
+  match resolve_parent t ~cwd path with
+  | Error e -> Error e
+  | Ok (parent, name) -> (
+      match parent.node with
+      | File _ -> Error Defs.enotdir
+      | Dir entries -> (
+          match Hashtbl.find_opt entries name with
+          | None -> Error Defs.enoent
+          | Some { node = Dir d; _ } when Hashtbl.length d = 0 ->
+              Hashtbl.remove entries name;
+              Ok ()
+          | Some { node = Dir _; _ } -> Error Defs.enotempty
+          | Some _ -> Error Defs.enotdir))
+
+let rename t ~cwd ~src ~dst : (unit, int) result =
+  match (resolve_parent t ~cwd src, resolve_parent t ~cwd dst) with
+  | Error e, _ | _, Error e -> Error e
+  | Ok (sp, sn), Ok (dp, dn) -> (
+      match (sp.node, dp.node) with
+      | Dir se, Dir de -> (
+          match Hashtbl.find_opt se sn with
+          | None -> Error Defs.enoent
+          | Some i ->
+              Hashtbl.remove se sn;
+              Hashtbl.replace de dn i;
+              Ok ())
+      | _ -> Error Defs.enotdir)
+
+let chmod t ~cwd path ~mode : (unit, int) result =
+  match resolve t ~cwd path with
+  | Error e -> Error e
+  | Ok i ->
+      i.mode <- mode;
+      Ok ()
+
+let listdir t ~cwd path : (string list, int) result =
+  match resolve t ~cwd path with
+  | Error e -> Error e
+  | Ok { node = Dir entries; _ } ->
+      Ok (Hashtbl.fold (fun k _ acc -> k :: acc) entries [] |> List.sort compare)
+  | Ok _ -> Error Defs.enotdir
+
+(** Convenience for tests and workload setup: create/overwrite a file
+    with [contents], creating parent directories. *)
+let add_file t path contents =
+  let rec mkdirs prefix = function
+    | [] | [ _ ] -> ()
+    | d :: rest ->
+        let p = prefix ^ "/" ^ d in
+        (match mkdir t ~cwd:"/" p ~mode:0o755 with Ok () | Error _ -> ());
+        mkdirs p rest
+  in
+  mkdirs "" (components path);
+  match
+    openf t ~cwd:"/" path
+      ~flags:(Defs.o_wronly lor Defs.o_creat lor Defs.o_trunc)
+      ~mode:0o644
+  with
+  | Error e -> Error e
+  | Ok of_ -> (
+      match write of_ contents with Ok _ -> Ok () | Error e -> Error e)
+
+let read_file t path : (string, int) result =
+  match openf t ~cwd:"/" path ~flags:Defs.o_rdonly ~mode:0 with
+  | Error e -> Error e
+  | Ok of_ -> read of_ (size_of of_.inode)

@@ -1,0 +1,1 @@
+lib/mem/mem.ml: Buffer Bytes Char Hashtbl Int64 List Printf String

@@ -1,0 +1,311 @@
+(** Simulated paged virtual memory.
+
+    An address space is a sparse set of 4 KiB pages, each carrying
+    read/write/execute permissions.  Page 0 is mappable (the zpoline
+    trampoline requires a mapping at virtual address 0, i.e. a real
+    deployment sets [mmap_min_addr] to 0).
+
+    Threads share one [t]; [fork] deep-copies it.  Permission
+    violations raise {!Fault}, which the kernel converts into a
+    SIGSEGV for the faulting task. *)
+
+type access = Read | Write | Exec
+
+let access_to_string = function
+  | Read -> "read"
+  | Write -> "write"
+  | Exec -> "exec"
+
+exception Fault of int * access  (** address, attempted access *)
+
+let page_size = 4096
+let page_shift = 12
+let page_mask = page_size - 1
+
+(* Permission bits. *)
+let p_r = 1
+let p_w = 2
+let p_x = 4
+
+type perm = int
+
+let perm ?(r = false) ?(w = false) ?(x = false) () =
+  (if r then p_r else 0) lor (if w then p_w else 0) lor if x then p_x else 0
+
+let rw = p_r lor p_w
+let rx = p_r lor p_x
+let rwx = p_r lor p_w lor p_x
+let r_only = p_r
+
+let perm_to_string p =
+  Printf.sprintf "%c%c%c"
+    (if p land p_r <> 0 then 'r' else '-')
+    (if p land p_w <> 0 then 'w' else '-')
+    (if p land p_x <> 0 then 'x' else '-')
+
+type page = { data : Bytes.t; mutable pperm : perm; mutable pkey : int }
+type t = { pages : (int, page) Hashtbl.t }
+
+let create () = { pages = Hashtbl.create 64 }
+
+let is_mapped t addr = Hashtbl.mem t.pages (addr lsr page_shift)
+
+let page_align_down a = a land lnot page_mask
+let page_align_up a = (a + page_mask) land lnot page_mask
+
+(** Map [len] bytes at [addr] (both page-aligned up/down as needed)
+    with permission [perm], zero-filled.  Existing pages in the range
+    are replaced (MAP_FIXED semantics). *)
+let map t ~addr ~len ~perm =
+  if len <= 0 then invalid_arg "Mem.map: non-positive length";
+  let first = page_align_down addr lsr page_shift in
+  let last = (page_align_up (addr + len) - 1) lsr page_shift in
+  for pn = first to last do
+    Hashtbl.replace t.pages pn
+      { data = Bytes.create page_size; pperm = perm; pkey = 0 }
+  done;
+  (* Fresh anonymous pages are zeroed. *)
+  for pn = first to last do
+    Bytes.fill (Hashtbl.find t.pages pn).data 0 page_size '\000'
+  done
+
+let unmap t ~addr ~len =
+  let first = page_align_down addr lsr page_shift in
+  let last = (page_align_up (addr + len) - 1) lsr page_shift in
+  for pn = first to last do
+    Hashtbl.remove t.pages pn
+  done
+
+(** Change permissions on a mapped range.  Returns [Error `Unmapped]
+    if any page in the range is missing (like mprotect's ENOMEM). *)
+let protect t ~addr ~len ~perm =
+  let first = page_align_down addr lsr page_shift in
+  let last = (page_align_up (addr + len) - 1) lsr page_shift in
+  let ok = ref true in
+  for pn = first to last do
+    if not (Hashtbl.mem t.pages pn) then ok := false
+  done;
+  if not !ok then Error `Unmapped
+  else (
+    for pn = first to last do
+      (Hashtbl.find t.pages pn).pperm <- perm
+    done;
+    Ok ())
+
+let perm_at t addr =
+  match Hashtbl.find_opt t.pages (addr lsr page_shift) with
+  | Some p -> Some p.pperm
+  | None -> None
+
+(** Protection key of the page containing [addr] (0 = default key,
+    never denied). *)
+let pkey_at t addr =
+  match Hashtbl.find_opt t.pages (addr lsr page_shift) with
+  | Some p -> p.pkey
+  | None -> 0
+
+(** Tag a mapped range with protection key [pkey] (pkey_mprotect). *)
+let set_pkey t ~addr ~len ~pkey =
+  let first = page_align_down addr lsr page_shift in
+  let last = (page_align_up (addr + len) - 1) lsr page_shift in
+  let ok = ref true in
+  for pn = first to last do
+    if not (Hashtbl.mem t.pages pn) then ok := false
+  done;
+  if not !ok then Error `Unmapped
+  else (
+    for pn = first to last do
+      (Hashtbl.find t.pages pn).pkey <- pkey
+    done;
+    Ok ())
+
+(** Number of mapped pages overlapping [addr, addr+len). *)
+let pages_in_range ~addr ~len =
+  let first = page_align_down addr lsr page_shift in
+  let last = (page_align_up (addr + len) - 1) lsr page_shift in
+  last - first + 1
+
+(** Find a free page-aligned range of [len] bytes at or above [hint].
+    Used for [mmap(NULL, ...)]. *)
+let find_free t ~hint ~len =
+  let npages = pages_in_range ~addr:0 ~len in
+  let start = page_align_up hint lsr page_shift in
+  let rec scan pn =
+    let rec check i =
+      if i >= npages then true
+      else if Hashtbl.mem t.pages (pn + i) then false
+      else check (i + 1)
+    in
+    if check 0 then pn lsl page_shift else scan (pn + 1)
+  in
+  scan start
+
+let check_page p addr access need =
+  if p.pperm land need = 0 then raise (Fault (addr, access))
+
+(* Byte accessors with permission checks. *)
+
+let read_u8 t addr =
+  match Hashtbl.find_opt t.pages (addr lsr page_shift) with
+  | Some p ->
+      check_page p addr Read p_r;
+      Char.code (Bytes.unsafe_get p.data (addr land page_mask))
+  | None -> raise (Fault (addr, Read))
+
+let write_u8 t addr v =
+  match Hashtbl.find_opt t.pages (addr lsr page_shift) with
+  | Some p ->
+      check_page p addr Write p_w;
+      Bytes.unsafe_set p.data (addr land page_mask) (Char.unsafe_chr (v land 0xFF))
+  | None -> raise (Fault (addr, Write))
+
+(** Instruction fetch: requires execute permission. *)
+let fetch_u8 t addr =
+  match Hashtbl.find_opt t.pages (addr lsr page_shift) with
+  | Some p ->
+      check_page p addr Exec p_x;
+      Char.code (Bytes.unsafe_get p.data (addr land page_mask))
+  | None -> raise (Fault (addr, Exec))
+
+let read_u64 t addr =
+  if addr land page_mask <= page_size - 8 then (
+    match Hashtbl.find_opt t.pages (addr lsr page_shift) with
+    | Some p ->
+        check_page p addr Read p_r;
+        Bytes.get_int64_le p.data (addr land page_mask)
+    | None -> raise (Fault (addr, Read)))
+  else
+    (* Crosses a page boundary: fall back to bytes. *)
+    let v = ref 0L in
+    for i = 7 downto 0 do
+      v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (read_u8 t (addr + i)))
+    done;
+    !v
+
+let write_u64 t addr v =
+  if addr land page_mask <= page_size - 8 then (
+    match Hashtbl.find_opt t.pages (addr lsr page_shift) with
+    | Some p ->
+        check_page p addr Write p_w;
+        Bytes.set_int64_le p.data (addr land page_mask) v
+    | None -> raise (Fault (addr, Write)))
+  else
+    for i = 0 to 7 do
+      write_u8 t (addr + i)
+        (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xFF)
+    done
+
+let read_bytes t addr len =
+  let b = Bytes.create len in
+  let i = ref 0 in
+  while !i < len do
+    let a = addr + !i in
+    let off = a land page_mask in
+    let chunk = min (len - !i) (page_size - off) in
+    (match Hashtbl.find_opt t.pages (a lsr page_shift) with
+    | Some p ->
+        check_page p a Read p_r;
+        Bytes.blit p.data off b !i chunk
+    | None -> raise (Fault (a, Read)));
+    i := !i + chunk
+  done;
+  Bytes.unsafe_to_string b
+
+let write_bytes t addr (s : string) =
+  let len = String.length s in
+  let i = ref 0 in
+  while !i < len do
+    let a = addr + !i in
+    let off = a land page_mask in
+    let chunk = min (len - !i) (page_size - off) in
+    (match Hashtbl.find_opt t.pages (a lsr page_shift) with
+    | Some p ->
+        check_page p a Write p_w;
+        Bytes.blit_string s !i p.data off chunk
+    | None -> raise (Fault (a, Write)));
+    i := !i + chunk
+  done
+
+(** Privileged store that ignores the W permission — used by the
+    loader and by the kernel when building signal frames, never by
+    simulated code. *)
+let poke_bytes t addr (s : string) =
+  let len = String.length s in
+  let i = ref 0 in
+  while !i < len do
+    let a = addr + !i in
+    let off = a land page_mask in
+    let chunk = min (len - !i) (page_size - off) in
+    (match Hashtbl.find_opt t.pages (a lsr page_shift) with
+    | Some p -> Bytes.blit_string s !i p.data off chunk
+    | None -> raise (Fault (a, Write)));
+    i := !i + chunk
+  done
+
+(** Privileged read that ignores permissions (kernel / debugger view). *)
+let peek_bytes t addr len =
+  let b = Bytes.create len in
+  let i = ref 0 in
+  while !i < len do
+    let a = addr + !i in
+    let off = a land page_mask in
+    let chunk = min (len - !i) (page_size - off) in
+    (match Hashtbl.find_opt t.pages (a lsr page_shift) with
+    | Some p -> Bytes.blit p.data off b !i chunk
+    | None -> raise (Fault (a, Read)));
+    i := !i + chunk
+  done;
+  Bytes.unsafe_to_string b
+
+let peek_u64 t addr =
+  let s = peek_bytes t addr 8 in
+  Bytes.get_int64_le (Bytes.of_string s) 0
+
+let poke_u64 t addr v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 v;
+  poke_bytes t addr (Bytes.to_string b)
+
+(** Read a NUL-terminated string (bounded by [max], default 4096). *)
+let read_cstring ?(max = 4096) t addr =
+  let buf = Buffer.create 32 in
+  let rec go i =
+    if i >= max then Buffer.contents buf
+    else
+      let c = read_u8 t (addr + i) in
+      if c = 0 then Buffer.contents buf
+      else (
+        Buffer.add_char buf (Char.chr c);
+        go (i + 1))
+  in
+  go 0
+
+(** Deep copy for [fork]. *)
+let clone t =
+  let pages = Hashtbl.create (Hashtbl.length t.pages) in
+  Hashtbl.iter
+    (fun pn p ->
+      Hashtbl.replace pages pn
+        { data = Bytes.copy p.data; pperm = p.pperm; pkey = p.pkey })
+    t.pages;
+  { pages }
+
+(** Mapped regions as (first_addr, length_bytes, perm) triples, sorted,
+    with adjacent same-permission pages coalesced.  Used by static
+    rewriters to enumerate executable code. *)
+let regions t =
+  let pns =
+    Hashtbl.fold (fun pn p acc -> (pn, p.pperm) :: acc) t.pages []
+    |> List.sort compare
+  in
+  let rec coalesce = function
+    | [] -> []
+    | (pn, pm) :: rest ->
+        let rec extend last = function
+          | (pn', pm') :: tl when pn' = last + 1 && pm' = pm -> extend pn' tl
+          | tl -> (last, tl)
+        in
+        let last, tl = extend pn rest in
+        (pn lsl page_shift, (last - pn + 1) * page_size, pm) :: coalesce tl
+  in
+  coalesce pns

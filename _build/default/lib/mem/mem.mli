@@ -1,0 +1,98 @@
+(** Simulated paged virtual memory.
+
+    An address space is a sparse set of 4 KiB pages, each carrying
+    read/write/execute permissions and an MPK-style protection key.
+    Page 0 is mappable (the zpoline trampoline requires a mapping at
+    virtual address 0).  Threads share one [t]; [fork] deep-copies
+    with {!clone}. *)
+
+type access = Read | Write | Exec
+
+val access_to_string : access -> string
+
+exception Fault of int * access
+(** Raised on permission violations and unmapped accesses: faulting
+    address and the attempted access.  The kernel converts it into a
+    SIGSEGV for the faulting task. *)
+
+val page_size : int
+val page_shift : int
+val page_mask : int
+
+(** {1 Permissions} *)
+
+type perm = int
+(** Bitmask of {!p_r}, {!p_w}, {!p_x}. *)
+
+val p_r : int
+val p_w : int
+val p_x : int
+val perm : ?r:bool -> ?w:bool -> ?x:bool -> unit -> perm
+val rw : perm
+val rx : perm
+val rwx : perm
+val r_only : perm
+val perm_to_string : perm -> string
+(** e.g. ["r-x"]. *)
+
+(** {1 Address spaces} *)
+
+type t
+
+val create : unit -> t
+
+val map : t -> addr:int -> len:int -> perm:perm -> unit
+(** Map (page-rounded) zero-filled pages, replacing any existing ones
+    in the range (MAP_FIXED semantics). *)
+
+val unmap : t -> addr:int -> len:int -> unit
+
+val protect : t -> addr:int -> len:int -> perm:perm -> (unit, [ `Unmapped ]) result
+(** mprotect: change permissions; [`Unmapped] if any page is missing. *)
+
+val is_mapped : t -> int -> bool
+val perm_at : t -> int -> perm option
+val page_align_down : int -> int
+val page_align_up : int -> int
+val pages_in_range : addr:int -> len:int -> int
+
+val find_free : t -> hint:int -> len:int -> int
+(** First free page-aligned range of [len] bytes at or above [hint]
+    (for [mmap(NULL, ...)]). *)
+
+(** {1 Protection keys (MPK)} *)
+
+val pkey_at : t -> int -> int
+(** Key of the page containing the address; 0 = default, never denied. *)
+
+val set_pkey : t -> addr:int -> len:int -> pkey:int -> (unit, [ `Unmapped ]) result
+(** Tag a mapped range with a protection key ([pkey_mprotect]). *)
+
+(** {1 Checked accessors (user-mode semantics)} *)
+
+val read_u8 : t -> int -> int
+val write_u8 : t -> int -> int -> unit
+val fetch_u8 : t -> int -> int
+(** Instruction fetch: requires X. *)
+
+val read_u64 : t -> int -> int64
+val write_u64 : t -> int -> int64 -> unit
+val read_bytes : t -> int -> int -> string
+val write_bytes : t -> int -> string -> unit
+val read_cstring : ?max:int -> t -> int -> string
+
+(** {1 Privileged accessors (kernel semantics: ignore permissions)} *)
+
+val poke_bytes : t -> int -> string -> unit
+val peek_bytes : t -> int -> int -> string
+val peek_u64 : t -> int -> int64
+val poke_u64 : t -> int -> int64 -> unit
+
+(** {1 Introspection} *)
+
+val clone : t -> t
+(** Deep copy, for [fork]. *)
+
+val regions : t -> (int * int * perm) list
+(** Mapped regions as (start, length, perm), sorted and coalesced —
+    what a static rewriter enumerates. *)

@@ -1,0 +1,1 @@
+lib/minicc/codegen.ml: Array Ast Char Hashtbl Int64 Isa List Parser Printf Sim_asm Sim_isa Sim_kernel String

@@ -1,0 +1,1 @@
+lib/minicc/jit.ml: Char Codegen Int32 Isa Sim_asm Sim_isa Sim_kernel String

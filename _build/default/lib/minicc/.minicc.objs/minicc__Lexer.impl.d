@@ -1,0 +1,1 @@
+lib/minicc/lexer.ml: Ast Buffer Char Int64 List String

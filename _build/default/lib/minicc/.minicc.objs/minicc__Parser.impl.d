@@ -1,0 +1,1 @@
+lib/minicc/parser.ml: Ast Int64 Lexer List

@@ -1,0 +1,54 @@
+(** Abstract syntax of minicc, the small C dialect the workloads are
+    written in (the simulator's stand-in for tcc's "C programming
+    environment").
+
+    Everything is a 64-bit [long].  [char buf[N]] declares a byte
+    buffer whose name evaluates to its address; [buf[i]] reads/writes
+    single bytes.  Word-sized memory access goes through the
+    [peek64]/[poke64] builtins; syscalls through the variadic
+    [syscall(nr, ...)] builtin, which compiles to a real [syscall]
+    instruction at each call site (one interposition site per textual
+    occurrence, as with inlined libc stubs). *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | BAnd | BOr | BXor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | LAnd | LOr  (** short-circuit *)
+
+type unop = Neg | LNot | BNot
+
+type expr =
+  | Num of int64
+  | Str of string  (** address of a NUL-terminated static string *)
+  | Var of string
+  | Index of expr * expr  (** byte load: [e1[e2]] *)
+  | Call of string * expr list  (** user function or builtin *)
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+
+type stmt =
+  | Decl of string * expr option  (** [long x = e;] *)
+  | Decl_buf of string * int  (** [char buf[N];] *)
+  | Assign of string * expr
+  | Store_byte of expr * expr * expr  (** [e1[e2] = e3;] *)
+  | Expr of expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt option * expr option * stmt option * stmt list
+  | Return of expr option
+  | Break
+  | Continue
+
+type global =
+  | Gvar of string * int64  (** [long g = k;] *)
+  | Gbuf of string * int * string
+      (** [char g[N];] with optional initial contents *)
+
+type func = { fname : string; params : string list; body : stmt list }
+
+type program = { globals : global list; funcs : func list }
+
+exception Compile_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Compile_error s)) fmt

@@ -1,0 +1,369 @@
+(** Code generation: minicc AST -> x64lite assembly items.
+
+    A straightforward stack machine: every expression leaves its value
+    in [rax], binary operators stash the left operand on the machine
+    stack.  Locals live at negative [rbp] offsets; arguments are
+    passed on the stack (pushed left to right).  The [syscall] builtin
+    compiles to a real [syscall] instruction at each textual call
+    site, so interposers see one rewritable site per occurrence,
+    exactly like inlined libc syscall stubs. *)
+
+open Ast
+open Sim_isa
+open Sim_asm.Asm
+
+type slot = Lvar of int  (** value at [rbp + off] *) | Lbuf of int  (** buffer starting at [rbp + off] *)
+
+type genv = {
+  gvars : (string, string) Hashtbl.t;  (** global var -> data label *)
+  gbufs : (string, string) Hashtbl.t;
+  funcs : (string, int) Hashtbl.t;  (** name -> arity *)
+  mutable strings : (string * string) list;  (** label, contents *)
+  mutable next_str : int;
+  mutable next_label : int;
+}
+
+type fenv = {
+  g : genv;
+  locals : (string, slot) Hashtbl.t;
+  mutable frame : int;  (** bytes of locals allocated so far *)
+  epilogue : string;
+  mutable loop_labels : (string * string) list;  (** break, continue *)
+}
+
+let fresh_label g prefix =
+  let n = g.next_label in
+  g.next_label <- n + 1;
+  Printf.sprintf ".%s%d" prefix n
+
+let string_label g s =
+  match List.find_opt (fun (_, c) -> c = s) g.strings with
+  | Some (l, _) -> l
+  | None ->
+      let l = Printf.sprintf "str_%d" g.next_str in
+      g.next_str <- g.next_str + 1;
+      g.strings <- (l, s) :: g.strings;
+      l
+
+(* Pre-scan a function body to size the frame and bind local slots. *)
+let rec scan_stmts (fe : fenv) stmts = List.iter (scan_stmt fe) stmts
+
+and scan_stmt fe = function
+  | Decl (name, _) ->
+      if Hashtbl.mem fe.locals name then error "duplicate local %s" name;
+      fe.frame <- fe.frame + 8;
+      Hashtbl.replace fe.locals name (Lvar (-fe.frame))
+  | Decl_buf (name, n) ->
+      if Hashtbl.mem fe.locals name then error "duplicate local %s" name;
+      let sz = (n + 7) land lnot 7 in
+      fe.frame <- fe.frame + sz;
+      Hashtbl.replace fe.locals name (Lbuf (-fe.frame))
+  | If (_, a, b) ->
+      scan_stmts fe a;
+      scan_stmts fe b
+  | While (_, b) -> scan_stmts fe b
+  | For (init, _, step, b) ->
+      (match init with Some s -> scan_stmt fe s | None -> ());
+      (match step with Some s -> scan_stmt fe s | None -> ());
+      scan_stmts fe b
+  | Assign _ | Store_byte _ | Expr _ | Return _ | Break | Continue -> ()
+
+let syscall_regs = [| Isa.rax; Isa.rdi; Isa.rsi; Isa.rdx; Isa.r10; Isa.r8; Isa.r9 |]
+
+let rec compile_expr (fe : fenv) (e : expr) : item list =
+  match e with
+  | Num v -> [ mov_ri64 Isa.rax v ]
+  | Str s -> [ Lea_ip (Isa.rax, string_label fe.g s) ]
+  | Var name -> (
+      match Hashtbl.find_opt fe.locals name with
+      | Some (Lvar off) -> [ load Isa.rax Isa.rbp off ]
+      | Some (Lbuf off) -> [ lea Isa.rax Isa.rbp off ]
+      | None -> (
+          match Hashtbl.find_opt fe.g.gvars name with
+          | Some lbl -> [ Lea_ip (Isa.rax, lbl); load Isa.rax Isa.rax 0 ]
+          | None -> (
+              match Hashtbl.find_opt fe.g.gbufs name with
+              | Some lbl -> [ Lea_ip (Isa.rax, lbl) ]
+              | None -> error "unknown variable %s" name)))
+  | Index (b, idx) ->
+      compile_expr fe b
+      @ [ push Isa.rax ]
+      @ compile_expr fe idx
+      @ [ mov_rr Isa.rcx Isa.rax; pop Isa.rax; add_rr Isa.rax Isa.rcx;
+          load8 Isa.rax Isa.rax 0 ]
+  | Un (Neg, e) ->
+      compile_expr fe e
+      @ [ mov_rr Isa.rcx Isa.rax; mov_ri Isa.rax 0; sub_rr Isa.rax Isa.rcx ]
+  | Un (LNot, e) ->
+      compile_expr fe e
+      @ [ cmp_ri Isa.rax 0; i (Isa.Setcc (Isa.Eq, Isa.rax)) ]
+  | Un (BNot, e) ->
+      compile_expr fe e @ [ i (Isa.Alu_ri (Isa.Xor, Isa.rax, -1l)) ]
+  | Bin (LAnd, a, b) ->
+      let out = fresh_label fe.g "andout" in
+      compile_expr fe a
+      @ [ cmp_ri Isa.rax 0; mov_ri Isa.rax 0; Jcc_l (Isa.Eq, out) ]
+      @ compile_expr fe b
+      @ [ cmp_ri Isa.rax 0; i (Isa.Setcc (Isa.Ne, Isa.rax)); Label out ]
+  | Bin (LOr, a, b) ->
+      let out = fresh_label fe.g "orout" in
+      compile_expr fe a
+      @ [ cmp_ri Isa.rax 0; mov_ri Isa.rax 1; Jcc_l (Isa.Ne, out) ]
+      @ compile_expr fe b
+      @ [ cmp_ri Isa.rax 0; i (Isa.Setcc (Isa.Ne, Isa.rax)); Label out ]
+  | Bin ((Shl | Shr) as op, a, Num n) ->
+      let sh = if op = Shl then Isa.Shl else Isa.Shr in
+      compile_expr fe a @ [ i (Isa.Shift (sh, Isa.rax, Int64.to_int n land 63)) ]
+  | Bin ((Shl | Shr), _, _) ->
+      error "shift amounts must be integer literals"
+  | Bin (op, a, b) ->
+      let cmp c =
+        [ cmp_rr Isa.rax Isa.rcx; i (Isa.Setcc (c, Isa.rax)) ]
+      in
+      let tail =
+        match op with
+        | Add -> [ add_rr Isa.rax Isa.rcx ]
+        | Sub -> [ sub_rr Isa.rax Isa.rcx ]
+        | Mul -> [ i (Isa.Alu_rr (Isa.Mul, Isa.rax, Isa.rcx)) ]
+        | Div -> [ i (Isa.Alu_rr (Isa.Div, Isa.rax, Isa.rcx)) ]
+        | Mod -> [ i (Isa.Alu_rr (Isa.Rem, Isa.rax, Isa.rcx)) ]
+        | BAnd -> [ i (Isa.Alu_rr (Isa.And, Isa.rax, Isa.rcx)) ]
+        | BOr -> [ i (Isa.Alu_rr (Isa.Or, Isa.rax, Isa.rcx)) ]
+        | BXor -> [ i (Isa.Alu_rr (Isa.Xor, Isa.rax, Isa.rcx)) ]
+        | Eq -> cmp Isa.Eq
+        | Ne -> cmp Isa.Ne
+        | Lt -> cmp Isa.Lt
+        | Le -> cmp Isa.Le
+        | Gt -> cmp Isa.Gt
+        | Ge -> cmp Isa.Ge
+        | LAnd | LOr | Shl | Shr -> assert false
+      in
+      compile_expr fe a
+      @ [ push Isa.rax ]
+      @ compile_expr fe b
+      @ [ mov_rr Isa.rcx Isa.rax; pop Isa.rax ]
+      @ tail
+  | Call ("syscall", args) ->
+      let n = List.length args in
+      if n < 1 || n > 7 then error "syscall takes 1-7 arguments";
+      List.concat_map (fun a -> compile_expr fe a @ [ push Isa.rax ]) args
+      @ (List.init n (fun j -> pop syscall_regs.(n - 1 - j)))
+      @ [ syscall ]
+  | Call ("peek8", [ p ]) ->
+      compile_expr fe p @ [ load8 Isa.rax Isa.rax 0 ]
+  | Call ("peek64", [ p ]) ->
+      compile_expr fe p @ [ load Isa.rax Isa.rax 0 ]
+  | Call ("poke8", [ p; v ]) ->
+      compile_expr fe p
+      @ [ push Isa.rax ]
+      @ compile_expr fe v
+      @ [ pop Isa.rcx; store8 Isa.rcx 0 Isa.rax ]
+  | Call ("poke64", [ p; v ]) ->
+      compile_expr fe p
+      @ [ push Isa.rax ]
+      @ compile_expr fe v
+      @ [ pop Isa.rcx; store Isa.rcx 0 Isa.rax ]
+  | Call ("rdtsc", []) -> [ i Isa.Rdtsc ]
+  | Call ("work", [ Num n ]) ->
+      (* weighted nop: n cycles of modelled straight-line work *)
+      let n = Int64.to_int n in
+      if n < 0 then error "work() weight must be non-negative";
+      List.init ((n / 65535) + 1) (fun j ->
+          i (Isa.Nopw (if j < n / 65535 then 65535 else n mod 65535)))
+  | Call ("work", _) -> error "work() takes one integer literal"
+  | Call (("peek8" | "peek64" | "poke8" | "poke64" | "rdtsc"), _) ->
+      error "builtin called with wrong arity"
+  | Call (f, args) ->
+      (match Hashtbl.find_opt fe.g.funcs f with
+      | None -> error "unknown function %s" f
+      | Some arity when arity <> List.length args ->
+          error "%s expects %d arguments" f arity
+      | Some _ -> ());
+      List.concat_map (fun a -> compile_expr fe a @ [ push Isa.rax ]) args
+      @ [ Call_l ("fn_" ^ f) ]
+      @ if args = [] then [] else [ add_ri Isa.rsp (8 * List.length args) ]
+
+let rec compile_stmt (fe : fenv) (s : stmt) : item list =
+  match s with
+  | Decl (name, init) ->
+      let off =
+        match Hashtbl.find_opt fe.locals name with
+        | Some (Lvar off) -> off
+        | _ -> error "internal: local %s not allocated" name
+      in
+      (match init with
+      | Some e -> compile_expr fe e
+      | None -> [ mov_ri Isa.rax 0 ])
+      @ [ store Isa.rbp off Isa.rax ]
+  | Decl_buf (_, _) -> []
+  | Assign (name, e) -> (
+      compile_expr fe e
+      @
+      match Hashtbl.find_opt fe.locals name with
+      | Some (Lvar off) -> [ store Isa.rbp off Isa.rax ]
+      | Some (Lbuf _) -> error "cannot assign to buffer %s" name
+      | None -> (
+          match Hashtbl.find_opt fe.g.gvars name with
+          | Some lbl -> [ Lea_ip (Isa.rcx, lbl); store Isa.rcx 0 Isa.rax ]
+          | None -> error "unknown variable %s" name))
+  | Store_byte (b, idx, v) ->
+      compile_expr fe b
+      @ [ push Isa.rax ]
+      @ compile_expr fe idx
+      @ [ push Isa.rax ]
+      @ compile_expr fe v
+      @ [ pop Isa.rcx; pop Isa.rbx; add_rr Isa.rbx Isa.rcx;
+          store8 Isa.rbx 0 Isa.rax ]
+  | Expr e -> compile_expr fe e
+  | Return None -> [ mov_ri Isa.rax 0; Jmp_l fe.epilogue ]
+  | Return (Some e) -> compile_expr fe e @ [ Jmp_l fe.epilogue ]
+  | If (cond, then_, else_) ->
+      let lelse = fresh_label fe.g "else" and lend = fresh_label fe.g "endif" in
+      compile_expr fe cond
+      @ [ cmp_ri Isa.rax 0; Jcc_l (Isa.Eq, lelse) ]
+      @ compile_stmts fe then_
+      @ [ Jmp_l lend; Label lelse ]
+      @ compile_stmts fe else_
+      @ [ Label lend ]
+  | While (cond, body) ->
+      let ltop = fresh_label fe.g "while" and lend = fresh_label fe.g "wend" in
+      fe.loop_labels <- (lend, ltop) :: fe.loop_labels;
+      let items =
+        [ Label ltop ]
+        @ compile_expr fe cond
+        @ [ cmp_ri Isa.rax 0; Jcc_l (Isa.Eq, lend) ]
+        @ compile_stmts fe body
+        @ [ Jmp_l ltop; Label lend ]
+      in
+      fe.loop_labels <- List.tl fe.loop_labels;
+      items
+  | For (init, cond, step, body) ->
+      let ltop = fresh_label fe.g "for"
+      and lstep = fresh_label fe.g "fstep"
+      and lend = fresh_label fe.g "fend" in
+      fe.loop_labels <- (lend, lstep) :: fe.loop_labels;
+      let items =
+        (match init with Some s -> compile_stmt fe s | None -> [])
+        @ [ Label ltop ]
+        @ (match cond with
+          | Some c ->
+              compile_expr fe c @ [ cmp_ri Isa.rax 0; Jcc_l (Isa.Eq, lend) ]
+          | None -> [])
+        @ compile_stmts fe body
+        @ [ Label lstep ]
+        @ (match step with Some s -> compile_stmt fe s | None -> [])
+        @ [ Jmp_l ltop; Label lend ]
+      in
+      fe.loop_labels <- List.tl fe.loop_labels;
+      items
+  | Break -> (
+      match fe.loop_labels with
+      | (lend, _) :: _ -> [ Jmp_l lend ]
+      | [] -> error "break outside loop")
+  | Continue -> (
+      match fe.loop_labels with
+      | (_, lcont) :: _ -> [ Jmp_l lcont ]
+      | [] -> error "continue outside loop")
+
+and compile_stmts fe stmts = List.concat_map (compile_stmt fe) stmts
+
+let compile_func (g : genv) (f : func) : item list =
+  let fe =
+    {
+      g;
+      locals = Hashtbl.create 16;
+      frame = 0;
+      epilogue = Printf.sprintf ".ret_%s" f.fname;
+      loop_labels = [];
+    }
+  in
+  (* Parameters: pushed left to right by the caller, so argument i of
+     n sits at [rbp + 16 + 8*(n-1-i)]. *)
+  let n = List.length f.params in
+  List.iteri
+    (fun idx p ->
+      if Hashtbl.mem fe.locals p then error "duplicate parameter %s" p;
+      Hashtbl.replace fe.locals p (Lvar (16 + (8 * (n - 1 - idx)))))
+    f.params;
+  scan_stmts fe f.body;
+  let frame = (fe.frame + 15) land lnot 15 in
+  [ Label ("fn_" ^ f.fname); push Isa.rbp; mov_rr Isa.rbp Isa.rsp ]
+  @ (if frame > 0 then [ sub_ri Isa.rsp frame ] else [])
+  @ compile_stmts fe f.body
+  @ [ mov_ri Isa.rax 0; Label fe.epilogue; mov_rr Isa.rsp Isa.rbp;
+      pop Isa.rbp; ret ]
+
+let le64 (v : int64) =
+  String.init 8 (fun j ->
+      Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * j)) land 0xFF))
+
+(** Compile a program.  Returns the text blob (at [code_base], entry
+    at the [start] label) and the data blob (at [data_base]). *)
+let compile ?(code_base = 0x400000) ?(data_base = 0x600000) (src : string) :
+    Sim_asm.Asm.blob * Sim_asm.Asm.blob =
+  let prog = Parser.parse src in
+  let g =
+    {
+      gvars = Hashtbl.create 8;
+      gbufs = Hashtbl.create 8;
+      funcs = Hashtbl.create 8;
+      strings = [];
+      next_str = 0;
+      next_label = 0;
+    }
+  in
+  List.iter
+    (fun gl ->
+      match gl with
+      | Gvar (name, _) -> Hashtbl.replace g.gvars name ("g_" ^ name)
+      | Gbuf (name, _, _) -> Hashtbl.replace g.gbufs name ("g_" ^ name))
+    prog.globals;
+  List.iter
+    (fun f ->
+      if Hashtbl.mem g.funcs f.fname then
+        error "duplicate function %s" f.fname;
+      Hashtbl.replace g.funcs f.fname (List.length f.params))
+    prog.funcs;
+  if not (Hashtbl.mem g.funcs "main") then error "no main function";
+  let text_items =
+    [
+      Label "start";
+      Call_l "fn_main";
+      mov_rr Isa.rdi Isa.rax;
+      mov_ri Isa.rax Sim_kernel.Defs.sys_exit_group;
+      syscall;
+    ]
+    @ List.concat_map (compile_func g) prog.funcs
+  in
+  let data_items =
+    List.concat_map
+      (fun gl ->
+        match gl with
+        | Gvar (name, init) -> [ Label ("g_" ^ name); Bytes (le64 init) ]
+        | Gbuf (name, n, init) ->
+            if String.length init > n then
+              error "initialiser longer than buffer %s" name;
+            [
+              Label ("g_" ^ name);
+              Bytes (init ^ String.make (n - String.length init) '\000');
+              Align 8;
+            ])
+      prog.globals
+    @ List.concat_map
+        (fun (lbl, s) -> [ Label lbl; Bytes (s ^ "\000") ])
+        (List.rev g.strings)
+    @ [ Zeros 8 ]
+  in
+  let data = Sim_asm.Asm.assemble ~base:data_base data_items in
+  let text =
+    Sim_asm.Asm.assemble ~base:code_base ~env:data.Sim_asm.Asm.symbols
+      text_items
+  in
+  (text, data)
+
+(** Compile straight to a loadable image. *)
+let compile_to_image ?(code_base = 0x400000) ?(data_base = 0x600000) src :
+    Sim_kernel.Types.image =
+  let text, data = compile ~code_base ~data_base src in
+  Sim_kernel.Loader.image ~entry:(Sim_asm.Asm.symbol text "start") ~text ~data
+    ()

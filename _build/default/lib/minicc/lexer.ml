@@ -1,0 +1,171 @@
+(** Hand-written lexer for minicc. *)
+
+type token =
+  | INT of int64
+  | IDENT of string
+  | STRING of string
+  | KW of string  (** long char if else while for return break continue *)
+  | PUNCT of string
+  | EOF
+
+type t = { src : string; mutable pos : int; mutable line : int }
+
+let make src = { src; pos = 0; line = 1 }
+
+let keywords =
+  [ "long"; "char"; "if"; "else"; "while"; "for"; "return"; "break";
+    "continue" ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let peek_char t = if t.pos < String.length t.src then Some t.src.[t.pos] else None
+
+let advance t = t.pos <- t.pos + 1
+
+let error t msg = Ast.error "line %d: %s" t.line msg
+
+let rec skip_ws t =
+  match peek_char t with
+  | Some (' ' | '\t' | '\r') ->
+      advance t;
+      skip_ws t
+  | Some '\n' ->
+      t.line <- t.line + 1;
+      advance t;
+      skip_ws t
+  | Some '/' when t.pos + 1 < String.length t.src && t.src.[t.pos + 1] = '/' ->
+      while peek_char t <> None && peek_char t <> Some '\n' do
+        advance t
+      done;
+      skip_ws t
+  | Some '/' when t.pos + 1 < String.length t.src && t.src.[t.pos + 1] = '*' ->
+      advance t;
+      advance t;
+      let rec go () =
+        match peek_char t with
+        | None -> error t "unterminated comment"
+        | Some '*' when t.pos + 1 < String.length t.src
+                        && t.src.[t.pos + 1] = '/' ->
+            advance t;
+            advance t
+        | Some c ->
+            if c = '\n' then t.line <- t.line + 1;
+            advance t;
+            go ()
+      in
+      go ();
+      skip_ws t
+  | _ -> ()
+
+let escape t = function
+  | 'n' -> '\n'
+  | 't' -> '\t'
+  | 'r' -> '\r'
+  | '0' -> '\000'
+  | '\\' -> '\\'
+  | '\'' -> '\''
+  | '"' -> '"'
+  | _ -> error t "bad escape"
+
+let next (t : t) : token =
+  skip_ws t;
+  match peek_char t with
+  | None -> EOF
+  | Some c when is_digit c ->
+      let start = t.pos in
+      if c = '0' && t.pos + 1 < String.length t.src
+         && (t.src.[t.pos + 1] = 'x' || t.src.[t.pos + 1] = 'X') then begin
+        advance t;
+        advance t;
+        let hstart = t.pos in
+        while
+          match peek_char t with
+          | Some ch ->
+              is_digit ch || (ch >= 'a' && ch <= 'f') || (ch >= 'A' && ch <= 'F')
+          | None -> false
+        do
+          advance t
+        done;
+        if t.pos = hstart then error t "bad hex literal";
+        INT (Int64.of_string ("0x" ^ String.sub t.src hstart (t.pos - hstart)))
+      end
+      else begin
+        while match peek_char t with Some ch -> is_digit ch | None -> false do
+          advance t
+        done;
+        INT (Int64.of_string (String.sub t.src start (t.pos - start)))
+      end
+  | Some c when is_ident_start c ->
+      let start = t.pos in
+      while match peek_char t with Some ch -> is_ident ch | None -> false do
+        advance t
+      done;
+      let s = String.sub t.src start (t.pos - start) in
+      if List.mem s keywords then KW s else IDENT s
+  | Some '"' ->
+      advance t;
+      let buf = Buffer.create 16 in
+      let rec go () =
+        match peek_char t with
+        | None -> error t "unterminated string"
+        | Some '"' -> advance t
+        | Some '\\' ->
+            advance t;
+            (match peek_char t with
+            | None -> error t "unterminated string"
+            | Some e ->
+                Buffer.add_char buf (escape t e);
+                advance t);
+            go ()
+        | Some ch ->
+            Buffer.add_char buf ch;
+            advance t;
+            go ()
+      in
+      go ();
+      STRING (Buffer.contents buf)
+  | Some '\'' ->
+      advance t;
+      let v =
+        match peek_char t with
+        | Some '\\' ->
+            advance t;
+            let e = match peek_char t with
+              | Some e -> e
+              | None -> error t "unterminated char"
+            in
+            advance t;
+            Char.code (escape t e)
+        | Some ch ->
+            advance t;
+            Char.code ch
+        | None -> error t "unterminated char"
+      in
+      (match peek_char t with
+      | Some '\'' -> advance t
+      | _ -> error t "unterminated char literal");
+      INT (Int64.of_int v)
+  | Some c ->
+      let two =
+        if t.pos + 1 < String.length t.src then
+          Some (String.sub t.src t.pos 2)
+        else None
+      in
+      (match two with
+      | Some (("==" | "!=" | "<=" | ">=" | "&&" | "||" | "<<" | ">>") as op) ->
+          advance t;
+          advance t;
+          PUNCT op
+      | _ ->
+          advance t;
+          PUNCT (String.make 1 c))
+
+(** Tokenise the whole input. *)
+let tokenize src : token list =
+  let t = make src in
+  let rec go acc =
+    match next t with EOF -> List.rev (EOF :: acc) | tok -> go (tok :: acc)
+  in
+  go []

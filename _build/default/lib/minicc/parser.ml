@@ -1,0 +1,329 @@
+(** Recursive-descent parser for minicc. *)
+
+open Ast
+
+type t = { mutable toks : Lexer.token list }
+
+let peek p = match p.toks with [] -> Lexer.EOF | tok :: _ -> tok
+
+let advance p = match p.toks with [] -> () | _ :: tl -> p.toks <- tl
+
+let expect_punct p s =
+  match peek p with
+  | Lexer.PUNCT x when x = s -> advance p
+  | _ -> error "expected '%s'" s
+
+let accept_punct p s =
+  match peek p with
+  | Lexer.PUNCT x when x = s ->
+      advance p;
+      true
+  | _ -> false
+
+let expect_ident p =
+  match peek p with
+  | Lexer.IDENT s ->
+      advance p;
+      s
+  | _ -> error "expected identifier"
+
+(* Precedence levels, loosest first. *)
+let binop_of = function
+  | "||" -> Some (LOr, 1)
+  | "&&" -> Some (LAnd, 2)
+  | "|" -> Some (BOr, 3)
+  | "^" -> Some (BXor, 4)
+  | "&" -> Some (BAnd, 5)
+  | "==" -> Some (Eq, 6)
+  | "!=" -> Some (Ne, 6)
+  | "<" -> Some (Lt, 7)
+  | "<=" -> Some (Le, 7)
+  | ">" -> Some (Gt, 7)
+  | ">=" -> Some (Ge, 7)
+  | "<<" -> Some (Shl, 8)
+  | ">>" -> Some (Shr, 8)
+  | "+" -> Some (Add, 9)
+  | "-" -> Some (Sub, 9)
+  | "*" -> Some (Mul, 10)
+  | "/" -> Some (Div, 10)
+  | "%" -> Some (Mod, 10)
+  | _ -> None
+
+let rec parse_expr p = parse_bin p 1
+
+and parse_bin p min_prec =
+  let lhs = ref (parse_unary p) in
+  let rec go () =
+    match peek p with
+    | Lexer.PUNCT op -> (
+        match binop_of op with
+        | Some (b, prec) when prec >= min_prec ->
+            advance p;
+            let rhs = parse_bin p (prec + 1) in
+            lhs := Bin (b, !lhs, rhs);
+            go ()
+        | _ -> ())
+    | _ -> ()
+  in
+  go ();
+  !lhs
+
+and parse_unary p =
+  match peek p with
+  | Lexer.PUNCT "-" ->
+      advance p;
+      Un (Neg, parse_unary p)
+  | Lexer.PUNCT "!" ->
+      advance p;
+      Un (LNot, parse_unary p)
+  | Lexer.PUNCT "~" ->
+      advance p;
+      Un (BNot, parse_unary p)
+  | _ -> parse_postfix p
+
+and parse_postfix p =
+  let e = ref (parse_primary p) in
+  let rec go () =
+    if accept_punct p "[" then begin
+      let idx = parse_expr p in
+      expect_punct p "]";
+      e := Index (!e, idx);
+      go ()
+    end
+  in
+  go ();
+  !e
+
+and parse_primary p =
+  match peek p with
+  | Lexer.INT v ->
+      advance p;
+      Num v
+  | Lexer.STRING s ->
+      advance p;
+      Str s
+  | Lexer.IDENT name ->
+      advance p;
+      if accept_punct p "(" then begin
+        let args = ref [] in
+        if not (accept_punct p ")") then begin
+          let rec loop () =
+            args := parse_expr p :: !args;
+            if accept_punct p "," then loop () else expect_punct p ")"
+          in
+          loop ()
+        end;
+        Call (name, List.rev !args)
+      end
+      else Var name
+  | Lexer.PUNCT "(" ->
+      advance p;
+      let e = parse_expr p in
+      expect_punct p ")";
+      e
+  | _ -> error "expected expression"
+
+let rec parse_stmt p : stmt =
+  match peek p with
+  | Lexer.KW "long" ->
+      advance p;
+      let name = expect_ident p in
+      let init = if accept_punct p "=" then Some (parse_expr p) else None in
+      expect_punct p ";";
+      Decl (name, init)
+  | Lexer.KW "char" ->
+      advance p;
+      let name = expect_ident p in
+      expect_punct p "[";
+      let n =
+        match peek p with
+        | Lexer.INT v ->
+            advance p;
+            Int64.to_int v
+        | _ -> error "expected buffer size"
+      in
+      expect_punct p "]";
+      expect_punct p ";";
+      Decl_buf (name, n)
+  | Lexer.KW "if" ->
+      advance p;
+      expect_punct p "(";
+      let cond = parse_expr p in
+      expect_punct p ")";
+      let then_ = parse_block_or_stmt p in
+      let else_ =
+        match peek p with
+        | Lexer.KW "else" ->
+            advance p;
+            parse_block_or_stmt p
+        | _ -> []
+      in
+      If (cond, then_, else_)
+  | Lexer.KW "while" ->
+      advance p;
+      expect_punct p "(";
+      let cond = parse_expr p in
+      expect_punct p ")";
+      While (cond, parse_block_or_stmt p)
+  | Lexer.KW "for" ->
+      advance p;
+      expect_punct p "(";
+      let init =
+        match peek p with
+        | Lexer.PUNCT ";" ->
+            advance p;
+            None
+        | Lexer.KW "long" ->
+            (* for (long i = 0; ...): parse_stmt consumes the ';' *)
+            Some (parse_stmt p)
+        | _ ->
+            let s = parse_simple_stmt p in
+            expect_punct p ";";
+            Some s
+      in
+      let cond = if accept_punct p ";" then None
+        else begin
+          let e = parse_expr p in
+          expect_punct p ";";
+          Some e
+        end
+      in
+      let step =
+        match peek p with
+        | Lexer.PUNCT ")" -> None
+        | _ -> Some (parse_simple_stmt p)
+      in
+      expect_punct p ")";
+      For (init, cond, step, parse_block_or_stmt p)
+  | Lexer.KW "return" ->
+      advance p;
+      if accept_punct p ";" then Return None
+      else begin
+        let e = parse_expr p in
+        expect_punct p ";";
+        Return (Some e)
+      end
+  | Lexer.KW "break" ->
+      advance p;
+      expect_punct p ";";
+      Break
+  | Lexer.KW "continue" ->
+      advance p;
+      expect_punct p ";";
+      Continue
+  | _ ->
+      let s = parse_simple_stmt p in
+      expect_punct p ";";
+      s
+
+(* assignment / byte-store / expression statement, without the
+   trailing ';' (shared with for-headers) *)
+and parse_simple_stmt p : stmt =
+  match p.toks with
+  | Lexer.IDENT name :: Lexer.PUNCT "=" :: _ ->
+      advance p;
+      advance p;
+      Assign (name, parse_expr p)
+  | _ -> (
+      let e = parse_expr p in
+      (* e1[e2] = e3 *)
+      match (e, peek p) with
+      | Index (base, idx), Lexer.PUNCT "=" ->
+          advance p;
+          Store_byte (base, idx, parse_expr p)
+      | _ -> Expr e)
+
+and parse_block_or_stmt p : stmt list =
+  if accept_punct p "{" then begin
+    let stmts = ref [] in
+    while not (accept_punct p "}") do
+      stmts := parse_stmt p :: !stmts
+    done;
+    List.rev !stmts
+  end
+  else [ parse_stmt p ]
+
+let parse_global p : global =
+  match peek p with
+  | Lexer.KW "long" ->
+      advance p;
+      let name = expect_ident p in
+      let init =
+        if accept_punct p "=" then
+          match peek p with
+          | Lexer.INT v ->
+              advance p;
+              v
+          | _ -> error "global initialisers must be integer literals"
+        else 0L
+      in
+      expect_punct p ";";
+      Gvar (name, init)
+  | Lexer.KW "char" ->
+      advance p;
+      let name = expect_ident p in
+      expect_punct p "[";
+      let n =
+        match peek p with
+        | Lexer.INT v ->
+            advance p;
+            Int64.to_int v
+        | _ -> error "expected buffer size"
+      in
+      expect_punct p "]";
+      let init =
+        if accept_punct p "=" then
+          match peek p with
+          | Lexer.STRING s ->
+              advance p;
+              s
+          | _ -> error "char-array initialisers must be string literals"
+        else ""
+      in
+      expect_punct p ";";
+      Gbuf (name, n, init)
+  | _ -> error "expected global declaration"
+
+(** Parse a complete program: a mix of globals and function
+    definitions ([long f(a, b) { ... }]). *)
+let parse (src : string) : program =
+  let p = { toks = Lexer.tokenize src } in
+  let globals = ref [] and funcs = ref [] in
+  let rec go () =
+    match peek p with
+    | Lexer.EOF -> ()
+    | Lexer.KW "long" when
+        (match p.toks with
+        | Lexer.KW "long" :: Lexer.IDENT _ :: Lexer.PUNCT "(" :: _ -> true
+        | _ -> false) ->
+        advance p;
+        let name = expect_ident p in
+        expect_punct p "(";
+        let params = ref [] in
+        if not (accept_punct p ")") then begin
+          let rec loop () =
+            (* allow optional 'long' before each parameter *)
+            (match peek p with
+            | Lexer.KW "long" -> advance p
+            | _ -> ());
+            params := expect_ident p :: !params;
+            if accept_punct p "," then loop () else expect_punct p ")"
+          in
+          loop ()
+        end;
+        expect_punct p "{";
+        let body = ref [] in
+        while not (accept_punct p "}") do
+          body := parse_stmt p :: !body
+        done;
+        funcs :=
+          { fname = name; params = List.rev !params; body = List.rev !body }
+          :: !funcs;
+        go ()
+    | Lexer.KW ("long" | "char") ->
+        globals := parse_global p :: !globals;
+        go ()
+    | _ -> error "expected global or function definition"
+  in
+  go ();
+  { globals = List.rev !globals; funcs = List.rev !funcs }

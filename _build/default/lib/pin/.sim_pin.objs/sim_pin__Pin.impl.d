@@ -1,0 +1,1 @@
+lib/pin/pin.ml: Array Cpu List Sim_cpu Sim_isa Sim_kernel Types

@@ -1,0 +1,1 @@
+lib/pin/pin.mli: Sim_kernel

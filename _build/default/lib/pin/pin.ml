@@ -1,0 +1,119 @@
+(** A Pin-style dynamic register-preservation analysis (the tool of
+    the paper's Section IV-B-b).
+
+    Attached to a task, it watches every architectural register read
+    and write and every completed syscall.  When a register is read
+    and at least one syscall executed since its last write, the
+    program evidently expects the kernel to have preserved that
+    register across the syscall.  For general-purpose registers (minus
+    rax/rcx/r11) the ABI guarantees this; for SSE/x87 state nothing
+    obliges an *interposer* to preserve it — which is exactly the
+    compatibility hazard the paper quantifies in Table III.
+
+    As a dynamic analysis it underestimates: it only sees executed
+    paths. *)
+
+open Sim_cpu
+open Sim_kernel
+open Types
+
+type reg_class = Gpr of int | Xmm of int | X87
+
+let reg_class_to_string = function
+  | Gpr r -> Sim_isa.Isa.gpr_name r
+  | Xmm i -> Sim_isa.Isa.xmm_name i
+  | X87 -> "x87"
+
+type expectation = {
+  reg : reg_class;
+  across_syscall : int;  (** nr of (the last) intervening syscall *)
+}
+
+type t = {
+  mutable syscall_seq : int;
+  mutable last_syscall_nr : int;
+  gpr_wseq : int array;  (** syscall_seq at last write, -1 = never *)
+  xmm_wseq : int array;
+  mutable x87_wseq : int;
+  mutable expectations : expectation list;
+  mutable events : int;
+}
+
+let create () =
+  {
+    syscall_seq = 0;
+    last_syscall_nr = -1;
+    gpr_wseq = Array.make 16 (-1);
+    xmm_wseq = Array.make 16 (-1);
+    x87_wseq = -1;
+    expectations = [];
+    events = 0;
+  }
+
+let note (p : t) reg =
+  if
+    not
+      (List.exists
+         (fun e -> e.reg = reg && e.across_syscall = p.last_syscall_nr)
+         p.expectations)
+  then
+    p.expectations <-
+      { reg; across_syscall = p.last_syscall_nr } :: p.expectations
+
+let on_event (p : t) (e : Cpu.hook_event) =
+  p.events <- p.events + 1;
+  match e with
+  | Cpu.Reg_write r -> p.gpr_wseq.(r) <- p.syscall_seq
+  | Cpu.Xmm_write i -> p.xmm_wseq.(i) <- p.syscall_seq
+  | Cpu.X87_write -> p.x87_wseq <- p.syscall_seq
+  | Cpu.Reg_read r ->
+      if p.gpr_wseq.(r) >= 0 && p.gpr_wseq.(r) < p.syscall_seq then
+        note p (Gpr r)
+  | Cpu.Xmm_read i ->
+      if p.xmm_wseq.(i) >= 0 && p.xmm_wseq.(i) < p.syscall_seq then
+        note p (Xmm i)
+  | Cpu.X87_read ->
+      if p.x87_wseq >= 0 && p.x87_wseq < p.syscall_seq then note p X87
+
+(** Attach the tool to [t].  Also chains onto the kernel's syscall
+    trace to observe syscall boundaries.  Returns the analysis
+    state; read it after the program ran. *)
+let attach (k : kernel) (t : task) : t =
+  let p = create () in
+  t.ctx.Cpu.hook <- Some (on_event p);
+  let prev = k.strace in
+  k.strace <-
+    Some
+      (fun task nr result ->
+        (match prev with Some f -> f task nr result | None -> ());
+        if task.tid = t.tid then begin
+          p.syscall_seq <- p.syscall_seq + 1;
+          p.last_syscall_nr <- nr
+        end);
+  p
+
+(** Registers the kernel may clobber per the ABI; expecting those is
+    an application bug, not an interposer compatibility issue. *)
+let abi_volatile = function
+  | Gpr r ->
+      r = Sim_isa.Isa.rax || r = Sim_isa.Isa.rcx || r = Sim_isa.Isa.r11
+  | Xmm _ | X87 -> false
+
+(** Did the program expect any *extended state* component to survive a
+    syscall?  (The paper's Table III checkmark.) *)
+let expects_xstate (p : t) =
+  List.exists
+    (fun e -> match e.reg with Xmm _ | X87 -> true | Gpr _ -> false)
+    p.expectations
+
+let xstate_expectations (p : t) =
+  List.filter
+    (fun e -> match e.reg with Xmm _ | X87 -> true | Gpr _ -> false)
+    p.expectations
+
+let gpr_expectations (p : t) =
+  List.filter
+    (fun e ->
+      (match e.reg with Gpr _ -> true | _ -> false)
+      && not (abi_volatile e.reg))
+    p.expectations

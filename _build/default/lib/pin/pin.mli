@@ -1,0 +1,45 @@
+(** A Pin-style dynamic register-preservation analysis (the tool of
+    the paper's Section IV-B-b).
+
+    Attached to a task, it watches every architectural register read
+    and write and every completed syscall; a read with at least one
+    syscall since the register's last write means the program expects
+    the kernel (and hence any interposer) to have preserved that
+    register.  Being dynamic, it underestimates: only executed paths
+    are seen. *)
+
+type reg_class = Gpr of int | Xmm of int | X87
+
+val reg_class_to_string : reg_class -> string
+
+type expectation = {
+  reg : reg_class;
+  across_syscall : int;
+      (** number of the last syscall the register survived *)
+}
+
+type t = {
+  mutable syscall_seq : int;
+  mutable last_syscall_nr : int;
+  gpr_wseq : int array;
+  xmm_wseq : int array;
+  mutable x87_wseq : int;
+  mutable expectations : expectation list;
+  mutable events : int;  (** register events observed *)
+}
+
+val attach : Sim_kernel.Types.kernel -> Sim_kernel.Types.task -> t
+(** Hook the analysis onto a task (and chain onto the kernel's
+    syscall trace).  Read the returned state after the program ran. *)
+
+val expects_xstate : t -> bool
+(** The paper's Table III checkmark: did the program expect any
+    SSE/x87 component to survive a syscall? *)
+
+val xstate_expectations : t -> expectation list
+
+val gpr_expectations : t -> expectation list
+(** GPR expectations, excluding rax/rcx/r11, which the syscall ABI
+    declares clobbered. *)
+
+val abi_volatile : reg_class -> bool

@@ -1,0 +1,1 @@
+lib/workloads/coreutils.ml: Defs Isa Kernel List Loader Minicc Sim_asm Sim_isa Sim_kernel Sim_mem Sim_pin String Types Vfs

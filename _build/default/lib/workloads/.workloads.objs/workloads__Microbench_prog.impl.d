@@ -1,0 +1,1 @@
+lib/workloads/microbench_prog.ml: Baselines Char Defs Int64 Isa Kernel Lazypoline Loader Sim_asm Sim_isa Sim_kernel Sim_mem String Types

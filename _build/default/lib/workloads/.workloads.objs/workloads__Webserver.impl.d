@@ -1,0 +1,1 @@
+lib/workloads/webserver.ml: Hashtbl Kernel List Minicc Net Printf Sim_kernel String Types Vfs

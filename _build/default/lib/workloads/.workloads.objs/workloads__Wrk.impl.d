@@ -1,0 +1,1 @@
+lib/workloads/wrk.ml: Int64 List Net Printf Sim_kernel String Types Webserver

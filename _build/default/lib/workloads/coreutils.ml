@@ -1,0 +1,222 @@
+(** Ten coreutils simulations for the Pin register-preservation study
+    (the paper's Table III).
+
+    Each utility is a small minicc program doing its real job against
+    the simulated VFS, prefixed by a hand-written "libc startup"
+    runtime in one of two flavours:
+
+    - [Glibc_2_31] ("Ubuntu 20.04", x86-64-v1): utilities that link
+      the threading paths run the pthread initialisation of the
+      paper's Listing 1 — xmm0 is populated, [set_tid_address] and
+      [set_robust_list] execute, and only then does a [movups]
+      initialise the [__stack_user] list head.  The compiler hoisted
+      the xmm write above the syscalls, so the program expects the
+      kernel to preserve xmm0 across them.  The non-threaded builds
+      complete their xmm use before any syscall.
+
+    - [Clear_linux] ("Clear Linux, glibc 2.39", up to x86-64-v3):
+      every binary runs a [ptmalloc_init] that pre-populates an xmm
+      register for the [main_arena] and expects the intervening
+      [getrandom] (heap cookie) to preserve it.
+
+    The affected sets reproduce Table III: 4/10 on Ubuntu (ls, mkdir,
+    mv, cp — the pthread-init issue), 10/10 on Clear Linux. *)
+
+open Sim_isa
+open Sim_asm.Asm
+open Sim_kernel
+
+type distro = Glibc_2_31 | Clear_linux
+
+let distro_name = function
+  | Glibc_2_31 -> "Ubuntu 20.04 (glibc 2.31)"
+  | Clear_linux -> "Clear Linux (glibc 2.39)"
+
+(* Scratch page the runtime uses for its "libc state". *)
+let libc_state = 0x98_0000
+
+let map_libc_state =
+  [
+    mov_ri Isa.rdi libc_state; mov_ri Isa.rsi 4096;
+    mov_ri Isa.rdx (Defs.prot_read lor Defs.prot_write);
+    mov_ri Isa.r10 (Defs.map_fixed lor Defs.map_anonymous);
+    mov_ri64 Isa.r8 (-1L); mov_ri Isa.r9 0;
+    mov_ri Isa.rax Defs.sys_mmap; syscall;
+  ]
+
+(* Listing 1: xmm0 holds &__stack_user across two syscalls. *)
+let pthread_init_pattern =
+  [
+    mov_ri Isa.r12 libc_state;
+    i (Isa.Movq_xr (0, Isa.r12));
+    i (Isa.Punpcklqdq (0, 0));
+    mov_ri Isa.rdi (libc_state + 256);
+    mov_ri Isa.rax Defs.sys_set_tid_address; syscall;
+    mov_ri Isa.rdi (libc_state + 264);
+    mov_ri Isa.rsi 24;
+    mov_ri Isa.rax Defs.sys_set_robust_list; syscall;
+    (* write '&__stack_user' to 'prev' + 'next' *)
+    i (Isa.Movups_store (Isa.Seg_none, Isa.r12, 0l, 0));
+  ]
+
+(* Same syscalls, but the xmm use completes before them (what the
+   compiler emits when nothing profits from hoisting). *)
+let pthread_init_pattern_safe =
+  [
+    mov_ri Isa.r12 libc_state;
+    i (Isa.Movq_xr (0, Isa.r12));
+    i (Isa.Punpcklqdq (0, 0));
+    i (Isa.Movups_store (Isa.Seg_none, Isa.r12, 0l, 0));
+    mov_ri Isa.rdi (libc_state + 256);
+    mov_ri Isa.rax Defs.sys_set_tid_address; syscall;
+    mov_ri Isa.rdi (libc_state + 264);
+    mov_ri Isa.rsi 24;
+    mov_ri Isa.rax Defs.sys_set_robust_list; syscall;
+  ]
+
+(* ptmalloc_init on Clear Linux: xmm1 prepared for main_arena, then
+   getrandom fetches the heap cookie, then xmm1 initialises the
+   arena. *)
+let ptmalloc_init_pattern =
+  [
+    mov_ri Isa.r12 (libc_state + 512) (* &main_arena *);
+    mov_ri64 Isa.rcx 0x2525252525252525L;
+    i (Isa.Movq_xr (1, Isa.rcx));
+    i (Isa.Punpcklqdq (1, 1));
+    (* getrandom(cookie_buf, 16, 0) *)
+    mov_ri Isa.rdi (libc_state + 768);
+    mov_ri Isa.rsi 16;
+    mov_ri Isa.rdx 0;
+    mov_ri Isa.rax Defs.sys_getrandom; syscall;
+    i (Isa.Movups_store (Isa.Seg_none, Isa.r12, 0l, 1));
+  ]
+
+(* Utilities whose Ubuntu builds pull in the pthread paths. *)
+let threaded_on_ubuntu = [ "ls"; "mkdir"; "mv"; "cp" ]
+
+let util_names =
+  [ "ls"; "pwd"; "chmod"; "mkdir"; "mv"; "cp"; "rm"; "touch"; "cat"; "clear" ]
+
+(* The actual utility bodies, in minicc. *)
+let util_source = function
+  | "ls" ->
+      (* getdents over /tmp, print names *)
+      "long main() {\n\
+       char ents[1024];\n\
+       char line[64];\n\
+       long fd = syscall(2, \"/tmp\", 0, 0);\n\
+       if (fd < 0) return 1;\n\
+       long n = syscall(78, fd, ents, 1024);\n\
+       long off = 0;\n\
+       while (off < n) {\n\
+       long i = 0;\n\
+       while (ents[off + i] != 0 && i < 55) { line[i] = ents[off + i]; i = i + 1; }\n\
+       line[i] = '\\n';\n\
+       syscall(1, 1, line, i + 1);\n\
+       off = off + 64;\n\
+       }\n\
+       syscall(3, fd);\n\
+       return 0; }"
+  | "pwd" ->
+      "long main() {\n\
+       char buf[128];\n\
+       long n = syscall(79, buf, 128);\n\
+       if (n < 0) return 1;\n\
+       buf[n - 1] = '\\n';\n\
+       syscall(1, 1, buf, n);\n\
+       return 0; }"
+  | "chmod" ->
+      "long main() { return syscall(90, \"/tmp/file_a\", 420) != 0; }"
+  | "mkdir" ->
+      "long main() { return syscall(83, \"/tmp/newdir\", 493) != 0; }"
+  | "mv" ->
+      "long main() { return syscall(82, \"/tmp/file_a\", \"/tmp/file_moved\") != 0; }"
+  | "cp" ->
+      "long main() {\n\
+       char buf[512];\n\
+       long src = syscall(2, \"/tmp/file_a\", 0, 0);\n\
+       if (src < 0) return 1;\n\
+       long dst = syscall(2, \"/tmp/file_copy\", 65, 420);\n\
+       if (dst < 0) return 1;\n\
+       long n = 1;\n\
+       while (n > 0) {\n\
+       n = syscall(0, src, buf, 512);\n\
+       if (n > 0) syscall(1, dst, buf, n);\n\
+       }\n\
+       syscall(3, src);\n\
+       syscall(3, dst);\n\
+       return 0; }"
+  | "rm" -> "long main() { return syscall(87, \"/tmp/file_b\", 0) != 0; }"
+  | "touch" ->
+      "long main() {\n\
+       long fd = syscall(2, \"/tmp/file_new\", 65, 420);\n\
+       if (fd < 0) return 1;\n\
+       syscall(3, fd);\n\
+       return 0; }"
+  | "cat" ->
+      "long main() {\n\
+       char buf[512];\n\
+       long fd = syscall(2, \"/tmp/file_a\", 0, 0);\n\
+       if (fd < 0) return 1;\n\
+       long n = 1;\n\
+       while (n > 0) {\n\
+       n = syscall(0, fd, buf, 512);\n\
+       if (n > 0) syscall(1, 1, buf, n);\n\
+       }\n\
+       syscall(3, fd);\n\
+       return 0; }"
+  | "clear" ->
+      "long main() {\n\
+       char b[8];\n\
+       b[0] = 27; b[1] = '['; b[2] = '2'; b[3] = 'J';\n\
+       syscall(1, 1, b, 4);\n\
+       return 0; }"
+  | u -> Minicc.Ast.error "unknown utility %s" u
+
+(** Build the image for [util] as compiled against [distro]'s libc:
+    the minicc body plus the distro's startup runtime. *)
+let image ~(distro : distro) (util : string) : Types.image =
+  let text, data = Minicc.Codegen.compile (util_source util) in
+  let pattern =
+    match distro with
+    | Glibc_2_31 ->
+        if List.mem util threaded_on_ubuntu then pthread_init_pattern
+        else pthread_init_pattern_safe
+    | Clear_linux ->
+        (* ptmalloc_init runs in every binary; the pthread paths only
+           in the threaded ones (harmlessly ordered here). *)
+        ptmalloc_init_pattern
+  in
+  let entry = Sim_asm.Asm.symbol text "start" in
+  let runtime =
+    Sim_asm.Asm.assemble ~base:0x50_0000
+      ([ Label "rt_start" ] @ map_libc_state @ pattern
+      @ [ mov_ri Isa.rbx entry; jmp_reg Isa.rbx ])
+  in
+  {
+    Types.img_segments =
+      [
+        (text.Sim_asm.Asm.base, text.Sim_asm.Asm.bytes, Sim_mem.Mem.rx);
+        (data.Sim_asm.Asm.base, data.Sim_asm.Asm.bytes, Sim_mem.Mem.rw);
+        (runtime.Sim_asm.Asm.base, runtime.Sim_asm.Asm.bytes, Sim_mem.Mem.rx);
+      ];
+    img_entry = Sim_asm.Asm.symbol runtime "rt_start";
+    img_stack_top = Loader.default_stack_top;
+    img_stack_size = Loader.default_stack_size;
+  }
+
+(** Populate the VFS with what the utilities expect. *)
+let setup_vfs (k : Types.kernel) =
+  ignore (Vfs.add_file k.Types.vfs "/tmp/file_a" (String.make 1500 'a'));
+  ignore (Vfs.add_file k.Types.vfs "/tmp/file_b" "bbb")
+
+(** Run [util] natively under the Pin tool; returns the analysis and
+    the exit code. *)
+let run_under_pin ~distro util : Sim_pin.Pin.t * int =
+  let k = Kernel.create () in
+  setup_vfs k;
+  let t = Kernel.spawn k (image ~distro util) in
+  let pin = Sim_pin.Pin.attach k t in
+  let ok = Kernel.run_until_exit k in
+  if not ok then failwith ("coreutil did not terminate: " ^ util);
+  (pin, t.Types.exit_code)

@@ -1,0 +1,90 @@
+(** A wrk-style keepalive load generator.
+
+    Modelled as an external actor on the simulated network stack
+    rather than as simulated machine code: in the paper's setup the
+    client runs on 36 dedicated cores (three times the server's 12)
+    precisely so that it is never the bottleneck, and the client is
+    never interposed.  Each connection keeps one request in flight:
+    as soon as the response's last byte arrives, the next request
+    goes out — maximum pressure, like wrk over keepalive
+    connections. *)
+
+open Sim_kernel
+
+type conn = {
+  ep : Net.endpoint;
+  mutable to_recv : int;  (** bytes outstanding of the current response *)
+  mutable in_flight : bool;
+  mutable send_pos : int;  (** partial-request progress *)
+}
+
+type t = {
+  conns : conn list;
+  request : string;
+  response_size : int;  (** header + body, known a priori *)
+  mutable completed : int;
+  mutable errors : int;
+}
+
+(** Connect [conns] keepalive connections to [port] and register the
+    generator as a kernel actor.  [file] is the path requested;
+    [file_size] its size (the client knows what it asked for). *)
+let attach (k : Types.kernel) ~port ~conns ~file ~file_size : t =
+  let request = Printf.sprintf "GET %s HTTP/1.1\r\nHost: bench\r\n\r\n" file in
+  let mk _ =
+    match Net.connect k.Types.net ~port with
+    | Ok ep -> { ep; to_recv = 0; in_flight = false; send_pos = 0 }
+    | Error `Refused -> failwith "wrk: connection refused"
+  in
+  let g =
+    {
+      conns = List.init conns mk;
+      request;
+      response_size = Webserver.header_len + file_size;
+      completed = 0;
+      errors = 0;
+    }
+  in
+  let step () =
+    List.iter
+      (fun c ->
+        (* Drain whatever the server produced. *)
+        let rec drain () =
+          match Net.recv c.ep 65536 with
+          | `Data s ->
+              c.to_recv <- c.to_recv - String.length s;
+              if c.to_recv > 0 then drain ()
+          | `Eof ->
+              if c.in_flight then g.errors <- g.errors + 1;
+              c.in_flight <- false;
+              c.to_recv <- 0
+          | `Empty -> ()
+        in
+        if c.in_flight then drain ();
+        if c.in_flight && c.to_recv <= 0 then begin
+          g.completed <- g.completed + 1;
+          c.in_flight <- false;
+          c.send_pos <- 0
+        end;
+        (* Fire the next request. *)
+        if (not c.in_flight) && c.ep.Net.peer <> None then begin
+          let remaining = String.length g.request - c.send_pos in
+          match Net.send c.ep g.request c.send_pos remaining with
+          | Ok sent ->
+              c.send_pos <- c.send_pos + sent;
+              if c.send_pos >= String.length g.request then begin
+                c.in_flight <- true;
+                c.to_recv <- g.response_size
+              end
+          | Error `Pipe -> g.errors <- g.errors + 1
+        end)
+      g.conns;
+    ()
+  in
+  k.Types.actors <- step :: k.Types.actors;
+  g
+
+(** Requests per simulated second (cycles at 2.1 GHz). *)
+let throughput (g : t) ~(cycles : int64) =
+  Int64.to_float (Int64.of_int g.completed)
+  /. (Int64.to_float cycles /. 2.1e9)

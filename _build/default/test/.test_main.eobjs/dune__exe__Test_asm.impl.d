@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Asm Decode Gen Int32 Isa List Printf QCheck QCheck_alcotest Sim_asm Sim_isa String

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Char Defs Isa Kernel Lazypoline List Loader QCheck QCheck_alcotest Sim_asm Sim_isa Sim_kernel Test_lazypoline Tutil Types

@@ -1,0 +1,1 @@
+test/test_bpf.ml: Alcotest Array Bpf Defs Int32 Int64 List QCheck QCheck_alcotest Sim_kernel

@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Array Cpu Int64 Isa List Mem Printf Sim_asm Sim_cpu Sim_isa Sim_mem String

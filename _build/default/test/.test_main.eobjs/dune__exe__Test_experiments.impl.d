@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Fun Harness Int64 List Printf Unix Workloads

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Decode Disasm Encode Format Int32 Isa List QCheck QCheck_alcotest Sim_isa String

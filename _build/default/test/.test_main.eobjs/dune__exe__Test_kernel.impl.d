@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Array Buffer Char Defs Hashtbl Int64 Isa Kernel Loader Printf Sim_asm Sim_costs Sim_isa Sim_kernel Tutil Types Vfs

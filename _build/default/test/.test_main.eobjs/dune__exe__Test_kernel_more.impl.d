@@ -1,0 +1,1 @@
+test/test_kernel_more.ml: Alcotest Char Defs Isa Kernel Minicc Printf Sim_asm Sim_isa Sim_kernel Tutil Types Vfs

@@ -1,0 +1,1 @@
+test/test_lazypoline.ml: Alcotest Array Char Defs Hashtbl Int64 Isa Kernel Lazypoline List Loader Sim_asm Sim_isa Sim_kernel Sim_mem String Tutil Types Vfs

@@ -1,0 +1,1 @@
+test/test_lazypoline_edge.ml: Alcotest Defs Hashtbl Int64 Isa Kernel Lazypoline List Loader Sim_asm Sim_cpu Sim_isa Sim_kernel Tutil Types

@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Gen List Mem Printf QCheck QCheck_alcotest Sim_mem String

@@ -1,0 +1,1 @@
+test/test_minicc.ml: Alcotest Buffer Char Gen Int64 Kernel List Minicc Printf QCheck QCheck_alcotest Sim_kernel String Types Vfs

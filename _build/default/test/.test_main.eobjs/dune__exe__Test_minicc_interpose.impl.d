@@ -1,0 +1,1 @@
+test/test_minicc_interpose.ml: Alcotest Baselines Buffer Kernel Lazypoline List Minicc Printf QCheck QCheck_alcotest Sim_kernel String Test_minicc Types Vfs

@@ -1,0 +1,1 @@
+test/test_mpk.ml: Alcotest Defs Int64 Isa Kernel Lazypoline List Loader Printf Sim_asm Sim_isa Sim_kernel Tutil Types Workloads

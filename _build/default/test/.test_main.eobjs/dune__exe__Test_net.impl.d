@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Buffer Fifo Gen List Net QCheck QCheck_alcotest Sim_kernel String

@@ -1,0 +1,1 @@
+test/test_signals.ml: Alcotest Defs Int64 Isa Sim_asm Sim_isa Sim_kernel Tutil

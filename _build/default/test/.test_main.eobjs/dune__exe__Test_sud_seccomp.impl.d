@@ -1,0 +1,1 @@
+test/test_sud_seccomp.ml: Alcotest Array Bpf Buffer Char Defs Hashtbl Int64 Isa Kernel Loader Printf Sim_asm Sim_costs Sim_isa Sim_kernel Tutil Types

@@ -1,0 +1,1 @@
+test/test_vfs.ml: Alcotest Buffer Defs Gen QCheck QCheck_alcotest Sim_kernel Vfs

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Buffer Char Defs Kernel Lazypoline List Minicc Net Printf Sim_isa Sim_kernel String Types Vfs Workloads

@@ -1,0 +1,1 @@
+test/tutil.ml: Alcotest Defs Kernel Loader Sim_asm Sim_isa Sim_kernel Types

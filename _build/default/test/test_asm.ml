@@ -1,0 +1,105 @@
+(** Assembler tests: label resolution, branches, data, environments. *)
+
+open Sim_isa
+open Sim_asm
+
+let test_forward_backward_jumps () =
+  let blob =
+    Asm.assemble ~base:0x1000
+      [
+        Asm.Label "start";
+        Asm.Jmp_l "end";
+        Asm.Label "mid";
+        Asm.nop;
+        Asm.Jmp_l "start";
+        Asm.Label "end";
+        Asm.Jmp_l "mid";
+      ]
+  in
+  (* start=0x1000; jmp(5)->0x1005 mid; nop(1)->0x1006; jmp(5)->0x100b end;
+     jmp(5). *)
+  Alcotest.(check int) "start" 0x1000 (Asm.symbol blob "start");
+  Alcotest.(check int) "mid" 0x1005 (Asm.symbol blob "mid");
+  Alcotest.(check int) "end" 0x100b (Asm.symbol blob "end");
+  (* First jmp: rel = 0x100b - (0x1000+5) = 6 *)
+  match Decode.decode_string blob.bytes 0 with
+  | Ok (Isa.Jmp rel, 5) -> Alcotest.(check int32) "rel" 6l rel
+  | _ -> Alcotest.fail "expected jmp"
+
+let test_duplicate_label () =
+  match Asm.assemble [ Asm.Label "a"; Asm.Label "a" ] with
+  | exception Asm.Asm_error _ -> ()
+  | _ -> Alcotest.fail "duplicate label accepted"
+
+let test_undefined_label () =
+  match Asm.assemble [ Asm.Jmp_l "nowhere" ] with
+  | exception Asm.Asm_error _ -> ()
+  | _ -> Alcotest.fail "undefined label accepted"
+
+let test_env_symbols () =
+  let blob =
+    Asm.assemble ~base:0 ~env:[ ("ext", 0xdeadb) ] [ Asm.Lea_ip (Isa.rax, "ext") ]
+  in
+  match Decode.decode_string blob.bytes 0 with
+  | Ok (Isa.Mov_ri (0, v), 10) ->
+      Alcotest.(check int64) "env addr" 0xdeadbL v
+  | _ -> Alcotest.fail "expected mov rax, imm64"
+
+let test_align_and_data () =
+  let blob =
+    Asm.assemble ~base:0
+      [ Asm.nop; Asm.Align 16; Asm.Label "data"; Asm.Bytes "hello";
+        Asm.Zeros 3 ]
+  in
+  Alcotest.(check int) "aligned" 16 (Asm.symbol blob "data");
+  Alcotest.(check int) "size" 24 (String.length blob.bytes);
+  Alcotest.(check string) "payload" "hello"
+    (String.sub blob.bytes 16 5)
+
+let test_call_label_roundtrip () =
+  let blob =
+    Asm.assemble ~base:0x400000
+      [ Asm.Call_l "f"; Asm.hlt; Asm.Label "f"; Asm.ret ]
+  in
+  (match Decode.decode_string blob.bytes 0 with
+  | Ok (Isa.Call rel, 5) ->
+      Alcotest.(check int) "call target" (Asm.symbol blob "f")
+        (0x400000 + 5 + Int32.to_int rel)
+  | _ -> Alcotest.fail "expected call")
+
+let prop_label_addresses_monotonic =
+  QCheck.Test.make ~count:200 ~name:"label addresses monotonic"
+    QCheck.(make Gen.(list_size (int_range 1 20) (int_range 0 2)))
+    (fun shape ->
+      let items =
+        List.concat
+          (List.mapi
+             (fun i kind ->
+               let lbl = Asm.Label (Printf.sprintf "l%d" i) in
+               match kind with
+               | 0 -> [ lbl; Asm.nop ]
+               | 1 -> [ lbl; Asm.mov_ri Isa.rax i ]
+               | _ -> [ lbl; Asm.Bytes (String.make (i + 1) 'x') ])
+             shape)
+      in
+      let blob = Asm.assemble ~base:0 items in
+      let addrs =
+        List.mapi (fun i _ -> Asm.symbol blob (Printf.sprintf "l%d" i)) shape
+      in
+      let rec increasing = function
+        | a :: (b :: _ as tl) -> a < b && increasing tl
+        | _ -> true
+      in
+      increasing addrs)
+
+let tests =
+  [
+    Alcotest.test_case "forward/backward jumps" `Quick
+      test_forward_backward_jumps;
+    Alcotest.test_case "duplicate label" `Quick test_duplicate_label;
+    Alcotest.test_case "undefined label" `Quick test_undefined_label;
+    Alcotest.test_case "env symbols" `Quick test_env_symbols;
+    Alcotest.test_case "align and data" `Quick test_align_and_data;
+    Alcotest.test_case "call label" `Quick test_call_label_roundtrip;
+    QCheck_alcotest.to_alcotest prop_label_addresses_monotonic;
+  ]

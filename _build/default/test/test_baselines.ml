@@ -1,0 +1,269 @@
+(** Tests of the baseline interposers, and the cross-mechanism
+    equivalence properties that anchor the evaluation: lazypoline
+    must behave exactly like the exhaustive kernel mechanisms, while
+    zpoline visibly misses dynamically generated code. *)
+
+open Sim_isa
+open Sim_asm.Asm
+open Sim_kernel
+module Hook = Lazypoline.Hook
+
+type mech = Native | Lazy | Zpoline | Sud | Seccomp_user | Ptrace
+
+let run_under mech ?(vfs_setup = fun _ -> ()) items =
+  let k = Kernel.create () in
+  vfs_setup k;
+  let img = Loader.image_of_items items in
+  let t = Kernel.spawn k img in
+  let hook, trace = Hook.tracing () in
+  (match mech with
+  | Native -> ()
+  | Lazy -> ignore (Lazypoline.install k t hook)
+  | Zpoline -> ignore (Baselines.Zpoline.install k t hook)
+  | Sud -> ignore (Baselines.Sud_interposer.install k t hook)
+  | Seccomp_user -> ignore (Baselines.Seccomp_user.install k t hook)
+  | Ptrace -> ignore (Baselines.Ptrace_interposer.install k t hook));
+  let finished = Kernel.run_until_exit ~max_slices:400_000 k in
+  if not finished then Alcotest.fail "program did not terminate";
+  (t.Types.exit_code, List.map fst (Hook.recorded trace), k, t)
+
+let simple_prog =
+  [ mov_ri Isa.rax Defs.sys_getpid; syscall; mov_rr Isa.rdi Isa.rax;
+    mov_ri Isa.rax Defs.sys_exit_group; syscall ]
+
+let test_zpoline_static_interposition () =
+  let code, trace, _, _ = run_under Zpoline simple_prog in
+  Alcotest.(check int) "result intact" 1 code;
+  Alcotest.(check (list int)) "trace"
+    [ Defs.sys_getpid; Defs.sys_exit_group ]
+    trace
+
+let test_zpoline_rewrites_all_static_sites () =
+  let k = Kernel.create () in
+  let img = Loader.image_of_items simple_prog in
+  let t = Kernel.spawn k img in
+  let hook = Hook.dummy () in
+  let st = Baselines.Zpoline.install k t hook in
+  Alcotest.(check int) "two sites rewritten" 2
+    st.Baselines.Zpoline.stats.Baselines.Zpoline.sites_rewritten
+
+let test_zpoline_misses_jit () =
+  (* The paper's Section V-A experiment in miniature: the JITted
+     getpid escapes zpoline but not the exhaustive mechanisms. *)
+  let jit = Test_lazypoline.jit_prog in
+  let _, ztrace, _, _ = run_under Zpoline jit in
+  let _, ltrace, _, _ = run_under Lazy jit in
+  let _, strace_, _, _ = run_under Sud jit in
+  Alcotest.(check bool) "zpoline missed the JITted getpid" false
+    (List.mem Defs.sys_getpid ztrace);
+  Alcotest.(check bool) "lazypoline caught it" true
+    (List.mem Defs.sys_getpid ltrace);
+  Alcotest.(check bool) "SUD caught it" true
+    (List.mem Defs.sys_getpid strace_);
+  Alcotest.(check (list int)) "lazypoline trace == SUD trace" strace_ ltrace
+
+let test_sud_baseline_correctness () =
+  let code, trace, _, _ = run_under Sud simple_prog in
+  Alcotest.(check int) "result intact" 1 code;
+  Alcotest.(check (list int)) "trace"
+    [ Defs.sys_getpid; Defs.sys_exit_group ]
+    trace
+
+let test_seccomp_user_correctness () =
+  let code, trace, _, _ = run_under Seccomp_user simple_prog in
+  Alcotest.(check int) "result intact" 1 code;
+  Alcotest.(check (list int)) "trace"
+    [ Defs.sys_getpid; Defs.sys_exit_group ]
+    trace
+
+let test_ptrace_correctness () =
+  let code, trace, _, _ = run_under Ptrace simple_prog in
+  Alcotest.(check int) "result intact" 1 code;
+  Alcotest.(check (list int)) "trace"
+    [ Defs.sys_getpid; Defs.sys_exit_group ]
+    trace
+
+let test_sud_baseline_fork () =
+  let prog =
+    [
+      mov_ri Isa.rax Defs.sys_fork; syscall;
+      cmp_ri Isa.rax 0;
+      Jcc_l (Isa.Eq, "child");
+      mov_ri64 Isa.rdi (-1L);
+      mov_rr Isa.rsi Isa.rsp; sub_ri Isa.rsi 256;
+      mov_ri Isa.rdx 0;
+      mov_ri Isa.rax Defs.sys_wait4; syscall;
+      mov_rr Isa.rbx Isa.rsp; sub_ri Isa.rbx 256;
+      load Isa.rdi Isa.rbx 0;
+      i (Isa.Shift (Isa.Shr, Isa.rdi, 8));
+      mov_ri Isa.rax Defs.sys_exit_group; syscall;
+      Label "child";
+      mov_ri Isa.rax Defs.sys_getuid; syscall;
+    ]
+    @ Tutil.exit_with 3
+  in
+  let code, trace, _, _ = run_under Sud prog in
+  Alcotest.(check int) "child status" 3 code;
+  Alcotest.(check bool) "child getuid interposed (re-armed)" true
+    (List.mem Defs.sys_getuid trace)
+
+let test_ptrace_can_suppress () =
+  let k = Kernel.create () in
+  let img = Loader.image_of_items simple_prog in
+  let t = Kernel.spawn k img in
+  let hook = Hook.dummy () in
+  hook.Hook.on_syscall <-
+    (fun c ->
+      if c.Hook.nr = Defs.sys_getpid then Hook.Return 42L else Hook.Emulate);
+  ignore (Baselines.Ptrace_interposer.install k t hook);
+  ignore (Kernel.run_until_exit k);
+  Alcotest.(check int) "suppressed getpid returned 42" 42 t.Types.exit_code
+
+let test_seccomp_bpf_sandbox () =
+  let k = Kernel.create () in
+  let img =
+    Loader.image_of_items
+      ([ mov_ri Isa.rax Defs.sys_getuid; syscall;
+         mov_ri Isa.rbx 0; sub_rr Isa.rbx Isa.rax;
+         mov_rr Isa.rdi Isa.rbx;
+         mov_ri Isa.rax Defs.sys_exit_group; syscall ])
+  in
+  let t = Kernel.spawn k img in
+  ignore
+    (Baselines.Seccomp_bpf.install k t
+       (Baselines.Seccomp_bpf.deny_nrs [ Defs.sys_getuid ]));
+  ignore (Kernel.run_until_exit k);
+  Alcotest.(check int) "getuid denied" Defs.eperm t.Types.exit_code
+
+let test_zpoline_data_corruption_hazard () =
+  (* Section II-B's other hazard: static scanning can MISidentify data
+     as code.  A constant pool in an executable segment contains the
+     bytes 0F 05; the linear sweep reads them as a syscall instruction
+     and zpoline destructively rewrites them.  lazypoline never
+     rewrites anything the kernel did not prove to be a live syscall,
+     so the data survives. *)
+  let prog =
+    [
+      Label "start";
+      Jmp_l "code";
+      Label "pool";
+      Bytes "\x0f\x05\x11\x22";  (* data that looks like `syscall` *)
+      Label "code";
+      (* exit(first two pool bytes summed) *)
+      Lea_ip (Isa.rbx, "pool");
+      load8 Isa.rdi Isa.rbx 0;
+      load8 Isa.rcx Isa.rbx 1;
+      add_rr Isa.rdi Isa.rcx;
+    ]
+    @ [ mov_ri Isa.rax Defs.sys_exit_group; syscall ]
+  in
+  let expected = 0x0f + 0x05 in
+  let native_code, _, _, _ = run_under Native prog in
+  Alcotest.(check int) "native reads its pool" expected native_code;
+  let lazy_code, _, _, _ = run_under Lazy prog in
+  Alcotest.(check int) "lazypoline leaves data alone" expected lazy_code;
+  let z_code, _, _, _ = run_under Zpoline prog in
+  (* call rax = FF D0: the pool now sums to 0xff + 0xd0 (mod 256) *)
+  Alcotest.(check int) "zpoline corrupted the pool"
+    ((0xff + 0xd0) land 0xff)
+    (z_code land 0xff);
+  Alcotest.(check bool) "corruption happened" true (z_code <> native_code)
+
+(* --- the equivalence property ------------------------------------- *)
+
+(* Random straight-line programs over benign syscalls, accumulating a
+   checksum of results in r13; exits with the checksum's low bits. *)
+let gen_ops =
+  QCheck.Gen.(list_size (int_range 1 15) (int_range 0 5))
+
+let prog_of_ops ops =
+  let block op =
+    match op with
+    | 0 -> [ mov_ri Isa.rax Defs.sys_getpid; syscall ]
+    | 1 -> [ mov_ri Isa.rax Defs.sys_gettid; syscall ]
+    | 2 -> [ mov_ri Isa.rax Defs.sys_getuid; syscall ]
+    | 3 ->
+        (* open of a missing file: -ENOENT *)
+        [
+          mov_rr Isa.rdi Isa.rsp; sub_ri Isa.rdi 64;
+          (* path "x\0" on the stack *)
+          mov_ri Isa.rcx (Char.code 'x');
+          store8 Isa.rdi 0 Isa.rcx;
+          mov_ri Isa.rcx 0;
+          store8 Isa.rdi 1 Isa.rcx;
+          mov_ri Isa.rsi Defs.o_rdonly;
+          mov_ri Isa.rdx 0;
+          mov_ri Isa.rax Defs.sys_open; syscall;
+        ]
+    | 4 -> [ mov_ri Isa.rax 500; syscall ] (* ENOSYS *)
+    | _ ->
+        (* pure computation, no syscall *)
+        [ mov_ri Isa.rax 77; add_ri Isa.rax 1 ]
+  in
+  [ mov_ri Isa.r13 0 ]
+  @ List.concat_map (fun op -> block op @ [ add_rr Isa.r13 Isa.rax ]) ops
+  @ [
+      i (Isa.Alu_ri (Isa.And, Isa.r13, 0x7Fl));
+      mov_rr Isa.rdi Isa.r13;
+      mov_ri Isa.rax Defs.sys_exit_group;
+      syscall;
+    ]
+
+let expected_trace ops =
+  List.filter_map
+    (fun op ->
+      match op with
+      | 0 -> Some Defs.sys_getpid
+      | 1 -> Some Defs.sys_gettid
+      | 2 -> Some Defs.sys_getuid
+      | 3 -> Some Defs.sys_open
+      | 4 -> Some 500
+      | _ -> None)
+    ops
+  @ [ Defs.sys_exit_group ]
+
+let prop_equivalence =
+  QCheck.Test.make ~count:60
+    ~name:"lazypoline == SUD == native results; traces exhaustive"
+    (QCheck.make gen_ops)
+    (fun ops ->
+      let prog = prog_of_ops ops in
+      let native_code, _, _, _ = run_under Native prog in
+      let lazy_code, lazy_trace, _, _ = run_under Lazy prog in
+      let sud_code, sud_trace, _, _ = run_under Sud prog in
+      native_code = lazy_code && native_code = sud_code
+      && lazy_trace = expected_trace ops
+      && sud_trace = lazy_trace)
+
+let prop_zpoline_matches_on_static_code =
+  QCheck.Test.make ~count:40
+    ~name:"zpoline matches lazypoline on fully static programs"
+    (QCheck.make gen_ops)
+    (fun ops ->
+      let prog = prog_of_ops ops in
+      let z_code, z_trace, _, _ = run_under Zpoline prog in
+      let l_code, l_trace, _, _ = run_under Lazy prog in
+      z_code = l_code && z_trace = l_trace)
+
+let tests =
+  [
+    Alcotest.test_case "zpoline static interposition" `Quick
+      test_zpoline_static_interposition;
+    Alcotest.test_case "zpoline rewrites all static sites" `Quick
+      test_zpoline_rewrites_all_static_sites;
+    Alcotest.test_case "zpoline misses JIT; exhaustive mechanisms do not"
+      `Quick test_zpoline_misses_jit;
+    Alcotest.test_case "SUD baseline correctness" `Quick
+      test_sud_baseline_correctness;
+    Alcotest.test_case "seccomp-user correctness" `Quick
+      test_seccomp_user_correctness;
+    Alcotest.test_case "ptrace correctness" `Quick test_ptrace_correctness;
+    Alcotest.test_case "SUD baseline re-arms fork children" `Quick
+      test_sud_baseline_fork;
+    Alcotest.test_case "ptrace can suppress" `Quick test_ptrace_can_suppress;
+    Alcotest.test_case "seccomp-bpf sandbox" `Quick test_seccomp_bpf_sandbox;
+    Alcotest.test_case "zpoline data-corruption hazard" `Quick
+      test_zpoline_data_corruption_hazard;
+    QCheck_alcotest.to_alcotest prop_equivalence;
+    QCheck_alcotest.to_alcotest prop_zpoline_matches_on_static_code;
+  ]

@@ -1,0 +1,156 @@
+(** Classic BPF interpreter and validator tests. *)
+
+open Sim_kernel
+
+let data ?(nr = 0) ?(ip = 0) ?(args = [||]) () =
+  {
+    Bpf.nr;
+    arch = Bpf.audit_arch_x86_64;
+    instruction_pointer = ip;
+    args =
+      Array.init 6 (fun i -> if i < Array.length args then args.(i) else 0L);
+  }
+
+let run_action prog d =
+  let v, _ = Bpf.run prog d in
+  Int64.to_int (Int64.logand (Int64.of_int32 v) 0xFFFFFFFFL)
+
+let test_allow_all () =
+  Alcotest.(check int) "allow" Defs.seccomp_ret_allow
+    (run_action Bpf.allow_all (data ()))
+
+let test_filter_on_nrs () =
+  let p =
+    Bpf.filter_on_nrs ~nrs:[ 1; 2; 60 ] ~action:Defs.seccomp_ret_trap
+      ~otherwise:Defs.seccomp_ret_allow
+  in
+  Bpf.validate p;
+  Alcotest.(check int) "hit first" Defs.seccomp_ret_trap
+    (run_action p (data ~nr:1 ()));
+  Alcotest.(check int) "hit last" Defs.seccomp_ret_trap
+    (run_action p (data ~nr:60 ()));
+  Alcotest.(check int) "miss" Defs.seccomp_ret_allow
+    (run_action p (data ~nr:3 ()))
+
+let test_ip_range_filter () =
+  let p =
+    Bpf.filter_on_ip_range ~lo:0x400000 ~hi:0x401000
+      ~outside_action:Defs.seccomp_ret_trap
+  in
+  Bpf.validate p;
+  Alcotest.(check int) "inside" Defs.seccomp_ret_allow
+    (run_action p (data ~ip:0x400800 ()));
+  Alcotest.(check int) "below" Defs.seccomp_ret_trap
+    (run_action p (data ~ip:0x3fffff ()));
+  Alcotest.(check int) "at hi" Defs.seccomp_ret_trap
+    (run_action p (data ~ip:0x401000 ()));
+  Alcotest.(check int) "at lo" Defs.seccomp_ret_allow
+    (run_action p (data ~ip:0x400000 ()))
+
+let test_arg_inspection () =
+  (* Allow write(2) only when fd (arg0 low word) = 1. *)
+  let open Bpf in
+  let p =
+    [|
+      stmt (bpf_ld lor bpf_w lor bpf_abs) (off_arg_lo 0);
+      jump (bpf_jmp lor bpf_jeq lor bpf_k) 1 0 1;
+      stmt (bpf_ret lor bpf_k) Defs.seccomp_ret_allow;
+      stmt (bpf_ret lor bpf_k) (Defs.seccomp_ret_errno lor Defs.eacces);
+    |]
+  in
+  validate p;
+  Alcotest.(check int) "fd=1 allowed" Defs.seccomp_ret_allow
+    (run_action p (data ~args:[| 1L |] ()));
+  Alcotest.(check int) "fd=2 errno"
+    (Defs.seccomp_ret_errno lor Defs.eacces)
+    (run_action p (data ~args:[| 2L |] ()))
+
+let test_alu_and_scratch () =
+  let open Bpf in
+  (* A = nr; M[0]=A; A = A*2 + 1; X = M[0]; A = A - X -> nr + 1 *)
+  let p =
+    [|
+      stmt (bpf_ld lor bpf_w lor bpf_abs) off_nr;
+      stmt bpf_st 0;
+      stmt (bpf_alu lor bpf_mul lor bpf_k) 2;
+      stmt (bpf_alu lor bpf_add lor bpf_k) 1;
+      stmt (bpf_ldx lor bpf_mem) 0;
+      stmt (bpf_alu lor bpf_sub lor bpf_x) 0;
+      stmt (bpf_ret lor 0x10 (* RET A *)) 0;
+    |]
+  in
+  validate p;
+  Alcotest.(check int) "nr+1" 43 (run_action p (data ~nr:42 ()))
+
+let test_validator_rejects () =
+  let open Bpf in
+  let reject name p =
+    match validate p with
+    | exception Invalid_program _ -> ()
+    | () -> Alcotest.failf "%s accepted" name
+  in
+  reject "empty" [||];
+  reject "fall off end" [| stmt (bpf_ld lor bpf_w lor bpf_abs) 0 |];
+  reject "jump oob"
+    [| jump (bpf_jmp lor bpf_jeq lor bpf_k) 0 5 5;
+       stmt (bpf_ret lor bpf_k) 0 |];
+  reject "byte load"
+    [| stmt (bpf_ld lor 0x10 lor bpf_abs) 0; stmt (bpf_ret lor bpf_k) 0 |];
+  reject "unaligned offset"
+    [| stmt (bpf_ld lor bpf_w lor bpf_abs) 3; stmt (bpf_ret lor bpf_k) 0 |];
+  reject "offset past data"
+    [| stmt (bpf_ld lor bpf_w lor bpf_abs) 64; stmt (bpf_ret lor bpf_k) 0 |]
+
+let test_step_count () =
+  let p =
+    Bpf.filter_on_nrs ~nrs:[ 5 ] ~action:Defs.seccomp_ret_trap
+      ~otherwise:Defs.seccomp_ret_allow
+  in
+  let _, steps = Bpf.run p (data ~nr:5 ()) in
+  Alcotest.(check int) "steps" 3 steps
+
+(* Reference implementation for the property test: a tiny independent
+   evaluator for straight-line LD/ALU/RET programs. *)
+let prop_alu_matches_reference =
+  let open Bpf in
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 0 10)
+        (pair (oneofl [ bpf_add; bpf_sub; bpf_mul; bpf_or; bpf_and; bpf_xor ])
+           (int_range 0 1000)))
+  in
+  QCheck.Test.make ~count:300 ~name:"ALU chain matches reference"
+    (QCheck.make gen)
+    (fun ops ->
+      let prog =
+        Array.of_list
+          ([ stmt (bpf_ld lor bpf_imm) 7 ]
+          @ List.map (fun (op, k) -> stmt (bpf_alu lor op lor bpf_k) k) ops
+          @ [ stmt (bpf_ret lor 0x10) 0 ])
+      in
+      let expected =
+        List.fold_left
+          (fun a (op, k) ->
+            let k32 = Int32.of_int k in
+            if op = bpf_add then Int32.add a k32
+            else if op = bpf_sub then Int32.sub a k32
+            else if op = bpf_mul then Int32.mul a k32
+            else if op = bpf_or then Int32.logor a k32
+            else if op = bpf_and then Int32.logand a k32
+            else Int32.logxor a k32)
+          7l ops
+      in
+      let v, _ = Bpf.run prog (data ()) in
+      v = expected)
+
+let tests =
+  [
+    Alcotest.test_case "allow all" `Quick test_allow_all;
+    Alcotest.test_case "filter on nrs" `Quick test_filter_on_nrs;
+    Alcotest.test_case "ip range filter" `Quick test_ip_range_filter;
+    Alcotest.test_case "argument inspection" `Quick test_arg_inspection;
+    Alcotest.test_case "alu and scratch" `Quick test_alu_and_scratch;
+    Alcotest.test_case "validator rejects" `Quick test_validator_rejects;
+    Alcotest.test_case "step count" `Quick test_step_count;
+    QCheck_alcotest.to_alcotest prop_alu_matches_reference;
+  ]

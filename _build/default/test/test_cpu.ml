@@ -1,0 +1,249 @@
+(** CPU interpreter tests: arithmetic, control flow, stack, SSE/x87,
+    segment-relative addressing, traps and register hooks. *)
+
+open Sim_isa
+open Sim_mem
+open Sim_cpu
+
+let setup items =
+  let m = Mem.create () in
+  let blob = Sim_asm.Asm.assemble ~base:0x1000 items in
+  Mem.map m ~addr:0x1000 ~len:(max 4096 (String.length blob.bytes)) ~perm:Mem.rx;
+  Mem.poke_bytes m 0x1000 blob.bytes;
+  Mem.map m ~addr:0x8000 ~len:8192 ~perm:Mem.rw;
+  let c = Cpu.create () in
+  c.rip <- 0x1000;
+  Cpu.poke_reg c Isa.rsp 0xA000L;
+  (c, m, blob)
+
+(* Step until an outcome other than Stepped, or [fuel] runs out. *)
+let rec run_to_trap ?(fuel = 10000) c m =
+  if fuel = 0 then Alcotest.fail "fuel exhausted"
+  else
+    match Cpu.step c m with
+    | Cpu.Stepped -> run_to_trap ~fuel:(fuel - 1) c m
+    | o -> o
+
+let expect_halt c m = function
+  | () -> (
+      match run_to_trap c m with
+      | Cpu.Halted -> ()
+      | _ -> Alcotest.fail "expected halt")
+
+let test_arith () =
+  let open Sim_asm.Asm in
+  let c, m, _ =
+    setup
+      [
+        mov_ri Isa.rax 10; mov_ri Isa.rbx 3;
+        i (Isa.Alu_rr (Isa.Mul, Isa.rax, Isa.rbx)) (* 30 *);
+        add_ri Isa.rax 12 (* 42 *);
+        mov_ri Isa.rcx 5;
+        i (Isa.Alu_rr (Isa.Div, Isa.rcx, Isa.rbx)) (* 1 *);
+        mov_ri Isa.rdx 7;
+        i (Isa.Alu_rr (Isa.Rem, Isa.rdx, Isa.rbx)) (* 1 *);
+        hlt;
+      ]
+  in
+  expect_halt c m ();
+  Alcotest.(check int64) "rax" 42L (Cpu.peek_reg c Isa.rax);
+  Alcotest.(check int64) "rcx" 1L (Cpu.peek_reg c Isa.rcx);
+  Alcotest.(check int64) "rdx" 1L (Cpu.peek_reg c Isa.rdx)
+
+let test_div_by_zero () =
+  let open Sim_asm.Asm in
+  let c, m, _ =
+    setup
+      [ mov_ri Isa.rax 1; mov_ri Isa.rbx 0;
+        i (Isa.Alu_rr (Isa.Div, Isa.rax, Isa.rbx)); hlt ]
+  in
+  match run_to_trap c m with
+  | Cpu.Fault_arith -> ()
+  | _ -> Alcotest.fail "expected arithmetic fault"
+
+let test_branches_signed_unsigned () =
+  let open Sim_asm.Asm in
+  (* rax = -1; unsigned it is huge: jb (Ult) not taken, jl (Lt) taken *)
+  let c, m, _ =
+    setup
+      [
+        mov_ri64 Isa.rax (-1L);
+        cmp_ri Isa.rax 5;
+        Jcc_l (Isa.Lt, "signed_less");
+        mov_ri Isa.rbx 0; hlt;
+        Label "signed_less";
+        mov_ri64 Isa.rax (-1L);
+        cmp_ri Isa.rax 5;
+        Jcc_l (Isa.Ult, "unsigned_less");
+        mov_ri Isa.rbx 42; hlt;
+        Label "unsigned_less";
+        mov_ri Isa.rbx 1; hlt;
+      ]
+  in
+  expect_halt c m ();
+  Alcotest.(check int64) "rbx" 42L (Cpu.peek_reg c Isa.rbx)
+
+let test_call_ret_stack () =
+  let open Sim_asm.Asm in
+  let c, m, _ =
+    setup
+      [
+        mov_ri Isa.rax 1;
+        Call_l "f";
+        add_ri Isa.rax 100; hlt;
+        Label "f"; add_ri Isa.rax 10; ret;
+      ]
+  in
+  expect_halt c m ();
+  Alcotest.(check int64) "rax" 111L (Cpu.peek_reg c Isa.rax);
+  Alcotest.(check int64) "rsp restored" 0xA000L (Cpu.peek_reg c Isa.rsp)
+
+let test_call_reg_pushes_return () =
+  let open Sim_asm.Asm in
+  let c, m, blob =
+    setup
+      [
+        Lea_ip (Isa.rax, "target");
+        call_reg Isa.rax;
+        hlt;
+        Label "target";
+        (* return address should be on the stack: pop it *)
+        pop Isa.rbx;
+        jmp_reg Isa.rbx;
+      ]
+  in
+  expect_halt c m ();
+  (* return address = instruction after the call = target minus the
+     intervening hlt byte *)
+  let after_call = Sim_asm.Asm.symbol blob "target" - 1 in
+  Alcotest.(check int64) "ret addr" (Int64.of_int after_call)
+    (Cpu.peek_reg c Isa.rbx)
+
+let test_gs_relative () =
+  let open Sim_asm.Asm in
+  let c, m, _ =
+    setup
+      [
+        mov_ri Isa.rbx 0;
+        mov_ri Isa.rcx 0x5A;
+        store8 ~seg:Isa.Seg_gs Isa.rbx 16 Isa.rcx;
+        load8 ~seg:Isa.Seg_gs Isa.rax Isa.rbx 16;
+        hlt;
+      ]
+  in
+  c.gs_base <- 0x8000;
+  expect_halt c m ();
+  Alcotest.(check int64) "gs byte" 0x5AL (Cpu.peek_reg c Isa.rax);
+  Alcotest.(check int) "in memory" 0x5A (Mem.read_u8 m 0x8010)
+
+let test_listing1_pattern () =
+  (* The pthread-init pattern from the paper's Listing 1: xmm0 is
+     populated, two syscalls intervene, then movups writes 16 bytes. *)
+  let open Sim_asm.Asm in
+  let c, m, _ =
+    setup
+      [
+        mov_ri Isa.r12 0x8100;
+        i (Isa.Movq_xr (0, Isa.r12));
+        i (Isa.Punpcklqdq (0, 0));
+        i (Isa.Movups_store (Isa.Seg_none, Isa.r12, 0l, 0));
+        hlt;
+      ]
+  in
+  expect_halt c m ();
+  Alcotest.(check int64) "prev" 0x8100L (Mem.read_u64 m 0x8100);
+  Alcotest.(check int64) "next" 0x8100L (Mem.read_u64 m 0x8108)
+
+let test_x87 () =
+  let open Sim_asm.Asm in
+  let c, m, _ =
+    setup
+      [
+        i Isa.Fld1; i Isa.Fld1; i Isa.Faddp;
+        mov_ri Isa.rbx 0x8000;
+        i (Isa.Fstp (Isa.Seg_none, Isa.rbx, 0l));
+        hlt;
+      ]
+  in
+  expect_halt c m ();
+  Alcotest.(check (float 0.0001)) "1+1" 2.0
+    (Int64.float_of_bits (Mem.read_u64 m 0x8000))
+
+let test_syscall_trap_rip () =
+  let open Sim_asm.Asm in
+  let c, m, _ = setup [ nop; syscall; hlt ] in
+  (match run_to_trap c m with
+  | Cpu.Trap_syscall -> ()
+  | _ -> Alcotest.fail "expected syscall trap");
+  (* rip points after the 2-byte syscall at 0x1001 *)
+  Alcotest.(check int) "rip" 0x1003 c.rip
+
+let test_hypercall_trap () =
+  let open Sim_asm.Asm in
+  let c, m, _ = setup [ hypercall 7; hlt ] in
+  match run_to_trap c m with
+  | Cpu.Trap_hypercall 7 -> ()
+  | _ -> Alcotest.fail "expected hypercall trap"
+
+let test_fetch_fault_on_nx () =
+  let open Sim_asm.Asm in
+  let c, m, _ = setup [ mov_ri Isa.rax 0x8000; jmp_reg Isa.rax ] in
+  (* 0x8000 is rw- : executing there must fault *)
+  match run_to_trap c m with
+  | Cpu.Fault (0x8000, Mem.Exec) -> ()
+  | o ->
+      Alcotest.failf "expected exec fault, got %s"
+        (match o with
+        | Cpu.Fault (a, _) -> Printf.sprintf "fault at %x" a
+        | Cpu.Halted -> "halt"
+        | _ -> "other")
+
+let test_hooks_observe_registers () =
+  let open Sim_asm.Asm in
+  let c, m, _ =
+    setup [ mov_ri Isa.rbx 1; mov_rr Isa.rax Isa.rbx;
+            i (Isa.Movq_xr (3, Isa.rax)); hlt ]
+  in
+  let events = ref [] in
+  c.hook <- Some (fun e -> events := e :: !events);
+  expect_halt c m ();
+  let has p = List.exists p !events in
+  Alcotest.(check bool) "write rbx" true
+    (has (function Cpu.Reg_write 3 -> true | _ -> false));
+  Alcotest.(check bool) "read rbx" true
+    (has (function Cpu.Reg_read 3 -> true | _ -> false));
+  Alcotest.(check bool) "write xmm3" true
+    (has (function Cpu.Xmm_write 3 -> true | _ -> false))
+
+let test_xstate_roundtrip () =
+  let x = Cpu.xstate_create () in
+  x.xmm_lo.(5) <- 123L;
+  x.xmm_hi.(5) <- 456L;
+  x.st.(0) <- Int64.bits_of_float 3.14;
+  x.st_sp <- 1;
+  let s = Cpu.xstate_to_bytes x in
+  let y = Cpu.xstate_create () in
+  Cpu.xstate_of_bytes y s;
+  Alcotest.(check int64) "xmm lo" 123L y.xmm_lo.(5);
+  Alcotest.(check int64) "xmm hi" 456L y.xmm_hi.(5);
+  Alcotest.(check int) "st_sp" 1 y.st_sp;
+  Alcotest.(check int64) "st0" (Int64.bits_of_float 3.14) y.st.(0)
+
+let tests =
+  [
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "div by zero" `Quick test_div_by_zero;
+    Alcotest.test_case "signed vs unsigned branches" `Quick
+      test_branches_signed_unsigned;
+    Alcotest.test_case "call/ret stack" `Quick test_call_ret_stack;
+    Alcotest.test_case "call reg pushes return" `Quick
+      test_call_reg_pushes_return;
+    Alcotest.test_case "gs-relative access" `Quick test_gs_relative;
+    Alcotest.test_case "listing 1 xmm pattern" `Quick test_listing1_pattern;
+    Alcotest.test_case "x87 stack" `Quick test_x87;
+    Alcotest.test_case "syscall trap rip" `Quick test_syscall_trap_rip;
+    Alcotest.test_case "hypercall trap" `Quick test_hypercall_trap;
+    Alcotest.test_case "NX fetch fault" `Quick test_fetch_fault_on_nx;
+    Alcotest.test_case "register hooks" `Quick test_hooks_observe_registers;
+    Alcotest.test_case "xstate roundtrip" `Quick test_xstate_roundtrip;
+  ]

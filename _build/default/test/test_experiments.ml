@@ -1,0 +1,158 @@
+(** Miniature end-to-end runs of every experiment in the harness,
+    asserting the paper's qualitative shapes (the bench executable
+    prints the full-size versions). *)
+
+let quiet f =
+  (* The experiment printers write to stdout; capture and discard so
+     test output stays readable. *)
+  let saved = Unix.dup Unix.stdout in
+  let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  flush stdout;
+  Unix.dup2 null Unix.stdout;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved;
+      Unix.close null)
+    f
+
+let test_table1_shape () =
+  let rows = quiet (fun () -> Harness.Experiments.table1 ~iters:2_000 ()) in
+  let find m = List.find (fun r -> r.Harness.Experiments.mech = m) rows in
+  let lp = find "lazypoline (this work)" in
+  Alcotest.(check string) "lazypoline fully expressive" "Full"
+    lp.Harness.Experiments.expressiveness;
+  Alcotest.(check bool) "lazypoline exhaustive" true
+    lp.Harness.Experiments.exhaustive;
+  Alcotest.(check string) "lazypoline efficient" "High"
+    lp.Harness.Experiments.efficiency;
+  let z = find "Binary Rewriting (zpoline)" in
+  Alcotest.(check bool) "zpoline not exhaustive" false
+    z.Harness.Experiments.exhaustive;
+  let bpf = find "seccomp-bpf" in
+  Alcotest.(check string) "seccomp-bpf limited" "Limited"
+    bpf.Harness.Experiments.expressiveness
+
+let test_table2_bands () =
+  let rows =
+    quiet (fun () -> Harness.Experiments.table2 ~iters:5_000 ~reps:1 ())
+  in
+  let find c =
+    (List.find (fun r -> r.Harness.Experiments.config = c) rows)
+      .Harness.Experiments.overhead
+  in
+  let open Workloads.Microbench_prog in
+  let band lo hi v name =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s in [%g, %g] (got %.2f)" name lo hi v)
+      true (v >= lo && v <= hi)
+  in
+  (* paper: 1.66x / 2.38x / 20.8x / 1.42x *)
+  band 1.5 1.9 (find Lazypoline_noxstate) "lazypoline w/o xstate";
+  band 2.1 2.7 (find Lazypoline_full) "lazypoline";
+  band 17.0 25.0 (find Sud) "SUD";
+  band 1.3 1.55 (find Native_sud_allow) "baseline+SUD"
+
+let test_fig4_decomposition () =
+  let r = quiet (fun () -> Harness.Experiments.fig4 ~iters:5_000 ()) in
+  let open Harness.Experiments in
+  (* fast path without SUD matches zpoline within 10% *)
+  Alcotest.(check bool) "fastpath ~ zpoline" true
+    (abs_float (r.nosud_cpi -. r.zpoline_cpi) /. r.zpoline_cpi < 0.10);
+  (* the three components are positive and sum to the total *)
+  let a = r.nosud_cpi -. r.native_cpi in
+  let b = r.noxstate_cpi -. r.nosud_cpi in
+  let c = r.full_cpi -. r.noxstate_cpi in
+  Alcotest.(check bool) "components positive" true (a > 0. && b > 0. && c > 0.);
+  Alcotest.(check (float 0.01)) "components sum"
+    (r.full_cpi -. r.native_cpi)
+    (a +. b +. c);
+  (* xstate is the largest component, as in the paper's Fig. 4 *)
+  Alcotest.(check bool) "xstate dominates" true (c > a && c > b)
+
+let test_table3_counts () =
+  let rows = quiet (fun () -> Harness.Experiments.table3 ()) in
+  let ubuntu =
+    List.filter (fun r -> r.Harness.Experiments.ubuntu_expects_xstate) rows
+  in
+  let clear =
+    List.filter (fun r -> r.Harness.Experiments.clear_expects_xstate) rows
+  in
+  Alcotest.(check int) "Ubuntu: 4/10 affected" 4 (List.length ubuntu);
+  Alcotest.(check (list string)) "the pthread-init four"
+    [ "ls"; "mkdir"; "mv"; "cp" ]
+    (List.map (fun r -> r.Harness.Experiments.util) ubuntu);
+  Alcotest.(check int) "Clear Linux: 10/10 affected" 10 (List.length clear)
+
+let test_exhaustiveness_verdict () =
+  let r = quiet (fun () -> Harness.Experiments.exhaustiveness ()) in
+  Alcotest.(check (list string)) "zpoline alone misses the JITted getpid"
+    [ "SUD"; "lazypoline" ]
+    r.Harness.Experiments.jit_getpid_caught_by;
+  Alcotest.(check bool) "lazypoline == SUD" true
+    (r.Harness.Experiments.lazypoline_trace = r.Harness.Experiments.sud_trace)
+
+let test_listing1_verdict () =
+  let (p1, n1), (p2, n2) = quiet (fun () -> Harness.Experiments.listing1 ()) in
+  let expected = Int64.of_int Workloads.Coreutils.libc_state in
+  Alcotest.(check bool) "preserved run correct" true
+    (p1 = expected && n1 = expected);
+  Alcotest.(check bool) "unpreserved run corrupt" true
+    (p2 <> expected || n2 <> expected)
+
+let test_fig5_miniature () =
+  let points =
+    quiet (fun () ->
+        Harness.Experiments.fig5 ~sizes:[ 1; 64 ] ~worker_counts:[ 1 ]
+          ~flavours:[ Workloads.Webserver.Nginx_like ] ())
+  in
+  let get size c =
+    (List.find
+       (fun p ->
+         p.Harness.Experiments.size_kb = size
+         && p.Harness.Experiments.ws_config = c)
+       points)
+      .Harness.Experiments.req_per_sec
+  in
+  let open Harness.Experiments in
+  let n1 = get 1 Ws_native
+  and z1 = get 1 Ws_zpoline
+  and lx1 = get 1 Ws_lazy_nox
+  and l1 = get 1 Ws_lazy
+  and s1 = get 1 Ws_sud in
+  (* ordering at 1KB *)
+  Alcotest.(check bool) "native fastest" true (n1 > z1 && z1 > lx1 && lx1 > l1);
+  Alcotest.(check bool) "lazypoline ~2x SUD" true (l1 > 1.6 *. s1);
+  Alcotest.(check bool) "lazypoline-nox >= 90% native" true
+    (lx1 /. n1 >= 0.90);
+  (* gaps shrink with file size *)
+  let n64 = get 64 Ws_native and s64 = get 64 Ws_sud in
+  Alcotest.(check bool) "SUD gap shrinks with size" true
+    (s64 /. n64 > s1 /. n1)
+
+let test_ablation_shape () =
+  let classic, selector_only, amortisation =
+    quiet (fun () -> Harness.Experiments.ablation ~iters:3_000 ())
+  in
+  Alcotest.(check bool) "hybrid >> classic" true
+    (classic > 8.0 *. selector_only);
+  (* per-iteration cost decreases monotonically with iteration count *)
+  let rec mono = function
+    | (_, a) :: ((_, b) :: _ as tl) -> a >= b && mono tl
+    | _ -> true
+  in
+  Alcotest.(check bool) "amortisation curve monotone" true (mono amortisation)
+
+let tests =
+  [
+    Alcotest.test_case "table I shape" `Quick test_table1_shape;
+    Alcotest.test_case "table II bands" `Quick test_table2_bands;
+    Alcotest.test_case "fig 4 decomposition" `Quick test_fig4_decomposition;
+    Alcotest.test_case "table III counts" `Quick test_table3_counts;
+    Alcotest.test_case "exhaustiveness verdict" `Quick
+      test_exhaustiveness_verdict;
+    Alcotest.test_case "listing 1 verdict" `Quick test_listing1_verdict;
+    Alcotest.test_case "fig 5 miniature" `Slow test_fig5_miniature;
+    Alcotest.test_case "ablation shape" `Quick test_ablation_shape;
+  ]

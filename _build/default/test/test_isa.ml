@@ -1,0 +1,164 @@
+(** Encoder/decoder unit and property tests. *)
+
+open Sim_isa
+
+let instr_testable =
+  Alcotest.testable
+    (fun fmt i -> Format.pp_print_string fmt (Disasm.string_of_instr i))
+    ( = )
+
+let roundtrip i =
+  let s = Encode.encode_one i in
+  match Decode.decode_string s 0 with
+  | Ok (i', len) -> Alcotest.(check int) "length" (String.length s) len;
+      Alcotest.check instr_testable "instr" i i'
+  | Error e -> Alcotest.failf "decode failed: %s" (Decode.error_to_string e)
+
+let sample_instrs =
+  [
+    Isa.Nop; Isa.Ret; Isa.Hlt; Isa.Int3; Isa.Syscall; Isa.Rdtsc;
+    Isa.Hypercall 0; Isa.Hypercall 65535;
+    Isa.Call_reg Isa.rax; Isa.Call_reg Isa.r15; Isa.Jmp_reg Isa.rbx;
+    Isa.Push Isa.rbp; Isa.Pop Isa.r11;
+    Isa.Mov_rr (Isa.rdi, Isa.rsi);
+    Isa.Mov_ri (Isa.rax, 0x1122334455667788L);
+    Isa.Mov_ri (Isa.r9, -1L);
+    Isa.Mov_ri32 (Isa.rcx, -5l);
+    Isa.Load (Isa.Seg_none, Isa.rax, Isa.rbx, 16l);
+    Isa.Load (Isa.Seg_gs, Isa.rax, Isa.rbx, -8l);
+    Isa.Store (Isa.Seg_fs, Isa.rsp, 0l, Isa.rdx);
+    Isa.Load8 (Isa.Seg_gs, Isa.rcx, Isa.r11, 4l);
+    Isa.Store8 (Isa.Seg_none, Isa.rdi, 100l, Isa.rax);
+    Isa.Lea (Isa.rsi, Isa.rsp, -32l);
+    Isa.Alu_rr (Isa.Add, Isa.rax, Isa.rbx);
+    Isa.Alu_rr (Isa.Cmp, Isa.r14, Isa.r15);
+    Isa.Alu_rr (Isa.Div, Isa.rax, Isa.rcx);
+    Isa.Alu_ri (Isa.Sub, Isa.rsp, 64l);
+    Isa.Alu_ri (Isa.Xor, Isa.r8, -1l);
+    Isa.Shift (Isa.Shl, Isa.rax, 3);
+    Isa.Shift (Isa.Sar, Isa.rdx, 63);
+    Isa.Jmp 0l; Isa.Jmp (-10l); Isa.Call 1000l;
+    Isa.Jcc (Isa.Eq, 5l); Isa.Jcc (Isa.Uge, -6l);
+    Isa.Setcc (Isa.Lt, Isa.rax);
+    Isa.Movq_xr (0, Isa.rax); Isa.Movq_xr (15, Isa.r15);
+    Isa.Movq_rx (Isa.rbx, 7);
+    Isa.Movups_load (Isa.Seg_none, 3, Isa.rdi, 8l);
+    Isa.Movups_store (Isa.Seg_gs, Isa.rsp, -16l, 12);
+    Isa.Punpcklqdq (0, 0); Isa.Pxor (5, 5);
+    Isa.Fld1; Isa.Fldz; Isa.Faddp;
+    Isa.Fstp (Isa.Seg_none, Isa.rbp, -8l);
+  ]
+
+let test_roundtrip_samples () = List.iter roundtrip sample_instrs
+
+let test_lengths () =
+  List.iter
+    (fun i ->
+      Alcotest.(check int)
+        (Disasm.string_of_instr i)
+        (String.length (Encode.encode_one i))
+        (Isa.encoded_length i))
+    sample_instrs
+
+let test_syscall_callrax_same_size () =
+  (* The property the whole paper rests on. *)
+  Alcotest.(check int) "syscall is 2 bytes" 2
+    (String.length (Encode.encode_one Isa.Syscall));
+  Alcotest.(check int) "call rax is 2 bytes" 2
+    (String.length (Encode.encode_one (Isa.Call_reg Isa.rax)));
+  Alcotest.(check string) "syscall bytes" "\x0f\x05"
+    (Encode.encode_one Isa.Syscall);
+  Alcotest.(check string) "call rax bytes" "\xff\xd0"
+    (Encode.encode_one (Isa.Call_reg Isa.rax))
+
+let test_bad_opcode () =
+  match Decode.decode_string "\x00" 0 with
+  | Error (Decode.Bad_opcode 0) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected Bad_opcode 0"
+
+let test_prefix_on_non_memory () =
+  (* gs prefix on nop is invalid *)
+  match Decode.decode_string "\x65\x90" 0 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "gs-prefixed nop should not decode"
+
+let test_truncated () =
+  match Decode.decode_string "\xb8" 0 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated mov should not decode"
+
+(* Generators for property tests. *)
+let gen_gpr = QCheck.Gen.int_range 0 15
+let gen_seg = QCheck.Gen.oneofl [ Isa.Seg_none; Isa.Seg_fs; Isa.Seg_gs ]
+
+let gen_cond =
+  QCheck.Gen.oneofl
+    [ Isa.Eq; Isa.Ne; Isa.Lt; Isa.Le; Isa.Gt; Isa.Ge; Isa.Ult; Isa.Uge ]
+
+let gen_alu =
+  QCheck.Gen.oneofl
+    [ Isa.Add; Isa.Sub; Isa.And; Isa.Or; Isa.Xor; Isa.Cmp; Isa.Mul; Isa.Div;
+      Isa.Rem ]
+
+let gen_instr : Isa.instr QCheck.Gen.t =
+  let open QCheck.Gen in
+  let i32 = map Int32.of_int (int_range (-1000000) 1000000) in
+  oneof
+    [
+      return Isa.Nop; return Isa.Ret; return Isa.Syscall;
+      map (fun n -> Isa.Hypercall n) (int_range 0 65535);
+      map (fun r -> Isa.Call_reg r) gen_gpr;
+      map (fun r -> Isa.Push r) gen_gpr;
+      map (fun r -> Isa.Pop r) gen_gpr;
+      map2 (fun a b -> Isa.Mov_rr (a, b)) gen_gpr gen_gpr;
+      map2 (fun r v -> Isa.Mov_ri (r, v)) gen_gpr int64;
+      map2 (fun r v -> Isa.Mov_ri32 (r, v)) gen_gpr i32;
+      map3 (fun s (a, b) d -> Isa.Load (s, a, b, d)) gen_seg
+        (pair gen_gpr gen_gpr) i32;
+      map3 (fun s (a, b) d -> Isa.Store (s, a, d, b)) gen_seg
+        (pair gen_gpr gen_gpr) i32;
+      map3 (fun op a b -> Isa.Alu_rr (op, a, b)) gen_alu gen_gpr gen_gpr;
+      map2 (fun c rel -> Isa.Jcc (c, rel)) gen_cond i32;
+      map2 (fun c r -> Isa.Setcc (c, r)) gen_cond gen_gpr;
+      map2 (fun x r -> Isa.Movq_xr (x, r)) gen_gpr gen_gpr;
+      map3 (fun s x (b, d) -> Isa.Movups_load (s, x, b, d)) gen_seg gen_gpr
+        (pair gen_gpr i32);
+      map Int32.of_int (int_range (-100000) 100000)
+      |> map (fun rel -> Isa.Jmp rel);
+    ]
+
+let prop_roundtrip =
+  QCheck.Test.make ~count:2000 ~name:"encode/decode roundtrip"
+    (QCheck.make gen_instr) (fun i ->
+      let s = Encode.encode_one i in
+      match Decode.decode_string s 0 with
+      | Ok (i', len) -> i = i' && len = String.length s
+      | Error _ -> false)
+
+let prop_sweep_covers =
+  (* A linear sweep over a stream of whole instructions recovers them
+     all (no desync when starting in sync). *)
+  QCheck.Test.make ~count:300 ~name:"linear sweep over aligned stream"
+    (QCheck.make (QCheck.Gen.list_size (QCheck.Gen.int_range 1 40) gen_instr))
+    (fun instrs ->
+      let code = Encode.encode_all instrs in
+      let lines = Disasm.sweep code in
+      List.length lines = List.length instrs
+      && List.for_all2
+           (fun l i -> match l.Disasm.what with
+             | `Instr i' -> i = i'
+             | `Bad _ -> false)
+           lines instrs)
+
+let tests =
+  [
+    Alcotest.test_case "roundtrip samples" `Quick test_roundtrip_samples;
+    Alcotest.test_case "encoded lengths" `Quick test_lengths;
+    Alcotest.test_case "syscall vs call rax size" `Quick
+      test_syscall_callrax_same_size;
+    Alcotest.test_case "bad opcode" `Quick test_bad_opcode;
+    Alcotest.test_case "prefix on non-memory" `Quick test_prefix_on_non_memory;
+    Alcotest.test_case "truncated" `Quick test_truncated;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_sweep_covers;
+  ]

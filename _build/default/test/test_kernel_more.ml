@@ -1,0 +1,327 @@
+(** Coverage for kernel surfaces not directly exercised elsewhere:
+    dup, fcntl, lseek, getcwd/chdir, rename-across-dirs, sendfile
+    semantics, epoll ctl MOD/DEL, futex, tgkill, brk, partial writes
+    and EAGAIN.  Mostly driven through minicc for brevity. *)
+
+open Sim_kernel
+
+let run ?(setup = fun _ -> ()) src =
+  let k = Kernel.create () in
+  setup k;
+  let t = Kernel.spawn k (Minicc.Codegen.compile_to_image src) in
+  if not (Kernel.run_until_exit ~max_slices:400_000 k) then
+    Alcotest.fail "did not terminate";
+  (t.Types.exit_code, k)
+
+let check ?setup msg expected src =
+  let code, _ = run ?setup src in
+  Alcotest.(check int) msg expected code
+
+let with_file path contents k = ignore (Vfs.add_file k.Types.vfs path contents)
+
+let test_dup_shares_offset () =
+  (* dup'd fds share the open file description, hence the offset. *)
+  check ~setup:(with_file "/f" "abcdef") "dup shares offset"
+    (Char.code 'c')
+    {|
+long main() {
+  char b[8];
+  long fd = syscall(2, "/f", 0, 0);
+  long fd2 = syscall(32, fd);
+  syscall(0, fd, b, 2);          /* consume "ab" via fd */
+  syscall(0, fd2, b, 1);         /* fd2 must see "c" */
+  return b[0];
+}
+|}
+
+let test_fcntl_getfl_setfl () =
+  check "fcntl roundtrip" Defs.o_nonblock
+    {|
+long main() {
+  long fd = syscall(41, 0, 0, 0);        /* socket */
+  syscall(72, fd, 4, 2048);              /* F_SETFL O_NONBLOCK */
+  return syscall(72, fd, 3, 0);          /* F_GETFL */
+}
+|}
+
+let test_lseek_whences () =
+  check ~setup:(with_file "/f" "0123456789") "lseek SET/CUR/END" 0
+    {|
+long main() {
+  char b[4];
+  long fd = syscall(2, "/f", 0, 0);
+  if (syscall(8, fd, 4, 0) != 4) return 1;     /* SEEK_SET */
+  syscall(0, fd, b, 1);
+  if (b[0] != '4') return 2;
+  if (syscall(8, fd, 2, 1) != 7) return 3;     /* SEEK_CUR */
+  if (syscall(8, fd, -3, 2) != 7) return 4;    /* SEEK_END */
+  syscall(0, fd, b, 1);
+  if (b[0] != '7') return 5;
+  if (syscall(8, fd, -99, 0) != -22) return 6; /* EINVAL */
+  return 0;
+}
+|}
+
+let test_getcwd_chdir () =
+  check "getcwd after chdir" 0
+    {|
+long main() {
+  char b[64];
+  syscall(83, "/work", 493);            /* mkdir */
+  if (syscall(80, "/work") != 0) return 1;
+  long n = syscall(79, b, 64);
+  if (n <= 0) return 2;
+  if (b[0] != '/') return 3;
+  if (b[1] != 'w') return 4;
+  return 0;
+}
+|}
+
+let test_rename_across_dirs () =
+  check ~setup:(with_file "/a/f" "payload") "rename across directories" 0
+    {|
+long main() {
+  char b[16];
+  syscall(83, "/b", 493);
+  if (syscall(82, "/a/f", "/b/g") != 0) return 1;
+  if (syscall(2, "/a/f", 0, 0) != -2) return 2;   /* ENOENT */
+  long fd = syscall(2, "/b/g", 0, 0);
+  if (fd < 0) return 3;
+  if (syscall(0, fd, b, 16) != 7) return 4;
+  return 0;
+}
+|}
+
+let test_brk_grows_heap () =
+  check "brk allocates writable memory" 77
+    {|
+long main() {
+  long base = syscall(12, 0);
+  if (syscall(12, base + 8192) != base + 8192) return 1;
+  poke64(base + 4096, 77);
+  return peek64(base + 4096);
+}
+|}
+
+let test_sendfile_advances_offset () =
+  check ~setup:(with_file "/f" "0123456789") "sendfile uses file offset" 0
+    {|
+long main() {
+  char b[16];
+  char p[16];
+  syscall(22, p);                        /* pipe */
+  long fd = syscall(2, "/f", 0, 0);
+  if (syscall(40, peek64(p + 8), fd, 0, 4) != 4) return 1;
+  if (syscall(40, peek64(p + 8), fd, 0, 4) != 4) return 2;
+  if (syscall(0, peek64(p), b, 16) != 8) return 3;
+  if (b[0] != '0') return 4;
+  if (b[4] != '4') return 5;             /* second call continued */
+  return 0;
+}
+|}
+
+let test_epoll_mod_del () =
+  check "epoll ctl MOD and DEL" 0
+    {|
+long main() {
+  char ev[16];
+  char out[64];
+  char p[16];
+  syscall(22, p);
+  long rfd = peek64(p);
+  long ep = syscall(291, 0);
+  poke64(ev, 1);                         /* EPOLLIN */
+  poke64(ev + 8, 777);                   /* user data */
+  syscall(233, ep, 1, rfd, ev);          /* ADD */
+  syscall(1, peek64(p + 8), "x", 1);     /* make readable */
+  if (syscall(232, ep, out, 4, 0) != 1) return 1;
+  if (peek64(out + 8) != 777) return 2;
+  poke64(ev + 8, 888);
+  syscall(233, ep, 3, rfd, ev);          /* MOD */
+  if (syscall(232, ep, out, 4, 0) != 1) return 3;
+  if (peek64(out + 8) != 888) return 4;
+  syscall(233, ep, 2, rfd, 0);           /* DEL */
+  if (syscall(232, ep, out, 4, 0) != 0) return 5;
+  return 0;
+}
+|}
+
+let test_nonblocking_read_eagain () =
+  check "O_NONBLOCK read returns EAGAIN" 0
+    {|
+long main() {
+  char b[4];
+  char p[16];
+  syscall(22, p);
+  long rfd = peek64(p);
+  syscall(72, rfd, 4, 2048);             /* F_SETFL O_NONBLOCK */
+  if (syscall(0, rfd, b, 1) != -11) return 1;   /* EAGAIN */
+  syscall(1, peek64(p + 8), "z", 1);
+  if (syscall(0, rfd, b, 1) != 1) return 2;
+  if (b[0] != 'z') return 3;
+  return 0;
+}
+|}
+
+let test_write_to_closed_pipe_epipe () =
+  check "EPIPE with SIGPIPE ignored" 0
+    {|
+long main() {
+  char act[32];
+  char p[16];
+  syscall(22, p);
+  /* ignore SIGPIPE (handler = SIG_IGN = 1) */
+  poke64(act, 1);
+  poke64(act + 8, 0); poke64(act + 16, 0); poke64(act + 24, 0);
+  syscall(13, 13, act, 0);
+  syscall(3, peek64(p));                 /* close read end */
+  if (syscall(1, peek64(p + 8), "x", 1) != -32) return 1;  /* EPIPE */
+  return 0;
+}
+|}
+
+let test_write_to_closed_pipe_sigpipe_kills () =
+  let code, _ =
+    run
+      {|
+long main() {
+  char p[16];
+  syscall(22, p);
+  syscall(3, peek64(p));
+  syscall(1, peek64(p + 8), "x", 1);
+  return 0;
+}
+|}
+  in
+  Alcotest.(check int) "killed by SIGPIPE" (128 + Defs.sigpipe) code
+
+let test_tgkill_thread_directed () =
+  (* tgkill posts to a specific thread id. *)
+  check "tgkill self" (128 + Defs.sigusr2)
+    {|
+long main() {
+  long tid = syscall(186);
+  syscall(234, syscall(39), tid, 12);    /* SIGUSR2, default kills */
+  return 0;
+}
+|}
+
+let test_futex_wait_wake () =
+  (* Two threads synchronise via futex (assembly: needs clone). *)
+  let open Sim_asm.Asm in
+  let open Sim_isa in
+  let prog =
+    [
+      (* shared page *)
+      mov_ri Isa.rdi 0x9000; mov_ri Isa.rsi 8192;
+      mov_ri Isa.rdx (Defs.prot_read lor Defs.prot_write);
+      mov_ri Isa.r10 (Defs.map_fixed lor Defs.map_anonymous);
+      mov_ri64 Isa.r8 (-1L); mov_ri Isa.r9 0;
+      mov_ri Isa.rax Defs.sys_mmap; syscall;
+      (* clone a thread *)
+      mov_ri Isa.rdi
+        (Defs.clone_vm lor Defs.clone_files lor Defs.clone_sighand
+       lor Defs.clone_thread);
+      mov_ri Isa.rsi (0x9000 + 8192 - 256);
+      mov_ri Isa.rdx 0; mov_ri Isa.r10 0; mov_ri Isa.r8 0;
+      mov_ri Isa.rax Defs.sys_clone; syscall;
+      cmp_ri Isa.rax 0;
+      Jcc_l (Isa.Eq, "thread");
+      (* main: futex_wait(0x9000, 0) *)
+      mov_ri Isa.rdi 0x9000;
+      mov_ri Isa.rsi Defs.futex_wait;
+      mov_ri Isa.rdx 0;
+      mov_ri Isa.rax Defs.sys_futex; syscall;
+      (* woken: read the value the thread wrote *)
+      mov_ri Isa.rbx 0x9100;
+      load Isa.rdi Isa.rbx 0;
+      mov_ri Isa.rax Defs.sys_exit_group; syscall;
+      Label "thread";
+      (* publish 9, flip the futex word, wake *)
+      mov_ri Isa.rbx 0x9100;
+      mov_ri Isa.rcx 9;
+      store Isa.rbx 0 Isa.rcx;
+      mov_ri Isa.rbx 0x9000;
+      mov_ri Isa.rcx 1;
+      store Isa.rbx 0 Isa.rcx;
+      mov_ri Isa.rdi 0x9000;
+      mov_ri Isa.rsi Defs.futex_wake;
+      mov_ri Isa.rdx 1;
+      mov_ri Isa.rax Defs.sys_futex; syscall;
+      mov_ri Isa.rdi 0;
+      mov_ri Isa.rax Defs.sys_exit; syscall;
+    ]
+  in
+  let code, _, _ = Tutil.run_asm prog in
+  Alcotest.(check int) "futex handshake" 9 code
+
+let test_getdents_pagination () =
+  check
+    ~setup:(fun k ->
+      for i = 0 to 9 do
+        ignore (Vfs.add_file k.Types.vfs (Printf.sprintf "/d/f%d" i) "x")
+      done)
+    "getdents paginates" 0
+    {|
+long main() {
+  char ents[192];                        /* room for 3 records */
+  long fd = syscall(2, "/d", 0, 0);
+  long total = 0;
+  long n = 1;
+  while (n > 0) {
+    n = syscall(78, fd, ents, 192);
+    total = total + n / 64;
+  }
+  if (total != 10) return total;
+  return 0;
+}
+|}
+
+let test_sched_yield_and_uname () =
+  check "trivial syscalls" 0
+    {|
+long main() {
+  if (syscall(24) != 0) return 1;        /* sched_yield */
+  if (syscall(63, 0) != 0) return 2;     /* uname */
+  return 0;
+}
+|}
+
+let test_clock_monotonic () =
+  check "clock_gettime advances" 0
+    {|
+long main() {
+  char t1[16];
+  char t2[16];
+  syscall(228, 0, t1);
+  work(4200);                            /* ~2us at 2.1GHz */
+  syscall(228, 0, t2);
+  long ns1 = peek64(t1) * 1000000000 + peek64(t1 + 8);
+  long ns2 = peek64(t2) * 1000000000 + peek64(t2 + 8);
+  if (ns2 <= ns1) return 1;
+  if (ns2 - ns1 < 1000) return 2;        /* at least 1us passed */
+  return 0;
+}
+|}
+
+let tests =
+  [
+    Alcotest.test_case "dup shares offset" `Quick test_dup_shares_offset;
+    Alcotest.test_case "fcntl F_GETFL/F_SETFL" `Quick test_fcntl_getfl_setfl;
+    Alcotest.test_case "lseek whences" `Quick test_lseek_whences;
+    Alcotest.test_case "getcwd/chdir" `Quick test_getcwd_chdir;
+    Alcotest.test_case "rename across dirs" `Quick test_rename_across_dirs;
+    Alcotest.test_case "brk" `Quick test_brk_grows_heap;
+    Alcotest.test_case "sendfile offset" `Quick test_sendfile_advances_offset;
+    Alcotest.test_case "epoll MOD/DEL" `Quick test_epoll_mod_del;
+    Alcotest.test_case "nonblocking EAGAIN" `Quick test_nonblocking_read_eagain;
+    Alcotest.test_case "EPIPE when ignored" `Quick
+      test_write_to_closed_pipe_epipe;
+    Alcotest.test_case "SIGPIPE kills by default" `Quick
+      test_write_to_closed_pipe_sigpipe_kills;
+    Alcotest.test_case "tgkill" `Quick test_tgkill_thread_directed;
+    Alcotest.test_case "futex wait/wake" `Quick test_futex_wait_wake;
+    Alcotest.test_case "getdents pagination" `Quick test_getdents_pagination;
+    Alcotest.test_case "sched_yield/uname" `Quick test_sched_yield_and_uname;
+    Alcotest.test_case "clock_gettime monotonic" `Quick test_clock_monotonic;
+  ]

@@ -1,0 +1,450 @@
+(** End-to-end tests of the lazypoline mechanism: lazy rewriting,
+    fast/slow path, signal wrapping, xstate preservation, fork
+    re-arming, JIT exhaustiveness, hook expressiveness. *)
+
+open Sim_isa
+open Sim_asm.Asm
+open Sim_kernel
+open Lazypoline
+module Hook = Lazypoline.Hook
+module Layout = Lazypoline.Layout
+
+let run_with_lazypoline ?(preserve_xstate = true) ?(enable_sud = true)
+    ?(hook = Hook.dummy ()) ?(setup = fun _ _ -> ()) items =
+  let k = Kernel.create () in
+  let img = Loader.image_of_items items in
+  let t = Kernel.spawn k img in
+  let st = install ~preserve_xstate ~enable_sud k t hook in
+  setup k t;
+  let finished = Kernel.run_until_exit ~max_slices:400_000 k in
+  if not finished then Alcotest.fail "program did not terminate";
+  (t.Types.exit_code, st, k, t)
+
+let test_basic_passthrough () =
+  let hook, trace = Hook.tracing () in
+  let code, st, _, _ =
+    run_with_lazypoline ~hook
+      ([ mov_ri Isa.rax Defs.sys_getpid; syscall; mov_rr Isa.rdi Isa.rax;
+         mov_ri Isa.rax Defs.sys_exit_group; syscall ])
+  in
+  Alcotest.(check int) "getpid result intact" 1 code;
+  let nrs = List.map fst (Hook.recorded trace) in
+  Alcotest.(check (list int)) "trace"
+    [ Defs.sys_getpid; Defs.sys_exit_group ]
+    nrs;
+  Alcotest.(check int) "both sites hit slow path once" 2 st.stats.slow_hits;
+  Alcotest.(check int) "both sites rewritten" 2 st.stats.rewrites
+
+let test_fast_path_after_rewrite () =
+  (* A loop executing the same syscall site 5 times: 1 slow hit, 5
+     fast-path entries (the slow path redirects into the entry). *)
+  let code, st, _, _ =
+    run_with_lazypoline
+      ([
+         mov_ri Isa.rbx 5;
+         Label "loop";
+         mov_ri Isa.rax Defs.sys_getpid;
+         syscall;
+         sub_ri Isa.rbx 1;
+         cmp_ri Isa.rbx 0;
+         Jcc_l (Isa.Ne, "loop");
+       ]
+      @ Tutil.exit_with 0)
+  in
+  Alcotest.(check int) "exit" 0 code;
+  Alcotest.(check int) "one rewrite for the loop site + exit site" 2
+    st.stats.rewrites;
+  (* 5 loop iterations + exit_group all funnel through the entry *)
+  Alcotest.(check int) "fast hits" 6 st.stats.fast_hits;
+  Alcotest.(check int) "slow hits" 2 st.stats.slow_hits
+
+let test_site_bytes_rewritten () =
+  let _, _, _, t =
+    run_with_lazypoline
+      ([ Label "site"; mov_ri Isa.rax Defs.sys_getpid; syscall ]
+      @ Tutil.exit_with 0)
+  in
+  (* the syscall of "site" block is at code_base + 10 (mov_ri is 10
+     bytes) *)
+  let site = Loader.code_base + 10 in
+  Alcotest.(check string) "call rax bytes" "\xff\xd0"
+    (Sim_mem.Mem.peek_bytes t.Types.mem site 2)
+
+let test_registers_preserved () =
+  (* Non-clobbered registers survive interposition; syscall results
+     land in rax. *)
+  let code, _, _, _ =
+    run_with_lazypoline
+      ([
+         mov_ri Isa.r14 70;
+         mov_ri Isa.rbx 7;
+         mov_ri Isa.rax Defs.sys_getpid;
+         syscall;
+         (* exit(r14 + rbx - getpid()) = 70 + 7 - 1 = 76 *)
+         add_rr Isa.r14 Isa.rbx;
+         sub_rr Isa.r14 Isa.rax;
+         mov_rr Isa.rdi Isa.r14;
+         mov_ri Isa.rax Defs.sys_exit_group;
+         syscall;
+       ])
+  in
+  Alcotest.(check int) "registers preserved" 76 code
+
+let listing1_prog =
+  (* The paper's Listing 1: populate xmm0, do two syscalls, then use
+     xmm0 to initialise two adjacent struct fields. *)
+  [
+    mov_ri Isa.rdi 0x9000; mov_ri Isa.rsi 4096;
+    mov_ri Isa.rdx (Defs.prot_read lor Defs.prot_write);
+    mov_ri Isa.r10 (Defs.map_fixed lor Defs.map_anonymous);
+    mov_ri64 Isa.r8 (-1L); mov_ri Isa.r9 0;
+    mov_ri Isa.rax Defs.sys_mmap; syscall;
+    mov_ri Isa.r12 0x9100;
+    i (Isa.Movq_xr (0, Isa.r12));
+    i (Isa.Punpcklqdq (0, 0));
+    mov_ri Isa.rax Defs.sys_set_tid_address; syscall;
+    mov_ri Isa.rax Defs.sys_set_robust_list; syscall;
+    i (Isa.Movups_store (Isa.Seg_none, Isa.r12, 0l, 0));
+    (* exit(1 if both fields = 0x9100 else 0) *)
+    load Isa.rcx Isa.r12 0;
+    load Isa.rdx Isa.r12 8;
+    cmp_ri Isa.rcx 0x9100;
+    Jcc_l (Isa.Ne, "bad");
+    cmp_ri Isa.rdx 0x9100;
+    Jcc_l (Isa.Ne, "bad");
+  ]
+  @ Tutil.exit_with 1
+  @ [ Label "bad" ]
+  @ Tutil.exit_with 0
+
+let test_listing1_xstate_preserved () =
+  let hook = Hook.dummy () in
+  hook.Hook.clobbers_xstate <- true;
+  let code, _, _, _ =
+    run_with_lazypoline ~preserve_xstate:true ~hook listing1_prog
+  in
+  Alcotest.(check int) "struct fields correct with preservation" 1 code
+
+let test_listing1_xstate_clobbered () =
+  (* Without preservation and with an SSE-using hook, the pthread-init
+     pattern breaks — the paper's compatibility hazard. *)
+  let hook = Hook.dummy () in
+  hook.Hook.clobbers_xstate <- true;
+  let code, _, _, _ =
+    run_with_lazypoline ~preserve_xstate:false ~hook listing1_prog
+  in
+  Alcotest.(check int) "struct fields corrupted without preservation" 0 code
+
+let test_signal_wrapping () =
+  (* App installs a SIGUSR1 handler under lazypoline; the handler does
+     a syscall of its own; everything must be interposed and the
+     program completes correctly. *)
+  let hook, trace = Hook.tracing () in
+  let prog =
+    [
+      (* install handler *)
+      mov_rr Isa.rbx Isa.rsp; sub_ri Isa.rbx 1024;
+      Lea_ip (Isa.rcx, "handler");
+      store Isa.rbx 0 Isa.rcx;
+      mov_ri Isa.rcx 0;
+      store Isa.rbx 8 Isa.rcx; store Isa.rbx 16 Isa.rcx;
+      Lea_ip (Isa.rcx, "app_restorer");
+      store Isa.rbx 24 Isa.rcx;
+      mov_ri Isa.rdi Defs.sigusr1;
+      mov_rr Isa.rsi Isa.rbx;
+      mov_ri Isa.rdx 0;
+      mov_ri Isa.rax Defs.sys_rt_sigaction; syscall;
+      (* a global page for the handler to write into *)
+      mov_ri Isa.rdi 0x9000; mov_ri Isa.rsi 4096;
+      mov_ri Isa.rdx (Defs.prot_read lor Defs.prot_write);
+      mov_ri Isa.r10 (Defs.map_fixed lor Defs.map_anonymous);
+      mov_ri64 Isa.r8 (-1L); mov_ri Isa.r9 0;
+      mov_ri Isa.rax Defs.sys_mmap; syscall;
+      (* raise it *)
+      mov_ri Isa.rax Defs.sys_getpid; syscall;
+      mov_rr Isa.rdi Isa.rax;
+      mov_ri Isa.rsi Defs.sigusr1;
+      mov_ri Isa.rax Defs.sys_kill; syscall;
+      (* after handler: the global must be 9 (set by handler) *)
+      mov_ri Isa.rbx 0x9000;
+      load Isa.rdi Isa.rbx 0;
+      mov_ri Isa.rax Defs.sys_exit_group; syscall;
+      Label "handler";
+      (* the handler performs a syscall (must be interposed) *)
+      mov_ri Isa.rax Defs.sys_gettid; syscall;
+      mov_ri Isa.rbx 0x9000;
+      mov_ri Isa.rcx 9;
+      store Isa.rbx 0 Isa.rcx;
+      ret;
+      Label "app_restorer";
+      (* never used: lazypoline substitutes its own restorer *)
+      mov_ri Isa.rax Defs.sys_rt_sigreturn; syscall;
+    ]
+  in
+  let code, st, _, _ = run_with_lazypoline ~hook prog in
+  Alcotest.(check int) "handler ran and returned" 9 code;
+  let nrs = List.map fst (Hook.recorded trace) in
+  Alcotest.(check bool) "sigaction interposed" true
+    (List.mem Defs.sys_rt_sigaction nrs);
+  Alcotest.(check bool) "handler's gettid interposed" true
+    (List.mem Defs.sys_gettid nrs);
+  Alcotest.(check bool) "rt_sigreturn interposed" true
+    (List.mem Defs.sys_rt_sigreturn nrs);
+  Alcotest.(check int) "one wrapped handler" 1 st.stats.signals_wrapped;
+  Alcotest.(check int) "one redirected sigreturn" 1
+    st.stats.sigreturns_redirected
+
+let test_signal_wrapping_preserves_selector_discipline () =
+  (* After a wrapped signal interrupted *application* code, the
+     selector must be BLOCK again — later syscalls keep being
+     interposed. *)
+  let hook, trace = Hook.tracing () in
+  let prog =
+    [
+      mov_rr Isa.rbx Isa.rsp; sub_ri Isa.rbx 1024;
+      Lea_ip (Isa.rcx, "handler");
+      store Isa.rbx 0 Isa.rcx;
+      mov_ri Isa.rcx 0;
+      store Isa.rbx 8 Isa.rcx; store Isa.rbx 16 Isa.rcx;
+      store Isa.rbx 24 Isa.rcx;
+      mov_ri Isa.rdi Defs.sigusr1;
+      mov_rr Isa.rsi Isa.rbx;
+      mov_ri Isa.rdx 0;
+      mov_ri Isa.rax Defs.sys_rt_sigaction; syscall;
+      mov_ri Isa.rax Defs.sys_getpid; syscall;
+      mov_rr Isa.rdi Isa.rax;
+      mov_ri Isa.rsi Defs.sigusr1;
+      mov_ri Isa.rax Defs.sys_kill; syscall;
+      (* post-signal syscall must still be interposed *)
+      mov_ri Isa.rax Defs.sys_getuid; syscall;
+    ]
+    @ Tutil.exit_with 0
+    @ [ Label "handler"; ret ]
+  in
+  let code, st, _, _ = run_with_lazypoline ~hook prog in
+  Alcotest.(check int) "exit" 0 code;
+  let nrs = List.map fst (Hook.recorded trace) in
+  (* The getuid site is fresh: it can only have been interposed if the
+     selector was back to BLOCK after the wrapped signal — the
+     trampoline restored it.  (We cannot probe the byte at exit: the
+     final exit_group legitimately dies inside the entry stub with the
+     selector at ALLOW.) *)
+  Alcotest.(check bool) "post-signal getuid interposed" true
+    (List.mem Defs.sys_getuid nrs);
+  Alcotest.(check int) "sigreturn went through the trampoline" 1
+    st.stats.sigreturns_redirected
+
+let test_fork_rearms_child () =
+  (* Child syscalls are interposed too (SUD re-enabled by the exit
+     hypercall).  The child exits 5; parent propagates it. *)
+  let hook, trace = Hook.tracing () in
+  let prog =
+    [
+      mov_ri Isa.rax Defs.sys_fork; syscall;
+      cmp_ri Isa.rax 0;
+      Jcc_l (Isa.Eq, "child");
+      mov_ri64 Isa.rdi (-1L);
+      mov_rr Isa.rsi Isa.rsp; sub_ri Isa.rsi 256;
+      mov_ri Isa.rdx 0;
+      mov_ri Isa.rax Defs.sys_wait4; syscall;
+      mov_rr Isa.rbx Isa.rsp; sub_ri Isa.rbx 256;
+      load Isa.rdi Isa.rbx 0;
+      i (Isa.Shift (Isa.Shr, Isa.rdi, 8));
+      mov_ri Isa.rax Defs.sys_exit_group; syscall;
+      Label "child";
+      (* a syscall from a fresh site in the child *)
+      mov_ri Isa.rax Defs.sys_getuid; syscall;
+    ]
+    @ Tutil.exit_with 5
+  in
+  let code, st, _, _ = run_with_lazypoline ~hook prog in
+  Alcotest.(check int) "child exit propagated" 5 code;
+  let nrs = List.map fst (Hook.recorded trace) in
+  (* The child's getuid sits at a fresh site only the child executes:
+     interposing it requires the exit hypercall to have re-armed SUD
+     in the child (the kernel clears it on fork). *)
+  Alcotest.(check bool) "child getuid interposed" true
+    (List.mem Defs.sys_getuid nrs);
+  Alcotest.(check int) "child registered with the interposer" 2
+    (Hashtbl.length st.known_tasks)
+
+let jit_prog =
+  (* A JIT: decodes a getpid+ret gadget into fresh RWX memory at run
+     time and calls it — the syscall instruction does not exist
+     anywhere (not even as data: the blob is XOR-obfuscated, as
+     JIT-generated bytes are computed, not copied) until after
+     install/scan time. *)
+  let gadget =
+    Sim_isa.Encode.encode_all
+      [ Isa.Mov_ri (Isa.rax, Int64.of_int Defs.sys_getpid); Isa.Syscall;
+        Isa.Ret ]
+    |> String.map (fun ch -> Char.chr (Char.code ch lxor 0x55))
+  in
+  [
+    Label "start";
+    Jmp_l "go";
+    Label "gadget";
+    Bytes gadget;
+    Label "go";
+    (* mmap RWX at 0xA000 *)
+    mov_ri Isa.rdi 0xA000; mov_ri Isa.rsi 4096;
+    mov_ri Isa.rdx (Defs.prot_read lor Defs.prot_write lor Defs.prot_exec);
+    mov_ri Isa.r10 (Defs.map_fixed lor Defs.map_anonymous);
+    mov_ri64 Isa.r8 (-1L); mov_ri Isa.r9 0;
+    mov_ri Isa.rax Defs.sys_mmap; syscall;
+    (* copy gadget byte by byte *)
+    Lea_ip (Isa.rsi, "gadget");
+    mov_ri Isa.rdi 0xA000;
+    mov_ri Isa.rbx (String.length gadget);
+    Label "copy";
+    load8 Isa.rcx Isa.rsi 0;
+    i (Isa.Alu_ri (Isa.Xor, Isa.rcx, 0x55l));
+    store8 Isa.rdi 0 Isa.rcx;
+    add_ri Isa.rsi 1;
+    add_ri Isa.rdi 1;
+    sub_ri Isa.rbx 1;
+    cmp_ri Isa.rbx 0;
+    Jcc_l (Isa.Ne, "copy");
+    (* call the JITted code *)
+    mov_ri Isa.rbx 0xA000;
+    call_reg Isa.rbx;
+    (* exit(getpid result) *)
+    mov_rr Isa.rdi Isa.rax;
+    mov_ri Isa.rax Defs.sys_exit_group; syscall;
+  ]
+
+let test_jit_code_interposed () =
+  (* The exhaustiveness headline: lazypoline intercepts syscalls from
+     code generated after installation. *)
+  let hook, trace = Hook.tracing () in
+  let code, st, _, _ = run_with_lazypoline ~hook jit_prog in
+  Alcotest.(check int) "JITted getpid returned pid" 1 code;
+  let nrs = List.map fst (Hook.recorded trace) in
+  Alcotest.(check bool) "JITted getpid interposed" true
+    (List.mem Defs.sys_getpid nrs);
+  Alcotest.(check bool) "JIT site was rewritten" true (st.stats.rewrites >= 3)
+
+let test_hook_can_suppress () =
+  (* Full expressiveness: deny open() of /etc/secret with EACCES. *)
+  let hook = Hook.dummy () in
+  hook.Hook.on_syscall <-
+    (fun c ->
+      if c.Hook.nr = Defs.sys_open then
+        let path = Hook.read_string c (Int64.to_int c.Hook.args.(0)) in
+        if path = "/etc/secret" then
+          Hook.Return (Int64.of_int (-Defs.eacces))
+        else Hook.Emulate
+      else Hook.Emulate);
+  let k = Kernel.create () in
+  ignore (Vfs.add_file k.Types.vfs "/etc/secret" "classified");
+  let img =
+    Loader.image_of_items
+      [
+        Label "start";
+        Jmp_l "go";
+        Label "path";
+        Bytes "/etc/secret\000";
+        Label "go";
+        Lea_ip (Isa.rdi, "path");
+        mov_ri Isa.rsi Defs.o_rdonly;
+        mov_ri Isa.rdx 0;
+        mov_ri Isa.rax Defs.sys_open; syscall;
+        mov_ri Isa.rbx 0; sub_rr Isa.rbx Isa.rax;
+        mov_rr Isa.rdi Isa.rbx;
+        mov_ri Isa.rax Defs.sys_exit_group; syscall;
+      ]
+  in
+  let t = Kernel.spawn k img in
+  let _st = install k t hook in
+  Alcotest.(check bool) "terminated" true (Kernel.run_until_exit k);
+  Alcotest.(check int) "open denied with EACCES" Defs.eacces
+    t.Types.exit_code
+
+let test_hook_can_rewrite_args () =
+  (* The hook rewrites getuid into gettid via set_nr. *)
+  let hook = Hook.dummy () in
+  hook.Hook.on_syscall <-
+    (fun c ->
+      if c.Hook.nr = Defs.sys_getuid then Hook.set_nr c Defs.sys_getpid;
+      Hook.Emulate);
+  let code, _, _, _ =
+    run_with_lazypoline ~hook
+      ([ mov_ri Isa.rax Defs.sys_getuid; syscall; mov_rr Isa.rdi Isa.rax;
+         mov_ri Isa.rax Defs.sys_exit_group; syscall ])
+  in
+  (* getuid would return 1000; rewritten getpid returns 1 *)
+  Alcotest.(check int) "hook rewrote syscall" 1 code
+
+let test_blocking_syscall_under_interposition () =
+  (* nanosleep blocks in the emulated syscall and resumes correctly. *)
+  let code, _, _, _ =
+    run_with_lazypoline
+      ([
+         (* timespec at rsp-64: 0 sec, 10000 ns *)
+         mov_rr Isa.rbx Isa.rsp; sub_ri Isa.rbx 64;
+         mov_ri Isa.rcx 0;
+         store Isa.rbx 0 Isa.rcx;
+         mov_ri Isa.rcx 10000;
+         store Isa.rbx 8 Isa.rcx;
+         mov_rr Isa.rdi Isa.rbx;
+         mov_ri Isa.rsi 0;
+         mov_ri Isa.rax Defs.sys_nanosleep; syscall;
+       ]
+      @ Tutil.exit_with 0)
+  in
+  Alcotest.(check int) "slept and exited" 0 code
+
+let test_sud_disabled_config () =
+  (* Fig. 4 configuration: no SUD slow path.  Without pre-rewriting,
+     syscalls run natively (not interposed); with pre-rewriting, the
+     fast path interposes them. *)
+  let hook, trace = Hook.tracing () in
+  let items =
+    [ Label "site"; mov_ri Isa.rax Defs.sys_getpid; syscall ]
+    @ Tutil.exit_with 0
+  in
+  let _, st, _, _ = run_with_lazypoline ~enable_sud:false ~hook items in
+  Alcotest.(check int) "no slow hits" 0 st.stats.slow_hits;
+  Alcotest.(check (list int)) "nothing traced" []
+    (List.map fst (Hook.recorded trace));
+  (* Now with the site pre-rewritten. *)
+  let hook2, trace2 = Hook.tracing () in
+  let k = Kernel.create () in
+  let img = Loader.image_of_items items in
+  let t = Kernel.spawn k img in
+  let st2 = install ~enable_sud:false k t hook2 in
+  rewrite_site st2 t ~addr:(Loader.code_base + 10);
+  ignore (Kernel.run_until_exit k);
+  Alcotest.(check (list int)) "fast path traced getpid"
+    [ Defs.sys_getpid ]
+    (List.map fst (Hook.recorded trace2));
+  Alcotest.(check int) "exit ok" 0 t.Types.exit_code
+
+let tests =
+  [
+    Alcotest.test_case "basic passthrough + trace" `Quick
+      test_basic_passthrough;
+    Alcotest.test_case "fast path after rewrite" `Quick
+      test_fast_path_after_rewrite;
+    Alcotest.test_case "site bytes rewritten to call rax" `Quick
+      test_site_bytes_rewritten;
+    Alcotest.test_case "registers preserved" `Quick test_registers_preserved;
+    Alcotest.test_case "Listing 1: xstate preserved" `Quick
+      test_listing1_xstate_preserved;
+    Alcotest.test_case "Listing 1: xstate clobbered without preservation"
+      `Quick test_listing1_xstate_clobbered;
+    Alcotest.test_case "signal wrapping" `Quick test_signal_wrapping;
+    Alcotest.test_case "selector discipline after signals" `Quick
+      test_signal_wrapping_preserves_selector_discipline;
+    Alcotest.test_case "fork re-arms child" `Quick test_fork_rearms_child;
+    Alcotest.test_case "JIT code interposed (exhaustiveness)" `Quick
+      test_jit_code_interposed;
+    Alcotest.test_case "hook suppresses syscalls" `Quick
+      test_hook_can_suppress;
+    Alcotest.test_case "hook rewrites syscalls" `Quick
+      test_hook_can_rewrite_args;
+    Alcotest.test_case "blocking syscall" `Quick
+      test_blocking_syscall_under_interposition;
+    Alcotest.test_case "SUD-disabled config (Fig 4)" `Quick
+      test_sud_disabled_config;
+  ]

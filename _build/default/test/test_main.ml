@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "lazypoline-sim"
+    [
+      ("isa", Test_isa.tests);
+      ("asm", Test_asm.tests);
+      ("mem", Test_mem.tests);
+      ("cpu", Test_cpu.tests);
+      ("bpf", Test_bpf.tests);
+      ("vfs", Test_vfs.tests);
+      ("net", Test_net.tests);
+      ("kernel", Test_kernel.tests);
+      ("signals", Test_signals.tests);
+      ("sud-seccomp", Test_sud_seccomp.tests);
+      ("lazypoline", Test_lazypoline.tests);
+      ("baselines", Test_baselines.tests);
+      ("minicc", Test_minicc.tests);
+      ("workloads", Test_workloads.tests);
+      ("experiments", Test_experiments.tests);
+      ("mpk", Test_mpk.tests);
+      ("lazypoline-edge", Test_lazypoline_edge.tests);
+      ("minicc-interpose", Test_minicc_interpose.tests);
+      ("kernel-more", Test_kernel_more.tests);
+    ]

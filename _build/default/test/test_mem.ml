@@ -1,0 +1,125 @@
+(** Paged-memory tests: mapping, permissions, cross-page access. *)
+
+open Sim_mem
+
+let test_map_read_write () =
+  let m = Mem.create () in
+  Mem.map m ~addr:0x1000 ~len:4096 ~perm:Mem.rw;
+  Mem.write_u64 m 0x1000 42L;
+  Alcotest.(check int64) "u64" 42L (Mem.read_u64 m 0x1000);
+  Mem.write_u8 m 0x1fff 0xAB;
+  Alcotest.(check int) "u8" 0xAB (Mem.read_u8 m 0x1fff)
+
+let test_unmapped_faults () =
+  let m = Mem.create () in
+  (match Mem.read_u8 m 0x5000 with
+  | exception Mem.Fault (0x5000, Mem.Read) -> ()
+  | _ -> Alcotest.fail "expected read fault");
+  match Mem.write_u8 m 0x5000 1 with
+  | exception Mem.Fault (_, Mem.Write) -> ()
+  | _ -> Alcotest.fail "expected write fault"
+
+let test_permissions () =
+  let m = Mem.create () in
+  Mem.map m ~addr:0x2000 ~len:4096 ~perm:Mem.r_only;
+  Alcotest.(check int) "readable" 0 (Mem.read_u8 m 0x2000);
+  (match Mem.write_u8 m 0x2000 1 with
+  | exception Mem.Fault (_, Mem.Write) -> ()
+  | _ -> Alcotest.fail "write to r-- should fault");
+  (match Mem.fetch_u8 m 0x2000 with
+  | exception Mem.Fault (_, Mem.Exec) -> ()
+  | _ -> Alcotest.fail "fetch from r-- should fault");
+  (match Mem.protect m ~addr:0x2000 ~len:4096 ~perm:Mem.rwx with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "protect failed");
+  Mem.write_u8 m 0x2000 7;
+  Alcotest.(check int) "after mprotect" 7 (Mem.fetch_u8 m 0x2000)
+
+let test_protect_unmapped () =
+  let m = Mem.create () in
+  Mem.map m ~addr:0x1000 ~len:4096 ~perm:Mem.rw;
+  match Mem.protect m ~addr:0x1000 ~len:8192 ~perm:Mem.rw with
+  | Error `Unmapped -> ()
+  | Ok () -> Alcotest.fail "protect over hole should fail"
+
+let test_cross_page () =
+  let m = Mem.create () in
+  Mem.map m ~addr:0x1000 ~len:8192 ~perm:Mem.rw;
+  let addr = 0x2000 - 3 in
+  Mem.write_u64 m addr 0x1122334455667788L;
+  Alcotest.(check int64) "cross-page u64" 0x1122334455667788L
+    (Mem.read_u64 m addr);
+  Mem.write_bytes m (0x2000 - 5) "0123456789";
+  Alcotest.(check string) "cross-page bytes" "0123456789"
+    (Mem.read_bytes m (0x2000 - 5) 10)
+
+let test_find_free () =
+  let m = Mem.create () in
+  Mem.map m ~addr:0x10000 ~len:4096 ~perm:Mem.rw;
+  let a = Mem.find_free m ~hint:0x10000 ~len:8192 in
+  Alcotest.(check bool) "past mapping" true (a >= 0x11000);
+  Mem.map m ~addr:a ~len:8192 ~perm:Mem.rw;
+  let b = Mem.find_free m ~hint:0x10000 ~len:4096 in
+  Alcotest.(check bool) "skips both" true (b >= a + 8192)
+
+let test_clone_independent () =
+  let m = Mem.create () in
+  Mem.map m ~addr:0x1000 ~len:4096 ~perm:Mem.rw;
+  Mem.write_u64 m 0x1000 1L;
+  let m2 = Mem.clone m in
+  Mem.write_u64 m2 0x1000 2L;
+  Alcotest.(check int64) "original" 1L (Mem.read_u64 m 0x1000);
+  Alcotest.(check int64) "clone" 2L (Mem.read_u64 m2 0x1000)
+
+let test_page_zero_mappable () =
+  (* zpoline's trampoline needs VA 0. *)
+  let m = Mem.create () in
+  Mem.map m ~addr:0 ~len:4096 ~perm:Mem.rx;
+  Alcotest.(check int) "fetch at 0" 0 (Mem.fetch_u8 m 0)
+
+let test_regions_coalesce () =
+  let m = Mem.create () in
+  Mem.map m ~addr:0x1000 ~len:8192 ~perm:Mem.rx;
+  Mem.map m ~addr:0x4000 ~len:4096 ~perm:Mem.rw;
+  match Mem.regions m with
+  | [ (0x1000, 8192, p1); (0x4000, 4096, p2) ] ->
+      Alcotest.(check string) "perm rx" "r-x" (Mem.perm_to_string p1);
+      Alcotest.(check string) "perm rw" "rw-" (Mem.perm_to_string p2)
+  | rs ->
+      Alcotest.failf "unexpected regions: %s"
+        (String.concat ","
+           (List.map (fun (a, l, _) -> Printf.sprintf "%x+%x" a l) rs))
+
+let prop_bytes_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"write_bytes/read_bytes roundtrip"
+    QCheck.(pair (string_of_size Gen.(int_range 0 10000)) (int_range 0 5000))
+    (fun (s, off) ->
+      let m = Mem.create () in
+      Mem.map m ~addr:0x1000 ~len:(16 * 4096) ~perm:Mem.rw;
+      let addr = 0x1000 + off in
+      Mem.write_bytes m addr s;
+      Mem.read_bytes m addr (String.length s) = s)
+
+let prop_peek_equals_read =
+  QCheck.Test.make ~count:100 ~name:"peek equals read on readable pages"
+    QCheck.(string_of_size Gen.(int_range 1 500))
+    (fun s ->
+      let m = Mem.create () in
+      Mem.map m ~addr:0 ~len:4096 ~perm:Mem.rw;
+      Mem.write_bytes m 0 s;
+      Mem.peek_bytes m 0 (String.length s) = s)
+
+let tests =
+  [
+    Alcotest.test_case "map/read/write" `Quick test_map_read_write;
+    Alcotest.test_case "unmapped faults" `Quick test_unmapped_faults;
+    Alcotest.test_case "permissions" `Quick test_permissions;
+    Alcotest.test_case "protect unmapped" `Quick test_protect_unmapped;
+    Alcotest.test_case "cross-page access" `Quick test_cross_page;
+    Alcotest.test_case "find_free" `Quick test_find_free;
+    Alcotest.test_case "clone independent" `Quick test_clone_independent;
+    Alcotest.test_case "page zero mappable" `Quick test_page_zero_mappable;
+    Alcotest.test_case "regions coalesce" `Quick test_regions_coalesce;
+    QCheck_alcotest.to_alcotest prop_bytes_roundtrip;
+    QCheck_alcotest.to_alcotest prop_peek_equals_read;
+  ]

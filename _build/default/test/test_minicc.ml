@@ -1,0 +1,293 @@
+(** minicc compiler tests: language features end-to-end on the
+    simulated kernel, plus a differential property test of compiled
+    arithmetic against an OCaml reference evaluator. *)
+
+open Sim_kernel
+
+let run_src ?(vfs_setup = fun _ -> ()) src =
+  let k = Kernel.create () in
+  vfs_setup k;
+  let img = Minicc.Codegen.compile_to_image src in
+  let t = Kernel.spawn k img in
+  if not (Kernel.run_until_exit ~max_slices:400_000 k) then
+    Alcotest.fail "minicc program did not terminate";
+  (t.Types.exit_code, k)
+
+let check_ret msg expected src =
+  let code, _ = run_src src in
+  Alcotest.(check int) msg expected code
+
+let test_return_constant () = check_ret "constant" 42 "long main() { return 42; }"
+
+let test_arith () =
+  (* (11 % 10) + (100/25*4/4) - (3&2) - (1^1) = 1 + 4 - 2 - 0 *)
+  check_ret "arith" 3 "long main() { return (1 + 2 * 5) % 10 + 100 / 25 * 4 / 4 - (3 & 2) - (1 ^ 1); }"
+
+let test_locals_and_assign () =
+  check_ret "locals" 30
+    "long main() { long x = 10; long y; y = x * 2; x = y + x; return x; }"
+
+let test_if_else () =
+  check_ret "if" 1 "long main() { if (3 > 2) { return 1; } else { return 2; } }";
+  check_ret "else" 2 "long main() { if (2 > 3) return 1; else return 2; }"
+
+let test_while_loop () =
+  check_ret "sum 1..10" 55
+    "long main() { long i = 1; long s = 0; while (i <= 10) { s = s + i; i = i + 1; } return s; }"
+
+let test_for_break_continue () =
+  check_ret "for with break/continue" 12
+    "long main() {\n\
+     long s = 0;\n\
+     for (long i = 0; i < 100; i = i + 1) {\n\
+     if (i % 2 == 1) continue;\n\
+     if (i >= 8) break;\n\
+     s = s + i;\n\
+     }\n\
+     return s; }"
+
+let test_functions () =
+  check_ret "fib(10)" 55
+    "long fib(n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }\n\
+     long main() { return fib(10); }"
+
+let test_many_args () =
+  check_ret "6 args" 21
+    "long sum6(a, b, c, d, e, f) { return a + b + c + d + e + f; }\n\
+     long main() { return sum6(1, 2, 3, 4, 5, 6); }"
+
+let test_globals () =
+  check_ret "globals" 15
+    "long g = 5;\n\
+     long bump(n) { g = g + n; return g; }\n\
+     long main() { bump(4); bump(6); return g; }"
+
+let test_buffers_and_strings () =
+  check_ret "buffer bytes" (Char.code 'h')
+    "long main() { char b[16]; b[0] = 'h'; b[1] = 0; return b[0]; }";
+  check_ret "string literal" (Char.code 'w')
+    "long main() { long s = \"world\"; return s[0]; }";
+  check_ret "global buffer" 3
+    "char gb[8];\n\
+     long main() { gb[2] = 3; return gb[2]; }"
+
+let test_peek_poke () =
+  check_ret "peek64/poke64" 77
+    "long main() { char b[16]; poke64(b, 77); return peek64(b); }"
+
+let test_logical_ops () =
+  check_ret "short circuit and" 0
+    "long boom() { return 1 / 0; }\n\
+     long main() { return 0 && boom(); }";
+  check_ret "short circuit or" 1
+    "long boom() { return 1 / 0; }\n\
+     long main() { return 1 || boom(); }";
+  check_ret "not" 1 "long main() { return !0; }"
+
+let test_syscall_builtin () =
+  Buffer.clear Kernel.console;
+  let code, _ =
+    run_src
+      "long main() {\n\
+       long n = syscall(1, 1, \"hello from minicc\\n\", 18);\n\
+       return n;\n\
+       }"
+  in
+  Alcotest.(check int) "write returned length" 18 code;
+  Alcotest.(check string) "console" "hello from minicc\n"
+    (Buffer.contents Kernel.console)
+
+let test_open_read_write_files () =
+  let code, _ =
+    run_src
+      ~vfs_setup:(fun k ->
+        ignore (Vfs.add_file k.Types.vfs "/data/in" "abcde"))
+      "long main() {\n\
+       char buf[64];\n\
+       long fd = syscall(2, \"/data/in\", 0, 0);\n\
+       if (fd < 0) return 1;\n\
+       long n = syscall(0, fd, buf, 64);\n\
+       syscall(3, fd);\n\
+       return n;\n\
+       }"
+  in
+  Alcotest.(check int) "read 5 bytes" 5 code
+
+let test_string_helpers_prog () =
+  (* A small strlen/strcmp library in minicc itself. *)
+  check_ret "strlen/strcpy" 5
+    "long strlen(s) { long n = 0; while (s[n] != 0) { n = n + 1; } return n; }\n\
+     long main() { return strlen(\"hello\"); }"
+
+let test_compile_errors () =
+  let expect_error src =
+    match Minicc.Codegen.compile src with
+    | exception Minicc.Ast.Compile_error _ -> ()
+    | _ -> Alcotest.failf "accepted: %s" src
+  in
+  expect_error "long main() { return x; }";
+  expect_error "long main() { return f(); }";
+  expect_error "long f() { return 1; } long main() { return f(2); }";
+  expect_error "long main() { break; }";
+  expect_error "long nomain() { return 1; }";
+  expect_error "long main() { long x = 1; long x = 2; return x; }";
+  expect_error "long main() { return 1 << main; }"
+
+let test_jit_runs () =
+  Buffer.clear Kernel.console;
+  let code, _ =
+    Minicc.Jit.run
+      "long main() { syscall(1, 1, \"jit!\\n\", 5); return 9; }"
+  in
+  Alcotest.(check int) "jit exit code" 9 code;
+  Alcotest.(check bool) "payload output present" true
+    (let s = Buffer.contents Kernel.console in
+     String.length s >= 5
+     && String.sub s (String.length s - 5) 5 = "jit!\n")
+
+(* --- differential property test ----------------------------------- *)
+
+type rexpr =
+  | RNum of int64
+  | RBin of Minicc.Ast.binop * rexpr * rexpr
+
+let rec rexpr_to_src = function
+  | RNum v -> Printf.sprintf "(%Ld)" v
+  | RBin (op, a, b) ->
+      let ops =
+        match op with
+        | Minicc.Ast.Add -> "+"
+        | Sub -> "-"
+        | Mul -> "*"
+        | Div -> "/"
+        | Mod -> "%"
+        | BAnd -> "&"
+        | BOr -> "|"
+        | BXor -> "^"
+        | Eq -> "=="
+        | Ne -> "!="
+        | Lt -> "<"
+        | Le -> "<="
+        | Gt -> ">"
+        | Ge -> ">="
+        | LAnd -> "&&"
+        | LOr -> "||"
+        | Shl -> "<<"
+        | Shr -> ">>"
+      in
+      Printf.sprintf "(%s %s %s)" (rexpr_to_src a) ops (rexpr_to_src b)
+
+let rec eval_rexpr = function
+  | RNum v -> v
+  | RBin (op, a, b) ->
+      let x = eval_rexpr a and y = eval_rexpr b in
+      let bool_ c = if c then 1L else 0L in
+      (match op with
+      | Minicc.Ast.Add -> Int64.add x y
+      | Sub -> Int64.sub x y
+      | Mul -> Int64.mul x y
+      | Div -> if y = 0L then 0L else Int64.div x y
+      | Mod -> if y = 0L then 0L else Int64.rem x y
+      | BAnd -> Int64.logand x y
+      | BOr -> Int64.logor x y
+      | BXor -> Int64.logxor x y
+      | Eq -> bool_ (x = y)
+      | Ne -> bool_ (x <> y)
+      | Lt -> bool_ (Int64.compare x y < 0)
+      | Le -> bool_ (Int64.compare x y <= 0)
+      | Gt -> bool_ (Int64.compare x y > 0)
+      | Ge -> bool_ (Int64.compare x y >= 0)
+      | LAnd -> bool_ (x <> 0L && y <> 0L)
+      | LOr -> bool_ (x <> 0L || y <> 0L)
+      | Shl | Shr -> 0L (* not generated *))
+
+let gen_rexpr : rexpr QCheck.Gen.t =
+  let open QCheck.Gen in
+  let ops =
+    [ Minicc.Ast.Add; Sub; Mul; BAnd; BOr; BXor; Eq; Ne; Lt; Le; Gt; Ge;
+      LAnd; LOr ]
+  in
+  sized
+  @@ fix (fun self n ->
+         if n = 0 then map (fun v -> RNum (Int64.of_int v)) (int_range (-1000) 1000)
+         else
+           frequency
+             [
+               (1, map (fun v -> RNum (Int64.of_int v)) (int_range (-1000) 1000));
+               ( 3,
+                 map3
+                   (fun op a b -> RBin (op, a, b))
+                   (oneofl ops) (self (n / 2)) (self (n / 2)) );
+               (* division with a guaranteed non-zero divisor *)
+               ( 1,
+                 map2
+                   (fun a b ->
+                     RBin
+                       ( Minicc.Ast.Div,
+                         a,
+                         RBin (Minicc.Ast.BOr, b, RNum 1L) ))
+                   (self (n / 2)) (self (n / 2)) );
+             ])
+
+let prop_compiled_arith_matches_reference =
+  QCheck.Test.make ~count:120 ~name:"compiled arithmetic == reference"
+    (QCheck.make ~print:rexpr_to_src gen_rexpr)
+    (fun e ->
+      (* exit codes are truncated; compare via a canary: return 1 iff
+         expression equals the reference value *)
+      let expected = eval_rexpr e in
+      let src =
+        Printf.sprintf
+          "long main() { if ((%s) == (%Ld)) return 1; return 0; }"
+          (rexpr_to_src e) expected
+      in
+      let code, _ = run_src src in
+      code = 1)
+
+let prop_compiled_fn_args =
+  QCheck.Test.make ~count:60 ~name:"argument passing is positional"
+    QCheck.(make Gen.(list_size (int_range 1 6) (int_range 0 1000)))
+    (fun args ->
+      let n = List.length args in
+      let params = List.init n (fun idx -> Printf.sprintf "p%d" idx) in
+      (* weighted sum distinguishes permutations *)
+      let body =
+        String.concat " + "
+          (List.mapi (fun idx p -> Printf.sprintf "%d * %s" (idx + 1) p) params)
+      in
+      let expected =
+        List.fold_left ( + ) 0 (List.mapi (fun idx a -> (idx + 1) * a) args)
+        land 0x7F
+      in
+      let src =
+        Printf.sprintf
+          "long f(%s) { return %s; }\nlong main() { return (f(%s)) & 127; }"
+          (String.concat ", " params)
+          body
+          (String.concat ", " (List.map string_of_int args))
+      in
+      let code, _ = run_src src in
+      code = expected)
+
+let tests =
+  [
+    Alcotest.test_case "return constant" `Quick test_return_constant;
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "locals" `Quick test_locals_and_assign;
+    Alcotest.test_case "if/else" `Quick test_if_else;
+    Alcotest.test_case "while" `Quick test_while_loop;
+    Alcotest.test_case "for/break/continue" `Quick test_for_break_continue;
+    Alcotest.test_case "recursive functions" `Quick test_functions;
+    Alcotest.test_case "six arguments" `Quick test_many_args;
+    Alcotest.test_case "globals" `Quick test_globals;
+    Alcotest.test_case "buffers and strings" `Quick test_buffers_and_strings;
+    Alcotest.test_case "peek/poke" `Quick test_peek_poke;
+    Alcotest.test_case "logical operators" `Quick test_logical_ops;
+    Alcotest.test_case "syscall builtin" `Quick test_syscall_builtin;
+    Alcotest.test_case "file I/O" `Quick test_open_read_write_files;
+    Alcotest.test_case "string helpers" `Quick test_string_helpers_prog;
+    Alcotest.test_case "compile errors" `Quick test_compile_errors;
+    Alcotest.test_case "JIT mode" `Quick test_jit_runs;
+    QCheck_alcotest.to_alcotest prop_compiled_arith_matches_reference;
+    QCheck_alcotest.to_alcotest prop_compiled_fn_args;
+  ]

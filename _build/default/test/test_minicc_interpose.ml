@@ -1,0 +1,177 @@
+(** Cross-mechanism differential testing on *compiled C programs*:
+    random minicc programs must behave identically native, under
+    lazypoline, under the SUD baseline, and (being fully static) under
+    zpoline — with lazypoline's trace matching SUD's exactly.  This is
+    the repository's strongest end-to-end invariant: it exercises the
+    compiler, the kernel, and all interposition layers at once. *)
+
+open Sim_kernel
+module Hook = Lazypoline.Hook
+
+(* tiny local substring replace (no Str dependency) *)
+module Str_replace = struct
+  let replace_all ~needle ~by s =
+    let nl = String.length needle in
+    let buf = Buffer.create (String.length s) in
+    let i = ref 0 in
+    while !i <= String.length s - nl do
+      if String.sub s !i nl = needle then begin
+        Buffer.add_string buf by;
+        i := !i + nl
+      end
+      else begin
+        Buffer.add_char buf s.[!i];
+        incr i
+      end
+    done;
+    Buffer.add_string buf (String.sub s !i (String.length s - !i));
+    Buffer.contents buf
+end
+
+type mech = Native | Lazy | Zp | SudB
+
+let run_src mech src =
+  let k = Kernel.create () in
+  ignore (Vfs.add_file k.Types.vfs "/data/seed" "0123456789abcdef");
+  let t = Kernel.spawn k (Minicc.Codegen.compile_to_image src) in
+  let hook, trace = Hook.tracing () in
+  (match mech with
+  | Native -> ()
+  | Lazy -> ignore (Lazypoline.install k t hook)
+  | Zp -> ignore (Baselines.Zpoline.install k t hook)
+  | SudB -> ignore (Baselines.Sud_interposer.install k t hook));
+  Buffer.clear Kernel.console;
+  if not (Kernel.run_until_exit ~max_slices:600_000 k) then
+    Alcotest.fail "program did not terminate";
+  (t.Types.exit_code, Buffer.contents Kernel.console,
+   List.map fst (Hook.recorded trace))
+
+(* Random program pieces. *)
+type piece =
+  | Arith of Test_minicc.rexpr
+  | Sys_getpid
+  | Sys_gettid
+  | Write_console of int  (** 1..9 chars *)
+  | Read_file of int  (** bytes to read from /data/seed *)
+  | Loop_gettid of int  (** 1..4 iterations *)
+  | Call_helper of int
+
+let gen_piece : piece QCheck.Gen.t =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map (fun e -> Arith e) Test_minicc.gen_rexpr);
+        (2, return Sys_getpid);
+        (2, return Sys_gettid);
+        (1, map (fun n -> Write_console (1 + (n mod 9))) (int_range 0 100));
+        (1, map (fun n -> Read_file (1 + (n mod 16))) (int_range 0 100));
+        (1, map (fun n -> Loop_gettid (1 + (n mod 4))) (int_range 0 100));
+        (1, map (fun n -> Call_helper (n mod 50)) (int_range 0 100));
+      ])
+
+let gen_pieces = QCheck.Gen.(list_size (int_range 1 8) gen_piece)
+
+let piece_src = function
+  | Arith e ->
+      Printf.sprintf "  acc = acc + (%s);\n" (Test_minicc.rexpr_to_src e)
+  | Sys_getpid -> "  acc = acc + syscall(39);\n"
+  | Sys_gettid -> "  acc = acc + syscall(186);\n"
+  | Write_console n ->
+      Printf.sprintf "  acc = acc + syscall(1, 1, \"abcdefghi\", %d);\n" n
+  | Read_file n ->
+      Printf.sprintf
+        "  fd = syscall(2, \"/data/seed\", 0, 0);\n\
+        \  acc = acc + syscall(0, fd, buf, %d);\n\
+        \  acc = acc + buf[0];\n\
+        \  syscall(3, fd);\n"
+        n
+  | Loop_gettid n ->
+      (* loop counter name must be unique per occurrence *)
+      Printf.sprintf
+        "  for (long i_IDX = 0; i_IDX < %d; i_IDX = i_IDX + 1) { acc = acc + syscall(186); }\n"
+        n
+  | Call_helper n -> Printf.sprintf "  acc = acc + helper(%d);\n" n
+
+let program_of pieces =
+  let body =
+    String.concat ""
+      (List.mapi
+         (fun idx p ->
+           Str_replace.replace_all ~needle:"IDX" ~by:(string_of_int idx)
+             (piece_src p))
+         pieces)
+  in
+  Printf.sprintf
+    "long helper(x) { if (x > 25) return x * 3 - syscall(39); return x + 1; }\n\
+     long main() {\n\
+     char buf[64];\n\
+     long fd = 0;\n\
+     long acc = 0;\n\
+     %s\n\
+     return acc & 127;\n\
+     }"
+    body
+
+let prop_minicc_equivalence =
+  QCheck.Test.make ~count:40
+    ~name:"random C programs: native == lazypoline == SUD == zpoline"
+    (QCheck.make ~print:(fun ps -> program_of ps) gen_pieces)
+    (fun pieces ->
+      let src = program_of pieces in
+      let n_code, n_out, _ = run_src Native src in
+      let l_code, l_out, l_trace = run_src Lazy src in
+      let s_code, s_out, s_trace = run_src SudB src in
+      let z_code, z_out, _ = run_src Zp src in
+      n_code = l_code && n_code = s_code && n_code = z_code && n_out = l_out
+      && n_out = s_out && n_out = z_out && l_trace = s_trace)
+
+let prop_protected_equivalence =
+  QCheck.Test.make ~count:15
+    ~name:"random C programs unchanged under MPK-protected lazypoline"
+    (QCheck.make gen_pieces)
+    (fun pieces ->
+      let src = program_of pieces in
+      let n_code, n_out, _ = run_src Native src in
+      let k = Kernel.create () in
+      ignore (Vfs.add_file k.Types.vfs "/data/seed" "0123456789abcdef");
+      let t = Kernel.spawn k (Minicc.Codegen.compile_to_image src) in
+      ignore (Lazypoline.install ~protect_selector:true k t (Hook.dummy ()));
+      Buffer.clear Kernel.console;
+      let ok = Kernel.run_until_exit ~max_slices:600_000 k in
+      ok && t.Types.exit_code = n_code && Buffer.contents Kernel.console = n_out)
+
+let test_strace_decodes_paths () =
+  let k = Kernel.create () in
+  ignore (Vfs.add_file k.Types.vfs "/etc/motd" "m");
+  let t =
+    Kernel.spawn k
+      (Minicc.Codegen.compile_to_image
+         "long main() { return syscall(2, \"/etc/motd\", 0, 0) >= 0; }")
+  in
+  let hook, log = Hook.strace () in
+  ignore (Lazypoline.install k t hook);
+  ignore (Kernel.run_until_exit k);
+  Alcotest.(check int) "opened" 1 t.Types.exit_code;
+  let lines = List.rev !log in
+  Alcotest.(check bool)
+    (Printf.sprintf "path decoded in %s" (String.concat "; " lines))
+    true
+    (List.exists
+       (fun l ->
+         String.length l >= 4
+         && String.sub l 0 4 = "open"
+         && String.length l > 6
+         &&
+         let rec contains i =
+           i + 9 <= String.length l
+           && (String.sub l i 9 = "/etc/motd" || contains (i + 1))
+         in
+         contains 0)
+       lines)
+
+let tests =
+  [
+    QCheck_alcotest.to_alcotest prop_minicc_equivalence;
+    QCheck_alcotest.to_alcotest prop_protected_equivalence;
+    Alcotest.test_case "strace decodes paths" `Quick test_strace_decodes_paths;
+  ]

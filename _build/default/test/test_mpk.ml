@@ -1,0 +1,299 @@
+(** Tests of the MPK-style selector protection (the paper's Section VI
+    hardening): protection keys at the CPU/kernel level, and the
+    lazypoline [~protect_selector] option that makes the SUD selector
+    byte tamper-proof against application code. *)
+
+open Sim_isa
+open Sim_asm.Asm
+open Sim_kernel
+module Hook = Lazypoline.Hook
+module Layout = Lazypoline.Layout
+
+(* --- CPU/kernel level ---------------------------------------------- *)
+
+let test_wrpkru_rdpkru () =
+  let code, _, _ =
+    Tutil.run_asm
+      ([
+         mov_ri Isa.rcx 0x6;
+         i (Isa.Wrpkru Isa.rcx);
+         i (Isa.Rdpkru Isa.rdi);
+       ]
+      @ [ mov_ri Isa.rax Defs.sys_exit_group; syscall ])
+  in
+  Alcotest.(check int) "pkru readback" 0x6 code
+
+let pkey_mprotect_page =
+  (* map a page at 0x9000 and tag it pkey 1 *)
+  [
+    mov_ri Isa.rdi 0x9000; mov_ri Isa.rsi 4096;
+    mov_ri Isa.rdx (Defs.prot_read lor Defs.prot_write);
+    mov_ri Isa.r10 (Defs.map_fixed lor Defs.map_anonymous);
+    mov_ri64 Isa.r8 (-1L); mov_ri Isa.r9 0;
+    mov_ri Isa.rax Defs.sys_mmap; syscall;
+    mov_ri Isa.rdi 0x9000; mov_ri Isa.rsi 4096;
+    mov_ri Isa.rdx (Defs.prot_read lor Defs.prot_write);
+    mov_ri Isa.r10 1;
+    mov_ri Isa.rax Defs.sys_pkey_mprotect; syscall;
+  ]
+
+let test_pkey_denied_write_faults () =
+  let prog =
+    pkey_mprotect_page
+    @ [
+        (* deny writes to pkey 1, then store *)
+        mov_ri Isa.rcx 2;
+        i (Isa.Wrpkru Isa.rcx);
+        mov_ri Isa.rbx 0x9000;
+        mov_ri Isa.rcx 7;
+        store Isa.rbx 0 Isa.rcx;
+      ]
+    @ Tutil.exit_with 0
+  in
+  let code, _, _ = Tutil.run_asm prog in
+  Alcotest.(check int) "killed by SIGSEGV" (128 + Defs.sigsegv) code
+
+let test_pkey_allowed_write_passes () =
+  let prog =
+    pkey_mprotect_page
+    @ [
+        mov_ri Isa.rcx 2;
+        i (Isa.Wrpkru Isa.rcx);
+        (* open the window, write, close *)
+        mov_ri Isa.rcx 0;
+        i (Isa.Wrpkru Isa.rcx);
+        mov_ri Isa.rbx 0x9000;
+        mov_ri Isa.rcx 7;
+        store Isa.rbx 0 Isa.rcx;
+        mov_ri Isa.rcx 2;
+        i (Isa.Wrpkru Isa.rcx);
+        (* reads are never blocked by our write-deny keys *)
+        load Isa.rdi Isa.rbx 0;
+        mov_ri Isa.rax Defs.sys_exit_group; syscall;
+      ]
+  in
+  let code, _, _ = Tutil.run_asm prog in
+  Alcotest.(check int) "wrote through window" 7 code
+
+let test_pkru_saved_across_signals () =
+  (* A handler that opens the window must not leave it open for the
+     interrupted context: sigreturn restores PKRU from the frame. *)
+  let prog =
+    pkey_mprotect_page
+    @ [
+        (* install handler *)
+        mov_rr Isa.rbx Isa.rsp; sub_ri Isa.rbx 1024;
+        Lea_ip (Isa.rcx, "handler");
+        store Isa.rbx 0 Isa.rcx;
+        mov_ri Isa.rcx 0;
+        store Isa.rbx 8 Isa.rcx; store Isa.rbx 16 Isa.rcx;
+        Lea_ip (Isa.rcx, "restorer");
+        store Isa.rbx 24 Isa.rcx;
+        mov_ri Isa.rdi Defs.sigusr1;
+        mov_rr Isa.rsi Isa.rbx;
+        mov_ri Isa.rdx 0;
+        mov_ri Isa.rax Defs.sys_rt_sigaction; syscall;
+        (* deny, then raise the signal *)
+        mov_ri Isa.rcx 2;
+        i (Isa.Wrpkru Isa.rcx);
+        mov_ri Isa.rax Defs.sys_getpid; syscall;
+        mov_rr Isa.rdi Isa.rax;
+        mov_ri Isa.rsi Defs.sigusr1;
+        mov_ri Isa.rax Defs.sys_kill; syscall;
+        (* after the handler (which opened the window), pkru must be
+           denied again *)
+        i (Isa.Rdpkru Isa.rdi);
+        mov_ri Isa.rax Defs.sys_exit_group; syscall;
+        Label "handler";
+        mov_ri Isa.rcx 0;
+        i (Isa.Wrpkru Isa.rcx);
+        ret;
+        Label "restorer";
+        mov_ri Isa.rax Defs.sys_rt_sigreturn; syscall;
+      ]
+  in
+  let code, _, _ = Tutil.run_asm prog in
+  Alcotest.(check int) "pkru restored to deny" 2 code
+
+(* --- lazypoline ~protect_selector ---------------------------------- *)
+
+let simple_prog =
+  [ mov_ri Isa.rax Defs.sys_getpid; syscall; mov_rr Isa.rdi Isa.rax;
+    mov_ri Isa.rax Defs.sys_exit_group; syscall ]
+
+let test_protected_interposition_works () =
+  let k = Kernel.create () in
+  let t = Kernel.spawn k (Loader.image_of_items simple_prog) in
+  let hook, trace = Hook.tracing () in
+  ignore (Lazypoline.install ~protect_selector:true k t hook);
+  Alcotest.(check bool) "terminated" true (Kernel.run_until_exit k);
+  Alcotest.(check int) "result intact" 1 t.Types.exit_code;
+  Alcotest.(check (list int)) "trace complete"
+    [ Defs.sys_getpid; Defs.sys_exit_group ]
+    (List.map fst (Hook.recorded trace))
+
+(* An "attacker": overwrite the selector byte with ALLOW, then perform
+   a secret syscall that should escape interposition. *)
+let attacker_prog ~selector_addr =
+  [
+    mov_ri Isa.rax Defs.sys_getpid; syscall;
+    (* overwrite the selector *)
+    mov_ri Isa.rbx selector_addr;
+    mov_ri Isa.rcx Defs.syscall_dispatch_filter_allow;
+    store8 Isa.rbx 0 Isa.rcx;
+    (* the syscall the interposer must not miss *)
+    mov_ri Isa.rax Defs.sys_getuid; syscall;
+  ]
+  @ Tutil.exit_with 0
+
+let run_attack ~protect =
+  (* Two-phase: install first to learn the selector address, then
+     rebuild the attacker image against it (the attacker "knows" the
+     layout, as a strong adversary would). *)
+  let probe_k = Kernel.create () in
+  let probe_t = Kernel.spawn probe_k (Loader.image_of_items simple_prog) in
+  ignore (Lazypoline.install ~protect_selector:protect probe_k probe_t (Hook.dummy ()));
+  let selector_addr = probe_t.Types.sud.Types.sud_selector in
+  let k = Kernel.create () in
+  let t = Kernel.spawn k (Loader.image_of_items (attacker_prog ~selector_addr)) in
+  let hook, trace = Hook.tracing () in
+  ignore (Lazypoline.install ~protect_selector:protect k t hook);
+  Alcotest.(check int) "same layout" selector_addr
+    t.Types.sud.Types.sud_selector;
+  ignore (Kernel.run_until_exit k);
+  (t.Types.exit_code, List.map fst (Hook.recorded trace))
+
+let test_unprotected_attack_succeeds () =
+  (* Without Section VI hardening, flipping the selector silently
+     disables interception: the getuid escapes. *)
+  let code, trace = run_attack ~protect:false in
+  Alcotest.(check int) "attacker survives" 0 code;
+  Alcotest.(check bool) "getpid was still interposed" true
+    (List.mem Defs.sys_getpid trace);
+  Alcotest.(check bool) "getuid ESCAPED interposition" false
+    (List.mem Defs.sys_getuid trace)
+
+let test_protected_attack_faults () =
+  (* With the selector behind a protection key, the overwrite faults
+     and the attacker dies before issuing the secret syscall. *)
+  let code, trace = run_attack ~protect:true in
+  Alcotest.(check int) "attacker killed by SIGSEGV" (128 + Defs.sigsegv) code;
+  Alcotest.(check bool) "no syscall escaped" false
+    (List.mem Defs.sys_getuid trace)
+
+let test_protected_signals_still_work () =
+  (* Signal wrapping under protection: the wrapper and trampoline
+     toggle the window correctly. *)
+  let prog =
+    [
+      mov_rr Isa.rbx Isa.rsp; sub_ri Isa.rbx 1024;
+      Lea_ip (Isa.rcx, "handler");
+      store Isa.rbx 0 Isa.rcx;
+      mov_ri Isa.rcx 0;
+      store Isa.rbx 8 Isa.rcx; store Isa.rbx 16 Isa.rcx;
+      store Isa.rbx 24 Isa.rcx;
+      mov_ri Isa.rdi Defs.sigusr1;
+      mov_rr Isa.rsi Isa.rbx;
+      mov_ri Isa.rdx 0;
+      mov_ri Isa.rax Defs.sys_rt_sigaction; syscall;
+      mov_ri Isa.rax Defs.sys_getpid; syscall;
+      mov_rr Isa.rdi Isa.rax;
+      mov_ri Isa.rsi Defs.sigusr1;
+      mov_ri Isa.rax Defs.sys_kill; syscall;
+      (* still interposed after the signal *)
+      mov_ri Isa.rax Defs.sys_getuid; syscall;
+    ]
+    @ Tutil.exit_with 0
+    @ [ Label "handler"; mov_ri Isa.rax Defs.sys_gettid; syscall; ret ]
+  in
+  let k = Kernel.create () in
+  let t = Kernel.spawn k (Loader.image_of_items prog) in
+  let hook, trace = Hook.tracing () in
+  ignore (Lazypoline.install ~protect_selector:true k t hook);
+  Alcotest.(check bool) "terminated" true (Kernel.run_until_exit k);
+  Alcotest.(check int) "exit ok" 0 t.Types.exit_code;
+  let nrs = List.map fst (Hook.recorded trace) in
+  Alcotest.(check bool) "handler syscall interposed" true
+    (List.mem Defs.sys_gettid nrs);
+  Alcotest.(check bool) "post-signal syscall interposed" true
+    (List.mem Defs.sys_getuid nrs)
+
+let test_protected_fork_child () =
+  let prog =
+    [
+      mov_ri Isa.rax Defs.sys_fork; syscall;
+      cmp_ri Isa.rax 0;
+      Jcc_l (Isa.Eq, "child");
+      mov_ri64 Isa.rdi (-1L);
+      mov_rr Isa.rsi Isa.rsp; sub_ri Isa.rsi 256;
+      mov_ri Isa.rdx 0;
+      mov_ri Isa.rax Defs.sys_wait4; syscall;
+      mov_rr Isa.rbx Isa.rsp; sub_ri Isa.rbx 256;
+      load Isa.rdi Isa.rbx 0;
+      i (Isa.Shift (Isa.Shr, Isa.rdi, 8));
+      mov_ri Isa.rax Defs.sys_exit_group; syscall;
+      Label "child";
+      mov_ri Isa.rax Defs.sys_getuid; syscall;
+    ]
+    @ Tutil.exit_with 6
+  in
+  let k = Kernel.create () in
+  let t = Kernel.spawn k (Loader.image_of_items prog) in
+  let hook, trace = Hook.tracing () in
+  ignore (Lazypoline.install ~protect_selector:true k t hook);
+  Alcotest.(check bool) "terminated" true (Kernel.run_until_exit k);
+  Alcotest.(check int) "child status" 6 t.Types.exit_code;
+  Alcotest.(check bool) "child interposed" true
+    (List.mem Defs.sys_getuid (List.map fst (Hook.recorded trace)))
+
+let test_protection_cost_is_small () =
+  (* The hardening costs two WRPKRUs per interposition — well under
+     the cost of the xstate option. *)
+  let base =
+    Workloads.Microbench_prog.run ~iters:3_000
+      Workloads.Microbench_prog.Lazypoline_noxstate
+  in
+  let k = Kernel.create () in
+  let blob =
+    Sim_asm.Asm.assemble ~base:Loader.code_base
+      (Workloads.Microbench_prog.bench_items ~iters:3_000 ~nr:500)
+  in
+  let img =
+    Loader.image ~entry:(Sim_asm.Asm.symbol blob "start") ~text:blob ()
+  in
+  let t = Kernel.spawn k img in
+  let st =
+    Lazypoline.install ~preserve_xstate:false ~protect_selector:true k t
+      (Hook.dummy ())
+  in
+  Lazypoline.rewrite_site st t ~addr:(Sim_asm.Asm.symbol blob "site");
+  ignore (Kernel.run_until_exit k);
+  let protected_ = Int64.to_float t.Types.tcycles /. 3_000.0 in
+  let delta = protected_ -. base in
+  Alcotest.(check bool)
+    (Printf.sprintf "wrpkru cost ~2x23 cycles (got %.1f)" delta)
+    true
+    (delta > 40.0 && delta < 80.0)
+
+let tests =
+  [
+    Alcotest.test_case "wrpkru/rdpkru" `Quick test_wrpkru_rdpkru;
+    Alcotest.test_case "pkey-denied write faults" `Quick
+      test_pkey_denied_write_faults;
+    Alcotest.test_case "window write passes" `Quick
+      test_pkey_allowed_write_passes;
+    Alcotest.test_case "pkru restored across signals" `Quick
+      test_pkru_saved_across_signals;
+    Alcotest.test_case "protected interposition works" `Quick
+      test_protected_interposition_works;
+    Alcotest.test_case "unprotected: attack succeeds" `Quick
+      test_unprotected_attack_succeeds;
+    Alcotest.test_case "protected: attack faults" `Quick
+      test_protected_attack_faults;
+    Alcotest.test_case "protected: signals work" `Quick
+      test_protected_signals_still_work;
+    Alcotest.test_case "protected: fork child" `Quick
+      test_protected_fork_child;
+    Alcotest.test_case "protection cost band" `Quick
+      test_protection_cost_is_small;
+  ]

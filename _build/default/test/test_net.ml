@@ -1,0 +1,122 @@
+(** Loopback socket and FIFO tests. *)
+
+open Sim_kernel
+
+let test_fifo_basic () =
+  let f = Fifo.create 8 in
+  Alcotest.(check int) "push" 5 (Fifo.push f "hello" 0 5);
+  Alcotest.(check int) "partial" 3 (Fifo.push f "world" 0 5);
+  Alcotest.(check string) "pop wraps" "hellowor" (Fifo.pop f 100);
+  Alcotest.(check bool) "empty" true (Fifo.is_empty f)
+
+let prop_fifo_preserves_stream =
+  QCheck.Test.make ~count:300 ~name:"fifo preserves byte stream"
+    QCheck.(list (string_of_size Gen.(int_range 0 50)))
+    (fun chunks ->
+      let f = Fifo.create 64 in
+      let out = Buffer.create 64 in
+      let expected = Buffer.create 64 in
+      List.iter
+        (fun s ->
+          let mutable_pos = ref 0 in
+          Buffer.add_string expected s;
+          while !mutable_pos < String.length s do
+            let n = Fifo.push f s !mutable_pos (String.length s - !mutable_pos) in
+            if n = 0 then Buffer.add_string out (Fifo.pop f 17)
+            else mutable_pos := !mutable_pos + n
+          done)
+        chunks;
+      Buffer.add_string out (Fifo.pop f 10_000);
+      Buffer.contents out = Buffer.contents expected)
+
+let test_listen_connect_accept () =
+  let n = Net.create () in
+  let l =
+    match Net.listen n ~port:80 ~backlog:4 with
+    | Ok l -> l
+    | Error `In_use -> Alcotest.fail "listen"
+  in
+  Alcotest.(check bool) "no conn yet" true (Net.accept l = None);
+  let client =
+    match Net.connect n ~port:80 with
+    | Ok c -> c
+    | Error `Refused -> Alcotest.fail "connect"
+  in
+  let server =
+    match Net.accept l with Some s -> s | None -> Alcotest.fail "accept"
+  in
+  ignore (Net.send client "GET /" 0 5);
+  (match Net.recv server 100 with
+  | `Data s -> Alcotest.(check string) "request" "GET /" s
+  | _ -> Alcotest.fail "recv");
+  ignore (Net.send server "200" 0 3);
+  match Net.recv client 100 with
+  | `Data s -> Alcotest.(check string) "response" "200" s
+  | _ -> Alcotest.fail "recv response"
+
+let test_refused () =
+  let n = Net.create () in
+  match Net.connect n ~port:99 with
+  | Error `Refused -> ()
+  | Ok _ -> Alcotest.fail "connect to nothing succeeded"
+
+let test_eof_and_pipe () =
+  let n = Net.create () in
+  let a, b = Net.pair n in
+  ignore (Net.send a "x" 0 1);
+  Net.close_endpoint a;
+  (match Net.recv b 10 with
+  | `Data s -> Alcotest.(check string) "drain first" "x" s
+  | _ -> Alcotest.fail "drain");
+  (match Net.recv b 10 with
+  | `Eof -> ()
+  | _ -> Alcotest.fail "expected EOF after drain");
+  match Net.send b "y" 0 1 with
+  | Error `Pipe -> ()
+  | Ok _ -> Alcotest.fail "send to closed peer succeeded"
+
+let test_backpressure () =
+  let n = Net.create () in
+  let a, b = Net.pair n in
+  let big = String.make 100_000 'z' in
+  let sent = match Net.send a big 0 (String.length big) with
+    | Ok s -> s
+    | Error `Pipe -> Alcotest.fail "pipe"
+  in
+  Alcotest.(check int) "bounded by buffer" Net.default_sockbuf sent;
+  Alcotest.(check bool) "not writable" false (Net.writable a);
+  (match Net.recv b 1000 with
+  | `Data s -> Alcotest.(check int) "drained" 1000 (String.length s)
+  | _ -> Alcotest.fail "recv");
+  Alcotest.(check bool) "writable again" true (Net.writable a)
+
+let test_readiness () =
+  let n = Net.create () in
+  let a, b = Net.pair n in
+  Alcotest.(check bool) "empty not readable" false (Net.readable b);
+  ignore (Net.send a "q" 0 1);
+  Alcotest.(check bool) "readable with data" true (Net.readable b);
+  ignore (Net.recv b 10);
+  Net.close_endpoint a;
+  Alcotest.(check bool) "readable at EOF" true (Net.readable b)
+
+let test_backlog_limit () =
+  let n = Net.create () in
+  (match Net.listen n ~port:1 ~backlog:1 with Ok _ -> () | Error _ -> ());
+  (match Net.connect n ~port:1 with Ok _ -> () | Error _ -> Alcotest.fail "1st");
+  match Net.connect n ~port:1 with
+  | Error `Refused -> ()
+  | Ok _ -> Alcotest.fail "backlog overflow accepted"
+
+let tests =
+  [
+    Alcotest.test_case "fifo basic" `Quick test_fifo_basic;
+    QCheck_alcotest.to_alcotest prop_fifo_preserves_stream;
+    Alcotest.test_case "listen/connect/accept" `Quick
+      test_listen_connect_accept;
+    Alcotest.test_case "connection refused" `Quick test_refused;
+    Alcotest.test_case "EOF and EPIPE" `Quick test_eof_and_pipe;
+    Alcotest.test_case "backpressure" `Quick test_backpressure;
+    Alcotest.test_case "readiness" `Quick test_readiness;
+    Alcotest.test_case "backlog limit" `Quick test_backlog_limit;
+  ]

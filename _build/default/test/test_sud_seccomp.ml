@@ -1,0 +1,339 @@
+(** Kernel-level tests of the interception interfaces themselves:
+    Syscall User Dispatch and seccomp, exercised by raw assembly
+    programs (no interposer library involved). *)
+
+open Sim_isa
+open Sim_asm.Asm
+open Sim_kernel
+
+let map_globals =
+  [
+    mov_ri Isa.rdi 0x9000; mov_ri Isa.rsi 4096;
+    mov_ri Isa.rdx (Defs.prot_read lor Defs.prot_write);
+    mov_ri Isa.r10 (Defs.map_fixed lor Defs.map_anonymous);
+    mov_ri64 Isa.r8 (-1L); mov_ri Isa.r9 0;
+    mov_ri Isa.rax Defs.sys_mmap; syscall;
+  ]
+
+(* Selector byte lives at 0x9100. *)
+let selector = 0x9100
+
+let install_sigsys_handler =
+  [
+    mov_rr Isa.rbx Isa.rsp; sub_ri Isa.rbx 800;
+    Lea_ip (Isa.rcx, "sigsys_handler");
+    store Isa.rbx 0 Isa.rcx;
+    mov_ri Isa.rcx 0;
+    store Isa.rbx 8 Isa.rcx; store Isa.rbx 16 Isa.rcx;
+    Lea_ip (Isa.rcx, "restorer");
+    store Isa.rbx 24 Isa.rcx;
+    mov_ri Isa.rdi Defs.sigsys;
+    mov_rr Isa.rsi Isa.rbx;
+    mov_ri Isa.rdx 0;
+    mov_ri Isa.rax Defs.sys_rt_sigaction; syscall;
+  ]
+
+let enable_sud ?(lo = 0) ?(len = 0) () =
+  [
+    mov_ri Isa.rdi Defs.pr_set_syscall_user_dispatch;
+    mov_ri Isa.rsi Defs.pr_sys_dispatch_on;
+    mov_ri Isa.rdx lo;
+    mov_ri Isa.r10 len;
+    mov_ri Isa.r8 selector;
+    mov_ri Isa.rax Defs.sys_prctl; syscall;
+  ]
+
+let set_selector v =
+  [
+    mov_ri Isa.rbx selector;
+    mov_ri Isa.rcx v;
+    store8 Isa.rbx 0 Isa.rcx;
+  ]
+
+let restorer_block =
+  [ Label "restorer"; mov_ri Isa.rax Defs.sys_rt_sigreturn; syscall ]
+
+(* The SIGSYS handler: store si_syscall (at rsi+24) to 0x9000, count
+   invocations at 0x9008, set selector to ALLOW so the sigreturn (and
+   everything after) passes, and return. *)
+let sigsys_handler_block =
+  [
+    Label "sigsys_handler";
+    load Isa.rcx Isa.rsi 24;
+    mov_ri Isa.rbx 0x9000;
+    store Isa.rbx 0 Isa.rcx;
+    load Isa.rcx Isa.rbx 8;
+    add_ri Isa.rcx 1;
+    store Isa.rbx 8 Isa.rcx;
+  ]
+  @ set_selector Defs.syscall_dispatch_filter_allow
+  @ [ ret ]
+
+let test_sud_intercepts_when_blocked () =
+  let prog =
+    map_globals @ install_sigsys_handler
+    @ enable_sud ()
+    @ set_selector Defs.syscall_dispatch_filter_block
+    @ [
+        (* this getpid must be intercepted *)
+        mov_ri Isa.rax Defs.sys_getpid; syscall;
+        (* handler set selector to ALLOW, so we proceed; exit with
+           recorded nr *)
+        mov_ri Isa.rbx 0x9000;
+        load Isa.rdi Isa.rbx 0;
+        mov_ri Isa.rax Defs.sys_exit_group; syscall;
+      ]
+    @ sigsys_handler_block @ restorer_block
+  in
+  let code, _, _ = Tutil.run_asm prog in
+  Alcotest.(check int) "si_syscall = getpid" Defs.sys_getpid code
+
+let test_sud_selector_allow_passes () =
+  let prog =
+    map_globals @ install_sigsys_handler
+    @ enable_sud ()
+    @ set_selector Defs.syscall_dispatch_filter_allow
+    @ [ mov_ri Isa.rax Defs.sys_getpid; syscall;
+        mov_rr Isa.rdi Isa.rax;
+        mov_ri Isa.rax Defs.sys_exit_group; syscall ]
+    @ sigsys_handler_block @ restorer_block
+  in
+  let code, _, _ = Tutil.run_asm prog in
+  Alcotest.(check int) "getpid ran natively" 1 code
+
+let test_sud_allowlisted_range () =
+  (* Allowlist the whole code segment: nothing intercepted even with
+     selector = BLOCK. *)
+  let prog =
+    map_globals @ install_sigsys_handler
+    @ enable_sud ~lo:Loader.code_base ~len:0x10000 ()
+    @ set_selector Defs.syscall_dispatch_filter_block
+    @ [ mov_ri Isa.rax Defs.sys_getpid; syscall;
+        mov_rr Isa.rdi Isa.rax;
+        mov_ri Isa.rax Defs.sys_exit_group; syscall ]
+    @ sigsys_handler_block @ restorer_block
+  in
+  let code, _, _ = Tutil.run_asm prog in
+  Alcotest.(check int) "allowlisted" 1 code
+
+let test_sud_cleared_on_fork () =
+  (* Enable SUD+BLOCK, then fork.  The child's SUD is off, so its
+     syscalls run natively; parent's selector is ALLOW after the
+     handler ran for its own fork syscall... to keep it simple the
+     parent allowlists itself first, then forks, then the child
+     getpid()s freely and exits with the result. *)
+  let prog =
+    map_globals @ install_sigsys_handler
+    @ enable_sud ~lo:Loader.code_base ~len:0x10000 ()
+    @ set_selector Defs.syscall_dispatch_filter_block
+    @ [
+        mov_ri Isa.rax Defs.sys_fork; syscall;
+        cmp_ri Isa.rax 0;
+        Jcc_l (Isa.Eq, "child");
+        (* parent: wait and exit with child's status *)
+        mov_ri64 Isa.rdi (-1L);
+        mov_rr Isa.rsi Isa.rsp; sub_ri Isa.rsi 900;
+        mov_ri Isa.rdx 0;
+        mov_ri Isa.rax Defs.sys_wait4; syscall;
+        mov_rr Isa.rbx Isa.rsp; sub_ri Isa.rbx 900;
+        load Isa.rdi Isa.rbx 0;
+        i (Isa.Shift (Isa.Shr, Isa.rdi, 8));
+        mov_ri Isa.rax Defs.sys_exit_group; syscall;
+        Label "child";
+        (* in the child SUD is off: getpid from NON-allowlisted code
+           would trap if SUD were still on.  We prove it is off by
+           jumping to a copied syscall gadget outside the allowlist.
+           Simpler: the child just getpid()s (still allowlisted) and
+           exits 21 if it got a sane pid. *)
+        mov_ri Isa.rax Defs.sys_getpid; syscall;
+        cmp_ri Isa.rax 1;
+        Jcc_l (Isa.Gt, "ok");
+      ]
+    @ Tutil.exit_with 1
+    @ [ Label "ok" ]
+    @ Tutil.exit_with 21
+    @ sigsys_handler_block @ restorer_block
+  in
+  let code, k, _ = Tutil.run_asm prog in
+  Alcotest.(check int) "child ran" 21 code;
+  (* Check the kernel really cleared the child's SUD config. *)
+  let child_sud_off =
+    Hashtbl.fold
+      (fun tid t acc -> if tid <> 1 then acc && not t.Types.sud.Types.sud_on else acc)
+      k.Types.tasks true
+  in
+  Alcotest.(check bool) "child SUD off" true child_sud_off
+
+let test_sud_entry_tax_charged () =
+  (* Enabling SUD with selector ALLOW still slows every syscall down:
+     the paper's "baseline with SUD enabled" = 1.42x row. *)
+  let run extra =
+    let k = Kernel.create () in
+    let img =
+      Loader.image_of_items
+        (map_globals @ extra
+        @ [ mov_ri Isa.rax Defs.sys_getpid; syscall ]
+        @ Tutil.exit_with 0)
+    in
+    let t = Kernel.spawn k img in
+    ignore (Kernel.run_until_exit k);
+    Int64.to_int t.Types.tcycles
+  in
+  let base = run [] in
+  let with_sud =
+    run (enable_sud () @ set_selector Defs.syscall_dispatch_filter_allow)
+  in
+  let cost = Sim_costs.Cost_model.default in
+  (* with_sud additionally runs the prctl (untaxed: SUD was off at its
+     entry) and pays the SUD entry tax on the getpid and exit_group
+     that follow, plus a few selector-store instructions. *)
+  let tax = with_sud - base in
+  Alcotest.(check bool)
+    (Printf.sprintf "tax present (%d vs %d)" base with_sud)
+    true
+    (tax >= cost.syscall_base + (2 * cost.sud_check)
+    && tax <= cost.syscall_base + (2 * cost.sud_check) + 40)
+
+let serialize_bpf (p : Bpf.prog) : string =
+  let b = Buffer.create 64 in
+  Array.iter
+    (fun { Bpf.code; jt; jf; k } ->
+      Buffer.add_char b (Char.chr (code land 0xFF));
+      Buffer.add_char b (Char.chr ((code lsr 8) land 0xFF));
+      Buffer.add_char b (Char.chr (jt land 0xFF));
+      Buffer.add_char b (Char.chr (jf land 0xFF));
+      let k = Int64.logand (Int64.of_int32 k) 0xFFFFFFFFL in
+      for i = 0 to 3 do
+        Buffer.add_char b
+          (Char.chr
+             (Int64.to_int (Int64.shift_right_logical k (8 * i)) land 0xFF))
+      done)
+    p;
+  Buffer.contents b
+
+(* Install a seccomp filter whose insns are embedded as data in the
+   text segment; the sock_fprog is built on the stack. *)
+let install_filter_items (p : Bpf.prog) =
+  [
+    Label "start";
+    Jmp_l "go";
+    Label "filter_insns";
+    Bytes (serialize_bpf p);
+    Label "go";
+    (* sock_fprog at rsp-64: len, ptr *)
+    mov_rr Isa.rbx Isa.rsp; sub_ri Isa.rbx 64;
+    mov_ri Isa.rcx (Array.length p);
+    store Isa.rbx 0 Isa.rcx;
+    Lea_ip (Isa.rcx, "filter_insns");
+    store Isa.rbx 8 Isa.rcx;
+    mov_ri Isa.rdi Defs.seccomp_set_mode_filter;
+    mov_ri Isa.rsi 0;
+    mov_rr Isa.rdx Isa.rbx;
+    mov_ri Isa.rax Defs.sys_seccomp; syscall;
+  ]
+
+let test_seccomp_errno () =
+  let filter =
+    Bpf.filter_on_nrs ~nrs:[ Defs.sys_getpid ]
+      ~action:(Defs.seccomp_ret_errno lor Defs.eperm)
+      ~otherwise:Defs.seccomp_ret_allow
+  in
+  let prog =
+    install_filter_items filter
+    @ [
+        mov_ri Isa.rax Defs.sys_getpid; syscall;
+        (* rax = -EPERM; exit(-rax) *)
+        mov_ri Isa.rbx 0; sub_rr Isa.rbx Isa.rax;
+        mov_rr Isa.rdi Isa.rbx;
+        mov_ri Isa.rax Defs.sys_exit_group; syscall;
+      ]
+  in
+  let code, _, _ = Tutil.run_asm prog in
+  Alcotest.(check int) "EPERM" Defs.eperm code
+
+let test_seccomp_kill () =
+  let filter =
+    Bpf.filter_on_nrs ~nrs:[ Defs.sys_getpid ]
+      ~action:Defs.seccomp_ret_kill_process ~otherwise:Defs.seccomp_ret_allow
+  in
+  let prog =
+    install_filter_items filter
+    @ [ mov_ri Isa.rax Defs.sys_getpid; syscall ]
+    @ Tutil.exit_with 0
+  in
+  let code, _, _ = Tutil.run_asm prog in
+  Alcotest.(check int) "killed" (128 + Defs.sigsys) code
+
+let test_seccomp_trap_sigsys () =
+  (* TRAP delivers a catchable SIGSYS carrying the syscall number. *)
+  let filter =
+    Bpf.filter_on_nrs ~nrs:[ Defs.sys_getuid ]
+      ~action:Defs.seccomp_ret_trap ~otherwise:Defs.seccomp_ret_allow
+  in
+  let prog =
+    install_filter_items filter
+    @ map_globals @ install_sigsys_handler
+    @ [
+        mov_ri Isa.rax Defs.sys_getuid; syscall;
+        mov_ri Isa.rbx 0x9000;
+        load Isa.rdi Isa.rbx 0;
+        mov_ri Isa.rax Defs.sys_exit_group; syscall;
+      ]
+    @ sigsys_handler_block @ restorer_block
+  in
+  let code, _, _ = Tutil.run_asm prog in
+  Alcotest.(check int) "si_syscall" Defs.sys_getuid code
+
+let test_seccomp_survives_execve () =
+  (* The paper notes filters cannot be uninstalled, even across
+     execve.  The exec'd image getpid()s and must see EPERM. *)
+  let filter =
+    Bpf.filter_on_nrs ~nrs:[ Defs.sys_getpid ]
+      ~action:(Defs.seccomp_ret_errno lor Defs.eperm)
+      ~otherwise:Defs.seccomp_ret_allow
+  in
+  let k = Kernel.create () in
+  Hashtbl.replace k.Types.programs "/bin/probe"
+    (Loader.image_of_items
+       [
+         mov_ri Isa.rax Defs.sys_getpid; syscall;
+         mov_ri Isa.rbx 0; sub_rr Isa.rbx Isa.rax;
+         mov_rr Isa.rdi Isa.rbx;
+         mov_ri Isa.rax Defs.sys_exit_group; syscall;
+       ]);
+  let img =
+    Loader.image_of_items
+      (install_filter_items filter
+      @ [
+          Jmp_l "exec";
+          Label "path";
+          Bytes "/bin/probe\000";
+          Label "exec";
+          Lea_ip (Isa.rdi, "path");
+          mov_ri Isa.rsi 0; mov_ri Isa.rdx 0;
+          mov_ri Isa.rax Defs.sys_execve; syscall;
+        ]
+      @ Tutil.exit_with 99)
+  in
+  ignore (Kernel.spawn k img);
+  Alcotest.(check bool) "terminated" true (Kernel.run_until_exit k);
+  let t = Hashtbl.find k.Types.tasks 1 in
+  Alcotest.(check int) "filter survived execve" Defs.eperm t.Types.exit_code
+
+let tests =
+  [
+    Alcotest.test_case "SUD intercepts on BLOCK" `Quick
+      test_sud_intercepts_when_blocked;
+    Alcotest.test_case "SUD passes on ALLOW" `Quick
+      test_sud_selector_allow_passes;
+    Alcotest.test_case "SUD allowlisted range" `Quick
+      test_sud_allowlisted_range;
+    Alcotest.test_case "SUD cleared on fork" `Quick test_sud_cleared_on_fork;
+    Alcotest.test_case "SUD entry tax" `Quick test_sud_entry_tax_charged;
+    Alcotest.test_case "seccomp ERRNO" `Quick test_seccomp_errno;
+    Alcotest.test_case "seccomp KILL" `Quick test_seccomp_kill;
+    Alcotest.test_case "seccomp TRAP -> SIGSYS" `Quick
+      test_seccomp_trap_sigsys;
+    Alcotest.test_case "seccomp survives execve" `Quick
+      test_seccomp_survives_execve;
+  ]

@@ -1,0 +1,150 @@
+(** VFS tests. *)
+
+open Sim_kernel
+
+let fs () = Vfs.create ()
+
+let test_create_read_write () =
+  let v = fs () in
+  (match Vfs.add_file v "/www/index.html" "hello" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "add_file: %s" (Defs.errno_name e));
+  match Vfs.read_file v "/www/index.html" with
+  | Ok s -> Alcotest.(check string) "contents" "hello" s
+  | Error e -> Alcotest.failf "read: %s" (Defs.errno_name e)
+
+let test_enoent () =
+  match Vfs.read_file (fs ()) "/nope" with
+  | Error e -> Alcotest.(check int) "enoent" Defs.enoent e
+  | Ok _ -> Alcotest.fail "expected ENOENT"
+
+let test_append_and_seek () =
+  let v = fs () in
+  ignore (Vfs.add_file v "/f" "abc");
+  let of_ =
+    match
+      Vfs.openf v ~cwd:"/" "/f" ~flags:(Defs.o_wronly lor Defs.o_append)
+        ~mode:0
+    with
+    | Ok o -> o
+    | Error _ -> Alcotest.fail "open"
+  in
+  ignore (Vfs.write of_ "def");
+  (match Vfs.read_file v "/f" with
+  | Ok s -> Alcotest.(check string) "appended" "abcdef" s
+  | Error _ -> Alcotest.fail "read");
+  let ro =
+    match Vfs.openf v ~cwd:"/" "/f" ~flags:Defs.o_rdonly ~mode:0 with
+    | Ok o -> o
+    | Error _ -> Alcotest.fail "open ro"
+  in
+  ignore (Vfs.lseek ro ~off:3 ~whence:Defs.seek_set);
+  (match Vfs.read ro 100 with
+  | Ok s -> Alcotest.(check string) "after seek" "def" s
+  | Error _ -> Alcotest.fail "read after seek");
+  match Vfs.write ro "x" with
+  | Error e -> Alcotest.(check int) "ro write" Defs.ebadf e
+  | Ok _ -> Alcotest.fail "write on O_RDONLY succeeded"
+
+let test_trunc () =
+  let v = fs () in
+  ignore (Vfs.add_file v "/f" "0123456789");
+  (match
+     Vfs.openf v ~cwd:"/" "/f" ~flags:(Defs.o_wronly lor Defs.o_trunc) ~mode:0
+   with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "open trunc");
+  match Vfs.read_file v "/f" with
+  | Ok s -> Alcotest.(check string) "truncated" "" s
+  | Error _ -> Alcotest.fail "read"
+
+let test_relative_paths_and_dotdot () =
+  let v = fs () in
+  ignore (Vfs.mkdir v ~cwd:"/" "/a" ~mode:0o755);
+  ignore (Vfs.mkdir v ~cwd:"/" "/a/b" ~mode:0o755);
+  ignore (Vfs.add_file v "/a/f" "x");
+  (match Vfs.lookup v ~cwd:"/a/b" "../f" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "../f: %s" (Defs.errno_name e));
+  match Vfs.lookup v ~cwd:"/a/b" "../../a/f" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "../../a/f: %s" (Defs.errno_name e)
+
+let test_unlink_rename () =
+  let v = fs () in
+  ignore (Vfs.add_file v "/f" "x");
+  (match Vfs.rename v ~cwd:"/" ~src:"/f" ~dst:"/g" with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "rename");
+  (match Vfs.read_file v "/g" with
+  | Ok s -> Alcotest.(check string) "moved" "x" s
+  | Error _ -> Alcotest.fail "read after rename");
+  (match Vfs.unlink v ~cwd:"/" "/g" with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "unlink");
+  match Vfs.read_file v "/g" with
+  | Error e -> Alcotest.(check int) "gone" Defs.enoent e
+  | Ok _ -> Alcotest.fail "file survived unlink"
+
+let test_rmdir_nonempty () =
+  let v = fs () in
+  ignore (Vfs.mkdir v ~cwd:"/" "/d" ~mode:0o755);
+  ignore (Vfs.add_file v "/d/f" "x");
+  (match Vfs.rmdir v ~cwd:"/" "/d" with
+  | Error e -> Alcotest.(check int) "notempty" Defs.enotempty e
+  | Ok () -> Alcotest.fail "rmdir nonempty succeeded");
+  ignore (Vfs.unlink v ~cwd:"/" "/d/f");
+  match Vfs.rmdir v ~cwd:"/" "/d" with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "rmdir empty failed"
+
+let test_listdir () =
+  let v = fs () in
+  ignore (Vfs.add_file v "/d/b" "1");
+  ignore (Vfs.add_file v "/d/a" "2");
+  match Vfs.listdir v ~cwd:"/" "/d" with
+  | Ok l -> Alcotest.(check (list string)) "sorted" [ "a"; "b" ] l
+  | Error _ -> Alcotest.fail "listdir"
+
+let prop_write_read_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"vfs write/read roundtrip"
+    QCheck.(string_of_size QCheck.Gen.(int_range 0 100_000))
+    (fun s ->
+      let v = fs () in
+      (match Vfs.add_file v "/blob" s with Ok () -> () | Error _ -> ());
+      Vfs.read_file v "/blob" = Ok s)
+
+let prop_partial_reads_concat =
+  QCheck.Test.make ~count:100 ~name:"chunked reads reassemble file"
+    QCheck.(pair (string_of_size Gen.(int_range 1 5000)) (int_range 1 512))
+    (fun (s, chunk) ->
+      let v = fs () in
+      ignore (Vfs.add_file v "/f" s);
+      match Vfs.openf v ~cwd:"/" "/f" ~flags:Defs.o_rdonly ~mode:0 with
+      | Error _ -> false
+      | Ok of_ ->
+          let buf = Buffer.create 16 in
+          let rec go () =
+            match Vfs.read of_ chunk with
+            | Ok "" -> ()
+            | Ok part ->
+                Buffer.add_string buf part;
+                go ()
+            | Error _ -> ()
+          in
+          go ();
+          Buffer.contents buf = s)
+
+let tests =
+  [
+    Alcotest.test_case "create/read/write" `Quick test_create_read_write;
+    Alcotest.test_case "enoent" `Quick test_enoent;
+    Alcotest.test_case "append and seek" `Quick test_append_and_seek;
+    Alcotest.test_case "truncate" `Quick test_trunc;
+    Alcotest.test_case "relative paths" `Quick test_relative_paths_and_dotdot;
+    Alcotest.test_case "unlink/rename" `Quick test_unlink_rename;
+    Alcotest.test_case "rmdir nonempty" `Quick test_rmdir_nonempty;
+    Alcotest.test_case "listdir" `Quick test_listdir;
+    QCheck_alcotest.to_alcotest prop_write_read_roundtrip;
+    QCheck_alcotest.to_alcotest prop_partial_reads_concat;
+  ]

@@ -1,0 +1,195 @@
+(** Workload-level integration tests: the web servers actually speak
+    their protocol correctly, the microbenchmark harness measures what
+    it should, the JIT driver behaves. *)
+
+open Sim_kernel
+module Micro = Workloads.Microbench_prog
+module Ws = Workloads.Webserver
+
+(* Drive one full HTTP request by hand against a booted server and
+   verify the bytes that come back. *)
+let request_response ~flavour ~contents =
+  let file = "/www/t" in
+  let k = Ws.boot ~flavour ~workers:1 ~files:[ (file, contents) ] () in
+  Ws.wait_listening k ~port:80;
+  let client =
+    match Net.connect k.Types.net ~port:80 with
+    | Ok ep -> ep
+    | Error `Refused -> Alcotest.fail "refused"
+  in
+  let req = "GET /www/t HTTP/1.1\r\n\r\n" in
+  ignore (Net.send client req 0 (String.length req));
+  let expected = Ws.header_len + String.length contents in
+  let buf = Buffer.create 256 in
+  let fuel = ref 100_000 in
+  while Buffer.length buf < expected && !fuel > 0 do
+    decr fuel;
+    (match Net.recv client 65536 with
+    | `Data s -> Buffer.add_string buf s
+    | `Eof -> fuel := 0
+    | `Empty -> Kernel.run_slice k);
+    ()
+  done;
+  Buffer.contents buf
+
+let check_served flavour =
+  let contents = String.init 3000 (fun i -> Char.chr (65 + (i mod 26))) in
+  let resp = request_response ~flavour ~contents in
+  Alcotest.(check int) "response length"
+    (Ws.header_len + String.length contents)
+    (String.length resp);
+  Alcotest.(check string) "header" Ws.http_header
+    (String.sub resp 0 Ws.header_len);
+  Alcotest.(check string) "body intact"
+    contents
+    (String.sub resp Ws.header_len (String.length contents))
+
+let test_nginx_serves () = check_served Ws.Nginx_like
+let test_lighttpd_serves () = check_served Ws.Lighttpd_like
+
+let test_server_keepalive_multiple_requests () =
+  let file = "/www/t" in
+  let contents = String.make 100 'q' in
+  let k = Ws.boot ~flavour:Ws.Nginx_like ~workers:1 ~files:[ (file, contents) ] () in
+  Ws.wait_listening k ~port:80;
+  let g = Workloads.Wrk.attach k ~port:80 ~conns:2 ~file ~file_size:100 in
+  Kernel.run_for k 3_000_000L;
+  Alcotest.(check bool)
+    (Printf.sprintf "many requests completed (%d)" g.Workloads.Wrk.completed)
+    true
+    (g.Workloads.Wrk.completed > 20);
+  Alcotest.(check int) "no client errors" 0 g.Workloads.Wrk.errors
+
+let test_server_under_lazypoline_correct () =
+  (* Interposition must not corrupt responses. *)
+  let file = "/www/t" in
+  let contents = String.make 2048 'z' in
+  let k =
+    Ws.boot ~flavour:Ws.Lighttpd_like ~workers:1 ~files:[ (file, contents) ]
+      ~interpose:(fun k t ->
+        ignore (Lazypoline.install k t (Lazypoline.Hook.dummy ())))
+      ()
+  in
+  Ws.wait_listening k ~port:80;
+  let g = Workloads.Wrk.attach k ~port:80 ~conns:2 ~file ~file_size:2048 in
+  Kernel.run_for k 3_000_000L;
+  Alcotest.(check bool) "requests flowed" true (g.Workloads.Wrk.completed > 10);
+  Alcotest.(check int) "no errors" 0 g.Workloads.Wrk.errors
+
+let test_multiworker_parallel_speedup () =
+  let measure workers =
+    let file = "/www/t" in
+    let contents = String.make 1024 'x' in
+    let k =
+      Ws.boot ~ncpus:workers ~flavour:Ws.Nginx_like ~workers
+        ~files:[ (file, contents) ] ()
+    in
+    Ws.wait_listening k ~port:80;
+    let g =
+      Workloads.Wrk.attach k ~port:80 ~conns:(4 * workers) ~file ~file_size:1024
+    in
+    Kernel.run_for k 4_000_000L;
+    g.Workloads.Wrk.completed
+  in
+  let one = measure 1 and four = measure 4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "4 workers beat 1 substantially (%d vs %d)" four one)
+    true
+    (four > 2 * one)
+
+let test_microbench_ordering () =
+  let iters = 3_000 in
+  let native = Micro.run ~iters Micro.Native in
+  let zpoline = Micro.run ~iters Micro.Zpoline in
+  let nox = Micro.run ~iters Micro.Lazypoline_noxstate in
+  let full = Micro.run ~iters Micro.Lazypoline_full in
+  let sud = Micro.run ~iters Micro.Sud in
+  Alcotest.(check bool) "native < zpoline" true (native < zpoline);
+  Alcotest.(check bool) "zpoline < lazypoline-nox" true (zpoline < nox);
+  Alcotest.(check bool) "nox < full" true (nox < full);
+  Alcotest.(check bool) "full << SUD" true (full *. 4.0 < sud)
+
+let test_microbench_sud_allow_tax () =
+  let iters = 3_000 in
+  let native = Micro.run ~iters Micro.Native in
+  let taxed = Micro.run ~iters Micro.Native_sud_allow in
+  let ratio = taxed /. native in
+  (* The paper's 1.42x row; allow a modest band. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "SUD-enabled tax ~1.4x (%.2f)" ratio)
+    true
+    (ratio > 1.30 && ratio < 1.55)
+
+let test_jit_driver_statically_opaque () =
+  (* Static linear sweep over the JIT driver's image must not find the
+     payload's syscalls (they are obfuscated data). *)
+  let img = Minicc.Jit.driver_image "long main() { return syscall(39); }" in
+  let text_sites =
+    List.concat_map
+      (fun (addr, bytes, _) ->
+        List.map (fun o -> addr + o) (Sim_isa.Disasm.find_syscall_sites bytes))
+      img.Types.img_segments
+  in
+  (* The driver itself has 4 static syscalls (write, 2x mmap,
+     mprotect); the payload's getpid/exit must not appear. *)
+  Alcotest.(check int) "only the driver's own syscalls" 4
+    (List.length text_sites)
+
+let test_coreutils_all_run_clean () =
+  List.iter
+    (fun distro ->
+      List.iter
+        (fun u ->
+          let _, code = Workloads.Coreutils.run_under_pin ~distro u in
+          Alcotest.(check int) (u ^ " exits 0") 0 code)
+        Workloads.Coreutils.util_names)
+    [ Workloads.Coreutils.Glibc_2_31; Workloads.Coreutils.Clear_linux ]
+
+let test_coreutils_do_real_work () =
+  (* mkdir really creates, rm really deletes, cp really copies. *)
+  let run util =
+    let k = Kernel.create () in
+    Workloads.Coreutils.setup_vfs k;
+    let t =
+      Kernel.spawn k
+        (Workloads.Coreutils.image ~distro:Workloads.Coreutils.Glibc_2_31 util)
+    in
+    ignore (Kernel.run_until_exit k);
+    Alcotest.(check int) (util ^ " ok") 0 t.Types.exit_code;
+    k
+  in
+  let k = run "mkdir" in
+  (match Vfs.lookup k.Types.vfs ~cwd:"/" "/tmp/newdir" with
+  | Ok i -> Alcotest.(check bool) "dir created" true (Vfs.is_dir i)
+  | Error _ -> Alcotest.fail "mkdir did nothing");
+  let k = run "cp" in
+  (match Vfs.read_file k.Types.vfs "/tmp/file_copy" with
+  | Ok s -> Alcotest.(check int) "copied fully" 1500 (String.length s)
+  | Error _ -> Alcotest.fail "cp did nothing");
+  let k = run "rm" in
+  match Vfs.read_file k.Types.vfs "/tmp/file_b" with
+  | Error e -> Alcotest.(check int) "removed" Defs.enoent e
+  | Ok _ -> Alcotest.fail "rm did nothing"
+
+let tests =
+  [
+    Alcotest.test_case "nginx-sim serves correct bytes" `Quick
+      test_nginx_serves;
+    Alcotest.test_case "lighttpd-sim serves correct bytes" `Quick
+      test_lighttpd_serves;
+    Alcotest.test_case "keepalive pipeline" `Quick
+      test_server_keepalive_multiple_requests;
+    Alcotest.test_case "responses intact under lazypoline" `Quick
+      test_server_under_lazypoline_correct;
+    Alcotest.test_case "multi-worker speedup" `Quick
+      test_multiworker_parallel_speedup;
+    Alcotest.test_case "microbench ordering" `Quick test_microbench_ordering;
+    Alcotest.test_case "SUD-enabled tax band" `Quick
+      test_microbench_sud_allow_tax;
+    Alcotest.test_case "JIT payload statically opaque" `Quick
+      test_jit_driver_statically_opaque;
+    Alcotest.test_case "coreutils run clean" `Quick
+      test_coreutils_all_run_clean;
+    Alcotest.test_case "coreutils do real work" `Quick
+      test_coreutils_do_real_work;
+  ]

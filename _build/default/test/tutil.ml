@@ -1,0 +1,26 @@
+(** Shared helpers for kernel-level tests: build a kernel, run an
+    assembly program to completion, inspect exit codes and console
+    output. *)
+
+open Sim_kernel
+
+let make ?(ncpus = 1) () = Kernel.create ~ncpus ()
+
+(** Run [items] as a process; returns (exit_code, kernel, task). *)
+let run_asm ?(ncpus = 1) ?(env = []) (items : Sim_asm.Asm.item list) =
+  let k = Kernel.create ~ncpus () in
+  let img = Loader.image_of_items ~env items in
+  let t = Kernel.spawn k img in
+  let finished = Kernel.run_until_exit ~max_slices:200_000 k in
+  if not finished then Alcotest.fail "program did not terminate";
+  (t.Types.exit_code, k, t)
+
+(** Exit with the value in rdi. *)
+let exit_with code =
+  let open Sim_asm.Asm in
+  [ mov_ri Sim_isa.Isa.rdi code; mov_ri Sim_isa.Isa.rax Defs.sys_exit_group;
+    syscall ]
+
+let check_exit msg expected items =
+  let code, _, _ = run_asm items in
+  Alcotest.(check int) msg expected code
