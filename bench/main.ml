@@ -8,7 +8,92 @@
       dune exec bench/main.exe -- --only tableII --only fig4
       dune exec bench/main.exe -- --list
       dune exec bench/main.exe -- --fast       (smaller fig5 grid)
-*)
+      dune exec bench/main.exe -- --json FILE  (host-side report; default
+                                                bench-results.json)
+
+    Besides the paper numbers (simulated cycles — independent of the
+    host), every experiment reports host-side simulation throughput:
+    wall-clock time, simulated instructions retired, insns/sec, and
+    the decoded-instruction-cache hit/miss/invalidation counters.
+    The per-experiment reports are written as JSON. *)
+
+(* --- Host-side throughput reporting -------------------------------- *)
+
+type host_report = {
+  hr_name : string;
+  hr_wall_s : float;
+  hr_insns : int;  (** simulated instructions retired *)
+  hr_hits : int;
+  hr_misses : int;
+  hr_invalidations : int;
+  hr_fallbacks : int;
+}
+
+let reports : host_report list ref = ref []
+
+(* Run [f], attributing the global retired-instruction and icache
+   counter deltas (all simulated CPUs) to experiment [name]. *)
+let timed name f =
+  let h0, m0, i0, f0 = Sim_cpu.Icache.totals () in
+  let r0 = !Sim_cpu.Cpu.retired in
+  let t0 = Unix.gettimeofday () in
+  f ();
+  let wall = Unix.gettimeofday () -. t0 in
+  let h1, m1, i1, f1 = Sim_cpu.Icache.totals () in
+  let rep =
+    {
+      hr_name = name;
+      hr_wall_s = wall;
+      hr_insns = !Sim_cpu.Cpu.retired - r0;
+      hr_hits = h1 - h0;
+      hr_misses = m1 - m0;
+      hr_invalidations = i1 - i0;
+      hr_fallbacks = f1 - f0;
+    }
+  in
+  reports := rep :: !reports;
+  Printf.printf
+    "[host] %-16s %7.2fs wall  %11d insns  %7.2f M insn/s  icache \
+     %d/%d/%d/%d (hit/miss/inval/fallback)\n%!"
+    name wall rep.hr_insns
+    (if wall > 0.0 then float_of_int rep.hr_insns /. wall /. 1e6 else 0.0)
+    rep.hr_hits rep.hr_misses rep.hr_invalidations rep.hr_fallbacks
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let emit_json path =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n  \"schema\": \"lazypoline-sim-bench/1\",\n  \"experiments\": [";
+  List.iteri
+    (fun idx r ->
+      let ips =
+        if r.hr_wall_s > 0.0 then float_of_int r.hr_insns /. r.hr_wall_s
+        else 0.0
+      in
+      out "%s\n    { \"name\": \"%s\", \"wall_seconds\": %.6f,\n"
+        (if idx = 0 then "" else ",")
+        (json_escape r.hr_name) r.hr_wall_s;
+      out "      \"simulated_instructions\": %d, \"insns_per_second\": %.1f,\n"
+        r.hr_insns ips;
+      out
+        "      \"icache\": { \"hits\": %d, \"misses\": %d, \
+         \"invalidations\": %d, \"fallbacks\": %d } }"
+        r.hr_hits r.hr_misses r.hr_invalidations r.hr_fallbacks)
+    (List.rev !reports);
+  out "\n  ]\n}\n";
+  close_out oc;
+  Printf.printf "[host] wrote %s\n%!" path
 
 let experiments : (string * string * (unit -> unit)) list =
   [
@@ -86,27 +171,37 @@ let bechamel_tests () =
       (Staged.stage (fun () ->
            ignore (Minicc.Codegen.compile "long main() { return syscall(39); }")))
   in
-  let t_fig5 =
-    Test.make ~name:"fig5_cpu_step_1000_insns"
-      (let m = Sim_mem.Mem.create () in
-       let blob =
-         Sim_asm.Asm.assemble ~base:0x1000
-           (Sim_asm.Asm.
-              [
-                Label "top"; mov_ri Sim_isa.Isa.rax 1;
-                add_ri Sim_isa.Isa.rax 2; Jmp_l "top";
-              ])
-       in
-       Sim_mem.Mem.map m ~addr:0x1000 ~len:4096 ~perm:Sim_mem.Mem.rx;
-       Sim_mem.Mem.poke_bytes m 0x1000 blob.Sim_asm.Asm.bytes;
-       let c = Sim_cpu.Cpu.create () in
-       Staged.stage (fun () ->
+  (* The CPU hot loop with and without the decoded-instruction cache:
+     the gap between these two is the raw win of skipping per-step
+     fetch/decode. *)
+  let cpu_step_loop ~name ~icache =
+    let m = Sim_mem.Mem.create () in
+    let blob =
+      Sim_asm.Asm.assemble ~base:0x1000
+        (Sim_asm.Asm.
+           [
+             Label "top"; mov_ri Sim_isa.Isa.rax 1;
+             add_ri Sim_isa.Isa.rax 2; Jmp_l "top";
+           ])
+    in
+    Sim_mem.Mem.map m ~addr:0x1000 ~len:4096 ~perm:Sim_mem.Mem.rx;
+    Sim_mem.Mem.poke_bytes m 0x1000 blob.Sim_asm.Asm.bytes;
+    let c = Sim_cpu.Cpu.create () in
+    Test.make ~name
+      (Staged.stage (fun () ->
            c.Sim_cpu.Cpu.rip <- 0x1000;
            for _ = 1 to 1000 do
-             ignore (Sim_cpu.Cpu.step c m)
+             ignore (Sim_cpu.Cpu.step ?icache c m)
            done))
   in
-  [ t_table1; t_table2; t_fig4; t_table3; t_exh; t_fig5 ]
+  let t_fig5 =
+    cpu_step_loop ~name:"fig5_cpu_step_1000_insns_uncached" ~icache:None
+  in
+  let t_fig5_ic =
+    cpu_step_loop ~name:"fig5_cpu_step_1000_insns_icache"
+      ~icache:(Some (Sim_cpu.Icache.create ()))
+  in
+  [ t_table1; t_table2; t_fig4; t_table3; t_exh; t_fig5; t_fig5_ic ]
 
 let run_bechamel () =
   let open Bechamel in
@@ -154,10 +249,19 @@ let () =
     Printf.printf "%-16s %s\n" "bechamel" "simulator hot-path microbenchmarks";
     exit 0
   end;
+  let json_path =
+    let rec find = function
+      | "--json" :: p :: _ -> p
+      | _ :: rest -> find rest
+      | [] -> "bench-results.json"
+    in
+    find args
+  in
   let want name = only = [] || List.mem name only in
   List.iter
     (fun (name, _, f) ->
       if want name then
-        if name = "fig5" && fast then fig5_fast () else f ())
+        timed name (if name = "fig5" && fast then fig5_fast else f))
     experiments;
-  if want "bechamel" then run_bechamel ()
+  if want "bechamel" then run_bechamel ();
+  if !reports <> [] then emit_json json_path

@@ -80,7 +80,11 @@ let stub_items ~enter ~exit_ =
   ]
 
 (** Rewrite every syscall site a linear sweep finds in the currently
-    mapped executable regions.  Returns the number of rewrites. *)
+    mapped executable regions.  Returns the number of rewrites.  The
+    patches land through [Mem.poke_bytes] directly onto RX pages,
+    which bumps each page's generation — decoded-instruction caches
+    pick up the rewritten bytes on their next fetch even when the
+    sweep runs after code has already executed. *)
 let rewrite_image (st : t) (t : task) =
   let n = ref 0 in
   List.iter

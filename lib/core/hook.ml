@@ -61,6 +61,9 @@ let read_mem (c : ctx) addr len =
 let read_string (c : ctx) addr =
   Sim_mem.Mem.read_cstring c.task.Types.mem addr
 
+(* Writes go through [Mem.poke_bytes], which participates in the
+   code-mutation protocol: a hook that patches executable bytes
+   invalidates any cached decode of them automatically. *)
 let write_mem (c : ctx) addr s =
   Sim_mem.Mem.poke_bytes c.task.Types.mem addr s
 

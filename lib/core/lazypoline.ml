@@ -421,7 +421,15 @@ let hyper_sigsys (st : t) (k : kernel) (t : task) =
   set_selector t Defs.syscall_dispatch_filter_allow;
   (* Rewrite the faulting instruction — it is guaranteed to be a
      real, aligned syscall instruction because the kernel identified
-     it for us.  We still check, defensively. *)
+     it for us.  We still check, defensively.
+
+     This is the self-modifying-code hazard the decoded-instruction
+     cache must survive: the task has already *executed* (and so
+     cached) this syscall instruction.  Both the mprotect flips and
+     the write itself bump the page's generation in [Mem], so the
+     very next fetch of [site] sees the patched [call rax] — the
+     icache cannot serve the stale [syscall] by construction (the
+     headline case in test_icache). *)
   (match Mem.peek_bytes t.mem site 2 with
   | "\x0f\x05" ->
       charge k Layout.rewrite_lock_cost;
@@ -603,7 +611,9 @@ let install ?(preserve_xstate = true) ?(enable_sud = true)
 (** Pre-rewrite a known syscall site to [call rax], as the paper's
     microbenchmark does to measure pure steady-state overhead
     ("we manually rewrote the syscall instruction up front").  The
-    site must currently hold a syscall instruction. *)
+    site must currently hold a syscall instruction.  [poke_bytes]
+    bumps the page generation, invalidating any cached decode of the
+    site. *)
 let rewrite_site (st : t) (t : task) ~addr =
   ignore st;
   match Mem.peek_bytes t.mem addr 2 with

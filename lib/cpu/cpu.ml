@@ -237,29 +237,36 @@ let x87_pop c =
     c.x.st_sp <- c.x.st_sp - 1;
     c.x.st.(c.x.st_sp))
 
-(** Execute one instruction.  Never raises: memory faults and decode
-    errors are reported as outcomes. *)
-let step (c : t) (mem : Mem.t) : outcome =
-  let fetch i = Mem.fetch_u8 mem (c.rip + i) in
-  match Decode.decode fetch with
-  | exception Mem.Fault (a, acc) -> Fault (a, acc)
-  | exception Decode.Invalid _ -> Bad_instr c.rip
-  | instr, len -> (
-      let next = c.rip + len in
-      (match instr with
-      | Isa.Nop ->
-          c.nop_run <- c.nop_run + 1;
-          c.last_cost <- (if c.nop_run land 3 = 0 then 1 else 0)
-      | Isa.Nopw n ->
-          c.nop_run <- 0;
-          c.last_cost <- n
-      | Isa.Wrpkru _ ->
-          (* real WRPKRU serialises; ~23 cycles on current parts *)
-          c.nop_run <- 0;
-          c.last_cost <- 23
-      | _ ->
-          c.nop_run <- 0;
-          c.last_cost <- 1);
+(** Total instructions retired across every CPU instance in the
+    process — the benchmark harness divides this by wall-clock time to
+    report host-side simulation throughput. *)
+let retired = ref 0
+
+(* Per-instruction cycle accounting, identical whether the decode came
+   from the icache or the byte-at-a-time path. *)
+let account (c : t) (instr : Isa.instr) =
+  match instr with
+  | Isa.Nop ->
+      c.nop_run <- c.nop_run + 1;
+      c.last_cost <- (if c.nop_run land 3 = 0 then 1 else 0)
+  | Isa.Nopw n ->
+      c.nop_run <- 0;
+      c.last_cost <- n
+  | Isa.Wrpkru _ ->
+      (* real WRPKRU serialises; ~23 cycles on current parts *)
+      c.nop_run <- 0;
+      c.last_cost <- 23
+  | _ ->
+      c.nop_run <- 0;
+      c.last_cost <- 1
+
+(** Execute one already-decoded instruction whose encoding ends at
+    [next].  The back end of the pipeline: cycle accounting and the
+    register-access hooks fire here exactly as they always did, so the
+    Pin analyses cannot tell a cached decode from a fresh one. *)
+let exec (c : t) (mem : Mem.t) (instr : Isa.instr) (next : int) : outcome =
+  account c instr;
+  (
       try
         match instr with
         | Isa.Nop | Isa.Nopw _ ->
@@ -492,3 +499,36 @@ let step (c : t) (mem : Mem.t) : outcome =
       with
       | Mem.Fault (a, acc) -> Fault (a, acc)
       | Exit -> Fault_arith)
+
+(* The original front end: fetch bytes one at a time through the
+   permission-checked accessor and decode them.  Also the fallback for
+   everything the icache declines to cache (page-straddling
+   encodings, undecodable bytes, non-executable pages) — it reproduces
+   the architecturally correct fault in each case. *)
+let step_uncached (c : t) (mem : Mem.t) : outcome =
+  let fetch i = Mem.fetch_u8 mem (c.rip + i) in
+  match Decode.decode fetch with
+  | exception Mem.Fault (a, acc) -> Fault (a, acc)
+  | exception Decode.Invalid _ -> Bad_instr c.rip
+  | instr, len -> exec c mem instr (c.rip + len)
+
+(** Execute one instruction.  Never raises: memory faults and decode
+    errors are reported as outcomes.
+
+    With [icache], the fetch/decode front end is replaced by a lookup
+    in the page-versioned decoded-instruction cache; a hit skips the
+    per-byte fetch entirely.  Safe by construction: every mutation of
+    executable memory bumps the page generation the cache validates
+    against (see {!Icache}), so self-modifying code — lazypoline's
+    lazy [syscall → call rax] rewrite, JIT emission — is observed on
+    the very next fetch of the patched address.  Execution semantics,
+    cycle accounting and register-access hooks are identical on both
+    paths. *)
+let step ?icache (c : t) (mem : Mem.t) : outcome =
+  incr retired;
+  match icache with
+  | None -> step_uncached c mem
+  | Some ic -> (
+      match Icache.find ic mem c.rip with
+      | Some e -> exec c mem e.Icache.instr (c.rip + e.Icache.ilen)
+      | None -> step_uncached c mem)

@@ -1,0 +1,215 @@
+(** Page-versioned decoded-instruction cache.
+
+    Sits between {!Sim_mem.Mem} and {!Cpu}: the CPU's hot loop asks
+    this module for the decoded instruction at [rip] before falling
+    back to the byte-at-a-time fetch/decode path.  Entries are keyed
+    by (page number, in-page offset) and validated against the page's
+    generation counter in {!Sim_mem.Mem} — every writer of executable
+    memory (the lazypoline SIGSYS rewriter, zpoline's load-time sweep,
+    JIT emission, the loader, mmap/mprotect/munmap) bumps that
+    generation through the one interface in [Mem], so a hit can never
+    return a stale decode of self-modified code.  This is the same
+    invalidation problem real binary-translation caches face against
+    SMC, solved the same way: versioned code pages.
+
+    Validation is pull-based and two-level:
+
+    + the address-space-wide {e code-mutation epoch}
+      ({!Sim_mem.Mem.code_mut_count}) is compared against the value
+      memoised at the last validation — while nothing executable has
+      changed anywhere, a hit on the current page costs an array read;
+    + when the epoch has moved, the page's generation is re-read and
+      compared to the cached one; on mismatch the page's entries are
+      dropped and re-filled from the current bytes.
+
+    Entries never span a page boundary (an instruction straddling two
+    pages would need both generations checked); such instructions take
+    the uncached path every time — they are rare (at most one per page
+    seam) and correctness stays trivially per-page.
+
+    With [superblock] enabled, a miss decodes ahead through the
+    straight-line run following the missed instruction and pre-fills
+    those entries too, amortising cold-code decode.  Per-entry keying
+    makes this unconditionally safe: an entry at offset [o] is the
+    decode of the bytes at [o], however execution reaches it. *)
+
+open Sim_isa
+open Sim_mem
+
+type entry = { instr : Isa.instr; ilen : int  (** encoded length *) }
+
+type page_entries = {
+  mutable gen : int;  (** Mem generation the decodes are valid for *)
+  entries : entry option array;  (** one slot per in-page offset *)
+}
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;  (** lookups that filled a fresh decode *)
+  mutable invalidations : int;  (** page drops due to a stale generation *)
+  mutable fallbacks : int;
+      (** lookups punted to the uncached path: page not executable,
+          instruction straddles a page seam, or undecodable bytes *)
+}
+
+type t = {
+  pages : (int, page_entries) Hashtbl.t;
+  superblock : bool;
+  stats : stats;
+  (* Memo of the last validated page: while the epoch is unchanged and
+     execution stays on the page, lookups skip both hashtables. *)
+  mutable last_pn : int;
+  mutable last_pe : page_entries;
+  mutable last_epoch : int;
+}
+
+(* Process-wide counters, aggregated across every cache instance that
+   ever ran; the benchmark harness reports these alongside wall-clock
+   throughput.  Kept separate from [stats] so per-kernel tests can
+   still assert on their own instance. *)
+let g_hits = ref 0
+let g_misses = ref 0
+let g_invalidations = ref 0
+let g_fallbacks = ref 0
+
+let totals () = (!g_hits, !g_misses, !g_invalidations, !g_fallbacks)
+
+let fresh_stats () = { hits = 0; misses = 0; invalidations = 0; fallbacks = 0 }
+
+let dummy_page () = { gen = -2; entries = [||] }
+
+(** [create ()] makes an empty cache for one address space.  Caches
+    must not be shared across address spaces: two diverged forks of
+    the same [Mem.t] carry overlapping generation numbers for
+    different bytes.  [superblock] enables straight-line decode-ahead
+    on misses. *)
+let create ?(superblock = true) () =
+  {
+    pages = Hashtbl.create 32;
+    superblock;
+    stats = fresh_stats ();
+    last_pn = -1;
+    last_pe = dummy_page ();
+    last_epoch = -1;
+  }
+
+let stats t = t.stats
+
+(** Drop every cached decode (keeps counters).  Not needed for
+    correctness — generation validation catches everything — but
+    useful for tests and for execve-style full resets. *)
+let clear t =
+  Hashtbl.reset t.pages;
+  t.last_pn <- -1;
+  t.last_pe <- dummy_page ();
+  t.last_epoch <- -1
+
+(* Raised by the in-page fetch when a decode runs off the page end. *)
+exception Page_seam
+
+(* Limit on decode-ahead: one straight-line run's worth of entries.
+   Misses re-arm it, so long basic blocks still get covered. *)
+let superblock_limit = 64
+
+let is_control_flow = function
+  | Isa.Jmp _ | Isa.Jcc _ | Isa.Call _ | Isa.Call_reg _ | Isa.Jmp_reg _
+  | Isa.Ret | Isa.Hlt | Isa.Syscall | Isa.Hypercall _ | Isa.Int3 ->
+      true
+  | _ -> false
+
+(* Decode the instruction at in-page offset [off] from the live page
+   bytes, never reading past the page end. *)
+let decode_at data off =
+  let fetch i =
+    let j = off + i in
+    if j >= Mem.page_size then raise Page_seam else Char.code (Bytes.get data j)
+  in
+  Decode.decode fetch
+
+(* Fill [pe] starting at [off] from [data]; returns the entry for
+   [off] or [None] if those bytes cannot be cached (seam/invalid). *)
+let fill t pe data off =
+  match decode_at data off with
+  | exception (Page_seam | Decode.Invalid _) -> None
+  | ins, len ->
+      let e = { instr = ins; ilen = len } in
+      pe.entries.(off) <- Some e;
+      if t.superblock && not (is_control_flow ins) then begin
+        (* Decode ahead through the straight-line successor run. *)
+        let o = ref (off + len) and n = ref superblock_limit in
+        let continue_ = ref true in
+        while !continue_ && !n > 0 && !o < Mem.page_size do
+          if pe.entries.(!o) <> None then continue_ := false
+          else
+            match decode_at data !o with
+            | exception (Page_seam | Decode.Invalid _) -> continue_ := false
+            | ins', len' ->
+                pe.entries.(!o) <- Some { instr = ins'; ilen = len' };
+                if is_control_flow ins' then continue_ := false
+                else begin
+                  o := !o + len';
+                  decr n
+                end
+        done
+      end;
+      Some e
+
+(* Locate (or create) and validate the entry table for page [pn]. *)
+let validate t mem pn epoch =
+  let pe =
+    match Hashtbl.find_opt t.pages pn with
+    | Some pe ->
+        let g = Mem.page_gen mem pn in
+        if pe.gen <> g then begin
+          t.stats.invalidations <- t.stats.invalidations + 1;
+          incr g_invalidations;
+          Array.fill pe.entries 0 Mem.page_size None;
+          pe.gen <- g
+        end;
+        pe
+    | None ->
+        let pe =
+          { gen = Mem.page_gen mem pn;
+            entries = Array.make Mem.page_size None }
+        in
+        Hashtbl.replace t.pages pn pe;
+        pe
+  in
+  t.last_pn <- pn;
+  t.last_pe <- pe;
+  t.last_epoch <- epoch;
+  pe
+
+(** The CPU front end: decoded instruction at [rip], or [None] when
+    the caller must take the uncached byte-at-a-time path (page seam,
+    non-executable or unmapped page, undecodable bytes — the fallback
+    reproduces the architecturally correct fault in each case). *)
+let find t mem rip : entry option =
+  let pn = rip lsr Mem.page_shift in
+  let epoch = Mem.code_mut_count mem in
+  let pe =
+    if pn = t.last_pn && epoch = t.last_epoch then t.last_pe
+    else validate t mem pn epoch
+  in
+  let off = rip land Mem.page_mask in
+  match pe.entries.(off) with
+  | Some _ as e ->
+      t.stats.hits <- t.stats.hits + 1;
+      incr g_hits;
+      e
+  | None -> (
+      match Mem.exec_page_data mem pn with
+      | None ->
+          t.stats.fallbacks <- t.stats.fallbacks + 1;
+          incr g_fallbacks;
+          None
+      | Some data -> (
+          match fill t pe data off with
+          | Some _ as e ->
+              t.stats.misses <- t.stats.misses + 1;
+              incr g_misses;
+              e
+          | None ->
+              t.stats.fallbacks <- t.stats.fallbacks + 1;
+              incr g_fallbacks;
+              None))

@@ -19,7 +19,7 @@ open Types
 (** {1 Construction} *)
 
 let create ?(ncpus = 1) ?(cost = Sim_costs.Cost_model.default)
-    ?(slice = 4000L) () : kernel =
+    ?(slice = 4000L) ?(icache = true) () : kernel =
   {
     cost;
     cpus = Array.init ncpus (fun _ -> { clk = 0L; last_tid = -1 });
@@ -38,6 +38,7 @@ let create ?(ncpus = 1) ?(cost = Sim_costs.Cost_model.default)
     strace = None;
     halted = false;
     cur_task = None;
+    icache_on = icache;
   }
 
 (** {1 Hypercalls} *)
@@ -130,6 +131,7 @@ let make_task (k : kernel) ~mem ~comm ~affinity : task =
       parent_tid = 0;
       ctx = Cpu.create ();
       mem;
+      icache = Icache.create ();
       fdt = fdtab_create ();
       sighand = Array.make (Defs.nsig + 1) sigaction_default;
       sigmask = 0L;
@@ -253,6 +255,9 @@ let do_fork (k : kernel) (t : task) ~vm ~files ~sighand ~stack ~tls ~thread =
       parent_tid = t.tid;
       ctx = Cpu.copy t.ctx;
       mem;
+      (* Threads share the address space and therefore its decoded
+         code; a forked copy diverges and must validate its own. *)
+      icache = (if vm then t.icache else Icache.create ());
       fdt = t.fdt;
       sighand = (if sighand then t.sighand else Array.copy t.sighand);
       sigmask = t.sigmask;
@@ -314,6 +319,12 @@ let do_execve (k : kernel) (t : task) path =
       let mem = Mem.create () in
       load_image mem img;
       t.mem <- mem;
+      (* Entirely new image: drop every decode along with the old
+         address space.  Clear (rather than replace) the instance —
+         the run loop holds a reference for the rest of the slice, and
+         a fresh [Mem.t] restarts its generation counter, so stale
+         entries could otherwise alias the new image's pages. *)
+      Icache.clear t.icache;
       t.ctx.rip <- img.img_entry;
       for r = 0 to 15 do
         Cpu.poke_reg t.ctx r 0L
@@ -1221,6 +1232,7 @@ let run_task (k : kernel) (t : task) =
   k.cur_task <- Some t;
   t.ctx.now <- (fun () -> k.cpus.(k.cur_cpu).clk);
   let cost = k.cost in
+  let icache = if k.icache_on then Some t.icache else None in
   (try
      while
        t.state = Runnable && slot.clk < k.slice_end && not k.halted
@@ -1228,7 +1240,7 @@ let run_task (k : kernel) (t : task) =
        if t.pending <> 0L && signal_pending_unmasked t then
          ignore (Ksignal.deliver_pending k t);
        if t.state = Runnable then begin
-         match Cpu.step t.ctx t.mem with
+         match Cpu.step ?icache t.ctx t.mem with
          | Cpu.Stepped -> charge k (cost.insn * t.ctx.Cpu.last_cost)
          | Cpu.Trap_syscall ->
              charge k cost.insn;

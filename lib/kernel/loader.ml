@@ -13,6 +13,11 @@ let data_base = 0x600000
 let default_stack_top = 0x7ff0000
 let default_stack_size = 1 lsl 20
 
+(* Images are materialised by [Kernel.load_image] via [Mem.map] +
+   [Mem.poke_bytes]; both bump page generations, so loading (and
+   execve re-loading) invalidates any decoded code cached for the
+   address range. *)
+
 (** Build an image from assembled text and data sections.
 
     [text] is assembled at {!code_base} (use [Asm.assemble

@@ -99,6 +99,10 @@ and task = {
   mutable parent_tid : int;
   ctx : Cpu.t;
   mutable mem : Mem.t;
+  mutable icache : Icache.t;
+      (** decoded-instruction cache for [mem]; shared between threads
+          (which share [mem]), fresh after fork and execve (whose
+          address spaces diverge from the parent's generations) *)
   mutable fdt : fdtab;
   mutable sighand : sigaction array;  (** aliased under CLONE_SIGHAND *)
   mutable sigmask : int64;
@@ -157,6 +161,10 @@ type kernel = {
           scheduling slice *)
   mutable slice : int64;  (** scheduling quantum in cycles *)
   mutable slice_end : int64;
+  mutable icache_on : bool;
+      (** when false every task steps through the byte-at-a-time
+          fetch/decode path — the A/B switch the equivalence tests and
+          benchmarks use; simulated behaviour is identical either way *)
   mutable strace : (task -> int -> int64 -> unit) option;
       (** kernel-side debug trace: task, syscall nr, result *)
   mutable halted : bool;

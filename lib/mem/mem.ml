@@ -43,10 +43,55 @@ let perm_to_string p =
     (if p land p_w <> 0 then 'w' else '-')
     (if p land p_x <> 0 then 'x' else '-')
 
-type page = { data : Bytes.t; mutable pperm : perm; mutable pkey : int }
-type t = { pages : (int, page) Hashtbl.t }
+type page = {
+  data : Bytes.t;
+  mutable pperm : perm;
+  mutable pkey : int;
+  mutable gen : int;
+      (** page generation, for decoded-instruction caches: bumped on
+          every event that can change what executing this page means —
+          stores while the page is executable, map/unmap over it,
+          mprotect, pkey changes.  Generations are drawn from a
+          per-address-space monotonic counter, so a page number never
+          sees the same generation twice (remapping after unmap cannot
+          alias a stale cache entry). *)
+}
 
-let create () = { pages = Hashtbl.create 64 }
+type t = {
+  pages : (int, page) Hashtbl.t;
+  mutable next_gen : int;  (** monotonic generation source *)
+  mutable code_mut : int;
+      (** count of code-mutation events across the whole address
+          space; a cheap epoch that lets a cache skip per-page
+          generation checks while nothing executable has changed *)
+}
+
+let create () = { pages = Hashtbl.create 64; next_gen = 1; code_mut = 0 }
+
+let fresh_gen t =
+  let g = t.next_gen in
+  t.next_gen <- g + 1;
+  g
+
+(* Record a code-mutation event on [p].  Every writer of executable
+   memory — the CPU's stores, the kernel's poke paths used by the
+   lazypoline SIGSYS rewriter, zpoline's load-time sweep, the loader —
+   funnels through this one bump; decoded-instruction caches validate
+   against [gen] and can never race a mutator. *)
+let bump_page t p =
+  p.gen <- fresh_gen t;
+  t.code_mut <- t.code_mut + 1
+
+(* Mapping-level events (map/unmap/protect/pkey) change fetch
+   semantics even without touching bytes; they always count. *)
+let bump_epoch t = t.code_mut <- t.code_mut + 1
+
+(** Current generation of page number [pn]; [-1] when unmapped (never
+    a valid cached generation, so stale entries cannot match). *)
+let page_gen t pn =
+  match Hashtbl.find_opt t.pages pn with Some p -> p.gen | None -> -1
+
+let code_mut_count t = t.code_mut
 
 let is_mapped t addr = Hashtbl.mem t.pages (addr lsr page_shift)
 
@@ -62,8 +107,10 @@ let map t ~addr ~len ~perm =
   let last = (page_align_up (addr + len) - 1) lsr page_shift in
   for pn = first to last do
     Hashtbl.replace t.pages pn
-      { data = Bytes.create page_size; pperm = perm; pkey = 0 }
+      { data = Bytes.create page_size; pperm = perm; pkey = 0;
+        gen = fresh_gen t }
   done;
+  bump_epoch t;
   (* Fresh anonymous pages are zeroed. *)
   for pn = first to last do
     Bytes.fill (Hashtbl.find t.pages pn).data 0 page_size '\000'
@@ -74,7 +121,11 @@ let unmap t ~addr ~len =
   let last = (page_align_up (addr + len) - 1) lsr page_shift in
   for pn = first to last do
     Hashtbl.remove t.pages pn
-  done
+  done;
+  (* Caches key entries by generation; an unmapped page reads back
+     generation -1, and any future map() draws a fresh one — but the
+     epoch must still advance so caches revalidate at all. *)
+  bump_epoch t
 
 (** Change permissions on a mapped range.  Returns [Error `Unmapped]
     if any page in the range is missing (like mprotect's ENOMEM). *)
@@ -88,8 +139,14 @@ let protect t ~addr ~len ~perm =
   if not !ok then Error `Unmapped
   else (
     for pn = first to last do
-      (Hashtbl.find t.pages pn).pperm <- perm
+      let p = Hashtbl.find t.pages pn in
+      p.pperm <- perm;
+      (* An X page may have been rewritten while W (the lazypoline
+         RW/RX flip, JIT emission followed by mprotect): the flip back
+         is the moment stale decodes must die. *)
+      p.gen <- fresh_gen t
     done;
+    bump_epoch t;
     Ok ())
 
 let perm_at t addr =
@@ -115,8 +172,11 @@ let set_pkey t ~addr ~len ~pkey =
   if not !ok then Error `Unmapped
   else (
     for pn = first to last do
-      (Hashtbl.find t.pages pn).pkey <- pkey
+      let p = Hashtbl.find t.pages pn in
+      p.pkey <- pkey;
+      p.gen <- fresh_gen t
     done;
+    bump_epoch t;
     Ok ())
 
 (** Number of mapped pages overlapping [addr, addr+len). *)
@@ -143,6 +203,11 @@ let find_free t ~hint ~len =
 let check_page p addr access need =
   if p.pperm land need = 0 then raise (Fault (addr, access))
 
+(* Stores only invalidate decoded code when the target page is
+   executable; writes to plain data pages stay epoch-silent so the
+   common case costs one branch. *)
+let store_bump t p = if p.pperm land p_x <> 0 then bump_page t p
+
 (* Byte accessors with permission checks. *)
 
 let read_u8 t addr =
@@ -156,6 +221,7 @@ let write_u8 t addr v =
   match Hashtbl.find_opt t.pages (addr lsr page_shift) with
   | Some p ->
       check_page p addr Write p_w;
+      store_bump t p;
       Bytes.unsafe_set p.data (addr land page_mask) (Char.unsafe_chr (v land 0xFF))
   | None -> raise (Fault (addr, Write))
 
@@ -187,6 +253,7 @@ let write_u64 t addr v =
     match Hashtbl.find_opt t.pages (addr lsr page_shift) with
     | Some p ->
         check_page p addr Write p_w;
+        store_bump t p;
         Bytes.set_int64_le p.data (addr land page_mask) v
     | None -> raise (Fault (addr, Write)))
   else
@@ -221,6 +288,7 @@ let write_bytes t addr (s : string) =
     (match Hashtbl.find_opt t.pages (a lsr page_shift) with
     | Some p ->
         check_page p a Write p_w;
+        store_bump t p;
         Bytes.blit_string s !i p.data off chunk
     | None -> raise (Fault (a, Write)));
     i := !i + chunk
@@ -237,7 +305,12 @@ let poke_bytes t addr (s : string) =
     let off = a land page_mask in
     let chunk = min (len - !i) (page_size - off) in
     (match Hashtbl.find_opt t.pages (a lsr page_shift) with
-    | Some p -> Bytes.blit_string s !i p.data off chunk
+    | Some p ->
+        (* poke ignores W, but not the invalidation protocol: this is
+           the path zpoline's sweep and rewrite_site patch code
+           through, directly onto RX pages. *)
+        store_bump t p;
+        Bytes.blit_string s !i p.data off chunk
     | None -> raise (Fault (a, Write)));
     i := !i + chunk
   done
@@ -286,9 +359,25 @@ let clone t =
   Hashtbl.iter
     (fun pn p ->
       Hashtbl.replace pages pn
-        { data = Bytes.copy p.data; pperm = p.pperm; pkey = p.pkey })
+        { data = Bytes.copy p.data; pperm = p.pperm; pkey = p.pkey;
+          gen = p.gen })
     t.pages;
-  { pages }
+  (* Generations carry over (bytes are identical at the fork point),
+     but the two address spaces diverge from here on; each must get
+     its own decoded-instruction cache. *)
+  { pages; next_gen = t.next_gen; code_mut = t.code_mut }
+
+(** Live backing bytes of page number [pn] when it is mapped and
+    executable, for instruction-cache fills.  The returned [Bytes.t]
+    aliases the page: treat it as a read-only snapshot that is valid
+    only while {!code_mut_count} is unchanged — any mutation of
+    executable memory bumps the epoch (and the page's generation),
+    which is exactly the signal to drop both the snapshot and any
+    decodes made from it. *)
+let exec_page_data t pn =
+  match Hashtbl.find_opt t.pages pn with
+  | Some p when p.pperm land p_x <> 0 -> Some p.data
+  | _ -> None
 
 (** Mapped regions as (first_addr, length_bytes, perm) triples, sorted,
     with adjacent same-permission pages coalesced.  Used by static

@@ -88,6 +88,29 @@ val peek_bytes : t -> int -> int -> string
 val peek_u64 : t -> int -> int64
 val poke_u64 : t -> int -> int64 -> unit
 
+(** {1 Code-mutation tracking (decoded-instruction caches)}
+
+    Every event that can change what executing a page means — a store
+    to an executable page, [map]/[unmap] over it, [protect], a pkey
+    change — bumps that page's {e generation} (drawn from a monotonic
+    per-address-space counter, so remap after unmap can never alias a
+    stale value) and the address-space-wide {e code-mutation epoch}.
+    A decoded-instruction cache keys entries by page generation and
+    revalidates whenever the epoch moves; because all mutators funnel
+    through this module, stale decode of self-modified code is
+    impossible by construction. *)
+
+val page_gen : t -> int -> int
+(** Generation of page number [pn]; [-1] when unmapped. *)
+
+val code_mut_count : t -> int
+(** Address-space-wide count of code-mutation events. *)
+
+val exec_page_data : t -> int -> Bytes.t option
+(** Backing bytes of page number [pn] if mapped with X, else [None].
+    Aliases the live page — valid as a read-only snapshot only while
+    {!code_mut_count} is unchanged. *)
+
 (** {1 Introspection} *)
 
 val clone : t -> t

@@ -12,7 +12,15 @@
 
     A static binary rewriter that scanned the driver at load time has
     no way to see the payload's [syscall] instructions — the
-    exhaustiveness experiment of the paper's Section V-A. *)
+    exhaustiveness experiment of the paper's Section V-A.
+
+    The emission path is also a decoded-instruction-cache hazard: the
+    payload is written with ordinary stores while the pages are RW
+    (generation-silent), then flipped executable.  The [mprotect]
+    bumps the pages' generations in [Mem], so a cache that had
+    anything for those page numbers (e.g. from an earlier JIT round
+    at the same addresses) revalidates before the first fetch of the
+    fresh code. *)
 
 open Sim_isa
 open Sim_asm.Asm

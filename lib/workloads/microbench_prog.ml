@@ -55,9 +55,13 @@ let bench_items ~iters ~nr =
   ]
   @ [ mov_ri Isa.rdi 0; mov_ri Isa.rax Defs.sys_exit_group; syscall ]
 
-(** Run one configuration; returns cycles per iteration. *)
-let run ?(iters = 20_000) ?(nr = 500) (config : config) : float =
-  let k = Kernel.create () in
+(** Run one configuration; returns cycles per iteration.  [icache]
+    selects the simulator's decoded-instruction cache (host-side speed
+    only; simulated cycle counts are identical either way — asserted
+    by test_icache). *)
+let run ?(iters = 20_000) ?(nr = 500) ?(icache = true) (config : config) :
+    float =
+  let k = Kernel.create ~icache () in
   let blob =
     Sim_asm.Asm.assemble ~base:Loader.code_base (bench_items ~iters ~nr)
   in
@@ -104,6 +108,6 @@ let run ?(iters = 20_000) ?(nr = 500) (config : config) : float =
   Int64.to_float t.Types.tcycles /. float_of_int iters
 
 (** Overhead of [config] relative to native execution. *)
-let overhead ?iters ?nr config =
-  let base = run ?iters ?nr Native in
-  run ?iters ?nr config /. base
+let overhead ?iters ?nr ?icache config =
+  let base = run ?iters ?nr ?icache Native in
+  run ?iters ?nr ?icache config /. base

@@ -229,6 +229,171 @@ let test_xstate_roundtrip () =
   Alcotest.(check int) "st_sp" 1 y.st_sp;
   Alcotest.(check int64) "st0" (Int64.bits_of_float 3.14) y.st.(0)
 
+(** {1 Cached-vs-uncached equivalence (qcheck)}
+
+    For random x64lite programs — including programs that overwrite
+    their own code bytes and re-execute them — stepping through the
+    decoded-instruction cache must be observationally identical to the
+    byte-at-a-time path: same per-step outcomes, same [rip] sequence,
+    same cycle costs, same final registers, flags and memory. *)
+
+let eq_code_base = 0x1000
+let eq_code_len = 2 * Sim_mem.Mem.page_size
+let eq_data_base = 0x8000
+let eq_data_len = 8192
+
+(* A subset of the ISA that keeps random programs "interesting but
+   safe": memory operands go through rbx (data) or rcx (code, i.e.
+   self-modifying stores); control flow uses small relative jumps.
+   Wild programs that fault or hit undecodable bytes are fine — both
+   paths must agree on the fault, and the run simply ends there. *)
+let gen_eq_instr : Isa.instr QCheck.Gen.t =
+  let open QCheck.Gen in
+  let r = int_range 0 15 in
+  let small32 = map Int32.of_int (int_range (-64) 64) in
+  let data_disp = map Int32.of_int (int_range 0 (eq_data_len - 16)) in
+  let code_disp = map Int32.of_int (int_range 0 (eq_code_len - 16)) in
+  let alu =
+    oneofl [ Isa.Add; Isa.Sub; Isa.And; Isa.Or; Isa.Xor; Isa.Cmp; Isa.Mul ]
+  in
+  (* imul has no immediate-operand encoding *)
+  let alu_imm =
+    oneofl [ Isa.Add; Isa.Sub; Isa.And; Isa.Or; Isa.Xor; Isa.Cmp ]
+  in
+  let cond =
+    oneofl [ Isa.Eq; Isa.Ne; Isa.Lt; Isa.Le; Isa.Gt; Isa.Ge; Isa.Ult; Isa.Uge ]
+  in
+  (* Relative jumps stay within a few instructions of the current one;
+     landing mid-encoding is allowed (desync is exactly the kind of
+     disagreement the property would catch). *)
+  let rel = map Int32.of_int (int_range (-24) 24) in
+  frequency
+    [
+      (6, map2 (fun d imm -> Isa.Mov_ri32 (d, imm)) r small32);
+      (4, map2 (fun d s -> Isa.Mov_rr (d, s)) r r);
+      (6, map3 (fun op d s -> Isa.Alu_rr (op, d, s)) alu r r);
+      (6, map3 (fun op d imm -> Isa.Alu_ri (op, d, imm)) alu_imm r small32);
+      (2, map2 (fun c d -> Isa.Setcc (c, d)) cond r);
+      (3, map2 (fun d disp -> Isa.Load (Isa.Seg_none, d, Isa.rbx, disp)) r data_disp);
+      (3, map2 (fun s disp -> Isa.Store (Isa.Seg_none, Isa.rbx, disp, s)) r data_disp);
+      (2, map2 (fun d disp -> Isa.Load8 (Isa.Seg_none, d, Isa.rbx, disp)) r data_disp);
+      (2, map2 (fun s disp -> Isa.Store8 (Isa.Seg_none, Isa.rbx, disp, s)) r data_disp);
+      (* the SMC generator: byte stores into the program's own pages *)
+      (3, map2 (fun s disp -> Isa.Store8 (Isa.Seg_none, Isa.rcx, disp, s)) r code_disp);
+      (2, map (fun rl -> Isa.Jmp rl) rel);
+      (3, map2 (fun c rl -> Isa.Jcc (c, rl)) cond rel);
+      (2, return Isa.Nop);
+      (1, map (fun n -> Isa.Nopw n) (int_range 1 4));
+      (1, return Isa.Rdtsc);
+      (1, return Isa.Syscall);
+      (1, map (fun x -> Isa.Hypercall x) (int_range 0 100));
+      (1, map (fun d -> Isa.Push d) r);
+      (1, map (fun d -> Isa.Pop d) r);
+      (1, return Isa.Hlt);
+    ]
+
+(* One run: execute up to [fuel] steps, recording every step's
+   pre-[rip], outcome and charged cost; stop at any non-advancing
+   outcome.  Returns the trace plus full final state. *)
+let eq_run ?icache (code : string) =
+  let m = Mem.create () in
+  Mem.map m ~addr:eq_code_base ~len:eq_code_len ~perm:Mem.rwx;
+  Mem.poke_bytes m eq_code_base code;
+  Mem.map m ~addr:eq_data_base ~len:eq_data_len ~perm:Mem.rw;
+  let c = Cpu.create () in
+  c.rip <- eq_code_base;
+  Cpu.poke_reg c Isa.rsp (Int64.of_int (eq_data_base + eq_data_len));
+  Cpu.poke_reg c Isa.rbx (Int64.of_int eq_data_base);
+  Cpu.poke_reg c Isa.rcx (Int64.of_int eq_code_base);
+  let trace = ref [] in
+  let cycles = ref 0 in
+  let continue_ = ref true in
+  let fuel = ref 300 in
+  while !continue_ && !fuel > 0 do
+    decr fuel;
+    let rip0 = c.rip in
+    let o = Cpu.step ?icache c m in
+    trace := (rip0, o, c.last_cost) :: !trace;
+    cycles := !cycles + c.last_cost;
+    match o with
+    | Cpu.Stepped | Cpu.Trap_syscall | Cpu.Trap_hypercall _
+    | Cpu.Trap_breakpoint ->
+        ()
+    | Cpu.Halted | Cpu.Fault _ | Cpu.Fault_arith | Cpu.Bad_instr _ ->
+        continue_ := false
+  done;
+  let regs = Array.init 16 (fun r -> Cpu.peek_reg c r) in
+  let memimg =
+    Mem.peek_bytes m eq_code_base eq_code_len
+    ^ Mem.peek_bytes m eq_data_base eq_data_len
+  in
+  (List.rev !trace, regs, (c.zf, c.sf, c.cf), c.rip, !cycles, memimg)
+
+let prop_icache_equivalence =
+  QCheck.Test.make ~count:300 ~name:"icache == uncached (incl. SMC)"
+    (QCheck.make
+       (QCheck.Gen.list_size (QCheck.Gen.int_range 5 40) gen_eq_instr))
+    (fun instrs ->
+      let code = Encode.encode_all instrs in
+      let reference = eq_run code in
+      let cached = eq_run ~icache:(Icache.create ~superblock:false ()) code in
+      let superblk = eq_run ~icache:(Icache.create ~superblock:true ()) code in
+      reference = cached && reference = superblk)
+
+(* Deterministic witness for the property's SMC claim: a loop whose
+   body patches the instruction *after* the loop from [hlt] to
+   [mov rdx, 7; hlt]-equivalent bytes and then reaches it.  The cache
+   executes (and caches) the target page across many iterations before
+   the patch lands. *)
+let test_smc_patch_observed () =
+  let open Sim_asm.Asm in
+  let items =
+    [
+      (* r8 = loop counter; rcx = code base (SMC window) *)
+      mov_ri Isa.r8 20;
+      Label "loop";
+      sub_ri Isa.r8 1;
+      cmp_ri Isa.r8 0;
+      Jcc_l (Isa.Ne, "loop");
+      (* patch 'target' (currently hlt, 0xF4) into nop (0x90) *)
+      mov_ri Isa.r9 0x90;
+      Lea_ip (Isa.r10, "target");
+      mov_rr Isa.rcx Isa.r10;
+      store8 Isa.rcx 0 Isa.r9;
+      Label "target";
+      hlt (* becomes nop after the patch *);
+      mov_ri Isa.rax 42;
+      hlt;
+    ]
+  in
+  let blob = Sim_asm.Asm.assemble ~base:eq_code_base items in
+  let run ic =
+    let m = Mem.create () in
+    Mem.map m ~addr:eq_code_base ~len:eq_code_len ~perm:Mem.rwx;
+    Mem.poke_bytes m eq_code_base blob.Sim_asm.Asm.bytes;
+    Mem.map m ~addr:eq_data_base ~len:eq_data_len ~perm:Mem.rw;
+    let c = Cpu.create () in
+    c.rip <- eq_code_base;
+    Cpu.poke_reg c Isa.rsp (Int64.of_int (eq_data_base + eq_data_len));
+    let fuel = ref 500 in
+    let rec go () =
+      if !fuel = 0 then Alcotest.fail "fuel exhausted";
+      decr fuel;
+      match Cpu.step ?icache:ic c m with
+      | Cpu.Stepped -> go ()
+      | Cpu.Halted -> Cpu.peek_reg c Isa.rax
+      | _ -> Alcotest.fail "unexpected outcome"
+    in
+    go ()
+  in
+  (* Uncached and cached agree: execution runs *through* the patched
+     byte and halts at the second hlt with rax = 42. *)
+  Alcotest.(check int64) "uncached" 42L (run None);
+  let ic = Icache.create () in
+  Alcotest.(check int64) "icache" 42L (run (Some ic));
+  Alcotest.(check bool) "patch invalidated the page" true
+    ((Icache.stats ic).Icache.invalidations > 0)
+
 let tests =
   [
     Alcotest.test_case "arithmetic" `Quick test_arith;
@@ -246,4 +411,7 @@ let tests =
     Alcotest.test_case "NX fetch fault" `Quick test_fetch_fault_on_nx;
     Alcotest.test_case "register hooks" `Quick test_hooks_observe_registers;
     Alcotest.test_case "xstate roundtrip" `Quick test_xstate_roundtrip;
+    QCheck_alcotest.to_alcotest prop_icache_equivalence;
+    Alcotest.test_case "SMC patch observed (icache)" `Quick
+      test_smc_patch_observed;
   ]

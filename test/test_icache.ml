@@ -1,0 +1,311 @@
+(** Decoded-instruction cache: SMC-aware invalidation and
+    observational equivalence at the kernel level.
+
+    The headline property (the paper's own correctness hazard): a task
+    whose code is rewritten mid-run — by the lazypoline SIGSYS
+    rewriter, by mprotect/munmap, by JIT emission — must execute the
+    *new* bytes on the very next visit to the patched address.  A
+    stale cached decode of a patched [syscall] is precisely zpoline's
+    data-corruption hazard.
+
+    The cache must also be invisible: syscall traces and simulated
+    cycle counts with the icache on must equal the cache-disabled
+    run's exactly. *)
+
+open Sim_isa
+open Sim_mem
+open Sim_cpu
+open Sim_kernel
+module Micro = Workloads.Microbench_prog
+module Hook = Lazypoline.Hook
+
+let i64 = Int64.of_int
+
+(* Collect the kernel-side syscall trace as (tid, nr, result). *)
+let with_strace (k : Types.kernel) =
+  let trace = ref [] in
+  k.Types.strace <-
+    Some (fun t nr res -> trace := (t.Types.tid, nr, res) :: !trace);
+  trace
+
+(** {1 Headline: lazypoline's lazy rewrite under the icache} *)
+
+(* Run the paper's microbenchmark WITHOUT pre-rewriting the site, so
+   the first iteration takes the SIGSYS slow path and patches the hot
+   [syscall] — a site the icache has already decoded — to [call rax].
+   If the cache served the stale decode, every subsequent iteration
+   would raise SIGSYS again (the selector is BLOCK once the fast path
+   returns) and [slow_hits] would equal the iteration count. *)
+let run_lazy_rewrite ~icache ~iters =
+  let k = Kernel.create ~icache () in
+  let blob =
+    Sim_asm.Asm.assemble ~base:Loader.code_base
+      (Micro.bench_items ~iters ~nr:500)
+  in
+  let img =
+    Loader.image ~entry:(Sim_asm.Asm.symbol blob "start") ~text:blob ()
+  in
+  let t = Kernel.spawn k img in
+  let trace = with_strace k in
+  let st = Lazypoline.install ~preserve_xstate:true k t (Hook.dummy ()) in
+  let ok = Kernel.run_until_exit ~max_slices:40_000_000 k in
+  Alcotest.(check bool) "terminated" true ok;
+  (st.Lazypoline.stats, t, !trace)
+
+let test_lazy_rewrite_observed () =
+  let iters = 50 in
+  let stats, t, _ = run_lazy_rewrite ~icache:true ~iters in
+  (* Exactly two distinct syscall sites exist (the loop body and
+     exit_group): one slow-path rewrite each, never a re-trap. *)
+  Alcotest.(check int) "rewrites" 2 stats.Lazypoline.rewrites;
+  Alcotest.(check int) "slow hits" 2 stats.Lazypoline.slow_hits;
+  Alcotest.(check bool) "fast path took over" true
+    (stats.Lazypoline.fast_hits >= iters);
+  (* The rewrite invalidated a page the cache was executing from. *)
+  Alcotest.(check bool) "icache invalidated" true
+    ((Icache.stats t.Types.icache).Icache.invalidations > 0);
+  Alcotest.(check bool) "icache was actually used" true
+    ((Icache.stats t.Types.icache).Icache.hits > 0)
+
+let test_lazy_rewrite_equivalent () =
+  let iters = 50 in
+  let stats_c, t_c, trace_c = run_lazy_rewrite ~icache:true ~iters in
+  let stats_u, t_u, trace_u = run_lazy_rewrite ~icache:false ~iters in
+  Alcotest.(check int) "slow hits equal" stats_u.Lazypoline.slow_hits
+    stats_c.Lazypoline.slow_hits;
+  Alcotest.(check int) "fast hits equal" stats_u.Lazypoline.fast_hits
+    stats_c.Lazypoline.fast_hits;
+  Alcotest.(check bool) "syscall traces equal" true (trace_c = trace_u);
+  Alcotest.(check int64) "simulated cycles equal" t_u.Types.tcycles
+    t_c.Types.tcycles
+
+(** {1 The paper's microbenchmark: cache must not change the numbers} *)
+
+let test_microbench_cycles_identical () =
+  List.iter
+    (fun config ->
+      let on = Micro.run ~iters:500 ~icache:true config in
+      let off = Micro.run ~iters:500 ~icache:false config in
+      Alcotest.(check (float 0.0))
+        (Micro.config_name config ^ " cycles/iter")
+        off on)
+    [
+      Micro.Native; Micro.Zpoline; Micro.Lazypoline_full;
+      Micro.Lazypoline_noxstate; Micro.Sud;
+    ]
+
+(** {1 minicc JIT: emission + mprotect invalidate; traces match} *)
+
+let jit_src =
+  "long main() { long i; long acc; acc = 0; for (i = 0; i < 5; i = i + 1) { \
+   acc = acc + syscall(39); } return acc > 0; }"
+
+let run_jit ~icache =
+  let k = Kernel.create ~icache () in
+  let trace = with_strace k in
+  let code, _ = Minicc.Jit.run ~kernel:(Some k) jit_src in
+  (code, !trace)
+
+let test_jit_trace_equivalent () =
+  let code_c, trace_c = run_jit ~icache:true in
+  let code_u, trace_u = run_jit ~icache:false in
+  Alcotest.(check int) "exit codes equal" code_u code_c;
+  Alcotest.(check bool) "traces nonempty" true (List.length trace_c > 5);
+  Alcotest.(check bool) "syscall traces equal" true (trace_c = trace_u)
+
+(* JIT emission under an interposer that must still see the JITted
+   syscalls (lazypoline's exhaustiveness) — with the icache on. *)
+let test_jit_under_lazypoline () =
+  let run ~icache =
+    let k = Kernel.create ~icache () in
+    let t = Kernel.spawn k (Minicc.Jit.driver_image jit_src) in
+    let hook, rec_ = Hook.tracing () in
+    ignore (Lazypoline.install k t hook);
+    Alcotest.(check bool) "terminated" true
+      (Kernel.run_until_exit ~max_slices:2_000_000 k);
+    (t.Types.exit_code, List.map fst (Hook.recorded rec_))
+  in
+  let code_c, nrs_c = run ~icache:true in
+  let code_u, nrs_u = run ~icache:false in
+  Alcotest.(check int) "exit codes equal" code_u code_c;
+  Alcotest.(check bool) "hooked syscall numbers equal" true (nrs_c = nrs_u);
+  Alcotest.(check bool) "JITted getpid hooked" true
+    (List.mem Defs.sys_getpid nrs_c)
+
+(** {1 mprotect / munmap / remap invalidation (CPU level)} *)
+
+let step_to_halt ?icache ?(fuel = 1000) c m =
+  let rec go fuel =
+    if fuel = 0 then Alcotest.fail "fuel exhausted"
+    else
+      match Cpu.step ?icache c m with
+      | Cpu.Stepped -> go (fuel - 1)
+      | o -> o
+  in
+  go fuel
+
+let assemble_at base items =
+  (Sim_asm.Asm.assemble ~base items).Sim_asm.Asm.bytes
+
+let prog_return v =
+  let open Sim_asm.Asm in
+  [ mov_ri Isa.rax v; hlt ]
+
+let fresh_cpu () =
+  let c = Cpu.create () in
+  c.rip <- 0x1000;
+  c
+
+let test_mprotect_invalidates () =
+  let m = Mem.create () in
+  Mem.map m ~addr:0x1000 ~len:4096 ~perm:Mem.rx;
+  Mem.poke_bytes m 0x1000 (assemble_at 0x1000 (prog_return 1));
+  let ic = Icache.create () in
+  let c = fresh_cpu () in
+  (match step_to_halt ~icache:ic c m with
+  | Cpu.Halted -> ()
+  | _ -> Alcotest.fail "expected halt");
+  Alcotest.(check int64) "first run" 1L (Cpu.peek_reg c Isa.rax);
+  (* Drop X: the cached page must not keep the code executable. *)
+  (match Mem.protect m ~addr:0x1000 ~len:4096 ~perm:Mem.rw with
+  | Ok () -> ()
+  | Error `Unmapped -> Alcotest.fail "protect failed");
+  let c2 = fresh_cpu () in
+  (match step_to_halt ~icache:ic c2 m with
+  | Cpu.Fault (0x1000, Mem.Exec) -> ()
+  | _ -> Alcotest.fail "expected exec fault after mprotect");
+  (* Patch while writable, restore X: new bytes must be decoded. *)
+  Mem.write_bytes m 0x1000 (assemble_at 0x1000 (prog_return 2));
+  (match Mem.protect m ~addr:0x1000 ~len:4096 ~perm:Mem.rx with
+  | Ok () -> ()
+  | Error `Unmapped -> Alcotest.fail "protect failed");
+  let c3 = fresh_cpu () in
+  (match step_to_halt ~icache:ic c3 m with
+  | Cpu.Halted -> ()
+  | _ -> Alcotest.fail "expected halt");
+  Alcotest.(check int64) "patched run" 2L (Cpu.peek_reg c3 Isa.rax)
+
+let test_munmap_remap_invalidates () =
+  let m = Mem.create () in
+  Mem.map m ~addr:0x1000 ~len:4096 ~perm:Mem.rx;
+  Mem.poke_bytes m 0x1000 (assemble_at 0x1000 (prog_return 7));
+  let ic = Icache.create () in
+  let c = fresh_cpu () in
+  ignore (step_to_halt ~icache:ic c m);
+  Alcotest.(check int64) "before" 7L (Cpu.peek_reg c Isa.rax);
+  Mem.unmap m ~addr:0x1000 ~len:4096;
+  let c2 = fresh_cpu () in
+  (match step_to_halt ~icache:ic c2 m with
+  | Cpu.Fault (0x1000, Mem.Exec) -> ()
+  | _ -> Alcotest.fail "expected fault on unmapped page");
+  (* Same page number, fresh mapping, different program. *)
+  Mem.map m ~addr:0x1000 ~len:4096 ~perm:Mem.rx;
+  Mem.poke_bytes m 0x1000 (assemble_at 0x1000 (prog_return 9));
+  let c3 = fresh_cpu () in
+  ignore (step_to_halt ~icache:ic c3 m);
+  Alcotest.(check int64) "after remap" 9L (Cpu.peek_reg c3 Isa.rax)
+
+let test_counters_move () =
+  (* Sanity on the reported statistics: a hot loop is hit-dominated. *)
+  let m = Mem.create () in
+  let open Sim_asm.Asm in
+  let code =
+    assemble_at 0x1000
+      [
+        mov_ri Isa.rbx 200;
+        Label "loop";
+        sub_ri Isa.rbx 1;
+        cmp_ri Isa.rbx 0;
+        Jcc_l (Isa.Ne, "loop");
+        hlt;
+      ]
+  in
+  Mem.map m ~addr:0x1000 ~len:4096 ~perm:Mem.rx;
+  Mem.poke_bytes m 0x1000 code;
+  let ic = Icache.create () in
+  let c = fresh_cpu () in
+  ignore (step_to_halt ~icache:ic ~fuel:2000 c m);
+  let s = Icache.stats ic in
+  Alcotest.(check bool) "hits dominate" true (s.Icache.hits > 500);
+  Alcotest.(check bool) "few misses" true
+    (s.Icache.misses < 10 && s.Icache.misses > 0);
+  Alcotest.(check int) "no invalidations" 0 s.Icache.invalidations
+
+let test_fork_gets_private_cache () =
+  (* After fork, parent SMC must not leak into the child's decodes:
+     the child re-executes the original bytes while the parent patched
+     its own copy.  (Exit codes prove which bytes each executed.) *)
+  let open Sim_asm.Asm in
+  let items =
+    [
+      mov_ri Isa.rax Defs.sys_fork;
+      syscall;
+      cmp_ri Isa.rax 0;
+      Jcc_l (Isa.Eq, "child");
+      (* parent: patch 'probe' from [mov rdi,1] to [mov rdi,2]-bytes;
+         both parent and child then execute 'probe' and exit rdi. *)
+      Lea_ip (Isa.r10, "probe");
+      mov_ri Isa.r9 2;
+      (* overwrite the low immediate byte of the mov_ri32 at probe+2 *)
+      add_ri Isa.r10 2;
+      store8 Isa.r10 0 Isa.r9;
+      Jmp_l "probe";
+      Label "child";
+      (* give the parent time to patch its copy *)
+      mov_ri Isa.rcx 2000;
+      Label "spin";
+      sub_ri Isa.rcx 1;
+      cmp_ri Isa.rcx 0;
+      Jcc_l (Isa.Ne, "spin");
+      Label "probe";
+      (* C7 r imm32: the immediate's low byte sits at probe+2 *)
+      i (Isa.Mov_ri32 (Isa.rdi, 1l));
+      mov_ri Isa.rax Defs.sys_exit;
+      syscall;
+    ]
+  in
+  let k = Kernel.create ~icache:true () in
+  let blob = Sim_asm.Asm.assemble ~base:Loader.code_base items in
+  (* Code must be writable for the parent's self-patch. *)
+  let img =
+    {
+      Types.img_segments = [ (blob.Sim_asm.Asm.base, blob.Sim_asm.Asm.bytes, Mem.rwx) ];
+      img_entry = blob.Sim_asm.Asm.base;
+      img_stack_top = Loader.default_stack_top;
+      img_stack_size = Loader.default_stack_size;
+    }
+  in
+  let parent = Kernel.spawn k img in
+  Alcotest.(check bool) "terminated" true
+    (Kernel.run_until_exit ~max_slices:1_000_000 k);
+  Alcotest.(check int) "parent executed patched bytes" 2
+    parent.Types.exit_code;
+  let child_code =
+    Hashtbl.fold
+      (fun _ (t : Types.task) acc ->
+        if t.Types.tid <> parent.Types.tid then Some t.Types.exit_code else acc)
+      k.Types.tasks None
+  in
+  Alcotest.(check (option int)) "child executed original bytes" (Some 1)
+    child_code
+
+let tests =
+  [
+    Alcotest.test_case "lazypoline rewrite observed (headline)" `Quick
+      test_lazy_rewrite_observed;
+    Alcotest.test_case "lazypoline rewrite: icache invisible" `Quick
+      test_lazy_rewrite_equivalent;
+    Alcotest.test_case "microbench cycles identical on/off" `Quick
+      test_microbench_cycles_identical;
+    Alcotest.test_case "minicc JIT trace equivalence" `Quick
+      test_jit_trace_equivalent;
+    Alcotest.test_case "JIT under lazypoline with icache" `Quick
+      test_jit_under_lazypoline;
+    Alcotest.test_case "mprotect invalidates" `Quick test_mprotect_invalidates;
+    Alcotest.test_case "munmap + remap invalidates" `Quick
+      test_munmap_remap_invalidates;
+    Alcotest.test_case "hit/miss/invalidation counters" `Quick
+      test_counters_move;
+    Alcotest.test_case "fork isolates caches" `Quick
+      test_fork_gets_private_cache;
+  ]

@@ -5,6 +5,7 @@ let () =
       ("asm", Test_asm.tests);
       ("mem", Test_mem.tests);
       ("cpu", Test_cpu.tests);
+      ("icache", Test_icache.tests);
       ("bpf", Test_bpf.tests);
       ("vfs", Test_vfs.tests);
       ("net", Test_net.tests);
