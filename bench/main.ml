@@ -10,6 +10,12 @@
       dune exec bench/main.exe -- --fast       (smaller fig5 grid)
       dune exec bench/main.exe -- --json FILE  (host-side report; default
                                                 bench-results.json)
+      dune exec bench/main.exe -- --trace FILE (re-run the Table II
+                                                configurations with the
+                                                machine-wide tracer on and
+                                                write one merged Chrome
+                                                trace JSON, one process
+                                                group per mechanism)
 
     Besides the paper numbers (simulated cycles — independent of the
     host), every experiment reports host-side simulation throughput:
@@ -127,6 +133,36 @@ let fig5_fast () =
   ignore
     (Harness.Experiments.fig5 ~sizes:[ 1; 64 ] ~worker_counts:[ 1 ]
        ~flavours:[ Workloads.Webserver.Nginx_like ] ())
+
+(* --- Traced Table II re-run (--trace) ------------------------------ *)
+
+(* Re-run the Table II mechanisms with the event tracer attached and
+   export one merged Chrome trace so the dispatch paths of the
+   different interposers can be compared side by side in Perfetto.
+   Fewer iterations than the real benchmark: the point is the
+   timeline, not the steady-state cycle count. *)
+let emit_trace path =
+  let open Workloads.Microbench_prog in
+  let configs =
+    [ Zpoline; Lazypoline_noxstate; Lazypoline_full; Sud; Native_sud_allow ]
+  in
+  let groups =
+    List.map
+      (fun config ->
+        let tr = Sim_trace.Tracer.create ~ncpus:1 () in
+        ignore (run ~iters:2_000 ~tracer:tr config);
+        (config_name config, Sim_trace.Tracer.events tr))
+      configs
+  in
+  let json =
+    Sim_trace.Export.chrome_json_groups ~name_of_nr:Sim_kernel.Defs.syscall_name
+      groups
+  in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "[host] wrote %s (%d mechanism groups)\n%!" path
+    (List.length groups)
 
 (* --- Bechamel: simulator hot-path microbenchmarks ------------------ *)
 
@@ -257,6 +293,14 @@ let () =
     in
     find args
   in
+  let trace_path =
+    let rec find = function
+      | "--trace" :: p :: _ -> Some p
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
   let want name = only = [] || List.mem name only in
   List.iter
     (fun (name, _, f) ->
@@ -264,4 +308,5 @@ let () =
         timed name (if name = "fig5" && fast then fig5_fast else f))
     experiments;
   if want "bechamel" then run_bechamel ();
+  (match trace_path with Some p -> emit_trace p | None -> ());
   if !reports <> [] then emit_json json_path

@@ -2,10 +2,17 @@
 
     Compiles a minicc program, runs it on the simulated kernel under a
     chosen interposition mechanism, and prints the syscall trace the
-    interposer observed.
+    interposer observed — or, with the [trace]/[report] subcommands,
+    the machine-wide event trace the kernel-side tracer recorded
+    (dispatch paths, rewrites, selector flips, signals, latency
+    percentiles) as a Perfetto-loadable Chrome trace JSON or a
+    human-readable report.
 
       dune exec bin/simtrace.exe -- run prog.c
+      dune exec bin/simtrace.exe -- run --summary prog.c
       dune exec bin/simtrace.exe -- run --mech zpoline --jit prog.c
+      dune exec bin/simtrace.exe -- trace prog.c --out trace.json
+      dune exec bin/simtrace.exe -- report prog.c
       dune exec bin/simtrace.exe -- disasm prog.c
       dune exec bin/simtrace.exe -- pin prog.c
 *)
@@ -75,9 +82,14 @@ let setup_fs k =
   ignore (Vfs.add_file k.Types.vfs "/etc/hosts" "127.0.0.1 localhost\n");
   ignore (Vfs.add_file k.Types.vfs "/tmp/file_a" (String.make 256 'a'))
 
-let run_cmd file mech jit preserve_xstate =
+(** Compile [file], install [mech], run to completion.  The console
+    hook is restored even if the run raises (it is global state; a
+    leaked hook would redirect the console of every later run in this
+    process).  Returns the kernel, the task and the strace log. *)
+let execute ?tracer file mech jit preserve_xstate =
   let src = read_file file in
   let k = Kernel.create () in
+  k.Types.tracer <- tracer;
   setup_fs k;
   let img =
     if jit then Minicc.Jit.driver_image src
@@ -94,12 +106,64 @@ let run_cmd file mech jit preserve_xstate =
   | Seccomp_user_m -> ignore (Baselines.Seccomp_user.install k t hook)
   | Ptrace_m -> ignore (Baselines.Ptrace_interposer.install k t hook));
   Kernel.console_hook := Some print_string;
-  let finished = Kernel.run_until_exit k in
-  Kernel.console_hook := None;
+  let finished =
+    Fun.protect
+      ~finally:(fun () -> Kernel.console_hook := None)
+      (fun () -> Kernel.run_until_exit k)
+  in
   if not finished then prerr_endline "warning: program did not terminate";
+  (k, t, log)
+
+let print_summary (tr : Sim_trace.Tracer.t) =
+  let spans = Sim_trace.Summary.spans (Sim_trace.Tracer.events tr) in
+  Printf.eprintf "\ndispatch paths:\n";
+  List.iter
+    (fun (p, n) ->
+      Printf.eprintf "  %-12s %8d\n" (Sim_trace.Event.path_name p) n)
+    (Sim_trace.Summary.path_counts spans);
+  Printf.eprintf "\nsyscall latency (cycles):\n";
+  Printf.eprintf "  %-16s %-12s %7s %8s %8s\n" "syscall" "path" "count" "p50"
+    "p99";
+  List.iter
+    (fun (r : Sim_trace.Summary.latency_row) ->
+      Printf.eprintf "  %-16s %-12s %7d %8.0f %8.0f\n"
+        (Defs.syscall_name r.lr_nr)
+        (Sim_trace.Event.path_name r.lr_path)
+        r.lr_count r.lr_p50 r.lr_p99)
+    (Sim_trace.Summary.latency_rows spans)
+
+let run_cmd file mech jit preserve_xstate summary =
+  let tracer =
+    if summary then Some (Sim_trace.Tracer.create ~ncpus:1 ()) else None
+  in
+  let _k, t, log = execute ?tracer file mech jit preserve_xstate in
   List.iter (fun l -> Printf.eprintf "%s\n" l) (List.rev !log);
   Printf.eprintf "+++ exited with %d (%Ld cycles) +++\n" t.Types.exit_code
     t.Types.tcycles;
+  (match tracer with Some tr -> print_summary tr | None -> ());
+  if t.Types.exit_code <> 0 then exit t.Types.exit_code
+
+let trace_cmd file mech jit preserve_xstate out =
+  let tr = Sim_trace.Tracer.create ~ncpus:1 () in
+  let _k, t, _log = execute ~tracer:tr file mech jit preserve_xstate in
+  let json =
+    Sim_trace.Export.chrome_json ~name_of_nr:Defs.syscall_name
+      ~name:(Filename.basename file)
+      (Sim_trace.Tracer.events tr)
+  in
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc json);
+  Printf.eprintf "wrote %s: %d events retained, %d dropped\n" out
+    (Sim_trace.Tracer.retained tr)
+    (Sim_trace.Tracer.dropped tr);
+  if t.Types.exit_code <> 0 then exit t.Types.exit_code
+
+let report_cmd file mech jit preserve_xstate =
+  let tr = Sim_trace.Tracer.create ~ncpus:1 () in
+  let _k, t, _log = execute ~tracer:tr file mech jit preserve_xstate in
+  print_string (Sim_trace.Summary.report ~name_of_nr:Defs.syscall_name tr);
   if t.Types.exit_code <> 0 then exit t.Types.exit_code
 
 let disasm_cmd file =
@@ -133,9 +197,44 @@ let pin_cmd file =
   Printf.printf "expects xstate preservation: %b\n"
     (Sim_pin.Pin.expects_xstate pin)
 
+let summary_arg =
+  Arg.(
+    value & flag
+    & info [ "summary" ]
+        ~doc:
+          "After the run, print dispatch-path counts and per-syscall \
+           latency percentiles from the machine-wide event tracer.")
+
+let out_arg =
+  Arg.(
+    value
+    & opt string "trace.json"
+    & info [ "o"; "out" ] ~docv:"PATH"
+        ~doc:"Output path for the Chrome trace-event JSON.")
+
 let run_t =
   Cmd.v (Cmd.info "run" ~doc:"Run a minicc program under an interposer")
-    Term.(const run_cmd $ file_arg $ mech_arg $ jit_arg $ xstate_arg)
+    Term.(
+      const run_cmd $ file_arg $ mech_arg $ jit_arg $ xstate_arg $ summary_arg)
+
+let trace_t =
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a minicc program with the machine-wide tracer on and export \
+          the event timeline as Chrome trace-event JSON (loadable in \
+          Perfetto / chrome://tracing)")
+    Term.(
+      const trace_cmd $ file_arg $ mech_arg $ jit_arg $ xstate_arg $ out_arg)
+
+let report_t =
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Run a minicc program with the machine-wide tracer on and print \
+          the human-readable report: dispatch paths, rewrites and other \
+          events, syscall-latency percentiles")
+    Term.(const report_cmd $ file_arg $ mech_arg $ jit_arg $ xstate_arg)
 
 let disasm_t =
   Cmd.v (Cmd.info "disasm" ~doc:"Compile a minicc program and disassemble it")
@@ -152,4 +251,4 @@ let () =
     Cmd.info "simtrace" ~version:"1.0"
       ~doc:"strace/objdump/pin for the lazypoline simulator"
   in
-  exit (Cmd.eval (Cmd.group info [ run_t; disasm_t; pin_t ]))
+  exit (Cmd.eval (Cmd.group info [ run_t; trace_t; report_t; disasm_t; pin_t ]))

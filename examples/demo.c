@@ -1,0 +1,25 @@
+/* Demo program for the machine-wide event tracer.
+ *
+ *   dune exec bin/simtrace.exe -- trace examples/demo.c --out trace.json
+ *   dune exec bin/simtrace.exe -- report examples/demo.c
+ *   dune exec bin/simtrace.exe -- run --summary examples/demo.c
+ *
+ * The first pass through the loop takes lazypoline's SUD slow path
+ * (SIGSYS, selector flips, site rewrite); every later pass takes the
+ * rewritten call-rax fast path.  The trace shows the transition.
+ */
+long main() {
+  char buf[64];
+  long i = 0;
+  while (i < 8) {
+    long pid = syscall(39);                        /* getpid */
+    syscall(1, 1, "tick\n", 5);                    /* write */
+    i = i + 1;
+  }
+  long fd = syscall(2, "/etc/hosts", 0, 0);        /* open */
+  if (fd < 0) return 1;
+  long n = syscall(0, fd, buf, 64);                /* read */
+  syscall(3, fd);                                  /* close */
+  syscall(1, 1, buf, n);                           /* write back */
+  return 0;
+}

@@ -65,9 +65,14 @@ let hyper_enter (st : t) (k : kernel) (t : task) =
   in
   match st.hook.Hook.on_syscall ctx with
   | Hook.Return v ->
+      t.trace_path <- None;
       Cpu.poke_reg c Isa.rax v;
       c.rip <- c.rip + 2
-  | Hook.Emulate -> ()
+  | Hook.Emulate ->
+      (* The stub's [syscall] below carries the real dispatch: tag it
+         as a rewritten-site fast-path entry for the tracer. *)
+      if k.tracer <> None && t.trace_path = None then
+        t.trace_path <- Some Sim_trace.Event.Fast_path
 
 let hyper_exit (_st : t) (k : kernel) (_t : task) =
   charge k Layout.hook_restore_cost
@@ -102,6 +107,10 @@ let rewrite_image (st : t) (t : task) =
       end)
     (Mem.regions t.mem);
   st.stats.sites_rewritten <- st.stats.sites_rewritten + !n;
+  if st.kernel.tracer <> None then
+    Types.trace_emit st.kernel
+      (Sim_trace.Event.Sweep
+         { sites = !n; bytes_scanned = st.stats.bytes_scanned });
   !n
 
 (** Install zpoline into [t]'s process: map the trampoline page at VA

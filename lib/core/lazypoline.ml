@@ -88,6 +88,16 @@ let gs_write_u8 (t : task) off v =
 
 let set_selector (t : task) v = gs_write_u8 t Layout.gs_selector v
 
+(* Selector writes from the hypercall handlers, visible to the event
+   tracer.  (The stubs' own inline %gs stores are plain machine-code
+   stores and stay untraced.) *)
+let set_selector_traced (st : t) (tk : task) v =
+  set_selector tk v;
+  if st.kernel.tracer <> None then
+    trace_emit st.kernel
+      (Sim_trace.Event.Selector_flip
+         { allow = v = Defs.syscall_dispatch_filter_allow })
+
 (* Scribble over the caller-saved vector registers, as interposer C
    code compiled with SSE would. *)
 let clobber_xstate (t : task) =
@@ -339,7 +349,10 @@ let hyper_enter (st : t) (k : kernel) (t : task) =
   match st.hook.Hook.on_syscall ctx with
   | Hook.Return v ->
       (* Suppress the syscall: balance the xstate stack we just
-         pushed (the pop also undoes any hook clobbering). *)
+         pushed (the pop also undoes any hook clobbering).  The
+         suppressed syscall never dispatches, so any dispatch-path
+         tag staged for it must not leak onto the next one. *)
+      t.trace_path <- None;
       if st.preserve_xstate && returns_to_app then xstate_pop st t;
       Cpu.poke_reg c Isa.rax v;
       c.rip <- c.rip + 2
@@ -347,8 +360,17 @@ let hyper_enter (st : t) (k : kernel) (t : task) =
       (* The hook may have rewritten the syscall number. *)
       let nr = to_i (Cpu.peek_reg c Isa.rax) in
       if nr = Defs.sys_rt_sigaction then emulate_sigaction st k t
-      else if nr = Defs.sys_rt_sigreturn then prep_sigreturn st k t
-      else if nr = Defs.sys_clone then prep_clone st t
+      else begin
+        (* The stub's [syscall] instruction below carries the real
+           dispatch: tag it as the interposer fast path, unless the
+           SUD slow path already claimed this in-flight syscall.
+           (rt_sigaction is excluded: it suppresses the stub's
+           syscall entirely.) *)
+        if k.tracer <> None && t.trace_path = None then
+          t.trace_path <- Some Sim_trace.Event.Fast_path;
+        if nr = Defs.sys_rt_sigreturn then prep_sigreturn st k t
+        else if nr = Defs.sys_clone then prep_clone st t
+      end
 
 let hyper_exit (st : t) (k : kernel) (t : task) =
   charge k (Layout.hook_restore_cost + Layout.gs_bookkeeping_cost);
@@ -373,7 +395,7 @@ let hyper_sigwrap (st : t) (k : kernel) (t : task) =
     Mem.poke_u64 t.mem entry (i64 (gs_read_u8 t Layout.gs_selector));
     gs_write_u64 t Layout.gs_sigstack_depth (i64 (depth + 1))
   end;
-  set_selector t Defs.syscall_dispatch_filter_block;
+  set_selector_traced st t Defs.syscall_dispatch_filter_block;
   let sig_ = to_i (Cpu.peek_reg c Isa.rdi) in
   let handler =
     match Hashtbl.find_opt st.app_handlers (t.tgid, sig_) with
@@ -400,7 +422,7 @@ let hyper_sigreturn_trampoline (st : t) (k : kernel) (t : task) =
     gs_write_u64 t Layout.gs_sigstack_depth (i64 (depth - 1));
     let sel = to_i (Mem.peek_u64 t.mem entry) in
     let resume = to_i (Mem.peek_u64 t.mem (entry + 8)) in
-    set_selector t (sel land 0xFF);
+    set_selector_traced st t (sel land 0xFF);
     c.rip <- resume
   end
   else
@@ -418,7 +440,7 @@ let hyper_sigsys (st : t) (k : kernel) (t : task) =
   let site = call_addr - 2 in
   (* We will sigreturn with the selector still ALLOW; the redirected
      entry point re-blocks it when done (selector-only SUD). *)
-  set_selector t Defs.syscall_dispatch_filter_allow;
+  set_selector_traced st t Defs.syscall_dispatch_filter_allow;
   (* Rewrite the faulting instruction — it is guaranteed to be a
      real, aligned syscall instruction because the kernel identified
      it for us.  We still check, defensively.
@@ -453,7 +475,8 @@ let hyper_sigsys (st : t) (k : kernel) (t : task) =
       ignore
         (Kernel.kernel_syscall k t Defs.sys_mprotect
            [| i64 page; i64 len; i64 (prot_of orig_perm) |]);
-      st.stats.rewrites <- st.stats.rewrites + 1
+      st.stats.rewrites <- st.stats.rewrites + 1;
+      if k.tracer <> None then trace_emit k (Sim_trace.Event.Rewrite { site })
   | _ -> ()
   | exception Mem.Fault _ -> ());
   (* Redirect the interrupted context to the shared entry point,
@@ -615,8 +638,10 @@ let install ?(preserve_xstate = true) ?(enable_sud = true)
     bumps the page generation, invalidating any cached decode of the
     site. *)
 let rewrite_site (st : t) (t : task) ~addr =
-  ignore st;
   match Mem.peek_bytes t.mem addr 2 with
-  | "\x0f\x05" -> Mem.poke_bytes t.mem addr "\xff\xd0"
+  | "\x0f\x05" ->
+      Mem.poke_bytes t.mem addr "\xff\xd0";
+      if st.kernel.tracer <> None then
+        trace_emit st.kernel (Sim_trace.Event.Rewrite { site = addr })
   | _ -> invalid_arg "rewrite_site: not a syscall instruction"
   | exception Mem.Fault _ -> invalid_arg "rewrite_site: unmapped"

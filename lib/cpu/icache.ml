@@ -61,6 +61,9 @@ type t = {
   mutable last_pn : int;
   mutable last_pe : page_entries;
   mutable last_epoch : int;
+  mutable on_invalidate : (int -> unit) option;
+      (** observer called with the page number when a stale generation
+          drops that page's entries (the event tracer's hook) *)
 }
 
 (* Process-wide counters, aggregated across every cache instance that
@@ -91,6 +94,7 @@ let create ?(superblock = true) () =
     last_pn = -1;
     last_pe = dummy_page ();
     last_epoch = -1;
+    on_invalidate = None;
   }
 
 let stats t = t.stats
@@ -163,6 +167,7 @@ let validate t mem pn epoch =
         if pe.gen <> g then begin
           t.stats.invalidations <- t.stats.invalidations + 1;
           incr g_invalidations;
+          (match t.on_invalidate with Some f -> f pn | None -> ());
           Array.fill pe.entries 0 Mem.page_size None;
           pe.gen <- g
         end;

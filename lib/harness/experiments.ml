@@ -3,6 +3,7 @@
     returns its raw numbers so tests can assert on the shapes. *)
 
 open Sim_kernel
+module Stats = Sim_stats.Stats
 module Micro = Workloads.Microbench_prog
 module Hook = Lazypoline.Hook
 

@@ -25,6 +25,50 @@ let stddev_pct xs =
   let m = mean xs in
   if m = 0.0 then 0.0 else 100.0 *. stddev xs /. m
 
+(** [percentile xs p] is the [p]-th percentile (0..100) of [xs] under
+    linear interpolation between closest ranks: the rank of [p] is
+    [p/100 * (n-1)] over the sorted sample, fractional ranks
+    interpolate between the two neighbouring order statistics.
+    [nan] on the empty list; the sole element on a singleton. *)
+let percentile xs p =
+  match xs with
+  | [] -> nan
+  | [ x ] -> x
+  | _ ->
+      let a = Array.of_list xs in
+      Array.sort compare a;
+      let n = Array.length a in
+      let p = Float.max 0.0 (Float.min 100.0 p) in
+      let rank = p /. 100.0 *. float_of_int (n - 1) in
+      let lo = int_of_float (Float.floor rank) in
+      let hi = int_of_float (Float.ceil rank) in
+      let frac = rank -. float_of_int lo in
+      a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+
+(** [histogram ?bins xs] buckets [xs] into [bins] equal-width buckets
+    spanning [min xs, max xs]; returns [(lo, hi, count)] per bucket,
+    in order.  Empty input yields no buckets; a constant sample lands
+    entirely in the first bucket. *)
+let histogram ?(bins = 10) xs =
+  match xs with
+  | [] -> [||]
+  | _ ->
+      let bins = max 1 bins in
+      let lo = List.fold_left Float.min infinity xs in
+      let hi = List.fold_left Float.max neg_infinity xs in
+      let w = if hi > lo then (hi -. lo) /. float_of_int bins else 1.0 in
+      let counts = Array.make bins 0 in
+      List.iter
+        (fun x ->
+          let i = int_of_float ((x -. lo) /. w) in
+          let i = max 0 (min (bins - 1) i) in
+          counts.(i) <- counts.(i) + 1)
+        xs;
+      Array.mapi
+        (fun i c ->
+          (lo +. (w *. float_of_int i), lo +. (w *. float_of_int (i + 1)), c))
+        counts
+
 (** A crude ASCII bar for figure-style output. *)
 let bar ?(width = 40) ~max_value v =
   let n =

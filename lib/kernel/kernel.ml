@@ -15,6 +15,7 @@ open Sim_isa
 open Sim_mem
 open Sim_cpu
 open Types
+module Ev = Sim_trace.Event
 
 (** {1 Construction} *)
 
@@ -36,6 +37,7 @@ let create ?(ncpus = 1) ?(cost = Sim_costs.Cost_model.default)
     slice;
     slice_end = slice;
     strace = None;
+    tracer = None;
     halted = false;
     cur_task = None;
     icache_on = icache;
@@ -152,6 +154,7 @@ let make_task (k : kernel) ~mem ~comm ~affinity : task =
       tid_address = 0L;
       robust_list = 0L;
       tcycles = 0L;
+      trace_path = None;
       sleep_until = None;
     }
   in
@@ -280,6 +283,7 @@ let do_fork (k : kernel) (t : task) ~vm ~files ~sighand ~stack ~tls ~thread =
       tid_address = 0L;
       robust_list = 0L;
       tcycles = 0L;
+      trace_path = None;
       sleep_until = None;
     }
   in
@@ -299,6 +303,7 @@ let do_fork (k : kernel) (t : task) ~vm ~files ~sighand ~stack ~tls ~thread =
   Cpu.poke_reg child.ctx Isa.rax 0L;
   t.children <- child_tid :: t.children;
   Hashtbl.replace k.tasks child_tid child;
+  if k.tracer <> None then trace_emit k (Ev.Task_spawn { child_tid });
   child
 
 let find_zombie_child (k : kernel) (t : task) ~pid =
@@ -1047,6 +1052,7 @@ let ptrace_stop_cost (k : kernel) (m : monitor) =
 let syscall_entry (k : kernel) (t : task) =
   let c = t.ctx in
   let nr = Int64.to_int (Cpu.peek_reg c Isa.rax) in
+  let ts0 = now k in
   (* 1. Syscall User Dispatch *)
   let sud_intercepts =
     if not t.sud.sud_on then false
@@ -1067,6 +1073,11 @@ let syscall_entry (k : kernel) (t : task) =
   if t.state = Zombie then ()
   else if sud_intercepts then begin
     charge k k.cost.syscall_abort;
+    (* Tag the in-flight syscall: the interposer's SIGSYS handler will
+       re-issue it through its stub, and that dispatch should be
+       attributed to the slow path, not to the stub's plain [syscall]
+       instruction. *)
+    if k.tracer <> None then t.trace_path <- Some Ev.Sud_sigsys;
     Ksignal.force k t Defs.sigsys
       {
         si_signo = Defs.sigsys;
@@ -1104,11 +1115,37 @@ let syscall_entry (k : kernel) (t : task) =
     end
     else if action = Defs.seccomp_ret_errno then begin
       charge k k.cost.syscall_abort;
-      Cpu.poke_reg c Isa.rax (i64 (-(verdict land Defs.seccomp_ret_data)))
+      let e = verdict land Defs.seccomp_ret_data in
+      Cpu.poke_reg c Isa.rax (i64 (-e));
+      if k.tracer <> None then begin
+        trace_emit_at k ~ts:ts0
+          (Ev.Syscall_enter { nr; path = Ev.Seccomp_path });
+        trace_emit k
+          (Ev.Syscall_exit
+             { nr; path = Ev.Seccomp_path; ret = i64 (-e); blocked = false })
+      end;
+      t.trace_path <- None
     end
     else begin
       (* 4. Dispatch. *)
       charge k k.cost.syscall_base;
+      let tracing = k.tracer <> None in
+      (* [rt_sigreturn] from the signal trampoline runs *between* the
+         SUD intercept (which staged the tag) and the interposer
+         stub's re-issued syscall (which the tag is for); it must
+         neither consume nor clear the tag. *)
+      let sigreturning = nr = Defs.sys_rt_sigreturn in
+      let path =
+        if not tracing then Ev.Direct
+        else
+          match t.trace_path with
+          | Some p when not sigreturning -> p
+          | _ ->
+              if t.monitor <> None then Ev.Ptrace_path
+              else if t.filters <> [] then Ev.Seccomp_path
+              else Ev.Direct
+      in
+      if tracing then trace_emit_at k ~ts:ts0 (Ev.Syscall_enter { nr; path });
       let res =
         if nr < 0 || nr > Defs.max_syscall then Ret (i64 (-Defs.enosys))
         else try do_syscall k t nr with Efault -> Ret (i64 (-Defs.efault))
@@ -1130,11 +1167,24 @@ let syscall_entry (k : kernel) (t : task) =
       | Some f, Block _ -> f t nr (i64 (-512) (* ERESTARTSYS-ish *))
       | None, _ -> ());
       (* 5. ptrace syscall-exit stop *)
-      match t.monitor with
+      (match t.monitor with
       | Some m when t.state <> Zombie ->
           ptrace_stop_cost k m;
           m.on_exit (make_ptrace_view t)
-      | _ -> ()
+      | _ -> ());
+      if tracing then begin
+        let ret, blocked =
+          match res with
+          | Ret v -> ((if v = no_result then 0L else v), false)
+          | Block _ -> (0L, true)
+        in
+        trace_emit k (Ev.Syscall_exit { nr; path; ret; blocked })
+      end;
+      (* A blocked syscall keeps its tag: the retry re-enters here
+         without passing through the interposer again. *)
+      match res with
+      | Block _ -> ()
+      | Ret _ -> if not sigreturning then t.trace_path <- None
     end
   end
 
@@ -1147,6 +1197,7 @@ let syscall_entry (k : kernel) (t : task) =
 let arg_regs = [| Isa.rdi; Isa.rsi; Isa.rdx; Isa.r10; Isa.r8; Isa.r9 |]
 
 let kernel_syscall (k : kernel) (t : task) nr (args : int64 array) : int64 =
+  let ts0 = now k in
   charge k k.cost.syscall_base;
   if t.sud.sud_on then charge k k.cost.sud_check;
   let c = t.ctx in
@@ -1163,7 +1214,16 @@ let kernel_syscall (k : kernel) (t : task) nr (args : int64 array) : int64 =
   match res with
   | Ret v when v = no_result ->
       invalid_arg "kernel_syscall: control-transfer syscall"
-  | Ret v -> v
+  | Ret v ->
+      (* Interposer-internal syscalls are their own (direct) spans;
+         they must not consume the dispatch-path tag staged for the
+         application syscall they serve. *)
+      if k.tracer <> None then begin
+        trace_emit_at k ~ts:ts0 (Ev.Syscall_enter { nr; path = Ev.Direct });
+        trace_emit k
+          (Ev.Syscall_exit { nr; path = Ev.Direct; ret = v; blocked = false })
+      end;
+      v
   | Block _ -> invalid_arg "kernel_syscall: syscall would block"
 
 (** {1 Scheduler} *)
@@ -1180,7 +1240,10 @@ let reap_wakeups (k : kernel) =
       | Blocked reason ->
           let wake_eintr () =
             (* Abandon the syscall: skip the rewound instruction and
-               report EINTR, then let signal delivery run. *)
+               report EINTR, then let signal delivery run.  The
+               abandoned syscall will not retry, so its dispatch-path
+               tag dies with it. *)
+            t.trace_path <- None;
             t.sleep_until <- None;
             t.ctx.rip <- t.ctx.rip + 2;
             Cpu.poke_reg t.ctx Isa.rax (i64 (-Defs.eintr));
@@ -1220,16 +1283,44 @@ let pick_task (k : kernel) cpu : task option =
 
 exception Too_many_steps
 
+(** Route [t]'s per-address-space observers (mapping changes, decoded
+    icache invalidations) into the machine-wide tracer.  Installed
+    lazily whenever a task is scheduled while tracing is on, so tasks
+    created before the tracer, forked children and execve'd images
+    (which all carry hook-less fresh state) are caught on their next
+    slice. *)
+let install_trace_hooks (k : kernel) (t : task) =
+  Mem.set_trace_hook t.mem
+    (Some
+       (function
+         | Mem.Tmap { addr; len; x } ->
+             trace_emit k (Ev.Mmap { addr; len; prot_exec = x })
+         | Mem.Tunmap { addr; len } -> trace_emit k (Ev.Munmap { addr; len })
+         | Mem.Tprotect { addr; len; x; x_gained } ->
+             trace_emit k (Ev.Mprotect { addr; len; prot_exec = x });
+             (* Pages that were written and then flipped executable:
+                the W^X publish step of JIT emission (minicc's jit
+                does exactly this store-then-mprotect dance). *)
+             if x_gained then trace_emit k (Ev.Jit_emit { addr; len })));
+  t.icache.Icache.on_invalidate <-
+    Some (fun page -> trace_emit k (Ev.Icache_invalidate { page }))
+
 (** Run [t] on the current CPU until it blocks, exits, or the slice
     ends. *)
 let run_task (k : kernel) (t : task) =
   let slot = k.cpus.(k.cur_cpu) in
-  if slot.last_tid <> t.tid && slot.last_tid <> -1 then
-    charge k k.cost.context_switch;
+  let prev_tid = slot.last_tid in
+  let switched = prev_tid <> t.tid && prev_tid <> -1 in
+  if switched then charge k k.cost.context_switch;
   slot.last_tid <- t.tid;
   t.on_cpu <- k.cur_cpu;
   t.last_run <- slot.clk;
   k.cur_task <- Some t;
+  if k.tracer <> None then begin
+    if switched then
+      trace_emit k (Ev.Context_switch { prev_tid; next_tid = t.tid });
+    install_trace_hooks k t
+  end;
   t.ctx.now <- (fun () -> k.cpus.(k.cur_cpu).clk);
   let cost = k.cost in
   let icache = if k.icache_on then Some t.icache else None in

@@ -101,6 +101,10 @@ let push_frame (k : kernel) (t : task) (sig_ : int) (info : sig_info) =
   let act = t.sighand.(sig_) in
   let c = t.ctx in
   charge k k.cost.signal_delivery;
+  if k.tracer <> None then
+    trace_emit k
+      (Sim_trace.Event.Signal_deliver
+         { signo = sig_; handler = Int64.to_int act.sa_handler });
   let sp = Int64.to_int (Cpu.peek_reg c Isa.rsp) in
   let f = (sp - redzone - frame_size) land lnot 15 in
   (try
@@ -204,6 +208,7 @@ let force (k : kernel) (t : task) (sig_ : int) (info : sig_info) =
     issued the syscall). *)
 let sigreturn (k : kernel) (t : task) : unit =
   charge k k.cost.sigreturn_kernel;
+  trace_emit k Sim_trace.Event.Sigreturn;
   let c = t.ctx in
   let f = Int64.to_int (Cpu.peek_reg c Isa.rsp) - 8 in
   try

@@ -125,6 +125,11 @@ and task = {
   mutable tcycles : int64;
       (** cycles charged while this task was current (its own
           execution plus kernel work done on its behalf) *)
+  mutable trace_path : Sim_trace.Event.dispatch_path option;
+      (** dispatch-path tag for the task's next syscall, staged by the
+          interposer stubs (e.g. lazypoline's fast-path entry) so the
+          tracer can attribute the kernel-side span to the mechanism
+          that carried it; consumed at syscall dispatch *)
   mutable sleep_until : int64 option;
       (** in-progress nanosleep deadline: blocking syscalls are
           retried by re-execution, so the sleep must remember its
@@ -167,6 +172,11 @@ type kernel = {
           benchmarks use; simulated behaviour is identical either way *)
   mutable strace : (task -> int -> int64 -> unit) option;
       (** kernel-side debug trace: task, syscall nr, result *)
+  mutable tracer : Sim_trace.Tracer.t option;
+      (** machine-wide event tracer; [None] (the default) is the
+          zero-cost path — emit sites guard on it and allocate
+          nothing.  Emitting never charges cycles: a traced run is
+          cycle-for-cycle identical to an untraced one *)
   mutable halted : bool;
   mutable cur_task : task option;  (** task being executed right now *)
 }
@@ -183,6 +193,26 @@ let now (k : kernel) = k.cpus.(k.cur_cpu).clk
 (** Earliest per-CPU clock — the kernel's notion of global progress. *)
 let global_time (k : kernel) =
   Array.fold_left (fun acc c -> min acc c.clk) Int64.max_int k.cpus
+
+(** Record [kind] on the current CPU's ring at the current simulated
+    time (no-op without a tracer).  Hot emit sites should guard with
+    [k.tracer <> None] before building [kind] so the disabled path
+    allocates nothing. *)
+let trace_emit (k : kernel) kind =
+  match k.tracer with
+  | None -> ()
+  | Some tr ->
+      let tid = match k.cur_task with Some t -> t.tid | None -> -1 in
+      Sim_trace.Tracer.emit tr ~cpu:k.cur_cpu ~tid ~ts:(now k) kind
+
+(** Like {!trace_emit} with an explicit timestamp — for spans whose
+    start time predates the emit (syscall enter/exit pairs). *)
+let trace_emit_at (k : kernel) ~ts kind =
+  match k.tracer with
+  | None -> ()
+  | Some tr ->
+      let tid = match k.cur_task with Some t -> t.tid | None -> -1 in
+      Sim_trace.Tracer.emit tr ~cpu:k.cur_cpu ~tid ~ts kind
 
 let find_task (k : kernel) tid = Hashtbl.find_opt k.tasks tid
 

@@ -57,6 +57,16 @@ type page = {
           alias a stale cache entry). *)
 }
 
+(** Mapping-level changes, reported to an observer (the kernel's
+    tracer) when one is installed with {!set_trace_hook}.  [x] is the
+    new mapping's execute bit; [x_gained] marks an mprotect that
+    turned a previously non-executable page executable — the W^X
+    "publish" a JIT performs after emitting code. *)
+type trace_event =
+  | Tmap of { addr : int; len : int; x : bool }
+  | Tunmap of { addr : int; len : int }
+  | Tprotect of { addr : int; len : int; x : bool; x_gained : bool }
+
 type t = {
   pages : (int, page) Hashtbl.t;
   mutable next_gen : int;  (** monotonic generation source *)
@@ -64,9 +74,18 @@ type t = {
       (** count of code-mutation events across the whole address
           space; a cheap epoch that lets a cache skip per-page
           generation checks while nothing executable has changed *)
+  mutable trace_hook : (trace_event -> unit) option;
+      (** observer for mapping-level changes; not copied by {!clone} *)
 }
 
-let create () = { pages = Hashtbl.create 64; next_gen = 1; code_mut = 0 }
+let create () =
+  { pages = Hashtbl.create 64; next_gen = 1; code_mut = 0; trace_hook = None }
+
+let set_trace_hook t hook = t.trace_hook <- hook
+
+(* Call sites guard on [trace_hook <> None] before building the event
+   so the untraced path allocates nothing. *)
+let fire t ev = match t.trace_hook with Some f -> f ev | None -> ()
 
 let fresh_gen t =
   let g = t.next_gen in
@@ -114,7 +133,9 @@ let map t ~addr ~len ~perm =
   (* Fresh anonymous pages are zeroed. *)
   for pn = first to last do
     Bytes.fill (Hashtbl.find t.pages pn).data 0 page_size '\000'
-  done
+  done;
+  if t.trace_hook <> None then
+    fire t (Tmap { addr; len; x = perm land p_x <> 0 })
 
 let unmap t ~addr ~len =
   let first = page_align_down addr lsr page_shift in
@@ -125,7 +146,8 @@ let unmap t ~addr ~len =
   (* Caches key entries by generation; an unmapped page reads back
      generation -1, and any future map() draws a fresh one — but the
      epoch must still advance so caches revalidate at all. *)
-  bump_epoch t
+  bump_epoch t;
+  if t.trace_hook <> None then fire t (Tunmap { addr; len })
 
 (** Change permissions on a mapped range.  Returns [Error `Unmapped]
     if any page in the range is missing (like mprotect's ENOMEM). *)
@@ -138,8 +160,10 @@ let protect t ~addr ~len ~perm =
   done;
   if not !ok then Error `Unmapped
   else (
+    let x_gained = ref false in
     for pn = first to last do
       let p = Hashtbl.find t.pages pn in
+      if p.pperm land p_x = 0 && perm land p_x <> 0 then x_gained := true;
       p.pperm <- perm;
       (* An X page may have been rewritten while W (the lazypoline
          RW/RX flip, JIT emission followed by mprotect): the flip back
@@ -147,6 +171,9 @@ let protect t ~addr ~len ~perm =
       p.gen <- fresh_gen t
     done;
     bump_epoch t;
+    if t.trace_hook <> None then
+      fire t
+        (Tprotect { addr; len; x = perm land p_x <> 0; x_gained = !x_gained });
     Ok ())
 
 let perm_at t addr =
@@ -364,8 +391,9 @@ let clone t =
     t.pages;
   (* Generations carry over (bytes are identical at the fork point),
      but the two address spaces diverge from here on; each must get
-     its own decoded-instruction cache. *)
-  { pages; next_gen = t.next_gen; code_mut = t.code_mut }
+     its own decoded-instruction cache — and its own trace hook, if
+     anyone wants one (the child's events are not the parent's). *)
+  { pages; next_gen = t.next_gen; code_mut = t.code_mut; trace_hook = None }
 
 (** Live backing bytes of page number [pn] when it is mapped and
     executable, for instruction-cache fills.  The returned [Bytes.t]

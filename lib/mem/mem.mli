@@ -119,3 +119,19 @@ val clone : t -> t
 val regions : t -> (int * int * perm) list
 (** Mapped regions as (start, length, perm), sorted and coalesced —
     what a static rewriter enumerates. *)
+
+(** {1 Mapping-level trace hook}
+
+    Mapping changes reported to an observer (the machine-wide event
+    tracer).  [x] is the new execute bit; [x_gained] flags an mprotect
+    that made a previously non-executable page executable — the W^X
+    publish step of JIT emission. *)
+
+type trace_event =
+  | Tmap of { addr : int; len : int; x : bool }
+  | Tunmap of { addr : int; len : int }
+  | Tprotect of { addr : int; len : int; x : bool; x_gained : bool }
+
+val set_trace_hook : t -> (trace_event -> unit) option -> unit
+(** Install (or clear) the observer for {!map}/{!unmap}/{!protect}.
+    Not inherited by {!clone}. *)

@@ -20,7 +20,10 @@
     bumps the pages' generations in [Mem], so a cache that had
     anything for those page numbers (e.g. from an earlier JIT round
     at the same addresses) revalidates before the first fetch of the
-    fresh code. *)
+    fresh code.  The protection flip is also what the machine-wide
+    tracer keys on: a page going non-executable to executable emits a
+    [Jit_emit] event alongside the [Mprotect] — the W^X publish step
+    is the only architecturally visible moment of JIT code creation. *)
 
 open Sim_isa
 open Sim_asm.Asm

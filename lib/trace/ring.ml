@@ -1,0 +1,51 @@
+(** Bounded event ring with overflow accounting.
+
+    One ring per simulated CPU.  Memory is bounded by construction:
+    the backing array is allocated once at [create] and never grows.
+    When the ring is full, new events are {e dropped} (and counted) in
+    preference to overwriting older ones — the earliest events of a
+    run (installation, first rewrites) are usually the interesting
+    ones, and a monotone drop counter makes truncation visible
+    instead of silent. *)
+
+type 'a t = {
+  buf : 'a option array;
+  mutable len : int;
+  mutable dropped : int;
+  mutable pushed : int;  (** total offered, including dropped *)
+}
+
+let create capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: non-positive capacity";
+  { buf = Array.make capacity None; len = 0; dropped = 0; pushed = 0 }
+
+let capacity t = Array.length t.buf
+let length t = t.len
+let dropped t = t.dropped
+let pushed t = t.pushed
+
+(** Append [x]; drops (and counts) when full. *)
+let push t x =
+  t.pushed <- t.pushed + 1;
+  if t.len >= Array.length t.buf then t.dropped <- t.dropped + 1
+  else begin
+    t.buf.(t.len) <- Some x;
+    t.len <- t.len + 1
+  end
+
+(** Retained events, oldest first. *)
+let to_list t =
+  let rec go i acc =
+    if i < 0 then acc
+    else
+      match t.buf.(i) with
+      | Some x -> go (i - 1) (x :: acc)
+      | None -> go (i - 1) acc
+  in
+  go (t.len - 1) []
+
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.len <- 0;
+  t.dropped <- 0;
+  t.pushed <- 0

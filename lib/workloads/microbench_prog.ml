@@ -58,10 +58,14 @@ let bench_items ~iters ~nr =
 (** Run one configuration; returns cycles per iteration.  [icache]
     selects the simulator's decoded-instruction cache (host-side speed
     only; simulated cycle counts are identical either way — asserted
-    by test_icache). *)
-let run ?(iters = 20_000) ?(nr = 500) ?(icache = true) (config : config) :
-    float =
+    by test_icache).  [tracer] attaches a machine-wide event tracer to
+    the run; tracing is observation-only, so the returned
+    cycles-per-iteration is identical with or without it (asserted by
+    a qcheck property in test_trace). *)
+let run ?(iters = 20_000) ?(nr = 500) ?(icache = true)
+    ?(tracer : Sim_trace.Tracer.t option) (config : config) : float =
   let k = Kernel.create ~icache () in
+  k.Types.tracer <- tracer;
   let blob =
     Sim_asm.Asm.assemble ~base:Loader.code_base (bench_items ~iters ~nr)
   in

@@ -21,4 +21,6 @@ let () =
       ("lazypoline-edge", Test_lazypoline_edge.tests);
       ("minicc-interpose", Test_minicc_interpose.tests);
       ("kernel-more", Test_kernel_more.tests);
+      ("stats", Test_stats.tests);
+      ("trace", Test_trace.tests);
     ]

@@ -1,0 +1,67 @@
+(** Unit tests for the percentile/histogram additions to
+    [Sim_stats.Stats] (backing the tracer's latency tables). *)
+
+module Stats = Sim_stats.Stats
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_percentile_empty () =
+  Alcotest.(check bool)
+    "empty sample is nan" true
+    (Float.is_nan (Stats.percentile [] 50.0))
+
+let test_percentile_singleton () =
+  feq "p0 of singleton" 42.0 (Stats.percentile [ 42.0 ] 0.0);
+  feq "p50 of singleton" 42.0 (Stats.percentile [ 42.0 ] 50.0);
+  feq "p100 of singleton" 42.0 (Stats.percentile [ 42.0 ] 100.0)
+
+let test_percentile_interpolated () =
+  let xs = [ 10.0; 20.0; 30.0; 40.0 ] in
+  feq "p0 is min" 10.0 (Stats.percentile xs 0.0);
+  feq "p100 is max" 40.0 (Stats.percentile xs 100.0);
+  (* rank of p50 over 4 samples is 1.5: midway between 20 and 30 *)
+  feq "p50 interpolates" 25.0 (Stats.percentile xs 50.0);
+  (* rank of p25 is 0.75: three quarters of the way from 10 to 20 *)
+  feq "p25 interpolates" 17.5 (Stats.percentile xs 25.0);
+  feq "input order is irrelevant" 25.0
+    (Stats.percentile [ 40.0; 10.0; 30.0; 20.0 ] 50.0);
+  feq "p clamps high" 40.0 (Stats.percentile xs 150.0);
+  feq "p clamps low" 10.0 (Stats.percentile xs (-5.0))
+
+let test_histogram_empty () =
+  Alcotest.(check int) "no buckets" 0 (Array.length (Stats.histogram []))
+
+let test_histogram_constant () =
+  let h = Stats.histogram ~bins:4 [ 5.0; 5.0; 5.0 ] in
+  Alcotest.(check int) "bucket count" 4 (Array.length h);
+  let _, _, c0 = h.(0) in
+  Alcotest.(check int) "all in first bucket" 3 c0;
+  Array.iteri
+    (fun i (_, _, c) ->
+      if i > 0 then Alcotest.(check int) "other buckets empty" 0 c)
+    h
+
+let test_histogram_uniform () =
+  let xs = List.init 10 (fun i -> float_of_int i) in
+  let h = Stats.histogram ~bins:10 xs in
+  Alcotest.(check int) "bucket count" 10 (Array.length h);
+  Array.iter (fun (_, _, c) -> Alcotest.(check int) "one per bucket" 1 c) h;
+  let lo, _, _ = h.(0) and _, hi, _ = h.(9) in
+  feq "span starts at min" 0.0 lo;
+  feq "span ends at max" 9.0 hi;
+  (* total count is preserved *)
+  let total = Array.fold_left (fun acc (_, _, c) -> acc + c) 0 h in
+  Alcotest.(check int) "total preserved" 10 total
+
+let tests =
+  [
+    Alcotest.test_case "percentile: empty" `Quick test_percentile_empty;
+    Alcotest.test_case "percentile: singleton" `Quick test_percentile_singleton;
+    Alcotest.test_case "percentile: interpolation" `Quick
+      test_percentile_interpolated;
+    Alcotest.test_case "histogram: empty" `Quick test_histogram_empty;
+    Alcotest.test_case "histogram: constant sample" `Quick
+      test_histogram_constant;
+    Alcotest.test_case "histogram: uniform sample" `Quick
+      test_histogram_uniform;
+  ]
