@@ -77,10 +77,41 @@ let json_escape s =
     s;
   Buffer.contents b
 
+(* --- Per-mechanism simulated-cycle rows (always emitted) ----------- *)
+
+(* One short metrics-instrumented microbenchmark run per mechanism:
+   simulated cycles per iteration plus a full snapshot of the metrics
+   registry, so the JSON report carries the dispatch-path split,
+   rewrite counts and icache counters for every mechanism — the
+   machine-readable companion of Table II.  See DESIGN.md §9 for the
+   schema. *)
+type mech_row = { mr_name : string; mr_cycles : float; mr_metrics : string }
+
+let mechanism_rows () =
+  let open Workloads.Microbench_prog in
+  let configs =
+    [
+      Native; Native_sud_allow; Zpoline; Lazypoline_full; Lazypoline_noxstate;
+      Lazypoline_nosud; Lazypoline_protected; Sud; Seccomp_user; Seccomp_bpf;
+      Ptrace;
+    ]
+  in
+  List.map
+    (fun config ->
+      let m = Sim_kernel.Kmetrics.create () in
+      let cycles = run ~iters:2_000 ~metrics:m config in
+      {
+        mr_name = config_name config;
+        mr_cycles = cycles;
+        mr_metrics = Sim_kernel.Kmetrics.to_json m;
+      })
+    configs
+
 let emit_json path =
+  let mechs = mechanism_rows () in
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
-  out "{\n  \"schema\": \"lazypoline-sim-bench/1\",\n  \"experiments\": [";
+  out "{\n  \"schema\": \"lazypoline-sim-bench/2\",\n  \"experiments\": [";
   List.iteri
     (fun idx r ->
       let ips =
@@ -97,9 +128,18 @@ let emit_json path =
          \"invalidations\": %d, \"fallbacks\": %d } }"
         r.hr_hits r.hr_misses r.hr_invalidations r.hr_fallbacks)
     (List.rev !reports);
+  out "\n  ],\n  \"mechanisms\": [";
+  List.iteri
+    (fun idx m ->
+      out "%s\n    { \"name\": \"%s\", \"cycles_per_iteration\": %.2f,\n"
+        (if idx = 0 then "" else ",")
+        (json_escape m.mr_name) m.mr_cycles;
+      out "      \"metrics\": %s }" m.mr_metrics)
+    mechs;
   out "\n  ]\n}\n";
   close_out oc;
-  Printf.printf "[host] wrote %s\n%!" path
+  Printf.printf "[host] wrote %s (%d experiments, %d mechanisms)\n%!" path
+    (List.length !reports) (List.length mechs)
 
 let experiments : (string * string * (unit -> unit)) list =
   [
@@ -309,4 +349,7 @@ let () =
     experiments;
   if want "bechamel" then run_bechamel ();
   (match trace_path with Some p -> emit_trace p | None -> ());
-  if !reports <> [] then emit_json json_path
+  (* Always written, even for --only runs with no host reports: the
+     per-mechanism cycle rows and metric snapshots are cheap and make
+     every invocation machine-readable. *)
+  emit_json json_path

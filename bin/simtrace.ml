@@ -8,11 +8,18 @@
     percentiles) as a Perfetto-loadable Chrome trace JSON or a
     human-readable report.
 
+    The [stat] subcommand prints a perf-stat-style counter summary
+    from the metrics registry; [profile] runs the cycle-clock sampling
+    profiler and writes collapsed stacks for flamegraph.pl.
+
       dune exec bin/simtrace.exe -- run prog.c
       dune exec bin/simtrace.exe -- run --summary prog.c
       dune exec bin/simtrace.exe -- run --mech zpoline --jit prog.c
       dune exec bin/simtrace.exe -- trace prog.c --out trace.json
       dune exec bin/simtrace.exe -- report prog.c
+      dune exec bin/simtrace.exe -- stat prog.c
+      dune exec bin/simtrace.exe -- stat --format prometheus prog.c
+      dune exec bin/simtrace.exe -- profile prog.c --out prof.folded
       dune exec bin/simtrace.exe -- disasm prog.c
       dune exec bin/simtrace.exe -- pin prog.c
 *)
@@ -86,15 +93,29 @@ let setup_fs k =
     hook is restored even if the run raises (it is global state; a
     leaked hook would redirect the console of every later run in this
     process).  Returns the kernel, the task and the strace log. *)
-let execute ?tracer file mech jit preserve_xstate =
+let execute ?tracer ?metrics ?profiler file mech jit preserve_xstate =
   let src = read_file file in
   let k = Kernel.create () in
   k.Types.tracer <- tracer;
+  (match metrics with Some m -> Kernel.attach_metrics k m | None -> ());
   setup_fs k;
   let img =
     if jit then Minicc.Jit.driver_image src
     else Minicc.Codegen.compile_to_image src
   in
+  (match profiler with
+  | Some p ->
+      k.Types.profiler <- Some p;
+      (* The kernel knows nothing about the interposer's address-space
+         layout; the CLI does, so it registers the regions the sampler
+         should attribute to the mechanism rather than the guest. *)
+      Sim_metrics.Profiler.add_region p ~lo:0 ~hi:Sim_mem.Mem.page_size
+        ~name:"zpoline-trampoline";
+      Sim_metrics.Profiler.add_region p ~lo:Lazypoline.Layout.interp_code_base
+        ~hi:(Lazypoline.Layout.interp_code_base + 0x10000)
+        ~name:"interposer";
+      Sim_metrics.Profiler.add_symbols p img.Types.img_symbols
+  | None -> ());
   let t = Kernel.spawn k img in
   let hook, log = Hook.strace () in
   (match mech with
@@ -116,11 +137,21 @@ let execute ?tracer file mech jit preserve_xstate =
 
 let print_summary (tr : Sim_trace.Tracer.t) =
   let spans = Sim_trace.Summary.spans (Sim_trace.Tracer.events tr) in
+  Printf.eprintf "\ntrace ring: %d events retained, %d dropped\n"
+    (Sim_trace.Tracer.retained tr)
+    (Sim_trace.Tracer.dropped tr);
+  let path_counts = Sim_trace.Summary.path_counts spans in
+  let count_of p =
+    match List.assoc_opt p path_counts with Some n -> n | None -> 0
+  in
+  Printf.eprintf "dispatch split: %d fast-path, %d slow-path (sud-sigsys)\n"
+    (count_of Sim_trace.Event.Fast_path)
+    (count_of Sim_trace.Event.Sud_sigsys);
   Printf.eprintf "\ndispatch paths:\n";
   List.iter
     (fun (p, n) ->
       Printf.eprintf "  %-12s %8d\n" (Sim_trace.Event.path_name p) n)
-    (Sim_trace.Summary.path_counts spans);
+    path_counts;
   Printf.eprintf "\nsyscall latency (cycles):\n";
   Printf.eprintf "  %-16s %-12s %7s %8s %8s\n" "syscall" "path" "count" "p50"
     "p99";
@@ -164,6 +195,63 @@ let report_cmd file mech jit preserve_xstate =
   let tr = Sim_trace.Tracer.create ~ncpus:1 () in
   let _k, t, _log = execute ~tracer:tr file mech jit preserve_xstate in
   print_string (Sim_trace.Summary.report ~name_of_nr:Defs.syscall_name tr);
+  if t.Types.exit_code <> 0 then exit t.Types.exit_code
+
+(** perf-stat-style one-shot counter summary from the metrics
+    registry. *)
+let stat_cmd file mech jit preserve_xstate format =
+  let m = Kmetrics.create () in
+  let _k, t, _log = execute ~metrics:m file mech jit preserve_xstate in
+  (match format with
+  | "prometheus" -> print_string (Kmetrics.prometheus m)
+  | "json" -> print_string (Kmetrics.to_json m)
+  | _ ->
+      let module M = Sim_metrics.Metrics in
+      let v name = Option.value ~default:0 (M.find m.Kmetrics.registry name) in
+      Printf.printf "\n Counter summary for '%s':\n\n" (Filename.basename file);
+      let row fmt_name value = Printf.printf "  %16s  %s\n" value fmt_name in
+      let irow name value = row name (Printf.sprintf "%d" value) in
+      irow "cycles" (v "sim_cycles");
+      irow "syscalls" (v "sim_syscalls_total");
+      List.iter
+        (fun p ->
+          let n = Kmetrics.path_count m p in
+          if n > 0 then
+            irow
+              (Printf.sprintf "syscalls:%s" (Sim_trace.Event.path_name p))
+              n)
+        Sim_trace.Event.all_paths;
+      irow "rewrites" (v "sim_rewrites_total");
+      irow "selector-flips" (v "sim_sud_selector_flips_total");
+      irow "context-switches" (v "sim_context_switches_total");
+      irow "signal-deliveries" (v "sim_signal_deliveries_total");
+      irow "sigreturns" (v "sim_sigreturns_total");
+      irow "icache-hits" (v "sim_icache_hits_total");
+      irow "icache-misses" (v "sim_icache_misses_total");
+      irow "mmap-bytes" (v "sim_mmap_bytes_total");
+      irow "mprotect-bytes" (v "sim_mprotect_bytes_total");
+      irow "w-to-x-flips" (v "sim_wx_flips_total");
+      print_newline ());
+  if t.Types.exit_code <> 0 then exit t.Types.exit_code
+
+(** Sampling profile: run with the cycle-clock sampler attached and
+    write collapsed stacks ("comm;context;symbol count" lines) for
+    flamegraph.pl. *)
+let profile_cmd file mech jit preserve_xstate out period =
+  let p = Sim_metrics.Profiler.create ~period () in
+  let _k, t, _log = execute ~profiler:p file mech jit preserve_xstate in
+  let folded = Sim_metrics.Profiler.folded p in
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc folded);
+  Printf.eprintf "wrote %s: %d samples (1 per %d cycles)\n" out
+    (Sim_metrics.Profiler.samples p)
+    period;
+  Printf.eprintf "\ntop stacks:\n";
+  List.iter
+    (fun (key, n) -> Printf.eprintf "  %8d  %s\n" n key)
+    (Sim_metrics.Profiler.top ~n:10 p);
   if t.Types.exit_code <> 0 then exit t.Types.exit_code
 
 let disasm_cmd file =
@@ -236,6 +324,52 @@ let report_t =
           events, syscall-latency percentiles")
     Term.(const report_cmd $ file_arg $ mech_arg $ jit_arg $ xstate_arg)
 
+let format_arg =
+  Arg.(
+    value
+    & opt string "plain"
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:
+          "Output format for the counter summary: plain (perf-stat style), \
+           prometheus (text exposition), or json.")
+
+let folded_out_arg =
+  Arg.(
+    value
+    & opt string "prof.folded"
+    & info [ "o"; "out" ] ~docv:"PATH"
+        ~doc:
+          "Output path for the collapsed-stack profile (feed to \
+           flamegraph.pl).")
+
+let period_arg =
+  Arg.(
+    value & opt int 997
+    & info [ "period" ] ~docv:"CYCLES"
+        ~doc:
+          "Sampling period in simulated cycles (a prime by default, so the \
+           sampler does not alias with loop periods).")
+
+let stat_t =
+  Cmd.v
+    (Cmd.info "stat"
+       ~doc:
+         "Run a minicc program with the metrics registry attached and print \
+          a perf-stat-style counter summary (or the raw Prometheus/JSON \
+          exposition)")
+    Term.(
+      const stat_cmd $ file_arg $ mech_arg $ jit_arg $ xstate_arg $ format_arg)
+
+let profile_t =
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a minicc program under the cycle-clock sampling profiler and \
+          write collapsed stacks (flamegraph.pl input)")
+    Term.(
+      const profile_cmd $ file_arg $ mech_arg $ jit_arg $ xstate_arg
+      $ folded_out_arg $ period_arg)
+
 let disasm_t =
   Cmd.v (Cmd.info "disasm" ~doc:"Compile a minicc program and disassemble it")
     Term.(const disasm_cmd $ file_arg)
@@ -251,4 +385,7 @@ let () =
     Cmd.info "simtrace" ~version:"1.0"
       ~doc:"strace/objdump/pin for the lazypoline simulator"
   in
-  exit (Cmd.eval (Cmd.group info [ run_t; trace_t; report_t; disasm_t; pin_t ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_t; trace_t; report_t; stat_t; profile_t; disasm_t; pin_t ]))

@@ -71,7 +71,7 @@ let hyper_enter (st : t) (k : kernel) (t : task) =
   | Hook.Emulate ->
       (* The stub's [syscall] below carries the real dispatch: tag it
          as a rewritten-site fast-path entry for the tracer. *)
-      if k.tracer <> None && t.trace_path = None then
+      if observing k && t.trace_path = None then
         t.trace_path <- Some Sim_trace.Event.Fast_path
 
 let hyper_exit (_st : t) (k : kernel) (_t : task) =
@@ -111,6 +111,13 @@ let rewrite_image (st : t) (t : task) =
     Types.trace_emit st.kernel
       (Sim_trace.Event.Sweep
          { sites = !n; bytes_scanned = st.stats.bytes_scanned });
+  (match st.kernel.metrics with
+  | Some m ->
+      incr m.Kmetrics.sweeps;
+      Kmetrics.add m.Kmetrics.sweep_sites !n;
+      Kmetrics.add m.Kmetrics.sweep_bytes st.stats.bytes_scanned;
+      Kmetrics.add m.Kmetrics.rewrites !n
+  | None -> ());
   !n
 
 (** Install zpoline into [t]'s process: map the trampoline page at VA

@@ -96,7 +96,10 @@ let set_selector_traced (st : t) (tk : task) v =
   if st.kernel.tracer <> None then
     trace_emit st.kernel
       (Sim_trace.Event.Selector_flip
-         { allow = v = Defs.syscall_dispatch_filter_allow })
+         { allow = v = Defs.syscall_dispatch_filter_allow });
+  match st.kernel.metrics with
+  | Some m -> incr m.Kmetrics.selector_flips
+  | None -> ()
 
 (* Scribble over the caller-saved vector registers, as interposer C
    code compiled with SSE would. *)
@@ -366,7 +369,7 @@ let hyper_enter (st : t) (k : kernel) (t : task) =
            SUD slow path already claimed this in-flight syscall.
            (rt_sigaction is excluded: it suppresses the stub's
            syscall entirely.) *)
-        if k.tracer <> None && t.trace_path = None then
+        if observing k && t.trace_path = None then
           t.trace_path <- Some Sim_trace.Event.Fast_path;
         if nr = Defs.sys_rt_sigreturn then prep_sigreturn st k t
         else if nr = Defs.sys_clone then prep_clone st t
@@ -476,7 +479,10 @@ let hyper_sigsys (st : t) (k : kernel) (t : task) =
         (Kernel.kernel_syscall k t Defs.sys_mprotect
            [| i64 page; i64 len; i64 (prot_of orig_perm) |]);
       st.stats.rewrites <- st.stats.rewrites + 1;
-      if k.tracer <> None then trace_emit k (Sim_trace.Event.Rewrite { site })
+      if k.tracer <> None then trace_emit k (Sim_trace.Event.Rewrite { site });
+      (match k.metrics with
+      | Some m -> incr m.Kmetrics.rewrites
+      | None -> ())
   | _ -> ()
   | exception Mem.Fault _ -> ());
   (* Redirect the interrupted context to the shared entry point,
@@ -642,6 +648,9 @@ let rewrite_site (st : t) (t : task) ~addr =
   | "\x0f\x05" ->
       Mem.poke_bytes t.mem addr "\xff\xd0";
       if st.kernel.tracer <> None then
-        trace_emit st.kernel (Sim_trace.Event.Rewrite { site = addr })
+        trace_emit st.kernel (Sim_trace.Event.Rewrite { site = addr });
+      (match st.kernel.metrics with
+      | Some m -> incr m.Kmetrics.rewrites
+      | None -> ())
   | _ -> invalid_arg "rewrite_site: not a syscall instruction"
   | exception Mem.Fault _ -> invalid_arg "rewrite_site: unmapped"

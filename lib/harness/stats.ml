@@ -29,15 +29,21 @@ let stddev_pct xs =
     linear interpolation between closest ranks: the rank of [p] is
     [p/100 * (n-1)] over the sorted sample, fractional ranks
     interpolate between the two neighbouring order statistics.
-    [nan] on the empty list; the sole element on a singleton. *)
+    [nan] on the empty list; the sole element on a singleton.
+
+    Non-finite samples (NaN from a failed measurement, infinities
+    from a zero division upstream) are dropped before ranking — they
+    have no defined order and would otherwise poison the sort.  A
+    non-finite [p] is treated as the median. *)
 let percentile xs p =
-  match xs with
+  match List.filter Float.is_finite xs with
   | [] -> nan
   | [ x ] -> x
-  | _ ->
+  | xs ->
       let a = Array.of_list xs in
       Array.sort compare a;
       let n = Array.length a in
+      let p = if Float.is_finite p then p else 50.0 in
       let p = Float.max 0.0 (Float.min 100.0 p) in
       let rank = p /. 100.0 *. float_of_int (n - 1) in
       let lo = int_of_float (Float.floor rank) in
@@ -48,11 +54,14 @@ let percentile xs p =
 (** [histogram ?bins xs] buckets [xs] into [bins] equal-width buckets
     spanning [min xs, max xs]; returns [(lo, hi, count)] per bucket,
     in order.  Empty input yields no buckets; a constant sample lands
-    entirely in the first bucket. *)
+    entirely in the first bucket (degenerate zero-width range, unit
+    bucket width).  Non-finite samples are dropped: a NaN would make
+    the whole [min xs, max xs] range NaN and every bucket index
+    undefined. *)
 let histogram ?(bins = 10) xs =
-  match xs with
+  match List.filter Float.is_finite xs with
   | [] -> [||]
-  | _ ->
+  | xs ->
       let bins = max 1 bins in
       let lo = List.fold_left Float.min infinity xs in
       let hi = List.fold_left Float.max neg_infinity xs in

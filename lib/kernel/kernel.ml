@@ -21,27 +21,68 @@ module Ev = Sim_trace.Event
 
 let create ?(ncpus = 1) ?(cost = Sim_costs.Cost_model.default)
     ?(slice = 4000L) ?(icache = true) () : kernel =
-  {
-    cost;
-    cpus = Array.init ncpus (fun _ -> { clk = 0L; last_tid = -1 });
-    cur_cpu = 0;
-    tasks = Hashtbl.create 16;
-    next_tid = 1;
-    vfs = Vfs.create ();
-    net = Net.create ();
-    hypercalls = Hashtbl.create 16;
-    next_hyper = 1;
-    rng = Random.State.make [| 0x1a2b; 0x90c1 |];
-    programs = Hashtbl.create 4;
-    actors = [];
-    slice;
-    slice_end = slice;
-    strace = None;
-    tracer = None;
-    halted = false;
-    cur_task = None;
-    icache_on = icache;
-  }
+  let k =
+    {
+      cost;
+      cpus = Array.init ncpus (fun _ -> { clk = 0L; last_tid = -1 });
+      cur_cpu = 0;
+      tasks = Hashtbl.create 16;
+      next_tid = 1;
+      vfs = Vfs.create ();
+      net = Net.create ();
+      hypercalls = Hashtbl.create 16;
+      next_hyper = 1;
+      rng = Random.State.make [| 0x1a2b; 0x90c1 |];
+      programs = Hashtbl.create 4;
+      actors = [];
+      slice;
+      slice_end = slice;
+      strace = None;
+      tracer = None;
+      metrics = None;
+      profiler = None;
+      in_kernel = 0;
+      halted = false;
+      cur_task = None;
+      icache_on = icache;
+    }
+  in
+  (* /proc exists on every kernel (guests may read it whether or not
+     a metrics registry is attached). *)
+  Procfs.mount k;
+  k
+
+(** Attach a metrics registry to [k] and register the kernel-derived
+    probes: the process-wide decoded-icache counters (promoted into
+    the registry without touching their hot-path [int ref]s) and the
+    scheduler's runqueue depth.  Probes are sampled at scrape time
+    only. *)
+let attach_metrics (k : kernel) (m : Kmetrics.t) =
+  k.metrics <- Some m;
+  let open Sim_metrics in
+  let r = m.Kmetrics.registry in
+  Metrics.probe r ~help:"decoded-icache hits (process-wide)"
+    "sim_icache_hits_total" (fun () -> !Icache.g_hits);
+  Metrics.probe r ~help:"decoded-icache misses (process-wide)"
+    "sim_icache_misses_total" (fun () -> !Icache.g_misses);
+  Metrics.probe r ~help:"decoded-icache page invalidations (process-wide)"
+    "sim_icache_invalidations_total" (fun () -> !Icache.g_invalidations);
+  Metrics.probe r ~help:"decoded-icache uncached-path fallbacks (process-wide)"
+    "sim_icache_fallbacks_total" (fun () -> !Icache.g_fallbacks);
+  Metrics.probe r ~help:"tasks in runnable state" "sim_sched_runnable"
+    (fun () ->
+      Hashtbl.fold
+        (fun _ t acc -> if t.state = Runnable then acc + 1 else acc)
+        k.tasks 0);
+  Metrics.probe r ~help:"tasks alive (any state)" "sim_tasks" (fun () ->
+      Hashtbl.length k.tasks);
+  Metrics.probe r ~help:"earliest per-CPU simulated clock" "sim_cycles"
+    (fun () -> Int64.to_int (global_time k))
+
+let enable_metrics (k : kernel) : Kmetrics.t =
+  let m = match k.metrics with Some m -> m | None -> Kmetrics.create () in
+  attach_metrics k m;
+  m
 
 (** {1 Hypercalls} *)
 
@@ -155,6 +196,7 @@ let make_task (k : kernel) ~mem ~comm ~affinity : task =
       robust_list = 0L;
       tcycles = 0L;
       trace_path = None;
+      sig_depth = 0;
       sleep_until = None;
     }
   in
@@ -284,6 +326,10 @@ let do_fork (k : kernel) (t : task) ~vm ~files ~sighand ~stack ~tls ~thread =
       robust_list = 0L;
       tcycles = 0L;
       trace_path = None;
+      (* The child starts outside any signal frame: the parent's
+         in-handler state does not transfer (its frames live on the
+         parent's stack). *)
+      sig_depth = 0;
       sleep_until = None;
     }
   in
@@ -644,7 +690,7 @@ let do_syscall (k : kernel) (t : task) (nr : int) : sysres =
                 charge_copy (64 * nfit);
                 ok (64 * nfit)
               end
-          | Vfs.File _ -> err Defs.enotdir)
+          | Vfs.File _ | Vfs.Synth _ -> err Defs.enotdir)
       | Some _ -> err Defs.enotdir
       | None -> err Defs.ebadf)
   | n when n = Defs.sys_dup -> (
@@ -1053,6 +1099,10 @@ let syscall_entry (k : kernel) (t : task) =
   let c = t.ctx in
   let nr = Int64.to_int (Cpu.peek_reg c Isa.rax) in
   let ts0 = now k in
+  (* Cycles charged from here until the next guest instruction are
+     kernel time for the profiler; the flag is reset before every
+     [Cpu.step], so no explicit leave is needed on the many exits. *)
+  enter_kernel k;
   (* 1. Syscall User Dispatch *)
   let sud_intercepts =
     if not t.sud.sud_on then false
@@ -1077,7 +1127,7 @@ let syscall_entry (k : kernel) (t : task) =
        re-issue it through its stub, and that dispatch should be
        attributed to the slow path, not to the stub's plain [syscall]
        instruction. *)
-    if k.tracer <> None then t.trace_path <- Some Ev.Sud_sigsys;
+    if observing k then t.trace_path <- Some Ev.Sud_sigsys;
     Ksignal.force k t Defs.sigsys
       {
         si_signo = Defs.sigsys;
@@ -1124,19 +1174,25 @@ let syscall_entry (k : kernel) (t : task) =
           (Ev.Syscall_exit
              { nr; path = Ev.Seccomp_path; ret = i64 (-e); blocked = false })
       end;
+      (match k.metrics with
+      | Some m ->
+          Kmetrics.count_syscall m ~nr ~path:Ev.Seccomp_path;
+          Kmetrics.observe_latency m (Int64.to_int (Int64.sub (now k) ts0))
+      | None -> ());
       t.trace_path <- None
     end
     else begin
       (* 4. Dispatch. *)
       charge k k.cost.syscall_base;
       let tracing = k.tracer <> None in
+      let observed = observing k in
       (* [rt_sigreturn] from the signal trampoline runs *between* the
          SUD intercept (which staged the tag) and the interposer
          stub's re-issued syscall (which the tag is for); it must
          neither consume nor clear the tag. *)
       let sigreturning = nr = Defs.sys_rt_sigreturn in
       let path =
-        if not tracing then Ev.Direct
+        if not observed then Ev.Direct
         else
           match t.trace_path with
           | Some p when not sigreturning -> p
@@ -1146,10 +1202,17 @@ let syscall_entry (k : kernel) (t : task) =
               else Ev.Direct
       in
       if tracing then trace_emit_at k ~ts:ts0 (Ev.Syscall_enter { nr; path });
+      (match k.metrics with
+      | Some m -> Kmetrics.count_syscall m ~nr ~path
+      | None -> ());
       let res =
         if nr < 0 || nr > Defs.max_syscall then Ret (i64 (-Defs.enosys))
         else try do_syscall k t nr with Efault -> Ret (i64 (-Defs.efault))
       in
+      (match k.metrics with
+      | Some m ->
+          Kmetrics.observe_latency m (Int64.to_int (Int64.sub (now k) ts0))
+      | None -> ());
       (match res with
       | Ret v when v = no_result -> ()
       | Ret v ->
@@ -1198,6 +1261,7 @@ let arg_regs = [| Isa.rdi; Isa.rsi; Isa.rdx; Isa.r10; Isa.r8; Isa.r9 |]
 
 let kernel_syscall (k : kernel) (t : task) nr (args : int64 array) : int64 =
   let ts0 = now k in
+  enter_kernel k;
   charge k k.cost.syscall_base;
   if t.sud.sud_on then charge k k.cost.sud_check;
   let c = t.ctx in
@@ -1211,6 +1275,7 @@ let kernel_syscall (k : kernel) (t : task) nr (args : int64 array) : int64 =
     else try do_syscall k t nr with Efault -> Ret (i64 (-Defs.efault))
   in
   Array.iteri (fun i r -> Cpu.poke_reg c r saved.(i)) arg_regs;
+  leave_kernel k;
   match res with
   | Ret v when v = no_result ->
       invalid_arg "kernel_syscall: control-transfer syscall"
@@ -1223,6 +1288,11 @@ let kernel_syscall (k : kernel) (t : task) nr (args : int64 array) : int64 =
         trace_emit k
           (Ev.Syscall_exit { nr; path = Ev.Direct; ret = v; blocked = false })
       end;
+      (match k.metrics with
+      | Some m ->
+          Kmetrics.count_syscall m ~nr ~path:Ev.Direct;
+          Kmetrics.observe_latency m (Int64.to_int (Int64.sub (now k) ts0))
+      | None -> ());
       v
   | Block _ -> invalid_arg "kernel_syscall: syscall would block"
 
@@ -1284,20 +1354,32 @@ let pick_task (k : kernel) cpu : task option =
 exception Too_many_steps
 
 (** Route [t]'s per-address-space observers (mapping changes, decoded
-    icache invalidations) into the machine-wide tracer.  Installed
-    lazily whenever a task is scheduled while tracing is on, so tasks
-    created before the tracer, forked children and execve'd images
-    (which all carry hook-less fresh state) are caught on their next
-    slice. *)
-let install_trace_hooks (k : kernel) (t : task) =
+    icache invalidations) into the machine-wide tracer and metrics
+    registry.  Installed lazily whenever a task is scheduled while an
+    observer is attached, so tasks created before the observer, forked
+    children and execve'd images (which all carry hook-less fresh
+    state) are caught on their next slice. *)
+let install_observe_hooks (k : kernel) (t : task) =
   Mem.set_trace_hook t.mem
     (Some
        (function
          | Mem.Tmap { addr; len; x } ->
-             trace_emit k (Ev.Mmap { addr; len; prot_exec = x })
-         | Mem.Tunmap { addr; len } -> trace_emit k (Ev.Munmap { addr; len })
+             trace_emit k (Ev.Mmap { addr; len; prot_exec = x });
+             (match k.metrics with
+             | Some m -> Kmetrics.add m.Kmetrics.mmap_bytes len
+             | None -> ())
+         | Mem.Tunmap { addr; len } ->
+             trace_emit k (Ev.Munmap { addr; len });
+             (match k.metrics with
+             | Some m -> Kmetrics.add m.Kmetrics.munmap_bytes len
+             | None -> ())
          | Mem.Tprotect { addr; len; x; x_gained } ->
              trace_emit k (Ev.Mprotect { addr; len; prot_exec = x });
+             (match k.metrics with
+             | Some m ->
+                 Kmetrics.add m.Kmetrics.mprotect_bytes len;
+                 if x_gained then incr m.Kmetrics.wx_flips
+             | None -> ());
              (* Pages that were written and then flipped executable:
                 the W^X publish step of JIT emission (minicc's jit
                 does exactly this store-then-mprotect dance). *)
@@ -1316,11 +1398,13 @@ let run_task (k : kernel) (t : task) =
   t.on_cpu <- k.cur_cpu;
   t.last_run <- slot.clk;
   k.cur_task <- Some t;
-  if k.tracer <> None then begin
-    if switched then
-      trace_emit k (Ev.Context_switch { prev_tid; next_tid = t.tid });
-    install_trace_hooks k t
+  if switched then begin
+    trace_emit k (Ev.Context_switch { prev_tid; next_tid = t.tid });
+    match k.metrics with
+    | Some m -> incr m.Kmetrics.ctx_switches
+    | None -> ()
   end;
+  if observing k then install_observe_hooks k t;
   t.ctx.now <- (fun () -> k.cpus.(k.cur_cpu).clk);
   let cost = k.cost in
   let icache = if k.icache_on then Some t.icache else None in
@@ -1331,6 +1415,11 @@ let run_task (k : kernel) (t : task) =
        if t.pending <> 0L && signal_pending_unmasked t then
          ignore (Ksignal.deliver_pending k t);
        if t.state = Runnable then begin
+         (* Self-healing kernel-depth reset: syscall dispatch and
+            signal delivery only ever increment, so any path that
+            leaves the kernel (including the many early exits)
+            lands here and clears the depth before guest code runs. *)
+         k.in_kernel <- 0;
          match Cpu.step ?icache t.ctx t.mem with
          | Cpu.Stepped -> charge k (cost.insn * t.ctx.Cpu.last_cost)
          | Cpu.Trap_syscall ->

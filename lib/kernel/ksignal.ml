@@ -100,11 +100,16 @@ let post (k : kernel) (t : task) ?(info : sig_info option) (sig_ : int) =
 let push_frame (k : kernel) (t : task) (sig_ : int) (info : sig_info) =
   let act = t.sighand.(sig_) in
   let c = t.ctx in
+  enter_kernel k;
   charge k k.cost.signal_delivery;
   if k.tracer <> None then
     trace_emit k
       (Sim_trace.Event.Signal_deliver
          { signo = sig_; handler = Int64.to_int act.sa_handler });
+  (match k.metrics with
+  | Some m -> incr m.Kmetrics.signal_deliveries
+  | None -> ());
+  t.sig_depth <- t.sig_depth + 1;
   let sp = Int64.to_int (Cpu.peek_reg c Isa.rsp) in
   let f = (sp - redzone - frame_size) land lnot 15 in
   (try
@@ -209,6 +214,10 @@ let force (k : kernel) (t : task) (sig_ : int) (info : sig_info) =
 let sigreturn (k : kernel) (t : task) : unit =
   charge k k.cost.sigreturn_kernel;
   trace_emit k Sim_trace.Event.Sigreturn;
+  (match k.metrics with
+  | Some m -> incr m.Kmetrics.sigreturns
+  | None -> ());
+  t.sig_depth <- max 0 (t.sig_depth - 1);
   let c = t.ctx in
   let f = Int64.to_int (Cpu.peek_reg c Isa.rsp) - 8 in
   try

@@ -35,6 +35,9 @@ let image ?(entry : int option) ?(extra : (int * string * int) list = [])
     img_entry = (match entry with Some e -> e | None -> text.base);
     img_stack_top = default_stack_top;
     img_stack_size = default_stack_size;
+    img_symbols =
+      (text.symbols
+      @ match data with Some d -> d.Sim_asm.Asm.symbols | None -> []);
   }
 
 (** One-step convenience: assemble [items] at {!code_base} and build

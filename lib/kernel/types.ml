@@ -128,8 +128,14 @@ and task = {
   mutable trace_path : Sim_trace.Event.dispatch_path option;
       (** dispatch-path tag for the task's next syscall, staged by the
           interposer stubs (e.g. lazypoline's fast-path entry) so the
-          tracer can attribute the kernel-side span to the mechanism
-          that carried it; consumed at syscall dispatch *)
+          tracer and the metrics registry can attribute the
+          kernel-side span to the mechanism that carried it; consumed
+          at syscall dispatch *)
+  mutable sig_depth : int;
+      (** live kernel signal frames (pushed by delivery, popped by
+          sigreturn); maintained unconditionally — it is cheap and
+          lets the sampling profiler classify handler execution
+          without perturbing anything *)
   mutable sleep_until : int64 option;
       (** in-progress nanosleep deadline: blocking syscalls are
           retried by re-execution, so the sleep must remember its
@@ -143,6 +149,9 @@ type image = {
   img_entry : int;
   img_stack_top : int;  (** initial rsp (top of stack region) *)
   img_stack_size : int;
+  img_symbols : (string * int) list;
+      (** absolute (name, VA) pairs from the assembler, carried so the
+          sampling profiler can symbolize guest rips *)
 }
 
 (** {1 The kernel} *)
@@ -177,6 +186,19 @@ type kernel = {
           zero-cost path — emit sites guard on it and allocate
           nothing.  Emitting never charges cycles: a traced run is
           cycle-for-cycle identical to an untraced one *)
+  mutable metrics : Kmetrics.t option;
+      (** machine-wide metrics registry; same contract as [tracer]:
+          [None] is the zero-cost default and counting never charges
+          cycles, so a metered run is cycle- and state-identical to
+          an unmetered one *)
+  mutable profiler : Sim_metrics.Profiler.t option;
+      (** cycle-clock sampling profiler, ticked from {!charge};
+          observation-only like [tracer] and [metrics] *)
+  mutable in_kernel : int;
+      (** depth of simulated-kernel activity (syscall dispatch, signal
+          delivery) on the current CPU; the profiler classifies cycles
+          charged at depth > 0 as kernel time.  Self-healing: reset to
+          0 before every guest instruction step *)
   mutable halted : bool;
   mutable cur_task : task option;  (** task being executed right now *)
 }
@@ -185,8 +207,22 @@ let charge (k : kernel) n =
   let c = k.cpus.(k.cur_cpu) in
   c.clk <- Int64.add c.clk (Int64.of_int n);
   match k.cur_task with
-  | Some t -> t.tcycles <- Int64.add t.tcycles (Int64.of_int n)
+  | Some t -> (
+      t.tcycles <- Int64.add t.tcycles (Int64.of_int n);
+      match k.profiler with
+      | None -> ()
+      | Some p ->
+          Sim_metrics.Profiler.tick p n ~comm:t.comm ~rip:t.ctx.Cpu.rip
+            ~in_kernel:(k.in_kernel > 0) ~sig_depth:t.sig_depth)
   | None -> ()
+
+(** Is any observer (tracer or metrics) attached?  Dispatch-path
+    staging sites guard on this: the tag exists purely for
+    attribution, so it is only maintained when someone is looking. *)
+let observing (k : kernel) = k.tracer <> None || k.metrics <> None
+
+let enter_kernel (k : kernel) = k.in_kernel <- k.in_kernel + 1
+let leave_kernel (k : kernel) = k.in_kernel <- max 0 (k.in_kernel - 1)
 
 let now (k : kernel) = k.cpus.(k.cur_cpu).clk
 

@@ -203,6 +203,7 @@ let image ~(distro : distro) (util : string) : Types.image =
     img_entry = Sim_asm.Asm.symbol runtime "rt_start";
     img_stack_top = Loader.default_stack_top;
     img_stack_size = Loader.default_stack_size;
+    img_symbols = text.Sim_asm.Asm.symbols @ runtime.Sim_asm.Asm.symbols;
   }
 
 (** Populate the VFS with what the utilities expect. *)

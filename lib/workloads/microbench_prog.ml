@@ -61,15 +61,32 @@ let bench_items ~iters ~nr =
     by test_icache).  [tracer] attaches a machine-wide event tracer to
     the run; tracing is observation-only, so the returned
     cycles-per-iteration is identical with or without it (asserted by
-    a qcheck property in test_trace). *)
+    a qcheck property in test_trace).  [metrics] and [profiler] attach
+    the corresponding observers under the same contract (asserted in
+    test_metrics). *)
 let run ?(iters = 20_000) ?(nr = 500) ?(icache = true)
-    ?(tracer : Sim_trace.Tracer.t option) (config : config) : float =
+    ?(tracer : Sim_trace.Tracer.t option)
+    ?(metrics : Kmetrics.t option)
+    ?(profiler : Sim_metrics.Profiler.t option) (config : config) : float =
   let k = Kernel.create ~icache () in
   k.Types.tracer <- tracer;
+  (match metrics with Some m -> Kernel.attach_metrics k m | None -> ());
+  (match profiler with
+  | Some p ->
+      k.Types.profiler <- Some p;
+      Sim_metrics.Profiler.add_region p ~lo:0 ~hi:Sim_mem.Mem.page_size
+        ~name:"zpoline-trampoline";
+      Sim_metrics.Profiler.add_region p ~lo:Lazypoline.Layout.interp_code_base
+        ~hi:(Lazypoline.Layout.interp_code_base + 0x10000)
+        ~name:"interposer"
+  | None -> ());
   let blob =
     Sim_asm.Asm.assemble ~base:Loader.code_base (bench_items ~iters ~nr)
   in
   let img = Loader.image ~entry:(Sim_asm.Asm.symbol blob "start") ~text:blob () in
+  (match profiler with
+  | Some p -> Sim_metrics.Profiler.add_symbols p img.Types.img_symbols
+  | None -> ());
   let t = Kernel.spawn k img in
   let site = Sim_asm.Asm.symbol blob "site" in
   let hook = Hook.dummy () in

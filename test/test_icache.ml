@@ -273,6 +273,7 @@ let test_fork_gets_private_cache () =
       img_entry = blob.Sim_asm.Asm.base;
       img_stack_top = Loader.default_stack_top;
       img_stack_size = Loader.default_stack_size;
+      img_symbols = [];
     }
   in
   let parent = Kernel.spawn k img in

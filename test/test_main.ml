@@ -23,4 +23,7 @@ let () =
       ("kernel-more", Test_kernel_more.tests);
       ("stats", Test_stats.tests);
       ("trace", Test_trace.tests);
+      ("metrics", Test_metrics.tests);
+      ("procfs", Test_procfs.tests);
+      ("profiler", Test_profiler.tests);
     ]

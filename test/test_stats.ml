@@ -28,8 +28,40 @@ let test_percentile_interpolated () =
   feq "p clamps high" 40.0 (Stats.percentile xs 150.0);
   feq "p clamps low" 10.0 (Stats.percentile xs (-5.0))
 
+let test_percentile_nonfinite () =
+  (* Non-finite samples are measurement failures: dropped, not ranked. *)
+  feq "nan samples dropped" 25.0
+    (Stats.percentile [ nan; 10.0; 20.0; 30.0; 40.0; nan ] 50.0);
+  feq "infinities dropped" 25.0
+    (Stats.percentile [ infinity; 10.0; 20.0; 30.0; 40.0; neg_infinity ] 50.0);
+  Alcotest.(check bool)
+    "all-nan sample is nan" true
+    (Float.is_nan (Stats.percentile [ nan; nan ] 50.0));
+  (* a single survivor behaves like a singleton *)
+  feq "one finite survivor" 7.0 (Stats.percentile [ nan; 7.0 ] 99.0);
+  (* a non-finite p must not crash; it reads as the median *)
+  feq "nan p is median" 25.0
+    (Stats.percentile [ 10.0; 20.0; 30.0; 40.0 ] nan)
+
 let test_histogram_empty () =
   Alcotest.(check int) "no buckets" 0 (Array.length (Stats.histogram []))
+
+let test_histogram_singleton () =
+  let h = Stats.histogram ~bins:3 [ 9.0 ] in
+  Alcotest.(check int) "bucket count" 3 (Array.length h);
+  let lo, hi, c0 = h.(0) in
+  Alcotest.(check int) "sole sample in first bucket" 1 c0;
+  feq "first bucket starts at the sample" 9.0 lo;
+  feq "unit width under zero range" 10.0 hi
+
+let test_histogram_nonfinite () =
+  (* A NaN would make the min/max range NaN and every index undefined;
+     non-finite samples are dropped instead. *)
+  let h = Stats.histogram ~bins:2 [ nan; 1.0; 2.0; infinity ] in
+  let total = Array.fold_left (fun acc (_, _, c) -> acc + c) 0 h in
+  Alcotest.(check int) "only finite samples counted" 2 total;
+  Alcotest.(check int) "all-nonfinite yields no buckets" 0
+    (Array.length (Stats.histogram [ nan; infinity ]))
 
 let test_histogram_constant () =
   let h = Stats.histogram ~bins:4 [ 5.0; 5.0; 5.0 ] in
@@ -59,7 +91,12 @@ let tests =
     Alcotest.test_case "percentile: singleton" `Quick test_percentile_singleton;
     Alcotest.test_case "percentile: interpolation" `Quick
       test_percentile_interpolated;
+    Alcotest.test_case "percentile: non-finite inputs" `Quick
+      test_percentile_nonfinite;
     Alcotest.test_case "histogram: empty" `Quick test_histogram_empty;
+    Alcotest.test_case "histogram: singleton" `Quick test_histogram_singleton;
+    Alcotest.test_case "histogram: non-finite inputs" `Quick
+      test_histogram_nonfinite;
     Alcotest.test_case "histogram: constant sample" `Quick
       test_histogram_constant;
     Alcotest.test_case "histogram: uniform sample" `Quick
