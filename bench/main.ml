@@ -16,6 +16,12 @@
                                                 write one merged Chrome
                                                 trace JSON, one process
                                                 group per mechanism)
+      dune exec bench/main.exe -- --snapshot BENCH_4.json
+                                               (write the regression
+                                                snapshot and fail if the
+                                                lazypoline fast path got
+                                                >10% slower than the
+                                                previous snapshot)
 
     Besides the paper numbers (simulated cycles — independent of the
     host), every experiment reports host-side simulation throughput:
@@ -107,8 +113,7 @@ let mechanism_rows () =
       })
     configs
 
-let emit_json path =
-  let mechs = mechanism_rows () in
+let emit_json path mechs =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n  \"schema\": \"lazypoline-sim-bench/2\",\n  \"experiments\": [";
@@ -140,6 +145,87 @@ let emit_json path =
   close_out oc;
   Printf.printf "[host] wrote %s (%d experiments, %d mechanisms)\n%!" path
     (List.length !reports) (List.length mechs)
+
+(* --- Regression snapshot (--snapshot) ------------------------------ *)
+
+(* CI keeps one committed snapshot (BENCH_4.json at the repo root) and
+   re-runs the bench against it: if the lazypoline fast path regressed
+   by more than [regression_budget] in simulated cycles per iteration
+   — the headline Table II number — the run fails.  The previous value
+   is recovered with a plain string scan so the comparison needs no
+   JSON parser. *)
+
+let regression_budget = 0.10
+
+let find_sub s needle from =
+  let n = String.length needle and len = String.length s in
+  let rec go i =
+    if i + n > len then None
+    else if String.sub s i n = needle then Some (i + n)
+    else go (i + 1)
+  in
+  go from
+
+(* The ablation rows ("lazypoline w/o xstate", ...) share the prefix,
+   so match up to the closing quote of the exact name. *)
+let scan_lazypoline_cycles path =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match find_sub s "\"name\": \"lazypoline\"," 0 with
+    | None -> None
+    | Some i -> (
+        match find_sub s "\"cycles_per_iteration\":" i with
+        | None -> None
+        | Some j ->
+            let k = ref j in
+            while
+              !k < String.length s
+              &&
+              match s.[!k] with
+              | '0' .. '9' | '.' | '-' | 'e' | '+' | ' ' -> true
+              | _ -> false
+            do
+              incr k
+            done;
+            float_of_string_opt (String.trim (String.sub s j (!k - j))))
+  end
+
+let emit_snapshot path mechs =
+  let cur =
+    match List.find_opt (fun m -> m.mr_name = "lazypoline") mechs with
+    | Some m -> m.mr_cycles
+    | None -> failwith "snapshot: no lazypoline mechanism row"
+  in
+  let prev = scan_lazypoline_cycles path in
+  emit_json path mechs;
+  match prev with
+  | None ->
+      Printf.printf
+        "[host] snapshot: no previous %s; baseline recorded (lazypoline %.2f \
+         cycles/iter)\n%!"
+        path cur
+  | Some p when p > 0.0 ->
+      let ratio = (cur -. p) /. p in
+      Printf.printf
+        "[host] snapshot: lazypoline fast path %.2f -> %.2f cycles/iter \
+         (%+.1f%%, budget +%.0f%%)\n%!"
+        p cur (100.0 *. ratio)
+        (100.0 *. regression_budget);
+      if ratio > regression_budget then begin
+        Printf.eprintf
+          "[host] FAIL: lazypoline fast-path regression %.1f%% exceeds the \
+           %.0f%% budget\n%!"
+          (100.0 *. ratio)
+          (100.0 *. regression_budget);
+        exit 1
+      end
+  | Some p ->
+      Printf.printf
+        "[host] snapshot: previous value %.2f unusable; baseline rewritten\n%!"
+        p
 
 let experiments : (string * string * (unit -> unit)) list =
   [
@@ -341,6 +427,14 @@ let () =
     in
     find args
   in
+  let snapshot_path =
+    let rec find = function
+      | "--snapshot" :: p :: _ -> Some p
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
   let want name = only = [] || List.mem name only in
   List.iter
     (fun (name, _, f) ->
@@ -351,5 +445,8 @@ let () =
   (match trace_path with Some p -> emit_trace p | None -> ());
   (* Always written, even for --only runs with no host reports: the
      per-mechanism cycle rows and metric snapshots are cheap and make
-     every invocation machine-readable. *)
-  emit_json json_path
+     every invocation machine-readable.  The rows are computed once and
+     shared with the regression snapshot. *)
+  let mechs = mechanism_rows () in
+  emit_json json_path mechs;
+  match snapshot_path with Some p -> emit_snapshot p mechs | None -> ()

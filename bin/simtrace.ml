@@ -20,6 +20,10 @@
       dune exec bin/simtrace.exe -- stat prog.c
       dune exec bin/simtrace.exe -- stat --format prometheus prog.c
       dune exec bin/simtrace.exe -- profile prog.c --out prof.folded
+      dune exec bin/simtrace.exe -- record prog.c --out prog.audit
+      dune exec bin/simtrace.exe -- replay prog.audit
+      dune exec bin/simtrace.exe -- diff --mechanisms \
+        raw,sud,zpoline,lazypoline,seccomp,ptrace prog.c
       dune exec bin/simtrace.exe -- disasm prog.c
       dune exec bin/simtrace.exe -- pin prog.c
 *)
@@ -27,30 +31,31 @@
 open Cmdliner
 open Sim_kernel
 module Hook = Lazypoline.Hook
+module Audit = Sim_audit.Audit
+module Divergence = Harness.Divergence
 
 type mech = Lazypoline_m | Zpoline_m | Sud_m | Seccomp_user_m | Ptrace_m | None_m
 
+let mech_of_string = function
+  | "lazypoline" -> Ok Lazypoline_m
+  | "zpoline" -> Ok Zpoline_m
+  | "sud" -> Ok Sud_m
+  | "seccomp-user" | "seccomp" -> Ok Seccomp_user_m
+  | "ptrace" -> Ok Ptrace_m
+  | "none" | "raw" -> Ok None_m
+  | s -> Error (`Msg ("unknown mechanism: " ^ s))
+
+let mech_to_string = function
+  | Lazypoline_m -> "lazypoline"
+  | Zpoline_m -> "zpoline"
+  | Sud_m -> "sud"
+  | Seccomp_user_m -> "seccomp-user"
+  | Ptrace_m -> "ptrace"
+  | None_m -> "none"
+
 let mech_conv =
-  let parse = function
-    | "lazypoline" -> Ok Lazypoline_m
-    | "zpoline" -> Ok Zpoline_m
-    | "sud" -> Ok Sud_m
-    | "seccomp-user" -> Ok Seccomp_user_m
-    | "ptrace" -> Ok Ptrace_m
-    | "none" -> Ok None_m
-    | s -> Error (`Msg ("unknown mechanism: " ^ s))
-  in
-  let print fmt m =
-    Format.pp_print_string fmt
-      (match m with
-      | Lazypoline_m -> "lazypoline"
-      | Zpoline_m -> "zpoline"
-      | Sud_m -> "sud"
-      | Seccomp_user_m -> "seccomp-user"
-      | Ptrace_m -> "ptrace"
-      | None_m -> "none")
-  in
-  Arg.conv (parse, print)
+  let print fmt m = Format.pp_print_string fmt (mech_to_string m) in
+  Arg.conv (mech_of_string, print)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -92,12 +97,16 @@ let setup_fs k =
 (** Compile [file], install [mech], run to completion.  The console
     hook is restored even if the run raises (it is global state; a
     leaked hook would redirect the console of every later run in this
-    process).  Returns the kernel, the task and the strace log. *)
-let execute ?tracer ?metrics ?profiler file mech jit preserve_xstate =
+    process).  Returns the kernel, the task and the decoded strace
+    log — recorded kernel-side through the shared {!Strace} decoder,
+    so it carries results with errno names and covers every dispatch
+    (including [--mech none], which no interposer hook would see). *)
+let execute ?tracer ?metrics ?profiler ?auditor file mech jit preserve_xstate =
   let src = read_file file in
   let k = Kernel.create () in
   k.Types.tracer <- tracer;
   (match metrics with Some m -> Kernel.attach_metrics k m | None -> ());
+  (match auditor with Some a -> Kernel.attach_audit k a | None -> ());
   setup_fs k;
   let img =
     if jit then Minicc.Jit.driver_image src
@@ -117,7 +126,8 @@ let execute ?tracer ?metrics ?profiler file mech jit preserve_xstate =
       Sim_metrics.Profiler.add_symbols p img.Types.img_symbols
   | None -> ());
   let t = Kernel.spawn k img in
-  let hook, log = Hook.strace () in
+  let log = Strace.attach k in
+  let hook = Hook.strace () |> fst in
   (match mech with
   | None_m -> ()
   | Lazypoline_m ->
@@ -254,6 +264,150 @@ let profile_cmd file mech jit preserve_xstate out period =
     (Sim_metrics.Profiler.top ~n:10 p);
   if t.Types.exit_code <> 0 then exit t.Types.exit_code
 
+(** {1 record / replay / diff: the divergence auditor} *)
+
+let audit_header file mech jit preserve_xstate checkpoint_every =
+  String.concat ""
+    [
+      "% simtrace-audit/1\n";
+      "% file " ^ file ^ "\n";
+      "% mech " ^ mech_to_string mech ^ "\n";
+      Printf.sprintf "%% jit %b\n" jit;
+      Printf.sprintf "%% preserve-xstate %b\n" preserve_xstate;
+      Printf.sprintf "%% checkpoint-every %d\n" checkpoint_every;
+    ]
+
+(** One audited run; returns the auditor, the task and the serialized
+    body (events, checkpoints, final state hash). *)
+let audited_run file mech jit preserve_xstate checkpoint_every =
+  let a = Audit.create ~checkpoint_every () in
+  let k, t, _log = execute ~auditor:a file mech jit preserve_xstate in
+  let final = Kernel.audit_final_hash k a in
+  (a, t, Divergence.log_string ~final_hash:final a)
+
+let record_cmd file mech jit preserve_xstate out checkpoint_every =
+  let a, t, body = audited_run file mech jit preserve_xstate checkpoint_every in
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (audit_header file mech jit preserve_xstate checkpoint_every);
+      output_string oc body);
+  Printf.eprintf
+    "recorded %d events (%d app syscalls, %d checkpoints) -> %s\n"
+    (List.length (Audit.entries a))
+    (Audit.app_count a)
+    (List.length (Audit.checkpoints a))
+    out;
+  if t.Types.exit_code <> 0 then exit t.Types.exit_code
+
+let body_lines s =
+  String.split_on_char '\n' s
+  |> List.filter (fun l -> l <> "" && l.[0] <> '%')
+
+let replay_cmd logfile =
+  let content = read_file logfile in
+  let header =
+    String.split_on_char '\n' content
+    |> List.filter_map (fun l ->
+           if String.length l > 2 && String.sub l 0 2 = "% " then
+             let rest = String.sub l 2 (String.length l - 2) in
+             match String.index_opt rest ' ' with
+             | Some i ->
+                 Some
+                   ( String.sub rest 0 i,
+                     String.sub rest (i + 1) (String.length rest - i - 1) )
+             | None -> Some (rest, "")
+           else None)
+  in
+  if not (List.mem_assoc "simtrace-audit/1" header) then begin
+    Printf.eprintf "%s: not a simtrace-audit/1 log\n" logfile;
+    exit 2
+  end;
+  let get key default =
+    match List.assoc_opt key header with Some v -> v | None -> default
+  in
+  let file = get "file" "" in
+  let mech =
+    match mech_of_string (get "mech" "none") with
+    | Ok m -> m
+    | Error (`Msg e) ->
+        prerr_endline e;
+        exit 2
+  in
+  let jit = bool_of_string (get "jit" "false") in
+  let xstate = bool_of_string (get "preserve-xstate" "true") in
+  let ck = int_of_string (get "checkpoint-every" "64") in
+  let _, _, body = audited_run file mech jit xstate ck in
+  let old_lines = Array.of_list (body_lines content) in
+  let new_lines = Array.of_list (body_lines body) in
+  let n = min (Array.length old_lines) (Array.length new_lines) in
+  let mismatch = ref None in
+  (try
+     for i = 0 to n - 1 do
+       if old_lines.(i) <> new_lines.(i) then begin
+         mismatch := Some i;
+         raise Exit
+       end
+     done;
+     if Array.length old_lines <> Array.length new_lines then begin
+       mismatch := Some n;
+       raise Exit
+     end
+   with Exit -> ());
+  match !mismatch with
+  | None ->
+      Printf.printf "replay OK: %d lines bit-identical (streams, %s)\n"
+        (Array.length old_lines)
+        (if Array.exists (fun l -> l.[0] = 'F') old_lines then
+           "checkpoints and final state hash"
+         else "checkpoints")
+  | Some i ->
+      let at j (arr : string array) =
+        if j < Array.length arr then arr.(j) else "<stream ended>"
+      in
+      Printf.printf "replay DIVERGED at line %d:\n  recorded: %s\n  replayed: %s\n"
+        (i + 1) (at i old_lines) (at i new_lines);
+      exit 1
+
+let diff_cmd file mechs_str jit log_dir =
+  let names =
+    String.split_on_char ',' mechs_str
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let mechs =
+    List.map
+      (fun s ->
+        match Divergence.mech_of_string s with
+        | Some m -> m
+        | None ->
+            Printf.eprintf "unknown mechanism: %s\n" s;
+            exit 2)
+      names
+  in
+  let src = read_file file in
+  let o = Divergence.diff ~mechs (Divergence.Prog { src; jit }) in
+  (match log_dir with
+  | Some dir ->
+      (try Unix.mkdir dir 0o755
+       with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      List.iter
+        (fun (m, a, final) ->
+          let path =
+            Filename.concat dir (Divergence.mech_name m ^ ".audit")
+          in
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () ->
+              output_string oc (Divergence.log_string ~final_hash:final a));
+          Printf.eprintf "wrote %s\n" path)
+        o.Divergence.o_runs
+  | None -> ());
+  print_string o.Divergence.o_text;
+  if o.Divergence.o_findings <> [] then exit 1
+
 let disasm_cmd file =
   let src = read_file file in
   let text, data = Minicc.Codegen.compile src in
@@ -370,6 +524,68 @@ let profile_t =
       const profile_cmd $ file_arg $ mech_arg $ jit_arg $ xstate_arg
       $ folded_out_arg $ period_arg)
 
+let audit_out_arg =
+  Arg.(
+    value
+    & opt string "prog.audit"
+    & info [ "o"; "out" ] ~docv:"PATH" ~doc:"Output path for the audit log.")
+
+let checkpoint_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:"Take a full state-hash checkpoint every N application syscalls.")
+
+let logfile_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"LOG.audit")
+
+let mechs_arg =
+  Arg.(
+    value
+    & opt string "raw,sud,zpoline,lazypoline,seccomp,ptrace"
+    & info [ "mechanisms" ] ~docv:"M1,M2,..."
+        ~doc:
+          "Comma-separated mechanisms to audit: raw, sud, zpoline, \
+           lazypoline, seccomp, ptrace.")
+
+let log_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log-dir" ] ~docv:"DIR"
+        ~doc:"Write each mechanism's serialized audit log into DIR.")
+
+let record_t =
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:
+         "Run a minicc program with the divergence auditor attached and \
+          write the deterministic audit log: every syscall (decoded, with \
+          result), signal delivery, sigreturn and scheduling point, plus \
+          incremental state-hash checkpoints and the final state hash")
+    Term.(
+      const record_cmd $ file_arg $ mech_arg $ jit_arg $ xstate_arg
+      $ audit_out_arg $ checkpoint_arg)
+
+let replay_t =
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-run the workload a recorded audit log came from and verify the \
+          streams and state hashes are bit-identical; exits 1 on the first \
+          divergent line")
+    Term.(const replay_cmd $ logfile_arg)
+
+let diff_t =
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Run the same program under each mechanism, diff the audit streams \
+          modulo mechanism-private events, and on mismatch bisect to the \
+          first divergent syscall and dump a side-by-side register/page \
+          delta; exits 1 on any divergence")
+    Term.(const diff_cmd $ file_arg $ mechs_arg $ jit_arg $ log_dir_arg)
+
 let disasm_t =
   Cmd.v (Cmd.info "disasm" ~doc:"Compile a minicc program and disassemble it")
     Term.(const disasm_cmd $ file_arg)
@@ -388,4 +604,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_t; trace_t; report_t; stat_t; profile_t; disasm_t; pin_t ]))
+          [
+            run_t; trace_t; report_t; stat_t; profile_t; record_t; replay_t;
+            diff_t; disasm_t; pin_t;
+          ]))

@@ -1,0 +1,15 @@
+/* The Section V-A exhaustiveness workload: a C application compiled
+   and run "tcc -run"-style by the minicc JIT driver (pass --jit).
+   The syscall(39) below is emitted into freshly-published JIT code
+   pages at runtime — the call zpoline's ahead-of-time rewrite pass
+   provably misses.  CI diffs the audit streams of this program across
+   all six interposition mechanisms as a gating step. */
+long main() {
+  char msg[32];
+  msg[0] = 'p'; msg[1] = 'i'; msg[2] = 'd'; msg[3] = ':'; msg[4] = ' ';
+  long pid = syscall(39);          /* the introduced getpid */
+  msg[5] = '0' + pid % 10;
+  msg[6] = 10;
+  syscall(1, 1, msg, 7);
+  return 0;
+}

@@ -104,55 +104,16 @@ let entry_to_string (nr, args) =
     Formats each syscall with the argument kinds of the real thing:
     path strings are read from the task's memory at interception time
     (an expressiveness demo in itself — seccomp-bpf could not produce
-    this trace). *)
+    this trace).  The decoder itself lives in {!Sim_kernel.Strace} and
+    is shared with the kernel-side [k.strace] callback, so both trace
+    paths format identically. *)
 
-type arg_kind = Aint | Afd | Apath | Abuf | Asig
+type arg_kind = Strace.arg_kind = Aint | Afd | Apath | Abuf | Asig
 
-let arg_spec nr : arg_kind list =
-  if nr = Defs.sys_read then [ Afd; Abuf; Aint ]
-  else if nr = Defs.sys_write then [ Afd; Abuf; Aint ]
-  else if nr = Defs.sys_open then [ Apath; Aint; Aint ]
-  else if nr = Defs.sys_openat then [ Afd; Apath; Aint; Aint ]
-  else if nr = Defs.sys_close then [ Afd ]
-  else if nr = Defs.sys_stat then [ Apath; Abuf ]
-  else if nr = Defs.sys_fstat then [ Afd; Abuf ]
-  else if nr = Defs.sys_mmap then [ Aint; Aint; Aint; Aint; Afd; Aint ]
-  else if nr = Defs.sys_mprotect || nr = Defs.sys_munmap then
-    [ Aint; Aint; Aint ]
-  else if nr = Defs.sys_rt_sigaction then [ Asig; Abuf; Abuf ]
-  else if nr = Defs.sys_kill then [ Aint; Asig ]
-  else if nr = Defs.sys_tgkill then [ Aint; Aint; Asig ]
-  else if nr = Defs.sys_mkdir || nr = Defs.sys_rmdir || nr = Defs.sys_unlink
-          || nr = Defs.sys_chdir then [ Apath ]
-  else if nr = Defs.sys_chmod then [ Apath; Aint ]
-  else if nr = Defs.sys_rename then [ Apath; Apath ]
-  else if nr = Defs.sys_execve then [ Apath; Abuf; Abuf ]
-  else if nr = Defs.sys_sendfile then [ Afd; Afd; Abuf; Aint ]
-  else if nr = Defs.sys_getpid || nr = Defs.sys_gettid
-          || nr = Defs.sys_getuid || nr = Defs.sys_fork
-          || nr = Defs.sys_vfork || nr = Defs.sys_rt_sigreturn then []
-  else if nr = Defs.sys_exit || nr = Defs.sys_exit_group then [ Aint ]
-  else if nr = Defs.sys_epoll_wait then [ Afd; Abuf; Aint; Aint ]
-  else if nr = Defs.sys_epoll_ctl then [ Afd; Aint; Afd; Abuf ]
-  else if nr = Defs.sys_accept || nr = Defs.sys_accept4 then
-    [ Afd; Abuf; Abuf ]
-  else [ Aint; Aint; Aint; Aint; Aint; Aint ]
+let arg_spec = Strace.arg_spec
 
 let format_call (c : ctx) : string =
-  let fmt kind v =
-    match kind with
-    | Aint -> Int64.to_string v
-    | Afd -> Int64.to_string v
-    | Asig -> Defs.signal_name (Int64.to_int v)
-    | Abuf -> Printf.sprintf "0x%Lx" v
-    | Apath -> (
-        match read_string c (Int64.to_int v) with
-        | s -> Printf.sprintf "%S" s
-        | exception _ -> Printf.sprintf "0x%Lx (bad)" v)
-  in
-  let spec = arg_spec c.nr in
-  let parts = List.mapi (fun idx kind -> fmt kind c.args.(idx)) spec in
-  Printf.sprintf "%s(%s)" (Defs.syscall_name c.nr) (String.concat ", " parts)
+  Strace.format_call ~read_str:(read_string c) c.nr c.args
 
 (** Like {!tracing} but records fully decoded call strings. *)
 let strace () : t * string list ref =

@@ -267,6 +267,26 @@ let emulate_sigaction (st : t) (k : kernel) (t : task) =
     end
   in
   Cpu.poke_reg c Isa.rax result;
+  (* The app's rt_sigaction never reaches the dispatcher (we emulated
+     it), but it *is* part of the application's observable syscall
+     history — synthesize the audit record the dispatcher would have
+     produced, so a lazypoline stream still matches a raw run. *)
+  (match k.auditor with
+  | Some a ->
+      let module A = Sim_audit.Audit in
+      let args = Array.map (fun r -> Cpu.peek_reg c r) Hook.arg_regs in
+      let path =
+        match t.trace_path with
+        | Some p -> p
+        | None -> Sim_trace.Event.Fast_path
+      in
+      A.record_syscall a ~tid:t.tid ~scope:A.App ~nr:Defs.sys_rt_sigaction
+        ~args ~ret:(Some result) ~path c;
+      if A.checkpoint_due a then A.take_checkpoint a ~tid:t.tid c t.mem
+  | None -> ());
+  (* The suppressed syscall never dispatches: a dispatch-path tag
+     staged for it (SUD slow path) must not leak onto the next one. *)
+  t.trace_path <- None;
   (* Suppress the stub's syscall instruction. *)
   c.rip <- c.rip + 2
 

@@ -1,0 +1,339 @@
+(** Cross-mechanism divergence auditing.
+
+    Runs one workload under each interposition mechanism with a
+    {!Sim_audit.Audit} recorder attached, diffs the per-task
+    application streams against an uninterposed (raw) run modulo
+    mechanism-private events, and on mismatch bisects to the first
+    divergent syscall, replays both runs up to it, and dumps a
+    side-by-side register / memory-page delta.
+
+    This is the executable form of the paper's "interposition without
+    compromise" claim: for a correct interposer the diff is empty —
+    every syscall number, argument, result, callee-saved register and
+    the xstate are identical to the raw run, under every mechanism. *)
+
+open Sim_isa
+open Sim_kernel
+module A = Sim_audit.Audit
+module Hook = Lazypoline.Hook
+
+(* ------------------------------------------------------------------ *)
+(* Mechanisms                                                          *)
+
+type mech = Raw | Sud | Zpoline | Lazypoline_m | Seccomp | Ptrace
+
+let all_mechs = [ Raw; Sud; Zpoline; Lazypoline_m; Seccomp; Ptrace ]
+
+let mech_name = function
+  | Raw -> "raw"
+  | Sud -> "sud"
+  | Zpoline -> "zpoline"
+  | Lazypoline_m -> "lazypoline"
+  | Seccomp -> "seccomp"
+  | Ptrace -> "ptrace"
+
+let mech_of_string s =
+  match String.lowercase_ascii s with
+  | "raw" | "none" -> Some Raw
+  | "sud" -> Some Sud
+  | "zpoline" -> Some Zpoline
+  | "lazypoline" -> Some Lazypoline_m
+  | "seccomp" | "seccomp-user" -> Some Seccomp
+  | "ptrace" -> Some Ptrace
+  | _ -> None
+
+let install mech k t (hook : Hook.t) =
+  match mech with
+  | Raw -> ()
+  | Sud -> ignore (Baselines.Sud_interposer.install k t hook)
+  | Zpoline -> ignore (Baselines.Zpoline.install k t hook)
+  | Lazypoline_m -> ignore (Lazypoline.install k t hook)
+  | Seccomp -> ignore (Baselines.Seccomp_user.install k t hook)
+  | Ptrace -> ignore (Baselines.Ptrace_interposer.install k t hook)
+
+(* ------------------------------------------------------------------ *)
+(* Workloads                                                           *)
+
+type workload =
+  | Micro of { iters : int; nr : int }  (** the Table II loop *)
+  | Prog of { src : string; jit : bool }  (** a minicc program *)
+  | Forkexec  (** fork + execve + wait4 across two tasks *)
+
+let workload_name = function
+  | Micro { iters; nr } -> Printf.sprintf "microbench(iters=%d,nr=%d)" iters nr
+  | Prog { jit; _ } -> if jit then "minicc-jit" else "minicc"
+  | Forkexec -> "fork-execve"
+
+let forkexec_child_path = "/bin/child"
+
+let forkexec_child_image () =
+  let items =
+    Sim_asm.Asm.
+      [
+        Label "cstart";
+        Lea_ip (Isa.rsi, "msg");
+        mov_ri Isa.rdi 1;
+        mov_ri Isa.rdx 6;
+        mov_ri Isa.rax Defs.sys_write;
+        syscall;
+        mov_ri Isa.rdi 0;
+        mov_ri Isa.rax Defs.sys_exit_group;
+        syscall;
+        Label "msg";
+        Bytes "child\n";
+      ]
+  in
+  let blob = Sim_asm.Asm.assemble ~base:Loader.code_base items in
+  Loader.image ~entry:(Sim_asm.Asm.symbol blob "cstart") ~text:blob ()
+
+let forkexec_items () =
+  Sim_asm.Asm.
+    [
+      Label "start";
+      mov_ri Isa.rax Defs.sys_fork;
+      syscall;
+      cmp_ri Isa.rax 0;
+      Jcc_l (Isa.Ne, "parent");
+      (* child: execve a registered program *)
+      Lea_ip (Isa.rdi, "path");
+      mov_ri Isa.rsi 0;
+      mov_ri Isa.rdx 0;
+      mov_ri Isa.rax Defs.sys_execve;
+      syscall;
+      (* unreachable unless execve failed *)
+      mov_ri Isa.rdi 1;
+      mov_ri Isa.rax Defs.sys_exit_group;
+      syscall;
+      Label "parent";
+      mov_rr Isa.rdi Isa.rax;
+      mov_ri Isa.rsi 0;
+      mov_ri Isa.rdx 0;
+      mov_ri Isa.r10 0;
+      mov_ri Isa.rax Defs.sys_wait4;
+      syscall;
+      mov_ri Isa.rdi 0;
+      mov_ri Isa.rax Defs.sys_exit_group;
+      syscall;
+      Label "path";
+      Bytes (forkexec_child_path ^ "\000");
+    ]
+
+let workload_image k = function
+  | Micro { iters; nr } ->
+      let blob =
+        Sim_asm.Asm.assemble ~base:Loader.code_base
+          (Workloads.Microbench_prog.bench_items ~iters ~nr)
+      in
+      Loader.image ~entry:(Sim_asm.Asm.symbol blob "start") ~text:blob ()
+  | Prog { src; jit } ->
+      if jit then Minicc.Jit.driver_image src
+      else Minicc.Codegen.compile_to_image src
+  | Forkexec ->
+      Hashtbl.replace k.Types.programs forkexec_child_path
+        (forkexec_child_image ());
+      let blob =
+        Sim_asm.Asm.assemble ~base:Loader.code_base (forkexec_items ())
+      in
+      Loader.image ~entry:(Sim_asm.Asm.symbol blob "start") ~text:blob ()
+
+(* ------------------------------------------------------------------ *)
+(* Audited runs                                                        *)
+
+(** A seeded fault for the bisection test: at interception number
+    [at] (1-based, counted at the hook), clobber register [reg] with
+    [value] — modelling an interposer that fails to preserve
+    callee-saved state on one syscall. *)
+type perturb = { at : int; reg : int; value : int64 }
+
+(** Run [workload] under [mech] with an auditor attached.  Returns
+    the audit, the kernel and the initial task.  [stop_after] halts
+    the machine after that many application syscalls (replay-to-point
+    for delta dumps). *)
+let run_audited ?(checkpoint_every = 64) ?stop_after ?perturb mech workload :
+    A.t * Types.kernel * Types.task =
+  let a = A.create ~checkpoint_every ?stop_after () in
+  let k = Kernel.create () in
+  Kernel.attach_audit k a;
+  (* The same fixture files simtrace mounts, so `simtrace diff` on a
+     user program sees the run `simtrace run` would. *)
+  ignore (Vfs.add_file k.Types.vfs "/etc/hosts" "127.0.0.1 localhost\n");
+  ignore (Vfs.add_file k.Types.vfs "/tmp/file_a" (String.make 256 'a'));
+  let img = workload_image k workload in
+  let t = Kernel.spawn k img in
+  let hook = Hook.dummy () in
+  (match perturb with
+  | Some p ->
+      let count = ref 0 in
+      let inner = hook.Hook.on_syscall in
+      hook.Hook.on_syscall <-
+        (fun c ->
+          incr count;
+          if !count = p.at then Hook.set_reg c p.reg p.value;
+          inner c)
+  | None -> ());
+  install mech k t hook;
+  ignore (Kernel.run_until_exit ~max_slices:40_000_000 k);
+  (a, k, t)
+
+(** Serialize an audit with the kernel's syscall/errno names. *)
+let log_string ?final_hash a =
+  A.to_string ?final_hash ~syscall_name:Defs.syscall_name
+    ~errno_name:Defs.errno_name a
+
+(* ------------------------------------------------------------------ *)
+(* Delta dump at the divergence point                                  *)
+
+let dump_regs buf name_l name_r (cl : Sim_cpu.Cpu.t) (cr : Sim_cpu.Cpu.t) =
+  Printf.bprintf buf "  %-5s %-18s %-18s\n" "reg" name_l name_r;
+  for r = 0 to 15 do
+    let vl = Sim_cpu.Cpu.peek_reg cl r and vr = Sim_cpu.Cpu.peek_reg cr r in
+    Printf.bprintf buf "  %-5s 0x%-16Lx 0x%-16Lx%s\n" (Isa.gpr_name r) vl vr
+      (if vl <> vr then "   <-- differs" else "")
+  done;
+  Printf.bprintf buf "  %-5s 0x%-16x 0x%-16x%s\n" "rip" cl.Sim_cpu.Cpu.rip
+    cr.Sim_cpu.Cpu.rip
+    (if cl.Sim_cpu.Cpu.rip <> cr.Sim_cpu.Cpu.rip then "   <-- differs" else "")
+
+let dump_page_delta buf (ml : Sim_mem.Mem.t) (mr : Sim_mem.Mem.t) =
+  let pages m = Sim_mem.Mem.mapped_pages m in
+  let pl = pages ml and pr = pages mr in
+  let both = List.filter (fun pn -> List.mem pn pr) pl in
+  let only_l = List.filter (fun pn -> not (List.mem pn pr)) pl in
+  let only_r = List.filter (fun pn -> not (List.mem pn pl)) pr in
+  let differing =
+    List.filter (fun pn -> A.page_hash ml pn <> A.page_hash mr pn) both
+  in
+  let show label pns =
+    if pns <> [] then begin
+      let shown = List.filteri (fun i _ -> i < 16) pns in
+      Printf.bprintf buf "  %s: %d page(s):%s%s\n" label (List.length pns)
+        (String.concat ""
+           (List.map
+              (fun pn ->
+                Printf.sprintf " 0x%x" (pn * Sim_mem.Mem.page_size))
+              shown))
+        (if List.length pns > 16 then " ..." else "")
+    end
+  in
+  show "pages with differing content" differing;
+  show "pages mapped only in left" only_l;
+  show "pages mapped only in right" only_r;
+  if differing = [] && only_l = [] && only_r = [] then
+    Printf.bprintf buf "  memory: identical page sets and contents\n"
+
+(** Replay both runs up to the divergent syscall and render the
+    side-by-side state delta. *)
+let delta_dump ?perturb_for ~base_mech ~mech workload (d : A.divergence) :
+    string =
+  let buf = Buffer.create 1024 in
+  let perturb_of m =
+    match perturb_for with
+    | Some (pm, p) when pm = m -> Some p
+    | _ -> None
+  in
+  match (d.A.d_left, d.A.d_right) with
+  | Some l, Some r when l.A.app_seq > 0 && r.A.app_seq > 0 ->
+      let _, kl, _ =
+        run_audited ?perturb:(perturb_of base_mech) ~stop_after:l.A.app_seq
+          base_mech workload
+      in
+      let _, kr, _ =
+        run_audited ?perturb:(perturb_of mech) ~stop_after:r.A.app_seq mech
+          workload
+      in
+      (match
+         ( Hashtbl.find_opt kl.Types.tasks d.A.d_tid,
+           Hashtbl.find_opt kr.Types.tasks d.A.d_tid )
+       with
+      | Some tl, Some tr ->
+          Printf.bprintf buf
+            "state at first divergent syscall (tid %d, app syscall #%d):\n"
+            d.A.d_tid l.A.app_seq;
+          dump_regs buf (mech_name base_mech) (mech_name mech) tl.Types.ctx
+            tr.Types.ctx;
+          dump_page_delta buf tl.Types.mem tr.Types.mem
+      | _ ->
+          Printf.bprintf buf
+            "  (tid %d no longer live at the divergence point)\n" d.A.d_tid);
+      Buffer.contents buf
+  | _ ->
+      Printf.bprintf buf
+        "  (stream ended or diverged on a non-syscall event; no replay \
+         point)\n";
+      Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* The diff driver                                                     *)
+
+type finding = { f_mech : mech; f_div : A.divergence; f_delta : string }
+
+type outcome = {
+  o_base : mech;
+  o_workload : workload;
+  o_runs : (mech * A.t * int64) list;  (** mech, audit, final state hash *)
+  o_findings : finding list;  (** empty = zero divergences *)
+  o_text : string;  (** human-readable report *)
+}
+
+(** Run [workload] under every mechanism in [mechs], diff each
+    against [against] (default raw), bisect mismatches and attach
+    delta dumps.  [perturb_for] seeds a fault into one mechanism —
+    the bisection self-test. *)
+let diff ?(against = Raw) ?perturb_for ?(mechs = all_mechs) workload : outcome
+    =
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf "divergence audit: %s, base %s\n"
+    (workload_name workload) (mech_name against);
+  let perturb_of m =
+    match perturb_for with
+    | Some (pm, p) when pm = m -> Some p
+    | _ -> None
+  in
+  let run m =
+    let a, k, _ = run_audited ?perturb:(perturb_of m) m workload in
+    (m, a, Kernel.audit_final_hash k a)
+  in
+  let base = run against in
+  let others = List.filter (fun m -> m <> against) mechs in
+  let runs = base :: List.map run others in
+  let _, base_audit, _ = base in
+  let findings = ref [] in
+  List.iter
+    (fun (m, a, final) ->
+      if m <> against then begin
+        match A.first_divergence base_audit a with
+        | None ->
+            Printf.bprintf buf
+              "  %-12s OK: %d app syscalls identical (final state hash \
+               %Lx)\n"
+              (mech_name m) (A.app_count a) final
+        | Some d ->
+            let delta =
+              delta_dump ?perturb_for ~base_mech:against ~mech:m workload d
+            in
+            Printf.bprintf buf
+              "  %-12s DIVERGED at tid %d, app event %d: %s\n" (mech_name m)
+              d.A.d_tid (d.A.d_index + 1) d.A.d_reason;
+            (match (d.A.d_left, d.A.d_right) with
+            | Some l, Some r ->
+                Printf.bprintf buf "    %-12s %s\n    %-12s %s\n"
+                  (mech_name against)
+                  (A.describe_ev ~syscall_name:Defs.syscall_name l.A.ev)
+                  (mech_name m)
+                  (A.describe_ev ~syscall_name:Defs.syscall_name r.A.ev)
+            | _ -> ());
+            Buffer.add_string buf delta;
+            findings := { f_mech = m; f_div = d; f_delta = delta } :: !findings
+      end)
+    runs;
+  let findings = List.rev !findings in
+  if findings = [] then
+    Printf.bprintf buf "zero divergences across %d mechanism(s)\n"
+      (List.length others);
+  {
+    o_base = against;
+    o_workload = workload;
+    o_runs = runs;
+    o_findings = findings;
+    o_text = Buffer.contents buf;
+  }

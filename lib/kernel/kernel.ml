@@ -45,6 +45,7 @@ let create ?(ncpus = 1) ?(cost = Sim_costs.Cost_model.default)
       halted = false;
       cur_task = None;
       icache_on = icache;
+      auditor = None;
     }
   in
   (* /proc exists on every kernel (guests may read it whether or not
@@ -83,6 +84,24 @@ let enable_metrics (k : kernel) : Kmetrics.t =
   let m = match k.metrics with Some m -> m | None -> Kmetrics.create () in
   attach_metrics k m;
   m
+
+(** Attach a divergence auditor.  Observation-only: recording never
+    charges cycles, so an audited run is cycle- and state-identical to
+    an unaudited one (asserted by a qcheck property in test_audit). *)
+let attach_audit (k : kernel) (a : Sim_audit.Audit.t) = k.auditor <- Some a
+
+(** Combined final-state hash over every live task, in tid order —
+    the [F] line of a serialized audit log.  Uses the auditor's
+    incremental per-page hash cache. *)
+let audit_final_hash (k : kernel) (a : Sim_audit.Audit.t) =
+  let module A = Sim_audit.Audit in
+  Hashtbl.fold (fun tid _ acc -> tid :: acc) k.tasks []
+  |> List.sort compare
+  |> List.fold_left
+       (fun h tid ->
+         let t = Hashtbl.find k.tasks tid in
+         A.mix h (A.full_state_hash a ~tid:t.tid t.ctx t.mem))
+       A.seed
 
 (** {1 Hypercalls} *)
 
@@ -376,6 +395,11 @@ let do_execve (k : kernel) (t : task) path =
          a fresh [Mem.t] restarts its generation counter, so stale
          entries could otherwise alias the new image's pages. *)
       Icache.clear t.icache;
+      (* Same aliasing hazard for the auditor's per-page hash cache:
+         the fresh address space restarts the generation counter. *)
+      (match k.auditor with
+      | Some a -> Sim_audit.Audit.forget_task a t.tid
+      | None -> ());
       t.ctx.rip <- img.img_entry;
       for r = 0 to 15 do
         Cpu.poke_reg t.ctx r 0L
@@ -1095,6 +1119,23 @@ let ptrace_stop_cost (k : kernel) (m : monitor) =
 
 (** Full syscall entry path for a trap raised by a [syscall]
     instruction ([t.ctx.rip] already points past it). *)
+let arg_regs = [| Isa.rdi; Isa.rsi; Isa.rdx; Isa.r10; Isa.r8; Isa.r9 |]
+
+(* Record one application-scope syscall on the auditor, take a
+   state-hash checkpoint when one is due, and honor a replay-to-point
+   stop request.  [args] were captured at dispatch; everything else is
+   read from the task's context *after* the result write, so the
+   callee-saved registers and xstate reflect what the application
+   observes on return. *)
+let audit_syscall (k : kernel) (t : task) ~nr ~args ~ret ~path =
+  match k.auditor with
+  | None -> ()
+  | Some a ->
+      let module A = Sim_audit.Audit in
+      A.record_syscall a ~tid:t.tid ~scope:A.App ~nr ~args ~ret ~path t.ctx;
+      if A.checkpoint_due a then A.take_checkpoint a ~tid:t.tid t.ctx t.mem;
+      if A.should_halt a then k.halted <- true
+
 let syscall_entry (k : kernel) (t : task) =
   let c = t.ctx in
   let nr = Int64.to_int (Cpu.peek_reg c Isa.rax) in
@@ -1145,6 +1186,13 @@ let syscall_entry (k : kernel) (t : task) =
     | None -> ());
     (* The tracer may have rewritten the syscall number. *)
     let nr = Int64.to_int (Cpu.peek_reg c Isa.rax) in
+    (* Audit: the argument registers as dispatched; result and
+       callee-saved state are captured on the way out. *)
+    let aud_args =
+      match k.auditor with
+      | Some _ -> Array.map (fun r -> Cpu.peek_reg c r) arg_regs
+      | None -> [||]
+    in
     (* 3. seccomp *)
     let verdict =
       if t.filters = [] then Defs.seccomp_ret_allow else seccomp_verdict k t nr
@@ -1179,6 +1227,8 @@ let syscall_entry (k : kernel) (t : task) =
           Kmetrics.count_syscall m ~nr ~path:Ev.Seccomp_path;
           Kmetrics.observe_latency m (Int64.to_int (Int64.sub (now k) ts0))
       | None -> ());
+      audit_syscall k t ~nr ~args:aud_args ~ret:(Some (i64 (-e)))
+        ~path:Ev.Seccomp_path;
       t.trace_path <- None
     end
     else begin
@@ -1235,6 +1285,18 @@ let syscall_entry (k : kernel) (t : task) =
           ptrace_stop_cost k m;
           m.on_exit (make_ptrace_view t)
       | _ -> ());
+      (* Audit after the exit stop so a ptrace monitor's result
+         rewrite (if any) is what gets recorded — the application
+         never sees anything earlier.  Blocked syscalls record only
+         on their final (Ret) retry; [rt_sigreturn] is recorded by
+         the signal layer as a frame-scoped event instead. *)
+      (match res with
+      | Ret v when not sigreturning ->
+          let ret =
+            if v = no_result then None else Some (Cpu.peek_reg c Isa.rax)
+          in
+          audit_syscall k t ~nr ~args:aud_args ~ret ~path
+      | _ -> ());
       if tracing then begin
         let ret, blocked =
           match res with
@@ -1257,8 +1319,6 @@ let syscall_entry (k : kernel) (t : task) =
     as if the interposer had executed its own [syscall] instruction
     from an allowlisted context.  Must not be used for syscalls that
     can block. *)
-let arg_regs = [| Isa.rdi; Isa.rsi; Isa.rdx; Isa.r10; Isa.r8; Isa.r9 |]
-
 let kernel_syscall (k : kernel) (t : task) nr (args : int64 array) : int64 =
   let ts0 = now k in
   enter_kernel k;
@@ -1292,6 +1352,19 @@ let kernel_syscall (k : kernel) (t : task) nr (args : int64 array) : int64 =
       | Some m ->
           Kmetrics.count_syscall m ~nr ~path:Ev.Direct;
           Kmetrics.observe_latency m (Int64.to_int (Int64.sub (now k) ts0))
+      | None -> ());
+      (* Mechanism-private by definition: this syscall exists only
+         because of how the interposer is implemented (gs-area mmap,
+         selector arch_prctl, rewrite mprotect pairs, ...). *)
+      (match k.auditor with
+      | Some a ->
+          let args6 =
+            Array.init 6 (fun i ->
+                if i < Array.length args then args.(i) else 0L)
+          in
+          Sim_audit.Audit.record_syscall a ~tid:t.tid
+            ~scope:Sim_audit.Audit.Mech ~nr ~args:args6 ~ret:(Some v)
+            ~path:Ev.Direct c
       | None -> ());
       v
   | Block _ -> invalid_arg "kernel_syscall: syscall would block"
@@ -1400,6 +1473,9 @@ let run_task (k : kernel) (t : task) =
   k.cur_task <- Some t;
   if switched then begin
     trace_emit k (Ev.Context_switch { prev_tid; next_tid = t.tid });
+    (match k.auditor with
+    | Some a -> Sim_audit.Audit.record_sched a ~tid:t.tid ~prev:prev_tid
+    | None -> ());
     match k.metrics with
     | Some m -> incr m.Kmetrics.ctx_switches
     | None -> ()

@@ -109,6 +109,20 @@ let push_frame (k : kernel) (t : task) (sig_ : int) (info : sig_info) =
   (match k.metrics with
   | Some m -> incr m.Kmetrics.signal_deliveries
   | None -> ());
+  (* Audit classification: a SIGSYS raised by SUD or a seccomp TRAP
+     filter is interposition plumbing (mechanism-private); any other
+     delivery is part of the application's observable history.  The
+     frame scope is remembered so the matching sigreturn inherits
+     it. *)
+  (match k.auditor with
+  | Some a ->
+      let mech =
+        sig_ = Defs.sigsys
+        && (info.si_code = Defs.sys_seccomp_code
+           || info.si_code = Defs.sys_user_dispatch_code)
+      in
+      Sim_audit.Audit.record_signal a ~tid:t.tid ~signo:sig_ ~mech
+  | None -> ());
   t.sig_depth <- t.sig_depth + 1;
   let sp = Int64.to_int (Cpu.peek_reg c Isa.rsp) in
   let f = (sp - redzone - frame_size) land lnot 15 in
@@ -216,6 +230,9 @@ let sigreturn (k : kernel) (t : task) : unit =
   trace_emit k Sim_trace.Event.Sigreturn;
   (match k.metrics with
   | Some m -> incr m.Kmetrics.sigreturns
+  | None -> ());
+  (match k.auditor with
+  | Some a -> Sim_audit.Audit.record_sigreturn a ~tid:t.tid
   | None -> ());
   t.sig_depth <- max 0 (t.sig_depth - 1);
   let c = t.ctx in

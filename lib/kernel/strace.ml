@@ -1,0 +1,97 @@
+(** The one strace decoder.
+
+    Both decoded-trace paths — the interposer-side {!Hook.strace}
+    hook (lib/core) and the kernel-side [k.strace] callback on
+    {!Types.kernel} — used to duplicate the formatting; they now both
+    route through this module.  The decoder knows the argument kinds
+    of common syscalls (paths are read from the task's memory at
+    interception time) and names errnos on failing returns.
+
+    Argument decoding is parameterized over [read_str] so the
+    interposer hook (which reads through its own accessors) and the
+    kernel callback (which reads the task memory directly) share the
+    format byte-for-byte. *)
+
+open Sim_isa
+
+type arg_kind = Aint | Afd | Apath | Abuf | Asig
+
+let arg_spec nr : arg_kind list =
+  if nr = Defs.sys_read then [ Afd; Abuf; Aint ]
+  else if nr = Defs.sys_write then [ Afd; Abuf; Aint ]
+  else if nr = Defs.sys_open then [ Apath; Aint; Aint ]
+  else if nr = Defs.sys_openat then [ Afd; Apath; Aint; Aint ]
+  else if nr = Defs.sys_close then [ Afd ]
+  else if nr = Defs.sys_stat then [ Apath; Abuf ]
+  else if nr = Defs.sys_fstat then [ Afd; Abuf ]
+  else if nr = Defs.sys_mmap then [ Aint; Aint; Aint; Aint; Afd; Aint ]
+  else if nr = Defs.sys_mprotect || nr = Defs.sys_munmap then
+    [ Aint; Aint; Aint ]
+  else if nr = Defs.sys_rt_sigaction then [ Asig; Abuf; Abuf ]
+  else if nr = Defs.sys_kill then [ Aint; Asig ]
+  else if nr = Defs.sys_tgkill then [ Aint; Aint; Asig ]
+  else if nr = Defs.sys_mkdir || nr = Defs.sys_rmdir || nr = Defs.sys_unlink
+          || nr = Defs.sys_chdir then [ Apath ]
+  else if nr = Defs.sys_chmod then [ Apath; Aint ]
+  else if nr = Defs.sys_rename then [ Apath; Apath ]
+  else if nr = Defs.sys_execve then [ Apath; Abuf; Abuf ]
+  else if nr = Defs.sys_sendfile then [ Afd; Afd; Abuf; Aint ]
+  else if nr = Defs.sys_getpid || nr = Defs.sys_gettid
+          || nr = Defs.sys_getuid || nr = Defs.sys_fork
+          || nr = Defs.sys_vfork || nr = Defs.sys_rt_sigreturn then []
+  else if nr = Defs.sys_exit || nr = Defs.sys_exit_group then [ Aint ]
+  else if nr = Defs.sys_epoll_wait then [ Afd; Abuf; Aint; Aint ]
+  else if nr = Defs.sys_epoll_ctl then [ Afd; Aint; Afd; Abuf ]
+  else if nr = Defs.sys_accept || nr = Defs.sys_accept4 then
+    [ Afd; Abuf; Abuf ]
+  else [ Aint; Aint; Aint; Aint; Aint; Aint ]
+
+(** [read_str addr] returns the NUL-terminated string at [addr], or
+    raises on fault — the formatter falls back to printing the raw
+    pointer. *)
+let format_call ~(read_str : int -> string) nr (args : int64 array) : string =
+  let fmt kind v =
+    match kind with
+    | Aint -> Int64.to_string v
+    | Afd -> Int64.to_string v
+    | Asig -> Defs.signal_name (Int64.to_int v)
+    | Abuf -> Printf.sprintf "0x%Lx" v
+    | Apath -> (
+        match read_str (Int64.to_int v) with
+        | s -> Printf.sprintf "%S" s
+        | exception _ -> Printf.sprintf "0x%Lx (bad)" v)
+  in
+  let spec = arg_spec nr in
+  let parts = List.mapi (fun idx kind -> fmt kind args.(idx)) spec in
+  Printf.sprintf "%s(%s)" (Defs.syscall_name nr) (String.concat ", " parts)
+
+(** Format a syscall result: errnos by name, restarts marked, control
+    transfers (execve, exit, rt_sigreturn — no result write) as [?]. *)
+let format_ret (v : int64) : string =
+  if v = Int64.min_int then " = ?"
+  else if v = -512L then " = ? ERESTARTSYS (restarted)"
+  else if v < 0L && v >= -4095L then
+    Printf.sprintf " = %Ld %s" v (Defs.errno_name (Int64.to_int (Int64.neg v)))
+  else Printf.sprintf " = %Ld" v
+
+(* The dispatcher preserves the six argument registers across a
+   syscall (only rax/rcx/r11 are clobbered by the sysret ABI), so the
+   exit-time callback can still decode the arguments from the live
+   context. *)
+let arg_regs = [| Isa.rdi; Isa.rsi; Isa.rdx; Isa.r10; Isa.r8; Isa.r9 |]
+
+(** Install a kernel-side decoded-strace callback on [k.strace]
+    (chainable: Pin and tests wrap it).  Returns the log, newest
+    first; each line is ["call(args) = ret ERRNO"]. *)
+let attach (k : Types.kernel) : string list ref =
+  let log = ref [] in
+  let prev = k.Types.strace in
+  k.Types.strace <-
+    Some
+      (fun t nr ret ->
+        (match prev with Some f -> f t nr ret | None -> ());
+        let c = t.Types.ctx in
+        let args = Array.map (fun r -> Sim_cpu.Cpu.peek_reg c r) arg_regs in
+        let read_str addr = Sim_mem.Mem.read_cstring t.Types.mem addr in
+        log := (format_call ~read_str nr args ^ format_ret ret) :: !log);
+  log

@@ -201,6 +201,9 @@ type kernel = {
           0 before every guest instruction step *)
   mutable halted : bool;
   mutable cur_task : task option;  (** task being executed right now *)
+  mutable auditor : Sim_audit.Audit.t option;
+      (** divergence auditor recording the observable event stream and
+          state-hash checkpoints; observation-only like [tracer] *)
 }
 
 let charge (k : kernel) n =
@@ -216,10 +219,12 @@ let charge (k : kernel) n =
             ~in_kernel:(k.in_kernel > 0) ~sig_depth:t.sig_depth)
   | None -> ()
 
-(** Is any observer (tracer or metrics) attached?  Dispatch-path
-    staging sites guard on this: the tag exists purely for
-    attribution, so it is only maintained when someone is looking. *)
-let observing (k : kernel) = k.tracer <> None || k.metrics <> None
+(** Is any observer (tracer, metrics or auditor) attached?
+    Dispatch-path staging sites guard on this: the tag exists purely
+    for attribution, so it is only maintained when someone is
+    looking. *)
+let observing (k : kernel) =
+  k.tracer <> None || k.metrics <> None || k.auditor <> None
 
 let enter_kernel (k : kernel) = k.in_kernel <- k.in_kernel + 1
 let leave_kernel (k : kernel) = k.in_kernel <- max 0 (k.in_kernel - 1)

@@ -233,7 +233,13 @@ let check_page p addr access need =
 (* Stores only invalidate decoded code when the target page is
    executable; writes to plain data pages stay epoch-silent so the
    common case costs one branch. *)
-let store_bump t p = if p.pperm land p_x <> 0 then bump_page t p
+(* Every store versions its page: executable pages additionally count
+   as a code mutation (icache revalidation), data pages only advance
+   their generation so content observers (e.g. the audit layer's
+   per-page hash cache) can skip unchanged pages without perturbing
+   the code-mutation epoch. *)
+let store_bump t p =
+  if p.pperm land p_x <> 0 then bump_page t p else p.gen <- fresh_gen t
 
 (* Byte accessors with permission checks. *)
 
@@ -406,6 +412,18 @@ let exec_page_data t pn =
   match Hashtbl.find_opt t.pages pn with
   | Some p when p.pperm land p_x <> 0 -> Some p.data
   | _ -> None
+
+(** Backing bytes of any mapped page, regardless of permission — the
+    privileged view used by state hashing.  Same aliasing caveat as
+    {!exec_page_data}: a snapshot valid only until the page's
+    generation moves. *)
+let page_data t pn =
+  match Hashtbl.find_opt t.pages pn with Some p -> Some p.data | None -> None
+
+(** All mapped page numbers, sorted ascending — a deterministic
+    iteration order for whole-address-space hashing. *)
+let mapped_pages t =
+  Hashtbl.fold (fun pn _ acc -> pn :: acc) t.pages [] |> List.sort compare
 
 (** Mapped regions as (first_addr, length_bytes, perm) triples, sorted,
     with adjacent same-permission pages coalesced.  Used by static

@@ -111,6 +111,17 @@ val exec_page_data : t -> int -> Bytes.t option
     Aliases the live page — valid as a read-only snapshot only while
     {!code_mut_count} is unchanged. *)
 
+val page_data : t -> int -> Bytes.t option
+(** Backing bytes of any mapped page (privileged view, used by state
+    hashing).  Aliases the live page — a read-only snapshot valid only
+    until the page's generation moves. *)
+
+val mapped_pages : t -> int list
+(** All mapped page numbers, sorted ascending.  Every store bumps its
+    page's generation (executable pages additionally count as code
+    mutations), so [page_gen] doubles as a content version for
+    incremental whole-address-space hashing. *)
+
 (** {1 Introspection} *)
 
 val clone : t -> t

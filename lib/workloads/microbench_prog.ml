@@ -67,10 +67,14 @@ let bench_items ~iters ~nr =
 let run ?(iters = 20_000) ?(nr = 500) ?(icache = true)
     ?(tracer : Sim_trace.Tracer.t option)
     ?(metrics : Kmetrics.t option)
-    ?(profiler : Sim_metrics.Profiler.t option) (config : config) : float =
+    ?(profiler : Sim_metrics.Profiler.t option)
+    ?(auditor : Sim_audit.Audit.t option)
+    ?(on_done : Types.kernel -> Types.task -> unit = fun _ _ -> ())
+    (config : config) : float =
   let k = Kernel.create ~icache () in
   k.Types.tracer <- tracer;
   (match metrics with Some m -> Kernel.attach_metrics k m | None -> ());
+  (match auditor with Some a -> Kernel.attach_audit k a | None -> ());
   (match profiler with
   | Some p ->
       k.Types.profiler <- Some p;
@@ -126,6 +130,7 @@ let run ?(iters = 20_000) ?(nr = 500) ?(icache = true)
   | Ptrace -> ignore (Baselines.Ptrace_interposer.install k t hook));
   let ok = Kernel.run_until_exit ~max_slices:40_000_000 k in
   if not ok then failwith ("microbench did not terminate: " ^ config_name config);
+  on_done k t;
   Int64.to_float t.Types.tcycles /. float_of_int iters
 
 (** Overhead of [config] relative to native execution. *)

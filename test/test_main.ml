@@ -26,4 +26,5 @@ let () =
       ("metrics", Test_metrics.tests);
       ("procfs", Test_procfs.tests);
       ("profiler", Test_profiler.tests);
+      ("audit", Test_audit.tests);
     ]
