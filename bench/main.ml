@@ -22,6 +22,12 @@
                                                 lazypoline fast path got
                                                 >10% slower than the
                                                 previous snapshot)
+      dune exec bench/main.exe -- --chaos-off-check BENCH_4.json
+                                               (fail unless a run with a
+                                                zero-rate chaos engine
+                                                attached is cycle-identical
+                                                to the plain run and to the
+                                                committed snapshot)
 
     Besides the paper numbers (simulated cycles — independent of the
     host), every experiment reports host-side simulation throughput:
@@ -226,6 +232,53 @@ let emit_snapshot path mechs =
       Printf.printf
         "[host] snapshot: previous value %.2f unusable; baseline rewritten\n%!"
         p
+
+(* --- Chaos-off identity (--chaos-off-check) ------------------------ *)
+
+(* The chaos engine must be free when disabled: a microbenchmark run
+   with a zero-rate engine attached has to land on bit-identical
+   simulated cycles — equal to the plain run of this build *and* to
+   the lazypoline value in the committed snapshot (which predates the
+   engine).  Cycle counts are exact, so unlike the regression gate
+   above this is an equality check at the snapshot's printed
+   precision, not a budget. *)
+let check_chaos_off path mechs =
+  let plain =
+    match List.find_opt (fun m -> m.mr_name = "lazypoline") mechs with
+    | Some m -> m.mr_cycles
+    | None -> failwith "chaos-off check: no lazypoline mechanism row"
+  in
+  let ch =
+    Sim_chaos.Chaos.fuzz ~rates:Sim_chaos.Chaos.zero_rates ~seed:1L ()
+  in
+  let off =
+    Workloads.Microbench_prog.run ~iters:2_000 ~chaos:ch
+      Workloads.Microbench_prog.Lazypoline_full
+  in
+  let fired = Sim_chaos.Chaos.count ch in
+  let r2 x = Float.round (x *. 100.0) /. 100.0 in
+  let snap = scan_lazypoline_cycles path in
+  let ok_plain = off = plain && fired = 0 in
+  let ok_snap = match snap with None -> true | Some p -> r2 off = r2 p in
+  Printf.printf
+    "[host] chaos-off: lazypoline %.2f cycles/iter with zero-rate engine \
+     (plain %.2f, snapshot %s, %d injection(s))\n%!"
+    off plain
+    (match snap with Some p -> Printf.sprintf "%.2f" p | None -> "absent")
+    fired;
+  if ok_plain && ok_snap then
+    Printf.printf "[host] chaos-off identity OK: bit-identical cycles\n%!"
+  else begin
+    Printf.eprintf
+      "[host] FAIL: zero-rate chaos engine perturbed the run (%s)\n%!"
+      (if not ok_plain then
+         Printf.sprintf "off %.4f vs plain %.4f, %d injection(s)" off plain
+           fired
+       else
+         Printf.sprintf "off %.2f vs snapshot %s" (r2 off)
+           (match snap with Some p -> Printf.sprintf "%.2f" p | None -> "?"));
+    exit 1
+  end
 
 let experiments : (string * string * (unit -> unit)) list =
   [
@@ -435,6 +488,14 @@ let () =
     in
     find args
   in
+  let chaos_off_path =
+    let rec find = function
+      | "--chaos-off-check" :: p :: _ -> Some p
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
   let want name = only = [] || List.mem name only in
   List.iter
     (fun (name, _, f) ->
@@ -449,4 +510,5 @@ let () =
      shared with the regression snapshot. *)
   let mechs = mechanism_rows () in
   emit_json json_path mechs;
+  (match chaos_off_path with Some p -> check_chaos_off p mechs | None -> ());
   match snapshot_path with Some p -> emit_snapshot p mechs | None -> ()

@@ -408,6 +408,89 @@ let diff_cmd file mechs_str jit log_dir =
   print_string o.Divergence.o_text;
   if o.Divergence.o_findings <> [] then exit 1
 
+(** {1 chaos / chaos-replay: seeded adversarial execution} *)
+
+let chaos_cmd seeds mechs_str prog jit minimize clobber no_sigmicro repro_dir =
+  let module Chaos = Harness.Chaos in
+  let mechs =
+    String.split_on_char ',' mechs_str
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+    |> List.map (fun s ->
+           match Divergence.mech_of_string s with
+           | Some m -> m
+           | None ->
+               Printf.eprintf "unknown mechanism: %s\n" s;
+               exit 2)
+  in
+  let rates =
+    { Sim_chaos.Chaos.default_rates with Sim_chaos.Chaos.clobber_rate = clobber }
+  in
+  let wspecs =
+    [ Chaos.Wmicro { iters = 40; nr = Defs.sys_getpid } ]
+    @ (if no_sigmicro then [] else [ Chaos.Wsigmicro { iters = 8 } ])
+    @
+    match prog with
+    | Some path -> [ Chaos.Wprog { path; jit } ]
+    | None -> []
+  in
+  let r =
+    Chaos.sweep ~rates ~minimize_failures:minimize ~seeds ~mechs
+      ~read:read_file wspecs
+  in
+  print_string r.Chaos.rp_text;
+  if r.Chaos.rp_failures <> [] then begin
+    (match repro_dir with
+    | Some dir ->
+        (try Unix.mkdir dir 0o755
+         with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+        List.iteri
+          (fun i x ->
+            let path =
+              Filename.concat dir
+                (Printf.sprintf "chaos-%s-seed%Ld-%d.repro"
+                   (Divergence.mech_name x.Chaos.x_mech)
+                   x.Chaos.x_seed i)
+            in
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () ->
+                output_string oc
+                  (Chaos.repro_to_string (Chaos.repro_of_failure x)));
+            Printf.eprintf "wrote %s\n" path)
+          r.Chaos.rp_failures
+    | None -> ());
+    exit 1
+  end
+
+let chaos_replay_cmd file =
+  let module Chaos = Harness.Chaos in
+  match Chaos.repro_of_string (read_file file) with
+  | Error e ->
+      Printf.eprintf "%s: %s\n" file e;
+      exit 2
+  | Ok r -> (
+      Printf.printf "replaying %s under %s with %d forced injection(s):\n"
+        (Chaos.wspec_to_string r.Chaos.r_wspec)
+        (Divergence.mech_name r.Chaos.r_mech)
+        (List.length r.Chaos.r_injections);
+      List.iter
+        (fun j ->
+          Printf.printf "  %s\n" (Sim_chaos.Chaos.describe j))
+        r.Chaos.r_injections;
+      match Chaos.replay ~read:read_file r with
+      | Some d ->
+          Printf.printf
+            "reproduced: tid %d diverges at app event %d: %s\n" d.Audit.d_tid
+            (d.Audit.d_index + 1) d.Audit.d_reason
+      | None ->
+          Printf.printf
+            "did NOT reproduce: raw and %s agree under the forced set (stale \
+             reproducer?)\n"
+            (Divergence.mech_name r.Chaos.r_mech);
+          exit 1)
+
 let disasm_cmd file =
   let src = read_file file in
   let text, data = Minicc.Codegen.compile src in
@@ -586,6 +669,76 @@ let diff_t =
           delta; exits 1 on any divergence")
     Term.(const diff_cmd $ file_arg $ mechs_arg $ jit_arg $ log_dir_arg)
 
+let seeds_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "seeds" ] ~docv:"N"
+        ~doc:"Number of chaos seeds to sweep (seeds 1..N, deterministic).")
+
+let chaos_prog_arg =
+  Arg.(
+    value
+    & pos 0 (some file) None
+    & info [] ~docv:"PROG.c"
+        ~doc:
+          "Optional minicc program to include as a chaos workload (with \
+           --jit, through the JIT driver).")
+
+let minimize_arg =
+  Arg.(
+    value & flag
+    & info [ "minimize" ]
+        ~doc:
+          "On divergence, shrink the injection set to a minimal forced \
+           reproducer by greedy bisection.")
+
+let clobber_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "clobber" ] ~docv:"RATE"
+        ~doc:
+          "Per-65536 rate of callee-saved register clobbers at hook \
+           interceptions — a deliberate interposer bug the divergence gate \
+           must catch (self-test; 0 disables).")
+
+let no_sigmicro_arg =
+  Arg.(
+    value & flag
+    & info [ "no-sigmicro" ]
+        ~doc:"Skip the built-in signal-handler-rich sigmicro workload.")
+
+let repro_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "repro-dir" ] ~docv:"DIR"
+        ~doc:"Write a replayable .repro file per divergence into DIR.")
+
+let chaos_t =
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Seeded adversarial sweep: run workloads under each mechanism with \
+          deterministic fault injection (transient errnos, async signals at \
+          fuzzed boundaries, preemption biased into interposer hot windows) \
+          and fail on any application-stream divergence from an identically \
+          fuzzed raw run; exits 1 and dumps minimal reproducers on failure")
+    Term.(
+      const chaos_cmd $ seeds_arg $ mechs_arg $ chaos_prog_arg $ jit_arg
+      $ minimize_arg $ clobber_arg $ no_sigmicro_arg $ repro_dir_arg)
+
+let chaos_replay_t =
+  Cmd.v
+    (Cmd.info "chaos-replay"
+       ~doc:
+         "Replay a % simtrace-chaos/1 reproducer: force its injection set \
+          into a raw and an interposed run and report whether the recorded \
+          divergence reproduces; exits 1 if it does not")
+    Term.(
+      const chaos_replay_cmd
+      $ Arg.(
+          required & pos 0 (some file) None & info [] ~docv:"FILE.repro"))
+
 let disasm_t =
   Cmd.v (Cmd.info "disasm" ~doc:"Compile a minicc program and disassemble it")
     Term.(const disasm_cmd $ file_arg)
@@ -606,5 +759,5 @@ let () =
        (Cmd.group info
           [
             run_t; trace_t; report_t; stat_t; profile_t; record_t; replay_t;
-            diff_t; disasm_t; pin_t;
+            diff_t; chaos_t; chaos_replay_t; disasm_t; pin_t;
           ]))

@@ -94,7 +94,53 @@ let hyper_prep (st : t) (k : kernel) (t : task) =
   Cpu.poke_reg c Isa.rax (Mem.peek_u64 t.mem (uc + Ksignal.uc_gpr_off Isa.rax));
   Array.iter
     (fun r -> Cpu.poke_reg c r (Mem.peek_u64 t.mem (uc + Ksignal.uc_gpr_off r)))
-    Hook.arg_regs
+    Hook.arg_regs;
+  (if nr = Defs.sys_clone && not (Hashtbl.mem st.skip t.tid) then begin
+     (* A clone child with a fresh stack resumes inside this stub and
+        must eventually sigreturn — from a frame its new stack does
+        not have.  The classic SIGSYS-interposer move: replicate our
+        whole signal frame at the top of the child stack, patch the
+        copy's saved rsp to the stack the app actually asked for, and
+        hand the kernel the copy's base as the child stack pointer.
+        The child then runs the stub tail on the copy and sigreturns
+        into app code on the requested stack. *)
+     let new_top = to_i (Cpu.peek_reg c Isa.rsi) in
+     if new_top <> 0 then begin
+       let f = to_i (Cpu.peek_reg c Isa.rsp) in
+       let f' = (new_top - Ksignal.frame_size) land lnot 15 in
+       try
+         let frame = Mem.peek_bytes t.mem f Ksignal.frame_size in
+         Mem.poke_bytes t.mem f' frame;
+         Mem.poke_u64 t.mem
+           (f' + 40 + Ksignal.uc_gpr_off Isa.rsp)
+           (i64 new_top);
+         (* The copy's saved rip already points past the app's
+            syscall site; its saved rax is overwritten with the
+            child's 0 by FIN. *)
+         Cpu.poke_reg c Isa.rsi (i64 f')
+       with Mem.Fault _ -> ()
+     end
+   end);
+  if
+    nr = Defs.sys_rt_sigreturn
+    && not (Hashtbl.mem st.skip t.tid)
+  then begin
+    (* An application signal restorer's own rt_sigreturn trapped (its
+       [syscall] sits in app code, outside the exempt range).  The
+       kernel locates the frame from rsp, so replaying it from this
+       nested SIGSYS frame would restore garbage: move rsp back to
+       the interrupted position first.  The replayed sigreturn then
+       restores the full app context, abandoning our handler frame
+       (it never returns, so the stub's tail is never reached). *)
+    Cpu.poke_reg c Isa.rsp (Mem.peek_u64 t.mem (uc + Ksignal.uc_gpr_off Isa.rsp));
+    (* The stub's post-FIN selector-restore never executes on this
+       path; re-block by hand (the replay itself is exempt by code
+       range, as in the classic deployment). *)
+    if st.use_selector && t.sud.sud_on then
+      Mem.poke_bytes t.mem
+        (t.ctx.Cpu.gs_base + Layout.gs_selector)
+        (String.make 1 (Char.chr Defs.syscall_dispatch_filter_block))
+  end
 
 let rearm_new_task (st : t) (k : kernel) (t : task) =
   if st.use_selector && not t.sud.sud_on then begin
@@ -186,7 +232,10 @@ let setup (k : kernel) (t : task) (hook : Hook.t) ~use_selector : t =
     {
       sa_handler = i64 st.handler_addr;
       sa_mask = 0L;
-      sa_flags = 0L;
+      (* SA_NODEFER, as every SECCOMP_RET_TRAP interposer must: an app
+         restorer's rt_sigreturn can trap *inside* our handler window,
+         and a masked forced SIGSYS is fatal. *)
+      sa_flags = i64 Defs.sa_nodefer;
       sa_restorer = 0L;
     };
   st

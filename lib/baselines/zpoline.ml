@@ -35,9 +35,30 @@ type t = {
   hook : Hook.t;
   stats : stats;
   mutable entry_addr : int;
+  clone_rsi : (int, int64) Hashtbl.t;
+      (** caller's rsi across a clone (see [prep_clone]) *)
 }
 
 let to_i = Int64.to_int
+
+(** A clone with a fresh child stack resumes the child inside the
+    stub, whose [ret] pops a return address the new stack does not
+    have: replicate the caller's return address at the top of the
+    child stack and hand the kernel the adjusted pointer, exactly as
+    the lazypoline fast path does. *)
+let prep_clone (st : t) (t : task) =
+  let c = t.ctx in
+  let new_stack = to_i (Cpu.peek_reg c Isa.rsi) in
+  if new_stack <> 0 then begin
+    match Mem.peek_u64 t.mem (to_i (Cpu.peek_reg c Isa.rsp)) with
+    | ret_addr -> (
+        try
+          Mem.write_u64 t.mem (new_stack - 8) ret_addr;
+          Hashtbl.replace st.clone_rsi t.tid (Cpu.peek_reg c Isa.rsi);
+          Cpu.poke_reg c Isa.rsi (Int64.of_int (new_stack - 8))
+        with Mem.Fault _ -> ())
+    | exception Mem.Fault _ -> ()
+  end
 
 let hyper_enter (st : t) (k : kernel) (t : task) =
   charge k Layout.hook_save_cost;
@@ -72,10 +93,25 @@ let hyper_enter (st : t) (k : kernel) (t : task) =
       (* The stub's [syscall] below carries the real dispatch: tag it
          as a rewritten-site fast-path entry for the tracer. *)
       if observing k && t.trace_path = None then
-        t.trace_path <- Some Sim_trace.Event.Fast_path
+        t.trace_path <- Some Sim_trace.Event.Fast_path;
+      if nr = Defs.sys_rt_sigreturn then
+        (* A signal restorer's [syscall] was rewritten like any other
+           site, so the trampoline call pushed a return address the
+           kernel does not expect: rt_sigreturn locates the frame from
+           rsp and never returns, so drop it.  (Real zpoline must
+           special-case rt_sigreturn for exactly this reason.) *)
+        Cpu.poke_reg c Isa.rsp
+          (Int64.of_int (to_i (Cpu.peek_reg c Isa.rsp) + 8))
+      else if nr = Defs.sys_clone then prep_clone st t
 
-let hyper_exit (_st : t) (k : kernel) (_t : task) =
-  charge k Layout.hook_restore_cost
+let hyper_exit (st : t) (k : kernel) (t : task) =
+  charge k Layout.hook_restore_cost;
+  (* restore the caller's rsi after a clone (see prep_clone) *)
+  match Hashtbl.find_opt st.clone_rsi t.tid with
+  | Some rsi ->
+      Hashtbl.remove st.clone_rsi t.tid;
+      Cpu.poke_reg t.ctx Isa.rsi rsi
+  | None -> ()
 
 let stub_items ~enter ~exit_ =
   let open Sim_asm.Asm in
@@ -129,6 +165,7 @@ let install (k : kernel) (t : task) (hook : Hook.t) : t =
       hook;
       stats = { sites_rewritten = 0; hits = 0; bytes_scanned = 0 };
       entry_addr = 0;
+      clone_rsi = Hashtbl.create 4;
     }
   in
   let enter = Kernel.register_hypercall k (hyper_enter st) in

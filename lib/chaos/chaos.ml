@@ -1,0 +1,459 @@
+(** Deterministic chaos engine: seeded adversarial execution.
+
+    Three injectors, all driven by one splitmix64-style PRNG keyed on
+    [(seed, injector class, task, event index)] so that a run with a
+    given seed replays bit-identically, and so that the *same logical
+    injections* land in runs of the same workload under *different
+    interposition mechanisms*:
+
+    - {b errno injection} — eligible syscalls transiently fail with
+      EINTR / EAGAIN / ENOMEM instead of dispatching;
+    - {b async-signal fuzzing} — SIGALRM / SIGUSR1 posted either right
+      after a syscall completes (delivered at the very next
+      instruction boundary, which under an interposer is typically
+      deep inside its stub or signal trampoline), or at the moment a
+      syscall blocks (exercising the SA_RESTART vs -EINTR return
+      paths);
+    - {b preemption fuzzing} — forced end-of-timeslice at arbitrary
+      instruction boundaries, with a weighted bias toward interposer
+      hot windows (trampoline / stub address ranges and in-handler
+      execution).
+
+    A fourth, optional injector clobbers a callee-saved register at a
+    hook interception (the PR-4 seeded perturbation, now chaos-driven)
+    — a self-test that the divergence gate downstream actually fires.
+
+    Mechanism neutrality is what makes the audit oracle work: errno
+    and signal decisions are keyed on per-task counters of
+    *application* syscalls reaching the dispatcher, which are
+    identical across raw, SUD, zpoline, lazypoline, seccomp-user and
+    ptrace runs (interposer-private syscalls go through
+    [Kernel.kernel_syscall] and never touch the counters; the
+    sigaction family is excluded because lazypoline emulates it
+    without a dispatch).  Preemption is keyed on per-task instruction
+    counts and is deliberately mechanism-specific: adversarial
+    schedules are allowed to differ, the application-visible stream is
+    not.
+
+    This module sits below the kernel (which holds an optional handle
+    to it), so it cannot depend on [Sim_kernel.Defs]; the handful of
+    Linux ABI constants it needs (syscall numbers, signal numbers,
+    errnos) are x86-64 ABI facts restated here. *)
+
+(* Linux x86-64 ABI constants (mirrors Sim_kernel.Defs; this module
+   sits below the kernel and cannot depend on it). *)
+let nr_read = 0
+let nr_write = 1
+let nr_mmap = 9
+let nr_rt_sigaction = 13
+let nr_rt_sigprocmask = 14
+let nr_rt_sigreturn = 15
+let nr_nanosleep = 35
+let nr_accept = 43
+let nr_futex = 202
+let nr_epoll_wait = 232
+let eintr = 4
+let eagain = 11
+let enomem = 12
+let sigusr1 = 10
+let sigalrm = 14
+
+(* Callee-saved GPR indices (rbx, rbp, r12-r15). *)
+let callee_saved = [| 3; 5; 12; 13; 14; 15 |]
+
+(** {1 The PRNG} *)
+
+(** splitmix64 finalizer: a bijective avalanche over the keyed sum,
+    so nearby keys produce independent decisions. *)
+let sm64 (z : int64) : int64 =
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xbf58476d1ce4e5b9L
+  in
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94d049bb133111ebL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** Hash of [(seed, class, tid, index)] — every decision is a pure
+    function of these four values and nothing else. *)
+let key_hash (seed : int64) ~(cls : char) ~(tid : int) ~(index : int) : int64 =
+  sm64
+    (Int64.add seed
+       (Int64.add
+          (Int64.mul (Int64.of_int (Char.code cls)) 0x9e3779b97f4a7c15L)
+          (Int64.add
+             (Int64.mul (Int64.of_int tid) 0x2545f4914f6cdd1dL)
+             (Int64.of_int index))))
+
+(* A 16-bit slice of the hash, compared against per-65536 rates. *)
+let roll (h : int64) : int = Int64.to_int (Int64.logand h 0xFFFFL)
+
+(** {1 Injections} *)
+
+type klass =
+  | Errno  (** ['e'] syscall fails with [arg] instead of dispatching *)
+  | Sig  (** ['s'] signal [arg] posted after a syscall completes *)
+  | Blocksig  (** ['b'] signal [arg] posted as a syscall blocks *)
+  | Preempt  (** ['p'] timeslice ends at this instruction boundary *)
+  | Clobber  (** ['c'] callee-saved reg [arg] := [arg2] at a hook *)
+
+let klass_char = function
+  | Errno -> 'e'
+  | Sig -> 's'
+  | Blocksig -> 'b'
+  | Preempt -> 'p'
+  | Clobber -> 'c'
+
+let klass_of_char = function
+  | 'e' -> Some Errno
+  | 's' -> Some Sig
+  | 'b' -> Some Blocksig
+  | 'p' -> Some Preempt
+  | 'c' -> Some Clobber
+  | _ -> None
+
+type injection = {
+  j_klass : klass;
+  j_tid : int;  (** task injected into ([0] for Clobber: hook-global) *)
+  j_index : int;  (** class-specific per-task event index *)
+  j_arg : int;  (** errno / signal number / register index *)
+  j_arg2 : int64;  (** clobber value; [0L] otherwise *)
+}
+
+let injection_key (c : char) ~tid ~index = Printf.sprintf "%c %d %d" c tid index
+
+let key_of (j : injection) =
+  injection_key (klass_char j.j_klass) ~tid:j.j_tid ~index:j.j_index
+
+(** One serialized injection: [I <class> <tid> <index> <arg> <arg2hex>]
+    — the body lines of a [% simtrace-chaos/1] file. *)
+let injection_to_string (j : injection) =
+  Printf.sprintf "I %c %d %d %d %Lx" (klass_char j.j_klass) j.j_tid j.j_index
+    j.j_arg j.j_arg2
+
+let injection_of_string (s : string) : injection option =
+  match String.split_on_char ' ' (String.trim s) with
+  | [ "I"; c; tid; index; arg; arg2 ] when String.length c = 1 -> (
+      match klass_of_char c.[0] with
+      | Some k -> (
+          try
+            Some
+              {
+                j_klass = k;
+                j_tid = int_of_string tid;
+                j_index = int_of_string index;
+                j_arg = int_of_string arg;
+                j_arg2 = Int64.of_string ("0x" ^ arg2);
+              }
+          with _ -> None)
+      | None -> None)
+  | _ -> None
+
+(** {1 Configuration and state} *)
+
+type rates = {
+  errno_rate : int;  (** per 65536, per eligible syscall *)
+  sig_rate : int;  (** per 65536, per counted syscall completion *)
+  block_sig_rate : int;  (** per 65536, per blocking syscall *)
+  preempt_rate : int;  (** per 65536, per retired instruction *)
+  hot_boost : int;  (** preempt-rate multiplier inside hot windows *)
+  clobber_rate : int;  (** per 65536, per hook interception; 0 = off *)
+}
+
+let default_rates =
+  {
+    errno_rate = 512;
+    sig_rate = 384;
+    block_sig_rate = 8192;
+    preempt_rate = 24;
+    hot_boost = 16;
+    clobber_rate = 0;
+  }
+
+let zero_rates =
+  {
+    errno_rate = 0;
+    sig_rate = 0;
+    block_sig_rate = 0;
+    preempt_rate = 0;
+    hot_boost = 1;
+    clobber_rate = 0;
+  }
+
+type mode =
+  | Fuzz of int64  (** decisions come from the seeded PRNG *)
+  | Forced of (string, injection) Hashtbl.t
+      (** decisions come from an explicit injection set, looked up by
+          [(class, tid, index)] — replay and minimization mode *)
+
+type t = {
+  mode : mode;
+  rates : rates;
+  mutable hot_ranges : (int * int) list;
+      (** [lo, hi) guest VA ranges treated as interposer hot windows *)
+  counters : (char * int, int ref) Hashtbl.t;  (** (class, tid) -> next *)
+  fired : (string, unit) Hashtbl.t;
+      (** once-guards: a blocking syscall retried after an SA_RESTART
+          round must not be re-injected at the same index *)
+  mutable clobber_count : int;
+  mutable log_rev : injection list;
+  mutable injected : int;
+}
+
+let create ?(rates = default_rates) (mode : mode) : t =
+  {
+    mode;
+    rates;
+    hot_ranges = [];
+    counters = Hashtbl.create 16;
+    fired = Hashtbl.create 16;
+    clobber_count = 0;
+    log_rev = [];
+    injected = 0;
+  }
+
+let fuzz ?rates ~seed () = create ?rates (Fuzz seed)
+
+let forced (injections : injection list) : t =
+  let tbl = Hashtbl.create (List.length injections) in
+  List.iter (fun j -> Hashtbl.replace tbl (key_of j) j) injections;
+  create ~rates:zero_rates (Forced tbl)
+
+let add_hot_range (ch : t) ~lo ~hi =
+  ch.hot_ranges <- (lo, hi) :: ch.hot_ranges
+
+(** The injections performed, in execution order. *)
+let log (ch : t) : injection list = List.rev ch.log_rev
+let count (ch : t) : int = ch.injected
+
+let record (ch : t) (j : injection) =
+  ch.log_rev <- j :: ch.log_rev;
+  ch.injected <- ch.injected + 1
+
+let bump (ch : t) (cls : char) (tid : int) : int =
+  match Hashtbl.find_opt ch.counters (cls, tid) with
+  | Some r ->
+      let v = !r in
+      incr r;
+      v
+  | None ->
+      Hashtbl.replace ch.counters (cls, tid) (ref 1);
+      0
+
+let peek (ch : t) (cls : char) (tid : int) : int =
+  match Hashtbl.find_opt ch.counters (cls, tid) with Some r -> !r | None -> 0
+
+(** {1 Eligibility} *)
+
+(* Syscalls whose transient failure an application must tolerate.
+   The per-nr errno menu keeps the injected failure plausible:
+   blocking waits see EINTR, I/O additionally EAGAIN, mmap ENOMEM. *)
+let errno_menu nr =
+  if nr = nr_read || nr = nr_write || nr = nr_accept then
+    [| eintr; eagain |]
+  else if nr = nr_nanosleep || nr = nr_epoll_wait then [| eintr |]
+  else if nr = nr_futex then [| eintr; eagain |]
+  else if nr = nr_mmap then [| enomem |]
+  else [||]
+
+(* Counted for signal-injection keying: every application syscall
+   except the sigaction family, which lazypoline emulates without a
+   kernel dispatch (counting it would shift every later index under
+   raw but not under lazypoline, breaking cross-mechanism keying). *)
+let counted nr =
+  nr >= 0 && nr <> nr_rt_sigaction && nr <> nr_rt_sigprocmask
+  && nr <> nr_rt_sigreturn
+
+let pick arr (h : int64) =
+  arr.(Int64.to_int (Int64.logand (Int64.shift_right_logical h 16) 0x7FFFL)
+       mod Array.length arr)
+
+(** {1 Decision points}
+
+    Each is called from exactly one kernel site; all counter state
+    advances deterministically whether or not an injection fires, so a
+    zero-rate engine is behaviorally invisible. *)
+
+(** Pre-dispatch: should this (first-issue, non-retry) syscall fail
+    with an injected errno instead of executing?  Returns the negated
+    result's errno. *)
+let errno_injection (ch : t) ~tid ~nr : int option =
+  let menu = errno_menu nr in
+  if Array.length menu = 0 then None
+  else
+    let index = bump ch 'e' tid in
+    match ch.mode with
+    | Fuzz seed ->
+        let h = key_hash seed ~cls:'e' ~tid ~index in
+        if roll h < ch.rates.errno_rate then begin
+          let e = pick menu h in
+          record ch
+            { j_klass = Errno; j_tid = tid; j_index = index; j_arg = e;
+              j_arg2 = 0L };
+          Some e
+        end
+        else None
+    | Forced tbl -> (
+        match Hashtbl.find_opt tbl (injection_key 'e' ~tid ~index) with
+        | Some j ->
+            record ch j;
+            Some j.j_arg
+        | None -> None)
+
+let pick_signal (h : int64) =
+  if Int64.logand (Int64.shift_right_logical h 32) 1L = 0L then sigalrm
+  else sigusr1
+
+(** Post-dispatch: a counted syscall just completed for [tid]; should
+    an async signal be pending at the next instruction boundary?
+    [handler_ok s] must say whether the task has a user handler for
+    [s] — injection into handler-less tasks would just kill them,
+    which is legal but uselessly cuts the run short. *)
+let post_syscall_injection (ch : t) ~tid ~nr ~(handler_ok : int -> bool) :
+    int option =
+  if not (counted nr) then None
+  else
+    let index = bump ch 's' tid in
+    match ch.mode with
+    | Fuzz seed ->
+        let h = key_hash seed ~cls:'s' ~tid ~index in
+        if roll h < ch.rates.sig_rate then begin
+          let s = pick_signal h in
+          if handler_ok s then begin
+            record ch
+              { j_klass = Sig; j_tid = tid; j_index = index; j_arg = s;
+                j_arg2 = 0L };
+            Some s
+          end
+          else None
+        end
+        else None
+    | Forced tbl -> (
+        match Hashtbl.find_opt tbl (injection_key 's' ~tid ~index) with
+        | Some j when handler_ok j.j_arg ->
+            record ch j;
+            Some j.j_arg
+        | _ -> None)
+
+(** A syscall of [tid] is blocking right now; should a signal
+    interrupt the wait (driving the SA_RESTART / -EINTR paths)?
+    Keyed on the index of the *enclosing* counted syscall so the
+    decision lands at the same application event under every
+    mechanism; a once-guard keeps SA_RESTART retries of the same wait
+    from being re-injected forever. *)
+let block_signal_injection (ch : t) ~tid ~(handler_ok : int -> bool) :
+    int option =
+  let index = peek ch 's' tid in
+  let k = injection_key 'b' ~tid ~index in
+  if Hashtbl.mem ch.fired k then None
+  else
+    match ch.mode with
+    | Fuzz seed ->
+        let h = key_hash seed ~cls:'b' ~tid ~index in
+        if roll h < ch.rates.block_sig_rate then begin
+          let s = pick_signal h in
+          if handler_ok s then begin
+            Hashtbl.replace ch.fired k ();
+            record ch
+              { j_klass = Blocksig; j_tid = tid; j_index = index; j_arg = s;
+                j_arg2 = 0L };
+            Some s
+          end
+          else None
+        end
+        else None
+    | Forced tbl -> (
+        match Hashtbl.find_opt tbl k with
+        | Some j when handler_ok j.j_arg ->
+            Hashtbl.replace ch.fired k ();
+            record ch j;
+            Some j.j_arg
+        | _ -> None)
+
+(** Per retired instruction: end the task's timeslice here?  [rip] is
+    the next instruction's address; the rate is boosted inside hot
+    windows (registered interposer code ranges, or any live signal
+    frame).  Deliberately mechanism-specific — adversarial schedules
+    may differ across mechanisms, application-visible state may not. *)
+let preempt_injection (ch : t) ~tid ~rip ~sig_depth : bool =
+  let index = bump ch 'p' tid in
+  match ch.mode with
+  | Fuzz seed ->
+      let hot =
+        sig_depth > 0
+        || List.exists (fun (lo, hi) -> rip >= lo && rip < hi) ch.hot_ranges
+      in
+      let rate =
+        if hot then ch.rates.preempt_rate * ch.rates.hot_boost
+        else ch.rates.preempt_rate
+      in
+      let h = key_hash seed ~cls:'p' ~tid ~index in
+      if roll h < rate then begin
+        record ch
+          { j_klass = Preempt; j_tid = tid; j_index = index;
+            j_arg = (if hot then 1 else 0); j_arg2 = 0L };
+        true
+      end
+      else false
+  | Forced tbl -> (
+      match Hashtbl.find_opt tbl (injection_key 'p' ~tid ~index) with
+      | Some j ->
+          record ch j;
+          true
+      | None -> false)
+
+(** Per hook interception (driver-side, not a kernel site): clobber a
+    callee-saved register?  This is the PR-4 seeded register
+    perturbation as a chaos class — a deliberate interposer bug the
+    divergence gate must catch and the minimizer must isolate. *)
+let clobber_injection (ch : t) : (int * int64) option =
+  let index = ch.clobber_count in
+  ch.clobber_count <- index + 1;
+  match ch.mode with
+  | Fuzz seed ->
+      if ch.rates.clobber_rate = 0 then None
+      else
+        let h = key_hash seed ~cls:'c' ~tid:0 ~index in
+        if roll h < ch.rates.clobber_rate then begin
+          let reg = pick callee_saved h in
+          let v = sm64 (Int64.add h 1L) in
+          record ch
+            { j_klass = Clobber; j_tid = 0; j_index = index; j_arg = reg;
+              j_arg2 = v };
+          Some (reg, v)
+        end
+        else None
+  | Forced tbl -> (
+      match Hashtbl.find_opt tbl (injection_key 'c' ~tid:0 ~index) with
+      | Some j ->
+          record ch j;
+          Some (j.j_arg, j.j_arg2)
+      | None -> None)
+
+(** {1 Reporting} *)
+
+let describe (j : injection) =
+  match j.j_klass with
+  | Errno ->
+      Printf.sprintf "errno: tid %d eligible-syscall #%d fails with errno %d"
+        j.j_tid j.j_index j.j_arg
+  | Sig ->
+      Printf.sprintf "signal: tid %d gets signal %d after app syscall #%d"
+        j.j_tid j.j_arg j.j_index
+  | Blocksig ->
+      Printf.sprintf
+        "block-signal: tid %d gets signal %d while blocked at app syscall #%d"
+        j.j_tid j.j_arg j.j_index
+  | Preempt ->
+      Printf.sprintf "preempt: tid %d preempted at instruction #%d%s" j.j_tid
+        j.j_index
+        (if j.j_arg = 1 then " (hot window)" else "")
+  | Clobber ->
+      Printf.sprintf
+        "clobber: hook interception #%d clobbers callee-saved reg %d with \
+         0x%Lx"
+        j.j_index j.j_arg j.j_arg2

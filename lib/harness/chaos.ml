@@ -1,0 +1,343 @@
+(** Chaos sweeps gated by audit divergence.
+
+    The driver runs workload x mechanism x seed with a seeded
+    {!Sim_chaos.Chaos} engine attached to both a raw run and an
+    interposed run, and asserts that the application-scoped audit
+    streams stay identical — injected faults, fuzzed signals and
+    adversarial preemption included.  On a divergence it shrinks the
+    union injection set to a minimal reproducer by greedy bisection
+    (forced-mode re-runs) and serializes it as a replayable
+    [% simtrace-chaos/1] file.
+
+    This is the adversarial complement of {!Divergence.diff}: that
+    gate checks the happy path, this one checks that interposition is
+    transparent under errno storms, signals landing mid-stub and
+    preemption inside the interposer's hot windows. *)
+
+open Sim_kernel
+module A = Sim_audit.Audit
+module C = Sim_chaos.Chaos
+module D = Divergence
+
+(* ------------------------------------------------------------------ *)
+(* Workload specs (serializable, unlike D.workload whose Prog carries
+   source text)                                                        *)
+
+type wspec =
+  | Wmicro of { iters : int; nr : int }
+  | Wsigmicro of { iters : int }
+  | Wforkexec
+  | Wprog of { path : string; jit : bool }
+
+let wspec_to_string = function
+  | Wmicro { iters; nr } -> Printf.sprintf "micro %d %d" iters nr
+  | Wsigmicro { iters } -> Printf.sprintf "sigmicro %d" iters
+  | Wforkexec -> "forkexec"
+  | Wprog { path; jit } -> Printf.sprintf "prog %b %s" jit path
+
+let wspec_of_string s : wspec option =
+  match String.split_on_char ' ' (String.trim s) with
+  | [ "micro"; iters; nr ] -> (
+      try Some (Wmicro { iters = int_of_string iters; nr = int_of_string nr })
+      with _ -> None)
+  | [ "sigmicro"; iters ] -> (
+      try Some (Wsigmicro { iters = int_of_string iters }) with _ -> None)
+  | [ "forkexec" ] -> Some Wforkexec
+  | "prog" :: jit :: rest when rest <> [] -> (
+      try
+        Some (Wprog { path = String.concat " " rest; jit = bool_of_string jit })
+      with _ -> None)
+  | _ -> None
+
+(** Resolve a spec to a runnable workload.  [read] maps a program
+    path to its source text (injected so this module stays free of
+    file I/O policy). *)
+let resolve ~(read : string -> string) = function
+  | Wmicro { iters; nr } -> D.Micro { iters; nr }
+  | Wsigmicro { iters } -> D.Sigmicro { iters }
+  | Wforkexec -> D.Forkexec
+  | Wprog { path; jit } -> D.Prog { src = read path; jit }
+
+(* ------------------------------------------------------------------ *)
+(* Single runs                                                         *)
+
+(** One audited run of [workload] under [mech] with a fuzzing chaos
+    engine.  Returns the audit and the injections performed.
+    [stop_after] bounds the run to that many application syscalls. *)
+let run_fuzz ?(rates = C.default_rates) ?stop_after ~seed mech workload :
+    A.t * C.injection list =
+  let ch = C.fuzz ~rates ~seed () in
+  let a, _, _ = D.run_audited ?stop_after ~chaos:ch mech workload in
+  (a, C.log ch)
+
+(** One audited run with an explicit (forced) injection set. *)
+let run_forced ?stop_after ~injections mech workload : A.t =
+  let ch = C.forced injections in
+  let a, _, _ = D.run_audited ?stop_after ~chaos:ch mech workload in
+  a
+
+(* An interposed run is bounded by the raw baseline's app-syscall
+   count plus a margin: a clobbered loop register can otherwise send
+   the workload spinning for 2^63 iterations.  The margin keeps
+   "right stream is longer" divergences detectable; a diverging run
+   truncated at the bound has already diverged within it. *)
+let bound_of (a_raw : A.t) = a_raw.A.app_count + 16
+
+(** Do raw and [mech], both forced to exactly [injections], diverge? *)
+let forced_divergence ~injections mech workload : A.divergence option =
+  let a_raw = run_forced ~injections D.Raw workload in
+  let a_m =
+    run_forced ~stop_after:(bound_of a_raw) ~injections mech workload
+  in
+  A.first_divergence a_raw a_m
+
+(* ------------------------------------------------------------------ *)
+(* Minimization                                                        *)
+
+let dedup_injections (logs : C.injection list list) : C.injection list =
+  let seen = Hashtbl.create 64 in
+  List.concat logs
+  |> List.filter (fun j ->
+         let k = C.key_of j in
+         if Hashtbl.mem seen k then false
+         else begin
+           Hashtbl.replace seen k ();
+           true
+         end)
+
+(** Shrink [injections] to a (locally) minimal subset that still makes
+    raw and [mech] diverge: recursive halving while a single half
+    fails, then greedy one-by-one removal.  Returns [None] when the
+    full set does not reproduce the divergence under forced replay
+    (a schedule-dependent repro — report the full set instead). *)
+let minimize ?(greedy_cap = 64) ~mech ~workload (injections : C.injection list)
+    : C.injection list option =
+  let test s = forced_divergence ~injections:s mech workload <> None in
+  if not (test injections) then None
+  else
+    let split injs =
+      let n = List.length injs in
+      ( List.filteri (fun i _ -> i < n / 2) injs,
+        List.filteri (fun i _ -> i >= n / 2) injs )
+    in
+    let greedy injs =
+      if List.length injs > greedy_cap then injs
+      else
+        let rec go kept = function
+          | [] -> List.rev kept
+          | j :: rest ->
+              if test (List.rev_append kept rest) then go kept rest
+              else go (j :: kept) rest
+        in
+        go [] injs
+    in
+    let rec halve injs =
+      if List.length injs <= 1 then injs
+      else
+        let l, r = split injs in
+        if test l then halve l else if test r then halve r else greedy injs
+    in
+    Some (halve injections)
+
+(* ------------------------------------------------------------------ *)
+(* The reproducer file: % simtrace-chaos/1                             *)
+
+type repro = {
+  r_wspec : wspec;
+  r_mech : D.mech;
+  r_seed : int64;
+  r_injections : C.injection list;
+}
+
+let repro_to_string (r : repro) : string =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "% simtrace-chaos/1\n";
+  Printf.bprintf buf "%% workload %s\n" (wspec_to_string r.r_wspec);
+  Printf.bprintf buf "%% mech %s\n" (D.mech_name r.r_mech);
+  Printf.bprintf buf "%% seed %Ld\n" r.r_seed;
+  List.iter
+    (fun j -> Printf.bprintf buf "%s\n" (C.injection_to_string j))
+    r.r_injections;
+  Buffer.contents buf
+
+let repro_of_string (s : string) : (repro, string) result =
+  let lines = String.split_on_char '\n' s in
+  let header key =
+    List.find_map
+      (fun l ->
+        let p = "% " ^ key ^ " " in
+        if String.length l > String.length p && String.sub l 0 (String.length p) = p
+        then Some (String.sub l (String.length p) (String.length l - String.length p))
+        else None)
+      lines
+  in
+  if not (List.exists (fun l -> String.trim l = "% simtrace-chaos/1") lines)
+  then Error "not a simtrace-chaos/1 file"
+  else
+    match (header "workload", header "mech", header "seed") with
+    | Some w, Some m, Some seed -> (
+        match (wspec_of_string w, D.mech_of_string m) with
+        | Some wspec, Some mech -> (
+            try
+              let injections =
+                List.filter_map
+                  (fun l ->
+                    if String.length l > 0 && l.[0] = 'I' then
+                      C.injection_of_string l
+                    else None)
+                  lines
+              in
+              Ok
+                {
+                  r_wspec = wspec;
+                  r_mech = mech;
+                  r_seed = Int64.of_string seed;
+                  r_injections = injections;
+                }
+            with _ -> Error "malformed seed")
+        | None, _ -> Error ("unknown workload spec: " ^ w)
+        | _, None -> Error ("unknown mechanism: " ^ m))
+    | _ -> Error "missing workload/mech/seed header"
+
+(** Replay a reproducer: force its injection set into a raw and an
+    interposed run and diff.  Returns the divergence if it reproduces
+    (the expected outcome for a file dumped by a failing sweep). *)
+let replay ~(read : string -> string) (r : repro) : A.divergence option =
+  let workload = resolve ~read r.r_wspec in
+  forced_divergence ~injections:r.r_injections r.r_mech workload
+
+(* ------------------------------------------------------------------ *)
+(* The sweep                                                           *)
+
+type failure = {
+  x_wspec : wspec;
+  x_mech : D.mech;
+  x_seed : int64;
+  x_div : A.divergence;
+  x_injections : C.injection list;  (** union fuzz log (raw + mech) *)
+  x_minimized : C.injection list option;
+      (** [Some] when forced replay reproduces and shrinking ran *)
+}
+
+type report = {
+  rp_runs : int;  (** mechanism runs checked (excluding raw baselines) *)
+  rp_injected : int;  (** injections performed across all runs *)
+  rp_failures : failure list;
+  rp_text : string;
+}
+
+let repro_of_failure (x : failure) : repro =
+  {
+    r_wspec = x.x_wspec;
+    r_mech = x.x_mech;
+    r_seed = x.x_seed;
+    r_injections =
+      (match x.x_minimized with Some m -> m | None -> x.x_injections);
+  }
+
+(** Run every workload under every mechanism for seeds [1..seeds],
+    each against a raw baseline fuzzed with the same seed, and check
+    for application-stream divergence.  [minimize] shrinks each
+    failure to a minimal forced reproducer. *)
+let sweep ?(rates = C.default_rates) ?(minimize_failures = true) ~seeds
+    ~(mechs : D.mech list) ~(read : string -> string) (wspecs : wspec list) :
+    report =
+  let buf = Buffer.create 4096 in
+  let mechs = List.filter (fun m -> m <> D.Raw) mechs in
+  Printf.bprintf buf
+    "chaos sweep: %d workload(s) x %d mechanism(s) x %d seed(s)\n"
+    (List.length wspecs) (List.length mechs) seeds;
+  let runs = ref 0 and injected = ref 0 in
+  let failures = ref [] in
+  List.iter
+    (fun wspec ->
+      let workload = resolve ~read wspec in
+      for seed_i = 1 to seeds do
+        let seed = Int64.of_int seed_i in
+        let a_raw, log_raw = run_fuzz ~rates ~seed D.Raw workload in
+        injected := !injected + List.length log_raw;
+        List.iter
+          (fun mech ->
+            let a_m, log_m =
+              run_fuzz ~rates ~stop_after:(bound_of a_raw) ~seed mech workload
+            in
+            incr runs;
+            injected := !injected + List.length log_m;
+            match A.first_divergence a_raw a_m with
+            | None -> ()
+            | Some d ->
+                let union = dedup_injections [ log_raw; log_m ] in
+                let minimized =
+                  if minimize_failures then minimize ~mech ~workload union
+                  else None
+                in
+                Printf.bprintf buf
+                  "  FAIL %s %s seed=%Ld: tid %d app event %d: %s\n"
+                  (D.workload_name workload) (D.mech_name mech) seed d.A.d_tid
+                  (d.A.d_index + 1) d.A.d_reason;
+                (match minimized with
+                | Some m ->
+                    Printf.bprintf buf
+                      "    minimized to %d injection(s) (from %d):\n"
+                      (List.length m) (List.length union);
+                    List.iter
+                      (fun j -> Printf.bprintf buf "      %s\n" (C.describe j))
+                      m
+                | None ->
+                    Printf.bprintf buf
+                      "    forced replay did not reproduce; keeping all %d \
+                       injection(s)\n"
+                      (List.length union));
+                failures :=
+                  {
+                    x_wspec = wspec;
+                    x_mech = mech;
+                    x_seed = seed;
+                    x_div = d;
+                    x_injections = union;
+                    x_minimized = minimized;
+                  }
+                  :: !failures)
+          mechs
+      done;
+      Printf.bprintf buf "  %-28s swept %d seed(s)\n"
+        (D.workload_name workload) seeds)
+    wspecs;
+  let failures = List.rev !failures in
+  Printf.bprintf buf
+    "%s: %d run(s), %d injection(s) performed, %d divergence(s)\n"
+    (if failures = [] then "CHAOS OK" else "CHAOS FAIL")
+    !runs !injected (List.length failures);
+  {
+    rp_runs = !runs;
+    rp_injected = !injected;
+    rp_failures = failures;
+    rp_text = Buffer.contents buf;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Chaos-off identity                                                  *)
+
+(** A zero-rate chaos engine must be behaviorally invisible: the
+    audit log (streams, checkpoints, final state hash) and the cycle
+    clock of a run with it attached are bit-identical to a run
+    without.  Returns [(ok, detail)]. *)
+let chaos_off_identical mech workload : bool * string =
+  let a1, k1, _ = D.run_audited mech workload in
+  let ch = C.fuzz ~rates:C.zero_rates ~seed:1L () in
+  let a2, k2, _ = D.run_audited ~chaos:ch mech workload in
+  let h1 = Kernel.audit_final_hash k1 a1
+  and h2 = Kernel.audit_final_hash k2 a2 in
+  let c1 = Types.global_time k1 and c2 = Types.global_time k2 in
+  let log1 = D.log_string ~final_hash:h1 a1
+  and log2 = D.log_string ~final_hash:h2 a2 in
+  if log1 = log2 && c1 = c2 && C.count ch = 0 then
+    (true, Printf.sprintf "identical: %Ld cycles, state hash %Lx" c1 h1)
+  else
+    ( false,
+      Printf.sprintf
+        "MISMATCH: cycles %Ld vs %Ld, hash %Lx vs %Lx, logs %s, %d \
+         injection(s) from a zero-rate engine"
+        c1 c2 h1 h2
+        (if log1 = log2 then "equal" else "differ")
+        (C.count ch) )

@@ -58,11 +58,19 @@ type workload =
   | Micro of { iters : int; nr : int }  (** the Table II loop *)
   | Prog of { src : string; jit : bool }  (** a minicc program *)
   | Forkexec  (** fork + execve + wait4 across two tasks *)
+  | Sigmicro of { iters : int }
+      (** signal-handler-rich loop over blocking syscalls — the chaos
+          engine's favourite prey: two user handlers (SIGALRM with
+          SA_RESTART, SIGUSR1 without), and every iteration issues
+          write, getpid, nanosleep, a timed FUTEX_WAIT and a timed
+          epoll_wait, so injected signals land on restartable and
+          non-restartable waits alike *)
 
 let workload_name = function
   | Micro { iters; nr } -> Printf.sprintf "microbench(iters=%d,nr=%d)" iters nr
   | Prog { jit; _ } -> if jit then "minicc-jit" else "minicc"
   | Forkexec -> "fork-execve"
+  | Sigmicro { iters } -> Printf.sprintf "sigmicro(iters=%d)" iters
 
 let forkexec_child_path = "/bin/child"
 
@@ -118,6 +126,132 @@ let forkexec_items () =
       Bytes (forkexec_child_path ^ "\000");
     ]
 
+(* Globals page for sigmicro, mapped by the program itself:
+   +0x00 SIGALRM handler hit count     +0x40 futex word (stays 0)
+   +0x08 SIGUSR1 handler hit count     +0x80 nanosleep timespec
+   +0xC0 futex-wait timespec           +0x100 epoll_wait event buffer
+   +0x140 sigaction staging area
+
+   The sigaction struct deliberately lives here and NOT below rsp: a
+   sigflow interposer's SIGSYS frame lands below the interrupted rsp
+   and would clobber anything the app staged there — data passed to a
+   syscall must be in memory the app actually owns. *)
+let sigmicro_globals = 0x9000
+
+let sigmicro_install_handler sig_ ~handler ~flags =
+  Sim_asm.Asm.
+    [
+      mov_ri Isa.rbx (sigmicro_globals + 0x140);
+      Lea_ip (Isa.rcx, handler);
+      store Isa.rbx 0 Isa.rcx;
+      mov_ri Isa.rcx 0;
+      store Isa.rbx 8 Isa.rcx;
+      mov_ri Isa.rcx flags;
+      store Isa.rbx 16 Isa.rcx;
+      Lea_ip (Isa.rcx, "restorer");
+      store Isa.rbx 24 Isa.rcx;
+      mov_ri Isa.rdi sig_;
+      mov_rr Isa.rsi Isa.rbx;
+      mov_ri Isa.rdx 0;
+      mov_ri Isa.rax Defs.sys_rt_sigaction;
+      syscall;
+    ]
+
+let sigmicro_counter_bump off =
+  Sim_asm.Asm.
+    [
+      mov_ri Isa.rbx sigmicro_globals;
+      load Isa.rcx Isa.rbx off;
+      add_ri Isa.rcx 1;
+      store Isa.rbx off Isa.rcx;
+      ret;
+    ]
+
+let sigmicro_items ~iters =
+  let g = sigmicro_globals in
+  Sim_asm.Asm.(
+    [
+      Label "start";
+      (* map the globals page *)
+      mov_ri Isa.rdi g;
+      mov_ri Isa.rsi 4096;
+      mov_ri Isa.rdx (Defs.prot_read lor Defs.prot_write);
+      mov_ri Isa.r10 (Defs.map_fixed lor Defs.map_anonymous);
+      mov_ri64 Isa.r8 (-1L);
+      mov_ri Isa.r9 0;
+      mov_ri Isa.rax Defs.sys_mmap;
+      syscall;
+    ]
+    @ sigmicro_install_handler Defs.sigalrm ~handler:"h_alrm"
+        ~flags:Defs.sa_restart
+    @ sigmicro_install_handler Defs.sigusr1 ~handler:"h_usr1" ~flags:0
+    @ [
+        (* timespecs: nanosleep {0, 1500ns}; futex wait {0, 1000ns} *)
+        mov_ri Isa.rbx (g + 0x80);
+        mov_ri Isa.rcx 0;
+        store Isa.rbx 0 Isa.rcx;
+        mov_ri Isa.rcx 1500;
+        store Isa.rbx 8 Isa.rcx;
+        mov_ri Isa.rbx (g + 0xC0);
+        mov_ri Isa.rcx 0;
+        store Isa.rbx 0 Isa.rcx;
+        mov_ri Isa.rcx 1000;
+        store Isa.rbx 8 Isa.rcx;
+        (* epoll instance (empty interest set: a positive-timeout wait
+           always runs to its virtual deadline) *)
+        mov_ri Isa.rdi 8;
+        mov_ri Isa.rax Defs.sys_epoll_create;
+        syscall;
+        mov_rr Isa.r14 Isa.rax;
+        mov_ri Isa.r13 iters;
+        Label "loop";
+        (* write(1, msg, 6): restartable *)
+        mov_ri Isa.rdi 1;
+        Lea_ip (Isa.rsi, "msg");
+        mov_ri Isa.rdx 6;
+        mov_ri Isa.rax Defs.sys_write;
+        syscall;
+        mov_ri Isa.rax Defs.sys_getpid;
+        syscall;
+        (* nanosleep(&ts, 0): blocks ~1.5us, -EINTR on any handler *)
+        mov_ri Isa.rdi (g + 0x80);
+        mov_ri Isa.rsi 0;
+        mov_ri Isa.rax Defs.sys_nanosleep;
+        syscall;
+        (* futex(&word, FUTEX_WAIT, 0, &ts): word never changes, so
+           the wait ends in -ETIMEDOUT unless a signal lands first *)
+        mov_ri Isa.rdi (g + 0x40);
+        mov_ri Isa.rsi Defs.futex_wait;
+        mov_ri Isa.rdx 0;
+        mov_ri Isa.r10 (g + 0xC0);
+        mov_ri Isa.rax Defs.sys_futex;
+        syscall;
+        (* epoll_wait(epfd, buf, 8, 1ms): wakes with 0 at the deadline *)
+        mov_rr Isa.rdi Isa.r14;
+        mov_ri Isa.rsi (g + 0x100);
+        mov_ri Isa.rdx 8;
+        mov_ri Isa.r10 1;
+        mov_ri Isa.rax Defs.sys_epoll_wait;
+        syscall;
+        sub_ri Isa.r13 1;
+        cmp_ri Isa.r13 0;
+        Jcc_l (Isa.Ne, "loop");
+        mov_ri Isa.rdi 0;
+        mov_ri Isa.rax Defs.sys_exit_group;
+        syscall;
+        Label "h_alrm";
+      ]
+    @ sigmicro_counter_bump 0
+    @ [ Label "h_usr1" ]
+    @ sigmicro_counter_bump 8
+    @ [
+        Label "restorer";
+        mov_ri Isa.rax Defs.sys_rt_sigreturn;
+        syscall;
+        Label "msg";
+        Bytes "chaos\n";
+      ])
+
 let workload_image k = function
   | Micro { iters; nr } ->
       let blob =
@@ -135,6 +269,11 @@ let workload_image k = function
         Sim_asm.Asm.assemble ~base:Loader.code_base (forkexec_items ())
       in
       Loader.image ~entry:(Sim_asm.Asm.symbol blob "start") ~text:blob ()
+  | Sigmicro { iters } ->
+      let blob =
+        Sim_asm.Asm.assemble ~base:Loader.code_base (sigmicro_items ~iters)
+      in
+      Loader.image ~entry:(Sim_asm.Asm.symbol blob "start") ~text:blob ()
 
 (* ------------------------------------------------------------------ *)
 (* Audited runs                                                        *)
@@ -148,12 +287,24 @@ type perturb = { at : int; reg : int; value : int64 }
 (** Run [workload] under [mech] with an auditor attached.  Returns
     the audit, the kernel and the initial task.  [stop_after] halts
     the machine after that many application syscalls (replay-to-point
-    for delta dumps). *)
-let run_audited ?(checkpoint_every = 64) ?stop_after ?perturb mech workload :
-    A.t * Types.kernel * Types.task =
+    for delta dumps).  [chaos] attaches a chaos engine for the run:
+    the interposer hot windows (trampoline page, interposer code) are
+    registered for biased preemption, and for interposed mechanisms
+    the hook is wrapped so register-clobber injections fire at
+    interception time — modelling an interposer that corrupts
+    callee-saved state. *)
+let run_audited ?(checkpoint_every = 64) ?stop_after ?perturb ?chaos mech
+    workload : A.t * Types.kernel * Types.task =
   let a = A.create ~checkpoint_every ?stop_after () in
   let k = Kernel.create () in
   Kernel.attach_audit k a;
+  (match chaos with
+  | Some ch ->
+      Sim_chaos.Chaos.add_hot_range ch ~lo:0 ~hi:4096;
+      Sim_chaos.Chaos.add_hot_range ch ~lo:Lazypoline.Layout.interp_code_base
+        ~hi:(Lazypoline.Layout.interp_code_base + 0x10000);
+      Kernel.attach_chaos k ch
+  | None -> ());
   (* The same fixture files simtrace mounts, so `simtrace diff` on a
      user program sees the run `simtrace run` would. *)
   ignore (Vfs.add_file k.Types.vfs "/etc/hosts" "127.0.0.1 localhost\n");
@@ -171,6 +322,16 @@ let run_audited ?(checkpoint_every = 64) ?stop_after ?perturb mech workload :
           if !count = p.at then Hook.set_reg c p.reg p.value;
           inner c)
   | None -> ());
+  (match (chaos, mech) with
+  | Some ch, m when m <> Raw ->
+      let inner = hook.Hook.on_syscall in
+      hook.Hook.on_syscall <-
+        (fun c ->
+          (match Sim_chaos.Chaos.clobber_injection ch with
+          | Some (reg, value) -> Hook.set_reg c reg value
+          | None -> ());
+          inner c)
+  | _ -> ());
   install mech k t hook;
   ignore (Kernel.run_until_exit ~max_slices:40_000_000 k);
   (a, k, t)

@@ -143,6 +143,7 @@ let enotsock = 88
 let eaddrinuse = 98
 let econnrefused = 111
 let enotsup = 95
+let etimedout = 110
 
 let errno_name e =
   match e with
@@ -151,7 +152,8 @@ let errno_name e =
   | 14 -> "EFAULT" | 17 -> "EEXIST" | 20 -> "ENOTDIR" | 21 -> "EISDIR"
   | 22 -> "EINVAL" | 24 -> "EMFILE" | 28 -> "ENOSPC" | 29 -> "ESPIPE"
   | 32 -> "EPIPE" | 38 -> "ENOSYS" | 39 -> "ENOTEMPTY" | 88 -> "ENOTSOCK"
-  | 95 -> "ENOTSUP" | 98 -> "EADDRINUSE" | 111 -> "ECONNREFUSED"
+  | 95 -> "ENOTSUP" | 98 -> "EADDRINUSE" | 110 -> "ETIMEDOUT"
+  | 111 -> "ECONNREFUSED"
   | e -> Printf.sprintf "E%d" e
 
 (** {1 Signals} *)
@@ -183,6 +185,23 @@ let signal_name = function
 (* sig handler sentinels *)
 let sig_dfl = 0L
 let sig_ign = 1L
+
+(* sigaction sa_flags *)
+let sa_restart = 0x10000000
+
+let sa_nodefer = 0x40000000
+(** Do not add the signal to the mask while its handler runs.  This is
+    how SECCOMP_RET_TRAP interposers keep a nested trap (e.g. an app
+    restorer's rt_sigreturn caught by the filter inside the SIGSYS
+    handler window) from force-killing the process. *)
+
+(** May an interrupted blocking instance of [nr] be transparently
+    restarted when the interrupting handler was installed with
+    SA_RESTART?  Follows signal(7): I/O-style waits restart,
+    nanosleep / epoll_wait / futex always report EINTR. *)
+let syscall_restartable nr =
+  nr = sys_read || nr = sys_write || nr = sys_accept || nr = sys_accept4
+  || nr = sys_wait4 || nr = sys_connect || nr = sys_sendfile
 
 (* si_code for SIGSYS *)
 let sys_seccomp_code = 1 (* SYS_SECCOMP *)

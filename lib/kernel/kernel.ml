@@ -46,6 +46,7 @@ let create ?(ncpus = 1) ?(cost = Sim_costs.Cost_model.default)
       cur_task = None;
       icache_on = icache;
       auditor = None;
+      chaos = None;
     }
   in
   (* /proc exists on every kernel (guests may read it whether or not
@@ -89,6 +90,13 @@ let enable_metrics (k : kernel) : Kmetrics.t =
     charges cycles, so an audited run is cycle- and state-identical to
     an unaudited one (asserted by a qcheck property in test_audit). *)
 let attach_audit (k : kernel) (a : Sim_audit.Audit.t) = k.auditor <- Some a
+
+(** Attach a chaos engine.  Unlike the observers it perturbs the run
+    on purpose; but its decision sites never charge cycles, so an
+    attached engine whose every decision declines (zero rates, or an
+    empty forced set) leaves the run bit-identical to a chaos-free
+    one (asserted by a qcheck property in test_chaos). *)
+let attach_chaos (k : kernel) (ch : Sim_chaos.Chaos.t) = k.chaos <- Some ch
 
 (** Combined final-state hash over every live task, in tid order —
     the [F] line of a serialized audit log.  Uses the auditor's
@@ -217,6 +225,7 @@ let make_task (k : kernel) ~mem ~comm ~affinity : task =
       trace_path = None;
       sig_depth = 0;
       sleep_until = None;
+      retrying = false;
     }
   in
   Hashtbl.replace k.tasks tid t;
@@ -350,6 +359,7 @@ let do_fork (k : kernel) (t : task) ~vm ~files ~sighand ~stack ~tls ~thread =
          parent's stack). *)
       sig_depth = 0;
       sleep_until = None;
+      retrying = false;
     }
   in
   if files then child.fdt <- t.fdt
@@ -864,8 +874,27 @@ let do_syscall (k : kernel) (t : task) (nr : int) : sysres =
           charge k cost.epoll_op;
           let ready = epoll_ready_list t ep in
           match ready with
-          | [] -> if timeout = 0 then ok 0 else Block (Wepoll epfd)
+          | [] -> (
+              (* timeout = 0: poll.  timeout < 0: block forever.
+                 timeout > 0 (milliseconds): block until the virtual
+                 deadline, then return 0 — the deadline is stamped on
+                 first issue so retries are idempotent. *)
+              if timeout = 0 then ok 0
+              else
+                match t.sleep_until with
+                | Some deadline when now k >= deadline ->
+                    t.sleep_until <- None;
+                    ok 0
+                | Some _ -> Block (Wepoll epfd)
+                | None ->
+                    if timeout > 0 then
+                      t.sleep_until <-
+                        Some
+                          (Int64.add (now k)
+                             (Int64.mul (i64 timeout) 2_100_000L));
+                    Block (Wepoll epfd))
           | _ ->
+              t.sleep_until <- None;
               let ready = List.filteri (fun i _ -> i < maxev) ready in
               List.iteri
                 (fun idx (_, ev, data) ->
@@ -1043,9 +1072,38 @@ let do_syscall (k : kernel) (t : task) (nr : int) : sysres =
   | n when n = Defs.sys_futex -> (
       let addr = to_i a1 and op = to_i a2 land 0x7F and v = to_i a3 in
       match op with
-      | op when op = Defs.futex_wait ->
-          let cur = to_i (user_read_u64 t addr) in
-          if cur <> v then err Defs.eagain else Block (Wfutex addr)
+      | op when op = Defs.futex_wait -> (
+          (* Like nanosleep, a timed wait is retried by re-execution
+             and must remember its absolute deadline; the retry after
+             the deadline passes reports ETIMEDOUT. *)
+          match t.sleep_until with
+          | Some deadline when now k >= deadline ->
+              t.sleep_until <- None;
+              err Defs.etimedout
+          | Some _ ->
+              let cur = to_i (user_read_u64 t addr) in
+              if cur <> v then begin
+                t.sleep_until <- None;
+                err Defs.eagain
+              end
+              else Block (Wfutex addr)
+          | None ->
+              let cur = to_i (user_read_u64 t addr) in
+              if cur <> v then err Defs.eagain
+              else begin
+                let tsp = to_i a4 in
+                if tsp <> 0 then begin
+                  let sec = user_read_u64 t tsp
+                  and nsec = user_read_u64 t (tsp + 8) in
+                  let cycles =
+                    Int64.add
+                      (Int64.mul sec 2_100_000_000L)
+                      (Int64.div (Int64.mul nsec 21L) 10L)
+                  in
+                  t.sleep_until <- Some (Int64.add (now k) cycles)
+                end;
+                Block (Wfutex addr)
+              end)
       | op when op = Defs.futex_wake ->
           let woken = ref 0 in
           Hashtbl.iter
@@ -1053,6 +1111,8 @@ let do_syscall (k : kernel) (t : task) (nr : int) : sysres =
               match u.state with
               | Blocked (Wfutex a) when a = addr && !woken < v ->
                   u.state <- Runnable;
+                  u.sleep_until <- None;
+                  u.retrying <- false;
                   (* the waiter returns 0 from futex *)
                   Cpu.poke_reg u.ctx Isa.rax 0L;
                   u.ctx.rip <- u.ctx.rip + 2;
@@ -1255,9 +1315,24 @@ let syscall_entry (k : kernel) (t : task) =
       (match k.metrics with
       | Some m -> Kmetrics.count_syscall m ~nr ~path
       | None -> ());
+      (* Chaos errno injection: an eligible first-issue syscall may
+         transiently fail instead of dispatching.  Retries of a
+         blocked syscall are exempt — their count is schedule- and
+         mechanism-dependent, and injecting into them would misalign
+         the injection keys across mechanisms. *)
+      let injected_errno =
+        match k.chaos with
+        | Some ch when not t.retrying ->
+            Sim_chaos.Chaos.errno_injection ch ~tid:t.tid ~nr
+        | _ -> None
+      in
       let res =
-        if nr < 0 || nr > Defs.max_syscall then Ret (i64 (-Defs.enosys))
-        else try do_syscall k t nr with Efault -> Ret (i64 (-Defs.efault))
+        match injected_errno with
+        | Some e -> Ret (i64 (-e))
+        | None ->
+            if nr < 0 || nr > Defs.max_syscall then Ret (i64 (-Defs.enosys))
+            else
+              try do_syscall k t nr with Efault -> Ret (i64 (-Defs.efault))
       in
       (match k.metrics with
       | Some m ->
@@ -1266,6 +1341,7 @@ let syscall_entry (k : kernel) (t : task) =
       (match res with
       | Ret v when v = no_result -> ()
       | Ret v ->
+          t.retrying <- false;
           Cpu.poke_reg c Isa.rax v;
           (* The kernel clobbers rcx and r11 (sysret ABI). *)
           Cpu.poke_reg c Isa.rcx (i64 c.rip);
@@ -1274,7 +1350,23 @@ let syscall_entry (k : kernel) (t : task) =
           (* Rewind to the syscall instruction; it is retried on
              wakeup. *)
           c.rip <- c.rip - 2;
-          t.state <- Blocked reason);
+          t.state <- Blocked reason;
+          t.retrying <- true;
+          (* Chaos block-signal injection: decide, as the wait
+             begins, whether a signal interrupts it — driving the
+             SA_RESTART vs -EINTR paths under every mechanism at the
+             same application event. *)
+          (match k.chaos with
+          | Some ch -> (
+              match
+                Sim_chaos.Chaos.block_signal_injection ch ~tid:t.tid
+                  ~handler_ok:(fun s ->
+                    let h = t.sighand.(s).sa_handler in
+                    h <> Defs.sig_dfl && h <> Defs.sig_ign)
+              with
+              | Some s -> Ksignal.post k t s
+              | None -> ())
+          | None -> ()));
       (match (k.strace, res) with
       | Some f, Ret v -> f t nr v
       | Some f, Block _ -> f t nr (i64 (-512) (* ERESTARTSYS-ish *))
@@ -1296,6 +1388,22 @@ let syscall_entry (k : kernel) (t : task) =
             if v = no_result then None else Some (Cpu.peek_reg c Isa.rax)
           in
           audit_syscall k t ~nr ~args:aud_args ~ret ~path
+      | _ -> ());
+      (* Chaos async-signal injection: a completed application
+         syscall may leave a signal pending, delivered before the
+         next guest instruction — which under an interposer is
+         typically inside its stub or trampoline, exactly the windows
+         the paper's correctness claim covers. *)
+      (match (k.chaos, res) with
+      | Some ch, Ret v when v <> no_result && not sigreturning -> (
+          match
+            Sim_chaos.Chaos.post_syscall_injection ch ~tid:t.tid ~nr
+              ~handler_ok:(fun s ->
+                let h = t.sighand.(s).sa_handler in
+                h <> Defs.sig_dfl && h <> Defs.sig_ign)
+          with
+          | Some s -> Ksignal.post k t s
+          | None -> ())
       | _ -> ());
       if tracing then begin
         let ret, blocked =
@@ -1380,35 +1488,79 @@ let reap_wakeups (k : kernel) =
   Hashtbl.iter
     (fun _ t ->
       match t.state with
-      | Blocked reason ->
+      | Blocked reason -> (
           let wake_eintr () =
             (* Abandon the syscall: skip the rewound instruction and
                report EINTR, then let signal delivery run.  The
                abandoned syscall will not retry, so its dispatch-path
-               tag dies with it. *)
+               tag dies with it.  The -EINTR completion is part of the
+               application's observable history — record it like any
+               other result (the arg registers are untouched since
+               dispatch; rax still holds the syscall number). *)
+            let nr = to_i (Cpu.peek_reg t.ctx Isa.rax) in
+            let path =
+              match t.trace_path with Some p -> p | None -> Ev.Direct
+            in
             t.trace_path <- None;
             t.sleep_until <- None;
+            t.retrying <- false;
             t.ctx.rip <- t.ctx.rip + 2;
             Cpu.poke_reg t.ctx Isa.rax (i64 (-Defs.eintr));
-            t.state <- Runnable
+            t.state <- Runnable;
+            match k.auditor with
+            | Some _ ->
+                let args =
+                  Array.map (fun r -> Cpu.peek_reg t.ctx r) arg_regs
+                in
+                audit_syscall k t ~nr ~args
+                  ~ret:(Some (i64 (-Defs.eintr)))
+                  ~path
+            | None -> ()
           in
-          if Ksignal.has_actionable_signal t then wake_eintr ()
-          else
-            let ready =
-              match reason with
-              | Wread fd -> fd_readable t fd
-              | Wwrite fd -> fd_writable t fd
-              | Waccept fd -> fd_readable t fd
-              | Wepoll epfd -> (
-                  match get_fd t epfd with
-                  | Some { kind = Kepoll ep; _ } ->
-                      epoll_ready_list t ep <> []
-                  | _ -> true)
-              | Wchild pid -> find_zombie_child k t ~pid <> None
-              | Wsleep until -> global_time k >= until
-              | Wfutex _ -> false
-            in
-            if ready then t.state <- Runnable
+          match Ksignal.first_actionable t with
+          | Some s ->
+              (* SA_RESTART semantics: if the handler about to run was
+                 installed with SA_RESTART and the syscall is
+                 restartable, leave rip rewound at the syscall
+                 instruction — delivery saves that rip in the frame,
+                 so sigreturn transparently re-executes the wait.
+                 Otherwise the syscall completes with -EINTR before
+                 the handler runs. *)
+              let restart =
+                Int64.logand t.sighand.(s).sa_flags (i64 Defs.sa_restart)
+                <> 0L
+                && Defs.syscall_restartable
+                     (to_i (Cpu.peek_reg t.ctx Isa.rax))
+              in
+              if restart then t.state <- Runnable else wake_eintr ()
+          | None ->
+              let ready =
+                match reason with
+                | Wread fd -> fd_readable t fd
+                | Wwrite fd -> fd_writable t fd
+                | Waccept fd -> fd_readable t fd
+                | Wepoll epfd -> (
+                    (* readiness or an expired positive timeout: the
+                       retry distinguishes them (ready list vs return
+                       0). *)
+                    (match t.sleep_until with
+                    | Some deadline -> global_time k >= deadline
+                    | None -> false)
+                    ||
+                    match get_fd t epfd with
+                    | Some { kind = Kepoll ep; _ } ->
+                        epoll_ready_list t ep <> []
+                    | _ -> true)
+                | Wchild pid -> find_zombie_child k t ~pid <> None
+                | Wsleep until -> global_time k >= until
+                | Wfutex _ -> (
+                    (* woken directly by FUTEX_WAKE, or by an expired
+                       timeout (the retry reports ETIMEDOUT) *)
+                    match t.sleep_until with
+                    | Some deadline -> global_time k >= deadline
+                    | None -> false)
+              in
+              if ready then t.state <- Runnable)
       | Runnable | Zombie -> ())
     k.tasks
 
@@ -1484,9 +1636,15 @@ let run_task (k : kernel) (t : task) =
   t.ctx.now <- (fun () -> k.cpus.(k.cur_cpu).clk);
   let cost = k.cost in
   let icache = if k.icache_on then Some t.icache else None in
+  (* Chaos preemption: a fired decision ends this task's turn at the
+     current instruction boundary, as if the quantum expired — the
+     scheduler then re-picks (round-robin hands the CPU to the
+     longest-waiting runnable task). *)
+  let preempted = ref false in
   (try
      while
        t.state = Runnable && slot.clk < k.slice_end && not k.halted
+       && not !preempted
      do
        if t.pending <> 0L && signal_pending_unmasked t then
          ignore (Ksignal.deliver_pending k t);
@@ -1496,7 +1654,7 @@ let run_task (k : kernel) (t : task) =
             leaves the kernel (including the many early exits)
             lands here and clears the depth before guest code runs. *)
          k.in_kernel <- 0;
-         match Cpu.step ?icache t.ctx t.mem with
+         (match Cpu.step ?icache t.ctx t.mem with
          | Cpu.Stepped -> charge k (cost.insn * t.ctx.Cpu.last_cost)
          | Cpu.Trap_syscall ->
              charge k cost.insn;
@@ -1527,7 +1685,15 @@ let run_task (k : kernel) (t : task) =
          | Cpu.Bad_instr addr ->
              Ksignal.force k t Defs.sigill
                { si_signo = Defs.sigill; si_code = 0; si_call_addr = addr;
-                 si_syscall = 0 }
+                 si_syscall = 0 });
+         match k.chaos with
+         | Some ch ->
+             if
+               t.state = Runnable
+               && Sim_chaos.Chaos.preempt_injection ch ~tid:t.tid
+                    ~rip:t.ctx.Cpu.rip ~sig_depth:t.sig_depth
+             then preempted := true
+         | None -> ()
        end
      done
    with Ksignal.Killed_by_signal _ -> ());

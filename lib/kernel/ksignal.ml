@@ -153,7 +153,13 @@ let push_frame (k : kernel) (t : task) (sig_ : int) (info : sig_info) =
   Cpu.poke_reg c Isa.rsi (Int64.of_int (f + 8));
   Cpu.poke_reg c Isa.rdx (Int64.of_int (f + 40));
   c.rip <- Int64.to_int act.sa_handler;
-  t.sigmask <- Int64.logor t.sigmask (Int64.logor act.sa_mask (sig_bit sig_))
+  (* SA_NODEFER: leave the signal itself deliverable while its handler
+     runs (sa_mask still applies). *)
+  let self =
+    if Int64.logand act.sa_flags (Int64.of_int Defs.sa_nodefer) <> 0L then 0L
+    else sig_bit sig_
+  in
+  t.sigmask <- Int64.logor t.sigmask (Int64.logor act.sa_mask self)
 
 (** Deliver one pending, unmasked signal if any.  Returns [true] when
     user-visible control flow changed (handler entered or task
@@ -193,22 +199,24 @@ let deliver_pending (k : kernel) (t : task) : bool =
         end
   end
 
-(** Does [t] have a pending, unmasked signal that would actually do
-    something (run a handler or kill)?  Ignored signals must not
-    interrupt blocked syscalls. *)
-let has_actionable_signal (t : task) =
+(** First pending, unmasked signal that would actually do something
+    (run a handler or kill) — the one [deliver_pending] will pick.
+    Ignored signals must not interrupt blocked syscalls. *)
+let first_actionable (t : task) : int option =
   let deliverable = Int64.logand t.pending (Int64.lognot t.sigmask) in
   let rec scan s =
-    if s > Defs.nsig then false
+    if s > Defs.nsig then None
     else if Int64.logand deliverable (sig_bit s) <> 0L then
       let act = t.sighand.(s) in
       if act.sa_handler = Defs.sig_ign then scan (s + 1)
       else if act.sa_handler = Defs.sig_dfl && default_ignored s then
         scan (s + 1)
-      else true
+      else Some s
     else scan (s + 1)
   in
-  deliverable <> 0L && scan 1
+  if deliverable = 0L then None else scan 1
+
+let has_actionable_signal (t : task) = first_actionable t <> None
 
 (** Force-deliver [sig_]: used for synchronous faults (SIGSEGV,
     SIGILL, SIGFPE, seccomp/SUD SIGSYS).  If the signal is masked or

@@ -137,9 +137,19 @@ and task = {
           lets the sampling profiler classify handler execution
           without perturbing anything *)
   mutable sleep_until : int64 option;
-      (** in-progress nanosleep deadline: blocking syscalls are
-          retried by re-execution, so the sleep must remember its
-          absolute deadline to be idempotent *)
+      (** absolute deadline of the in-progress blocking syscall
+          (nanosleep, futex FUTEX_WAIT with a timeout, epoll_wait with
+          a positive timeout): blocking syscalls are retried by
+          re-execution, so the wait must remember its deadline to be
+          idempotent.  At most one blocking syscall is in flight per
+          task, so one field serves all three. *)
+  mutable retrying : bool;
+      (** the task's rewound syscall instruction is a retry of a
+          dispatch that already blocked — set on [Block], cleared on
+          the final result (or on EINTR abandonment).  The chaos
+          engine keys injections on first issues only: retry counts
+          are schedule-dependent and would break cross-mechanism
+          injection alignment. *)
 }
 
 (** {1 Program images (for the loader and execve)} *)
@@ -204,6 +214,12 @@ type kernel = {
   mutable auditor : Sim_audit.Audit.t option;
       (** divergence auditor recording the observable event stream and
           state-hash checkpoints; observation-only like [tracer] *)
+  mutable chaos : Sim_chaos.Chaos.t option;
+      (** deterministic chaos engine; unlike the observers above it
+          deliberately perturbs the run (injected errnos, signals and
+          preemptions), but [None] — the default — is bit-identical
+          to a kernel built before the engine existed, and injection
+          never charges cycles of its own *)
 }
 
 let charge (k : kernel) n =

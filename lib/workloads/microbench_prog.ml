@@ -63,18 +63,22 @@ let bench_items ~iters ~nr =
     cycles-per-iteration is identical with or without it (asserted by
     a qcheck property in test_trace).  [metrics] and [profiler] attach
     the corresponding observers under the same contract (asserted in
-    test_metrics). *)
+    test_metrics).  [chaos] attaches a chaos engine; with zero rates
+    it must also leave the cycle count bit-identical (the chaos-off
+    identity gate in bench/main.ml and test_chaos). *)
 let run ?(iters = 20_000) ?(nr = 500) ?(icache = true)
     ?(tracer : Sim_trace.Tracer.t option)
     ?(metrics : Kmetrics.t option)
     ?(profiler : Sim_metrics.Profiler.t option)
     ?(auditor : Sim_audit.Audit.t option)
+    ?(chaos : Sim_chaos.Chaos.t option)
     ?(on_done : Types.kernel -> Types.task -> unit = fun _ _ -> ())
     (config : config) : float =
   let k = Kernel.create ~icache () in
   k.Types.tracer <- tracer;
   (match metrics with Some m -> Kernel.attach_metrics k m | None -> ());
   (match auditor with Some a -> Kernel.attach_audit k a | None -> ());
+  (match chaos with Some ch -> Kernel.attach_chaos k ch | None -> ());
   (match profiler with
   | Some p ->
       k.Types.profiler <- Some p;

@@ -31,18 +31,28 @@ type t = {
     [file_size] its size (the client knows what it asked for). *)
 let attach (k : Types.kernel) ~port ~conns ~file ~file_size : t =
   let request = Printf.sprintf "GET %s HTTP/1.1\r\nHost: bench\r\n\r\n" file in
-  let mk _ =
-    match Net.connect k.Types.net ~port with
-    | Ok ep -> { ep; to_recv = 0; in_flight = false; send_pos = 0 }
-    | Error `Refused -> failwith "wrk: connection refused"
+  (* A refused connection (no listener yet, backlog full) is a load
+     generator error like any other — count it and carry on with the
+     connections that did come up, instead of aborting the whole
+     simulation. *)
+  let refused = ref 0 in
+  let connected =
+    List.filter_map
+      (fun _ ->
+        match Net.connect k.Types.net ~port with
+        | Ok ep -> Some { ep; to_recv = 0; in_flight = false; send_pos = 0 }
+        | Error `Refused ->
+            incr refused;
+            None)
+      (List.init conns Fun.id)
   in
   let g =
     {
-      conns = List.init conns mk;
+      conns = connected;
       request;
       response_size = Webserver.header_len + file_size;
       completed = 0;
-      errors = 0;
+      errors = !refused;
     }
   in
   let step () =

@@ -1,0 +1,117 @@
+(** Chaos engine tests: keyed-PRNG determinism, zero-divergence
+    sweeps across mechanisms, clobber catch + minimization + forced
+    replay, and the chaos-off bit-identity property. *)
+
+open Sim_kernel
+module C = Sim_chaos.Chaos
+module D = Harness.Divergence
+module H = Harness.Chaos
+module A = Sim_audit.Audit
+
+let micro = D.Micro { iters = 12; nr = Defs.sys_getpid }
+
+let all_mechs = [ D.Raw; D.Sud; D.Zpoline; D.Lazypoline_m; D.Seccomp; D.Ptrace ]
+
+let inj_strings l = List.map C.injection_to_string l
+
+let test_same_seed_same_run () =
+  (* Two fuzz runs with the same seed perform the same injections and
+     produce byte-identical audit logs. *)
+  let a1, l1 = H.run_fuzz ~seed:7L D.Sud (D.Sigmicro { iters = 4 }) in
+  let a2, l2 = H.run_fuzz ~seed:7L D.Sud (D.Sigmicro { iters = 4 }) in
+  Alcotest.(check (list string))
+    "same injections" (inj_strings l1) (inj_strings l2);
+  Alcotest.(check string)
+    "same audit log" (D.log_string a1) (D.log_string a2)
+
+let test_different_seed_different_run () =
+  let _, l1 = H.run_fuzz ~seed:1L D.Raw (D.Sigmicro { iters = 4 }) in
+  let _, l2 = H.run_fuzz ~seed:2L D.Raw (D.Sigmicro { iters = 4 }) in
+  Alcotest.(check bool)
+    "injection logs differ" false
+    (inj_strings l1 = inj_strings l2)
+
+let test_sweep_clean () =
+  (* No mechanism diverges from raw under fuzzed errno / signals /
+     preemption. *)
+  let r =
+    H.sweep ~seeds:3 ~mechs:all_mechs
+      ~read:(fun _ -> assert false)
+      [ H.Wmicro { iters = 12; nr = Defs.sys_getpid }; H.Wsigmicro { iters = 3 } ]
+  in
+  if r.H.rp_failures <> [] then Alcotest.fail r.H.rp_text;
+  Alcotest.(check bool) "performed injections" true (r.H.rp_injected > 0)
+
+let test_clobber_caught_minimized_replayed () =
+  (* A register-clobbering interposer bug must be caught by the
+     divergence gate, shrink to a single injection, and reproduce
+     under forced replay of the dumped file. *)
+  let rates = { C.default_rates with C.clobber_rate = 4096 } in
+  let r =
+    H.sweep ~rates ~seeds:1 ~mechs:[ D.Zpoline ]
+      ~read:(fun _ -> assert false)
+      [ H.Wmicro { iters = 12; nr = Defs.sys_getpid } ]
+  in
+  match r.H.rp_failures with
+  | [] -> Alcotest.fail "clobber perturbation not caught"
+  | x :: _ ->
+      (match x.H.x_minimized with
+      | Some [ j ] ->
+          Alcotest.(check char) "minimized to one clobber" 'c'
+            (C.injection_to_string j).[2]
+      | Some l ->
+          Alcotest.fail
+            (Printf.sprintf "minimized to %d injections, wanted 1"
+               (List.length l))
+      | None -> Alcotest.fail "forced replay did not reproduce");
+      (* Round-trip through the reproducer file format and replay. *)
+      let text = H.repro_to_string (H.repro_of_failure x) in
+      let r2 =
+        match H.repro_of_string text with
+        | Ok r2 -> r2
+        | Error e -> Alcotest.fail e
+      in
+      Alcotest.(check bool) "replay reproduces" true
+        (H.replay ~read:(fun _ -> assert false) r2 <> None)
+
+let test_forced_mode_only_listed () =
+  (* Forced mode performs exactly the listed injections, nothing
+     else. *)
+  let injections =
+    [
+      {
+        C.j_klass = C.Errno; j_tid = 1; j_index = 2; j_arg = Defs.eintr;
+        j_arg2 = 0L;
+      };
+    ]
+  in
+  let a_raw = H.run_forced ~injections D.Raw micro in
+  let a_m = H.run_forced ~injections D.Lazypoline_m micro in
+  Alcotest.(check bool) "still no divergence" true
+    (A.first_divergence a_raw a_m = None)
+
+let chaos_off_prop =
+  (* Zero-rate chaos attached = bit-identical run, for every mechanism
+     and workload size. *)
+  QCheck.Test.make ~name:"chaos-off is bit-identical" ~count:12
+    QCheck.(pair (int_range 0 5) (int_range 1 16))
+    (fun (mi, iters) ->
+      let mech = List.nth all_mechs mi in
+      let ok, detail =
+        H.chaos_off_identical mech (D.Micro { iters; nr = Defs.sys_getpid })
+      in
+      if not ok then QCheck.Test.fail_report detail;
+      true)
+
+let tests =
+  [
+    Alcotest.test_case "same seed, same run" `Quick test_same_seed_same_run;
+    Alcotest.test_case "different seed, different run" `Quick
+      test_different_seed_different_run;
+    Alcotest.test_case "fuzz sweep: no divergence" `Quick test_sweep_clean;
+    Alcotest.test_case "clobber caught, minimized, replayed" `Quick
+      test_clobber_caught_minimized_replayed;
+    Alcotest.test_case "forced mode injects only the list" `Quick
+      test_forced_mode_only_listed;
+    QCheck_alcotest.to_alcotest chaos_off_prop;
+  ]

@@ -304,6 +304,66 @@ long main() {
 }
 |}
 
+let test_futex_wait_timeout () =
+  (* FUTEX_WAIT with a timespec times out with -ETIMEDOUT when the
+     word never changes. *)
+  let open Sim_asm.Asm in
+  let open Sim_isa in
+  let prog =
+    [
+      mov_ri Isa.rdi 0x9000; mov_ri Isa.rsi 4096;
+      mov_ri Isa.rdx (Defs.prot_read lor Defs.prot_write);
+      mov_ri Isa.r10 (Defs.map_fixed lor Defs.map_anonymous);
+      mov_ri64 Isa.r8 (-1L); mov_ri Isa.r9 0;
+      mov_ri Isa.rax Defs.sys_mmap; syscall;
+      (* timespec {0, 100us} at 0x9080; futex word 0 at 0x9040 *)
+      mov_ri Isa.rbx 0x9080;
+      mov_ri Isa.rcx 0;
+      store Isa.rbx 0 Isa.rcx;
+      mov_ri Isa.rcx 100_000;
+      store Isa.rbx 8 Isa.rcx;
+      mov_ri Isa.rdi 0x9040;
+      mov_ri Isa.rsi Defs.futex_wait;
+      mov_ri Isa.rdx 0;
+      mov_ri Isa.r10 0x9080;
+      mov_ri Isa.rax Defs.sys_futex; syscall;
+      (* exit(-ret) = ETIMEDOUT = 110 *)
+      mov_ri Isa.rdi 0;
+      sub_rr Isa.rdi Isa.rax;
+      mov_ri Isa.rax Defs.sys_exit_group; syscall;
+    ]
+  in
+  let code, _, _ = Tutil.run_asm prog in
+  Alcotest.(check int) "futex timeout" Defs.etimedout code
+
+let test_epoll_wait_timeout () =
+  (* epoll_wait with a positive timeout and no ready events returns 0
+     at the virtual deadline instead of blocking forever. *)
+  let open Sim_asm.Asm in
+  let open Sim_isa in
+  let prog =
+    [
+      mov_ri Isa.rdi 0x9000; mov_ri Isa.rsi 4096;
+      mov_ri Isa.rdx (Defs.prot_read lor Defs.prot_write);
+      mov_ri Isa.r10 (Defs.map_fixed lor Defs.map_anonymous);
+      mov_ri64 Isa.r8 (-1L); mov_ri Isa.r9 0;
+      mov_ri Isa.rax Defs.sys_mmap; syscall;
+      mov_ri Isa.rdi 8;
+      mov_ri Isa.rax Defs.sys_epoll_create; syscall;
+      mov_rr Isa.rdi Isa.rax;
+      mov_ri Isa.rsi 0x9100;
+      mov_ri Isa.rdx 8;
+      mov_ri Isa.r10 2 (* ms *);
+      mov_ri Isa.rax Defs.sys_epoll_wait; syscall;
+      (* exit(ret + 7) = 7 when the wait timed out with 0 events *)
+      mov_rr Isa.rdi Isa.rax;
+      add_ri Isa.rdi 7;
+      mov_ri Isa.rax Defs.sys_exit_group; syscall;
+    ]
+  in
+  let code, _, _ = Tutil.run_asm prog in
+  Alcotest.(check int) "epoll timeout -> 0 events" 7 code
+
 let tests =
   [
     Alcotest.test_case "dup shares offset" `Quick test_dup_shares_offset;
@@ -321,6 +381,9 @@ let tests =
       test_write_to_closed_pipe_sigpipe_kills;
     Alcotest.test_case "tgkill" `Quick test_tgkill_thread_directed;
     Alcotest.test_case "futex wait/wake" `Quick test_futex_wait_wake;
+    Alcotest.test_case "futex wait timeout" `Quick test_futex_wait_timeout;
+    Alcotest.test_case "epoll_wait positive timeout" `Quick
+      test_epoll_wait_timeout;
     Alcotest.test_case "getdents pagination" `Quick test_getdents_pagination;
     Alcotest.test_case "sched_yield/uname" `Quick test_sched_yield_and_uname;
     Alcotest.test_case "clock_gettime monotonic" `Quick test_clock_monotonic;

@@ -27,4 +27,5 @@ let () =
       ("procfs", Test_procfs.tests);
       ("profiler", Test_profiler.tests);
       ("audit", Test_audit.tests);
+      ("chaos", Test_chaos.tests);
     ]

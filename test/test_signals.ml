@@ -240,6 +240,285 @@ let test_nested_handler_mask () =
   (* count=2, maxdepth=1 -> 2 + 10 = 12 *)
   Alcotest.(check int) "ran twice, never nested" 12 code
 
+(* ------------------------------------------------------------------ *)
+(* SA_RESTART vs -EINTR for blocking syscalls, across every
+   interposition mechanism.
+
+   The interrupting signal comes from a forced chaos block-signal
+   injection ('b', keyed on the count of completed app syscalls), so
+   the interruption lands at the same application event under raw and
+   under every interposer.  Each program encodes its outcome as
+   exit(10 * handler_hits - ret):
+   - an interrupted non-restarted wait returns -EINTR: 10 + 4 = 14;
+   - a transparently restarted read/write completes with 1: 10 - 1 = 9. *)
+
+module D = Harness.Divergence
+module C = Sim_chaos.Chaos
+
+let g2 = 0x9000
+
+let all_mechs = [ D.Raw; D.Sud; D.Zpoline; D.Lazypoline_m; D.Seccomp; D.Ptrace ]
+
+(* Globals staging, NOT below rsp: a sigflow interposer's SIGSYS frame
+   lands below the interrupted rsp and would clobber it. *)
+let map_glob2 =
+  [
+    mov_ri Isa.rdi g2; mov_ri Isa.rsi 8192;
+    mov_ri Isa.rdx (Defs.prot_read lor Defs.prot_write);
+    mov_ri Isa.r10 (Defs.map_fixed lor Defs.map_anonymous);
+    mov_ri64 Isa.r8 (-1L); mov_ri Isa.r9 0;
+    mov_ri Isa.rax Defs.sys_mmap; syscall;
+  ]
+
+let install_g ~flags sig_ =
+  [
+    mov_ri Isa.rbx (g2 + 0x140);
+    Lea_ip (Isa.rcx, "handler");
+    store Isa.rbx 0 Isa.rcx;
+    mov_ri Isa.rcx 0;
+    store Isa.rbx 8 Isa.rcx;
+    mov_ri Isa.rcx flags;
+    store Isa.rbx 16 Isa.rcx;
+    Lea_ip (Isa.rcx, "restorer");
+    store Isa.rbx 24 Isa.rcx;
+    mov_ri Isa.rdi sig_;
+    mov_rr Isa.rsi Isa.rbx;
+    mov_ri Isa.rdx 0;
+    mov_ri Isa.rax Defs.sys_rt_sigaction; syscall;
+  ]
+
+let handler_block =
+  [
+    Label "handler";
+    mov_ri Isa.rbx g2;
+    load Isa.rcx Isa.rbx 0;
+    add_ri Isa.rcx 1;
+    store Isa.rbx 0 Isa.rcx;
+    ret;
+  ]
+  @ restorer_block
+
+(* exit(10 * handler_hits - rax) *)
+let encode_exit =
+  [
+    mov_rr Isa.r12 Isa.rax;
+    mov_ri Isa.rbx g2;
+    load Isa.rcx Isa.rbx 0;
+    mov_ri Isa.rdx 10;
+    i (Isa.Alu_rr (Isa.Mul, Isa.rcx, Isa.rdx));
+    mov_rr Isa.rdi Isa.rcx;
+    sub_rr Isa.rdi Isa.r12;
+    mov_ri Isa.rax Defs.sys_exit_group; syscall;
+  ]
+
+let pipe_fds = [ mov_ri Isa.rdi (g2 + 0x20); mov_ri Isa.rax Defs.sys_pipe; syscall ]
+
+let clone_thread =
+  [
+    mov_ri Isa.rdi
+      (Defs.clone_vm lor Defs.clone_files lor Defs.clone_sighand
+     lor Defs.clone_thread);
+    mov_ri Isa.rsi (g2 + 8192 - 256);
+    mov_ri Isa.rdx 0; mov_ri Isa.r10 0; mov_ri Isa.r8 0;
+    mov_ri Isa.rax Defs.sys_clone; syscall;
+    cmp_ri Isa.rax 0;
+    Jcc_l (Isa.Eq, "thread");
+  ]
+
+(* timespec {0, 5ms} at g2+0xC0: the helper thread sleeps this long so
+   the signal-interruption path resolves before it supplies data. *)
+let stage_child_delay =
+  [
+    mov_ri Isa.rbx (g2 + 0xC0);
+    mov_ri Isa.rcx 0;
+    store Isa.rbx 0 Isa.rcx;
+    mov_ri Isa.rcx 5_000_000;
+    store Isa.rbx 8 Isa.rcx;
+  ]
+
+let blocksig ~index =
+  [
+    {
+      C.j_klass = C.Blocksig; j_tid = 1; j_index = index;
+      j_arg = Defs.sigusr1; j_arg2 = 0L;
+    };
+  ]
+
+let run_mech mech ~injections items =
+  let k = Kernel.create () in
+  Kernel.attach_chaos k (C.forced injections);
+  let img = Loader.image_of_items items in
+  let t = Kernel.spawn k img in
+  D.install mech k t (Lazypoline.Hook.dummy ());
+  if not (Kernel.run_until_exit ~max_slices:400_000 k) then
+    Alcotest.fail "program did not terminate";
+  t.Types.exit_code
+
+let check_mechs msg expected ~injections items =
+  List.iter
+    (fun m ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s under %s" msg (D.mech_name m))
+        expected
+        (run_mech m ~injections items))
+    all_mechs
+
+let test_read_eintr () =
+  (* A blocking read with no SA_RESTART returns -EINTR. *)
+  let prog =
+    map_glob2 @ pipe_fds
+    @ install_g ~flags:0 Defs.sigusr1
+    @ [
+        mov_ri Isa.rbx (g2 + 0x20);
+        load Isa.rdi Isa.rbx 0;
+        mov_ri Isa.rsi (g2 + 0x80);
+        mov_ri Isa.rdx 8;
+        mov_ri Isa.rax Defs.sys_read; syscall;
+      ]
+    @ encode_exit @ handler_block
+  in
+  check_mechs "read -EINTR" 14 ~injections:(blocksig ~index:2) prog
+
+let test_read_restart () =
+  (* With SA_RESTART the read transparently restarts and completes
+     once a helper thread supplies a byte. *)
+  let prog =
+    map_glob2 @ pipe_fds
+    @ install_g ~flags:Defs.sa_restart Defs.sigusr1
+    @ stage_child_delay @ clone_thread
+    @ [
+        mov_ri Isa.rbx (g2 + 0x20);
+        load Isa.rdi Isa.rbx 0;
+        mov_ri Isa.rsi (g2 + 0x80);
+        mov_ri Isa.rdx 8;
+        mov_ri Isa.rax Defs.sys_read; syscall;
+      ]
+    @ encode_exit
+    @ [
+        Label "thread";
+        mov_ri Isa.rdi (g2 + 0xC0);
+        mov_ri Isa.rsi 0;
+        mov_ri Isa.rax Defs.sys_nanosleep; syscall;
+        mov_ri Isa.rbx (g2 + 0x20);
+        load Isa.rdi Isa.rbx 8;
+        mov_ri Isa.rsi (g2 + 0xE0);
+        mov_ri Isa.rdx 1;
+        mov_ri Isa.rax Defs.sys_write; syscall;
+        mov_ri Isa.rdi 0;
+        mov_ri Isa.rax Defs.sys_exit; syscall;
+      ]
+    @ handler_block
+  in
+  check_mechs "read restarted" 9 ~injections:(blocksig ~index:3) prog
+
+let fill_pipe =
+  (* 16 x 4096 fills the 64KiB pipe buffer exactly. *)
+  [
+    mov_ri Isa.rbx (g2 + 0x20);
+    load Isa.r14 Isa.rbx 8;
+    mov_ri Isa.r13 16;
+    Label "fill";
+    mov_rr Isa.rdi Isa.r14;
+    mov_ri Isa.rsi g2;
+    mov_ri Isa.rdx 4096;
+    mov_ri Isa.rax Defs.sys_write; syscall;
+    sub_ri Isa.r13 1;
+    cmp_ri Isa.r13 0;
+    Jcc_l (Isa.Ne, "fill");
+  ]
+
+let blocked_write_1 =
+  [
+    mov_rr Isa.rdi Isa.r14;
+    mov_ri Isa.rsi g2;
+    mov_ri Isa.rdx 1;
+    mov_ri Isa.rax Defs.sys_write; syscall;
+  ]
+
+let test_write_eintr () =
+  let prog =
+    map_glob2 @ pipe_fds
+    @ install_g ~flags:0 Defs.sigusr1
+    @ fill_pipe @ blocked_write_1 @ encode_exit @ handler_block
+  in
+  check_mechs "write -EINTR" 14 ~injections:(blocksig ~index:18) prog
+
+let test_write_restart () =
+  let prog =
+    map_glob2 @ pipe_fds
+    @ install_g ~flags:Defs.sa_restart Defs.sigusr1
+    @ stage_child_delay @ clone_thread @ fill_pipe @ blocked_write_1
+    @ encode_exit
+    @ [
+        Label "thread";
+        mov_ri Isa.rdi (g2 + 0xC0);
+        mov_ri Isa.rsi 0;
+        mov_ri Isa.rax Defs.sys_nanosleep; syscall;
+        mov_ri Isa.rbx (g2 + 0x20);
+        load Isa.rdi Isa.rbx 0;
+        mov_ri Isa.rsi (g2 + 0x100);
+        mov_ri Isa.rdx 4096;
+        mov_ri Isa.rax Defs.sys_read; syscall;
+        mov_ri Isa.rdi 0;
+        mov_ri Isa.rax Defs.sys_exit; syscall;
+      ]
+    @ handler_block
+  in
+  check_mechs "write restarted" 9 ~injections:(blocksig ~index:19) prog
+
+let test_nanosleep_eintr () =
+  (* nanosleep is not restartable: -EINTR even under SA_RESTART. *)
+  let prog =
+    map_glob2
+    @ install_g ~flags:Defs.sa_restart Defs.sigusr1
+    @ [
+        mov_ri Isa.rbx (g2 + 0xC0);
+        mov_ri Isa.rcx 5;
+        store Isa.rbx 0 Isa.rcx;
+        mov_ri Isa.rcx 0;
+        store Isa.rbx 8 Isa.rcx;
+        mov_ri Isa.rdi (g2 + 0xC0);
+        mov_ri Isa.rsi 0;
+        mov_ri Isa.rax Defs.sys_nanosleep; syscall;
+      ]
+    @ encode_exit @ handler_block
+  in
+  check_mechs "nanosleep -EINTR" 14 ~injections:(blocksig ~index:1) prog
+
+let test_futex_eintr () =
+  (* FUTEX_WAIT is not restartable here either. *)
+  let prog =
+    map_glob2
+    @ install_g ~flags:Defs.sa_restart Defs.sigusr1
+    @ [
+        mov_ri Isa.rdi (g2 + 0x40);
+        mov_ri Isa.rsi Defs.futex_wait;
+        mov_ri Isa.rdx 0;
+        mov_ri Isa.r10 0;
+        mov_ri Isa.rax Defs.sys_futex; syscall;
+      ]
+    @ encode_exit @ handler_block
+  in
+  check_mechs "futex -EINTR" 14 ~injections:(blocksig ~index:1) prog
+
+let test_epoll_eintr () =
+  (* epoll_wait is never restarted, matching signal(7). *)
+  let prog =
+    map_glob2
+    @ install_g ~flags:Defs.sa_restart Defs.sigusr1
+    @ [
+        mov_ri Isa.rdi 8;
+        mov_ri Isa.rax Defs.sys_epoll_create; syscall;
+        mov_rr Isa.rdi Isa.rax;
+        mov_ri Isa.rsi (g2 + 0x100);
+        mov_ri Isa.rdx 8;
+        mov_ri64 Isa.r10 (-1L);
+        mov_ri Isa.rax Defs.sys_epoll_wait; syscall;
+      ]
+    @ encode_exit @ handler_block
+  in
+  check_mechs "epoll_wait -EINTR" 14 ~injections:(blocksig ~index:2) prog
+
 let tests =
   [
     Alcotest.test_case "handler runs and returns" `Quick
@@ -255,4 +534,16 @@ let tests =
     Alcotest.test_case "sigprocmask defers" `Quick test_sigprocmask_defers;
     Alcotest.test_case "no recursive delivery while masked" `Quick
       test_nested_handler_mask;
+    Alcotest.test_case "read -EINTR (all mechanisms)" `Quick test_read_eintr;
+    Alcotest.test_case "read SA_RESTART (all mechanisms)" `Quick
+      test_read_restart;
+    Alcotest.test_case "write -EINTR (all mechanisms)" `Quick test_write_eintr;
+    Alcotest.test_case "write SA_RESTART (all mechanisms)" `Quick
+      test_write_restart;
+    Alcotest.test_case "nanosleep -EINTR despite SA_RESTART" `Quick
+      test_nanosleep_eintr;
+    Alcotest.test_case "futex -EINTR despite SA_RESTART" `Quick
+      test_futex_eintr;
+    Alcotest.test_case "epoll_wait -EINTR despite SA_RESTART" `Quick
+      test_epoll_eintr;
   ]
