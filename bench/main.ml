@@ -16,18 +16,23 @@
                                                 write one merged Chrome
                                                 trace JSON, one process
                                                 group per mechanism)
-      dune exec bench/main.exe -- --snapshot BENCH_4.json
-                                               (write the regression
-                                                snapshot and fail if the
-                                                lazypoline fast path got
-                                                >10% slower than the
-                                                previous snapshot)
-      dune exec bench/main.exe -- --chaos-off-check BENCH_4.json
+      dune exec bench/main.exe -- --snapshot auto
+                                               (resolve the latest committed
+                                                BENCH_<n>.json, write the
+                                                regression snapshot and fail
+                                                if the lazypoline fast path
+                                                got >10% slower; an explicit
+                                                path works too)
+      dune exec bench/main.exe -- --chaos-off-check auto
                                                (fail unless a run with a
                                                 zero-rate chaos engine
                                                 attached is cycle-identical
                                                 to the plain run and to the
                                                 committed snapshot)
+      dune exec bench/main.exe -- --no-engine-sweep
+                                               (skip the blocks-on vs.
+                                                blocks-off Table II engine
+                                                throughput sweep)
 
     Besides the paper numbers (simulated cycles — independent of the
     host), every experiment reports host-side simulation throughput:
@@ -119,10 +124,70 @@ let mechanism_rows () =
       })
     configs
 
-let emit_json path mechs =
+(* --- Engine throughput rows (Table II sweep, blocks on vs. off) ---- *)
+
+(* Host-side throughput of the threaded-code block engine: every
+   Table II mechanism run twice over the getpid microbenchmark — once
+   through the block engine, once forced onto the per-instruction
+   interpreter — at an iteration count large enough that steady-state
+   execution dominates image setup.  The headline is the aggregate
+   speedup (total retired instructions / total wall seconds, on vs.
+   off); the gate for this number lives in CI, not here, because host
+   throughput is machine-dependent. *)
+
+type engine_row = {
+  er_name : string;
+  er_on_insns : int;
+  er_on_wall : float;
+  er_off_insns : int;
+  er_off_wall : float;
+}
+
+let engine_iters = 200_000
+let engine_nr = 39 (* getpid: the Table II syscall *)
+
+let engine_rows () =
+  let open Workloads.Microbench_prog in
+  let configs =
+    [
+      Native; Native_sud_allow; Zpoline; Lazypoline_full; Lazypoline_noxstate;
+      Lazypoline_nosud; Lazypoline_protected; Sud; Seccomp_user; Seccomp_bpf;
+      Ptrace;
+    ]
+  in
+  let measure blocks config =
+    let r0 = !Sim_cpu.Cpu.retired in
+    let t0 = Unix.gettimeofday () in
+    ignore (run ~iters:engine_iters ~nr:engine_nr ~blocks config);
+    (Unix.gettimeofday () -. t0, !Sim_cpu.Cpu.retired - r0)
+  in
+  List.map
+    (fun config ->
+      let on_wall, on_insns = measure true config in
+      let off_wall, off_insns = measure false config in
+      {
+        er_name = config_name config;
+        er_on_insns = on_insns;
+        er_on_wall = on_wall;
+        er_off_insns = off_insns;
+        er_off_wall = off_wall;
+      })
+    configs
+
+let ips insns wall = if wall > 0.0 then float_of_int insns /. wall else 0.0
+
+let engine_aggregate rows =
+  let sum f g =
+    List.fold_left (fun (a, b) r -> (a + f r, b +. g r)) (0, 0.0) rows
+  in
+  let on_i, on_w = sum (fun r -> r.er_on_insns) (fun r -> r.er_on_wall) in
+  let off_i, off_w = sum (fun r -> r.er_off_insns) (fun r -> r.er_off_wall) in
+  (ips on_i on_w, ips off_i off_w)
+
+let emit_json path mechs engine =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
-  out "{\n  \"schema\": \"lazypoline-sim-bench/2\",\n  \"experiments\": [";
+  out "{\n  \"schema\": \"lazypoline-sim-bench/3\",\n  \"experiments\": [";
   List.iteri
     (fun idx r ->
       let ips =
@@ -147,10 +212,38 @@ let emit_json path mechs =
         (json_escape m.mr_name) m.mr_cycles;
       out "      \"metrics\": %s }" m.mr_metrics)
     mechs;
-  out "\n  ]\n}\n";
+  out "\n  ]";
+  (match engine with
+  | [] -> ()
+  | rows ->
+      let on_ips, off_ips = engine_aggregate rows in
+      out ",\n  \"engine\": {\n";
+      out "    \"iters\": %d, \"nr\": %d,\n    \"rows\": [" engine_iters
+        engine_nr;
+      List.iteri
+        (fun idx r ->
+          let on = ips r.er_on_insns r.er_on_wall in
+          let off = ips r.er_off_insns r.er_off_wall in
+          out
+            "%s\n      { \"name\": \"%s\", \"on_insns_per_second\": %.1f, \
+             \"off_insns_per_second\": %.1f,\n\
+            \        \"on_insns\": %d, \"off_insns\": %d, \"speedup\": %.2f }"
+            (if idx = 0 then "" else ",")
+            (json_escape r.er_name) on off r.er_on_insns r.er_off_insns
+            (if off > 0.0 then on /. off else 0.0))
+        rows;
+      out "\n    ],\n";
+      out
+        "    \"aggregate\": { \"on_insns_per_second\": %.1f, \
+         \"off_insns_per_second\": %.1f, \"speedup\": %.2f }\n"
+        on_ips off_ips
+        (if off_ips > 0.0 then on_ips /. off_ips else 0.0);
+      out "  }");
+  out "\n}\n";
   close_out oc;
-  Printf.printf "[host] wrote %s (%d experiments, %d mechanisms)\n%!" path
+  Printf.printf "[host] wrote %s (%d experiments, %d mechanisms%s)\n%!" path
     (List.length !reports) (List.length mechs)
+    (if engine = [] then "" else ", engine sweep")
 
 (* --- Regression snapshot (--snapshot) ------------------------------ *)
 
@@ -199,14 +292,49 @@ let scan_lazypoline_cycles path =
             float_of_string_opt (String.trim (String.sub s j (!k - j))))
   end
 
-let emit_snapshot path mechs =
+(* "--snapshot auto" (and "--chaos-off-check auto") resolve to the
+   highest-numbered BENCH_<n>.json in the working directory, so CI
+   tracks the latest committed snapshot without a hardcoded
+   filename. *)
+let resolve_snapshot p =
+  if p <> "auto" then p
+  else begin
+    let num f =
+      let pre = "BENCH_" and suf = ".json" in
+      let lp = String.length pre and ls = String.length suf in
+      if
+        String.length f > lp + ls
+        && String.sub f 0 lp = pre
+        && String.sub f (String.length f - ls) ls = suf
+      then int_of_string_opt (String.sub f lp (String.length f - lp - ls))
+      else None
+    in
+    let best = ref None in
+    Array.iter
+      (fun f ->
+        match num f with
+        | Some n -> (
+            match !best with
+            | Some (m, _) when m >= n -> ()
+            | _ -> best := Some (n, f))
+        | None -> ())
+      (Sys.readdir ".");
+    match !best with
+    | Some (_, f) ->
+        Printf.printf "[host] snapshot: auto-resolved to %s\n%!" f;
+        f
+    | None ->
+        failwith "--snapshot auto: no BENCH_<n>.json in the working directory"
+  end
+
+let emit_snapshot path mechs engine =
   let cur =
     match List.find_opt (fun m -> m.mr_name = "lazypoline") mechs with
     | Some m -> m.mr_cycles
     | None -> failwith "snapshot: no lazypoline mechanism row"
   in
   let prev = scan_lazypoline_cycles path in
-  emit_json path mechs;
+  emit_json path mechs engine;
   match prev with
   | None ->
       Printf.printf
@@ -509,6 +637,28 @@ let () =
      every invocation machine-readable.  The rows are computed once and
      shared with the regression snapshot. *)
   let mechs = mechanism_rows () in
-  emit_json json_path mechs;
-  (match chaos_off_path with Some p -> check_chaos_off p mechs | None -> ());
-  match snapshot_path with Some p -> emit_snapshot p mechs | None -> ()
+  (* The engine sweep (blocks on vs. off across the Table II configs)
+     is a few seconds of host time, so it is skippable for quick local
+     iterations but on by default: every committed BENCH_<n>.json must
+     carry the engine-on/engine-off throughput numbers. *)
+  let engine =
+    if List.mem "--no-engine-sweep" args then []
+    else begin
+      let rows = engine_rows () in
+      let on_ips, off_ips = engine_aggregate rows in
+      Printf.printf
+        "[host] engine sweep: %.1f M insn/s (blocks) vs %.1f M insn/s \
+         (interp) — %.2fx across %d Table II configs\n%!"
+        (on_ips /. 1e6) (off_ips /. 1e6)
+        (if off_ips > 0.0 then on_ips /. off_ips else 0.0)
+        (List.length rows);
+      rows
+    end
+  in
+  emit_json json_path mechs engine;
+  (match chaos_off_path with
+  | Some p -> check_chaos_off (resolve_snapshot p) mechs
+  | None -> ());
+  match snapshot_path with
+  | Some p -> emit_snapshot (resolve_snapshot p) mechs engine
+  | None -> ()

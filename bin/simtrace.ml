@@ -101,9 +101,10 @@ let setup_fs k =
     log — recorded kernel-side through the shared {!Strace} decoder,
     so it carries results with errno names and covers every dispatch
     (including [--mech none], which no interposer hook would see). *)
-let execute ?tracer ?metrics ?profiler ?auditor file mech jit preserve_xstate =
+let execute ?tracer ?metrics ?profiler ?auditor ?blocks file mech jit
+    preserve_xstate =
   let src = read_file file in
-  let k = Kernel.create () in
+  let k = Kernel.create ?blocks () in
   k.Types.tracer <- tracer;
   (match metrics with Some m -> Kernel.attach_metrics k m | None -> ());
   (match auditor with Some a -> Kernel.attach_audit k a | None -> ());
@@ -173,20 +174,43 @@ let print_summary (tr : Sim_trace.Tracer.t) =
         r.lr_count r.lr_p50 r.lr_p99)
     (Sim_trace.Summary.latency_rows spans)
 
-let run_cmd file mech jit preserve_xstate summary =
+(** Block-engine counter deltas around one run: compiled blocks, block
+    hits, SMC kills, interpreter fallbacks, and the hit ratio (share of
+    retired instructions that executed inside a compiled block). *)
+let print_block_summary ~before ~retired_before =
+  let c0, h0, k0, i0, f0 = before in
+  let c1, h1, k1, i1, f1 = Sim_cpu.Icache.block_totals () in
+  let retired = !Sim_cpu.Ctx.retired - retired_before in
+  let insns = i1 - i0 in
+  let ratio = if retired > 0 then 100.0 *. float insns /. float retired else 0.0 in
+  Printf.eprintf "\nblock engine: %d blocks compiled, %d block hits, %d SMC \
+                  kills, %d fallbacks\n"
+    (c1 - c0) (h1 - h0) (k1 - k0) (f1 - f0);
+  Printf.eprintf "block-hit ratio: %d/%d instructions in blocks (%.1f%%)\n"
+    insns retired ratio
+
+let run_cmd file mech jit preserve_xstate summary no_blocks =
   let tracer =
     if summary then Some (Sim_trace.Tracer.create ~ncpus:1 ()) else None
   in
-  let _k, t, log = execute ?tracer file mech jit preserve_xstate in
+  let block_before = Sim_cpu.Icache.block_totals () in
+  let retired_before = !Sim_cpu.Ctx.retired in
+  let blocks = if no_blocks then Some false else None in
+  let _k, t, log = execute ?tracer ?blocks file mech jit preserve_xstate in
   List.iter (fun l -> Printf.eprintf "%s\n" l) (List.rev !log);
   Printf.eprintf "+++ exited with %d (%Ld cycles) +++\n" t.Types.exit_code
     t.Types.tcycles;
-  (match tracer with Some tr -> print_summary tr | None -> ());
+  (match tracer with
+  | Some tr ->
+      print_summary tr;
+      print_block_summary ~before:block_before ~retired_before
+  | None -> ());
   if t.Types.exit_code <> 0 then exit t.Types.exit_code
 
-let trace_cmd file mech jit preserve_xstate out =
+let trace_cmd file mech jit preserve_xstate out no_blocks =
   let tr = Sim_trace.Tracer.create ~ncpus:1 () in
-  let _k, t, _log = execute ~tracer:tr file mech jit preserve_xstate in
+  let blocks = if no_blocks then Some false else None in
+  let _k, t, _log = execute ~tracer:tr ?blocks file mech jit preserve_xstate in
   let json =
     Sim_trace.Export.chrome_json ~name_of_nr:Defs.syscall_name
       ~name:(Filename.basename file)
@@ -201,17 +225,19 @@ let trace_cmd file mech jit preserve_xstate out =
     (Sim_trace.Tracer.dropped tr);
   if t.Types.exit_code <> 0 then exit t.Types.exit_code
 
-let report_cmd file mech jit preserve_xstate =
+let report_cmd file mech jit preserve_xstate no_blocks =
   let tr = Sim_trace.Tracer.create ~ncpus:1 () in
-  let _k, t, _log = execute ~tracer:tr file mech jit preserve_xstate in
+  let blocks = if no_blocks then Some false else None in
+  let _k, t, _log = execute ~tracer:tr ?blocks file mech jit preserve_xstate in
   print_string (Sim_trace.Summary.report ~name_of_nr:Defs.syscall_name tr);
   if t.Types.exit_code <> 0 then exit t.Types.exit_code
 
 (** perf-stat-style one-shot counter summary from the metrics
     registry. *)
-let stat_cmd file mech jit preserve_xstate format =
+let stat_cmd file mech jit preserve_xstate format no_blocks =
   let m = Kmetrics.create () in
-  let _k, t, _log = execute ~metrics:m file mech jit preserve_xstate in
+  let blocks = if no_blocks then Some false else None in
+  let _k, t, _log = execute ~metrics:m ?blocks file mech jit preserve_xstate in
   (match format with
   | "prometheus" -> print_string (Kmetrics.prometheus m)
   | "json" -> print_string (Kmetrics.to_json m)
@@ -238,6 +264,10 @@ let stat_cmd file mech jit preserve_xstate format =
       irow "sigreturns" (v "sim_sigreturns_total");
       irow "icache-hits" (v "sim_icache_hits_total");
       irow "icache-misses" (v "sim_icache_misses_total");
+      irow "blocks-compiled" (v "sim_blocks_compiled_total");
+      irow "block-hits" (v "sim_block_hits_total");
+      irow "block-insns" (v "sim_block_insns_total");
+      irow "block-kills" (v "sim_block_kills_total");
       irow "mmap-bytes" (v "sim_mmap_bytes_total");
       irow "mprotect-bytes" (v "sim_mprotect_bytes_total");
       irow "w-to-x-flips" (v "sim_wx_flips_total");
@@ -247,9 +277,10 @@ let stat_cmd file mech jit preserve_xstate format =
 (** Sampling profile: run with the cycle-clock sampler attached and
     write collapsed stacks ("comm;context;symbol count" lines) for
     flamegraph.pl. *)
-let profile_cmd file mech jit preserve_xstate out period =
+let profile_cmd file mech jit preserve_xstate out period no_blocks =
   let p = Sim_metrics.Profiler.create ~period () in
-  let _k, t, _log = execute ~profiler:p file mech jit preserve_xstate in
+  let blocks = if no_blocks then Some false else None in
+  let _k, t, _log = execute ~profiler:p ?blocks file mech jit preserve_xstate in
   let folded = Sim_metrics.Profiler.folded p in
   let oc = open_out out in
   Fun.protect
@@ -491,6 +522,54 @@ let chaos_replay_cmd file =
             (Divergence.mech_name r.Chaos.r_mech);
           exit 1)
 
+(** Gate the threaded-code block engine against the interpreter: run
+    every mechanism over the microbench, the signal-heavy workload and
+    (optionally) a minicc program, requiring bit-identical audit logs,
+    cycle clocks and state hashes with blocks on vs. off — then repeat
+    under seeded chaos, where the injection streams themselves must
+    also align.  Exits 1 on any mismatch. *)
+let engine_check_cmd seeds prog jit =
+  let module Chaos = Harness.Chaos in
+  let workloads =
+    [
+      ("micro", Divergence.Micro { iters = 120; nr = Defs.sys_getpid });
+      ("sigmicro", Divergence.Sigmicro { iters = 8 });
+    ]
+    @
+    match prog with
+    | Some path -> [ ("prog", Divergence.Prog { src = read_file path; jit }) ]
+    | None -> []
+  in
+  let failures = ref 0 in
+  let check label mech (ok, detail) =
+    Printf.printf "  %-10s %-10s %s\n%!" label
+      (Divergence.mech_name mech)
+      detail;
+    if not ok then incr failures
+  in
+  Printf.printf "engine identity (blocks vs. interpreter):\n";
+  List.iter
+    (fun (wname, w) ->
+      List.iter
+        (fun m -> check wname m (Divergence.engine_identical m w))
+        Divergence.all_mechs)
+    workloads;
+  Printf.printf "engine identity under chaos (%d seeds):\n" seeds;
+  let mechs = Array.of_list Divergence.all_mechs in
+  for seed = 1 to seeds do
+    let m = mechs.((seed - 1) mod Array.length mechs) in
+    check
+      (Printf.sprintf "seed %d" seed)
+      m
+      (Chaos.engine_identical_chaos ~seed:(Int64.of_int seed) m
+         (Divergence.Micro { iters = 60; nr = Defs.sys_getpid }))
+  done;
+  if !failures > 0 then begin
+    Printf.printf "ENGINE CHECK FAILED: %d mismatch(es)\n" !failures;
+    exit 1
+  end
+  else Printf.printf "engine check passed: block engine is bit-identical\n"
+
 let disasm_cmd file =
   let src = read_file file in
   let text, data = Minicc.Codegen.compile src in
@@ -537,10 +616,20 @@ let out_arg =
     & info [ "o"; "out" ] ~docv:"PATH"
         ~doc:"Output path for the Chrome trace-event JSON.")
 
+let no_blocks_arg =
+  Arg.(
+    value & flag
+    & info [ "no-blocks" ]
+        ~doc:
+          "Force the pure per-instruction interpreter: disable the \
+           threaded-code block engine for this run (equivalent to \
+           SIM_NO_BLOCKS=1 in the environment).")
+
 let run_t =
   Cmd.v (Cmd.info "run" ~doc:"Run a minicc program under an interposer")
     Term.(
-      const run_cmd $ file_arg $ mech_arg $ jit_arg $ xstate_arg $ summary_arg)
+      const run_cmd $ file_arg $ mech_arg $ jit_arg $ xstate_arg $ summary_arg
+      $ no_blocks_arg)
 
 let trace_t =
   Cmd.v
@@ -550,7 +639,8 @@ let trace_t =
           the event timeline as Chrome trace-event JSON (loadable in \
           Perfetto / chrome://tracing)")
     Term.(
-      const trace_cmd $ file_arg $ mech_arg $ jit_arg $ xstate_arg $ out_arg)
+      const trace_cmd $ file_arg $ mech_arg $ jit_arg $ xstate_arg $ out_arg
+      $ no_blocks_arg)
 
 let report_t =
   Cmd.v
@@ -559,7 +649,9 @@ let report_t =
          "Run a minicc program with the machine-wide tracer on and print \
           the human-readable report: dispatch paths, rewrites and other \
           events, syscall-latency percentiles")
-    Term.(const report_cmd $ file_arg $ mech_arg $ jit_arg $ xstate_arg)
+    Term.(
+      const report_cmd $ file_arg $ mech_arg $ jit_arg $ xstate_arg
+      $ no_blocks_arg)
 
 let format_arg =
   Arg.(
@@ -595,7 +687,8 @@ let stat_t =
           a perf-stat-style counter summary (or the raw Prometheus/JSON \
           exposition)")
     Term.(
-      const stat_cmd $ file_arg $ mech_arg $ jit_arg $ xstate_arg $ format_arg)
+      const stat_cmd $ file_arg $ mech_arg $ jit_arg $ xstate_arg $ format_arg
+      $ no_blocks_arg)
 
 let profile_t =
   Cmd.v
@@ -605,7 +698,7 @@ let profile_t =
           write collapsed stacks (flamegraph.pl input)")
     Term.(
       const profile_cmd $ file_arg $ mech_arg $ jit_arg $ xstate_arg
-      $ folded_out_arg $ period_arg)
+      $ folded_out_arg $ period_arg $ no_blocks_arg)
 
 let audit_out_arg =
   Arg.(
@@ -743,6 +836,17 @@ let disasm_t =
   Cmd.v (Cmd.info "disasm" ~doc:"Compile a minicc program and disassemble it")
     Term.(const disasm_cmd $ file_arg)
 
+let engine_check_t =
+  Cmd.v
+    (Cmd.info "engine-check"
+       ~doc:
+         "Verify the threaded-code block engine is bit-identical to the \
+          per-instruction interpreter: audit logs, cycle clocks and state \
+          hashes must match across every mechanism, plus seeded chaos runs \
+          where the injection streams must also align; exits 1 on any \
+          mismatch")
+    Term.(const engine_check_cmd $ seeds_arg $ chaos_prog_arg $ jit_arg)
+
 let pin_t =
   Cmd.v
     (Cmd.info "pin"
@@ -759,5 +863,5 @@ let () =
        (Cmd.group info
           [
             run_t; trace_t; report_t; stat_t; profile_t; record_t; replay_t;
-            diff_t; chaos_t; chaos_replay_t; disasm_t; pin_t;
+            diff_t; chaos_t; chaos_replay_t; engine_check_t; disasm_t; pin_t;
           ]))

@@ -1,172 +1,23 @@
-(** The x64lite CPU interpreter.
+(** The x64lite CPU interpreter and threaded-code block runner.
 
     A [t] is one task's register context; [step] executes a single
     instruction against a {!Sim_mem.Mem.t} and reports what happened.
     The kernel owns the run loop, cycle accounting and trap handling.
+    The register context itself (and every helper the {!Icache} block
+    compiler shares with the interpreter) lives in {!Ctx} and is
+    re-exported here, so the rest of the tree keeps addressing it as
+    [Cpu.t].
 
     Register-access hooks feed the Pin-style dynamic analysis
     (Section IV-B of the paper): every architectural register read and
-    write can be observed without perturbing execution. *)
+    write can be observed without perturbing execution.  The block
+    engine is bypassed whenever a hook is installed — its closures use
+    direct register accesses — so the analyses always observe the
+    interpreter's exact event stream. *)
 
 open Sim_isa
 open Sim_mem
-
-(** {1 Extended state (SSE + x87)} *)
-
-type xstate = {
-  xmm_lo : int64 array;  (** low 64 bits of xmm0..xmm15 *)
-  xmm_hi : int64 array;  (** high 64 bits *)
-  st : int64 array;  (** x87 stack slots (bit patterns) *)
-  mutable st_sp : int;  (** number of live x87 stack entries, 0..8 *)
-}
-
-let xstate_create () =
-  { xmm_lo = Array.make 16 0L; xmm_hi = Array.make 16 0L;
-    st = Array.make 8 0L; st_sp = 0 }
-
-let xstate_copy x =
-  { xmm_lo = Array.copy x.xmm_lo; xmm_hi = Array.copy x.xmm_hi;
-    st = Array.copy x.st; st_sp = x.st_sp }
-
-let xstate_restore ~into src =
-  Array.blit src.xmm_lo 0 into.xmm_lo 0 16;
-  Array.blit src.xmm_hi 0 into.xmm_hi 0 16;
-  Array.blit src.st 0 into.st 0 8;
-  into.st_sp <- src.st_sp
-
-(** Serialised size of the extended state (xsave area): 16 xmm x 16
-    bytes + 8 x87 slots x 8 bytes + 8 bytes of bookkeeping. *)
-let xstate_bytes = (16 * 16) + (8 * 8) + 8
-
-let xstate_write_mem (x : xstate) mem addr =
-  for i = 0 to 15 do
-    Mem.write_u64 mem (addr + (16 * i)) x.xmm_lo.(i);
-    Mem.write_u64 mem (addr + (16 * i) + 8) x.xmm_hi.(i)
-  done;
-  for i = 0 to 7 do
-    Mem.write_u64 mem (addr + 256 + (8 * i)) x.st.(i)
-  done;
-  Mem.write_u64 mem (addr + 320) (Int64.of_int x.st_sp)
-
-let xstate_to_bytes (x : xstate) : string =
-  let b = Bytes.create xstate_bytes in
-  for i = 0 to 15 do
-    Bytes.set_int64_le b (16 * i) x.xmm_lo.(i);
-    Bytes.set_int64_le b ((16 * i) + 8) x.xmm_hi.(i)
-  done;
-  for i = 0 to 7 do
-    Bytes.set_int64_le b (256 + (8 * i)) x.st.(i)
-  done;
-  Bytes.set_int64_le b 320 (Int64.of_int x.st_sp);
-  Bytes.unsafe_to_string b
-
-let xstate_of_bytes (x : xstate) (s : string) =
-  let b = Bytes.unsafe_of_string s in
-  for i = 0 to 15 do
-    x.xmm_lo.(i) <- Bytes.get_int64_le b (16 * i);
-    x.xmm_hi.(i) <- Bytes.get_int64_le b ((16 * i) + 8)
-  done;
-  for i = 0 to 7 do
-    x.st.(i) <- Bytes.get_int64_le b (256 + (8 * i))
-  done;
-  x.st_sp <- Int64.to_int (Bytes.get_int64_le b 320) land 15
-
-let xstate_read_mem (x : xstate) mem addr =
-  for i = 0 to 15 do
-    x.xmm_lo.(i) <- Mem.read_u64 mem (addr + (16 * i));
-    x.xmm_hi.(i) <- Mem.read_u64 mem (addr + (16 * i) + 8)
-  done;
-  for i = 0 to 7 do
-    x.st.(i) <- Mem.read_u64 mem (addr + 256 + (8 * i))
-  done;
-  x.st_sp <- Int64.to_int (Mem.read_u64 mem (addr + 320)) land 15
-
-(** {1 Register context} *)
-
-type hook_event =
-  | Reg_read of int
-  | Reg_write of int
-  | Xmm_read of int
-  | Xmm_write of int
-  | X87_read
-  | X87_write
-
-type t = {
-  regs : int64 array;  (** 16 GPRs *)
-  mutable rip : int;
-  mutable zf : bool;
-  mutable sf : bool;
-  mutable cf : bool;
-  x : xstate;
-  mutable fs_base : int;
-  mutable gs_base : int;
-  mutable hook : (hook_event -> unit) option;
-  mutable now : unit -> int64;  (** cycle counter source for [rdtsc] *)
-  mutable nop_run : int;
-      (** consecutive [nop]s retired; models superscalar nop
-          throughput (~4/cycle), which is what makes zpoline-style
-          nop sleds cheap on real hardware *)
-  mutable last_cost : int;  (** cycle cost of the last [step] *)
-  mutable pkru : int;
-      (** protection-key rights: bit k set = writes to pkey-k pages
-          denied.  0 (default) disables all checking. *)
-}
-
-let create () =
-  {
-    regs = Array.make 16 0L;
-    rip = 0;
-    zf = false;
-    sf = false;
-    cf = false;
-    x = xstate_create ();
-    fs_base = 0;
-    gs_base = 0;
-    hook = None;
-    now = (fun () -> 0L);
-    nop_run = 0;
-    last_cost = 1;
-    pkru = 0;
-  }
-
-(** Copy of [t] sharing nothing (for fork/clone and signal frames). *)
-let copy (c : t) =
-  {
-    regs = Array.copy c.regs;
-    rip = c.rip;
-    zf = c.zf;
-    sf = c.sf;
-    cf = c.cf;
-    x = xstate_copy c.x;
-    fs_base = c.fs_base;
-    gs_base = c.gs_base;
-    hook = c.hook;
-    now = c.now;
-    nop_run = 0;
-    last_cost = 1;
-    pkru = c.pkru;
-  }
-
-let fire c e = match c.hook with None -> () | Some f -> f e
-
-let get_reg c r =
-  fire c (Reg_read r);
-  c.regs.(r)
-
-let set_reg c r v =
-  fire c (Reg_write r);
-  c.regs.(r) <- v
-
-(* Untracked accessors for kernel/interposer use: the kernel reading
-   syscall arguments is not an application register use and must not
-   register in the Pin analysis. *)
-let peek_reg c r = c.regs.(r)
-let poke_reg c r v = c.regs.(r) <- v
-
-(** Syscall arguments per the SysV convention. *)
-let syscall_args c =
-  ( c.regs.(Isa.rdi), c.regs.(Isa.rsi), c.regs.(Isa.rdx), c.regs.(Isa.r10),
-    c.regs.(Isa.r8), c.regs.(Isa.r9) )
+include Ctx
 
 (** {1 Stepping} *)
 
@@ -179,86 +30,6 @@ type outcome =
   | Fault of int * Mem.access  (** [rip] still at the faulting instruction *)
   | Fault_arith  (** division by zero *)
   | Bad_instr of int  (** undecodable opcode at [rip] *)
-
-let flags_of_result c (v : int64) =
-  c.zf <- Int64.equal v 0L;
-  c.sf <- Int64.compare v 0L < 0;
-  c.cf <- false
-
-let seg_base c = function
-  | Isa.Seg_none -> 0
-  | Isa.Seg_fs -> c.fs_base
-  | Isa.Seg_gs -> c.gs_base
-
-let ea c seg base disp =
-  seg_base c seg + Int64.to_int (get_reg c base) + Int32.to_int disp
-
-(* Protection-key write check (no-op while pkru = 0). *)
-let wcheck c mem addr =
-  if c.pkru <> 0 then begin
-    let pk = Mem.pkey_at mem addr in
-    if pk <> 0 && c.pkru land (1 lsl pk) <> 0 then
-      raise (Mem.Fault (addr, Mem.Write))
-  end
-
-let push c mem v =
-  let sp = Int64.to_int c.regs.(Isa.rsp) - 8 in
-  wcheck c mem sp;
-  Mem.write_u64 mem sp v;
-  c.regs.(Isa.rsp) <- Int64.of_int sp
-
-let pop c mem =
-  let sp = Int64.to_int c.regs.(Isa.rsp) in
-  let v = Mem.read_u64 mem sp in
-  c.regs.(Isa.rsp) <- Int64.of_int (sp + 8);
-  v
-
-let cond_holds c = function
-  | Isa.Eq -> c.zf
-  | Isa.Ne -> not c.zf
-  | Isa.Lt -> c.sf
-  | Isa.Le -> c.sf || c.zf
-  | Isa.Gt -> not (c.sf || c.zf)
-  | Isa.Ge -> not c.sf
-  | Isa.Ult -> c.cf
-  | Isa.Uge -> not c.cf
-
-let x87_push c v =
-  if c.x.st_sp >= 8 then c.x.st_sp <- 7;
-  (* stack overflow clobbers the top slot, as good as anything *)
-  c.x.st.(c.x.st_sp) <- v;
-  c.x.st_sp <- c.x.st_sp + 1;
-  fire c X87_write
-
-let x87_pop c =
-  fire c X87_read;
-  if c.x.st_sp = 0 then 0L
-  else (
-    c.x.st_sp <- c.x.st_sp - 1;
-    c.x.st.(c.x.st_sp))
-
-(** Total instructions retired across every CPU instance in the
-    process — the benchmark harness divides this by wall-clock time to
-    report host-side simulation throughput. *)
-let retired = ref 0
-
-(* Per-instruction cycle accounting, identical whether the decode came
-   from the icache or the byte-at-a-time path. *)
-let account (c : t) (instr : Isa.instr) =
-  match instr with
-  | Isa.Nop ->
-      c.nop_run <- c.nop_run + 1;
-      c.last_cost <- (if c.nop_run land 3 = 0 then 1 else 0)
-  | Isa.Nopw n ->
-      c.nop_run <- 0;
-      c.last_cost <- n
-  | Isa.Wrpkru _ ->
-      (* real WRPKRU serialises; ~23 cycles on current parts *)
-      c.nop_run <- 0;
-      c.last_cost <- 23
-  | _ ->
-      c.nop_run <- 0;
-      c.last_cost <- 1
 
 (** Execute one already-decoded instruction whose encoding ends at
     [next].  The back end of the pipeline: cycle accounting and the
@@ -532,3 +303,154 @@ let step ?icache (c : t) (mem : Mem.t) : outcome =
       match Icache.find ic mem c.rip with
       | Some e -> exec c mem e.Icache.instr (c.rip + e.Icache.ilen)
       | None -> step_uncached c mem)
+
+(** {1 The block runner (enter-block / run-block / exit-block)}
+
+    The enter phase is the kernel's: it checks that the engine is
+    enabled and hook-free and asks {!Icache.lookup} for a block.  The
+    run phase is {!run_block} below.  The exit phase is again the
+    kernel's: charge any bulk-accumulated cycles and handle the
+    terminal outcome through the same per-outcome arms a single step
+    uses. *)
+
+(** Single-step a decode-cache entry the engine declined to run as a
+    block (cold, uncompilable, or excluded head instruction). *)
+let step_cached (c : t) (mem : Mem.t) (e : Icache.entry) : outcome =
+  incr retired;
+  exec c mem e.Icache.instr (c.rip + e.Icache.ilen)
+
+(** Single-step through the uncached byte-at-a-time path (engine-mode
+    lookup missed: page seam, non-executable page, undecodable). *)
+let step_miss (c : t) (mem : Mem.t) : outcome =
+  incr retired;
+  step_uncached c mem
+
+(** Run compiled block [blk] from op index [idx0].
+
+    [budget] is the number of [last_cost] units this run may {e
+    start}: op [i] executes iff the units accumulated by its
+    predecessors are below it — exactly the interpreter's
+    [clk < slice_end] pre-check with the clock advance factored
+    through the kernel's per-instruction cost multiplier.
+
+    [per_op] (when set) is called with each op's [last_cost] units
+    immediately after the op retires, with [rip] already advanced —
+    the same point the interpreter's charge fires, so an attached
+    profiler sees identical tick attribution.  When [None], units
+    accumulate and are returned for one bulk charge (clock and
+    task-cycle sums are identical; only a profiler could tell, and it
+    is absent on this path).
+
+    [chaos] (when set) is the per-retired-instruction preemption
+    draw, called after every op exactly as the kernel's loop does
+    around single steps; a [true] return stops the block at that
+    instruction boundary.
+
+    The runner re-checks the code-mutation epoch after every op that
+    can write memory: if the store moved the executing block's own
+    page generation (mid-block SMC), the block stops at the next
+    boundary — the same point the interpreter's next fetch would
+    observe the new bytes.  Stores to other pages never invalidate
+    this block's closures and execution continues, matching the
+    interpreter's per-page revalidation.
+
+    Returns the terminal outcome ([Stepped] for a completed or merely
+    interrupted block; [Fault _]/[Fault_arith] from a raising op, with
+    [rip] left at the faulting instruction), the uncharged bulk units,
+    and whether chaos preempted. *)
+let run_block (c : t) (mem : Mem.t) (blk : Icache.block) (idx0 : int)
+    ~(budget : int) ~(per_op : (int -> unit) option)
+    ~(chaos : (unit -> bool) option) : outcome * int * bool =
+  let ops = blk.Icache.b_ops and writes = blk.Icache.b_writes in
+  let n = Array.length ops in
+  let pn = blk.Icache.b_pn and bgen = blk.Icache.b_gen in
+  let i = ref idx0 and acc = ref 0 in
+  let fused = ref (-1) in  (* insns completed on the fused path *)
+  let outcome = ref Stepped in
+  let preempted = ref false and smc = ref false and stop = ref false in
+  (try
+     match (per_op, chaos) with
+     | None, None
+       when idx0 = 0
+            && (not blk.Icache.b_anywrites)
+            && budget >= blk.Icache.b_maxunits ->
+         (* Fastest path: whole-block entry with no observers, no
+            memory-writing ops (so no SMC checks) and a slice budget
+            that provably cannot run out mid-block — nothing can stop
+            the run, so it executes the superinstruction form, where
+            a whole nop sled is one closure.  Per-instruction states
+            between fops are unobservable here, which is what makes
+            the fusion invisible. *)
+         let fops = blk.Icache.b_fops and flens = blk.Icache.b_flen in
+         let m = Array.length fops in
+         let j = ref 0 in
+         fused := 0;
+         while !j < m do
+           acc := !acc + (Array.unsafe_get fops !j) c mem;
+           fused := !fused + Array.unsafe_get flens !j;
+           incr j
+         done;
+         i := n
+     | None, None ->
+         (* Fast path: no per-op observers; one bulk charge at exit. *)
+         while (not !stop) && !i < n && !acc < budget do
+           (Array.unsafe_get ops !i) c mem;
+           acc := !acc + c.last_cost;
+           if Array.unsafe_get writes !i then begin
+             let e = Mem.code_mut_count mem in
+             if e <> blk.Icache.b_epoch then begin
+               blk.Icache.b_epoch <- e;
+               if Mem.page_gen mem pn <> bgen then begin
+                 smc := true;
+                 stop := true
+               end
+             end
+           end;
+           incr i
+         done
+     | _ ->
+         while (not !stop) && !i < n && !acc < budget do
+           (Array.unsafe_get ops !i) c mem;
+           let u = c.last_cost in
+           acc := !acc + u;
+           (match per_op with Some f -> f u | None -> ());
+           if Array.unsafe_get writes !i then begin
+             let e = Mem.code_mut_count mem in
+             if e <> blk.Icache.b_epoch then begin
+               blk.Icache.b_epoch <- e;
+               if Mem.page_gen mem pn <> bgen then begin
+                 smc := true;
+                 stop := true
+               end
+             end
+           end;
+           (match chaos with
+           | Some f ->
+               if f () then begin
+                 preempted := true;
+                 stop := true
+               end
+           | None -> ());
+           incr i
+         done
+   with
+  | Mem.Fault (a, acc') -> outcome := Fault (a, acc')
+  | Exit -> outcome := Fault_arith);
+  (* [!i - idx0] ops completed (the fused path counts for itself); a
+     faulting op still counts as retired, matching the interpreter
+     (its [incr retired] precedes [exec]). *)
+  let nrun = if !fused >= 0 then !fused else !i - idx0 in
+  let nret =
+    match !outcome with Fault _ | Fault_arith -> nrun + 1 | _ -> nrun
+  in
+  retired := !retired + nret;
+  Icache.g_block_insns := !Icache.g_block_insns + nret;
+  (match !outcome with
+  | Fault _ | Fault_arith -> incr Icache.g_bexit_fault
+  | _ ->
+      if !preempted then incr Icache.g_bexit_preempt
+      else if !smc then incr Icache.g_bexit_smc
+      else if !i < n && !acc >= budget then incr Icache.g_bexit_budget
+      else incr Icache.g_bexit_end);
+  let bulk = match per_op with None -> !acc | Some _ -> 0 in
+  (!outcome, bulk, !preempted)

@@ -1,4 +1,5 @@
-(** Page-versioned decoded-instruction cache.
+(** Page-versioned decoded-instruction cache and threaded-code block
+    compiler.
 
     Sits between {!Sim_mem.Mem} and {!Cpu}: the CPU's hot loop asks
     this module for the decoded instruction at [rip] before falling
@@ -19,8 +20,9 @@
       memoised at the last validation — while nothing executable has
       changed anywhere, a hit on the current page costs an array read;
     + when the epoch has moved, the page's generation is re-read and
-      compared to the cached one; on mismatch the page's entries are
-      dropped and re-filled from the current bytes.
+      compared to the cached one; on mismatch the page's entries (and
+      its compiled blocks) are dropped and re-filled from the current
+      bytes.
 
     Entries never span a page boundary (an instruction straddling two
     pages would need both generations checked); such instructions take
@@ -31,16 +33,95 @@
     straight-line run following the missed instruction and pre-fills
     those entries too, amortising cold-code decode.  Per-entry keying
     makes this unconditionally safe: an entry at offset [o] is the
-    decode of the bytes at [o], however execution reaches it. *)
+    decode of the bytes at [o], however execution reaches it.
+
+    {2 The threaded-code block engine}
+
+    On top of the per-instruction cache sits a superblock compiler:
+    once an offset has been executed {!heat_threshold} times through
+    the per-instruction path, the straight-line run starting there is
+    compiled into an array of pre-resolved OCaml closures
+    ({!compile_op}) — operands resolved to direct register/immediate
+    accessors, the {!Cpu.exec} dispatch match flattened away.  The
+    block runner in {!Cpu} then retires the whole run without
+    per-instruction dispatch, accumulating the exact per-instruction
+    cycle costs ({!Ctx.account}-equivalent mutations are inlined at
+    the head of every closure) for the kernel to charge in bulk.
+
+    Blocks never span a page (decode stops at the seam), so a block's
+    validity is exactly one page generation: {!validate} drops a
+    page's blocks together with its entries whenever the generation
+    moves, and the runner re-checks the generation after every
+    memory-writing op so a store into the currently-executing block
+    stops it at the next instruction boundary — the same point the
+    interpreter would observe the new bytes.
+
+    Blocks exclude [Syscall]/[Hypercall]/[Hlt]/[Int3] (trap outcomes
+    the kernel must see per-instruction) and [Rdtsc] (reads the cycle
+    clock at execution time, which bulk charging would skew); pure
+    control flow ([Jmp]/[Jcc]/[Call]/[Call_reg]/[Jmp_reg]/[Ret]) may
+    terminate a block.  Closures bypass the register-access hook
+    machinery, so the engine is only entered when no Pin-style hook is
+    installed (the kernel falls back to the interpreter otherwise). *)
 
 open Sim_isa
 open Sim_mem
 
 type entry = { instr : Isa.instr; ilen : int  (** encoded length *) }
 
+(** One compiled instruction: executes against the context and memory,
+    sets [rip], and raises [Mem.Fault]/[Exit] exactly like
+    {!Cpu.exec} does for the same instruction. *)
+type op = Ctx.t -> Mem.t -> unit
+
+(** A compiled superblock: a straight-line run within one page.  Valid
+    exactly while page [b_pn] still has generation [b_gen]. *)
+type block = {
+  b_pn : int;  (** page the block's bytes live in *)
+  b_gen : int;  (** page generation the closures were compiled from *)
+  b_start : int;  (** absolute address of op 0 *)
+  b_ops : op array;
+  b_writes : bool array;
+      (** op i can write memory — the runner re-checks the
+          code-mutation epoch after these (mid-block SMC) *)
+  b_anywrites : bool;  (** any [b_writes] set — false lets the runner
+                           skip SMC checks for the whole block *)
+  b_maxunits : int;
+      (** upper bound on the [last_cost] units the whole block can
+          accumulate; a slice budget at or above this needs no per-op
+          budget checks *)
+  mutable b_epoch : int;
+      (** memo of the last address-space code-mutation count the
+          runner observed from this block — a cheap filter in front of
+          the authoritative page-generation check, so a stale value is
+          harmless (it only costs one extra [page_gen] read) *)
+  b_fops : (Ctx.t -> Mem.t -> int) array;
+      (** superinstruction form: each fop covers [b_flen.(j)]
+          consecutive ops and returns the [last_cost] units they
+          accumulate.  Runs of plain [nop] collapse into one fop that
+          performs the whole [nop_run] arithmetic in O(1) — the
+          zpoline sled killer.  Only valid on the cannot-stop path
+          (whole-block entry, no observers, no writes, budget covers
+          [b_maxunits]): intermediate per-instruction states are
+          unobservable there, so skipping them is invisible.  Empty
+          for blocks with memory-writing ops, which never take that
+          path. *)
+  b_flen : int array;  (** instructions covered by each fop *)
+}
+
 type page_entries = {
   mutable gen : int;  (** Mem generation the decodes are valid for *)
   entries : entry option array;  (** one slot per in-page offset *)
+  mutable blocks : (block * int) option array;
+      (** offset of ANY compiled op -> (its block, op index), so
+          mid-block entry (signal return, budget resume, jumps into
+          the middle) lands inside the block; allocated lazily on the
+          first engine lookup of the page *)
+  mutable heat : int array;
+      (** per-offset execution counter driving compilation; [min_int]
+          marks offsets that failed to compile (excluded head
+          instruction) so they stop re-attempting *)
+  mutable nblocks : int;  (** distinct blocks registered in [blocks] *)
 }
 
 type stats = {
@@ -52,10 +133,23 @@ type stats = {
           instruction straddles a page seam, or undecodable bytes *)
 }
 
+(** Block-engine counters (per cache instance). *)
+type bstats = {
+  mutable bs_compiled : int;  (** blocks compiled *)
+  mutable bs_hits : int;  (** block entries (not per-op) *)
+  mutable bs_kills : int;  (** blocks dropped by page invalidation *)
+  mutable bs_fb_cold : int;
+      (** per-instruction fallbacks below the heat threshold *)
+  mutable bs_fb_uncompilable : int;
+      (** per-instruction fallbacks at offsets that cannot head a
+          block (syscall/hypercall/hlt/int3/rdtsc, undecodable) *)
+}
+
 type t = {
   pages : (int, page_entries) Hashtbl.t;
   superblock : bool;
   stats : stats;
+  bstats : bstats;
   (* Memo of the last validated page: while the epoch is unchanged and
      execution stays on the page, lookups skip both hashtables. *)
   mutable last_pn : int;
@@ -77,9 +171,39 @@ let g_fallbacks = ref 0
 
 let totals () = (!g_hits, !g_misses, !g_invalidations, !g_fallbacks)
 
+(* Block-engine process-wide counters.  The first five mirror
+   [bstats]; [g_block_insns] and the [g_bexit_*] exit-reason counters
+   are maintained by the block runner in {!Cpu}. *)
+let g_blocks_compiled = ref 0
+let g_block_hits = ref 0
+let g_block_kills = ref 0
+let g_block_fb_cold = ref 0
+let g_block_fb_uncompilable = ref 0
+let g_block_fb_hooked = ref 0
+(* instructions retired inside blocks *)
+let g_block_insns = ref 0
+
+(* Exit reasons: ran to the last op; slice budget exhausted mid-block;
+   a store invalidated the executing block; an op faulted (Mem fault
+   or division); chaos preemption fired mid-block. *)
+let g_bexit_end = ref 0
+let g_bexit_budget = ref 0
+let g_bexit_smc = ref 0
+let g_bexit_fault = ref 0
+let g_bexit_preempt = ref 0
+
+let block_totals () =
+  ( !g_blocks_compiled, !g_block_hits, !g_block_kills, !g_block_insns,
+    !g_block_fb_cold + !g_block_fb_uncompilable + !g_block_fb_hooked )
+
 let fresh_stats () = { hits = 0; misses = 0; invalidations = 0; fallbacks = 0 }
 
-let dummy_page () = { gen = -2; entries = [||] }
+let fresh_bstats () =
+  { bs_compiled = 0; bs_hits = 0; bs_kills = 0; bs_fb_cold = 0;
+    bs_fb_uncompilable = 0 }
+
+let dummy_page () =
+  { gen = -2; entries = [||]; blocks = [||]; heat = [||]; nblocks = 0 }
 
 (** [create ()] makes an empty cache for one address space.  Caches
     must not be shared across address spaces: two diverged forks of
@@ -91,6 +215,7 @@ let create ?(superblock = true) () =
     pages = Hashtbl.create 32;
     superblock;
     stats = fresh_stats ();
+    bstats = fresh_bstats ();
     last_pn = -1;
     last_pe = dummy_page ();
     last_epoch = -1;
@@ -98,10 +223,15 @@ let create ?(superblock = true) () =
   }
 
 let stats t = t.stats
+let bstats t = t.bstats
 
-(** Drop every cached decode (keeps counters).  Not needed for
-    correctness — generation validation catches everything — but
-    useful for tests and for execve-style full resets. *)
+(** Count one engine bypass due to an installed register-access hook
+    (maintained by the kernel's run loop, which performs that check). *)
+let note_hooked_fallback (_t : t) = incr g_block_fb_hooked
+
+(** Drop every cached decode and compiled block (keeps counters).  Not
+    needed for correctness — generation validation catches everything
+    — but useful for tests and for execve-style full resets. *)
 let clear t =
   Hashtbl.reset t.pages;
   t.last_pn <- -1;
@@ -115,9 +245,31 @@ exception Page_seam
    Misses re-arm it, so long basic blocks still get covered. *)
 let superblock_limit = 64
 
+(* Block compilation bounds.  [block_limit] is ops per block — large
+   enough that zpoline's ~500-nop sled compiles into one block, the
+   main throughput lever.  [heat_threshold] executions of an offset
+   through the per-instruction path trigger compilation. *)
+let block_limit = 768
+let heat_threshold = 4
+
 let is_control_flow = function
   | Isa.Jmp _ | Isa.Jcc _ | Isa.Call _ | Isa.Call_reg _ | Isa.Jmp_reg _
   | Isa.Ret | Isa.Hlt | Isa.Syscall | Isa.Hypercall _ | Isa.Int3 ->
+      true
+  | _ -> false
+
+(* Instructions a block must never contain: trap outcomes the kernel
+   handles per-instruction, plus [Rdtsc] (reads the live cycle clock,
+   which bulk charging would make stale). *)
+let block_excluded = function
+  | Isa.Syscall | Isa.Hypercall _ | Isa.Hlt | Isa.Int3 | Isa.Rdtsc -> true
+  | _ -> false
+
+(* Pure control flow may terminate a block (the closure sets [rip]
+   wherever the branch goes; the next dispatch re-enters the engine). *)
+let block_terminator = function
+  | Isa.Jmp _ | Isa.Jcc _ | Isa.Call _ | Isa.Call_reg _ | Isa.Jmp_reg _
+  | Isa.Ret ->
       true
   | _ -> false
 
@@ -158,6 +310,525 @@ let fill t pe data off =
       end;
       Some e
 
+(* ------------------------------------------------------------------ *)
+(* The closure compiler                                                *)
+
+(* Specialised effective-address closure: segment and displacement
+   resolved at compile time, one register read at run time. *)
+let ea_of seg b disp : Ctx.t -> int =
+  let d = Int32.to_int disp in
+  match seg with
+  | Isa.Seg_none ->
+      fun (c : Ctx.t) -> Int64.to_int (Array.unsafe_get c.regs b) + d
+  | Isa.Seg_fs ->
+      fun (c : Ctx.t) ->
+        c.fs_base + Int64.to_int (Array.unsafe_get c.regs b) + d
+  | Isa.Seg_gs ->
+      fun (c : Ctx.t) ->
+        c.gs_base + Int64.to_int (Array.unsafe_get c.regs b) + d
+
+let cond_of cond : Ctx.t -> bool =
+  match cond with
+  | Isa.Eq -> fun c -> c.Ctx.zf
+  | Isa.Ne -> fun c -> not c.Ctx.zf
+  | Isa.Lt -> fun c -> c.Ctx.sf
+  | Isa.Le -> fun c -> c.Ctx.sf || c.Ctx.zf
+  | Isa.Gt -> fun c -> not (c.Ctx.sf || c.Ctx.zf)
+  | Isa.Ge -> fun c -> not c.Ctx.sf
+  | Isa.Ult -> fun c -> c.Ctx.cf
+  | Isa.Uge -> fun c -> not c.Ctx.cf
+
+(* The account-equivalent prologue of every non-nop closure
+   ({!Ctx.account}'s default arm, inlined). *)
+let[@inline] a1 (c : Ctx.t) =
+  c.nop_run <- 0;
+  c.last_cost <- 1
+
+let[@inline] setf (c : Ctx.t) (v : int64) =
+  c.zf <- Int64.equal v 0L;
+  c.sf <- Int64.compare v 0L < 0;
+  c.cf <- false
+
+let alu_fn = function
+  | Isa.Add -> Int64.add
+  | Isa.Sub -> Int64.sub
+  | Isa.And -> Int64.logand
+  | Isa.Or -> Int64.logor
+  | Isa.Xor -> Int64.logxor
+  | Isa.Mul -> Int64.mul
+  | Isa.Cmp | Isa.Div | Isa.Rem -> assert false
+
+(** Compile one instruction whose encoding ends at [next] into a
+    closure, or [None] when it is excluded from blocks.  The closure
+    performs the {!Ctx.account} mutation first (even a faulting
+    instruction mutates [nop_run]/[last_cost], exactly like
+    {!Cpu.exec}), then the instruction body in the interpreter's exact
+    operation order, then sets [rip] — so a raised fault leaves [rip]
+    at the faulting instruction.  Hooks never fire: the engine is only
+    entered with no hook installed, where [get_reg]/[set_reg] degrade
+    to the direct accesses used here.  Returns the closure and whether
+    the op can write memory. *)
+let compile_op (ins : Isa.instr) (next : int) : (op * bool) option =
+  let open Ctx in
+  let rd (c : Ctx.t) r = Array.unsafe_get c.regs r in
+  let wr (c : Ctx.t) r v = Array.unsafe_set c.regs r v in
+  match ins with
+  | Isa.Syscall | Isa.Hypercall _ | Isa.Hlt | Isa.Int3 | Isa.Rdtsc -> None
+  | Isa.Nop ->
+      Some
+        ( (fun c _ ->
+            c.nop_run <- c.nop_run + 1;
+            c.last_cost <- (if c.nop_run land 3 = 0 then 1 else 0);
+            c.rip <- next),
+          false )
+  | Isa.Nopw n ->
+      Some
+        ( (fun c _ ->
+            c.nop_run <- 0;
+            c.last_cost <- n;
+            c.rip <- next),
+          false )
+  | Isa.Ret ->
+      Some
+        ( (fun c mem ->
+            a1 c;
+            c.rip <- Int64.to_int (pop c mem)),
+          false )
+  | Isa.Wrpkru r ->
+      Some
+        ( (fun c _ ->
+            c.nop_run <- 0;
+            c.last_cost <- 23;
+            c.pkru <- Int64.to_int (rd c r) land 0xFFFF;
+            c.rip <- next),
+          false )
+  | Isa.Rdpkru r ->
+      Some
+        ( (fun c _ ->
+            a1 c;
+            wr c r (Int64.of_int c.pkru);
+            c.rip <- next),
+          false )
+  | Isa.Call_reg r ->
+      Some
+        ( (fun c mem ->
+            a1 c;
+            let tgt = rd c r in
+            push c mem (Int64.of_int next);
+            c.rip <- Int64.to_int tgt),
+          true )
+  | Isa.Jmp_reg r ->
+      Some
+        ( (fun c _ ->
+            a1 c;
+            c.rip <- Int64.to_int (rd c r)),
+          false )
+  | Isa.Push r ->
+      Some
+        ( (fun c mem ->
+            a1 c;
+            push c mem (rd c r);
+            c.rip <- next),
+          true )
+  | Isa.Pop r ->
+      Some
+        ( (fun c mem ->
+            a1 c;
+            wr c r (pop c mem);
+            c.rip <- next),
+          false )
+  | Isa.Mov_rr (d, s) ->
+      Some
+        ( (fun c _ ->
+            a1 c;
+            wr c d (rd c s);
+            c.rip <- next),
+          false )
+  | Isa.Mov_ri (r, v) ->
+      Some
+        ( (fun c _ ->
+            a1 c;
+            wr c r v;
+            c.rip <- next),
+          false )
+  | Isa.Mov_ri32 (r, v) ->
+      let v64 = Int64.of_int32 v in
+      Some
+        ( (fun c _ ->
+            a1 c;
+            wr c r v64;
+            c.rip <- next),
+          false )
+  | Isa.Load (seg, d, b, disp) ->
+      let ea = ea_of seg b disp in
+      Some
+        ( (fun c mem ->
+            a1 c;
+            let v = Mem.read_u64 mem (ea c) in
+            wr c d v;
+            c.rip <- next),
+          false )
+  | Isa.Store (seg, b, disp, s) ->
+      let ea = ea_of seg b disp in
+      Some
+        ( (fun c mem ->
+            a1 c;
+            let a = ea c in
+            wcheck c mem a;
+            Mem.write_u64 mem a (rd c s);
+            c.rip <- next),
+          true )
+  | Isa.Load8 (seg, d, b, disp) ->
+      let ea = ea_of seg b disp in
+      Some
+        ( (fun c mem ->
+            a1 c;
+            let v = Int64.of_int (Mem.read_u8 mem (ea c)) in
+            wr c d v;
+            c.rip <- next),
+          false )
+  | Isa.Store8 (seg, b, disp, s) ->
+      let ea = ea_of seg b disp in
+      Some
+        ( (fun c mem ->
+            a1 c;
+            let a = ea c in
+            wcheck c mem a;
+            Mem.write_u8 mem a (Int64.to_int (rd c s) land 0xFF);
+            c.rip <- next),
+          true )
+  | Isa.Lea (d, b, disp) ->
+      let di = Int32.to_int disp in
+      Some
+        ( (fun c _ ->
+            a1 c;
+            wr c d (Int64.of_int (Int64.to_int (rd c b) + di));
+            c.rip <- next),
+          false )
+  | Isa.Alu_rr (Isa.Cmp, d, s) ->
+      Some
+        ( (fun c _ ->
+            a1 c;
+            let a = rd c d and b = rd c s in
+            c.zf <- Int64.equal a b;
+            c.sf <- Int64.compare a b < 0;
+            c.cf <- Int64.unsigned_compare a b < 0;
+            c.rip <- next),
+          false )
+  | Isa.Alu_rr (((Isa.Div | Isa.Rem) as op), d, s) ->
+      let isdiv = op = Isa.Div in
+      Some
+        ( (fun c _ ->
+            a1 c;
+            let a = rd c d and b = rd c s in
+            if Int64.equal b 0L then raise Exit
+            else begin
+              let v = if isdiv then Int64.div a b else Int64.rem a b in
+              wr c d v;
+              setf c v
+            end;
+            c.rip <- next),
+          false )
+  | Isa.Alu_rr (op, d, s) ->
+      let f = alu_fn op in
+      Some
+        ( (fun c _ ->
+            a1 c;
+            let v = f (rd c d) (rd c s) in
+            wr c d v;
+            setf c v;
+            c.rip <- next),
+          false )
+  | Isa.Alu_ri (Isa.Cmp, r, imm) ->
+      let b = Int64.of_int32 imm in
+      Some
+        ( (fun c _ ->
+            a1 c;
+            let a = rd c r in
+            c.zf <- Int64.equal a b;
+            c.sf <- Int64.compare a b < 0;
+            c.cf <- Int64.unsigned_compare a b < 0;
+            c.rip <- next),
+          false )
+  | Isa.Alu_ri (((Isa.Mul | Isa.Div | Isa.Rem) as _op), _, _) ->
+      (* exec asserts these never reach Alu_ri; keep them out of
+         blocks so the interpreter's assert stays authoritative *)
+      None
+  | Isa.Alu_ri (op, r, imm) ->
+      let f = alu_fn op and b = Int64.of_int32 imm in
+      Some
+        ( (fun c _ ->
+            a1 c;
+            let v = f (rd c r) b in
+            wr c r v;
+            setf c v;
+            c.rip <- next),
+          false )
+  | Isa.Shift (op, r, n) ->
+      let f =
+        match op with
+        | Isa.Shl -> fun a -> Int64.shift_left a n
+        | Isa.Shr -> fun a -> Int64.shift_right_logical a n
+        | Isa.Sar -> fun a -> Int64.shift_right a n
+      in
+      Some
+        ( (fun c _ ->
+            a1 c;
+            let v = f (rd c r) in
+            wr c r v;
+            setf c v;
+            c.rip <- next),
+          false )
+  | Isa.Jmp rel ->
+      let tgt = next + Int32.to_int rel in
+      Some
+        ( (fun c _ ->
+            a1 c;
+            c.rip <- tgt),
+          false )
+  | Isa.Jcc (cond, rel) ->
+      let test = cond_of cond and tgt = next + Int32.to_int rel in
+      Some
+        ( (fun c _ ->
+            a1 c;
+            c.rip <- (if test c then tgt else next)),
+          false )
+  | Isa.Call rel ->
+      let tgt = next + Int32.to_int rel in
+      Some
+        ( (fun c mem ->
+            a1 c;
+            push c mem (Int64.of_int next);
+            c.rip <- tgt),
+          true )
+  | Isa.Setcc (cond, r) ->
+      let test = cond_of cond in
+      Some
+        ( (fun c _ ->
+            a1 c;
+            wr c r (if test c then 1L else 0L);
+            c.rip <- next),
+          false )
+  | Isa.Movq_xr (x, r) ->
+      Some
+        ( (fun c _ ->
+            a1 c;
+            let v = rd c r in
+            c.x.xmm_lo.(x) <- v;
+            c.x.xmm_hi.(x) <- 0L;
+            c.rip <- next),
+          false )
+  | Isa.Movq_rx (r, x) ->
+      Some
+        ( (fun c _ ->
+            a1 c;
+            wr c r c.x.xmm_lo.(x);
+            c.rip <- next),
+          false )
+  | Isa.Movups_load (seg, x, b, disp) ->
+      let ea = ea_of seg b disp in
+      Some
+        ( (fun c mem ->
+            a1 c;
+            let a = ea c in
+            let lo = Mem.read_u64 mem a and hi = Mem.read_u64 mem (a + 8) in
+            c.x.xmm_lo.(x) <- lo;
+            c.x.xmm_hi.(x) <- hi;
+            c.rip <- next),
+          false )
+  | Isa.Movups_store (seg, b, disp, x) ->
+      let ea = ea_of seg b disp in
+      Some
+        ( (fun c mem ->
+            a1 c;
+            let a = ea c in
+            wcheck c mem a;
+            Mem.write_u64 mem a c.x.xmm_lo.(x);
+            Mem.write_u64 mem (a + 8) c.x.xmm_hi.(x);
+            c.rip <- next),
+          true )
+  | Isa.Punpcklqdq (d, s) ->
+      Some
+        ( (fun c _ ->
+            a1 c;
+            c.x.xmm_hi.(d) <- c.x.xmm_lo.(s);
+            c.rip <- next),
+          false )
+  | Isa.Pxor (d, s) when d = s ->
+      Some
+        ( (fun c _ ->
+            a1 c;
+            c.x.xmm_lo.(d) <- 0L;
+            c.x.xmm_hi.(d) <- 0L;
+            c.rip <- next),
+          false )
+  | Isa.Pxor (d, s) ->
+      Some
+        ( (fun c _ ->
+            a1 c;
+            c.x.xmm_lo.(d) <- Int64.logxor c.x.xmm_lo.(d) c.x.xmm_lo.(s);
+            c.x.xmm_hi.(d) <- Int64.logxor c.x.xmm_hi.(d) c.x.xmm_hi.(s);
+            c.rip <- next),
+          false )
+  | Isa.Fld1 ->
+      let bits = Int64.bits_of_float 1.0 in
+      Some
+        ( (fun c _ ->
+            a1 c;
+            x87_push c bits;
+            c.rip <- next),
+          false )
+  | Isa.Fldz ->
+      let bits = Int64.bits_of_float 0.0 in
+      Some
+        ( (fun c _ ->
+            a1 c;
+            x87_push c bits;
+            c.rip <- next),
+          false )
+  | Isa.Faddp ->
+      Some
+        ( (fun c _ ->
+            a1 c;
+            let a = Int64.float_of_bits (x87_pop c) in
+            if c.x.st_sp > 0 then
+              c.x.st.(c.x.st_sp - 1) <-
+                Int64.bits_of_float
+                  (a +. Int64.float_of_bits c.x.st.(c.x.st_sp - 1));
+            c.rip <- next),
+          false )
+  | Isa.Fstp (seg, b, disp) ->
+      let ea = ea_of seg b disp in
+      Some
+        ( (fun c mem ->
+            a1 c;
+            let v = x87_pop c in
+            let a = ea c in
+            wcheck c mem a;
+            Mem.write_u64 mem a v;
+            c.rip <- next),
+          true )
+
+(* Compile the straight-line run at in-page offset [off] of page [pn]
+   into a block and register every op's offset in [pe.blocks].
+   Returns the (block, 0) pair for [off], or [None] when the head
+   instruction is excluded/undecodable. *)
+(* Compile-time upper bound on one instruction's [last_cost] units
+   (see {!Ctx.account}: a nop retires for 0 or 1 depending on the
+   dynamic run length, so its bound is 1). *)
+let max_units = function
+  | Isa.Nop -> 1
+  | Isa.Nopw n -> n
+  | Isa.Wrpkru _ -> 23
+  | _ -> 1
+
+(* Fuse an op sequence into superinstructions: maximal runs of plain
+   [nop] become one closure doing the whole [nop_run] arithmetic in
+   O(1) (the units a run of [k] nops retires for is the count of
+   multiples of 4 in (r, r+k] where [r] is the entry [nop_run] — see
+   {!Ctx.account}); everything else wraps 1:1, returning its
+   [last_cost].  [items] carries (instr, op, next-rip) in order. *)
+let fuse (items : (Isa.instr * op * int) list) :
+    (Ctx.t -> Mem.t -> int) array * int array =
+  let open Ctx in
+  let fops = ref [] and flens = ref [] in
+  let emit f k =
+    fops := f :: !fops;
+    flens := k :: !flens
+  in
+  let rec go = function
+    | [] -> ()
+    | (Isa.Nop, op, next) :: rest ->
+        let rec count k next = function
+          | (Isa.Nop, _, next') :: rest' -> count (k + 1) next' rest'
+          | rest' -> (k, next, rest')
+        in
+        let k, next, rest = count 1 next rest in
+        if k = 1 then
+          emit
+            (fun c mem ->
+              op c mem;
+              c.last_cost)
+            1
+        else
+          emit
+            (fun c _mem ->
+              let r0 = c.nop_run in
+              let r1 = r0 + k in
+              c.nop_run <- r1;
+              c.last_cost <- (if r1 land 3 = 0 then 1 else 0);
+              c.rip <- next;
+              (r1 lsr 2) - (r0 lsr 2))
+            k;
+        go rest
+    | (_, op, _) :: rest ->
+        emit
+          (fun c mem ->
+            op c mem;
+            c.last_cost)
+          1;
+        go rest
+  in
+  go items;
+  (Array.of_list (List.rev !fops), Array.of_list (List.rev !flens))
+
+let compile t pe mem pn off : (block * int) option =
+  match Mem.exec_page_data mem pn with
+  | None -> None
+  | Some data ->
+      let base = pn lsl Mem.page_shift in
+      let items = ref [] and writes = ref [] and offs = ref [] in
+      let o = ref off and stop = ref false and n = ref 0 in
+      let units = ref 0 in
+      while (not !stop) && !n < block_limit do
+        match decode_at data !o with
+        | exception (Page_seam | Decode.Invalid _) -> stop := true
+        | ins, len -> (
+            match compile_op ins (base + !o + len) with
+            | None -> stop := true
+            | Some (f, w) ->
+                items := (ins, f, base + !o + len) :: !items;
+                writes := w :: !writes;
+                offs := !o :: !offs;
+                units := !units + max_units ins;
+                incr n;
+                if block_terminator ins then stop := true
+                else o := !o + len)
+      done;
+      if !n = 0 then None
+      else begin
+        let items = List.rev !items in
+        let writes = Array.of_list (List.rev !writes) in
+        let anywrites = Array.exists (fun w -> w) writes in
+        let fops, flens =
+          if anywrites then ([||], [||]) else fuse items
+        in
+        let blk =
+          {
+            b_pn = pn;
+            b_gen = pe.gen;
+            b_start = base + off;
+            b_ops = Array.of_list (List.map (fun (_, f, _) -> f) items);
+            b_writes = writes;
+            b_anywrites = anywrites;
+            b_maxunits = !units;
+            b_epoch = Mem.code_mut_count mem;
+            b_fops = fops;
+            b_flen = flens;
+          }
+        in
+        List.iteri
+          (fun i o -> pe.blocks.(o) <- Some (blk, !n - 1 - i))
+          !offs;
+        pe.nblocks <- pe.nblocks + 1;
+        t.bstats.bs_compiled <- t.bstats.bs_compiled + 1;
+        incr g_blocks_compiled;
+        Some (blk, 0)
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Validation and lookup                                               *)
+
 (* Locate (or create) and validate the entry table for page [pn]. *)
 let validate t mem pn epoch =
   let pe =
@@ -169,13 +840,28 @@ let validate t mem pn epoch =
           incr g_invalidations;
           (match t.on_invalidate with Some f -> f pn | None -> ());
           Array.fill pe.entries 0 Mem.page_size None;
+          if pe.nblocks > 0 then begin
+            (* Block kills: every compiled block on the page dies with
+               the generation.  Heat is refilled to the threshold so
+               hot code recompiles on its first post-SMC execution
+               instead of re-warming from zero. *)
+            t.bstats.bs_kills <- t.bstats.bs_kills + pe.nblocks;
+            g_block_kills := !g_block_kills + pe.nblocks;
+            Array.fill pe.blocks 0 Mem.page_size None;
+            pe.nblocks <- 0
+          end;
+          if Array.length pe.heat > 0 then
+            Array.fill pe.heat 0 Mem.page_size heat_threshold;
           pe.gen <- g
         end;
         pe
     | None ->
         let pe =
           { gen = Mem.page_gen mem pn;
-            entries = Array.make Mem.page_size None }
+            entries = Array.make Mem.page_size None;
+            blocks = [||];
+            heat = [||];
+            nblocks = 0 }
         in
         Hashtbl.replace t.pages pn pe;
         pe
@@ -218,3 +904,81 @@ let find t mem rip : entry option =
               t.stats.fallbacks <- t.stats.fallbacks + 1;
               incr g_fallbacks;
               None))
+
+(** Result of an engine-mode lookup. *)
+type hit =
+  | Hblock of block * int
+      (** compiled block covering [rip], starting at this op index *)
+  | Hentry of entry  (** per-instruction decode (cold or uncompilable) *)
+  | Hmiss  (** uncached byte-at-a-time path *)
+
+(** Engine-mode front end: like {!find}, but returns a compiled block
+    when one covers [rip], and drives heat-based compilation when one
+    does not.  Only called with no register-access hook installed (the
+    kernel checks; closures bypass the hook machinery). *)
+let lookup t mem rip : hit =
+  let pn = rip lsr Mem.page_shift in
+  let epoch = Mem.code_mut_count mem in
+  let pe =
+    if pn = t.last_pn && epoch = t.last_epoch then t.last_pe
+    else validate t mem pn epoch
+  in
+  let off = rip land Mem.page_mask in
+  if Array.length pe.heat = 0 then begin
+    pe.blocks <- Array.make Mem.page_size None;
+    pe.heat <- Array.make Mem.page_size 0
+  end;
+  match pe.blocks.(off) with
+  | Some (blk, idx) ->
+      t.bstats.bs_hits <- t.bstats.bs_hits + 1;
+      incr g_block_hits;
+      Hblock (blk, idx)
+  | None -> (
+      match pe.entries.(off) with
+      | Some e ->
+          let h = pe.heat.(off) in
+          if h >= heat_threshold then begin
+            match compile t pe mem pn off with
+            | Some (blk, idx) ->
+                t.bstats.bs_hits <- t.bstats.bs_hits + 1;
+                incr g_block_hits;
+                Hblock (blk, idx)
+            | None ->
+                pe.heat.(off) <- min_int;
+                t.bstats.bs_fb_uncompilable <-
+                  t.bstats.bs_fb_uncompilable + 1;
+                incr g_block_fb_uncompilable;
+                t.stats.hits <- t.stats.hits + 1;
+                incr g_hits;
+                Hentry e
+          end
+          else begin
+            pe.heat.(off) <- h + 1;
+            if h < 0 then begin
+              t.bstats.bs_fb_uncompilable <- t.bstats.bs_fb_uncompilable + 1;
+              incr g_block_fb_uncompilable
+            end
+            else begin
+              t.bstats.bs_fb_cold <- t.bstats.bs_fb_cold + 1;
+              incr g_block_fb_cold
+            end;
+            t.stats.hits <- t.stats.hits + 1;
+            incr g_hits;
+            Hentry e
+          end
+      | None -> (
+          match Mem.exec_page_data mem pn with
+          | None ->
+              t.stats.fallbacks <- t.stats.fallbacks + 1;
+              incr g_fallbacks;
+              Hmiss
+          | Some data -> (
+              match fill t pe data off with
+              | Some e ->
+                  t.stats.misses <- t.stats.misses + 1;
+                  incr g_misses;
+                  Hentry e
+              | None ->
+                  t.stats.fallbacks <- t.stats.fallbacks + 1;
+                  incr g_fallbacks;
+                  Hmiss)))

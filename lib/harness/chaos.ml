@@ -341,3 +341,41 @@ let chaos_off_identical mech workload : bool * string =
         c1 c2 h1 h2
         (if log1 = log2 then "equal" else "differ")
         (C.count ch) )
+
+(* ------------------------------------------------------------------ *)
+(* Engine identity under chaos                                         *)
+
+(** The adversarial half of {!Divergence.engine_identical}: run the
+    same seeded fuzzing chaos engine over a blocks-on and a blocks-off
+    run and require bit-identical audit logs, cycle clocks AND
+    injection sequences.  The last is the sharp edge — the per-task
+    preemption counter must advance once per retired instruction, so
+    if the block runner drew the chaos stream at different points than
+    the interpreter the injections themselves would drift. *)
+let engine_identical_chaos ?(rates = C.default_rates) ~seed mech workload :
+    bool * string =
+  let run blocks =
+    let ch = C.fuzz ~rates ~seed () in
+    let a, k, _ = D.run_audited ~chaos:ch ~blocks mech workload in
+    let h = Kernel.audit_final_hash k a in
+    (D.log_string ~final_hash:h a, Types.global_time k, h, C.log ch)
+  in
+  let log_on, cyc_on, h_on, inj_on = run true in
+  let log_off, cyc_off, h_off, inj_off = run false in
+  let inj_eq =
+    List.length inj_on = List.length inj_off
+    && List.for_all2 (fun a b -> C.key_of a = C.key_of b) inj_on inj_off
+  in
+  if log_on = log_off && cyc_on = cyc_off && inj_eq then
+    ( true,
+      Printf.sprintf "identical: %Ld cycles, %d injection(s), state hash %Lx"
+        cyc_on (List.length inj_on) h_on )
+  else
+    ( false,
+      Printf.sprintf
+        "ENGINE/CHAOS MISMATCH (seed %Ld): cycles %Ld vs %Ld, hash %Lx vs \
+         %Lx, logs %s, injections %d vs %d (%s)"
+        seed cyc_on cyc_off h_on h_off
+        (if log_on = log_off then "equal" else "differ")
+        (List.length inj_on) (List.length inj_off)
+        (if inj_eq then "aligned" else "MISALIGNED") )

@@ -292,11 +292,14 @@ type perturb = { at : int; reg : int; value : int64 }
     registered for biased preemption, and for interposed mechanisms
     the hook is wrapped so register-clobber injections fire at
     interception time — modelling an interposer that corrupts
-    callee-saved state. *)
-let run_audited ?(checkpoint_every = 64) ?stop_after ?perturb ?chaos mech
-    workload : A.t * Types.kernel * Types.task =
+    callee-saved state.  [blocks] forces the threaded-code block
+    engine on/off for the run (default: the kernel's
+    [SIM_NO_BLOCKS]-aware default) — the lever for the engine-identity
+    gates. *)
+let run_audited ?(checkpoint_every = 64) ?stop_after ?perturb ?chaos ?blocks
+    mech workload : A.t * Types.kernel * Types.task =
   let a = A.create ~checkpoint_every ?stop_after () in
-  let k = Kernel.create () in
+  let k = Kernel.create ?blocks () in
   Kernel.attach_audit k a;
   (match chaos with
   | Some ch ->
@@ -498,3 +501,32 @@ let diff ?(against = Raw) ?perturb_for ?(mechs = all_mechs) workload : outcome
     o_findings = findings;
     o_text = Buffer.contents buf;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Engine identity: threaded-code blocks vs. the pure interpreter      *)
+
+(** Run [workload] under [mech] twice — once through the threaded-code
+    block engine, once forced onto the per-instruction interpreter —
+    and compare everything an audit can see: the application event
+    stream, the periodic state-hash checkpoints, the final
+    register+memory hash and the total simulated cycle count.  This is
+    the PR-6 acceptance gate: the engine must be a host-side
+    optimisation with no simulated footprint whatsoever. *)
+let engine_identical mech workload : bool * string =
+  let run blocks =
+    let a, k, _ = run_audited ~blocks mech workload in
+    let h = Kernel.audit_final_hash k a in
+    (log_string ~final_hash:h a, Types.global_time k, h)
+  in
+  let log_on, cyc_on, h_on = run true in
+  let log_off, cyc_off, h_off = run false in
+  if log_on = log_off && cyc_on = cyc_off then
+    ( true,
+      Printf.sprintf "identical: %Ld cycles, state hash %Lx" cyc_on h_on )
+  else
+    ( false,
+      Printf.sprintf
+        "ENGINE MISMATCH: cycles %Ld (blocks) vs %Ld (interp), hash %Lx vs \
+         %Lx, audit logs %s"
+        cyc_on cyc_off h_on h_off
+        (if log_on = log_off then "equal" else "differ") )

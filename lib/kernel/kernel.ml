@@ -19,8 +19,19 @@ module Ev = Sim_trace.Event
 
 (** {1 Construction} *)
 
+(* The [SIM_NO_BLOCKS] environment knob forces the pure interpreter
+   process-wide — the test harness and chaos reproducers use it to
+   rule the block engine in or out without touching call sites. *)
+let blocks_default () =
+  match Sys.getenv_opt "SIM_NO_BLOCKS" with
+  | Some ("1" | "true" | "yes" | "on") -> false
+  | _ -> true
+
 let create ?(ncpus = 1) ?(cost = Sim_costs.Cost_model.default)
-    ?(slice = 4000L) ?(icache = true) () : kernel =
+    ?(slice = 4000L) ?(icache = true) ?blocks () : kernel =
+  let blocks =
+    match blocks with Some b -> b | None -> blocks_default ()
+  in
   let k =
     {
       cost;
@@ -45,6 +56,7 @@ let create ?(ncpus = 1) ?(cost = Sim_costs.Cost_model.default)
       halted = false;
       cur_task = None;
       icache_on = icache;
+      blocks_on = blocks;
       auditor = None;
       chaos = None;
     }
@@ -71,6 +83,36 @@ let attach_metrics (k : kernel) (m : Kmetrics.t) =
     "sim_icache_invalidations_total" (fun () -> !Icache.g_invalidations);
   Metrics.probe r ~help:"decoded-icache uncached-path fallbacks (process-wide)"
     "sim_icache_fallbacks_total" (fun () -> !Icache.g_fallbacks);
+  Metrics.probe r ~help:"threaded-code blocks compiled (process-wide)"
+    "sim_blocks_compiled_total" (fun () -> !Icache.g_blocks_compiled);
+  Metrics.probe r ~help:"threaded-code block entries (process-wide)"
+    "sim_block_hits_total" (fun () -> !Icache.g_block_hits);
+  Metrics.probe r
+    ~help:"threaded-code blocks killed by page invalidation (process-wide)"
+    "sim_block_kills_total" (fun () -> !Icache.g_block_kills);
+  Metrics.probe r
+    ~help:"instructions retired inside compiled blocks (process-wide)"
+    "sim_block_insns_total" (fun () -> !Icache.g_block_insns);
+  Metrics.probe r
+    ~help:"block-engine fallbacks: offset below the heat threshold"
+    "sim_block_fallback_cold_total" (fun () -> !Icache.g_block_fb_cold);
+  Metrics.probe r
+    ~help:"block-engine fallbacks: offset cannot head a block"
+    "sim_block_fallback_uncompilable_total" (fun () ->
+      !Icache.g_block_fb_uncompilable);
+  Metrics.probe r
+    ~help:"block-engine fallbacks: register-access hook installed"
+    "sim_block_fallback_hooked_total" (fun () -> !Icache.g_block_fb_hooked);
+  Metrics.probe r ~help:"block exits: ran to the last op"
+    "sim_block_exit_end_total" (fun () -> !Icache.g_bexit_end);
+  Metrics.probe r ~help:"block exits: slice budget exhausted"
+    "sim_block_exit_budget_total" (fun () -> !Icache.g_bexit_budget);
+  Metrics.probe r ~help:"block exits: store invalidated the executing block"
+    "sim_block_exit_smc_total" (fun () -> !Icache.g_bexit_smc);
+  Metrics.probe r ~help:"block exits: op faulted"
+    "sim_block_exit_fault_total" (fun () -> !Icache.g_bexit_fault);
+  Metrics.probe r ~help:"block exits: chaos preemption fired mid-block"
+    "sim_block_exit_preempt_total" (fun () -> !Icache.g_bexit_preempt);
   Metrics.probe r ~help:"tasks in runnable state" "sim_sched_runnable"
     (fun () ->
       Hashtbl.fold
@@ -1636,11 +1678,45 @@ let run_task (k : kernel) (t : task) =
   t.ctx.now <- (fun () -> k.cpus.(k.cur_cpu).clk);
   let cost = k.cost in
   let icache = if k.icache_on then Some t.icache else None in
+  let engine = k.blocks_on && k.icache_on in
   (* Chaos preemption: a fired decision ends this task's turn at the
      current instruction boundary, as if the quantum expired — the
      scheduler then re-picks (round-robin hands the CPU to the
      longest-waiting runnable task). *)
   let preempted = ref false in
+  (* Block-runner callbacks, hoisted out of the hot loop.  Per-op
+     charging is only needed when a profiler wants per-instruction
+     tick attribution; otherwise the runner accumulates units and the
+     exit phase bulk-charges (clock and task-cycle sums are
+     identical, and nothing else can observe the clock mid-block:
+     blocks contain no syscalls, traps or rdtsc). *)
+  let per_op =
+    match k.profiler with
+    | Some _ -> Some (fun u -> charge k (cost.insn * u))
+    | None -> None
+  in
+  let chaos_cb =
+    match k.chaos with
+    | Some ch ->
+        Some
+          (fun () ->
+            Sim_chaos.Chaos.preempt_injection ch ~tid:t.tid
+              ~rip:t.ctx.Cpu.rip ~sig_depth:t.sig_depth)
+    | None -> None
+  in
+  (* Units of [last_cost] the block runner may start: op i runs iff
+     the units accumulated before it satisfy
+     [cost.insn * acc < slice_end - clk] — exactly the interpreter's
+     per-instruction [clk < slice_end] pre-check. *)
+  let budget_units () =
+    let d = Int64.sub k.slice_end slot.clk in
+    let ci = cost.insn in
+    if ci <= 0 then max_int
+    else if ci = 1 then Int64.to_int d
+    else
+      Int64.to_int
+        (Int64.div (Int64.add d (Int64.of_int (ci - 1))) (Int64.of_int ci))
+  in
   (try
      while
        t.state = Runnable && slot.clk < k.slice_end && not k.halted
@@ -1654,8 +1730,36 @@ let run_task (k : kernel) (t : task) =
             leaves the kernel (including the many early exits)
             lands here and clears the depth before guest code runs. *)
          k.in_kernel <- 0;
-         (match Cpu.step ?icache t.ctx t.mem with
-         | Cpu.Stepped -> charge k (cost.insn * t.ctx.Cpu.last_cost)
+         (* Enter-block: with the engine on and no register-access
+            hook installed (block closures bypass the hook machinery),
+            ask the icache for a compiled block covering rip. *)
+         let from_block = ref false in
+         let oc =
+           if engine && t.ctx.Cpu.hook = None then
+             match Icache.lookup t.icache t.mem t.ctx.Cpu.rip with
+             | Icache.Hblock (blk, i0) ->
+                 from_block := true;
+                 let oc, bulk, pre =
+                   Cpu.run_block t.ctx t.mem blk i0
+                     ~budget:(budget_units ()) ~per_op ~chaos:chaos_cb
+                 in
+                 (* Exit-block: one bulk charge for everything the
+                    runner retired (zero when a profiler forced the
+                    per-op path). *)
+                 if bulk > 0 then charge k (cost.insn * bulk);
+                 if pre then preempted := true;
+                 oc
+             | Icache.Hentry e -> Cpu.step_cached t.ctx t.mem e
+             | Icache.Hmiss -> Cpu.step_miss t.ctx t.mem
+           else begin
+             if engine then Icache.note_hooked_fallback t.icache;
+             Cpu.step ?icache t.ctx t.mem
+           end
+         in
+         (match oc with
+         | Cpu.Stepped ->
+             if not !from_block then
+               charge k (cost.insn * t.ctx.Cpu.last_cost)
          | Cpu.Trap_syscall ->
              charge k cost.insn;
              syscall_entry k t
@@ -1686,14 +1790,23 @@ let run_task (k : kernel) (t : task) =
              Ksignal.force k t Defs.sigill
                { si_signo = Defs.sigill; si_code = 0; si_call_addr = addr;
                  si_syscall = 0 });
-         match k.chaos with
-         | Some ch ->
-             if
-               t.state = Runnable
-               && Sim_chaos.Chaos.preempt_injection ch ~tid:t.tid
-                    ~rip:t.ctx.Cpu.rip ~sig_depth:t.sig_depth
-             then preempted := true
-         | None -> ()
+         (* Per-retired-instruction chaos draw.  A block's ops each
+            drew inside the runner with identical per-op inputs, so a
+            completed block must not draw again; a block's terminal
+            faulting op never draws in the runner and takes the
+            standard post-outcome draw here, exactly like a faulting
+            single step (the draw happens after signal forcing, with
+            the handler's rip and signal depth). *)
+         if (not !from_block) || oc <> Cpu.Stepped then begin
+           match k.chaos with
+           | Some ch ->
+               if
+                 t.state = Runnable
+                 && Sim_chaos.Chaos.preempt_injection ch ~tid:t.tid
+                      ~rip:t.ctx.Cpu.rip ~sig_depth:t.sig_depth
+               then preempted := true
+           | None -> ()
+         end
        end
      done
    with Ksignal.Killed_by_signal _ -> ());

@@ -189,6 +189,14 @@ type kernel = {
       (** when false every task steps through the byte-at-a-time
           fetch/decode path — the A/B switch the equivalence tests and
           benchmarks use; simulated behaviour is identical either way *)
+  mutable blocks_on : bool;
+      (** when true (and [icache_on]) hot straight-line runs execute
+          through the threaded-code block engine ({!Sim_cpu.Icache}
+          compiled closures) instead of per-instruction dispatch —
+          host-side speed only; simulated cycles, state and audit
+          streams are bit-identical either way (the engine-identity
+          gate).  Forced off by the [SIM_NO_BLOCKS] environment knob
+          and the [--no-blocks] CLI flag for A/B bisection *)
   mutable strace : (task -> int -> int64 -> unit) option;
       (** kernel-side debug trace: task, syscall nr, result *)
   mutable tracer : Sim_trace.Tracer.t option;

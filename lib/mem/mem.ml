@@ -76,10 +76,22 @@ type t = {
           generation checks while nothing executable has changed *)
   mutable trace_hook : (trace_event -> unit) option;
       (** observer for mapping-level changes; not copied by {!clone} *)
+  mutable last_pn : int;
+      (** one-entry translation memo: page number of [last_page], or
+          [min_int] when empty.  Page records mutate in place under
+          mprotect/pkey changes, so the memo only has to be dropped
+          when a mapping is created or destroyed (map/unmap). *)
+  mutable last_page : page;
 }
 
+(* Memo filler: permissions 0, so any access through it faults — an
+   empty memo slot behaves exactly like unmapped memory. *)
+let no_page : page =
+  { data = Bytes.create 0; pperm = 0; pkey = 0; gen = -1 }
+
 let create () =
-  { pages = Hashtbl.create 64; next_gen = 1; code_mut = 0; trace_hook = None }
+  { pages = Hashtbl.create 64; next_gen = 1; code_mut = 0; trace_hook = None;
+    last_pn = min_int; last_page = no_page }
 
 let set_trace_hook t hook = t.trace_hook <- hook
 
@@ -108,7 +120,8 @@ let bump_epoch t = t.code_mut <- t.code_mut + 1
 (** Current generation of page number [pn]; [-1] when unmapped (never
     a valid cached generation, so stale entries cannot match). *)
 let page_gen t pn =
-  match Hashtbl.find_opt t.pages pn with Some p -> p.gen | None -> -1
+  if t.last_pn = pn then t.last_page.gen
+  else match Hashtbl.find_opt t.pages pn with Some p -> p.gen | None -> -1
 
 let code_mut_count t = t.code_mut
 
@@ -129,6 +142,8 @@ let map t ~addr ~len ~perm =
       { data = Bytes.create page_size; pperm = perm; pkey = 0;
         gen = fresh_gen t }
   done;
+  t.last_pn <- min_int;
+  t.last_page <- no_page;
   bump_epoch t;
   (* Fresh anonymous pages are zeroed. *)
   for pn = first to last do
@@ -143,6 +158,8 @@ let unmap t ~addr ~len =
   for pn = first to last do
     Hashtbl.remove t.pages pn
   done;
+  t.last_pn <- min_int;
+  t.last_page <- no_page;
   (* Caches key entries by generation; an unmapped page reads back
      generation -1, and any future map() draws a fresh one — but the
      epoch must still advance so caches revalidate at all. *)
@@ -241,38 +258,46 @@ let check_page p addr access need =
 let store_bump t p =
   if p.pperm land p_x <> 0 then bump_page t p else p.gen <- fresh_gen t
 
+(* One-entry-memoized page lookup: the memo turns the common
+   same-page-as-last-time access into two compares.  Returns
+   [no_page] (permissions 0, so every permission check faults) when
+   [pn] is unmapped — the accessors below then raise the same
+   [Fault] they always did, just from [check_page].  [no_page] is
+   never memoized. *)
+let find_page t pn =
+  if t.last_pn = pn then t.last_page
+  else
+    match Hashtbl.find_opt t.pages pn with
+    | Some p ->
+        t.last_pn <- pn;
+        t.last_page <- p;
+        p
+    | None -> no_page
+
 (* Byte accessors with permission checks. *)
 
 let read_u8 t addr =
-  match Hashtbl.find_opt t.pages (addr lsr page_shift) with
-  | Some p ->
-      check_page p addr Read p_r;
-      Char.code (Bytes.unsafe_get p.data (addr land page_mask))
-  | None -> raise (Fault (addr, Read))
+  let p = find_page t (addr lsr page_shift) in
+  check_page p addr Read p_r;
+  Char.code (Bytes.unsafe_get p.data (addr land page_mask))
 
 let write_u8 t addr v =
-  match Hashtbl.find_opt t.pages (addr lsr page_shift) with
-  | Some p ->
-      check_page p addr Write p_w;
-      store_bump t p;
-      Bytes.unsafe_set p.data (addr land page_mask) (Char.unsafe_chr (v land 0xFF))
-  | None -> raise (Fault (addr, Write))
+  let p = find_page t (addr lsr page_shift) in
+  check_page p addr Write p_w;
+  store_bump t p;
+  Bytes.unsafe_set p.data (addr land page_mask) (Char.unsafe_chr (v land 0xFF))
 
 (** Instruction fetch: requires execute permission. *)
 let fetch_u8 t addr =
-  match Hashtbl.find_opt t.pages (addr lsr page_shift) with
-  | Some p ->
-      check_page p addr Exec p_x;
-      Char.code (Bytes.unsafe_get p.data (addr land page_mask))
-  | None -> raise (Fault (addr, Exec))
+  let p = find_page t (addr lsr page_shift) in
+  check_page p addr Exec p_x;
+  Char.code (Bytes.unsafe_get p.data (addr land page_mask))
 
 let read_u64 t addr =
   if addr land page_mask <= page_size - 8 then (
-    match Hashtbl.find_opt t.pages (addr lsr page_shift) with
-    | Some p ->
-        check_page p addr Read p_r;
-        Bytes.get_int64_le p.data (addr land page_mask)
-    | None -> raise (Fault (addr, Read)))
+    let p = find_page t (addr lsr page_shift) in
+    check_page p addr Read p_r;
+    Bytes.get_int64_le p.data (addr land page_mask))
   else
     (* Crosses a page boundary: fall back to bytes. *)
     let v = ref 0L in
@@ -283,12 +308,10 @@ let read_u64 t addr =
 
 let write_u64 t addr v =
   if addr land page_mask <= page_size - 8 then (
-    match Hashtbl.find_opt t.pages (addr lsr page_shift) with
-    | Some p ->
-        check_page p addr Write p_w;
-        store_bump t p;
-        Bytes.set_int64_le p.data (addr land page_mask) v
-    | None -> raise (Fault (addr, Write)))
+    let p = find_page t (addr lsr page_shift) in
+    check_page p addr Write p_w;
+    store_bump t p;
+    Bytes.set_int64_le p.data (addr land page_mask) v)
   else
     for i = 0 to 7 do
       write_u8 t (addr + i)
@@ -302,11 +325,9 @@ let read_bytes t addr len =
     let a = addr + !i in
     let off = a land page_mask in
     let chunk = min (len - !i) (page_size - off) in
-    (match Hashtbl.find_opt t.pages (a lsr page_shift) with
-    | Some p ->
-        check_page p a Read p_r;
-        Bytes.blit p.data off b !i chunk
-    | None -> raise (Fault (a, Read)));
+    let p = find_page t (a lsr page_shift) in
+    check_page p a Read p_r;
+    Bytes.blit p.data off b !i chunk;
     i := !i + chunk
   done;
   Bytes.unsafe_to_string b
@@ -318,12 +339,10 @@ let write_bytes t addr (s : string) =
     let a = addr + !i in
     let off = a land page_mask in
     let chunk = min (len - !i) (page_size - off) in
-    (match Hashtbl.find_opt t.pages (a lsr page_shift) with
-    | Some p ->
-        check_page p a Write p_w;
-        store_bump t p;
-        Bytes.blit_string s !i p.data off chunk
-    | None -> raise (Fault (a, Write)));
+    let p = find_page t (a lsr page_shift) in
+    check_page p a Write p_w;
+    store_bump t p;
+    Bytes.blit_string s !i p.data off chunk;
     i := !i + chunk
   done
 
@@ -364,13 +383,29 @@ let peek_bytes t addr len =
   Bytes.unsafe_to_string b
 
 let peek_u64 t addr =
-  let s = peek_bytes t addr 8 in
-  Bytes.get_int64_le (Bytes.of_string s) 0
+  if addr land page_mask <= page_size - 8 then begin
+    let p = find_page t (addr lsr page_shift) in
+    (* peek ignores permissions, so a PROT_NONE page is readable here —
+       only true unmapped memory (the [no_page] sentinel) faults. *)
+    if p == no_page then raise (Fault (addr, Read));
+    Bytes.get_int64_le p.data (addr land page_mask)
+  end
+  else
+    let s = peek_bytes t addr 8 in
+    Bytes.get_int64_le (Bytes.of_string s) 0
 
 let poke_u64 t addr v =
-  let b = Bytes.create 8 in
-  Bytes.set_int64_le b 0 v;
-  poke_bytes t addr (Bytes.to_string b)
+  if addr land page_mask <= page_size - 8 then begin
+    let p = find_page t (addr lsr page_shift) in
+    if p == no_page then raise (Fault (addr, Write));
+    store_bump t p;
+    Bytes.set_int64_le p.data (addr land page_mask) v
+  end
+  else begin
+    let b = Bytes.create 8 in
+    Bytes.set_int64_le b 0 v;
+    poke_bytes t addr (Bytes.to_string b)
+  end
 
 (** Read a NUL-terminated string (bounded by [max], default 4096). *)
 let read_cstring ?(max = 4096) t addr =
@@ -399,7 +434,8 @@ let clone t =
      but the two address spaces diverge from here on; each must get
      its own decoded-instruction cache — and its own trace hook, if
      anyone wants one (the child's events are not the parent's). *)
-  { pages; next_gen = t.next_gen; code_mut = t.code_mut; trace_hook = None }
+  { pages; next_gen = t.next_gen; code_mut = t.code_mut; trace_hook = None;
+    last_pn = min_int; last_page = no_page }
 
 (** Live backing bytes of page number [pn] when it is mapped and
     executable, for instruction-cache fills.  The returned [Bytes.t]

@@ -58,7 +58,10 @@ let bench_items ~iters ~nr =
 (** Run one configuration; returns cycles per iteration.  [icache]
     selects the simulator's decoded-instruction cache (host-side speed
     only; simulated cycle counts are identical either way — asserted
-    by test_icache).  [tracer] attaches a machine-wide event tracer to
+    by test_icache).  [blocks] likewise selects the threaded-code
+    block engine on top of the icache (default: on unless
+    [SIM_NO_BLOCKS] is set); also host-side only and bit-identical,
+    asserted by the engine-identity properties in test_icache.  [tracer] attaches a machine-wide event tracer to
     the run; tracing is observation-only, so the returned
     cycles-per-iteration is identical with or without it (asserted by
     a qcheck property in test_trace).  [metrics] and [profiler] attach
@@ -66,7 +69,7 @@ let bench_items ~iters ~nr =
     test_metrics).  [chaos] attaches a chaos engine; with zero rates
     it must also leave the cycle count bit-identical (the chaos-off
     identity gate in bench/main.ml and test_chaos). *)
-let run ?(iters = 20_000) ?(nr = 500) ?(icache = true)
+let run ?(iters = 20_000) ?(nr = 500) ?(icache = true) ?blocks
     ?(tracer : Sim_trace.Tracer.t option)
     ?(metrics : Kmetrics.t option)
     ?(profiler : Sim_metrics.Profiler.t option)
@@ -74,7 +77,7 @@ let run ?(iters = 20_000) ?(nr = 500) ?(icache = true)
     ?(chaos : Sim_chaos.Chaos.t option)
     ?(on_done : Types.kernel -> Types.task -> unit = fun _ _ -> ())
     (config : config) : float =
-  let k = Kernel.create ~icache () in
+  let k = Kernel.create ~icache ?blocks () in
   k.Types.tracer <- tracer;
   (match metrics with Some m -> Kernel.attach_metrics k m | None -> ());
   (match auditor with Some a -> Kernel.attach_audit k a | None -> ());

@@ -103,6 +103,35 @@ let chaos_off_prop =
       if not ok then QCheck.Test.fail_report detail;
       true)
 
+let engine_chaos_prop =
+  (* Block engine vs. interpreter under seeded chaos: audit logs,
+     cycle clocks AND the injection sequences themselves must match —
+     the chaos stream is drawn per retired instruction, so a block
+     runner that drew it at different points would diverge here. *)
+  QCheck.Test.make ~name:"block engine bit-identical under chaos" ~count:10
+    QCheck.(triple (int_range 0 5) (int_range 1 10_000) (int_range 1 10))
+    (fun (mi, seed, iters) ->
+      let mech = List.nth all_mechs mi in
+      let ok, detail =
+        H.engine_identical_chaos ~seed:(Int64.of_int seed) mech
+          (D.Micro { iters; nr = Defs.sys_getpid })
+      in
+      if not ok then QCheck.Test.fail_report detail;
+      true)
+
+let test_engine_chaos_sigmicro () =
+  (* Mid-block async delivery: the signal-handler-rich workload under
+     chaos forces signals and preemptions to land while the engine is
+     inside a compiled block; the run must stay bit-identical to the
+     interpreter, injections included. *)
+  List.iter
+    (fun (seed, mech) ->
+      let ok, detail =
+        H.engine_identical_chaos ~seed mech (D.Sigmicro { iters = 3 })
+      in
+      if not ok then Alcotest.fail detail)
+    [ (3L, D.Zpoline); (11L, D.Lazypoline_m); (23L, D.Sud) ]
+
 let tests =
   [
     Alcotest.test_case "same seed, same run" `Quick test_same_seed_same_run;
@@ -114,4 +143,7 @@ let tests =
     Alcotest.test_case "forced mode injects only the list" `Quick
       test_forced_mode_only_listed;
     QCheck_alcotest.to_alcotest chaos_off_prop;
+    Alcotest.test_case "block engine under chaos: sigmicro" `Quick
+      test_engine_chaos_sigmicro;
+    QCheck_alcotest.to_alcotest engine_chaos_prop;
   ]

@@ -290,6 +290,141 @@ let test_fork_gets_private_cache () =
   Alcotest.(check (option int)) "child executed original bytes" (Some 1)
     child_code
 
+(** {1 Threaded-code block engine: boundary hazards} *)
+
+module D = Harness.Divergence
+
+(* Run a raw image (no interposer, so the block engine is eligible)
+   twice — blocks on, blocks off — and return exit code + task
+   cycles.  [perm] is rwx for the self-modifying tests. *)
+let run_blocks ~blocks ?(perm = Mem.rx) items =
+  let k = Kernel.create ~icache:true ~blocks () in
+  let blob = Sim_asm.Asm.assemble ~base:Loader.code_base items in
+  let img =
+    {
+      Types.img_segments =
+        [ (blob.Sim_asm.Asm.base, blob.Sim_asm.Asm.bytes, perm) ];
+      img_entry = blob.Sim_asm.Asm.base;
+      img_stack_top = Loader.default_stack_top;
+      img_stack_size = Loader.default_stack_size;
+      img_symbols = [];
+    }
+  in
+  let t = Kernel.spawn k img in
+  Alcotest.(check bool) "terminated" true
+    (Kernel.run_until_exit ~max_slices:2_000_000 k);
+  (t.Types.exit_code, t.Types.tcycles)
+
+let check_engine_invisible name ?perm items =
+  let _, _, _, i0, _ = Icache.block_totals () in
+  let code_on, cyc_on = run_blocks ~blocks:true ?perm items in
+  let _, _, _, i1, _ = Icache.block_totals () in
+  let code_off, cyc_off = run_blocks ~blocks:false ?perm items in
+  Alcotest.(check int) (name ^ ": exit codes equal") code_off code_on;
+  Alcotest.(check int64) (name ^ ": cycles equal") cyc_off cyc_on;
+  Alcotest.(check bool) (name ^ ": block engine exercised") true (i1 > i0)
+
+let test_block_midblock_smc () =
+  (* A store that patches a LATER instruction of the same straight-line
+     superblock (the immediate of the mov at probe+2): the block was
+     compiled from the pre-patch bytes, so the runner must notice the
+     write, exit the block and resume interpreting the new bytes.  Both
+     runs exit with the patched value. *)
+  let open Sim_asm.Asm in
+  let items =
+    [
+      mov_ri Isa.rbx 12;
+      Label "loop";
+      Lea_ip (Isa.r10, "probe");
+      add_ri Isa.r10 2;
+      mov_ri Isa.r9 2;
+      store8 Isa.r10 0 Isa.r9;
+      Label "probe";
+      (* C7 r imm32: the immediate's low byte sits at probe+2 *)
+      i (Isa.Mov_ri32 (Isa.rdi, 1l));
+      sub_ri Isa.rbx 1;
+      cmp_ri Isa.rbx 0;
+      Jcc_l (Isa.Ne, "loop");
+      mov_ri Isa.rax Defs.sys_exit;
+      syscall;
+    ]
+  in
+  let _, _, k0, _, _ = Icache.block_totals () in
+  let code_on, cyc_on = run_blocks ~blocks:true ~perm:Mem.rwx items in
+  let _, _, k1, _, _ = Icache.block_totals () in
+  let code_off, cyc_off = run_blocks ~blocks:false ~perm:Mem.rwx items in
+  Alcotest.(check int) "executed patched bytes" 2 code_on;
+  Alcotest.(check int) "exit codes equal" code_off code_on;
+  Alcotest.(check int64) "cycles equal" cyc_off cyc_on;
+  Alcotest.(check bool) "SMC killed a block" true (k1 > k0)
+
+let test_block_page_straddle () =
+  (* A 10-byte mov whose encoding straddles the page seam: the block
+     compiler must either handle the straddler or fall back — and in
+     both cases stay bit-identical to the interpreter. *)
+  let open Sim_asm.Asm in
+  (* mov_ri is 10 bytes; place the body 3 bytes before the seam. *)
+  let pad = List.init (Mem.page_size - 3 - 10) (fun _ -> nop) in
+  let items =
+    [ mov_ri Isa.rbx 8; Label "top" ]
+    @ pad
+    @ [
+        Label "body";
+        mov_ri64 Isa.rdi 1L;
+        sub_ri Isa.rbx 1;
+        cmp_ri Isa.rbx 0;
+        Jcc_l (Isa.Ne, "top");
+        mov_ri Isa.rax Defs.sys_exit;
+        syscall;
+      ]
+  in
+  let blob = Sim_asm.Asm.assemble ~base:Loader.code_base items in
+  Alcotest.(check int) "body starts 3 bytes before the seam"
+    (Mem.page_size - 3)
+    (Sim_asm.Asm.symbol blob "body" - Loader.code_base);
+  check_engine_invisible "page straddle" items
+
+let test_block_single_insn_at_seam () =
+  (* A jump target on the very last byte of a page: the superblock
+     starting there holds exactly one instruction before the page (and
+     hence the block) ends. *)
+  let open Sim_asm.Asm in
+  (* prefix is two 10-byte movs + a 5-byte jmp = 25 bytes. *)
+  let pad = List.init (Mem.page_size - 1 - 25) (fun _ -> nop) in
+  let items =
+    [ mov_ri Isa.rbx 8; mov_ri Isa.rdi 1; Label "top"; Jmp_l "seam" ]
+    @ pad
+    @ [
+        Label "seam";
+        nop;
+        sub_ri Isa.rbx 1;
+        cmp_ri Isa.rbx 0;
+        Jcc_l (Isa.Ne, "top");
+        mov_ri Isa.rax Defs.sys_exit;
+        syscall;
+      ]
+  in
+  let blob = Sim_asm.Asm.assemble ~base:Loader.code_base items in
+  Alcotest.(check int) "seam target on the page's last byte"
+    (Mem.page_size - 1)
+    (Sim_asm.Asm.symbol blob "seam" - Loader.code_base);
+  check_engine_invisible "single-instruction block at seam" items
+
+let engine_identity_prop =
+  (* The PR-6 acceptance property: for every mechanism, an audited run
+     with the block engine is bit-identical (event stream, checkpoints,
+     final state hash, cycle count) to the interpreter run. *)
+  QCheck.Test.make ~name:"block engine bit-identical (six mechanisms)"
+    ~count:12
+    QCheck.(pair (int_range 0 5) (int_range 1 12))
+    (fun (mi, iters) ->
+      let mech = List.nth D.all_mechs mi in
+      let ok, detail =
+        D.engine_identical mech (D.Micro { iters; nr = Defs.sys_getpid })
+      in
+      if not ok then QCheck.Test.fail_report detail;
+      true)
+
 let tests =
   [
     Alcotest.test_case "lazypoline rewrite observed (headline)" `Quick
@@ -309,4 +444,11 @@ let tests =
       test_counters_move;
     Alcotest.test_case "fork isolates caches" `Quick
       test_fork_gets_private_cache;
+    Alcotest.test_case "block engine: mid-block SMC" `Quick
+      test_block_midblock_smc;
+    Alcotest.test_case "block engine: page-straddling instruction" `Quick
+      test_block_page_straddle;
+    Alcotest.test_case "block engine: single-instruction block at seam" `Quick
+      test_block_single_insn_at_seam;
+    QCheck_alcotest.to_alcotest engine_identity_prop;
   ]

@@ -124,6 +124,10 @@ let test_interposer_and_metrics_nodes () =
   let p = read_proc k "/proc/metrics" in
   Alcotest.(check bool) "prometheus exposition" true
     (contains ~needle:"# TYPE sim_syscalls_total counter" p);
+  (* the block-engine probes flow through the same registry *)
+  Alcotest.(check bool) "block counters exposed" true
+    (contains ~needle:"sim_block_hits_total" p
+    && contains ~needle:"sim_blocks_compiled_total" p);
   (* and the snapshot semantics: the text equals a direct scrape *)
   Alcotest.(check string) "matches direct scrape" (Kmetrics.prometheus m) p
 
