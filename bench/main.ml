@@ -33,6 +33,10 @@
                                                (skip the blocks-on vs.
                                                 blocks-off Table II engine
                                                 throughput sweep)
+      dune exec bench/main.exe -- --no-record-sweep
+                                               (skip the audit-recorder
+                                                record-overhead sweep and
+                                                its observation-only gate)
 
     Besides the paper numbers (simulated cycles — independent of the
     host), every experiment reports host-side simulation throughput:
@@ -176,6 +180,75 @@ let engine_rows () =
 
 let ips insns wall = if wall > 0.0 then float_of_int insns /. wall else 0.0
 
+(* --- Record-overhead sweep (simtrace debug / record, DESIGN.md §13) - *)
+
+(* The cost of recording a time-travel audit log, per mechanism: the
+   getpid microbenchmark run twice — audit recorder detached, then
+   attached — reporting simulated cycles per iteration and host
+   wall-clock for both.  The recorder is observation-only by contract
+   (DESIGN.md §9), so the simulated-cycle delta must be *exactly* zero
+   and the run fails otherwise; the honest price of recording is the
+   host wall-clock ratio, the number an rr-style user actually pays. *)
+
+type record_row = {
+  rr_name : string;
+  rr_cycles_off : float;
+  rr_cycles_on : float;
+  rr_wall_off : float;
+  rr_wall_on : float;
+  rr_events : int;  (** audit entries recorded (app + mechanism-private) *)
+}
+
+let record_iters = 20_000
+
+let record_rows () =
+  let open Workloads.Microbench_prog in
+  (* the six Table II interposition mechanisms *)
+  let configs =
+    [ Native; Sud; Zpoline; Lazypoline_full; Seccomp_user; Ptrace ]
+  in
+  List.map
+    (fun config ->
+      let t0 = Unix.gettimeofday () in
+      let c_off = run ~iters:record_iters config in
+      let w_off = Unix.gettimeofday () -. t0 in
+      let a = Sim_audit.Audit.create ~checkpoint_every:64 () in
+      let t1 = Unix.gettimeofday () in
+      let c_on = run ~iters:record_iters ~auditor:a config in
+      let w_on = Unix.gettimeofday () -. t1 in
+      {
+        rr_name = config_name config;
+        rr_cycles_off = c_off;
+        rr_cycles_on = c_on;
+        rr_wall_off = w_off;
+        rr_wall_on = w_on;
+        rr_events = List.length (Sim_audit.Audit.entries a);
+      })
+    configs
+
+let wall_ratio r =
+  if r.rr_wall_off > 0.0 then r.rr_wall_on /. r.rr_wall_off else 0.0
+
+let check_record_rows rows =
+  List.iter
+    (fun r ->
+      Printf.printf
+        "[host] record %-16s %8.2f cyc/iter off, %8.2f on  wall %6.2fs -> \
+         %6.2fs (%.2fx)  %d events\n\
+         %!"
+        r.rr_name r.rr_cycles_off r.rr_cycles_on r.rr_wall_off r.rr_wall_on
+        (wall_ratio r) r.rr_events;
+      if r.rr_cycles_on <> r.rr_cycles_off then begin
+        Printf.eprintf
+          "[host] FAIL: audit recorder perturbed %s: %.4f cycles/iter \
+           without it, %.4f with — the recorder is observation-only by \
+           contract\n\
+           %!"
+          r.rr_name r.rr_cycles_off r.rr_cycles_on;
+        exit 1
+      end)
+    rows
+
 let engine_aggregate rows =
   let sum f g =
     List.fold_left (fun (a, b) r -> (a + f r, b +. g r)) (0, 0.0) rows
@@ -184,10 +257,10 @@ let engine_aggregate rows =
   let off_i, off_w = sum (fun r -> r.er_off_insns) (fun r -> r.er_off_wall) in
   (ips on_i on_w, ips off_i off_w)
 
-let emit_json path mechs engine =
+let emit_json path mechs engine record =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
-  out "{\n  \"schema\": \"lazypoline-sim-bench/3\",\n  \"experiments\": [";
+  out "{\n  \"schema\": \"lazypoline-sim-bench/4\",\n  \"experiments\": [";
   List.iteri
     (fun idx r ->
       let ips =
@@ -239,11 +312,32 @@ let emit_json path mechs engine =
         on_ips off_ips
         (if off_ips > 0.0 then on_ips /. off_ips else 0.0);
       out "  }");
+  (* Last on purpose: the record rows repeat mechanism names, and the
+     snapshot scanner above keys on the first "lazypoline" row (the
+     mechanisms section); different field names keep it unambiguous. *)
+  (match record with
+  | [] -> ()
+  | rows ->
+      out ",\n  \"record_overhead\": {\n";
+      out "    \"iters\": %d,\n    \"rows\": [" record_iters;
+      List.iteri
+        (fun idx r ->
+          out
+            "%s\n      { \"mech\": \"%s\", \"cycles_off\": %.2f, \
+             \"cycles_on\": %.2f,\n\
+            \        \"wall_off_s\": %.6f, \"wall_on_s\": %.6f, \
+             \"wall_ratio\": %.2f, \"events\": %d }"
+            (if idx = 0 then "" else ",")
+            (json_escape r.rr_name) r.rr_cycles_off r.rr_cycles_on
+            r.rr_wall_off r.rr_wall_on (wall_ratio r) r.rr_events)
+        rows;
+      out "\n    ]\n  }");
   out "\n}\n";
   close_out oc;
-  Printf.printf "[host] wrote %s (%d experiments, %d mechanisms%s)\n%!" path
+  Printf.printf "[host] wrote %s (%d experiments, %d mechanisms%s%s)\n%!" path
     (List.length !reports) (List.length mechs)
     (if engine = [] then "" else ", engine sweep")
+    (if record = [] then "" else ", record-overhead sweep")
 
 (* --- Regression snapshot (--snapshot) ------------------------------ *)
 
@@ -327,14 +421,14 @@ let resolve_snapshot p =
         failwith "--snapshot auto: no BENCH_<n>.json in the working directory"
   end
 
-let emit_snapshot path mechs engine =
+let emit_snapshot path mechs engine record =
   let cur =
     match List.find_opt (fun m -> m.mr_name = "lazypoline") mechs with
     | Some m -> m.mr_cycles
     | None -> failwith "snapshot: no lazypoline mechanism row"
   in
   let prev = scan_lazypoline_cycles path in
-  emit_json path mechs engine;
+  emit_json path mechs engine record;
   match prev with
   | None ->
       Printf.printf
@@ -655,10 +749,23 @@ let () =
       rows
     end
   in
-  emit_json json_path mechs engine;
+  (* Record-overhead sweep: audit recorder off vs. on across the six
+     Table II mechanisms.  Gating — a non-zero simulated-cycle delta
+     breaks the observation-only contract and fails the run — so it is
+     on by default, skippable with --no-record-sweep for quick local
+     iterations; committed BENCH_<n>.json snapshots must carry it. *)
+  let record =
+    if List.mem "--no-record-sweep" args then []
+    else begin
+      let rows = record_rows () in
+      check_record_rows rows;
+      rows
+    end
+  in
+  emit_json json_path mechs engine record;
   (match chaos_off_path with
   | Some p -> check_chaos_off (resolve_snapshot p) mechs
   | None -> ());
   match snapshot_path with
-  | Some p -> emit_snapshot (resolve_snapshot p) mechs engine
+  | Some p -> emit_snapshot (resolve_snapshot p) mechs engine record
   | None -> ()

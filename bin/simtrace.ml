@@ -317,6 +317,13 @@ let audited_run file mech jit preserve_xstate checkpoint_every =
   (a, t, Divergence.log_string ~final_hash:final a)
 
 let record_cmd file mech jit preserve_xstate out checkpoint_every =
+  if checkpoint_every <= 0 then begin
+    Printf.eprintf
+      "record: --checkpoint-every must be a positive number of application \
+       syscalls (got %d)\n"
+      checkpoint_every;
+    exit 2
+  end;
   let a, t, body = audited_run file mech jit preserve_xstate checkpoint_every in
   let oc = open_out out in
   Fun.protect
@@ -400,6 +407,67 @@ let replay_cmd logfile =
       Printf.printf "replay DIVERGED at line %d:\n  recorded: %s\n  replayed: %s\n"
         (i + 1) (at i old_lines) (at i new_lines);
       exit 1
+
+(** {1 debug: time-travel debugging on an audit log} *)
+
+module Dbg = Sim_debug.Debug
+
+let debug_repl s =
+  print_endline (Dbg.info s);
+  print_endline "time-travel debugger; type 'help' for commands, 'q' to quit";
+  let rec loop () =
+    print_string "(tdb) ";
+    flush stdout;
+    match input_line stdin with
+    | exception End_of_file -> ()
+    | line ->
+        let r = Dbg.exec_command s line in
+        if r.Dbg.out <> "" then print_endline r.Dbg.out;
+        if r.Dbg.quit then () else loop ()
+  in
+  loop ()
+
+let debug_cmd logfile prog mech_override script no_blocks =
+  let content = read_file logfile in
+  match Dbg.parse_log content with
+  | Error e ->
+      Printf.eprintf "%s: %s\n" logfile e;
+      exit 2
+  | Ok log -> (
+      let file =
+        match (prog, Dbg.header_value log "file") with
+        | Some f, _ -> f
+        | None, Some f -> f
+        | None, None ->
+            Printf.eprintf
+              "%s has no %%%% file header; pass the program: simtrace debug \
+               LOG PROG.c\n"
+              logfile;
+            exit 2
+      in
+      let src =
+        try read_file file
+        with Sys_error e ->
+          Printf.eprintf "cannot read the recorded program: %s\n" e;
+          exit 2
+      in
+      let jit = Dbg.header_value log "jit" = Some "true" in
+      let mech =
+        match mech_override with
+        | None -> None
+        | Some name -> (
+            match Divergence.mech_of_string name with
+            | Some m -> Some m
+            | None ->
+                Printf.eprintf "unknown mechanism: %s\n" name;
+                exit 2)
+      in
+      let blocks = if no_blocks then Some false else None in
+      let workload = Divergence.Prog { src; jit } in
+      let s = Dbg.create ?mech ?blocks ~workload log in
+      match script with
+      | Some path -> exit (Dbg.run_script s ~print:print_string (read_file path))
+      | None -> debug_repl s)
 
 let diff_cmd file mechs_str jit log_dir =
   let names =
@@ -743,6 +811,51 @@ let record_t =
       const record_cmd $ file_arg $ mech_arg $ jit_arg $ xstate_arg
       $ audit_out_arg $ checkpoint_arg)
 
+let debug_prog_arg =
+  Arg.(
+    value
+    & pos 1 (some file) None
+    & info [] ~docv:"PROG.c"
+        ~doc:
+          "The minicc program the log was recorded from (defaults to the \
+           log's own %file header).")
+
+let debug_mech_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "m"; "mech" ] ~docv:"MECH"
+        ~doc:
+          "Replay the log under this mechanism instead of the recorded one \
+           (raw, sud, zpoline, lazypoline, seccomp, ptrace).  Verification \
+           then compares the mechanism-neutral application stream rather \
+           than full rows.")
+
+let script_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "script" ] ~docv:"FILE"
+        ~doc:
+          "Run a scripted session instead of the interactive REPL: one \
+           command per line, # comments; exits 1 at the first failing \
+           command or assertion (for CI).")
+
+let debug_t =
+  Cmd.v
+    (Cmd.info "debug"
+       ~doc:
+         "Time-travel debugger on a recorded audit log: seek to any app \
+          syscall, step and reverse-step, continue / reverse-continue to a \
+          register or memory-word watchpoint (reverse locates the change by \
+          binary search over checkpoint prefixes), and inspect the replayed \
+          machine (strace-decoded events, registers, memory, /proc, \
+          cross-position state deltas).  Replays are verified against the \
+          log as they run")
+    Term.(
+      const debug_cmd $ logfile_arg $ debug_prog_arg $ debug_mech_arg
+      $ script_arg $ no_blocks_arg)
+
 let replay_t =
   Cmd.v
     (Cmd.info "replay"
@@ -863,5 +976,6 @@ let () =
        (Cmd.group info
           [
             run_t; trace_t; report_t; stat_t; profile_t; record_t; replay_t;
-            diff_t; chaos_t; chaos_replay_t; engine_check_t; disasm_t; pin_t;
+            debug_t; diff_t; chaos_t; chaos_replay_t; engine_check_t; disasm_t;
+            pin_t;
           ]))

@@ -1,0 +1,19 @@
+/* Time-travel debugging workload (simtrace debug, DESIGN.md section 13).
+   Maps a scratch page at 0x9000, spins a getpid loop, and half-way
+   through stores a marker word into the page with poke64.  A memory
+   watchpoint on 0x9000 gives reverse-continue a single well-defined
+   change to locate by binary search over the checkpoint grid; the
+   getpid loop gives seek/step a long run of identical events so any
+   replay drift is immediately visible.  Works both statically compiled
+   and under the minicc JIT driver (--jit). */
+long main() {
+  long i;
+  /* mmap(0x9000, 4096, PROT_READ|PROT_WRITE,
+          MAP_FIXED|MAP_ANONYMOUS, -1, 0) */
+  syscall(9, 36864, 4096, 3, 48, 0 - 1, 0);
+  for (i = 0; i < 24; i = i + 1) {
+    syscall(39);
+    if (i == 11) poke64(36864, 4242);
+  }
+  return 0;
+}

@@ -118,19 +118,25 @@ type t = {
           the scope of the delivery that pushed its frame *)
   caches : (int, (int, int * int64) Hashtbl.t) Hashtbl.t;
       (** per-tid page-hash cache: pn -> (generation, hash) *)
-  stop_after : int option;
+  mutable stop_after : int option;
       (** halt the machine once this many App syscalls are recorded —
-          used to replay a run "up to" a divergence point *)
+          used to replay a run "up to" a divergence point.  Mutable so
+          the debugger can move the stop barrier forward and resume a
+          halted replay instead of re-executing from scratch. *)
   mutable halted : bool;
 }
 
 let create ?(checkpoint_every = 64) ?stop_after () =
+  if checkpoint_every <= 0 then
+    invalid_arg
+      (Printf.sprintf "Audit.create: checkpoint_every must be positive (got %d)"
+         checkpoint_every);
   {
     rows_rev = [];
     seq = 0;
     chain = seed;
     app_count = 0;
-    checkpoint_every = max 1 checkpoint_every;
+    checkpoint_every;
     pending_checkpoint = false;
     frames = Hashtbl.create 7;
     caches = Hashtbl.create 7;
@@ -139,6 +145,15 @@ let create ?(checkpoint_every = 64) ?stop_after () =
   }
 
 let should_halt a = a.halted
+let checkpoint_every a = a.checkpoint_every
+
+(** Move the stop barrier.  [None] removes it; the next recorded App
+    syscall at or past a [Some n] barrier halts the machine. *)
+let set_stop_after a n = a.stop_after <- n
+
+(** Clear the halt latch so a machine stopped at a [stop_after]
+    barrier can run again (after the barrier has been moved). *)
+let clear_halt a = a.halted <- false
 
 (** Drop all cached state for [tid] — required on [execve], which
     replaces the task's address space with a fresh one whose page

@@ -42,12 +42,12 @@ let mech_of_string s =
   | "ptrace" -> Some Ptrace
   | _ -> None
 
-let install mech k t (hook : Hook.t) =
+let install ?(preserve_xstate = true) mech k t (hook : Hook.t) =
   match mech with
   | Raw -> ()
   | Sud -> ignore (Baselines.Sud_interposer.install k t hook)
   | Zpoline -> ignore (Baselines.Zpoline.install k t hook)
-  | Lazypoline_m -> ignore (Lazypoline.install k t hook)
+  | Lazypoline_m -> ignore (Lazypoline.install ~preserve_xstate k t hook)
   | Seccomp -> ignore (Baselines.Seccomp_user.install k t hook)
   | Ptrace -> ignore (Baselines.Ptrace_interposer.install k t hook)
 

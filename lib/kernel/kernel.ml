@@ -1813,26 +1813,39 @@ let run_task (k : kernel) (t : task) =
   k.cur_task <- None;
   t.on_cpu <- -1
 
-(** Advance the machine by one scheduling slice. *)
+(** Advance the machine by one scheduling slice.
+
+    Halt-transparency: once [k.halted] latches (an audit [stop_after]
+    barrier), the slice stops dead — no clock round-up to the slice
+    boundary, no actor steps, no [slice_end] advance.  A halted
+    machine whose barrier is then moved forward resumes exactly where
+    it stopped, with the same clocks and slice phase an uninterrupted
+    run would have had; the time-travel debugger's forward stepping
+    depends on this. *)
 let run_slice (k : kernel) =
   let ncpu = Array.length k.cpus in
   for cpu = 0 to ncpu - 1 do
-    k.cur_cpu <- cpu;
-    let slot = k.cpus.(cpu) in
-    if slot.clk < k.slice_end then begin
-      let continue_ = ref true in
-      while !continue_ && slot.clk < k.slice_end && not k.halted do
-        match pick_task k cpu with
-        | Some t -> run_task k t
-        | None ->
-            slot.clk <- k.slice_end;
-            continue_ := false
-      done;
-      if slot.clk < k.slice_end then slot.clk <- k.slice_end
+    if not k.halted then begin
+      k.cur_cpu <- cpu;
+      let slot = k.cpus.(cpu) in
+      if slot.clk < k.slice_end then begin
+        let continue_ = ref true in
+        while !continue_ && slot.clk < k.slice_end && not k.halted do
+          match pick_task k cpu with
+          | Some t -> run_task k t
+          | None ->
+              slot.clk <- k.slice_end;
+              continue_ := false
+        done;
+        if slot.clk < k.slice_end && not k.halted then
+          slot.clk <- k.slice_end
+      end
     end
   done;
-  List.iter (fun step -> step ()) k.actors;
-  k.slice_end <- Int64.add k.slice_end k.slice
+  if not k.halted then begin
+    List.iter (fun step -> step ()) k.actors;
+    k.slice_end <- Int64.add k.slice_end k.slice
+  end
 
 let all_exited (k : kernel) =
   Hashtbl.fold (fun _ t acc -> acc && t.state = Zombie) k.tasks true

@@ -190,6 +190,18 @@ let test_bisection_clean_without_fault () =
   in
   Alcotest.(check int) "no findings" 0 (List.length o.D.o_findings)
 
+(* --- create rejects nonsense cadences ------------------------------ *)
+
+let test_create_rejects_nonpositive () =
+  List.iter
+    (fun bad ->
+      match A.create ~checkpoint_every:bad () with
+      | _ -> Alcotest.failf "checkpoint_every %d accepted" bad
+      | exception Invalid_argument _ -> ())
+    [ 0; -1; -64 ];
+  (* 1 is the smallest legal cadence *)
+  ignore (A.create ~checkpoint_every:1 ())
+
 (* --- observation-only: auditing never perturbs the run ------------- *)
 
 let test_audit_observation_only () =
@@ -221,6 +233,8 @@ let tests =
       test_bisection_localizes_fault;
     Alcotest.test_case "bisection clean without fault" `Quick
       test_bisection_clean_without_fault;
+    Alcotest.test_case "create rejects non-positive cadence" `Quick
+      test_create_rejects_nonpositive;
     Alcotest.test_case "auditing is observation-only" `Slow
       test_audit_observation_only;
   ]

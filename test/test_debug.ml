@@ -1,0 +1,334 @@
+(** The time-travel debugger (lib/debug).
+
+    Claims under test:
+    - [seek]/[step]/[reverse_step] land on bit-identical machine
+      states however the cursor got there (qcheck property across all
+      six mechanisms, static and JIT);
+    - forward stepping resumes the halted replay kernel in place (no
+      fresh replays), which requires [run_slice] halt-transparency;
+    - watchpoint [reverse_continue] finds the change at the very
+      first event, inside the final partial checkpoint segment, and
+      exactly on a checkpoint boundary; reports no hit when the value
+      never changes; and uses O(log n) fresh replays (checkpoint-grid
+      bisection), not a linear backward scan;
+    - a session replaying a log under the wrong program fails loudly;
+    - the scripted command engine (the CI gate) executes and its
+      assertions catch lies. *)
+
+module Dbg = Sim_debug.Debug
+module D = Harness.Divergence
+module A = Sim_audit.Audit
+module Isa = Sim_isa.Isa
+
+let session_of ?mech ?(record_mech = D.Sud) ?(checkpoint_every = 8) workload =
+  let text = Dbg.record ~checkpoint_every record_mech workload in
+  match Dbg.parse_log text with
+  | Error e -> Alcotest.fail e
+  | Ok log -> Dbg.create ?mech ~workload log
+
+(* A minicc program that maps a page at 0x9000, loops [iters] getpids,
+   and stores 4242 into the page after iteration [poke_at].  App event
+   numbering: #1 mmap, #(i+2) the iteration-i getpid, #(iters+2)
+   exit_group; the store becomes architecturally visible at position
+   poke_at+3. *)
+let poke_src ~iters ~poke_at =
+  Printf.sprintf
+    "long main() {\n\
+    \  long i;\n\
+    \  syscall(9, 36864, 4096, 3, 48, 0 - 1, 0);\n\
+    \  for (i = 0; i < %d; i = i + 1) {\n\
+    \    syscall(39);\n\
+    \    if (i == %d) { poke64(36864, 4242); }\n\
+    \  }\n\
+    \  return 0;\n\
+    }\n"
+    iters poke_at
+
+let poke_addr = 0x9000
+let poke_session ?mech ?record_mech ~iters ~poke_at () =
+  session_of ?mech ?record_mech
+    (D.Prog { src = poke_src ~iters ~poke_at; jit = false })
+
+(* --- seek / step / reverse-step ------------------------------------ *)
+
+let test_seek_step_basics () =
+  let iters = 30 in
+  let s = session_of (D.Micro { iters; nr = 500 }) in
+  Alcotest.(check int) "event count" (iters + 1) (Dbg.n_events s);
+  Dbg.seek s 5;
+  Alcotest.(check int) "cursor" 5 s.Dbg.cursor;
+  (* rbx is the microbench loop counter: each event decrements it by
+     exactly one (the position-p state halts after the p-th syscall,
+     before its trailing decrement, so only the offset is fixed) *)
+  let rbx () =
+    match Dbg.watch_value s (Dbg.Wreg { tid = 1; reg = Isa.rbx }) with
+    | Some v -> v
+    | None -> Alcotest.fail "no rbx value"
+  in
+  let v5 = rbx () in
+  let replays_before = s.Dbg.replays in
+  Dbg.step s;
+  Alcotest.(check int) "step" 6 s.Dbg.cursor;
+  Alcotest.(check int64) "rbx decremented once" (Int64.sub v5 1L) (rbx ());
+  Alcotest.(check int) "forward step is a resume, not a replay"
+    replays_before s.Dbg.replays;
+  Dbg.reverse_step s;
+  Alcotest.(check int) "reverse step" 5 s.Dbg.cursor;
+  Alcotest.(check int64) "rbx back at its position-5 value" v5 (rbx ());
+  Alcotest.(check bool) "reverse step replays" true
+    (s.Dbg.replays > replays_before)
+
+let test_seek_end_and_zero () =
+  let s = session_of (D.Micro { iters = 10; nr = 500 }) in
+  Dbg.seek s (Dbg.n_events s);
+  Alcotest.(check int) "at end" 11 s.Dbg.cursor;
+  Dbg.seek s 0;
+  Alcotest.(check int) "back to initial state" 0 s.Dbg.cursor;
+  (* position 0 precedes even the loop-counter initialization *)
+  Alcotest.(check (option int64)) "rbx is 0 before execution" (Some 0L)
+    (Dbg.watch_value s (Dbg.Wreg { tid = 1; reg = Isa.rbx }))
+
+(* seek j then step up to k must equal a straight-line seek k, as full
+   register+memory state hashes — for every mechanism, static and JIT *)
+let prop_seek_step_identity =
+  let mechs = Array.of_list D.all_mechs in
+  QCheck.Test.make ~count:8
+    ~name:"seek+step state ≡ straight-line replay (6 mechs, jit and static)"
+    (QCheck.make
+       ~print:(fun (mi, jit, j, k) ->
+         Printf.sprintf "%s jit=%b j=%d k=%d"
+           (D.mech_name mechs.(mi))
+           jit j k)
+       QCheck.Gen.(
+         quad (int_range 0 5) bool (int_range 0 5) (int_range 0 6)))
+    (fun (mi, jit, j, k) ->
+      let src =
+        "long main() { long i; for (i = 0; i < 6; i = i + 1) { syscall(39); \
+         } return 0; }\n"
+      in
+      let workload = D.Prog { src; jit } in
+      let mech = mechs.(mi) in
+      let s1 = session_of ~record_mech:mech workload in
+      let n = Dbg.n_events s1 in
+      let j = min j n and k = min (max j k) n in
+      Dbg.seek s1 j;
+      while s1.Dbg.cursor < k do
+        Dbg.step s1
+      done;
+      let s2 = session_of ~record_mech:mech workload in
+      Dbg.seek s2 k;
+      Dbg.state_hash s1 = Dbg.state_hash s2 && Dbg.state_hash s1 <> None)
+
+(* --- watchpoints ---------------------------------------------------- *)
+
+let wmem = Dbg.Wmem { tid = 1; addr = poke_addr }
+
+let test_watch_forward_continue () =
+  let s = poke_session ~iters:40 ~poke_at:13 () in
+  Dbg.seek s 0;
+  (* page mapped by event 1: <unmapped> -> 0 *)
+  Alcotest.(check (option int)) "map hit" (Some 1) (Dbg.continue_to s wmem);
+  Alcotest.(check (option int64)) "mapped zero" (Some 0L)
+    (Dbg.watch_value s wmem);
+  (* store after iteration 13 -> position 16 *)
+  Alcotest.(check (option int)) "store hit" (Some 16) (Dbg.continue_to s wmem);
+  Alcotest.(check (option int64)) "stored" (Some 4242L)
+    (Dbg.watch_value s wmem);
+  (* no further change: cursor runs to the end *)
+  Alcotest.(check (option int)) "no more changes" None
+    (Dbg.continue_to s wmem);
+  Alcotest.(check int) "cursor at end" (Dbg.n_events s) s.Dbg.cursor
+
+let test_watch_reverse_boundary_and_first_event () =
+  (* poke_at 13 puts the store at position 16 — exactly on a
+     checkpoint boundary with cadence 8 *)
+  let s = poke_session ~iters:40 ~poke_at:13 () in
+  Dbg.seek s (Dbg.n_events s);
+  Alcotest.(check (option int)) "boundary hit" (Some 16)
+    (Dbg.reverse_continue s wmem);
+  Alcotest.(check int) "cursor at hit" 16 s.Dbg.cursor;
+  (* next change back: the mmap at the very first event *)
+  Alcotest.(check (option int)) "first-event hit" (Some 1)
+    (Dbg.reverse_continue s wmem);
+  (* nothing changes before event 1 *)
+  Alcotest.(check (option int)) "nothing earlier" None
+    (Dbg.reverse_continue s wmem);
+  Alcotest.(check int) "cursor restored on no-hit" 1 s.Dbg.cursor
+
+let test_watch_reverse_final_partial_segment () =
+  (* iters 40: events 1..42, checkpoints at 8..40, final partial
+     segment (40, 42]; poke_at 38 -> store at position 41 *)
+  let s = poke_session ~iters:40 ~poke_at:38 () in
+  Dbg.seek s (Dbg.n_events s);
+  let replays0 = s.Dbg.replays in
+  Alcotest.(check (option int)) "hit inside final segment" (Some 41)
+    (Dbg.reverse_continue s wmem);
+  (* found by the first intra-segment scan: no bisection replays *)
+  Alcotest.(check bool) "cheap (no bisection)" true
+    (s.Dbg.replays - replays0 <= 2)
+
+let test_watch_never_changes () =
+  let s = session_of (D.Micro { iters = 30; nr = 500 }) in
+  let w = Dbg.Wreg { tid = 1; reg = Isa.r12 } in
+  Dbg.seek s (Dbg.n_events s);
+  Alcotest.(check (option int)) "reverse: no change ever" None
+    (Dbg.reverse_continue s w);
+  Alcotest.(check int) "cursor restored" (Dbg.n_events s) s.Dbg.cursor;
+  Dbg.seek s 0;
+  Alcotest.(check (option int)) "forward: no change ever" None
+    (Dbg.continue_to s w)
+
+let test_reverse_continue_olog_replays () =
+  (* 120 iterations, cadence 8: 122 events, 15 checkpoint boundaries.
+     The store lands at position 5; reverse-continue from the end must
+     find it with O(log n) fresh replays, not ~120. *)
+  let s = poke_session ~iters:120 ~poke_at:2 () in
+  Dbg.seek s (Dbg.n_events s);
+  let replays0 = s.Dbg.replays in
+  Alcotest.(check (option int)) "hit" (Some 5) (Dbg.reverse_continue s wmem);
+  let used = s.Dbg.replays - replays0 in
+  let boundaries = Array.length s.Dbg.log.Dbg.l_checkpoints + 1 in
+  let log2 = int_of_float (ceil (log (float_of_int boundaries) /. log 2.)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "O(log n) replays: used %d, bound %d, naive %d" used
+       (4 + (2 * log2))
+       (Dbg.n_events s))
+    true
+    (used <= 4 + (2 * log2));
+  Alcotest.(check bool) "far below linear" true (used * 4 < Dbg.n_events s)
+
+(* --- cross-mechanism replay ---------------------------------------- *)
+
+let test_cross_mech_replay () =
+  (* record under raw, debug under zpoline: the app-stream verification
+     passes and the watchpoint lands on the same event *)
+  let workload = D.Prog { src = poke_src ~iters:20 ~poke_at:7; jit = false } in
+  let text = Dbg.record ~checkpoint_every:8 D.Raw workload in
+  match Dbg.parse_log text with
+  | Error e -> Alcotest.fail e
+  | Ok log ->
+      let s = Dbg.create ~mech:D.Zpoline ~workload log in
+      Dbg.seek s (Dbg.n_events s);
+      Alcotest.(check (option int)) "same hit under zpoline" (Some 10)
+        (Dbg.reverse_continue s wmem)
+
+let test_wrong_program_fails_loudly () =
+  let s = poke_session ~iters:20 ~poke_at:5 () in
+  (* swap in a workload that produces different events *)
+  let bogus =
+    Dbg.create ~mech:D.Sud
+      ~workload:(D.Micro { iters = 20; nr = 500 })
+      s.Dbg.log
+  in
+  match Dbg.seek bogus 10 with
+  | () -> Alcotest.fail "mismatched replay accepted"
+  | exception Failure _ -> ()
+
+(* --- log parsing ---------------------------------------------------- *)
+
+let test_parse_log_shape () =
+  let s = poke_session ~iters:40 ~poke_at:13 () in
+  let log = s.Dbg.log in
+  Alcotest.(check int) "cadence from header" 8 log.Dbg.l_cadence;
+  Alcotest.(check bool) "final hash present" true (log.Dbg.l_final <> None);
+  Alcotest.(check (list int)) "checkpoint grid"
+    [ 8; 16; 24; 32; 40 ]
+    (Array.to_list log.Dbg.l_checkpoints);
+  Alcotest.(check (option string)) "mech header" (Some "sud")
+    (Dbg.header_value log "mech")
+
+let test_parse_rejects_garbage () =
+  (match Dbg.parse_log "" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty log accepted");
+  (match Dbg.parse_log "hello\nworld\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage accepted");
+  match Dbg.parse_log "% simtrace-audit/1\nE bogus\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed row accepted"
+
+(* --- scripted sessions (the CI gate's engine) ----------------------- *)
+
+let run_script s text =
+  let buf = Buffer.create 1024 in
+  let rc = Dbg.run_script s ~print:(Buffer.add_string buf) text in
+  (rc, Buffer.contents buf)
+
+let test_scripted_session () =
+  let s = poke_session ~iters:40 ~poke_at:13 () in
+  let rc, out =
+    run_script s
+      {|# time-travel smoke
+info
+seek 12
+step 2
+assert-cursor 14
+rstep
+assert-cursor 13
+seek end
+watch mem 0x9000
+rcontinue
+assert-hit 16
+assert-mem 0x9000 4242
+rstep
+assert-mem 0x9000 0
+strace
+regs
+proc 1/status
+stats
+quit|}
+  in
+  if rc <> 0 then Alcotest.failf "script failed:\n%s" out;
+  Alcotest.(check bool) "transcript mentions getpid" true
+    (let found = ref false in
+     String.split_on_char '\n' out
+     |> List.iter (fun l ->
+            if
+              String.length l >= 6
+              && String.trim l <> ""
+              &&
+              let rec has i =
+                i + 6 <= String.length l
+                && (String.sub l i 6 = "getpid" || has (i + 1))
+              in
+              has 0
+            then found := true);
+     !found)
+
+let test_scripted_assertion_failure () =
+  let s = poke_session ~iters:20 ~poke_at:5 () in
+  let rc, out = run_script s "seek 3\nassert-cursor 4\n" in
+  Alcotest.(check int) "failing script exits 1" 1 rc;
+  Alcotest.(check bool) "says ASSERT FAILED" true
+    (let rec has i =
+       i + 13 <= String.length out
+       && (String.sub out i 13 = "ASSERT FAILED" || has (i + 1))
+     in
+     has 0)
+
+let tests =
+  [
+    Alcotest.test_case "seek/step/reverse-step basics" `Quick
+      test_seek_step_basics;
+    Alcotest.test_case "seek end and back to 0" `Quick test_seek_end_and_zero;
+    QCheck_alcotest.to_alcotest prop_seek_step_identity;
+    Alcotest.test_case "watch: forward continue" `Quick
+      test_watch_forward_continue;
+    Alcotest.test_case "watch: boundary + first-event hits" `Quick
+      test_watch_reverse_boundary_and_first_event;
+    Alcotest.test_case "watch: final partial segment" `Quick
+      test_watch_reverse_final_partial_segment;
+    Alcotest.test_case "watch: never changes" `Quick test_watch_never_changes;
+    Alcotest.test_case "reverse-continue is O(log n) replays" `Quick
+      test_reverse_continue_olog_replays;
+    Alcotest.test_case "cross-mechanism replay" `Quick test_cross_mech_replay;
+    Alcotest.test_case "wrong program fails loudly" `Quick
+      test_wrong_program_fails_loudly;
+    Alcotest.test_case "log parsing shape" `Quick test_parse_log_shape;
+    Alcotest.test_case "log parsing rejects garbage" `Quick
+      test_parse_rejects_garbage;
+    Alcotest.test_case "scripted session" `Quick test_scripted_session;
+    Alcotest.test_case "scripted assertion failure" `Quick
+      test_scripted_assertion_failure;
+  ]

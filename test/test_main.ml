@@ -28,4 +28,5 @@ let () =
       ("profiler", Test_profiler.tests);
       ("audit", Test_audit.tests);
       ("chaos", Test_chaos.tests);
+      ("debug", Test_debug.tests);
     ]
