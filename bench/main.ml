@@ -229,6 +229,168 @@ let record_rows () =
 let wall_ratio r =
   if r.rr_wall_off > 0.0 then r.rr_wall_on /. r.rr_wall_off else 0.0
 
+(* --- Request-flow span sweep (simtrace spans, DESIGN.md §14) ------- *)
+
+(* The wrk macrobench run under each of the six mechanisms with the
+   span recorder attached: per-phase cycle attribution (app /
+   interposer / kernel / sched / blocked) over the whole run, plus
+   request-latency tail percentiles.  Gating: the phase rows must sum
+   exactly to the run's total simulated cycles with the [other]
+   residue below 1%, and no request may be dropped at the recorder's
+   in-flight cap — silent attribution gaps would make the trajectory
+   meaningless. *)
+
+type span_row = {
+  sr_mech : string;
+  sr_totals : Sim_obs.Obs.totals;
+  sr_p50 : float;
+  sr_p90 : float;
+  sr_p99 : float;
+  sr_p999 : float;
+  sr_max : float;
+  sr_issued : int;
+  sr_completed : int;
+  sr_overflow : int;
+  sr_evictions : int;
+  sr_wall : float;
+}
+
+let spans_flavour = Workloads.Webserver.Nginx_like
+let spans_size_kb = 8
+
+let spans_rows ~conns ~requests () =
+  let module D = Harness.Divergence in
+  let module Obs = Sim_obs.Obs in
+  let workload =
+    D.Wrk { flavour = spans_flavour; size_kb = spans_size_kb; conns; requests }
+  in
+  List.map
+    (fun mech ->
+      let o = Obs.create ~ncpus:1 () in
+      let t0 = Unix.gettimeofday () in
+      let _a, k, _t = D.run_audited ~obs:o mech workload in
+      let wall = Unix.gettimeofday () -. t0 in
+      let clks =
+        Array.map
+          (fun (c : Sim_kernel.Types.cpu_slot) -> c.Sim_kernel.Types.clk)
+          k.Sim_kernel.Types.cpus
+      in
+      let tt = Obs.totals o ~clks in
+      let h = Obs.latency_hist o in
+      let pc p = Sim_stats.Stats.Log_hist.percentile h p in
+      let row =
+        {
+          sr_mech = D.mech_name mech;
+          sr_totals = tt;
+          sr_p50 = pc 50.0;
+          sr_p90 = pc 90.0;
+          sr_p99 = pc 99.0;
+          sr_p999 = pc 99.9;
+          sr_max = Sim_stats.Stats.Log_hist.max_value h;
+          sr_issued = Obs.issued o;
+          sr_completed = Obs.completed_count o;
+          sr_overflow = Obs.overflow o;
+          sr_evictions = Obs.evictions o;
+          sr_wall = wall;
+        }
+      in
+      Printf.printf
+        "[host] spans %-12s total %12Ld cyc  app %4.1f%% interp %4.1f%% \
+         kernel %4.1f%% sched %4.1f%% blocked %4.1f%%  p99 %.0f  (%d/%d \
+         requests, %.1fs)\n\
+         %!"
+        row.sr_mech tt.Obs.t_total
+        (100.0 *. Int64.to_float tt.Obs.t_app /. Int64.to_float tt.Obs.t_total)
+        (100.0
+        *. Int64.to_float tt.Obs.t_interp
+        /. Int64.to_float tt.Obs.t_total)
+        (100.0
+        *. Int64.to_float tt.Obs.t_kernel
+        /. Int64.to_float tt.Obs.t_total)
+        (100.0
+        *. Int64.to_float tt.Obs.t_sched
+        /. Int64.to_float tt.Obs.t_total)
+        (100.0
+        *. Int64.to_float tt.Obs.t_blocked
+        /. Int64.to_float tt.Obs.t_total)
+        row.sr_p99 row.sr_completed row.sr_issued wall;
+      (* The accounting identity gates. *)
+      let charged =
+        List.fold_left
+          (fun acc (_, c) -> Int64.add acc c)
+          0L (Obs.totals_rows tt)
+      in
+      if charged <> tt.Obs.t_total then begin
+        Printf.eprintf
+          "[host] FAIL: spans %s: phase rows sum to %Ld cycles, run total is \
+           %Ld — unattributed time\n\
+           %!"
+          row.sr_mech charged tt.Obs.t_total;
+        exit 1
+      end;
+      if
+        Int64.to_float tt.Obs.t_other
+        > 0.01 *. Int64.to_float tt.Obs.t_total
+      then begin
+        Printf.eprintf
+          "[host] FAIL: spans %s: 'other' bucket %Ld exceeds 1%% of %Ld\n%!"
+          row.sr_mech tt.Obs.t_other tt.Obs.t_total;
+        exit 1
+      end;
+      if row.sr_overflow > 0 then begin
+        Printf.eprintf
+          "[host] FAIL: spans %s: %d request(s) dropped at the in-flight cap\n\
+           %!"
+          row.sr_mech row.sr_overflow;
+        exit 1
+      end;
+      if row.sr_completed <> requests then begin
+        Printf.eprintf
+          "[host] FAIL: spans %s: %d of %d requests completed\n%!" row.sr_mech
+          row.sr_completed requests;
+        exit 1
+      end;
+      row)
+    Harness.Divergence.all_mechs
+
+(* The span recorder must be free when detached and observation-only
+   when attached: a wrk run with the recorder on has to produce a
+   bit-identical audit log (streams, checkpoint hashes, final state
+   hash) and the exact same simulated cycle count as the same run
+   without it, under every mechanism. *)
+let check_spans_off () =
+  let module D = Harness.Divergence in
+  let workload =
+    D.Wrk { flavour = spans_flavour; size_kb = 4; conns = 8; requests = 300 }
+  in
+  List.iter
+    (fun mech ->
+      let run obs =
+        let a, k, _ = D.run_audited ?obs mech workload in
+        let h = Sim_kernel.Kernel.audit_final_hash k a in
+        (D.log_string ~final_hash:h a, Sim_kernel.Types.global_time k, h)
+      in
+      let o = Sim_obs.Obs.create ~ncpus:1 () in
+      let log_on, cyc_on, h_on = run (Some o) in
+      let log_off, cyc_off, h_off = run None in
+      if log_on = log_off && cyc_on = cyc_off then
+        Printf.printf
+          "[host] spans-off %-12s OK: %Ld cycles, state hash %Lx, identical \
+           with the recorder attached\n\
+           %!"
+          (D.mech_name mech) cyc_on h_on
+      else begin
+        Printf.eprintf
+          "[host] FAIL: span recorder perturbed %s: cycles %Ld (on) vs %Ld \
+           (off), hash %Lx vs %Lx, audit logs %s — the recorder is \
+           observation-only by contract\n\
+           %!"
+          (D.mech_name mech) cyc_on cyc_off h_on h_off
+          (if log_on = log_off then "equal" else "differ");
+        exit 1
+      end)
+    Harness.Divergence.all_mechs
+
 let check_record_rows rows =
   List.iter
     (fun r ->
@@ -257,10 +419,10 @@ let engine_aggregate rows =
   let off_i, off_w = sum (fun r -> r.er_off_insns) (fun r -> r.er_off_wall) in
   (ips on_i on_w, ips off_i off_w)
 
-let emit_json path mechs engine record =
+let emit_json path mechs engine record spans =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
-  out "{\n  \"schema\": \"lazypoline-sim-bench/4\",\n  \"experiments\": [";
+  out "{\n  \"schema\": \"lazypoline-sim-bench/5\",\n  \"experiments\": [";
   List.iteri
     (fun idx r ->
       let ips =
@@ -332,12 +494,55 @@ let emit_json path mechs engine record =
             r.rr_wall_off r.rr_wall_on (wall_ratio r) r.rr_events)
         rows;
       out "\n    ]\n  }");
+  (match spans with
+  | None -> ()
+  | Some (conns, requests, rows) ->
+      let module Obs = Sim_obs.Obs in
+      out ",\n  \"spans\": {\n";
+      out
+        "    \"workload\": \"wrk\", \"flavour\": \"%s\", \"size_kb\": %d, \
+         \"conns\": %d, \"requests\": %d,\n\
+        \    \"rows\": ["
+        (Workloads.Webserver.flavour_name spans_flavour)
+        spans_size_kb conns requests;
+      List.iteri
+        (fun idx r ->
+          let tt = r.sr_totals in
+          out
+            "%s\n      { \"mech\": \"%s\", \"total_cycles\": %Ld,\n\
+            \        \"phases\": { \"app\": %Ld, \"interposer\": %Ld, \
+             \"kernel\": %Ld, \"sched\": %Ld, \"blocked\": %Ld, \"other\": \
+             %Ld },\n\
+            \        \"kernel_by_nr\": ["
+            (if idx = 0 then "" else ",")
+            (json_escape r.sr_mech) tt.Obs.t_total tt.Obs.t_app tt.Obs.t_interp
+            tt.Obs.t_kernel tt.Obs.t_sched tt.Obs.t_blocked tt.Obs.t_other;
+          List.iteri
+            (fun j (nr, c) ->
+              out "%s{ \"nr\": %d, \"name\": \"%s\", \"cycles\": %Ld }"
+                (if j = 0 then "" else ", ")
+                nr
+                (json_escape (Sim_kernel.Defs.syscall_name nr))
+                c)
+            tt.Obs.t_kernel_by_nr;
+          out
+            "],\n\
+            \        \"latency_cycles\": { \"p50\": %.0f, \"p90\": %.0f, \
+             \"p99\": %.0f, \"p999\": %.0f, \"max\": %.0f },\n\
+            \        \"issued\": %d, \"completed\": %d, \"overflow\": %d, \
+             \"evictions\": %d, \"wall_seconds\": %.3f }"
+            r.sr_p50 r.sr_p90 r.sr_p99 r.sr_p999 r.sr_max r.sr_issued
+            r.sr_completed r.sr_overflow r.sr_evictions r.sr_wall)
+        rows;
+      out "\n    ]\n  }");
   out "\n}\n";
   close_out oc;
-  Printf.printf "[host] wrote %s (%d experiments, %d mechanisms%s%s)\n%!" path
+  Printf.printf "[host] wrote %s (%d experiments, %d mechanisms%s%s%s)\n%!"
+    path
     (List.length !reports) (List.length mechs)
     (if engine = [] then "" else ", engine sweep")
     (if record = [] then "" else ", record-overhead sweep")
+    (if spans = None then "" else ", span sweep")
 
 (* --- Regression snapshot (--snapshot) ------------------------------ *)
 
@@ -421,14 +626,14 @@ let resolve_snapshot p =
         failwith "--snapshot auto: no BENCH_<n>.json in the working directory"
   end
 
-let emit_snapshot path mechs engine record =
+let emit_snapshot path mechs engine record spans =
   let cur =
     match List.find_opt (fun m -> m.mr_name = "lazypoline") mechs with
     | Some m -> m.mr_cycles
     | None -> failwith "snapshot: no lazypoline mechanism row"
   in
   let prev = scan_lazypoline_cycles path in
-  emit_json path mechs engine record;
+  emit_json path mechs engine record spans;
   match prev with
   | None ->
       Printf.printf
@@ -762,10 +967,37 @@ let () =
       rows
     end
   in
-  emit_json json_path mechs engine record;
+  (* Request-flow span sweep: the wrk macrobench under all six
+     mechanisms with the span recorder attached (simtrace spans at
+     bench scale).  Gating — phase rows must sum exactly to the run's
+     total simulated cycles with <1% unattributed, and no request may
+     fall out of the recorder — so it is on by default like the other
+     sweeps, downscaled by --fast and skippable with
+     --no-spans-sweep.  --conns / --requests override the scale. *)
+  let int_flag name default =
+    let rec find = function
+      | a :: v :: _ when a = name -> (
+          match int_of_string_opt v with
+          | Some n when n > 0 -> n
+          | _ -> failwith (name ^ ": positive integer expected"))
+      | _ :: rest -> find rest
+      | [] -> default
+    in
+    find args
+  in
+  let spans =
+    if List.mem "--no-spans-sweep" args then None
+    else begin
+      let conns = int_flag "--conns" (if fast then 16 else 100) in
+      let requests = int_flag "--requests" (if fast then 2_000 else 100_000) in
+      Some (conns, requests, spans_rows ~conns ~requests ())
+    end
+  in
+  emit_json json_path mechs engine record spans;
   (match chaos_off_path with
   | Some p -> check_chaos_off (resolve_snapshot p) mechs
   | None -> ());
+  if List.mem "--spans-off-check" args then check_spans_off ();
   match snapshot_path with
-  | Some p -> emit_snapshot (resolve_snapshot p) mechs engine record
+  | Some p -> emit_snapshot (resolve_snapshot p) mechs engine record spans
   | None -> ()

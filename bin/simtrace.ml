@@ -57,6 +57,25 @@ let mech_conv =
   let print fmt m = Format.pp_print_string fmt (mech_to_string m) in
   Arg.conv (mech_of_string, print)
 
+let dmech_of_mech = function
+  | Lazypoline_m -> Divergence.Lazypoline_m
+  | Zpoline_m -> Divergence.Zpoline
+  | Sud_m -> Divergence.Sud
+  | Seccomp_user_m -> Divergence.Seccomp
+  | Ptrace_m -> Divergence.Ptrace
+  | None_m -> Divergence.Raw
+
+let flavour_of_string = function
+  | "nginx" | "nginx-sim" -> Ok Workloads.Webserver.Nginx_like
+  | "lighttpd" | "lighttpd-sim" -> Ok Workloads.Webserver.Lighttpd_like
+  | s -> Error (`Msg ("unknown flavour: " ^ s))
+
+let flavour_conv =
+  let print fmt f =
+    Format.pp_print_string fmt (Workloads.Webserver.flavour_name f)
+  in
+  Arg.conv (flavour_of_string, print)
+
 let read_file path =
   let ic = open_in_bin path in
   let n = in_channel_length ic in
@@ -101,13 +120,14 @@ let setup_fs k =
     log — recorded kernel-side through the shared {!Strace} decoder,
     so it carries results with errno names and covers every dispatch
     (including [--mech none], which no interposer hook would see). *)
-let execute ?tracer ?metrics ?profiler ?auditor ?blocks file mech jit
+let execute ?tracer ?metrics ?profiler ?auditor ?obs ?blocks file mech jit
     preserve_xstate =
   let src = read_file file in
   let k = Kernel.create ?blocks () in
   k.Types.tracer <- tracer;
   (match metrics with Some m -> Kernel.attach_metrics k m | None -> ());
   (match auditor with Some a -> Kernel.attach_audit k a | None -> ());
+  (match obs with Some o -> Divergence.attach_obs k o | None -> ());
   setup_fs k;
   let img =
     if jit then Minicc.Jit.driver_image src
@@ -189,14 +209,30 @@ let print_block_summary ~before ~retired_before =
   Printf.eprintf "block-hit ratio: %d/%d instructions in blocks (%.1f%%)\n"
     insns retired ratio
 
+(** Machine-wide causal-phase rows from the span recorder: where
+    every simulated cycle of the run went. *)
+let print_phase_summary (o : Sim_obs.Obs.t) (k : Types.kernel) =
+  let clks = Array.map (fun (c : Types.cpu_slot) -> c.Types.clk) k.Types.cpus in
+  let tt = Sim_obs.Obs.totals o ~clks in
+  let total = tt.Sim_obs.Obs.t_total in
+  Printf.eprintf "\nphase attribution (cycles):\n";
+  List.iter
+    (fun (name, c) ->
+      Printf.eprintf "  %-12s %14Ld  %5.1f%%\n" name c
+        (if total > 0L then 100.0 *. Int64.to_float c /. Int64.to_float total
+         else 0.0))
+    (Sim_obs.Obs.totals_rows tt);
+  Printf.eprintf "  %-12s %14Ld\n" "total" total
+
 let run_cmd file mech jit preserve_xstate summary no_blocks =
   let tracer =
     if summary then Some (Sim_trace.Tracer.create ~ncpus:1 ()) else None
   in
+  let obs = if summary then Some (Sim_obs.Obs.create ~ncpus:1 ()) else None in
   let block_before = Sim_cpu.Icache.block_totals () in
   let retired_before = !Sim_cpu.Ctx.retired in
   let blocks = if no_blocks then Some false else None in
-  let _k, t, log = execute ?tracer ?blocks file mech jit preserve_xstate in
+  let k, t, log = execute ?tracer ?obs ?blocks file mech jit preserve_xstate in
   List.iter (fun l -> Printf.eprintf "%s\n" l) (List.rev !log);
   Printf.eprintf "+++ exited with %d (%Ld cycles) +++\n" t.Types.exit_code
     t.Types.tcycles;
@@ -205,6 +241,7 @@ let run_cmd file mech jit preserve_xstate summary no_blocks =
       print_summary tr;
       print_block_summary ~before:block_before ~retired_before
   | None -> ());
+  (match obs with Some o -> print_phase_summary o k | None -> ());
   if t.Types.exit_code <> 0 then exit t.Types.exit_code
 
 let trace_cmd file mech jit preserve_xstate out no_blocks =
@@ -427,31 +464,39 @@ let debug_repl s =
   in
   loop ()
 
-let debug_cmd logfile prog mech_override script no_blocks =
+let debug_cmd logfile prog mech_override script seek_request no_blocks =
   let content = read_file logfile in
   match Dbg.parse_log content with
   | Error e ->
       Printf.eprintf "%s: %s\n" logfile e;
       exit 2
   | Ok log -> (
-      let file =
-        match (prog, Dbg.header_value log "file") with
-        | Some f, _ -> f
-        | None, Some f -> f
-        | None, None ->
-            Printf.eprintf
-              "%s has no %%%% file header; pass the program: simtrace debug \
-               LOG PROG.c\n"
-              logfile;
-            exit 2
+      (* Wrk logs carry their whole workload in the % wrk header;
+         program logs need the recorded source. *)
+      let workload =
+        match Dbg.wrk_of_header log with
+        | Some w -> w
+        | None ->
+            let file =
+              match (prog, Dbg.header_value log "file") with
+              | Some f, _ -> f
+              | None, Some f -> f
+              | None, None ->
+                  Printf.eprintf
+                    "%s has no %%%% file header; pass the program: simtrace \
+                     debug LOG PROG.c\n"
+                    logfile;
+                  exit 2
+            in
+            let src =
+              try read_file file
+              with Sys_error e ->
+                Printf.eprintf "cannot read the recorded program: %s\n" e;
+                exit 2
+            in
+            let jit = Dbg.header_value log "jit" = Some "true" in
+            Divergence.Prog { src; jit }
       in
-      let src =
-        try read_file file
-        with Sys_error e ->
-          Printf.eprintf "cannot read the recorded program: %s\n" e;
-          exit 2
-      in
-      let jit = Dbg.header_value log "jit" = Some "true" in
       let mech =
         match mech_override with
         | None -> None
@@ -463,11 +508,76 @@ let debug_cmd logfile prog mech_override script no_blocks =
                 exit 2)
       in
       let blocks = if no_blocks then Some false else None in
-      let workload = Divergence.Prog { src; jit } in
       let s = Dbg.create ?mech ?blocks ~workload log in
+      let spans_path = logfile ^ ".spans" in
+      if Sys.file_exists spans_path then
+        Dbg.load_spans s (read_file spans_path);
+      (match seek_request with
+      | Some rid ->
+          let r = Dbg.exec_command s (Printf.sprintf "request %d" rid) in
+          if r.Dbg.out <> "" then print_endline r.Dbg.out;
+          if not r.Dbg.ok then exit 1
+      | None -> ());
       match script with
       | Some path -> exit (Dbg.run_script s ~print:print_string (read_file path))
       | None -> debug_repl s)
+
+(** {1 spans: request-flow tracing on the wrk macrobench} *)
+
+let write_out path s =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+let spans_cmd mech flavour size_kb conns requests out record_out no_blocks =
+  let dmech = dmech_of_mech mech in
+  let blocks = if no_blocks then Some false else None in
+  let o = Sim_obs.Obs.create ~ncpus:1 () in
+  let workload = Divergence.Wrk { flavour; size_kb; conns; requests } in
+  let a, k, _t = Divergence.run_audited ?blocks ~obs:o dmech workload in
+  let clks = Array.map (fun (c : Types.cpu_slot) -> c.Types.clk) k.Types.cpus in
+  print_string (Sim_obs.Obs.report ~name_of_nr:Defs.syscall_name o ~clks);
+  (match out with
+  | Some path ->
+      let tracks =
+        List.map
+          (fun r ->
+            ( r.Sim_obs.Obs.rid,
+              List.map
+                (fun (s : Sim_obs.Obs.seg) ->
+                  ( Sim_obs.Obs.phase_name s.Sim_obs.Obs.s_phase,
+                    s.Sim_obs.Obs.s_start,
+                    s.Sim_obs.Obs.s_end ))
+                (Sim_obs.Obs.segments r) ))
+          (Sim_obs.Obs.exemplars o)
+      in
+      write_out path (Sim_trace.Export.request_tracks_json tracks);
+      Printf.eprintf "wrote %s: %d request track(s)\n" path
+        (List.length tracks)
+  | None -> ());
+  (match record_out with
+  | Some path ->
+      let fh = Kernel.audit_final_hash k a in
+      let header =
+        String.concat ""
+          [
+            "% simtrace-audit/1\n";
+            Printf.sprintf "%% wrk %s %d %d %d\n"
+              (Workloads.Webserver.flavour_name flavour)
+              size_kb conns requests;
+            "% mech " ^ Divergence.mech_name dmech ^ "\n";
+            "% checkpoint-every 64\n";
+          ]
+      in
+      write_out path (header ^ Divergence.log_string ~final_hash:fh a);
+      write_out (path ^ ".spans") (Sim_obs.Obs.sidecar o);
+      Printf.eprintf "recorded %d app syscalls -> %s (+ %s.spans)\n"
+        (Audit.app_count a) path path
+  | None -> ());
+  if Sim_obs.Obs.overflow o > 0 then begin
+    Printf.eprintf "error: %d request(s) dropped at the in-flight cap\n"
+      (Sim_obs.Obs.overflow o);
+    exit 1
+  end
 
 let diff_cmd file mechs_str jit log_dir =
   let names =
@@ -831,6 +941,16 @@ let debug_mech_arg =
            then compares the mechanism-neutral application stream rather \
            than full rows.")
 
+let seek_request_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "seek-request" ] ~docv:"RID"
+        ~doc:
+          "Position the cursor where request RID's handling begins (its \
+           claiming read), using the log's .spans sidecar, before the REPL \
+           or script runs.")
+
 let script_arg =
   Arg.(
     value
@@ -854,7 +974,64 @@ let debug_t =
           log as they run")
     Term.(
       const debug_cmd $ logfile_arg $ debug_prog_arg $ debug_mech_arg
-      $ script_arg $ no_blocks_arg)
+      $ script_arg $ seek_request_arg $ no_blocks_arg)
+
+let flavour_arg =
+  Arg.(
+    value
+    & opt flavour_conv Workloads.Webserver.Nginx_like
+    & info [ "flavour" ] ~docv:"FLAVOUR"
+        ~doc:"Web server flavour: nginx (sendfile) or lighttpd (read+write).")
+
+let size_kb_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "size-kb" ] ~docv:"KB" ~doc:"Served file size in KiB.")
+
+let conns_arg =
+  Arg.(
+    value & opt int 16
+    & info [ "conns" ] ~docv:"N"
+        ~doc:"Keepalive connections the load generator keeps in flight.")
+
+let requests_arg =
+  Arg.(
+    value & opt int 2000
+    & info [ "requests" ] ~docv:"N"
+        ~doc:"Total requests to issue (the run self-terminates after them).")
+
+let spans_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "out" ] ~docv:"PATH"
+        ~doc:
+          "Write the exemplar requests as Perfetto-loadable request tracks \
+           (one lane per request, phase slices) to PATH.")
+
+let spans_record_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "record" ] ~docv:"LOG"
+        ~doc:
+          "Also write the audit log of the run to LOG and the exemplar \
+           index to LOG.spans, ready for simtrace debug --seek-request.")
+
+let spans_t =
+  Cmd.v
+    (Cmd.info "spans"
+       ~doc:
+         "Run the wrk-driven web-server macrobench with the request-flow \
+          span recorder attached and print the causal-phase attribution: \
+          machine-wide phase split, per-syscall kernel cycles, request \
+          latency percentiles and the slowest-request exemplars with their \
+          per-phase breakdown and audit event windows.  Optionally exports \
+          Perfetto request tracks and records a debuggable audit log + \
+          spans sidecar")
+    Term.(
+      const spans_cmd $ mech_arg $ flavour_arg $ size_kb_arg $ conns_arg
+      $ requests_arg $ spans_out_arg $ spans_record_arg $ no_blocks_arg)
 
 let replay_t =
   Cmd.v
@@ -976,6 +1153,6 @@ let () =
        (Cmd.group info
           [
             run_t; trace_t; report_t; stat_t; profile_t; record_t; replay_t;
-            debug_t; diff_t; chaos_t; chaos_replay_t; engine_check_t; disasm_t;
-            pin_t;
+            debug_t; spans_t; diff_t; chaos_t; chaos_replay_t; engine_check_t;
+            disasm_t; pin_t;
           ]))

@@ -224,6 +224,9 @@ type t = {
   mutable last_hit : int option;
   mutable replays : int;  (** fresh from-scratch re-executions *)
   mutable resumes : int;  (** in-place forward resumes *)
+  mutable spans : Sim_obs.Obs.sidecar_row list;
+      (** request spans from the log's [.spans] sidecar, slowest
+          first — the p99 exemplars [--seek-request] jumps to *)
 }
 
 let n_events s = Array.length s.log.l_app
@@ -258,7 +261,40 @@ let create ?mech ?blocks ?preserve_xstate ~workload (log : log) : t =
     last_hit = None;
     replays = 0;
     resumes = 0;
+    spans = [];
   }
+
+(** Reconstruct a [Wrk] workload from a log's
+    [% wrk <flavour> <size_kb> <conns> <requests>] header (written by
+    [simtrace record] for wrk runs), so a span-recorded macrobench
+    replays without the user re-specifying the workload. *)
+let wrk_of_header log : D.workload option =
+  match header_value log "wrk" with
+  | None -> None
+  | Some v -> (
+      match String.split_on_char ' ' v with
+      | [ fl; sz; cn; rq ] -> (
+          let flavour =
+            match fl with
+            | "nginx-sim" -> Some Workloads.Webserver.Nginx_like
+            | "lighttpd-sim" -> Some Workloads.Webserver.Lighttpd_like
+            | _ -> None
+          in
+          match
+            ( flavour,
+              int_of_string_opt sz,
+              int_of_string_opt cn,
+              int_of_string_opt rq )
+          with
+          | Some flavour, Some size_kb, Some conns, Some requests ->
+              Some (D.Wrk { flavour; size_kb; conns; requests })
+          | _ -> None)
+      | _ -> None)
+
+(** Load a [% simtrace-spans/1] sidecar (the exemplar table the span
+    recorder wrote next to the audit log); rows keep their
+    slowest-first order. *)
+let load_spans s (text : string) = s.spans <- Sim_obs.Obs.parse_sidecar text
 
 (** A fresh replay kernel: same fixture files as [simtrace run] and
     [Divergence.run_audited], audit attached before spawn, interposer
@@ -269,10 +305,15 @@ let make_live s : live =
   Kernel.attach_audit k a;
   ignore (Vfs.add_file k.Types.vfs "/etc/hosts" "127.0.0.1 localhost\n");
   ignore (Vfs.add_file k.Types.vfs "/tmp/file_a" (String.make 256 'a'));
-  let img = D.workload_image k s.workload in
-  let t = Kernel.spawn k img in
+  let t = D.workload_spawn k s.workload in
   let hook = Hook.dummy () in
   D.install ~preserve_xstate:s.preserve_xstate s.mech k t hook;
+  (* Wrk logs: the load generator attaches (and the server boots to
+     listening) exactly as at record time, so the replayed event
+     stream lines up row for row.  The boot prefix executes here,
+     which makes the earliest reachable position for such logs the
+     end of that prefix rather than 0. *)
+  D.workload_start k s.workload;
   { lk = k; la = a }
 
 (** Verify that the events replayed so far are a prefix of the log. *)
@@ -370,6 +411,41 @@ let seek s target =
 
 let step s = if s.cursor < n_events s then seek s (s.cursor + 1)
 let reverse_step s = if s.cursor > 0 then seek s (s.cursor - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Request-flow navigation (spans sidecar)                             *)
+
+(** Seek to where a recorded request's handling begins: the app-event
+    index its sidecar row captured at claim time ([ev_lo] — the
+    server's first read of that request's bytes).  An ordinary
+    {!seek}, so the replayed prefix is verified against the log like
+    any other motion. *)
+let seek_request s rid : (Sim_obs.Obs.sidecar_row, string) result =
+  match List.find_opt (fun r -> r.Sim_obs.Obs.x_rid = rid) s.spans with
+  | None ->
+      Error
+        (Printf.sprintf
+           "no request %d in the spans sidecar (%d exemplar row(s) loaded)"
+           rid (List.length s.spans))
+  | Some r ->
+      if r.Sim_obs.Obs.x_ev_lo < 0 then
+        Error
+          (Printf.sprintf "request %d has no recorded audit event index" rid)
+      else begin
+        seek s (min r.Sim_obs.Obs.x_ev_lo (n_events s));
+        Ok r
+      end
+
+let span_row_line (r : Sim_obs.Obs.sidecar_row) =
+  Printf.sprintf "  rid %-6d latency %-10Ld cycles  app events [%d..%d]"
+    r.Sim_obs.Obs.x_rid r.Sim_obs.Obs.x_latency r.Sim_obs.Obs.x_ev_lo
+    r.Sim_obs.Obs.x_ev_hi
+
+let spans_listing s : string =
+  if s.spans = [] then "no spans sidecar loaded"
+  else
+    "exemplar requests (slowest first):\n"
+    ^ String.concat "\n" (List.map span_row_line s.spans)
 
 (* ------------------------------------------------------------------ *)
 (* Watch evaluation and continue / reverse-continue                    *)
@@ -608,9 +684,9 @@ let info s : string =
 (** Record [workload] under [mech] and render the full versioned log —
     header, rows, final state hash — exactly as [simtrace record]
     writes it. *)
-let record ?(checkpoint_every = 64) ?blocks ?(header = []) mech workload :
-    string =
-  let a, k, _ = D.run_audited ~checkpoint_every ?blocks mech workload in
+let record ?(checkpoint_every = 64) ?blocks ?obs ?(header = []) mech workload
+    : string =
+  let a, k, _ = D.run_audited ~checkpoint_every ?blocks ?obs mech workload in
   let fh = Kernel.audit_final_hash k a in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "% simtrace-audit/1\n";
@@ -659,6 +735,8 @@ let help_text =
   watch [tid N] mem <addr>  set the watchpoint to a 64-bit memory word
   continue | c              run forward until the watched value changes
   rcontinue | rc            run backward (checkpoint bisection) to the change
+  requests                  list the spans sidecar's exemplar requests
+  request <rid>             seek to where request <rid>'s handling begins
   strace [n]                decode the app event at n (default: cursor)
   regs [tid]                register dump at the cursor
   mem <addr> [len]          memory words at the cursor
@@ -741,6 +819,12 @@ let exec_command s (line : string) : cmd_result =
                   (Printf.sprintf "%s: no change %s; %s" (watch_name w)
                      (if reverse then "before the cursor" else "ahead")
                      (cursor_line s))))
+    | [ "requests" ] -> ok_out (spans_listing s)
+    | [ "request"; rid ] -> (
+        match seek_request s (int_of_string rid) with
+        | Ok r ->
+            ok_out (Printf.sprintf "%s\n%s" (span_row_line r) (cursor_line s))
+        | Error e -> fail_out e)
     | "strace" :: rest ->
         let pos =
           match rest with [ n ] -> int_of_string n | _ -> s.cursor

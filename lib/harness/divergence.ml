@@ -65,12 +65,31 @@ type workload =
           write, getpid, nanosleep, a timed FUTEX_WAIT and a timed
           epoll_wait, so injected signals land on restartable and
           non-restartable waits alike *)
+  | Wrk of {
+      flavour : Workloads.Webserver.flavour;
+      size_kb : int;
+      conns : int;
+      requests : int;
+    }
+      (** the Fig. 5 macrobench as an audited workload: one
+          single-worker web server (the worker exits after serving
+          [requests], so the run self-terminates) driven by the wrk
+          load generator with [conns] keepalive connections.  This is
+          what the request-flow span recorder traces; note the app
+          event stream is timing-dependent (epoll batching varies
+          with interposer overhead), so Wrk runs are recorded and
+          replayed {e per mechanism} — cross-mechanism diffs use the
+          deterministic workloads above. *)
 
 let workload_name = function
   | Micro { iters; nr } -> Printf.sprintf "microbench(iters=%d,nr=%d)" iters nr
   | Prog { jit; _ } -> if jit then "minicc-jit" else "minicc"
   | Forkexec -> "fork-execve"
   | Sigmicro { iters } -> Printf.sprintf "sigmicro(iters=%d)" iters
+  | Wrk { flavour; size_kb; conns; requests } ->
+      Printf.sprintf "wrk(%s,%dkb,conns=%d,requests=%d)"
+        (Workloads.Webserver.flavour_name flavour)
+        size_kb conns requests
 
 let forkexec_child_path = "/bin/child"
 
@@ -274,6 +293,47 @@ let workload_image k = function
         Sim_asm.Asm.assemble ~base:Loader.code_base (sigmicro_items ~iters)
       in
       Loader.image ~entry:(Sim_asm.Asm.symbol blob "start") ~text:blob ()
+  | Wrk _ -> invalid_arg "workload_image: Wrk boots via workload_spawn"
+
+let wrk_port = 80
+let wrk_file = "/www/index.html"
+
+(** Boot [workload]'s initial task into [k].  For the image-based
+    workloads this is compile + spawn; [Wrk] instead boots the web
+    server (the load generator attaches later, in
+    {!workload_start}, so the interposer is installed on the server
+    before any request traffic exists). *)
+let workload_spawn k workload : Types.task =
+  match workload with
+  | Wrk { flavour; size_kb; requests; _ } ->
+      Workloads.Webserver.boot_into k ~port:wrk_port ~exit_after:requests
+        ~flavour ~workers:1
+        ~files:[ (wrk_file, String.make (size_kb * 1024) 'x') ]
+        ()
+  | w -> Kernel.spawn k (workload_image k w)
+
+(** Post-install start-up: for [Wrk], run the kernel until the server
+    listens, then attach the load generator ([max_requests] caps the
+    issued rids so exactly [requests] requests exist end to end).
+    No-op for the self-contained workloads. *)
+let workload_start k workload =
+  match workload with
+  | Wrk { size_kb; conns; requests; _ } ->
+      Workloads.Webserver.wait_listening k ~port:wrk_port;
+      ignore
+        (Workloads.Wrk.attach ~max_requests:requests k ~port:wrk_port ~conns
+           ~file:wrk_file ~file_size:(size_kb * 1024))
+  | _ -> ()
+
+(** Register the interposer code windows (trampoline page, interposer
+    code region) with the span recorder — so cycles retired there are
+    attributed to the interposition phase — and attach it to [k].
+    The same windows the chaos engine treats as hot. *)
+let attach_obs (k : Types.kernel) (o : Sim_obs.Obs.t) =
+  Sim_obs.Obs.add_range o ~lo:0 ~hi:4096;
+  Sim_obs.Obs.add_range o ~lo:Lazypoline.Layout.interp_code_base
+    ~hi:(Lazypoline.Layout.interp_code_base + 0x10000);
+  Kernel.attach_obs k o
 
 (* ------------------------------------------------------------------ *)
 (* Audited runs                                                        *)
@@ -297,10 +357,11 @@ type perturb = { at : int; reg : int; value : int64 }
     [SIM_NO_BLOCKS]-aware default) — the lever for the engine-identity
     gates. *)
 let run_audited ?(checkpoint_every = 64) ?stop_after ?perturb ?chaos ?blocks
-    mech workload : A.t * Types.kernel * Types.task =
+    ?obs mech workload : A.t * Types.kernel * Types.task =
   let a = A.create ~checkpoint_every ?stop_after () in
   let k = Kernel.create ?blocks () in
   Kernel.attach_audit k a;
+  (match obs with Some o -> attach_obs k o | None -> ());
   (match chaos with
   | Some ch ->
       Sim_chaos.Chaos.add_hot_range ch ~lo:0 ~hi:4096;
@@ -312,8 +373,7 @@ let run_audited ?(checkpoint_every = 64) ?stop_after ?perturb ?chaos ?blocks
      user program sees the run `simtrace run` would. *)
   ignore (Vfs.add_file k.Types.vfs "/etc/hosts" "127.0.0.1 localhost\n");
   ignore (Vfs.add_file k.Types.vfs "/tmp/file_a" (String.make 256 'a'));
-  let img = workload_image k workload in
-  let t = Kernel.spawn k img in
+  let t = workload_spawn k workload in
   let hook = Hook.dummy () in
   (match perturb with
   | Some p ->
@@ -336,6 +396,7 @@ let run_audited ?(checkpoint_every = 64) ?stop_after ?perturb ?chaos ?blocks
           inner c)
   | _ -> ());
   install mech k t hook;
+  workload_start k workload;
   ignore (Kernel.run_until_exit ~max_slices:40_000_000 k);
   (a, k, t)
 

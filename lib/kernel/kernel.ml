@@ -59,6 +59,7 @@ let create ?(ncpus = 1) ?(cost = Sim_costs.Cost_model.default)
       blocks_on = blocks;
       auditor = None;
       chaos = None;
+      obs = None;
     }
   in
   (* /proc exists on every kernel (guests may read it whether or not
@@ -121,7 +122,37 @@ let attach_metrics (k : kernel) (m : Kmetrics.t) =
   Metrics.probe r ~help:"tasks alive (any state)" "sim_tasks" (fun () ->
       Hashtbl.length k.tasks);
   Metrics.probe r ~help:"earliest per-CPU simulated clock" "sim_cycles"
-    (fun () -> Int64.to_int (global_time k))
+    (fun () -> Int64.to_int (global_time k));
+  (* Observation-integrity probes: if any of these is nonzero the
+     span/trace attribution is incomplete and the gated macrobench
+     must fail.  Scrape-time thunks close over [k], so they read
+     whatever tracer/span recorder is attached at scrape time. *)
+  for cpu = 0 to Array.length k.cpus - 1 do
+    Metrics.probe r
+      ~help:"trace-ring events dropped on this CPU (ring overflow)"
+      (Printf.sprintf "sim_trace_ring_dropped_cpu%d" cpu)
+      (fun () ->
+        match k.tracer with
+        | Some tr -> Sim_trace.Tracer.dropped_on tr cpu
+        | None -> 0)
+  done;
+  Metrics.probe r ~help:"trace-ring events dropped (all CPUs)"
+    "sim_trace_ring_dropped_total" (fun () ->
+      match k.tracer with Some tr -> Sim_trace.Tracer.dropped tr | None -> 0);
+  Metrics.probe r
+    ~help:"requests dropped at issue: span in-flight table full"
+    "sim_obs_inflight_overflow_total" (fun () ->
+      match k.obs with Some o -> Sim_obs.Obs.overflow o | None -> 0);
+  Metrics.probe r
+    ~help:"exemplars evicted from the slow-request reservoir (informational)"
+    "sim_obs_reservoir_evictions_total" (fun () ->
+      match k.obs with Some o -> Sim_obs.Obs.evictions o | None -> 0);
+  Metrics.probe r ~help:"requests issued (span recorder)"
+    "sim_obs_requests_issued_total" (fun () ->
+      match k.obs with Some o -> Sim_obs.Obs.issued o | None -> 0);
+  Metrics.probe r ~help:"requests completed (span recorder)"
+    "sim_obs_requests_completed_total" (fun () ->
+      match k.obs with Some o -> Sim_obs.Obs.completed_count o | None -> 0)
 
 let enable_metrics (k : kernel) : Kmetrics.t =
   let m = match k.metrics with Some m -> m | None -> Kmetrics.create () in
@@ -139,6 +170,16 @@ let attach_audit (k : kernel) (a : Sim_audit.Audit.t) = k.auditor <- Some a
     empty forced set) leaves the run bit-identical to a chaos-free
     one (asserted by a qcheck property in test_chaos). *)
 let attach_chaos (k : kernel) (ch : Sim_chaos.Chaos.t) = k.chaos <- Some ch
+
+(** Attach a request-flow span recorder.  Observation-only like the
+    tracer: the hooks in {!Types.charge}, the scheduler and the
+    socket read path never charge cycles or touch task state, so a
+    spanned run is bit-identical to an unspanned one (the qcheck
+    gate in test_obs).  Baselines the per-CPU clocks so machine
+    totals measure from attach time. *)
+let attach_obs (k : kernel) (o : Sim_obs.Obs.t) =
+  k.obs <- Some o;
+  Sim_obs.Obs.set_baseline o (Array.map (fun c -> c.clk) k.cpus)
 
 (** Combined final-state hash over every live task, in tid order —
     the [F] line of a serialized audit log.  Uses the auditor's
@@ -618,6 +659,21 @@ let do_syscall (k : kernel) (t : task) (nr : int) : sysres =
               charge k cost.sock_op;
               match Net.recv ep len with
               | `Data s ->
+                  (* Request claim: this task just read fresh bytes off
+                     the connection, so the request the load generator
+                     stamped on it (if any) is now being served here.
+                     [ev] is the app-stream audit index this very read
+                     will be logged at. *)
+                  (match k.obs with
+                  | Some o ->
+                      let ev =
+                        match k.auditor with
+                        | Some a -> Sim_audit.Audit.app_count a + 1
+                        | None -> -1
+                      in
+                      Sim_obs.Obs.claim o ~cpu:k.cur_cpu ~conn:ep.id
+                        ~tid:t.tid ~ts:(now k) ~ev
+                  | None -> ());
                   user_write t buf s;
                   charge_copy (String.length s);
                   ok (String.length s)
@@ -1246,6 +1302,12 @@ let syscall_entry (k : kernel) (t : task) =
      kernel time for the profiler; the flag is reset before every
      [Cpu.step], so no explicit leave is needed on the many exits. *)
   enter_kernel k;
+  (* Stage the dispatched nr so the span recorder can attribute the
+     kernel cycles of this dispatch per syscall; self-heals with
+     [in_kernel], so no explicit clear on the many exits either. *)
+  (match k.obs with
+  | Some o -> Sim_obs.Obs.set_cur_nr o k.cur_cpu nr
+  | None -> ());
   (* 1. Syscall User Dispatch *)
   let sud_intercepts =
     if not t.sud.sud_on then false
@@ -1288,6 +1350,9 @@ let syscall_entry (k : kernel) (t : task) =
     | None -> ());
     (* The tracer may have rewritten the syscall number. *)
     let nr = Int64.to_int (Cpu.peek_reg c Isa.rax) in
+    (match k.obs with
+    | Some o -> Sim_obs.Obs.set_cur_nr o k.cur_cpu nr
+    | None -> ());
     (* Audit: the argument registers as dispatched; result and
        callee-saved state are captured on the way out. *)
     let aud_args =
@@ -1472,6 +1537,16 @@ let syscall_entry (k : kernel) (t : task) =
 let kernel_syscall (k : kernel) (t : task) nr (args : int64 array) : int64 =
   let ts0 = now k in
   enter_kernel k;
+  (* Nested dispatch: attribute this service to its own nr, then put
+     the outer dispatch's staging back. *)
+  let saved_nr =
+    match k.obs with
+    | Some o ->
+        let s = Sim_obs.Obs.cur_nr o k.cur_cpu in
+        Sim_obs.Obs.set_cur_nr o k.cur_cpu nr;
+        s
+    | None -> -1
+  in
   charge k k.cost.syscall_base;
   if t.sud.sud_on then charge k k.cost.sud_check;
   let c = t.ctx in
@@ -1485,6 +1560,9 @@ let kernel_syscall (k : kernel) (t : task) nr (args : int64 array) : int64 =
     else try do_syscall k t nr with Efault -> Ret (i64 (-Defs.efault))
   in
   Array.iteri (fun i r -> Cpu.poke_reg c r saved.(i)) arg_regs;
+  (match k.obs with
+  | Some o -> Sim_obs.Obs.set_cur_nr o k.cur_cpu saved_nr
+  | None -> ());
   leave_kernel k;
   match res with
   | Ret v when v = no_result ->
@@ -1665,6 +1743,9 @@ let run_task (k : kernel) (t : task) =
   t.on_cpu <- k.cur_cpu;
   t.last_run <- slot.clk;
   k.cur_task <- Some t;
+  (match k.obs with
+  | Some o -> Sim_obs.Obs.task_on o ~cpu:k.cur_cpu ~tid:t.tid ~ts:slot.clk
+  | None -> ());
   if switched then begin
     trace_emit k (Ev.Context_switch { prev_tid; next_tid = t.tid });
     (match k.auditor with
@@ -1722,6 +1803,12 @@ let run_task (k : kernel) (t : task) =
        t.state = Runnable && slot.clk < k.slice_end && not k.halted
        && not !preempted
      do
+       (* Kernel work from here (signal delivery, the next dispatch)
+          starts outside any syscall; the span recorder's staged nr
+          self-heals with [in_kernel] below. *)
+       (match k.obs with
+       | Some o -> Sim_obs.Obs.set_cur_nr o k.cur_cpu (-1)
+       | None -> ());
        if t.pending <> 0L && signal_pending_unmasked t then
          ignore (Ksignal.deliver_pending k t);
        if t.state = Runnable then begin
@@ -1810,6 +1897,11 @@ let run_task (k : kernel) (t : task) =
        end
      done
    with Ksignal.Killed_by_signal _ -> ());
+  (match k.obs with
+  | Some o ->
+      let blocked = match t.state with Blocked _ -> true | _ -> false in
+      Sim_obs.Obs.task_off o ~cpu:k.cur_cpu ~tid:t.tid ~ts:slot.clk ~blocked
+  | None -> ());
   k.cur_task <- None;
   t.on_cpu <- -1
 

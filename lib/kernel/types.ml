@@ -228,11 +228,35 @@ type kernel = {
           preemptions), but [None] — the default — is bit-identical
           to a kernel built before the engine existed, and injection
           never charges cycles of its own *)
+  mutable obs : Sim_obs.Obs.t option;
+      (** request-flow span recorder, fed from {!charge} and the
+          scheduler edges; observation-only like [tracer] — a spanned
+          run is cycle- and state-identical to an unspanned one *)
 }
+
+(* Classify the cycles being charged into a causal phase for the span
+   recorder.  Uses only state the kernel already maintains: kernel
+   depth, the staged dispatch nr, the interposer dispatch-path tag
+   and the guest rip against the registered interposer code ranges. *)
+let obs_phase (k : kernel) o =
+  match k.cur_task with
+  | None -> Sim_obs.Obs.Psched
+  | Some t ->
+      if k.in_kernel > 0 then
+        Sim_obs.Obs.Pkernel (Sim_obs.Obs.cur_nr o k.cur_cpu)
+      else if t.trace_path <> None || Sim_obs.Obs.in_interp o t.ctx.Cpu.rip
+      then Sim_obs.Obs.Pinterp
+      else Sim_obs.Obs.Papp
 
 let charge (k : kernel) n =
   let c = k.cpus.(k.cur_cpu) in
+  let start = c.clk in
   c.clk <- Int64.add c.clk (Int64.of_int n);
+  (match k.obs with
+  | None -> ()
+  | Some o ->
+      Sim_obs.Obs.on_charge o ~cpu:k.cur_cpu ~start ~cycles:n
+        ~phase:(obs_phase k o));
   match k.cur_task with
   | Some t -> (
       t.tcycles <- Int64.add t.tcycles (Int64.of_int n);
@@ -243,12 +267,12 @@ let charge (k : kernel) n =
             ~in_kernel:(k.in_kernel > 0) ~sig_depth:t.sig_depth)
   | None -> ()
 
-(** Is any observer (tracer, metrics or auditor) attached?
-    Dispatch-path staging sites guard on this: the tag exists purely
-    for attribution, so it is only maintained when someone is
-    looking. *)
+(** Is any observer (tracer, metrics, auditor or span recorder)
+    attached?  Dispatch-path staging sites guard on this: the tag
+    exists purely for attribution, so it is only maintained when
+    someone is looking. *)
 let observing (k : kernel) =
-  k.tracer <> None || k.metrics <> None || k.auditor <> None
+  k.tracer <> None || k.metrics <> None || k.auditor <> None || k.obs <> None
 
 let enter_kernel (k : kernel) = k.in_kernel <- k.in_kernel + 1
 let leave_kernel (k : kernel) = k.in_kernel <- max 0 (k.in_kernel - 1)

@@ -167,3 +167,37 @@ let chrome_json_groups ?(name_of_nr = string_of_int)
 let chrome_json ?name_of_nr ?(name = "trace") (events : Event.t list) : string
     =
   chrome_json_groups ?name_of_nr [ (name, events) ]
+
+(** Request-track export: one thread track per request id under a
+    single "requests" process, each carrying that request's causal
+    phase slices as complete ["X"] events — so a p99 outlier reads as
+    one horizontal lane whose colors show where its latency went.
+
+    Deliberately generic: takes [(rid, segments)] pairs where a
+    segment is [(phase name, start cycles, end cycles)], so it knows
+    nothing about the span recorder that produced them.  Segments are
+    expected non-overlapping and in start order per request (the
+    recorder guarantees both); timestamps are microseconds like
+    {!chrome_json}. *)
+let request_tracks_json ?(name = "requests")
+    (tracks : (int * (string * int64 * int64) list) list) : string =
+  let b = Buffer.create 4096 in
+  let first = ref true in
+  Buffer.add_string b "{\n  \"displayTimeUnit\": \"ns\",\n  \"traceEvents\": [";
+  meta b ~first ~name:"process_name" ~pid:1 ~value:name ();
+  List.iter
+    (fun (rid, segs) ->
+      meta b ~first ~name:"thread_name" ~pid:1 ~tid:rid
+        ~value:(Printf.sprintf "request %d" rid) ();
+      List.iter
+        (fun (phase, s_start, s_end) ->
+          let ts = us_of_cycles s_start in
+          let dur = us_of_cycles (Int64.sub s_end s_start) in
+          obj b ~first ~name:phase ~cat:"request" ~ph:"X" ~ts ~dur ~pid:1
+            ~tid:rid
+            ~args:[ ("rid", string_of_int rid) ]
+            ())
+        segs)
+    tracks;
+  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.contents b

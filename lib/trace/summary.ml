@@ -1,6 +1,8 @@
 (** Aggregation over a traced run: syscall spans, per-mechanism
     dispatch-path counts, and syscall-latency histograms with
-    p50/p90/p99 (via {!Sim_stats.Stats.percentile}).
+    p50/p90/p99 (via the streaming {!Sim_stats.Stats.Log_hist}
+    sketch, so percentile memory is O(buckets) however many spans a
+    run produced).
 
     Works on the event list {!Tracer.events} returns; knows nothing
     about the kernel, so syscall names are supplied by the caller
@@ -76,36 +78,37 @@ type latency_row = {
 }
 
 (** Per-(nr, path) latency rows over non-blocked spans, busiest bucket
-    first. *)
+    first.  Durations stream into one log-bucketed sketch per bucket:
+    percentiles come out with bounded relative error (1/64 a bucket's
+    width) without ever materializing the sample. *)
 let latency_rows (spans_ : span list) : latency_row list =
-  let buckets : (int * Event.dispatch_path, float list ref) Hashtbl.t =
+  let buckets : (int * Event.dispatch_path, Stats.Log_hist.t) Hashtbl.t =
     Hashtbl.create 16
   in
   List.iter
     (fun s ->
       if not s.sp_blocked then
         let key = (s.sp_nr, s.sp_path) in
-        let l =
+        let h =
           match Hashtbl.find_opt buckets key with
-          | Some l -> l
+          | Some h -> h
           | None ->
-              let l = ref [] in
-              Hashtbl.replace buckets key l;
-              l
+              let h = Stats.Log_hist.create ~sub:64 () in
+              Hashtbl.replace buckets key h;
+              h
         in
-        l := Int64.to_float s.sp_dur :: !l)
+        Stats.Log_hist.add h (Int64.to_float s.sp_dur))
     spans_;
   Hashtbl.fold
-    (fun (nr, path) l acc ->
-      let xs = !l in
+    (fun (nr, path) h acc ->
       {
         lr_nr = nr;
         lr_path = path;
-        lr_count = List.length xs;
-        lr_p50 = Stats.percentile xs 50.0;
-        lr_p90 = Stats.percentile xs 90.0;
-        lr_p99 = Stats.percentile xs 99.0;
-        lr_max = List.fold_left Float.max neg_infinity xs;
+        lr_count = Stats.Log_hist.count h;
+        lr_p50 = Stats.Log_hist.percentile h 50.0;
+        lr_p90 = Stats.Log_hist.percentile h 90.0;
+        lr_p99 = Stats.Log_hist.percentile h 99.0;
+        lr_max = Stats.Log_hist.max_value h;
       }
       :: acc)
     buckets []

@@ -34,6 +34,12 @@ let emit t ~cpu ~tid ~ts kind =
 let dropped t =
   Array.fold_left (fun acc r -> acc + Ring.dropped r) 0 t.rings
 
+(** Events dropped on one CPU's ring (0 for out-of-range CPUs), for
+    the per-CPU drop probes in /proc/metrics. *)
+let dropped_on t cpu =
+  if cpu < 0 || cpu >= Array.length t.rings then 0
+  else Ring.dropped t.rings.(cpu)
+
 (** Events offered across all rings, including dropped ones. *)
 let emitted t = Array.fold_left (fun acc r -> acc + Ring.pushed r) 0 t.rings
 

@@ -34,7 +34,8 @@ let parse_work = 13000
 let log_work = 10000
 let loop_work = 9000
 
-let source ~(flavour : flavour) ~(port : int) ~(workers : int) : string =
+let source ?(exit_after = 0) ~(flavour : flavour) ~(port : int)
+    ~(workers : int) () : string =
   let body_transfer =
     match flavour with
     | Nginx_like ->
@@ -59,6 +60,30 @@ let source ~(flavour : flavour) ~(port : int) ~(workers : int) : string =
         \      }\n\
         \    }\n\
         \  }\n"
+  in
+  (* Bounded-run fragments: with [exit_after > 0] each worker serves
+     exactly that many requests then exits, and the master reaps its
+     workers and exits too — so a load-generator-driven run
+     terminates on its own (the time-travel debugger records such
+     runs).  With the default 0 the generated source is byte-for-byte
+     what it always was: an unbounded server. *)
+  let served_decl = if exit_after > 0 then "  long served = 0;\n" else "" in
+  let served_check =
+    if exit_after > 0 then
+      Printf.sprintf
+        " else {\n\
+        \          served = served + 1;\n\
+        \          if (served >= %d) { return 0; }\n\
+        \        }" exit_after
+    else ""
+  in
+  let master_loop =
+    if exit_after > 0 then
+      Printf.sprintf
+        "  /* master: reap workers, then exit */\n\
+        \  long w2 = %d;\n\
+        \  while (w2 > 0) { syscall(61, 0 - 1, 0, 0); w2 = w2 - 1; }" workers
+    else "  /* master: reap forever */\n  while (1) { syscall(61, 0 - 1, 0, 0); }"
   in
   Printf.sprintf
     {|
@@ -129,7 +154,7 @@ long serve(lfd) {
   poke64(ev + 8, lfd);
   syscall(233, ep, 1, lfd, ev);
   long logfd = syscall(2, "/log/access", 1089, 420);
-  while (1) {
+%s  while (1) {
     long n = syscall(232, ep, events, 64, 0 - 1);
     syscall(228, 0, tspec);       /* time update per loop turn */
     work(%d);                     /* timer wheel, connection bookkeeping */
@@ -150,7 +175,7 @@ long serve(lfd) {
         if (handle(fd, logfd) == 0) {
           syscall(233, ep, 2, fd, 0);
           syscall(3, fd);
-        }
+        }%s
       }
       i = i + 1;
     }
@@ -171,29 +196,42 @@ long main() {
     if (pid == 0) { return serve(lfd); }
     w = w - 1;
   }
-  /* master: reap forever */
-  while (1) { syscall(61, 0 - 1, 0, 0); }
+%s
   return 0;
 }
 |}
-    parse_work "\\r\\n\\r\\n" body_transfer log_work loop_work port workers
+    parse_work "\\r\\n\\r\\n" body_transfer log_work served_decl loop_work
+    served_check port workers master_loop
+
+(** Compile the server and spawn it into an existing kernel [k] with
+    [workers] worker processes, serving files from [files] (path,
+    contents).  Returns the master task (callers then attach a load
+    generator and run).  [exit_after], when positive, makes each
+    worker exit after serving that many requests and the master reap
+    and exit — a self-terminating run the audit/debug tooling can
+    record end to end. *)
+let boot_into (k : Types.kernel) ?(port = 80) ?(exit_after = 0) ~flavour
+    ~workers ~(files : (string * string) list)
+    ?(interpose = fun _k _t -> ()) () : Types.task =
+  List.iter
+    (fun (path, contents) -> ignore (Vfs.add_file k.Types.vfs path contents))
+    files;
+  ignore (Vfs.add_file k.Types.vfs "/log/access" "");
+  let src = source ~exit_after ~flavour ~port ~workers () in
+  let img = Minicc.Codegen.compile_to_image src in
+  let t = Kernel.spawn k ~comm:(flavour_name flavour) img in
+  interpose k t;
+  t
 
 (** Compile the server and prepare a kernel that runs it with
     [workers] worker processes on [ncpus] CPUs, serving files from
     [files] (path, contents).  Returns the kernel (callers then attach
     a load generator and run). *)
-let boot ?(ncpus = 1) ?(port = 80) ~flavour ~workers
+let boot ?(ncpus = 1) ?(port = 80) ?(exit_after = 0) ~flavour ~workers
     ~(files : (string * string) list) ?(interpose = fun _k _t -> ()) () :
     Types.kernel =
   let k = Kernel.create ~ncpus () in
-  List.iter
-    (fun (path, contents) -> ignore (Vfs.add_file k.Types.vfs path contents))
-    files;
-  ignore (Vfs.add_file k.Types.vfs "/log/access" "");
-  let src = source ~flavour ~port ~workers in
-  let img = Minicc.Codegen.compile_to_image src in
-  let t = Kernel.spawn k ~comm:(flavour_name flavour) img in
-  interpose k t;
+  ignore (boot_into k ~port ~exit_after ~flavour ~workers ~files ~interpose ());
   k
 
 (** Step the kernel until the server is listening on [port] (or fail

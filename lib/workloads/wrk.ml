@@ -7,7 +7,15 @@
     never interposed.  Each connection keeps one request in flight:
     as soon as the response's last byte arrives, the next request
     goes out — maximum pressure, like wrk over keepalive
-    connections. *)
+    connections.
+
+    Every request carries a generator-assigned id: issue and
+    completion cycle timestamps are recorded per request (the
+    latency sample the tail tables are built from), and when the
+    kernel has a span recorder attached the id is stamped on the
+    connection at issue time so the kernel can attribute the
+    request's whole lifetime to causal phases
+    ({!Sim_obs.Obs.note_issue} / [claim] / [complete]). *)
 
 open Sim_kernel
 
@@ -16,20 +24,35 @@ type conn = {
   mutable to_recv : int;  (** bytes outstanding of the current response *)
   mutable in_flight : bool;
   mutable send_pos : int;  (** partial-request progress *)
+  mutable rid : int;  (** request id in flight on this connection, or -1 *)
+  mutable issued_at : int64;  (** cycle time the in-flight request fired *)
+  mutable dead : bool;  (** server closed the connection *)
 }
 
 type t = {
   conns : conn list;
   request : string;
   response_size : int;  (** header + body, known a priori *)
+  max_requests : int;  (** stop issuing after this many (0 = unbounded) *)
+  mutable next_rid : int;
   mutable completed : int;
   mutable errors : int;
+  mutable latencies : (int * int64 * int64) list;
+      (** (rid, issue, complete) per finished request, newest first *)
 }
+
+(* The server-side endpoint id of a client connection — the key the
+   kernel claims requests by (it sees the server half on its reads). *)
+let conn_token (c : conn) =
+  match c.ep.Net.peer with Some p -> p.Net.id | None -> c.ep.Net.id
 
 (** Connect [conns] keepalive connections to [port] and register the
     generator as a kernel actor.  [file] is the path requested;
-    [file_size] its size (the client knows what it asked for). *)
-let attach (k : Types.kernel) ~port ~conns ~file ~file_size : t =
+    [file_size] its size (the client knows what it asked for).
+    [max_requests] bounds the total issued (0, the default, keeps
+    firing as long as the simulation runs). *)
+let attach ?(max_requests = 0) (k : Types.kernel) ~port ~conns ~file
+    ~file_size : t =
   let request = Printf.sprintf "GET %s HTTP/1.1\r\nHost: bench\r\n\r\n" file in
   (* A refused connection (no listener yet, backlog full) is a load
      generator error like any other — count it and carry on with the
@@ -40,7 +63,10 @@ let attach (k : Types.kernel) ~port ~conns ~file ~file_size : t =
     List.filter_map
       (fun _ ->
         match Net.connect k.Types.net ~port with
-        | Ok ep -> Some { ep; to_recv = 0; in_flight = false; send_pos = 0 }
+        | Ok ep ->
+            Some
+              { ep; to_recv = 0; in_flight = false; send_pos = 0; rid = -1;
+                issued_at = 0L; dead = false }
         | Error `Refused ->
             incr refused;
             None)
@@ -51,11 +77,20 @@ let attach (k : Types.kernel) ~port ~conns ~file ~file_size : t =
       conns = connected;
       request;
       response_size = Webserver.header_len + file_size;
+      max_requests;
+      next_rid = 1;
       completed = 0;
       errors = !refused;
+      latencies = [];
     }
   in
+  let app_ev () =
+    match k.Types.auditor with
+    | Some a -> Sim_audit.Audit.app_count a
+    | None -> -1
+  in
   let step () =
+    let now = Types.global_time k in
     List.iter
       (fun c ->
         (* Drain whatever the server produced. *)
@@ -65,19 +100,50 @@ let attach (k : Types.kernel) ~port ~conns ~file ~file_size : t =
               c.to_recv <- c.to_recv - String.length s;
               if c.to_recv > 0 then drain ()
           | `Eof ->
-              if c.in_flight then g.errors <- g.errors + 1;
+              if c.in_flight then begin
+                g.errors <- g.errors + 1;
+                (match k.Types.obs with
+                | Some o when c.rid >= 0 -> Sim_obs.Obs.abandon o ~rid:c.rid
+                | _ -> ())
+              end;
               c.in_flight <- false;
+              c.rid <- -1;
+              c.dead <- true;
               c.to_recv <- 0
           | `Empty -> ()
         in
         if c.in_flight then drain ();
         if c.in_flight && c.to_recv <= 0 then begin
           g.completed <- g.completed + 1;
+          g.latencies <- (c.rid, c.issued_at, now) :: g.latencies;
+          (match k.Types.obs with
+          | Some o ->
+              Sim_obs.Obs.complete o ~rid:c.rid ~ts:now ~ev_hi:(app_ev ())
+          | None -> ());
           c.in_flight <- false;
+          c.rid <- -1;
           c.send_pos <- 0
         end;
-        (* Fire the next request. *)
-        if (not c.in_flight) && c.ep.Net.peer <> None then begin
+        (* Fire the next request (unless the budget is spent). *)
+        if
+          (not c.in_flight) && (not c.dead)
+          && c.ep.Net.peer <> None
+          && (g.max_requests = 0 || g.next_rid <= g.max_requests)
+        then begin
+          if c.send_pos = 0 && c.rid < 0 then begin
+            (* The request exists from its first byte on the wire:
+               stamp the id and the issue time now, so queueing delay
+               ahead of the server's first read is part of its
+               latency. *)
+            c.rid <- g.next_rid;
+            g.next_rid <- g.next_rid + 1;
+            c.issued_at <- now;
+            match k.Types.obs with
+            | Some o ->
+                Sim_obs.Obs.note_issue o ~rid:c.rid ~conn:(conn_token c)
+                  ~ts:now
+            | None -> ()
+          end;
           let remaining = String.length g.request - c.send_pos in
           match Net.send c.ep g.request c.send_pos remaining with
           | Ok sent ->
@@ -86,13 +152,27 @@ let attach (k : Types.kernel) ~port ~conns ~file ~file_size : t =
                 c.in_flight <- true;
                 c.to_recv <- g.response_size
               end
-          | Error `Pipe -> g.errors <- g.errors + 1
+          | Error `Pipe ->
+              g.errors <- g.errors + 1;
+              (match k.Types.obs with
+              | Some o when c.rid >= 0 -> Sim_obs.Obs.abandon o ~rid:c.rid
+              | _ -> ());
+              c.rid <- -1;
+              c.dead <- true;
+              c.send_pos <- 0
         end)
       g.conns;
     ()
   in
   k.Types.actors <- step :: k.Types.actors;
   g
+
+(** Finished requests as (rid, issue, complete), completion order. *)
+let latencies (g : t) = List.rev g.latencies
+
+(** True once a bounded generator has collected every response. *)
+let finished (g : t) =
+  g.max_requests > 0 && g.completed >= g.max_requests
 
 (** Requests per simulated second (cycles at 2.1 GHz). *)
 let throughput (g : t) ~(cycles : int64) =

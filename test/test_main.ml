@@ -29,4 +29,5 @@ let () =
       ("audit", Test_audit.tests);
       ("chaos", Test_chaos.tests);
       ("debug", Test_debug.tests);
+      ("obs", Test_obs.tests);
     ]

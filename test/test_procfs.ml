@@ -227,6 +227,84 @@ let test_guest_sees_fast_path_grow () =
         (contains ~needle:line_start maps_dump)
   | [] -> Alcotest.fail "no mapped regions")
 
+(* --- observation-integrity probes (gated macrobench) --------------- *)
+
+(* Scrape one sample's value out of a Prometheus exposition. *)
+let metric_value text name =
+  let rec find = function
+    | [] -> Alcotest.failf "no %s sample in /proc/metrics" name
+    | line :: rest -> (
+        match
+          Scanf.sscanf_opt line "%s %d" (fun n v ->
+              if n = name then Some v else None)
+        with
+        | Some (Some v) -> v
+        | _ -> find rest)
+  in
+  find (String.split_on_char '\n' text)
+
+let test_observation_integrity_probes () =
+  (* The gated macrobench: a bounded wrk run with every observer
+     attached — tracer, span recorder, metrics.  The integrity probes
+     must expose the drop counters, and all of them must read zero:
+     a lossy observer means the attribution cannot be trusted. *)
+  let k = Kernel.create () in
+  ignore (Kernel.enable_metrics k);
+  let tr = Sim_trace.Tracer.create ~ncpus:1 () in
+  k.Types.tracer <- Some tr;
+  let o = Sim_obs.Obs.create ~ncpus:1 () in
+  Kernel.attach_obs k o;
+  let file = "/www/f" in
+  let requests = 200 in
+  let t =
+    Workloads.Webserver.boot_into k ~port:80 ~exit_after:requests
+      ~flavour:Workloads.Webserver.Nginx_like ~workers:1
+      ~files:[ (file, String.make 1024 'x') ]
+      ()
+  in
+  ignore (Lazypoline.install k t (Lazypoline.Hook.dummy ()));
+  Workloads.Webserver.wait_listening k ~port:80;
+  let g =
+    Workloads.Wrk.attach ~max_requests:requests k ~port:80 ~conns:4 ~file
+      ~file_size:1024
+  in
+  Alcotest.(check bool) "server exited" true
+    (Kernel.run_until_exit ~max_slices:600_000 k);
+  Alcotest.(check int) "all requests served" requests
+    g.Workloads.Wrk.completed;
+  let p = read_proc k "/proc/metrics" in
+  (* the per-CPU ring counters are exposed alongside the machine total *)
+  Alcotest.(check bool) "per-cpu ring probe exposed" true
+    (contains ~needle:"sim_trace_ring_dropped_cpu0" p);
+  Alcotest.(check bool) "reservoir evictions probe exposed" true
+    (contains ~needle:"sim_obs_reservoir_evictions_total" p);
+  (* gates: every observer kept up *)
+  Alcotest.(check int) "no trace-ring drops" 0
+    (metric_value p "sim_trace_ring_dropped_total");
+  Alcotest.(check int) "no drops on cpu0 either" 0
+    (metric_value p "sim_trace_ring_dropped_cpu0");
+  Alcotest.(check int) "no span in-flight overflow" 0
+    (metric_value p "sim_obs_inflight_overflow_total");
+  Alcotest.(check int) "every request issued counted" requests
+    (metric_value p "sim_obs_requests_issued_total");
+  Alcotest.(check int) "every request completed counted" requests
+    (metric_value p "sim_obs_requests_completed_total")
+
+let test_integrity_probes_detached () =
+  (* Without observers the probes still exist and read zero (scrape
+     thunks close over the kernel, not over an instance). *)
+  let k = Kernel.create () in
+  ignore (Kernel.enable_metrics k);
+  ignore (spawn_prog k src_trivial);
+  Alcotest.(check bool) "terminated" true (Kernel.run_until_exit k);
+  let p = read_proc k "/proc/metrics" in
+  Alcotest.(check int) "ring drops read zero" 0
+    (metric_value p "sim_trace_ring_dropped_total");
+  Alcotest.(check int) "span overflow reads zero" 0
+    (metric_value p "sim_obs_inflight_overflow_total");
+  Alcotest.(check int) "issued reads zero" 0
+    (metric_value p "sim_obs_requests_issued_total")
+
 let tests =
   [
     Alcotest.test_case "status node" `Quick test_status;
@@ -240,4 +318,8 @@ let tests =
       test_metrics_node_detached;
     Alcotest.test_case "guest reads /proc/self, fast path grows" `Quick
       test_guest_sees_fast_path_grow;
+    Alcotest.test_case "observation-integrity probes (gated macrobench)"
+      `Quick test_observation_integrity_probes;
+    Alcotest.test_case "integrity probes read zero when detached" `Quick
+      test_integrity_probes_detached;
   ]

@@ -85,6 +85,167 @@ let test_histogram_uniform () =
   let total = Array.fold_left (fun acc (_, _, c) -> acc + c) 0 h in
   Alcotest.(check int) "total preserved" 10 total
 
+(* --- log-bucketed histogram (Log_hist) ----------------------------- *)
+
+module H = Stats.Log_hist
+
+let test_log_hist_empty () =
+  let h = H.create () in
+  Alcotest.(check int) "count" 0 (H.count h);
+  Alcotest.(check bool) "percentile is nan" true
+    (Float.is_nan (H.percentile h 50.0));
+  Alcotest.(check bool) "max is nan" true (Float.is_nan (H.max_value h));
+  Alcotest.(check int) "no buckets" 0 (Array.length (H.buckets h))
+
+let test_log_hist_bucket_bounds () =
+  (* Buckets are octaves split into [sub] linear slices: every sample
+     must land inside its bucket's [lo, hi) bounds, and each bucket's
+     relative width is at most 1/sub. *)
+  let sub = 8 in
+  let h = H.create ~sub () in
+  let samples = [ 1.0; 1.9; 2.0; 3.5; 100.0; 1024.0; 1_000_000.0 ] in
+  List.iter (H.add h) samples;
+  let buckets = H.buckets h in
+  let total = Array.fold_left (fun acc (_, _, c) -> acc + c) 0 buckets in
+  Alcotest.(check int) "every sample bucketed" (List.length samples) total;
+  Array.iter
+    (fun (lo, hi, _) ->
+      Alcotest.(check bool) "bounds ordered" true (lo < hi);
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket [%g,%g) relative width <= 1/sub" lo hi)
+        true
+        (hi -. lo <= (lo /. float_of_int sub) +. 1e-9))
+    buckets;
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "sample %g inside some bucket" v)
+        true
+        (Array.exists (fun (lo, hi, _) -> v >= lo && v < hi) buckets))
+    samples;
+  (* exact extremes survive bucketing; the percentile estimates sit
+     mid-bucket, so they are only bucket-accurate (1/sub relative) *)
+  feq "min exact" 1.0 (H.min_value h);
+  feq "max exact" 1_000_000.0 (H.max_value h);
+  let close name expected got =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: %g within 1/sub of %g" name got expected)
+      true
+      (Float.abs (got -. expected) /. expected <= 1.0 /. float_of_int sub)
+  in
+  close "p0 tracks min" 1.0 (H.percentile h 0.0);
+  close "p100 tracks max" 1_000_000.0 (H.percentile h 100.0)
+
+let test_log_hist_underflow () =
+  let h = H.create () in
+  List.iter (H.add h) [ 0.0; 0.5; 4.0 ];
+  Alcotest.(check int) "all counted" 3 (H.count h);
+  match H.buckets h with
+  | [||] -> Alcotest.fail "no buckets"
+  | b ->
+      let lo, hi, c = b.(0) in
+      feq "underflow bucket starts at 0" 0.0 lo;
+      feq "underflow bucket ends at 1" 1.0 hi;
+      Alcotest.(check int) "sub-1 samples pooled" 2 c
+
+let test_log_hist_nonfinite () =
+  let h = H.create () in
+  List.iter (H.add h) [ nan; infinity; neg_infinity; -3.0; 7.0 ];
+  Alcotest.(check int) "only the finite non-negative sample counted" 1
+    (H.count h);
+  Alcotest.(check int) "four drops recorded" 4 (H.dropped h);
+  feq "books unpolluted" 7.0 (H.percentile h 50.0)
+
+(* A deterministic heavy-tailed sample (no Random: the suite must be
+   reproducible): exponentially spaced values hit many octaves. *)
+let heavy_tail n = List.init n (fun i -> Float.pow 1.013 (float_of_int i))
+
+let test_log_hist_tail_accuracy () =
+  let sub = 64 in
+  let xs = heavy_tail 2000 in
+  let h = H.create ~sub () in
+  List.iter (H.add h) xs;
+  List.iter
+    (fun p ->
+      let exact = Stats.percentile xs p in
+      let est = H.percentile h p in
+      let rel = Float.abs (est -. exact) /. exact in
+      Alcotest.(check bool)
+        (Printf.sprintf "p%g within 1/sub: est %.1f exact %.1f (%.4f rel)" p
+           est exact rel)
+        true
+        (rel <= 1.0 /. float_of_int sub))
+    [ 50.0; 90.0; 99.0; 99.9 ]
+
+let test_log_hist_merge () =
+  let sub = 32 in
+  let xs = heavy_tail 500 in
+  let whole = H.create ~sub () in
+  List.iter (H.add whole) xs;
+  let a = H.create ~sub () and b = H.create ~sub () in
+  List.iteri (fun i v -> H.add (if i mod 2 = 0 then a else b) v) xs;
+  H.merge ~into:a b;
+  Alcotest.(check int) "count merges" (H.count whole) (H.count a);
+  feq "sum merges" (H.sum whole) (H.sum a);
+  feq "max merges" (H.max_value whole) (H.max_value a);
+  feq "p90 identical to unsplit" (H.percentile whole 90.0)
+    (H.percentile a 90.0);
+  match H.merge ~into:a (H.create ~sub:7 ()) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "merged histograms with different sub"
+
+(* --- streaming sketch (full float range) --------------------------- *)
+
+let test_sketch_mixed_signs () =
+  let xs = [ -8.0; -2.0; -1.0; 0.0; 1.0; 2.0; 4.0; 8.0; 16.0 ] in
+  let s = Stats.Sketch.of_list xs in
+  Alcotest.(check int) "count" 9 (Stats.Sketch.count s);
+  feq "min is most negative" (-8.0) (Stats.Sketch.min_value s);
+  feq "max" 16.0 (Stats.Sketch.max_value s);
+  feq "sum" 20.0 (Stats.Sketch.sum s);
+  (* splice point: p0 must read from the negative half, p100 from the
+     positive, each bucket-accurate (default sub = 16) *)
+  let close name expected got =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: %g near %g" name got expected)
+      true
+      (Float.abs (got -. expected) /. Float.abs expected <= 1.0 /. 16.0)
+  in
+  close "p0" (-8.0) (Stats.Sketch.percentile s 0.0);
+  close "p100" 16.0 (Stats.Sketch.percentile s 100.0);
+  (* exact median is the 0.0 sample; the splice + bucket estimate may
+     drift into the adjacent bucket but not past the neighbours *)
+  let med = Stats.Sketch.percentile s 50.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "median between the neighbour samples (%g)" med)
+    true
+    (med >= -1.0 && med <= 2.0);
+  let p25 = Stats.Sketch.percentile s 25.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "p25 negative (%g)" p25)
+    true (p25 < 0.0)
+
+let test_sketch_all_negative () =
+  let s = Stats.Sketch.of_list [ -10.0; -20.0; -40.0 ] in
+  feq "min" (-40.0) (Stats.Sketch.min_value s);
+  feq "max" (-10.0) (Stats.Sketch.max_value s);
+  let close name expected got =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: %g near %g" name got expected)
+      true
+      (Float.abs (got -. expected) /. Float.abs expected <= 1.0 /. 16.0)
+  in
+  close "p0 tracks min" (-40.0) (Stats.Sketch.percentile s 0.0);
+  close "p100 tracks max" (-10.0) (Stats.Sketch.percentile s 100.0);
+  let med = Stats.Sketch.percentile s 50.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "median in the middle bucket (%g)" med)
+    true
+    (med <= -10.0 && med >= -40.0);
+  Alcotest.(check bool) "nan dropped, counted" true
+    (Stats.Sketch.add s nan;
+     Stats.Sketch.dropped s = 1 && Stats.Sketch.count s = 3)
+
 let tests =
   [
     Alcotest.test_case "percentile: empty" `Quick test_percentile_empty;
@@ -101,4 +262,16 @@ let tests =
       test_histogram_constant;
     Alcotest.test_case "histogram: uniform sample" `Quick
       test_histogram_uniform;
+    Alcotest.test_case "log-hist: empty" `Quick test_log_hist_empty;
+    Alcotest.test_case "log-hist: bucket bounds" `Quick
+      test_log_hist_bucket_bounds;
+    Alcotest.test_case "log-hist: underflow bucket" `Quick
+      test_log_hist_underflow;
+    Alcotest.test_case "log-hist: non-finite inputs" `Quick
+      test_log_hist_nonfinite;
+    Alcotest.test_case "log-hist: tail accuracy vs exact" `Quick
+      test_log_hist_tail_accuracy;
+    Alcotest.test_case "log-hist: merge" `Quick test_log_hist_merge;
+    Alcotest.test_case "sketch: mixed signs" `Quick test_sketch_mixed_signs;
+    Alcotest.test_case "sketch: all negative" `Quick test_sketch_all_negative;
   ]

@@ -401,6 +401,109 @@ let test_chrome_json_shape () =
   in
   Alcotest.(check int) "async begins match ends" (count "b") (count "e")
 
+(* --- Perfetto request-track export (simtrace spans --out) ---------- *)
+
+let jnum = function
+  | Some (J_num n) -> n
+  | _ -> raise (Bad_json "want number")
+
+let test_request_tracks_shape () =
+  (* Real span data: a small wrk run under lazypoline, exported the
+     way simtrace spans does — one track per exemplar request. *)
+  let module Obs = Sim_obs.Obs in
+  let module D = Harness.Divergence in
+  let o = Obs.create ~ncpus:1 () in
+  let _a, _k, _t =
+    D.run_audited ~obs:o D.Lazypoline_m
+      (D.Wrk
+         {
+           flavour = Workloads.Webserver.Nginx_like;
+           size_kb = 2;
+           conns = 3;
+           requests = 40;
+         })
+  in
+  let tracks =
+    List.map
+      (fun r ->
+        ( r.Obs.rid,
+          List.map
+            (fun s -> (Obs.phase_name s.Obs.s_phase, s.Obs.s_start, s.Obs.s_end))
+            (Obs.segments r) ))
+      (Obs.exemplars o)
+  in
+  Alcotest.(check bool) "exemplars to export" true (tracks <> []);
+  let doc = parse_json (Sim_trace.Export.request_tracks_json tracks) in
+  let trace_events =
+    match jfield "traceEvents" doc with
+    | Some (J_arr l) -> l
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  let metas, slices =
+    List.partition (fun e -> jstr (jfield "ph" e) = "M") trace_events
+  in
+  (* one named track per request id, no extras *)
+  let rids = List.map fst tracks |> List.sort_uniq compare in
+  let meta_tids =
+    List.filter_map
+      (fun e ->
+        if jstr (jfield "name" e) = "thread_name" then begin
+          let tid = int_of_float (jnum (jfield "tid" e)) in
+          (match jfield "args" e with
+          | Some args ->
+              Alcotest.(check string) "track named by request"
+                (Printf.sprintf "request %d" tid)
+                (jstr (jfield "name" args))
+          | None -> Alcotest.fail "thread meta without args");
+          Some tid
+        end
+        else None)
+      metas
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list int)) "one track per rid" rids meta_tids;
+  (* every slice is a complete event on its request's track *)
+  Alcotest.(check bool) "has phase slices" true (slices <> []);
+  List.iter
+    (fun e ->
+      Alcotest.(check string) "complete event" "X" (jstr (jfield "ph" e));
+      Alcotest.(check string) "category" "request" (jstr (jfield "cat" e));
+      Alcotest.(check bool) "duration non-negative" true
+        (jnum (jfield "dur" e) >= 0.0);
+      let tid = int_of_float (jnum (jfield "tid" e)) in
+      Alcotest.(check bool) "slice on a declared track" true
+        (List.mem tid rids);
+      match jfield "args" e with
+      | Some args ->
+          Alcotest.(check int) "rid arg matches track" tid
+            (int_of_float (jnum (jfield "rid" args)))
+      | None -> Alcotest.fail "slice without args")
+    slices;
+  (* per track: slices in time order and non-overlapping *)
+  List.iter
+    (fun rid ->
+      let mine =
+        List.filter
+          (fun e -> int_of_float (jnum (jfield "tid" e)) = rid)
+          slices
+      in
+      Alcotest.(check bool) "track non-empty" true (mine <> []);
+      ignore
+        (List.fold_left
+           (fun prev_end e ->
+             let ts = jnum (jfield "ts" e) in
+             let dur = jnum (jfield "dur" e) in
+             (* timestamps print at 1e-4 us precision; one simulated
+                cycle is ~4.8e-4 us, so this slack only forgives
+                formatting, never a real overlap *)
+             Alcotest.(check bool)
+               (Printf.sprintf "request %d: slices don't overlap" rid)
+               true
+               (ts >= prev_end -. 2.5e-4);
+             ts +. dur)
+           neg_infinity mine))
+    rids
+
 let tests =
   [
     Alcotest.test_case "ring: overflow accounting" `Quick test_ring_overflow;
@@ -412,4 +515,6 @@ let tests =
       test_trace_is_observation_only;
     QCheck_alcotest.to_alcotest prop_tracing_never_changes_cycles;
     Alcotest.test_case "chrome JSON shape" `Quick test_chrome_json_shape;
+    Alcotest.test_case "perfetto request tracks shape" `Quick
+      test_request_tracks_shape;
   ]

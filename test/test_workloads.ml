@@ -76,6 +76,50 @@ let test_server_under_lazypoline_correct () =
   Alcotest.(check bool) "requests flowed" true (g.Workloads.Wrk.completed > 10);
   Alcotest.(check int) "no errors" 0 g.Workloads.Wrk.errors
 
+let test_wrk_request_timestamps () =
+  (* The generator stamps per-request issue/complete cycle times; the
+     tail tables are built from them, so they must be coherent: one
+     sample per completed request, issue <= complete on every row,
+     completion times non-decreasing in completion order, and a
+     bounded generator stops exactly at its budget. *)
+  let file = "/www/t" in
+  let contents = String.make 512 'r' in
+  let requests = 80 in
+  let k =
+    Ws.boot ~flavour:Ws.Nginx_like ~workers:1 ~exit_after:requests
+      ~files:[ (file, contents) ] ()
+  in
+  Ws.wait_listening k ~port:80;
+  let g =
+    Workloads.Wrk.attach ~max_requests:requests k ~port:80 ~conns:3 ~file
+      ~file_size:512
+  in
+  Alcotest.(check bool) "server exits at its budget" true
+    (Kernel.run_until_exit ~max_slices:600_000 k);
+  Alcotest.(check bool) "generator saw the budget out" true
+    (Workloads.Wrk.finished g);
+  Alcotest.(check int) "completed exactly the budget" requests
+    g.Workloads.Wrk.completed;
+  let lats = Workloads.Wrk.latencies g in
+  Alcotest.(check int) "one latency row per completed request" requests
+    (List.length lats);
+  (* every assigned rid appears exactly once *)
+  Alcotest.(check int) "rids distinct" requests
+    (List.length
+       (List.sort_uniq compare (List.map (fun (rid, _, _) -> rid) lats)));
+  ignore
+    (List.fold_left
+       (fun prev_complete (rid, issue, complete) ->
+         Alcotest.(check bool)
+           (Printf.sprintf "rid %d: issue <= complete" rid)
+           true (issue <= complete);
+         Alcotest.(check bool)
+           (Printf.sprintf "rid %d: completion order is time order" rid)
+           true (complete >= prev_complete);
+         complete)
+       0L lats);
+  Alcotest.(check int) "no client errors" 0 g.Workloads.Wrk.errors
+
 let test_multiworker_parallel_speedup () =
   let measure workers =
     let file = "/www/t" in
@@ -181,6 +225,8 @@ let tests =
       test_server_keepalive_multiple_requests;
     Alcotest.test_case "responses intact under lazypoline" `Quick
       test_server_under_lazypoline_correct;
+    Alcotest.test_case "wrk request timestamps coherent" `Quick
+      test_wrk_request_timestamps;
     Alcotest.test_case "multi-worker speedup" `Quick
       test_multiworker_parallel_speedup;
     Alcotest.test_case "microbench ordering" `Quick test_microbench_ordering;
