@@ -37,12 +37,22 @@
                                                (skip the audit-recorder
                                                 record-overhead sweep and
                                                 its observation-only gate)
+      dune exec bench/main.exe -- --no-sites-sweep
+                                               (skip the per-call-site
+                                                provenance sweep and its
+                                                unwind-success / path-purity
+                                                gates)
 
     Besides the paper numbers (simulated cycles — independent of the
     host), every experiment reports host-side simulation throughput:
     wall-clock time, simulated instructions retired, insns/sec, and
     the decoded-instruction-cache hit/miss/invalidation counters.
     The per-experiment reports are written as JSON. *)
+
+(* The bench JSON schema version, in one place: the emitter and every
+   gate that keys on the schema share this constant, so bumping the
+   version is a single edit. *)
+let schema_version = "lazypoline-sim-bench/6"
 
 (* --- Host-side throughput reporting -------------------------------- *)
 
@@ -391,6 +401,114 @@ let check_spans_off () =
       end)
     Harness.Divergence.all_mechs
 
+(* --- Per-call-site provenance sweep (simtrace sites, DESIGN.md §15) - *)
+
+(* The six mechanisms run over a call-graph-rich minicc workload with
+   the provenance recorder attached: a bounded rbp-chain unwind at
+   every audited syscall keys a per-site ledger of dispatch-path mix
+   and rewrite provenance.  Gating: (a) at least 99% of audited
+   syscalls must unwind to one or more frames (the only sanctioned
+   failure is the start shim's exit, which runs with rbp = 0); (b) the
+   ledger must show each mechanism's dispatch signature per site — in
+   particular every lazily-rewritten lazypoline site must be fast-path
+   pure after its one SIGSYS (the paper's per-site specialization
+   claim, checked at site granularity rather than machine-wide). *)
+
+type sites_row = { tr_mech : string; tr_prov : Sim_obs.Provenance.t }
+
+(* Two leaf call sites reached through a two-deep call chain, hot
+   enough that the one unresolvable exit syscall stays under 1%. *)
+let sites_src =
+  "long leaf_pid() { return syscall(39); }\n\
+   long leaf_write(s, n) { return syscall(1, 1, s, n); }\n\
+   long middle(i) { long p = leaf_pid(); leaf_write(\"tick\\n\", 5); return \
+   p; }\n\
+   long main() { long i = 0; while (i < 200) { middle(i); i = i + 1; } \
+   return 0; }\n"
+
+let sites_rows () =
+  let module D = Harness.Divergence in
+  let module P = Sim_obs.Provenance in
+  let workload = D.Prog { src = sites_src; jit = false } in
+  List.map
+    (fun mech ->
+      let p = P.create () in
+      let _a, _k, _t = D.run_audited ~prov:p mech workload in
+      let name = D.mech_name mech in
+      let rate = P.unwind_success_rate p in
+      Printf.printf
+        "[host] sites %-12s %3d site(s), %3d rewritten, unwind %d/%d \
+         (%.1f%%)\n\
+         %!"
+        name (P.distinct_sites p) (P.rewrite_count p) (P.unwind_resolved p)
+        (P.unwind_attempts p) (100.0 *. rate);
+      if rate < 0.99 then begin
+        Printf.eprintf
+          "[host] FAIL: sites %s: unwind success %.2f%% below the 99%% gate \
+           (%d/%d)\n\
+           %!"
+          name (100.0 *. rate) (P.unwind_resolved p) (P.unwind_attempts p);
+        exit 1
+      end;
+      let pure idx (s : P.site) =
+        Array.for_all (( = ) 0)
+          (Array.mapi (fun i n -> if i = idx then 0 else n) s.P.s_paths)
+      in
+      let check_pure idx =
+        List.iter
+          (fun (s : P.site) ->
+            if not (pure idx s) then begin
+              Printf.eprintf
+                "[host] FAIL: sites %s: site 0x%x nr=%d not %s-pure\n%!" name
+                s.P.s_pc s.P.s_nr P.path_names.(idx);
+              exit 1
+            end)
+          (P.sites_sorted p)
+      in
+      (match mech with
+      | D.Raw -> check_pure 4 (* direct *)
+      | D.Sud -> check_pure 0 (* sud_sigsys *)
+      | D.Zpoline -> check_pure 1 (* the load-time sweep leaves no slow path *)
+      | D.Seccomp -> check_pure 2
+      | D.Ptrace -> check_pure 3
+      | D.Lazypoline_m ->
+          (* Every rewritten site: exactly one SIGSYS-mediated dispatch
+             (the one that triggered the rewrite), everything after it
+             on the fast path — and the hot sites must show the fast
+             path actually taken. *)
+          let saw_fast = ref false in
+          List.iter
+            (fun (s : P.site) ->
+              match P.rewrite_of p s.P.s_pc with
+              | None -> ()
+              | Some _ ->
+                  if s.P.s_paths.(1) > 0 then saw_fast := true;
+                  if
+                    s.P.s_paths.(0) > 1
+                    || s.P.s_paths.(2) > 0
+                    || s.P.s_paths.(3) > 0
+                    || s.P.s_paths.(4) > 0
+                  then begin
+                    Printf.eprintf
+                      "[host] FAIL: sites lazypoline: rewritten site 0x%x \
+                       nr=%d not fast-path pure after its rewrite \
+                       (sud=%d fast=%d seccomp=%d ptrace=%d direct=%d)\n\
+                       %!"
+                      s.P.s_pc s.P.s_nr s.P.s_paths.(0) s.P.s_paths.(1)
+                      s.P.s_paths.(2) s.P.s_paths.(3) s.P.s_paths.(4);
+                    exit 1
+                  end)
+            (P.sites_sorted p);
+          if not !saw_fast then begin
+            Printf.eprintf
+              "[host] FAIL: sites lazypoline: no rewritten site ever took \
+               the fast path\n\
+               %!";
+            exit 1
+          end);
+      { tr_mech = name; tr_prov = p })
+    D.all_mechs
+
 let check_record_rows rows =
   List.iter
     (fun r ->
@@ -419,10 +537,10 @@ let engine_aggregate rows =
   let off_i, off_w = sum (fun r -> r.er_off_insns) (fun r -> r.er_off_wall) in
   (ips on_i on_w, ips off_i off_w)
 
-let emit_json path mechs engine record spans =
+let emit_json path mechs engine record spans sites =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
-  out "{\n  \"schema\": \"lazypoline-sim-bench/5\",\n  \"experiments\": [";
+  out "{\n  \"schema\": \"%s\",\n  \"experiments\": [" schema_version;
   List.iteri
     (fun idx r ->
       let ips =
@@ -535,14 +653,61 @@ let emit_json path mechs engine record spans =
             r.sr_completed r.sr_overflow r.sr_evictions r.sr_wall)
         rows;
       out "\n    ]\n  }");
+  (match sites with
+  | [] -> ()
+  | rows ->
+      let module P = Sim_obs.Provenance in
+      out ",\n  \"sites\": {\n    \"workload\": \"minicc-callgraph\",\n";
+      out "    \"rows\": [";
+      List.iteri
+        (fun idx r ->
+          let p = r.tr_prov in
+          out
+            "%s\n      { \"mech\": \"%s\", \"distinct_sites\": %d, \
+             \"rewrites\": %d,\n\
+            \        \"unwind\": { \"attempts\": %d, \"resolved\": %d, \
+             \"success_rate\": %.4f, \"truncated\": %d },\n\
+            \        \"sites\": ["
+            (if idx = 0 then "" else ",")
+            (json_escape r.tr_mech) (P.distinct_sites p) (P.rewrite_count p)
+            (P.unwind_attempts p) (P.unwind_resolved p)
+            (P.unwind_success_rate p) (P.unwind_truncated p);
+          List.iteri
+            (fun j (s : P.site) ->
+              let rw =
+                match P.rewrite_of p s.P.s_pc with
+                | Some r ->
+                    Printf.sprintf "\"%s\"" (P.rewrite_kind_name r.P.rw_kind)
+                | None -> "null"
+              in
+              out
+                "%s\n          { \"pc\": %d, \"sym\": \"%s\", \"nr\": %d, \
+                 \"count\": %d, \"kernel_cycles\": %.0f, \"rewrite\": %s,\n\
+                \            \"paths\": {"
+                (if j = 0 then "" else ",")
+                s.P.s_pc
+                (json_escape (P.symbolize p s.P.s_pc))
+                s.P.s_nr (P.site_count s) (P.site_cycles s) rw;
+              Array.iteri
+                (fun pi n ->
+                  out "%s \"%s\": %d"
+                    (if pi = 0 then "" else ",")
+                    P.path_names.(pi) n)
+                s.P.s_paths;
+              out " } }")
+            (P.sites_sorted p);
+          out "\n        ] }")
+        rows;
+      out "\n    ]\n  }");
   out "\n}\n";
   close_out oc;
-  Printf.printf "[host] wrote %s (%d experiments, %d mechanisms%s%s%s)\n%!"
+  Printf.printf "[host] wrote %s (%d experiments, %d mechanisms%s%s%s%s)\n%!"
     path
     (List.length !reports) (List.length mechs)
     (if engine = [] then "" else ", engine sweep")
     (if record = [] then "" else ", record-overhead sweep")
     (if spans = None then "" else ", span sweep")
+    (if sites = [] then "" else ", sites sweep")
 
 (* --- Regression snapshot (--snapshot) ------------------------------ *)
 
@@ -626,14 +791,14 @@ let resolve_snapshot p =
         failwith "--snapshot auto: no BENCH_<n>.json in the working directory"
   end
 
-let emit_snapshot path mechs engine record spans =
+let emit_snapshot path mechs engine record spans sites =
   let cur =
     match List.find_opt (fun m -> m.mr_name = "lazypoline") mechs with
     | Some m -> m.mr_cycles
     | None -> failwith "snapshot: no lazypoline mechanism row"
   in
   let prev = scan_lazypoline_cycles path in
-  emit_json path mechs engine record spans;
+  emit_json path mechs engine record spans sites;
   match prev with
   | None ->
       Printf.printf
@@ -993,11 +1158,19 @@ let () =
       Some (conns, requests, spans_rows ~conns ~requests ())
     end
   in
-  emit_json json_path mechs engine record spans;
+  (* Per-call-site provenance sweep: six mechanisms over the
+     call-graph minicc workload with the provenance recorder on.
+     Gating — 99% unwind success and per-site dispatch purity
+     (lazypoline rewritten sites fast-path-only after their one
+     SIGSYS) — so on by default, skippable with --no-sites-sweep. *)
+  let sites =
+    if List.mem "--no-sites-sweep" args then [] else sites_rows ()
+  in
+  emit_json json_path mechs engine record spans sites;
   (match chaos_off_path with
   | Some p -> check_chaos_off (resolve_snapshot p) mechs
   | None -> ());
   if List.mem "--spans-off-check" args then check_spans_off ();
   match snapshot_path with
-  | Some p -> emit_snapshot (resolve_snapshot p) mechs engine record spans
+  | Some p -> emit_snapshot (resolve_snapshot p) mechs engine record spans sites
   | None -> ()

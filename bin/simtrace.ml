@@ -20,6 +20,7 @@
       dune exec bin/simtrace.exe -- stat prog.c
       dune exec bin/simtrace.exe -- stat --format prometheus prog.c
       dune exec bin/simtrace.exe -- profile prog.c --out prof.folded
+      dune exec bin/simtrace.exe -- sites prog.c --flame sites.folded
       dune exec bin/simtrace.exe -- record prog.c --out prog.audit
       dune exec bin/simtrace.exe -- replay prog.audit
       dune exec bin/simtrace.exe -- diff --mechanisms \
@@ -83,6 +84,10 @@ let read_file path =
   close_in ic;
   s
 
+let write_out path s =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"PROG.c")
 
@@ -120,19 +125,23 @@ let setup_fs k =
     log — recorded kernel-side through the shared {!Strace} decoder,
     so it carries results with errno names and covers every dispatch
     (including [--mech none], which no interposer hook would see). *)
-let execute ?tracer ?metrics ?profiler ?auditor ?obs ?blocks file mech jit
-    preserve_xstate =
+let execute ?tracer ?metrics ?profiler ?auditor ?obs ?prov ?blocks file mech
+    jit preserve_xstate =
   let src = read_file file in
   let k = Kernel.create ?blocks () in
   k.Types.tracer <- tracer;
   (match metrics with Some m -> Kernel.attach_metrics k m | None -> ());
   (match auditor with Some a -> Kernel.attach_audit k a | None -> ());
   (match obs with Some o -> Divergence.attach_obs k o | None -> ());
+  (match prov with Some p -> Kernel.attach_prov k p | None -> ());
   setup_fs k;
   let img =
     if jit then Minicc.Jit.driver_image src
     else Minicc.Codegen.compile_to_image src
   in
+  (match prov with
+  | Some p -> Sim_obs.Provenance.add_symbols p img.Types.img_symbols
+  | None -> ());
   (match profiler with
   | Some p ->
       k.Types.profiler <- Some p;
@@ -332,6 +341,36 @@ let profile_cmd file mech jit preserve_xstate out period no_blocks =
     (Sim_metrics.Profiler.top ~n:10 p);
   if t.Types.exit_code <> 0 then exit t.Types.exit_code
 
+(** Per-call-site interposition ledger: run with the provenance
+    recorder attached (guest rbp-chain unwinding at every audited
+    syscall) and print the cost-sorted call-site table; optionally
+    write collapsed call-site stacks for flamegraph.pl and the full
+    ledger as JSON. *)
+let sites_cmd file mech jit preserve_xstate flame out limit no_blocks =
+  let module P = Sim_obs.Provenance in
+  let p = P.create () in
+  let blocks = if no_blocks then Some false else None in
+  let _k, t, _log = execute ~prov:p ?blocks file mech jit preserve_xstate in
+  print_string (P.table ~limit p);
+  Printf.printf
+    "\n%d distinct site(s), %d rewritten; unwind: %d/%d resolved (%.1f%%), %d \
+     truncated\n"
+    (P.distinct_sites p) (P.rewrite_count p) (P.unwind_resolved p)
+    (P.unwind_attempts p)
+    (100.0 *. P.unwind_success_rate p)
+    (P.unwind_truncated p);
+  (match flame with
+  | Some path ->
+      write_out path (P.folded ~comm:(Filename.basename file) p);
+      Printf.eprintf "wrote %s (collapsed call-site stacks)\n" path
+  | None -> ());
+  (match out with
+  | Some path ->
+      write_out path (P.to_json p);
+      Printf.eprintf "wrote %s\n" path
+  | None -> ());
+  if t.Types.exit_code <> 0 then exit t.Types.exit_code
+
 (** {1 record / replay / diff: the divergence auditor} *)
 
 let audit_header file mech jit preserve_xstate checkpoint_every =
@@ -464,7 +503,8 @@ let debug_repl s =
   in
   loop ()
 
-let debug_cmd logfile prog mech_override script seek_request no_blocks =
+let debug_cmd logfile prog mech_override script seek_request seek_site
+    no_blocks =
   let content = read_file logfile in
   match Dbg.parse_log content with
   | Error e ->
@@ -518,24 +558,30 @@ let debug_cmd logfile prog mech_override script seek_request no_blocks =
           if r.Dbg.out <> "" then print_endline r.Dbg.out;
           if not r.Dbg.ok then exit 1
       | None -> ());
+      (match seek_site with
+      | Some pc ->
+          let r = Dbg.exec_command s (Printf.sprintf "site %s" pc) in
+          if r.Dbg.out <> "" then print_endline r.Dbg.out;
+          if not r.Dbg.ok then exit 1
+      | None -> ());
       match script with
       | Some path -> exit (Dbg.run_script s ~print:print_string (read_file path))
       | None -> debug_repl s)
 
 (** {1 spans: request-flow tracing on the wrk macrobench} *)
 
-let write_out path s =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
-
 let spans_cmd mech flavour size_kb conns requests out record_out no_blocks =
   let dmech = dmech_of_mech mech in
   let blocks = if no_blocks then Some false else None in
   let o = Sim_obs.Obs.create ~ncpus:1 () in
+  (* the provenance ledger feeds each exemplar's hottest call site *)
+  let p = Sim_obs.Provenance.create () in
   let workload = Divergence.Wrk { flavour; size_kb; conns; requests } in
-  let a, k, _t = Divergence.run_audited ?blocks ~obs:o dmech workload in
+  let a, k, _t = Divergence.run_audited ?blocks ~obs:o ~prov:p dmech workload in
   let clks = Array.map (fun (c : Types.cpu_slot) -> c.Types.clk) k.Types.cpus in
-  print_string (Sim_obs.Obs.report ~name_of_nr:Defs.syscall_name o ~clks);
+  print_string
+    (Sim_obs.Obs.report ~name_of_nr:Defs.syscall_name
+       ~name_of_site:(Sim_obs.Provenance.symbolize p) o ~clks);
   (match out with
   | Some path ->
       let tracks =
@@ -878,6 +924,44 @@ let profile_t =
       const profile_cmd $ file_arg $ mech_arg $ jit_arg $ xstate_arg
       $ folded_out_arg $ period_arg $ no_blocks_arg)
 
+let flame_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flame" ] ~docv:"PATH"
+        ~doc:
+          "Write the unwound call-site stacks in collapsed form \
+           (comm;frames... count — feed to flamegraph.pl, same format as \
+           simtrace profile).")
+
+let sites_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "out" ] ~docv:"PATH"
+        ~doc:"Write the full per-site ledger (counters, path mix, latency \
+              percentiles, rewrite provenance) as JSON.")
+
+let sites_limit_arg =
+  Arg.(
+    value & opt int 24
+    & info [ "limit" ] ~docv:"N"
+        ~doc:"Rows to show in the cost-sorted site table.")
+
+let sites_t =
+  Cmd.v
+    (Cmd.info "sites"
+       ~doc:
+         "Run a minicc program with the syscall-provenance recorder \
+          attached: a bounded rbp-chain unwind at every audited syscall \
+          keys a per-call-site ledger (dispatch-path mix, kernel-cycle \
+          percentiles, rewrite provenance).  Prints the cost-sorted site \
+          table; --flame writes collapsed unwind stacks, --out the ledger \
+          JSON")
+    Term.(
+      const sites_cmd $ file_arg $ mech_arg $ jit_arg $ xstate_arg $ flame_arg
+      $ sites_out_arg $ sites_limit_arg $ no_blocks_arg)
+
 let audit_out_arg =
   Arg.(
     value
@@ -941,6 +1025,16 @@ let debug_mech_arg =
            then compares the mechanism-neutral application stream rather \
            than full rows.")
 
+let seek_site_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "seek-site" ] ~docv:"PC"
+        ~doc:
+          "Position the cursor at the first audited syscall issued from \
+           call site PC (hex accepted), using the replay's provenance \
+           ledger, before the REPL or script runs.")
+
 let seek_request_arg =
   Arg.(
     value
@@ -974,7 +1068,7 @@ let debug_t =
           log as they run")
     Term.(
       const debug_cmd $ logfile_arg $ debug_prog_arg $ debug_mech_arg
-      $ script_arg $ seek_request_arg $ no_blocks_arg)
+      $ script_arg $ seek_request_arg $ seek_site_arg $ no_blocks_arg)
 
 let flavour_arg =
   Arg.(
@@ -1152,7 +1246,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            run_t; trace_t; report_t; stat_t; profile_t; record_t; replay_t;
-            debug_t; spans_t; diff_t; chaos_t; chaos_replay_t; engine_check_t;
-            disasm_t; pin_t;
+            run_t; trace_t; report_t; stat_t; profile_t; sites_t; record_t;
+            replay_t; debug_t; spans_t; diff_t; chaos_t; chaos_replay_t;
+            engine_check_t; disasm_t; pin_t;
           ]))

@@ -137,6 +137,11 @@ let rewrite_image (st : t) (t : task) =
         List.iter
           (fun off -> begin
             Mem.poke_bytes t.mem (addr + off) "\xff\xd0";
+            (match st.kernel.prov with
+            | Some p ->
+                Sim_obs.Provenance.note_rewrite p ~site:(addr + off)
+                  ~kind:Sim_obs.Provenance.Rw_sweep ~now:(now st.kernel)
+            | None -> ());
             incr n
           end)
           (Disasm.find_syscall_sites code)

@@ -502,6 +502,11 @@ let hyper_sigsys (st : t) (k : kernel) (t : task) =
       if k.tracer <> None then trace_emit k (Sim_trace.Event.Rewrite { site });
       (match k.metrics with
       | Some m -> incr m.Kmetrics.rewrites
+      | None -> ());
+      (match k.prov with
+      | Some p ->
+          Sim_obs.Provenance.note_rewrite p ~site
+            ~kind:Sim_obs.Provenance.Rw_lazy ~now:(now k)
       | None -> ())
   | _ -> ()
   | exception Mem.Fault _ -> ());
@@ -671,6 +676,11 @@ let rewrite_site (st : t) (t : task) ~addr =
         trace_emit st.kernel (Sim_trace.Event.Rewrite { site = addr });
       (match st.kernel.metrics with
       | Some m -> incr m.Kmetrics.rewrites
+      | None -> ());
+      (match st.kernel.prov with
+      | Some p ->
+          Sim_obs.Provenance.note_rewrite p ~site:addr
+            ~kind:Sim_obs.Provenance.Rw_manual ~now:(now st.kernel)
       | None -> ())
   | _ -> invalid_arg "rewrite_site: not a syscall instruction"
   | exception Mem.Fault _ -> invalid_arg "rewrite_site: unmapped"

@@ -291,18 +291,22 @@ let wrk_of_header log : D.workload option =
           | _ -> None)
       | _ -> None)
 
-(** Load a [% simtrace-spans/1] sidecar (the exemplar table the span
-    recorder wrote next to the audit log); rows keep their
+(** Load a [% simtrace-spans/1] or [/2] sidecar (the exemplar table
+    the span recorder wrote next to the audit log); rows keep their
     slowest-first order. *)
 let load_spans s (text : string) = s.spans <- Sim_obs.Obs.parse_sidecar text
 
 (** A fresh replay kernel: same fixture files as [simtrace run] and
     [Divergence.run_audited], audit attached before spawn, interposer
-    installed, nothing executed yet (= position 0). *)
+    installed, nothing executed yet (= position 0).  A provenance
+    ledger rides along on every replay — observation-only, so the
+    verified rows are unchanged — giving the [sites] command the
+    call-site table of the replayed prefix at the cursor. *)
 let make_live s : live =
   let a = A.create ~checkpoint_every:s.log.l_cadence () in
   let k = Kernel.create ?blocks:s.blocks () in
   Kernel.attach_audit k a;
+  Kernel.attach_prov k (Sim_obs.Provenance.create ());
   ignore (Vfs.add_file k.Types.vfs "/etc/hosts" "127.0.0.1 localhost\n");
   ignore (Vfs.add_file k.Types.vfs "/tmp/file_a" (String.make 256 'a'));
   let t = D.workload_spawn k s.workload in
@@ -548,6 +552,68 @@ let reverse_continue s (w : watch) : int option =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Call-site navigation (provenance ledger)                            *)
+
+module P = Sim_obs.Provenance
+
+let prov_of (lv : live) = lv.lk.Types.prov
+
+(** The per-call-site ledger of the replayed prefix at the cursor —
+    built by the provenance recorder riding on every replay. *)
+let sites_listing s : string =
+  ensure_live s;
+  match s.live with
+  | None -> "no live replay; seek first"
+  | Some lv -> (
+      match prov_of lv with
+      | None -> "no provenance ledger on the replay kernel"
+      | Some p ->
+          Printf.sprintf "call sites of the replayed prefix (cursor #%d):\n%s"
+            s.cursor (P.table p))
+
+(** Seek to the first audited app syscall issued from call site [pc]:
+    one full verified replay builds the whole-log ledger, whose
+    recorded first-event index for that site then becomes the target
+    of an ordinary verified {!seek} — the same contract as
+    {!seek_request}. *)
+let seek_site s pc : (string, string) result =
+  let full =
+    match s.live with
+    | Some lv when s.cursor = n_events s -> lv
+    | _ -> materialize s (n_events s)
+  in
+  match prov_of full with
+  | None -> Error "no provenance ledger on the replay kernel"
+  | Some p -> (
+      match List.filter (fun st -> st.P.s_pc = pc) (P.sites_sorted p) with
+      | [] ->
+          Error
+            (Printf.sprintf
+               "no audited syscall from call site 0x%x (%d site(s) in the log; \
+                try: sites)"
+               pc (P.distinct_sites p))
+      | l ->
+          let ev =
+            List.fold_left (fun acc st -> min acc st.P.s_first_ev) max_int l
+          in
+          if ev < 1 then
+            Error
+              (Printf.sprintf "site 0x%x has no recorded audit event index" pc)
+          else begin
+            (* keep the full replay live: a forward seek from the end
+               would be wasted, but the backward seek below replays
+               bounded to [ev] and verifies like any other motion *)
+            s.live <- Some full;
+            s.cursor <- n_events s;
+            seek s (min ev (n_events s));
+            Ok
+              (Printf.sprintf "site 0x%x (%s): %d audited syscall(s), first at #%d"
+                 pc (P.symbolize p pc)
+                 (List.fold_left (fun acc st -> acc + P.site_count st) 0 l)
+                 ev)
+          end)
+
+(* ------------------------------------------------------------------ *)
 (* Inspection                                                          *)
 
 let event_at s pos : line_ev option =
@@ -737,6 +803,8 @@ let help_text =
   rcontinue | rc            run backward (checkpoint bisection) to the change
   requests                  list the spans sidecar's exemplar requests
   request <rid>             seek to where request <rid>'s handling begins
+  sites                     per-call-site syscall ledger of the replayed prefix
+  site <pc>                 seek to the first audited syscall from call site pc
   strace [n]                decode the app event at n (default: cursor)
   regs [tid]                register dump at the cursor
   mem <addr> [len]          memory words at the cursor
@@ -820,6 +888,11 @@ let exec_command s (line : string) : cmd_result =
                      (if reverse then "before the cursor" else "ahead")
                      (cursor_line s))))
     | [ "requests" ] -> ok_out (spans_listing s)
+    | [ "sites" ] -> ok_out (sites_listing s)
+    | [ "site"; pc ] -> (
+        match seek_site s (int_of_string pc) with
+        | Ok d -> ok_out (Printf.sprintf "%s\n%s" d (cursor_line s))
+        | Error e -> fail_out e)
     | [ "request"; rid ] -> (
         match seek_request s (int_of_string rid) with
         | Ok r ->

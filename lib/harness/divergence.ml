@@ -310,7 +310,14 @@ let workload_spawn k workload : Types.task =
         ~flavour ~workers:1
         ~files:[ (wrk_file, String.make (size_kb * 1024) 'x') ]
         ()
-  | w -> Kernel.spawn k (workload_image k w)
+  | w ->
+      let img = workload_image k w in
+      (* The provenance ledger symbolizes unwound PCs through the
+         image's symbol table; register it before any code runs. *)
+      (match k.Types.prov with
+      | Some p -> Sim_obs.Provenance.add_symbols p img.Types.img_symbols
+      | None -> ());
+      Kernel.spawn k img
 
 (** Post-install start-up: for [Wrk], run the kernel until the server
     listens, then attach the load generator ([max_requests] caps the
@@ -355,13 +362,16 @@ type perturb = { at : int; reg : int; value : int64 }
     callee-saved state.  [blocks] forces the threaded-code block
     engine on/off for the run (default: the kernel's
     [SIM_NO_BLOCKS]-aware default) — the lever for the engine-identity
-    gates. *)
+    gates.  [prov] attaches a syscall-provenance ledger (guest stack
+    unwinding + per-call-site counters), with the workload image's
+    symbols registered at spawn; observation-only, like [obs]. *)
 let run_audited ?(checkpoint_every = 64) ?stop_after ?perturb ?chaos ?blocks
-    ?obs mech workload : A.t * Types.kernel * Types.task =
+    ?obs ?prov mech workload : A.t * Types.kernel * Types.task =
   let a = A.create ~checkpoint_every ?stop_after () in
   let k = Kernel.create ?blocks () in
   Kernel.attach_audit k a;
   (match obs with Some o -> attach_obs k o | None -> ());
+  (match prov with Some p -> Kernel.attach_prov k p | None -> ());
   (match chaos with
   | Some ch ->
       Sim_chaos.Chaos.add_hot_range ch ~lo:0 ~hi:4096;

@@ -60,6 +60,7 @@ let create ?(ncpus = 1) ?(cost = Sim_costs.Cost_model.default)
       auditor = None;
       chaos = None;
       obs = None;
+      prov = None;
     }
   in
   (* /proc exists on every kernel (guests may read it whether or not
@@ -152,7 +153,38 @@ let attach_metrics (k : kernel) (m : Kmetrics.t) =
       match k.obs with Some o -> Sim_obs.Obs.issued o | None -> 0);
   Metrics.probe r ~help:"requests completed (span recorder)"
     "sim_obs_requests_completed_total" (fun () ->
-      match k.obs with Some o -> Sim_obs.Obs.completed_count o | None -> 0)
+      match k.obs with Some o -> Sim_obs.Obs.completed_count o | None -> 0);
+  (* Provenance-integrity probes: unwinder health and ledger bounds.
+     A resolved count far below attempts, or a nonzero dropped count,
+     means per-site attribution is incomplete — the bench sweep gates
+     on the success rate. *)
+  Metrics.probe r ~help:"guest backtrace attempts (provenance ledger)"
+    "sim_site_unwind_attempts_total" (fun () ->
+      match k.prov with
+      | Some p -> Sim_obs.Provenance.unwind_attempts p
+      | None -> 0);
+  Metrics.probe r
+    ~help:"guest backtraces that recovered at least one frame"
+    "sim_site_unwind_resolved_total" (fun () ->
+      match k.prov with
+      | Some p -> Sim_obs.Provenance.unwind_resolved p
+      | None -> 0);
+  Metrics.probe r ~help:"distinct (site, nr) ledger entries"
+    "sim_site_distinct" (fun () ->
+      match k.prov with
+      | Some p -> Sim_obs.Provenance.distinct_sites p
+      | None -> 0);
+  Metrics.probe r ~help:"distinct rewritten sites stamped on the ledger"
+    "sim_site_rewrites" (fun () ->
+      match k.prov with
+      | Some p -> Sim_obs.Provenance.rewrite_count p
+      | None -> 0);
+  Metrics.probe r
+    ~help:"dispatches dropped by the ledger's site-table cap"
+    "sim_site_dropped_total" (fun () ->
+      match k.prov with
+      | Some p -> Sim_obs.Provenance.sites_dropped p
+      | None -> 0)
 
 let enable_metrics (k : kernel) : Kmetrics.t =
   let m = match k.metrics with Some m -> m | None -> Kmetrics.create () in
@@ -180,6 +212,13 @@ let attach_chaos (k : kernel) (ch : Sim_chaos.Chaos.t) = k.chaos <- Some ch
 let attach_obs (k : kernel) (o : Sim_obs.Obs.t) =
   k.obs <- Some o;
   Sim_obs.Obs.set_baseline o (Array.map (fun c -> c.clk) k.cpus)
+
+(** Attach a provenance ledger.  Observation-only like the tracer:
+    recording a dispatch walks guest frames with faulting-safe reads
+    and never charges cycles or touches task state, so a provenanced
+    run is bit-identical to a bare one (the qcheck gate in
+    test_obs). *)
+let attach_prov (k : kernel) (p : Sim_obs.Provenance.t) = k.prov <- Some p
 
 (** Combined final-state hash over every live task, in tid order —
     the [F] line of a serialized audit log.  Uses the auditor's
@@ -1294,6 +1333,88 @@ let audit_syscall (k : kernel) (t : task) ~nr ~args ~ret ~path =
       if A.checkpoint_due a then A.take_checkpoint a ~tid:t.tid t.ctx t.mem;
       if A.should_halt a then k.halted <- true
 
+(* Record one application dispatch on the provenance ledger: recover
+   the call-site PC, walk the guest rbp frame chain, stamp the
+   dispatch-path mix and kernel-cycle cost per (site, nr).  Called
+   just before {!audit_syscall} appends, so [ev] is the app-stream
+   index this dispatch will be recorded at.
+
+   Site recovery mirrors the interposer entries, and every candidate
+   is validated by decoding: a genuine site holds the two bytes of
+   [syscall] (0f 05) or of a rewritten [call rax] (ff d0).
+
+   - Direct / ptrace dispatches execute the application's own
+     [syscall], so [rip - 2] is the site.
+   - Fast-path (and lazypoline's SUD slow-path) dispatches run inside
+     the interposer stub, whose stack top still holds the application
+     return address the [call rax] (or the emulated call push) left —
+     site is that address minus 2.
+   - The classic signal-driven stubs (the SUD and seccomp-user
+     baselines) re-execute the syscall from inside the SIGSYS
+     handler, where neither holds: there [rsp] is the signal frame
+     base and the faulting site travels in siginfo's [si_call_addr]
+     (frame base + 8 + the field offset), exactly where the stub's
+     own PREP hypercall reads it.
+
+   Candidates are tried in that order, first valid wins; an
+   unverifiable dispatch falls back to [rip - 2] so the ledger still
+   counts it.  Observation-only: every read is fault-guarded and
+   nothing is charged or mutated. *)
+let prov_record (k : kernel) (t : task) ~nr ~path ~ts0 =
+  match k.prov with
+  | None -> ()
+  | Some p ->
+      let c = t.ctx in
+      let valid pc =
+        pc > 0
+        &&
+        match Mem.peek_bytes t.mem pc 2 with
+        | b -> b = "\x0f\x05" || b = "\xff\xd0"
+        | exception Mem.Fault _ -> false
+      in
+      let peek_site addr =
+        match Mem.peek_u64 t.mem addr with
+        | v -> Some (Int64.to_int v - 2)
+        | exception Mem.Fault _ -> None
+      in
+      let rsp = Int64.to_int (Cpu.peek_reg c Isa.rsp) in
+      let candidates =
+        match path with
+        | Ev.Direct | Ev.Ptrace_path -> [ Some (c.rip - 2) ]
+        | Ev.Fast_path -> [ peek_site rsp ]
+        | Ev.Sud_sigsys | Ev.Seccomp_path ->
+            [
+              peek_site rsp;
+              peek_site (rsp + 8 + Ksignal.si_call_addr_off);
+            ]
+      in
+      let site =
+        match
+          List.find_opt
+            (function Some pc -> valid pc | None -> false)
+            candidates
+        with
+        | Some (Some pc) -> pc
+        | _ -> c.rip - 2
+      in
+      (* App-stream indices are 1-based (record_syscall increments
+         then returns); this dispatch is audited right after us. *)
+      let ev =
+        match k.auditor with
+        | Some a -> Sim_audit.Audit.app_count a + 1
+        | None -> -1
+      in
+      let cycles = Int64.sub (now k) ts0 in
+      Sim_obs.Provenance.record p ~mem:t.mem ~site ~nr ~path
+        ~rbp:(Int64.to_int (Cpu.peek_reg c Isa.rbp))
+        ~cycles ~now:(now k) ~ev;
+      (* With the span recorder also attached, the request being
+         served on this CPU learns its per-site kernel cycles — how
+         exemplars name the hottest call site of their window. *)
+      (match k.obs with
+      | Some o -> Sim_obs.Obs.note_site o ~cpu:k.cur_cpu ~site ~cycles
+      | None -> ())
+
 let syscall_entry (k : kernel) (t : task) =
   let c = t.ctx in
   let nr = Int64.to_int (Cpu.peek_reg c Isa.rax) in
@@ -1394,6 +1515,7 @@ let syscall_entry (k : kernel) (t : task) =
           Kmetrics.count_syscall m ~nr ~path:Ev.Seccomp_path;
           Kmetrics.observe_latency m (Int64.to_int (Int64.sub (now k) ts0))
       | None -> ());
+      prov_record k t ~nr ~path:Ev.Seccomp_path ~ts0;
       audit_syscall k t ~nr ~args:aud_args ~ret:(Some (i64 (-e)))
         ~path:Ev.Seccomp_path;
       t.trace_path <- None
@@ -1494,6 +1616,7 @@ let syscall_entry (k : kernel) (t : task) =
           let ret =
             if v = no_result then None else Some (Cpu.peek_reg c Isa.rax)
           in
+          prov_record k t ~nr ~path ~ts0;
           audit_syscall k t ~nr ~args:aud_args ~ret ~path
       | _ -> ());
       (* Chaos async-signal injection: a completed application

@@ -57,22 +57,53 @@ let selector_name (t : task) =
 (** SUD selector state plus the machine-wide interposition counters.
     The counters come from the metrics registry and are zero when no
     registry is attached; the selector state is per-task and always
-    live. *)
+    live.  With a provenance ledger attached, one [site] line per
+    known call site follows: rewritten status (and by what), dispatch
+    count and path mix — the paper's per-site specialization story,
+    readable from inside the guest. *)
 let interposer (k : kernel) (t : task) =
   let m = k.metrics in
   let c f = match m with Some m -> f m | None -> 0 in
-  Printf.sprintf
-    "sud:\t%s\nselector:\t%s\nselector_addr:\t0x%x\nallowed_range:\t0x%x-0x%x\n\
-     rewrites:\t%d\nselector_flips:\t%d\nfast_path:\t%d\nslow_path:\t%d\n\
-     dispatches:\t%d\nmetrics:\t%s\n"
-    (if t.sud.sud_on then "on" else "off")
-    (selector_name t) t.sud.sud_selector t.sud.sud_lo
-    (t.sud.sud_lo + t.sud.sud_len)
-    (c (fun m -> !(m.Kmetrics.rewrites)))
-    (c (fun m -> !(m.Kmetrics.selector_flips)))
-    (c Kmetrics.fast_hits) (c Kmetrics.slow_hits)
-    (c (fun m -> !(m.Kmetrics.syscalls_total)))
-    (match m with Some _ -> "attached" | None -> "detached")
+  let head =
+    Printf.sprintf
+      "sud:\t%s\nselector:\t%s\nselector_addr:\t0x%x\nallowed_range:\t0x%x-0x%x\n\
+       rewrites:\t%d\nselector_flips:\t%d\nfast_path:\t%d\nslow_path:\t%d\n\
+       dispatches:\t%d\nmetrics:\t%s\n"
+      (if t.sud.sud_on then "on" else "off")
+      (selector_name t) t.sud.sud_selector t.sud.sud_lo
+      (t.sud.sud_lo + t.sud.sud_len)
+      (c (fun m -> !(m.Kmetrics.rewrites)))
+      (c (fun m -> !(m.Kmetrics.selector_flips)))
+      (c Kmetrics.fast_hits) (c Kmetrics.slow_hits)
+      (c (fun m -> !(m.Kmetrics.syscalls_total)))
+      (match m with Some _ -> "attached" | None -> "detached")
+  in
+  match k.prov with
+  | None -> head
+  | Some p ->
+      let module P = Sim_obs.Provenance in
+      let b = Buffer.create 256 in
+      Buffer.add_string b head;
+      List.iter
+        (fun s ->
+          let rw =
+            match P.rewrite_of p s.P.s_pc with
+            | Some r -> P.rewrite_kind_name r.P.rw_kind
+            | None -> "-"
+          in
+          let mix =
+            Array.to_list s.P.s_paths
+            |> List.mapi (fun pi n ->
+                   if n = 0 then ""
+                   else Printf.sprintf "%s=%d" P.path_names.(pi) n)
+            |> List.filter (fun x -> x <> "")
+            |> String.concat ","
+          in
+          Buffer.add_string b
+            (Printf.sprintf "site:\t0x%x\tnr=%d\trewritten=%s\tcount=%d\t%s\n"
+               s.P.s_pc s.P.s_nr rw (P.site_count s) mix))
+        (P.sites_sorted p);
+      Buffer.contents b
 
 let metrics_text (k : kernel) =
   match k.metrics with

@@ -232,6 +232,11 @@ type kernel = {
       (** request-flow span recorder, fed from {!charge} and the
           scheduler edges; observation-only like [tracer] — a spanned
           run is cycle- and state-identical to an unspanned one *)
+  mutable prov : Sim_obs.Provenance.t option;
+      (** per-call-site interposition ledger with guest stack
+          unwinding, fed at audited syscall dispatches and rewrite
+          stamps; observation-only like [tracer] — a provenanced run
+          is cycle- and state-identical to a bare one *)
 }
 
 (* Classify the cycles being charged into a causal phase for the span
@@ -267,12 +272,13 @@ let charge (k : kernel) n =
             ~in_kernel:(k.in_kernel > 0) ~sig_depth:t.sig_depth)
   | None -> ()
 
-(** Is any observer (tracer, metrics, auditor or span recorder)
-    attached?  Dispatch-path staging sites guard on this: the tag
-    exists purely for attribution, so it is only maintained when
-    someone is looking. *)
+(** Is any observer (tracer, metrics, auditor, span recorder or
+    provenance ledger) attached?  Dispatch-path staging sites guard
+    on this: the tag exists purely for attribution, so it is only
+    maintained when someone is looking. *)
 let observing (k : kernel) =
   k.tracer <> None || k.metrics <> None || k.auditor <> None || k.obs <> None
+  || k.prov <> None
 
 let enter_kernel (k : kernel) = k.in_kernel <- k.in_kernel + 1
 let leave_kernel (k : kernel) = k.in_kernel <- max 0 (k.in_kernel - 1)

@@ -267,6 +267,51 @@ let rec compile_stmt (fe : fenv) (s : stmt) : item list =
 
 and compile_stmts fe stmts = List.concat_map (compile_stmt fe) stmts
 
+(* Frame-pointer preservation audit.  The provenance unwinder
+   (lib/obs/provenance.ml) walks rbp frame chains, so generated code
+   must keep rbp pointing at the current frame everywhere between the
+   prologue and the epilogue.  The only sanctioned writers are the
+   prologue pair [push rbp; mov rbp, rsp] and the epilogue pair
+   [mov rsp, rbp; pop rbp]; any other write is a codegen bug that
+   would silently break guest backtraces. *)
+let writes_rbp (ins : Isa.instr) =
+  let open Isa in
+  match ins with
+  | Pop r
+  | Mov_rr (r, _)
+  | Mov_ri (r, _)
+  | Mov_ri32 (r, _)
+  | Load (_, r, _, _)
+  | Load8 (_, r, _, _)
+  | Lea (r, _, _)
+  | Alu_rr (_, r, _)
+  | Alu_ri (_, r, _)
+  | Shift (_, r, _)
+  | Setcc (_, r)
+  | Movq_rx (r, _)
+  | Rdpkru r ->
+      r = Isa.rbp
+  | _ -> false
+
+let audit_frame_pointer fname (items : item list) =
+  let rec go = function
+    | [] -> ()
+    | Ins (Isa.Push p) :: Ins (Isa.Mov_rr (d, s)) :: rest
+      when p = Isa.rbp && d = Isa.rbp && s = Isa.rsp ->
+        go rest
+    | Ins (Isa.Mov_rr (d, s)) :: Ins (Isa.Pop p) :: rest
+      when d = Isa.rsp && s = Isa.rbp && p = Isa.rbp ->
+        go rest
+    | Ins ins :: rest ->
+        if writes_rbp ins then
+          error "internal: %s clobbers the frame pointer outside the \
+                 prologue/epilogue"
+            fname;
+        go rest
+    | _ :: rest -> go rest
+  in
+  go items
+
 let compile_func (g : genv) (f : func) : item list =
   let fe =
     {
@@ -287,11 +332,15 @@ let compile_func (g : genv) (f : func) : item list =
     f.params;
   scan_stmts fe f.body;
   let frame = (fe.frame + 15) land lnot 15 in
-  [ Label ("fn_" ^ f.fname); push Isa.rbp; mov_rr Isa.rbp Isa.rsp ]
-  @ (if frame > 0 then [ sub_ri Isa.rsp frame ] else [])
-  @ compile_stmts fe f.body
-  @ [ mov_ri Isa.rax 0; Label fe.epilogue; mov_rr Isa.rsp Isa.rbp;
-      pop Isa.rbp; ret ]
+  let items =
+    [ Label ("fn_" ^ f.fname); push Isa.rbp; mov_rr Isa.rbp Isa.rsp ]
+    @ (if frame > 0 then [ sub_ri Isa.rsp frame ] else [])
+    @ compile_stmts fe f.body
+    @ [ mov_ri Isa.rax 0; Label fe.epilogue; mov_rr Isa.rsp Isa.rbp;
+        pop Isa.rbp; ret ]
+  in
+  audit_frame_pointer f.fname items;
+  items
 
 let le64 (v : int64) =
   String.init 8 (fun j ->

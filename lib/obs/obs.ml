@@ -85,6 +85,11 @@ type req = {
   mutable segs_truncated : bool;
   mutable off_at : int64;  (** went off CPU at this time; -1 while on *)
   mutable off_blocked : bool;  (** the off-CPU reason was a block *)
+  site_cyc : (int, int64 ref) Hashtbl.t;
+      (** kernel cycles per syscall call-site PC inside this request's
+          window, fed by the provenance ledger when one is attached
+          (bounded; empty without one) *)
+  mutable site_dropped : bool;  (** distinct-site cap hit *)
 }
 
 let latency r =
@@ -242,6 +247,39 @@ let on_charge t ~cpu ~start ~cycles ~phase =
         seg_append t r ~phase ~start ~stop:(Int64.add start c)
   end
 
+(* Per-request distinct call sites are bounded: a server loop touches
+   a handful, and the cap keeps a hostile workload from growing an
+   exemplar without bound. *)
+let max_req_sites = 64
+
+(** The provenance ledger observed a dispatch from call-site PC
+    [site] costing [cycles] of kernel time on [cpu]: attribute it to
+    the request being served there, so exemplars can name the
+    hottest call site of their window. *)
+let note_site t ~cpu ~site ~cycles =
+  match if cpu >= 0 && cpu < t.ncpus then t.active.(cpu) else None with
+  | None -> ()
+  | Some r -> (
+      match Hashtbl.find_opt r.site_cyc site with
+      | Some c -> c := Int64.add !c cycles
+      | None ->
+          if Hashtbl.length r.site_cyc >= max_req_sites then
+            r.site_dropped <- true
+          else Hashtbl.replace r.site_cyc site (ref cycles))
+
+(** The call site that cost the most kernel cycles inside [r]'s
+    window, as [(pc, cycles)]; ties break to the lower PC so the
+    answer is deterministic.  [None] when no provenance ledger fed
+    the run. *)
+let hot_site r =
+  Hashtbl.fold
+    (fun pc c best ->
+      match best with
+      | Some (bpc, bc) when Int64.compare !c bc < 0 -> Some (bpc, bc)
+      | Some (bpc, bc) when !c = bc && bpc < pc -> Some (bpc, bc)
+      | _ -> Some (pc, !c))
+    r.site_cyc None
+
 (** {1 Request lifecycle} *)
 
 (** The load generator fired request [rid] on the connection whose
@@ -272,6 +310,8 @@ let note_issue t ~rid ~conn ~ts =
         segs_truncated = false;
         off_at = -1L;
         off_blocked = false;
+        site_cyc = Hashtbl.create 8;
+        site_dropped = false;
       }
     in
     Hashtbl.replace t.inflight rid r;
@@ -474,7 +514,11 @@ let completed_dropped t = t.completed_dropped
     --seek-request] can map a request id to its audit event window
     without re-running the workload. *)
 
-let sidecar_magic = "% simtrace-spans/1"
+(* /2 appended the hottest call site of each exemplar's window as a
+   trailing column; the rid stays field 2, so tooling that extracts
+   ids positionally keeps working, and /1 files still parse. *)
+let sidecar_magic = "% simtrace-spans/2"
+let sidecar_magic_v1 = "% simtrace-spans/1"
 
 let sidecar t : string =
   let b = Buffer.create 256 in
@@ -482,9 +526,10 @@ let sidecar t : string =
   Buffer.add_char b '\n';
   List.iter
     (fun r ->
+      let site = match hot_site r with Some (pc, _) -> pc | None -> -1 in
       Buffer.add_string b
-        (Printf.sprintf "R %d %Ld %Ld %d %d %Ld\n" r.rid r.issue_ts
-           r.complete_ts r.ev_lo r.ev_hi (latency r)))
+        (Printf.sprintf "R %d %Ld %Ld %d %d %Ld %d\n" r.rid r.issue_ts
+           r.complete_ts r.ev_lo r.ev_hi (latency r) site))
     (exemplars t);
   Buffer.contents b
 
@@ -495,34 +540,46 @@ type sidecar_row = {
   x_ev_lo : int;
   x_ev_hi : int;
   x_latency : int64;
+  x_site : int;  (** hottest call-site PC of the window, -1 if unknown *)
 }
 
-(** Parse a sidecar produced by {!sidecar}; rows keep file (slowest
-    first) order.  Raises [Failure] on a bad magic or row. *)
+(** Parse a sidecar produced by {!sidecar} (/2, or the site-less /1);
+    rows keep file (slowest first) order.  Raises [Failure] on a bad
+    magic or row. *)
 let parse_sidecar (s : string) : sidecar_row list =
   match String.split_on_char '\n' s with
-  | magic :: rows when String.trim magic = sidecar_magic ->
+  | magic :: rows
+    when String.trim magic = sidecar_magic
+         || String.trim magic = sidecar_magic_v1 ->
+      let v1 = String.trim magic = sidecar_magic_v1 in
       List.filter_map
         (fun line ->
           let line = String.trim line in
           if line = "" then None
           else
+            let mk rid issue complete lo hi lat site =
+              Some
+                {
+                  x_rid = rid;
+                  x_issue = issue;
+                  x_complete = complete;
+                  x_ev_lo = lo;
+                  x_ev_hi = hi;
+                  x_latency = lat;
+                  x_site = site;
+                }
+            in
             try
-              Scanf.sscanf line "R %d %Ld %Ld %d %d %Ld"
-                (fun rid issue complete lo hi lat ->
-                  Some
-                    {
-                      x_rid = rid;
-                      x_issue = issue;
-                      x_complete = complete;
-                      x_ev_lo = lo;
-                      x_ev_hi = hi;
-                      x_latency = lat;
-                    })
+              if v1 then
+                Scanf.sscanf line "R %d %Ld %Ld %d %d %Ld"
+                  (fun rid issue complete lo hi lat ->
+                    mk rid issue complete lo hi lat (-1))
+              else
+                Scanf.sscanf line "R %d %Ld %Ld %d %d %Ld %d" mk
             with Scanf.Scan_failure _ | Failure _ | End_of_file ->
               failwith ("bad spans sidecar row: " ^ line))
         rows
-  | _ -> failwith "not a simtrace-spans/1 file"
+  | _ -> failwith "not a simtrace-spans file"
 
 (** {1 Reports} *)
 
@@ -532,7 +589,8 @@ let pct v total =
 
 (** Human-readable report: machine phase breakdown, request-latency
     percentiles and the exemplar table. *)
-let report ?(name_of_nr = string_of_int) t ~clks : string =
+let report ?(name_of_nr = string_of_int)
+    ?(name_of_site = fun pc -> Printf.sprintf "0x%x" pc) t ~clks : string =
   let b = Buffer.create 1024 in
   let out fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   let tt = totals t ~clks in
@@ -577,7 +635,13 @@ let report ?(name_of_nr = string_of_int) t ~clks : string =
             |> List.map (fun (n, c) -> Printf.sprintf "%s=%Ld" n c)
             |> String.concat " "
           in
-          out "  %6d %12Ld %10d %10d  %s\n" r.rid (latency r) r.ev_lo r.ev_hi
-            parts)
+          let hot =
+            match hot_site r with
+            | Some (pc, c) ->
+                Printf.sprintf "  hot=%s (%Ld)" (name_of_site pc) c
+            | None -> ""
+          in
+          out "  %6d %12Ld %10d %10d  %s%s\n" r.rid (latency r) r.ev_lo
+            r.ev_hi parts hot)
         ex);
   Buffer.contents b

@@ -214,8 +214,8 @@ long main() {
 (* The audit log string embeds the serialized app stream, the periodic
    checkpoint state hashes (registers + memory) and the final state
    hash, so string equality is machine-state equality. *)
-let fingerprint ?obs mech workload =
-  let a, k, _t = D.run_audited ?obs mech workload in
+let fingerprint ?obs ?prov mech workload =
+  let a, k, _t = D.run_audited ?obs ?prov mech workload in
   ( D.log_string ~final_hash:(Kernel.audit_final_hash k a) a,
     Types.global_time k )
 
@@ -237,6 +237,151 @@ let prop_spans_observation_only =
       let log_on, cycles_on =
         fingerprint ~obs:(Obs.create ~ncpus:1 ()) mech workload
       in
+      log_on = log_off && cycles_on = cycles_off)
+
+(* --- syscall provenance: call-site ledger + unwinder --------------- *)
+
+module P = Sim_obs.Provenance
+
+(* Three-deep call chain above the only syscall: exercises the rbp
+   unwinder through real minicc frames. *)
+let callgraph_src =
+  {|
+long f3() { return syscall(39); }
+long f2() { return f3(); }
+long f1() { return f2(); }
+long main() {
+  long i = 0;
+  while (i < 6) { f1(); i = i + 1; }
+  return 0;
+}
+|}
+
+let run_prov ?prov mech =
+  let p = match prov with Some p -> p | None -> P.create () in
+  let _a, _k, _t =
+    D.run_audited ~prov:p mech (D.Prog { src = callgraph_src; jit = false })
+  in
+  p
+
+let getpid_site p =
+  match List.find_opt (fun s -> s.P.s_nr = 39) (P.sites_sorted p) with
+  | Some s -> s
+  | None -> Alcotest.fail "no getpid call site in the ledger"
+
+let test_prov_lazypoline_ledger () =
+  let p = run_prov D.Lazypoline_m in
+  (* the getpid site in f3 plus the exit site in the start shim *)
+  Alcotest.(check bool) "at least two sites" true (P.distinct_sites p >= 2);
+  let s = getpid_site p in
+  Alcotest.(check int) "one dispatch per iteration" 6 (P.site_count s);
+  (* lazy rewriting's per-site signature: first hit via SIGSYS
+     (path 0), the rest on the rewritten fast path (path 1) *)
+  Alcotest.(check int) "exactly one SIGSYS dispatch" 1 s.P.s_paths.(0);
+  Alcotest.(check int) "remaining hits on the fast path" 5 s.P.s_paths.(1);
+  (match P.rewrite_of p s.P.s_pc with
+  | Some r ->
+      Alcotest.(check string) "rewrite stamped lazy" "lazy"
+        (P.rewrite_kind_name r.P.rw_kind)
+  | None -> Alcotest.fail "hot site not marked rewritten");
+  (* symbolization: the minicc symbol table resolves the site *)
+  Alcotest.(check bool) "site symbolizes into f3" true
+    (let sym = P.symbolize p s.P.s_pc in
+     String.length sym >= 5 && String.sub sym 0 5 = "fn_f3");
+  Alcotest.(check bool) "kernel cycles attributed" true (P.site_cycles s > 0.0);
+  Alcotest.(check bool) "first_ev recorded" true (s.P.s_first_ev >= 0);
+  (* unwinder health: everything resolves except the start shim's
+     exit (rbp = 0 by design), and nothing hits the depth cap *)
+  Alcotest.(check bool) "success rate >= 6/7" true
+    (P.unwind_success_rate p >= 6.0 /. 7.0);
+  Alcotest.(check int) "no truncation at default depth" 0
+    (P.unwind_truncated p);
+  (* the folded flamegraph carries the full f1 -> f2 -> f3 chain *)
+  let folded = P.folded ~comm:"t" p in
+  let has sub =
+    let n = String.length sub and len = String.length folded in
+    let rec go i = i + n <= len && (String.sub folded i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "folded has caller f1" true (has ";fn_f1");
+  Alcotest.(check bool) "folded has caller f2" true (has ";fn_f2");
+  Alcotest.(check bool) "folded has leaf f3" true (has ";fn_f3")
+
+let test_prov_unwind_depth_cap () =
+  let p = P.create ~max_depth:2 () in
+  let (_ : P.t) = run_prov ~prov:p D.Raw in
+  (* the 4-deep chain (f2, f1, main, start above the leaf) cannot fit
+     in 2 frames: the walker must stop at the cap, not fault *)
+  Alcotest.(check bool) "deep stacks truncated" true
+    (P.unwind_truncated p > 0);
+  (* capped stacks still count as resolved and still emit folded
+     lines of at most comm + 2 callers + leaf *)
+  let s = getpid_site p in
+  Alcotest.(check int) "every dispatch recorded" 6 (P.site_count s);
+  String.split_on_char '\n' (P.folded ~comm:"t" p)
+  |> List.iter (fun line ->
+         if line <> "" then
+           Alcotest.(check bool)
+             (Printf.sprintf "folded line bounded by depth cap: %s" line)
+             true
+             (List.length (String.split_on_char ';' line) <= 4))
+
+let test_prov_zpoline_sweep () =
+  let p = run_prov D.Zpoline in
+  Alcotest.(check bool) "sites observed" true (P.distinct_sites p >= 2);
+  (* the load-time sweep rewrote every site before first execution:
+     every observed dispatch takes the fast path, and every observed
+     site is already stamped "sweep" *)
+  List.iter
+    (fun s ->
+      Alcotest.(check int)
+        (Printf.sprintf "site 0x%x fast-path only" s.P.s_pc)
+        (P.site_count s) s.P.s_paths.(1);
+      match P.rewrite_of p s.P.s_pc with
+      | Some r ->
+          Alcotest.(check string) "stamped by the sweep" "sweep"
+            (P.rewrite_kind_name r.P.rw_kind)
+      | None -> Alcotest.failf "site 0x%x not marked rewritten" s.P.s_pc)
+    (P.sites_sorted p)
+
+let test_sidecar_site_roundtrip () =
+  (* /2 appends the hottest call site of each exemplar's window *)
+  let o = Obs.create ~topk:4 ~ncpus:1 () in
+  Obs.note_issue o ~rid:1 ~conn:1 ~ts:10L;
+  Obs.claim o ~cpu:0 ~conn:1 ~tid:1 ~ts:10L ~ev:0;
+  Obs.note_site o ~cpu:0 ~site:0x400062 ~cycles:50L;
+  Obs.note_site o ~cpu:0 ~site:0x400099 ~cycles:900L;
+  Obs.complete o ~rid:1 ~ts:110L ~ev_hi:4;
+  (match Obs.parse_sidecar (Obs.sidecar o) with
+  | [ row ] ->
+      Alcotest.(check int) "hottest site survives the round-trip" 0x400099
+        row.Obs.x_site
+  | rows -> Alcotest.failf "expected one row, got %d" (List.length rows));
+  (* a site-less /1 sidecar still parses, with the site unknown *)
+  match
+    Obs.parse_sidecar "% simtrace-spans/1\nR 1 10 110 3 9 100\n"
+  with
+  | [ row ] ->
+      Alcotest.(check int) "v1 row accepted" 1 row.Obs.x_rid;
+      Alcotest.(check int) "v1 site unknown" (-1) row.Obs.x_site
+  | rows -> Alcotest.failf "expected one v1 row, got %d" (List.length rows)
+
+let prop_prov_observation_only =
+  QCheck.Test.make ~count:12
+    ~name:"provenance ledger never changes a run (six mechanisms, ±jit)"
+    (QCheck.make
+       ~print:(fun (mi, jit, iters) ->
+         Printf.sprintf "%s jit=%b iters=%d"
+           (D.mech_name (List.nth D.all_mechs mi))
+           jit iters)
+       QCheck.Gen.(
+         triple (int_range 0 (List.length D.all_mechs - 1)) bool
+           (int_range 3 20)))
+    (fun (mi, jit, iters) ->
+      let mech = List.nth D.all_mechs mi in
+      let workload = D.Prog { src = prog_src iters; jit } in
+      let log_off, cycles_off = fingerprint mech workload in
+      let log_on, cycles_on = fingerprint ~prov:(P.create ()) mech workload in
       log_on = log_off && cycles_on = cycles_off)
 
 let test_spans_off_identity_wrk () =
@@ -265,4 +410,13 @@ let tests =
     QCheck_alcotest.to_alcotest prop_spans_observation_only;
     Alcotest.test_case "wrk run: recorder off-identity" `Quick
       test_spans_off_identity_wrk;
+    Alcotest.test_case "provenance: lazypoline per-site ledger" `Quick
+      test_prov_lazypoline_ledger;
+    Alcotest.test_case "provenance: unwinder depth cap" `Quick
+      test_prov_unwind_depth_cap;
+    Alcotest.test_case "provenance: zpoline sweep stamps" `Quick
+      test_prov_zpoline_sweep;
+    Alcotest.test_case "sidecar /2: hottest-site round-trip" `Quick
+      test_sidecar_site_roundtrip;
+    QCheck_alcotest.to_alcotest prop_prov_observation_only;
   ]

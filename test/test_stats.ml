@@ -194,6 +194,90 @@ let test_log_hist_merge () =
   | exception Invalid_argument _ -> ()
   | () -> Alcotest.fail "merged histograms with different sub"
 
+let test_log_hist_merge_disjoint () =
+  (* The two inputs occupy disjoint octaves (no shared bucket), so the
+     merge must graft whole octaves rather than just summing slices. *)
+  let sub = 16 in
+  let lows = [ 1.0; 1.5; 2.0; 3.0 ] and highs = [ 1.0e6; 1.5e6; 3.0e6 ] in
+  let a = H.create ~sub () and b = H.create ~sub () in
+  List.iter (H.add a) lows;
+  List.iter (H.add b) highs;
+  H.merge ~into:a b;
+  let whole = H.create ~sub () in
+  List.iter (H.add whole) (lows @ highs);
+  Alcotest.(check int) "count" (H.count whole) (H.count a);
+  feq "sum" (H.sum whole) (H.sum a);
+  feq "min" (H.min_value whole) (H.min_value a);
+  feq "max" (H.max_value whole) (H.max_value a);
+  List.iter
+    (fun p ->
+      feq
+        (Printf.sprintf "p%g identical to unsplit" p)
+        (H.percentile whole p) (H.percentile a p))
+    [ 0.0; 50.0; 90.0; 100.0 ];
+  (* the gap between the octave groups holds no buckets: every bucket
+     must contain at least one sample *)
+  Array.iter
+    (fun (lo, hi, c) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket [%g,%g) non-empty" lo hi)
+        true (c > 0))
+    (H.buckets a)
+
+let test_log_hist_percentile_edges () =
+  (* empty: every percentile is nan, not an exception *)
+  let e = H.create () in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "empty p%g is nan" p)
+        true
+        (Float.is_nan (H.percentile e p)))
+    [ 0.0; 50.0; 100.0 ];
+  (* single sample: all percentiles collapse onto its bucket *)
+  let sub = 16 in
+  let h = H.create ~sub () in
+  H.add h 42.0;
+  feq "min exact" 42.0 (H.min_value h);
+  feq "max exact" 42.0 (H.max_value h);
+  feq "p0 = p100 for one sample" (H.percentile h 0.0) (H.percentile h 100.0);
+  List.iter
+    (fun p ->
+      let est = H.percentile h p in
+      Alcotest.(check bool)
+        (Printf.sprintf "p%g within 1/sub of the sample (got %g)" p est)
+        true
+        (Float.abs (est -. 42.0) /. 42.0 <= 1.0 /. float_of_int sub))
+    [ 0.0; 50.0; 99.9; 100.0 ]
+
+let prop_log_hist_relative_error =
+  (* The structural guarantee behind the tracer's latency tables: the
+     percentile estimate lands in the same bucket as the sample whose
+     sorted index the rank maps to, so it is within 1/sub relative
+     error of that sample.  (Against the *interpolated* exact
+     percentile no such bound exists: two neighbouring samples may be
+     octaves apart.) *)
+  QCheck.Test.make ~count:100
+    ~name:"log-hist percentile relative error <= 1/sub"
+    (QCheck.make
+       ~print:(fun (sub, xs, p) ->
+         Printf.sprintf "sub=%d n=%d p=%g" sub (List.length xs) p)
+       QCheck.Gen.(
+         triple
+           (int_range 4 64)
+           (list_size (int_range 1 200) (float_range 1.0 1.0e9))
+           (float_range 0.0 100.0)))
+    (fun (sub, xs, p) ->
+      let h = H.create ~sub () in
+      List.iter (H.add h) xs;
+      let n = List.length xs in
+      let sorted = List.sort compare xs in
+      let rank = p /. 100.0 *. float_of_int (n - 1) in
+      let sample = List.nth sorted (int_of_float (Float.floor rank)) in
+      let est = H.percentile h p in
+      Float.abs (est -. sample) /. sample
+      <= (1.0 /. float_of_int sub) +. 1e-6)
+
 (* --- streaming sketch (full float range) --------------------------- *)
 
 let test_sketch_mixed_signs () =
@@ -272,6 +356,11 @@ let tests =
     Alcotest.test_case "log-hist: tail accuracy vs exact" `Quick
       test_log_hist_tail_accuracy;
     Alcotest.test_case "log-hist: merge" `Quick test_log_hist_merge;
+    Alcotest.test_case "log-hist: merge disjoint octaves" `Quick
+      test_log_hist_merge_disjoint;
+    Alcotest.test_case "log-hist: percentile edge cases" `Quick
+      test_log_hist_percentile_edges;
+    QCheck_alcotest.to_alcotest prop_log_hist_relative_error;
     Alcotest.test_case "sketch: mixed signs" `Quick test_sketch_mixed_signs;
     Alcotest.test_case "sketch: all negative" `Quick test_sketch_all_negative;
   ]
