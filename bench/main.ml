@@ -52,7 +52,7 @@
 (* The bench JSON schema version, in one place: the emitter and every
    gate that keys on the schema share this constant, so bumping the
    version is a single edit. *)
-let schema_version = "lazypoline-sim-bench/6"
+let schema_version = "lazypoline-sim-bench/7"
 
 (* --- Host-side throughput reporting -------------------------------- *)
 
@@ -509,6 +509,114 @@ let sites_rows () =
       { tr_mech = name; tr_prov = p })
     D.all_mechs
 
+(* --- Syscall-flow-integrity sweep (simtrace policy, DESIGN.md §16) - *)
+
+(* The Table II microbench under the six mechanisms with the policy
+   engine attached in each of its modes.  The flow graph is learned
+   from a raw-dispatch run of the same loop, so the recorded call-site
+   PCs are the true application PCs that every interposer's site
+   recovery reproduces.  Three gates, checked per row as it is
+   produced: (a) report mode is observation-only — simulated cycles
+   per iteration must be bit-identical to the policy-off run; (b) the
+   clean loop must produce zero violations and zero denials in every
+   mode (no false positives); (c) the lazypoline enforce-mode fast
+   path must stay within [policy_budget] of policy-off — the paper's
+   "without compromise" claim extended to flow-integrity checking. *)
+
+type policy_row = {
+  yr_mech : string;
+  yr_cycles_off : float;
+  yr_cycles_report : float;
+  yr_cycles_enforce : float;
+  yr_checks : int;  (** dispatches checked by the enforcing engine *)
+}
+
+let policy_iters = 20_000
+let policy_nr = 500
+let policy_budget = 0.15
+
+let policy_enforce_delta r =
+  if r.yr_cycles_off > 0.0 then
+    (r.yr_cycles_enforce -. r.yr_cycles_off) /. r.yr_cycles_off
+  else 0.0
+
+let policy_rows () =
+  let open Workloads.Microbench_prog in
+  let module P = Sim_policy.Policy in
+  let module D = Harness.Divergence in
+  let graph =
+    Harness.Sfi.learn (D.Micro { iters = policy_iters; nr = policy_nr })
+  in
+  let configs =
+    [ Native; Sud; Zpoline; Lazypoline_full; Seccomp_user; Ptrace ]
+  in
+  List.map
+    (fun config ->
+      let name = config_name config in
+      let off = run ~iters:policy_iters ~nr:policy_nr config in
+      let rp = P.create ~mode:P.Report graph in
+      let report = run ~iters:policy_iters ~nr:policy_nr ~policy:rp config in
+      let ep = P.create ~mode:P.Deny graph in
+      let enforce = run ~iters:policy_iters ~nr:policy_nr ~policy:ep config in
+      let row =
+        {
+          yr_mech = name;
+          yr_cycles_off = off;
+          yr_cycles_report = report;
+          yr_cycles_enforce = enforce;
+          yr_checks = ep.P.checks;
+        }
+      in
+      Printf.printf
+        "[host] policy %-16s %8.2f cyc/iter off, %8.2f report, %8.2f \
+         enforce (%+.1f%%)  %d checks\n\
+         %!"
+        name off report enforce
+        (100.0 *. policy_enforce_delta row)
+        ep.P.checks;
+      if report <> off then begin
+        Printf.eprintf
+          "[host] FAIL: policy %s: report mode perturbed the run: %.4f \
+           cycles/iter without the engine, %.4f with — report mode is \
+           observation-only by contract\n\
+           %!"
+          name off report;
+        exit 1
+      end;
+      if
+        P.violation_count rp > 0
+        || P.violation_count ep > 0
+        || ep.P.denied > 0
+      then begin
+        Printf.eprintf
+          "[host] FAIL: policy %s: false positive on the clean loop \
+           (report %d, enforce %d violations, %d denied)\n\
+           %!"
+          name (P.violation_count rp) (P.violation_count ep) ep.P.denied;
+        exit 1
+      end;
+      row)
+    configs
+
+let check_policy_rows rows =
+  List.iter
+    (fun r ->
+      if r.yr_mech = "lazypoline" then begin
+        let delta = policy_enforce_delta r in
+        if delta > policy_budget then begin
+          Printf.eprintf
+            "[host] FAIL: policy lazypoline: enforce-mode fast-path \
+             overhead %.1f%% exceeds the %.0f%% budget (%.2f -> %.2f \
+             cycles/iter)\n\
+             %!"
+            (100.0 *. delta)
+            (100.0 *. policy_budget)
+            r.yr_cycles_off r.yr_cycles_enforce;
+          exit 1
+        end
+      end)
+    rows
+
 let check_record_rows rows =
   List.iter
     (fun r ->
@@ -537,7 +645,7 @@ let engine_aggregate rows =
   let off_i, off_w = sum (fun r -> r.er_off_insns) (fun r -> r.er_off_wall) in
   (ips on_i on_w, ips off_i off_w)
 
-let emit_json path mechs engine record spans sites =
+let emit_json path mechs engine record spans sites policy =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n  \"schema\": \"%s\",\n  \"experiments\": [" schema_version;
@@ -699,15 +807,34 @@ let emit_json path mechs engine record spans sites =
           out "\n        ] }")
         rows;
       out "\n    ]\n  }");
+  (match policy with
+  | [] -> ()
+  | rows ->
+      out ",\n  \"policy\": {\n";
+      out "    \"iters\": %d, \"nr\": %d, \"enforce_budget\": %.2f,\n"
+        policy_iters policy_nr policy_budget;
+      out "    \"rows\": [";
+      List.iteri
+        (fun idx r ->
+          out
+            "%s\n      { \"mech\": \"%s\", \"cycles_off\": %.2f, \
+             \"cycles_report\": %.2f, \"cycles_enforce\": %.2f,\n\
+            \        \"enforce_delta\": %.4f, \"checks\": %d }"
+            (if idx = 0 then "" else ",")
+            (json_escape r.yr_mech) r.yr_cycles_off r.yr_cycles_report
+            r.yr_cycles_enforce (policy_enforce_delta r) r.yr_checks)
+        rows;
+      out "\n    ]\n  }");
   out "\n}\n";
   close_out oc;
-  Printf.printf "[host] wrote %s (%d experiments, %d mechanisms%s%s%s%s)\n%!"
+  Printf.printf "[host] wrote %s (%d experiments, %d mechanisms%s%s%s%s%s)\n%!"
     path
     (List.length !reports) (List.length mechs)
     (if engine = [] then "" else ", engine sweep")
     (if record = [] then "" else ", record-overhead sweep")
     (if spans = None then "" else ", span sweep")
     (if sites = [] then "" else ", sites sweep")
+    (if policy = [] then "" else ", policy sweep")
 
 (* --- Regression snapshot (--snapshot) ------------------------------ *)
 
@@ -791,14 +918,14 @@ let resolve_snapshot p =
         failwith "--snapshot auto: no BENCH_<n>.json in the working directory"
   end
 
-let emit_snapshot path mechs engine record spans sites =
+let emit_snapshot path mechs engine record spans sites policy =
   let cur =
     match List.find_opt (fun m -> m.mr_name = "lazypoline") mechs with
     | Some m -> m.mr_cycles
     | None -> failwith "snapshot: no lazypoline mechanism row"
   in
   let prev = scan_lazypoline_cycles path in
-  emit_json path mechs engine record spans sites;
+  emit_json path mechs engine record spans sites policy;
   match prev with
   | None ->
       Printf.printf
@@ -1166,11 +1293,26 @@ let () =
   let sites =
     if List.mem "--no-sites-sweep" args then [] else sites_rows ()
   in
-  emit_json json_path mechs engine record spans sites;
+  (* Syscall-flow-integrity sweep: the microbench under the six Table
+     II mechanisms with the policy engine off / report / enforce.
+     Gating — report mode must be bit-identical to off, the clean loop
+     must see zero denials, and the lazypoline enforce fast path must
+     stay within the policy budget — so on by default, skippable with
+     --no-policy-sweep. *)
+  let policy =
+    if List.mem "--no-policy-sweep" args then []
+    else begin
+      let rows = policy_rows () in
+      check_policy_rows rows;
+      rows
+    end
+  in
+  emit_json json_path mechs engine record spans sites policy;
   (match chaos_off_path with
   | Some p -> check_chaos_off (resolve_snapshot p) mechs
   | None -> ());
   if List.mem "--spans-off-check" args then check_spans_off ();
   match snapshot_path with
-  | Some p -> emit_snapshot (resolve_snapshot p) mechs engine record spans sites
+  | Some p ->
+      emit_snapshot (resolve_snapshot p) mechs engine record spans sites policy
   | None -> ()

@@ -34,6 +34,9 @@ open Sim_kernel
 module Hook = Lazypoline.Hook
 module Audit = Sim_audit.Audit
 module Divergence = Harness.Divergence
+module Dbg = Sim_debug.Debug
+module Art = Sim_artifact.Artifact
+module Policy = Sim_policy.Policy
 
 type mech = Lazypoline_m | Zpoline_m | Sud_m | Seccomp_user_m | Ptrace_m | None_m
 
@@ -125,8 +128,8 @@ let setup_fs k =
     log — recorded kernel-side through the shared {!Strace} decoder,
     so it carries results with errno names and covers every dispatch
     (including [--mech none], which no interposer hook would see). *)
-let execute ?tracer ?metrics ?profiler ?auditor ?obs ?prov ?blocks file mech
-    jit preserve_xstate =
+let execute ?tracer ?metrics ?profiler ?auditor ?obs ?prov ?policy ?blocks
+    file mech jit preserve_xstate =
   let src = read_file file in
   let k = Kernel.create ?blocks () in
   k.Types.tracer <- tracer;
@@ -134,6 +137,7 @@ let execute ?tracer ?metrics ?profiler ?auditor ?obs ?prov ?blocks file mech
   (match auditor with Some a -> Kernel.attach_audit k a | None -> ());
   (match obs with Some o -> Divergence.attach_obs k o | None -> ());
   (match prov with Some p -> Kernel.attach_prov k p | None -> ());
+  (match policy with Some p -> Kernel.attach_policy k p | None -> ());
   setup_fs k;
   let img =
     if jit then Minicc.Jit.driver_image src
@@ -374,15 +378,15 @@ let sites_cmd file mech jit preserve_xstate flame out limit no_blocks =
 (** {1 record / replay / diff: the divergence auditor} *)
 
 let audit_header file mech jit preserve_xstate checkpoint_every =
-  String.concat ""
-    [
-      "% simtrace-audit/1\n";
-      "% file " ^ file ^ "\n";
-      "% mech " ^ mech_to_string mech ^ "\n";
-      Printf.sprintf "%% jit %b\n" jit;
-      Printf.sprintf "%% preserve-xstate %b\n" preserve_xstate;
-      Printf.sprintf "%% checkpoint-every %d\n" checkpoint_every;
-    ]
+  let b = Buffer.create 256 in
+  Art.add_magic b ~kind:Dbg.audit_artifact_kind
+    ~version:Dbg.audit_artifact_version;
+  Art.add_header b "file" file;
+  Art.add_header b "mech" (mech_to_string mech);
+  Art.add_header b "jit" (string_of_bool jit);
+  Art.add_header b "preserve-xstate" (string_of_bool preserve_xstate);
+  Art.add_header b "checkpoint-every" (string_of_int checkpoint_every);
+  Buffer.contents b
 
 (** One audited run; returns the auditor, the task and the serialized
     body (events, checkpoints, final state hash). *)
@@ -422,22 +426,15 @@ let body_lines s =
 let replay_cmd logfile =
   let content = read_file logfile in
   let header =
-    String.split_on_char '\n' content
-    |> List.filter_map (fun l ->
-           if String.length l > 2 && String.sub l 0 2 = "% " then
-             let rest = String.sub l 2 (String.length l - 2) in
-             match String.index_opt rest ' ' with
-             | Some i ->
-                 Some
-                   ( String.sub rest 0 i,
-                     String.sub rest (i + 1) (String.length rest - i - 1) )
-             | None -> Some (rest, "")
-           else None)
+    match
+      Art.parse_magic ~file:logfile ~kind:Dbg.audit_artifact_kind
+        ~accept:[ Dbg.audit_artifact_version ] content
+    with
+    | Error e ->
+        prerr_endline e;
+        exit 2
+    | Ok (_v, rest) -> Art.headers rest
   in
-  if not (List.mem_assoc "simtrace-audit/1" header) then begin
-    Printf.eprintf "%s: not a simtrace-audit/1 log\n" logfile;
-    exit 2
-  end;
   let get key default =
     match List.assoc_opt key header with Some v -> v | None -> default
   in
@@ -485,8 +482,6 @@ let replay_cmd logfile =
       exit 1
 
 (** {1 debug: time-travel debugging on an audit log} *)
-
-module Dbg = Sim_debug.Debug
 
 let debug_repl s =
   print_endline (Dbg.info s);
@@ -604,15 +599,16 @@ let spans_cmd mech flavour size_kb conns requests out record_out no_blocks =
   | Some path ->
       let fh = Kernel.audit_final_hash k a in
       let header =
-        String.concat ""
-          [
-            "% simtrace-audit/1\n";
-            Printf.sprintf "%% wrk %s %d %d %d\n"
-              (Workloads.Webserver.flavour_name flavour)
-              size_kb conns requests;
-            "% mech " ^ Divergence.mech_name dmech ^ "\n";
-            "% checkpoint-every 64\n";
-          ]
+        let b = Buffer.create 128 in
+        Art.add_magic b ~kind:Dbg.audit_artifact_kind
+          ~version:Dbg.audit_artifact_version;
+        Art.add_header b "wrk"
+          (Printf.sprintf "%s %d %d %d"
+             (Workloads.Webserver.flavour_name flavour)
+             size_kb conns requests);
+        Art.add_header b "mech" (Divergence.mech_name dmech);
+        Art.add_header b "checkpoint-every" "64";
+        Buffer.contents b
       in
       write_out path (header ^ Divergence.log_string ~final_hash:fh a);
       write_out (path ^ ".spans") (Sim_obs.Obs.sidecar o);
@@ -793,6 +789,101 @@ let engine_check_cmd seeds prog jit =
     exit 1
   end
   else Printf.printf "engine check passed: block engine is bit-identical\n"
+
+(** {1 policy: syscall-flow-integrity} *)
+
+let load_graph f =
+  match Policy.graph_of_string ~file:f (read_file f) with
+  | Ok g -> g
+  | Error e ->
+      prerr_endline e;
+      exit 2
+
+let policy_extract_cmd file jit out =
+  let g =
+    Minicc.Flowgraph.extract ~name:(Filename.basename file) ~jit
+      (read_file file)
+  in
+  Printf.eprintf "%s" (Policy.graph_summary ~syscall_name:Defs.syscall_name g);
+  let text = Policy.graph_to_string g in
+  match out with
+  | Some path ->
+      write_out path text;
+      Printf.eprintf "wrote %s\n" path
+  | None -> print_string text
+
+(* check and enforce share a runner; [mode] is the difference (check
+   is report-only and exits 1 on any recorded violation, enforce
+   injects -EPERM / kills and propagates the guest's exit code). *)
+let policy_run ~mode file policy_file mech jit preserve_xstate =
+  let g = load_graph policy_file in
+  let p = Policy.create ~mode g in
+  let _k, t, _log = execute ~policy:p file mech jit preserve_xstate in
+  print_string (Policy.summary ~syscall_name:Defs.syscall_name p);
+  (p, t)
+
+let policy_check_cmd file policy_file mech jit preserve_xstate =
+  let p, _t =
+    policy_run ~mode:Policy.Report file policy_file mech jit preserve_xstate
+  in
+  if Policy.violation_count p > 0 then exit 1
+
+let policy_enforce_cmd file policy_file mech jit preserve_xstate mode_str =
+  let mode =
+    match Policy.mode_of_string mode_str with
+    | Some (Policy.Deny | Policy.Kill) as m -> Option.get m
+    | _ ->
+        Printf.eprintf
+          "policy enforce: --mode must be enforce or kill (got %s)\n" mode_str;
+        exit 2
+  in
+  let p, t = policy_run ~mode file policy_file mech jit preserve_xstate in
+  ignore (p : Policy.t);
+  if t.Types.exit_code <> 0 then exit t.Types.exit_code
+
+(* One-shot: static extraction + report-mode run of the same program,
+   so "does my program conform to its own compiled flow graph" is a
+   single command. *)
+let policy_report_cmd file mech jit preserve_xstate =
+  let g =
+    Minicc.Flowgraph.extract ~name:(Filename.basename file) ~jit
+      (read_file file)
+  in
+  let p = Policy.create ~mode:Policy.Report g in
+  let _k, _t, _log = execute ~policy:p file mech jit preserve_xstate in
+  print_string (Policy.summary ~syscall_name:Defs.syscall_name p);
+  if Policy.violation_count p > 0 then exit 1
+
+let policy_attack_cmd seeds iters mechs_str report_out =
+  let module Sfi = Harness.Sfi in
+  let mechs =
+    String.split_on_char ',' mechs_str
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+    |> List.map (fun name ->
+           match Divergence.mech_of_string name with
+           | Some m -> m
+           | None ->
+               Printf.eprintf "unknown mechanism %S\n" name;
+               exit 2)
+    |> List.filter (fun m -> m <> Divergence.Raw)
+  in
+  let mechs = if mechs = [] then Sfi.interposed else mechs in
+  let ok_forced, rep_forced = Sfi.attack_report ~mechs () in
+  let ok_sweep, rep_sweep =
+    Sfi.chaos_attack_sweep ~seeds ~iters ~mechs ()
+  in
+  let text = rep_forced ^ "\n" ^ rep_sweep in
+  print_string text;
+  (match report_out with
+  | Some path ->
+      write_out path text;
+      Printf.eprintf "wrote %s\n" path
+  | None -> ());
+  if not (ok_forced && ok_sweep) then begin
+    prerr_endline "POLICY ATTACK GATE FAILED: undetected escape(s)";
+    exit 1
+  end
 
 let disasm_cmd file =
   let src = read_file file in
@@ -1237,6 +1328,105 @@ let pin_t =
        ~doc:"Run the Pin-style register-preservation analysis on a program")
     Term.(const pin_cmd $ file_arg)
 
+let policy_file_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "policy" ] ~docv:"FILE"
+        ~doc:"The % simtrace-policy/1 flow-graph artifact to enforce.")
+
+let policy_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "out" ] ~docv:"PATH"
+        ~doc:"Write the policy artifact to PATH instead of stdout.")
+
+let policy_mode_arg =
+  Arg.(
+    value & opt string "enforce"
+    & info [ "mode" ] ~docv:"MODE"
+        ~doc:
+          "Verdict on violation: enforce (inject -EPERM) or kill \
+           (SIGSYS-style task-group kill).")
+
+let attack_iters_arg =
+  Arg.(
+    value & opt int 12
+    & info [ "iters" ] ~docv:"N"
+        ~doc:"Syscall-loop iterations of the attack workload.")
+
+let attack_report_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "report" ] ~docv:"PATH"
+        ~doc:"Also write the detection report to PATH (for CI artifacts).")
+
+let policy_t =
+  let extract_t =
+    Cmd.v
+      (Cmd.info "extract"
+         ~doc:
+           "Compile a minicc program (with --jit, through the JIT driver) \
+            and emit its syscall-flow graph — nodes with call-site PCs, \
+            successor edges, per-compartment (pkey) syscall sets — as a \
+            versioned % simtrace-policy/1 artifact")
+      Term.(const policy_extract_cmd $ file_arg $ jit_arg $ policy_out_arg)
+  in
+  let check_t =
+    Cmd.v
+      (Cmd.info "check"
+         ~doc:
+           "Run a program under a report-only policy: every dispatch is \
+            checked against the flow graph but nothing is denied; exits 1 \
+            if any violation was recorded")
+      Term.(
+        const policy_check_cmd $ file_arg $ policy_file_arg $ mech_arg
+        $ jit_arg $ xstate_arg)
+  in
+  let enforce_t =
+    Cmd.v
+      (Cmd.info "enforce"
+         ~doc:
+           "Run a program with the policy enforced in the kernel's \
+            dispatcher: out-of-graph syscalls are denied with -EPERM \
+            (--mode enforce) or kill the task group (--mode kill)")
+      Term.(
+        const policy_enforce_cmd $ file_arg $ policy_file_arg $ mech_arg
+        $ jit_arg $ xstate_arg $ policy_mode_arg)
+  in
+  let report_t =
+    Cmd.v
+      (Cmd.info "report"
+         ~doc:
+           "Extract a program's flow graph and immediately verify the \
+            program against it in report mode — one-shot conformance; \
+            exits 1 on any violation")
+      Term.(
+        const policy_report_cmd $ file_arg $ mech_arg $ jit_arg $ xstate_arg)
+  in
+  let attack_t =
+    Cmd.v
+      (Cmd.info "attack"
+         ~doc:
+           "Adversarial detection gate: force a register clobber per \
+            clobber class and mechanism, then run a seeded clobber-fuzz \
+            sweep under an enforcing policy; every chaos-induced \
+            out-of-graph escape must be flagged by the engine at its exact \
+            syscall index.  Exits 1 on any undetected escape")
+      Term.(
+        const policy_attack_cmd $ seeds_arg $ attack_iters_arg $ mechs_arg
+        $ attack_report_arg)
+  in
+  Cmd.group
+    (Cmd.info "policy"
+       ~doc:
+         "Syscall-flow-integrity: extract minicc flow graphs, check or \
+          enforce them in the dispatcher, and validate detection against \
+          the chaos attacker")
+    [ extract_t; check_t; enforce_t; report_t; attack_t ]
+
 let () =
   let info =
     Cmd.info "simtrace" ~version:"1.0"
@@ -1248,5 +1438,5 @@ let () =
           [
             run_t; trace_t; report_t; stat_t; profile_t; sites_t; record_t;
             replay_t; debug_t; spans_t; diff_t; chaos_t; chaos_replay_t;
-            engine_check_t; disasm_t; pin_t;
+            engine_check_t; disasm_t; pin_t; policy_t;
           ]))

@@ -1,0 +1,120 @@
+(** Versioned [% simtrace-<kind>/<N>] artifact headers.
+
+    Every on-disk artifact the toolchain writes — audit logs, chaos
+    reproducers, request-span sidecars, syscall-flow policies — opens
+    with a magic line
+
+    {v % simtrace-<kind>/<version> v}
+
+    followed by [% key value] header rows and then kind-specific body
+    rows.  This module is the one place that writes and parses that
+    envelope, so a version mismatch produces the same error shape
+    everywhere: it names the file, the expected kind/version(s) and
+    what was actually found. *)
+
+let prefix = "% simtrace-"
+
+(** The magic line for [kind] at [version] (no trailing newline). *)
+let magic ~kind ~version = Printf.sprintf "%% simtrace-%s/%d" kind version
+
+(** Split [text] into lines, dropping a trailing empty line but
+    keeping interior blanks (body parsers decide what blank means). *)
+let lines_of (text : string) : string list =
+  match List.rev (String.split_on_char '\n' text) with
+  | "" :: rest -> List.rev rest
+  | all -> List.rev all
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* "kind/version" from a trimmed magic line, if it is one. *)
+let split_magic (line : string) : (string * int) option =
+  let line = String.trim line in
+  if not (starts_with ~prefix line) then None
+  else
+    let rest =
+      String.sub line (String.length prefix)
+        (String.length line - String.length prefix)
+    in
+    match String.rindex_opt rest '/' with
+    | None -> None
+    | Some i -> (
+        let kind = String.sub rest 0 i in
+        let v = String.sub rest (i + 1) (String.length rest - i - 1) in
+        match int_of_string_opt v with
+        | Some v when kind <> "" -> Some (kind, v)
+        | _ -> None)
+
+let describe_file = function Some f -> f ^ ": " | None -> ""
+
+let expected_of ~kind ~accept =
+  String.concat " or "
+    (List.map (fun v -> Printf.sprintf "simtrace-%s/%d" kind v) accept)
+
+(** Validate the magic line of [text] against [kind], accepting any
+    version in [accept].  On success returns the parsed version and
+    the remaining lines (everything after the magic line).  On failure
+    the error names the file (when given) and the expected vs actual
+    kind/version. *)
+let parse_magic ?file ~kind ~accept (text : string) :
+    (int * string list, string) result =
+  match lines_of text with
+  | [] -> Error (Printf.sprintf "%sempty file, expected a %s artifact"
+                   (describe_file file) (expected_of ~kind ~accept))
+  | first :: rest -> (
+      match split_magic first with
+      | None ->
+          Error
+            (Printf.sprintf "%snot a %s artifact (first line %S)"
+               (describe_file file) (expected_of ~kind ~accept) first)
+      | Some (k, v) when k <> kind ->
+          Error
+            (Printf.sprintf "%snot a %s artifact (got simtrace-%s/%d)"
+               (describe_file file) (expected_of ~kind ~accept) k v)
+      | Some (_, v) when not (List.mem v accept) ->
+          Error
+            (Printf.sprintf
+               "%sunsupported simtrace-%s version %d (expected %s)"
+               (describe_file file) kind v (expected_of ~kind ~accept))
+      | Some (_, v) -> Ok (v, rest))
+
+(** All [% key value] header rows of [lines], in file order.  Rows
+    starting with [%] but carrying no space-separated value are
+    skipped (that covers the magic line itself, so callers may pass
+    either the full file or the post-magic remainder). *)
+let headers (lines : string list) : (string * string) list =
+  List.filter_map
+    (fun line ->
+      if String.length line < 2 || line.[0] <> '%' then None
+      else
+        match
+          String.split_on_char ' '
+            (String.trim (String.sub line 1 (String.length line - 1)))
+        with
+        | key :: (_ :: _ as v) when key <> "" && not (String.contains key '/')
+          ->
+            Some (key, String.concat " " v)
+        | _ -> None)
+    lines
+
+(** First [% key value] row for [key]. *)
+let header_value ~key (lines : string list) : string option =
+  List.assoc_opt key (headers lines)
+
+(** Body rows: everything that is not a [%]-prefixed line and not
+    blank. *)
+let body (lines : string list) : string list =
+  List.filter
+    (fun l -> String.trim l <> "" && (String.length l = 0 || l.[0] <> '%'))
+    lines
+
+(** {1 Writing} *)
+
+(** Open [buf] with the magic line for [kind]/[version]. *)
+let add_magic buf ~kind ~version =
+  Buffer.add_string buf (magic ~kind ~version);
+  Buffer.add_char buf '\n'
+
+(** Append one [% key value] header row. *)
+let add_header buf key value = Printf.bprintf buf "%% %s %s\n" key value

@@ -59,6 +59,11 @@ type t = {
   accept_op : int;  (** connection establishment cost *)
   epoll_op : int;  (** epoll_wait / epoll_ctl fixed cost *)
   fs_op : int;  (** VFS path lookup / inode operation *)
+  policy_check : int;
+      (** per-dispatch syscall-flow-integrity check (graph edge + site
+          + compartment lookup) when a policy is attached in an
+          enforcing mode; report mode is observation-only and charges
+          nothing *)
 }
 
 (* Calibration notes (against Table II of the paper, baseline syscall
@@ -96,6 +101,9 @@ let default : t =
     accept_op = 1800;
     epoll_op = 350;
     fs_op = 450;
+    (* A few hash lookups on the syscall entry path — in the SFIP
+       ballpark of single-digit-percent overhead on a getpid loop. *)
+    policy_check = 35;
   }
 
 (** [copy_cost t bytes] is the cycle cost of copying [bytes] bytes

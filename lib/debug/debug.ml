@@ -119,50 +119,45 @@ let parse_line raw : [ `Ev of line_ev | `Ck of int * string | `Final of int64 ]
   | [ "F"; hash ] -> `Final (hex64 hash)
   | _ -> failwith "unrecognized row"
 
-let parse_log (text : string) : (log, string) result =
-  let lines =
-    String.split_on_char '\n' text
-    |> List.filter (fun l -> String.trim l <> "")
-  in
-  match lines with
-  | [] -> Error "empty log"
-  | first :: _ when first <> "% simtrace-audit/1" ->
-      Error "not a % simtrace-audit/1 log"
-  | _ :: rest -> (
-      let header = ref [] and rows = ref [] in
+let audit_artifact_kind = "audit"
+let audit_artifact_version = 1
+
+let parse_log ?file (text : string) : (log, string) result =
+  let module Art = Sim_artifact.Artifact in
+  match
+    Art.parse_magic ?file ~kind:audit_artifact_kind
+      ~accept:[ audit_artifact_version ] text
+  with
+  | Error e -> Error e
+  | Ok (_v, after_magic) -> (
+      let header = Art.headers after_magic in
+      let rest =
+        List.filter
+          (fun l -> String.trim l <> "" && l.[0] <> '%')
+          after_magic
+      in
+      let rows = ref [] in
       let events = ref [] and app = ref [] and cks = ref [] in
       let final = ref None in
       let nev = ref 0 in
       try
         List.iter
           (fun line ->
-            if String.length line > 0 && line.[0] = '%' then begin
-              match String.index_opt line ' ' with
-              | None -> ()
-              | Some _ -> (
-                  match
-                    String.split_on_char ' '
-                      (String.sub line 2 (String.length line - 2))
-                  with
-                  | key :: v -> header := (key, String.concat " " v) :: !header
-                  | [] -> ())
-            end
-            else
-              match parse_line line with
-              | `Ev e ->
-                  rows := line :: !rows;
-                  events := e :: !events;
-                  (match (e.le_scope, e.le_ev) with
-                  | 'A', Esys _ -> app := !nev :: !app
-                  | _ -> ());
-                  incr nev
-              | `Ck (app_seq, raw) ->
-                  rows := raw :: !rows;
-                  if app_seq > 0 then cks := app_seq :: !cks
-              | `Final h -> final := Some h)
+            match parse_line line with
+            | `Ev e ->
+                rows := line :: !rows;
+                events := e :: !events;
+                (match (e.le_scope, e.le_ev) with
+                | 'A', Esys _ -> app := !nev :: !app
+                | _ -> ());
+                incr nev
+            | `Ck (app_seq, raw) ->
+                rows := raw :: !rows;
+                if app_seq > 0 then cks := app_seq :: !cks
+            | `Final h -> final := Some h)
           rest;
         let cadence =
-          match List.assoc_opt "checkpoint-every" !header with
+          match List.assoc_opt "checkpoint-every" header with
           | Some v -> (
               match int_of_string_opt v with
               | Some n when n > 0 -> n
@@ -171,7 +166,7 @@ let parse_log (text : string) : (log, string) result =
         in
         Ok
           {
-            l_header = List.rev !header;
+            l_header = header;
             l_rows = Array.of_list (List.rev !rows);
             l_events = Array.of_list (List.rev !events);
             l_app = Array.of_list (List.rev !app);
@@ -755,10 +750,11 @@ let record ?(checkpoint_every = 64) ?blocks ?obs ?(header = []) mech workload
   let a, k, _ = D.run_audited ~checkpoint_every ?blocks ?obs mech workload in
   let fh = Kernel.audit_final_hash k a in
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf "% simtrace-audit/1\n";
-  List.iter (fun (key, v) -> Printf.bprintf buf "%% %s %s\n" key v) header;
-  Printf.bprintf buf "%% mech %s\n" (D.mech_name mech);
-  Printf.bprintf buf "%% checkpoint-every %d\n" checkpoint_every;
+  let module Art = Sim_artifact.Artifact in
+  Art.add_magic buf ~kind:audit_artifact_kind ~version:audit_artifact_version;
+  List.iter (fun (key, v) -> Art.add_header buf key v) header;
+  Art.add_header buf "mech" (D.mech_name mech);
+  Art.add_header buf "checkpoint-every" (string_of_int checkpoint_every);
   Buffer.add_string buf (D.log_string ~final_hash:fh a);
   Buffer.contents buf
 

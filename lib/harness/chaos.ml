@@ -28,12 +28,14 @@ type wspec =
   | Wsigmicro of { iters : int }
   | Wforkexec
   | Wprog of { path : string; jit : bool }
+  | Wattack of { iters : int }
 
 let wspec_to_string = function
   | Wmicro { iters; nr } -> Printf.sprintf "micro %d %d" iters nr
   | Wsigmicro { iters } -> Printf.sprintf "sigmicro %d" iters
   | Wforkexec -> "forkexec"
   | Wprog { path; jit } -> Printf.sprintf "prog %b %s" jit path
+  | Wattack { iters } -> Printf.sprintf "attack %d" iters
 
 let wspec_of_string s : wspec option =
   match String.split_on_char ' ' (String.trim s) with
@@ -47,6 +49,8 @@ let wspec_of_string s : wspec option =
       try
         Some (Wprog { path = String.concat " " rest; jit = bool_of_string jit })
       with _ -> None)
+  | [ "attack"; iters ] -> (
+      try Some (Wattack { iters = int_of_string iters }) with _ -> None)
   | _ -> None
 
 (** Resolve a spec to a runnable workload.  [read] maps a program
@@ -57,6 +61,7 @@ let resolve ~(read : string -> string) = function
   | Wsigmicro { iters } -> D.Sigmicro { iters }
   | Wforkexec -> D.Forkexec
   | Wprog { path; jit } -> D.Prog { src = read path; jit }
+  | Wattack { iters } -> D.Attack { iters }
 
 (* ------------------------------------------------------------------ *)
 (* Single runs                                                         *)
@@ -149,55 +154,54 @@ type repro = {
   r_injections : C.injection list;
 }
 
+let chaos_artifact_kind = "chaos"
+let chaos_artifact_version = 1
+
 let repro_to_string (r : repro) : string =
+  let module Art = Sim_artifact.Artifact in
   let buf = Buffer.create 256 in
-  Buffer.add_string buf "% simtrace-chaos/1\n";
-  Printf.bprintf buf "%% workload %s\n" (wspec_to_string r.r_wspec);
-  Printf.bprintf buf "%% mech %s\n" (D.mech_name r.r_mech);
-  Printf.bprintf buf "%% seed %Ld\n" r.r_seed;
+  Art.add_magic buf ~kind:chaos_artifact_kind ~version:chaos_artifact_version;
+  Art.add_header buf "workload" (wspec_to_string r.r_wspec);
+  Art.add_header buf "mech" (D.mech_name r.r_mech);
+  Art.add_header buf "seed" (Int64.to_string r.r_seed);
   List.iter
     (fun j -> Printf.bprintf buf "%s\n" (C.injection_to_string j))
     r.r_injections;
   Buffer.contents buf
 
-let repro_of_string (s : string) : (repro, string) result =
-  let lines = String.split_on_char '\n' s in
-  let header key =
-    List.find_map
-      (fun l ->
-        let p = "% " ^ key ^ " " in
-        if String.length l > String.length p && String.sub l 0 (String.length p) = p
-        then Some (String.sub l (String.length p) (String.length l - String.length p))
-        else None)
-      lines
-  in
-  if not (List.exists (fun l -> String.trim l = "% simtrace-chaos/1") lines)
-  then Error "not a simtrace-chaos/1 file"
-  else
-    match (header "workload", header "mech", header "seed") with
-    | Some w, Some m, Some seed -> (
-        match (wspec_of_string w, D.mech_of_string m) with
-        | Some wspec, Some mech -> (
-            try
-              let injections =
-                List.filter_map
-                  (fun l ->
-                    if String.length l > 0 && l.[0] = 'I' then
-                      C.injection_of_string l
-                    else None)
-                  lines
-              in
-              Ok
-                {
-                  r_wspec = wspec;
-                  r_mech = mech;
-                  r_seed = Int64.of_string seed;
-                  r_injections = injections;
-                }
-            with _ -> Error "malformed seed")
-        | None, _ -> Error ("unknown workload spec: " ^ w)
-        | _, None -> Error ("unknown mechanism: " ^ m))
-    | _ -> Error "missing workload/mech/seed header"
+let repro_of_string ?file (s : string) : (repro, string) result =
+  let module Art = Sim_artifact.Artifact in
+  match
+    Art.parse_magic ?file ~kind:chaos_artifact_kind
+      ~accept:[ chaos_artifact_version ] s
+  with
+  | Error e -> Error e
+  | Ok (_v, rest) -> (
+      let header key = Art.header_value ~key rest in
+      match (header "workload", header "mech", header "seed") with
+      | Some w, Some m, Some seed -> (
+          match (wspec_of_string w, D.mech_of_string m) with
+          | Some wspec, Some mech -> (
+              try
+                let injections =
+                  List.filter_map
+                    (fun l ->
+                      if String.length l > 0 && l.[0] = 'I' then
+                        C.injection_of_string l
+                      else None)
+                    rest
+                in
+                Ok
+                  {
+                    r_wspec = wspec;
+                    r_mech = mech;
+                    r_seed = Int64.of_string seed;
+                    r_injections = injections;
+                  }
+              with _ -> Error "malformed seed")
+          | None, _ -> Error ("unknown workload spec: " ^ w)
+          | _, None -> Error ("unknown mechanism: " ^ m))
+      | _ -> Error "missing workload/mech/seed header")
 
 (** Replay a reproducer: force its injection set into a raw and an
     interposed run and diff.  Returns the divergence if it reproduces

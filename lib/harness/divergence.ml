@@ -65,6 +65,13 @@ type workload =
           write, getpid, nanosleep, a timed FUTEX_WAIT and a timed
           epoll_wait, so injected signals land on restartable and
           non-restartable waits alike *)
+  | Attack of { iters : int }
+      (** the policy engine's adversarial prey: a getpid loop that
+          computes the syscall number as [rbx + rbp + r12..r15] (all
+          initialised so the sum is [getpid]) — any chaos clobber of
+          any callee-saved register turns the next iteration into an
+          out-of-graph syscall number, one detectable escape per
+          clobber class *)
   | Wrk of {
       flavour : Workloads.Webserver.flavour;
       size_kb : int;
@@ -86,6 +93,7 @@ let workload_name = function
   | Prog { jit; _ } -> if jit then "minicc-jit" else "minicc"
   | Forkexec -> "fork-execve"
   | Sigmicro { iters } -> Printf.sprintf "sigmicro(iters=%d)" iters
+  | Attack { iters } -> Printf.sprintf "attack(iters=%d)" iters
   | Wrk { flavour; size_kb; conns; requests } ->
       Printf.sprintf "wrk(%s,%dkb,conns=%d,requests=%d)"
         (Workloads.Webserver.flavour_name flavour)
@@ -271,6 +279,40 @@ let sigmicro_items ~iters =
         Bytes "chaos\n";
       ])
 
+(* The syscall number is recomputed from callee-saved registers every
+   iteration, so a clobber injection at any interception corrupts the
+   *next* number issued — the policy engine must localize it.  The
+   counter lives in rsi (caller-saved, outside the clobber set) so
+   the loop structure itself survives the attack. *)
+let attack_items ~iters =
+  Sim_asm.Asm.(
+    [
+      Label "start";
+      mov_ri Isa.rbx Defs.sys_getpid;
+      mov_ri Isa.rbp 0;
+      mov_ri Isa.r12 0;
+      mov_ri Isa.r13 0;
+      mov_ri Isa.r14 0;
+      mov_ri Isa.r15 0;
+      mov_ri Isa.rsi iters;
+      Label "loop";
+      mov_rr Isa.rax Isa.rbx;
+      add_rr Isa.rax Isa.rbp;
+      add_rr Isa.rax Isa.r12;
+      add_rr Isa.rax Isa.r13;
+      add_rr Isa.rax Isa.r14;
+      add_rr Isa.rax Isa.r15;
+      Label "site";
+      syscall;
+      sub_ri Isa.rsi 1;
+      cmp_ri Isa.rsi 0;
+      Jcc_l (Isa.Ne, "loop");
+      mov_ri Isa.rdi 0;
+      mov_ri Isa.rax Defs.sys_exit_group;
+      Label "site_exit";
+      syscall;
+    ])
+
 let workload_image k = function
   | Micro { iters; nr } ->
       let blob =
@@ -291,6 +333,11 @@ let workload_image k = function
   | Sigmicro { iters } ->
       let blob =
         Sim_asm.Asm.assemble ~base:Loader.code_base (sigmicro_items ~iters)
+      in
+      Loader.image ~entry:(Sim_asm.Asm.symbol blob "start") ~text:blob ()
+  | Attack { iters } ->
+      let blob =
+        Sim_asm.Asm.assemble ~base:Loader.code_base (attack_items ~iters)
       in
       Loader.image ~entry:(Sim_asm.Asm.symbol blob "start") ~text:blob ()
   | Wrk _ -> invalid_arg "workload_image: Wrk boots via workload_spawn"
@@ -364,14 +411,18 @@ type perturb = { at : int; reg : int; value : int64 }
     [SIM_NO_BLOCKS]-aware default) — the lever for the engine-identity
     gates.  [prov] attaches a syscall-provenance ledger (guest stack
     unwinding + per-call-site counters), with the workload image's
-    symbols registered at spawn; observation-only, like [obs]. *)
+    symbols registered at spawn; observation-only, like [obs].
+    [policy] attaches a syscall-flow-integrity engine:
+    observation-only in report/learning mode, intrusive in deny/kill
+    mode. *)
 let run_audited ?(checkpoint_every = 64) ?stop_after ?perturb ?chaos ?blocks
-    ?obs ?prov mech workload : A.t * Types.kernel * Types.task =
+    ?obs ?prov ?policy mech workload : A.t * Types.kernel * Types.task =
   let a = A.create ~checkpoint_every ?stop_after () in
   let k = Kernel.create ?blocks () in
   Kernel.attach_audit k a;
   (match obs with Some o -> attach_obs k o | None -> ());
   (match prov with Some p -> Kernel.attach_prov k p | None -> ());
+  (match policy with Some p -> Kernel.attach_policy k p | None -> ());
   (match chaos with
   | Some ch ->
       Sim_chaos.Chaos.add_hot_range ch ~lo:0 ~hi:4096;

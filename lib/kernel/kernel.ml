@@ -16,6 +16,7 @@ open Sim_mem
 open Sim_cpu
 open Types
 module Ev = Sim_trace.Event
+module Policy = Sim_policy.Policy
 
 (** {1 Construction} *)
 
@@ -61,6 +62,7 @@ let create ?(ncpus = 1) ?(cost = Sim_costs.Cost_model.default)
       chaos = None;
       obs = None;
       prov = None;
+      policy = None;
     }
   in
   (* /proc exists on every kernel (guests may read it whether or not
@@ -184,7 +186,37 @@ let attach_metrics (k : kernel) (m : Kmetrics.t) =
     "sim_site_dropped_total" (fun () ->
       match k.prov with
       | Some p -> Sim_obs.Provenance.sites_dropped p
-      | None -> 0)
+      | None -> 0);
+  (* Syscall-flow-integrity probes. *)
+  Metrics.probe r ~help:"policy-engine dispatch checks"
+    "sim_policy_checks_total" (fun () ->
+      match k.policy with Some p -> p.Policy.checks | None -> 0);
+  Metrics.probe r ~help:"policy violations (all kinds)"
+    "sim_policy_violations_total" (fun () ->
+      match k.policy with
+      | Some p -> Policy.violation_count p
+      | None -> 0);
+  List.iter
+    (fun (kind, leaf) ->
+      Metrics.probe r
+        ~help:(Printf.sprintf "policy violations: %s check failed" leaf)
+        (Printf.sprintf "sim_policy_violations_%s_total" leaf)
+        (fun () ->
+          match k.policy with
+          | Some p -> Policy.kind_count p kind
+          | None -> 0))
+    [
+      (Policy.Vnode, "node");
+      (Policy.Vedge, "edge");
+      (Policy.Vsite, "site");
+      (Policy.Vcompartment, "compartment");
+    ];
+  Metrics.probe r ~help:"syscalls failed with -EPERM by the policy engine"
+    "sim_policy_denied_total" (fun () ->
+      match k.policy with Some p -> p.Policy.denied | None -> 0);
+  Metrics.probe r ~help:"tasks killed by the policy engine"
+    "sim_policy_killed_total" (fun () ->
+      match k.policy with Some p -> p.Policy.killed | None -> 0)
 
 let enable_metrics (k : kernel) : Kmetrics.t =
   let m = match k.metrics with Some m -> m | None -> Kmetrics.create () in
@@ -219,6 +251,15 @@ let attach_obs (k : kernel) (o : Sim_obs.Obs.t) =
     run is bit-identical to a bare one (the qcheck gate in
     test_obs). *)
 let attach_prov (k : kernel) (p : Sim_obs.Provenance.t) = k.prov <- Some p
+
+(** Attach a syscall-flow-integrity policy engine.  In report (or
+    learning) mode it is observation-only like the tracer — checking
+    never charges cycles or touches task state, so a report-mode run
+    is bit-identical to a bare one (the qcheck gate in test_policy).
+    In deny/kill mode it is deliberately intrusive: out-of-policy
+    dispatches are suppressed and every checked dispatch charges
+    [cost.policy_check]. *)
+let attach_policy (k : kernel) (p : Sim_policy.Policy.t) = k.policy <- Some p
 
 (** Combined final-state hash over every live task, in tid order —
     the [F] line of a serialized audit log.  Uses the auditor's
@@ -1360,43 +1401,43 @@ let audit_syscall (k : kernel) (t : task) ~nr ~args ~ret ~path =
    unverifiable dispatch falls back to [rip - 2] so the ledger still
    counts it.  Observation-only: every read is fault-guarded and
    nothing is charged or mutated. *)
+let recover_site (t : task) ~path : int =
+  let c = t.ctx in
+  let valid pc =
+    pc > 0
+    &&
+    match Mem.peek_bytes t.mem pc 2 with
+    | b -> b = "\x0f\x05" || b = "\xff\xd0"
+    | exception Mem.Fault _ -> false
+  in
+  let peek_site addr =
+    match Mem.peek_u64 t.mem addr with
+    | v -> Some (Int64.to_int v - 2)
+    | exception Mem.Fault _ -> None
+  in
+  let rsp = Int64.to_int (Cpu.peek_reg c Isa.rsp) in
+  let candidates =
+    match path with
+    | Ev.Direct | Ev.Ptrace_path -> [ Some (c.rip - 2) ]
+    | Ev.Fast_path -> [ peek_site rsp ]
+    | Ev.Sud_sigsys | Ev.Seccomp_path ->
+        [
+          peek_site rsp;
+          peek_site (rsp + 8 + Ksignal.si_call_addr_off);
+        ]
+  in
+  match
+    List.find_opt (function Some pc -> valid pc | None -> false) candidates
+  with
+  | Some (Some pc) -> pc
+  | _ -> c.rip - 2
+
 let prov_record (k : kernel) (t : task) ~nr ~path ~ts0 =
   match k.prov with
   | None -> ()
   | Some p ->
       let c = t.ctx in
-      let valid pc =
-        pc > 0
-        &&
-        match Mem.peek_bytes t.mem pc 2 with
-        | b -> b = "\x0f\x05" || b = "\xff\xd0"
-        | exception Mem.Fault _ -> false
-      in
-      let peek_site addr =
-        match Mem.peek_u64 t.mem addr with
-        | v -> Some (Int64.to_int v - 2)
-        | exception Mem.Fault _ -> None
-      in
-      let rsp = Int64.to_int (Cpu.peek_reg c Isa.rsp) in
-      let candidates =
-        match path with
-        | Ev.Direct | Ev.Ptrace_path -> [ Some (c.rip - 2) ]
-        | Ev.Fast_path -> [ peek_site rsp ]
-        | Ev.Sud_sigsys | Ev.Seccomp_path ->
-            [
-              peek_site rsp;
-              peek_site (rsp + 8 + Ksignal.si_call_addr_off);
-            ]
-      in
-      let site =
-        match
-          List.find_opt
-            (function Some pc -> valid pc | None -> false)
-            candidates
-        with
-        | Some (Some pc) -> pc
-        | _ -> c.rip - 2
-      in
+      let site = recover_site t ~path in
       (* App-stream indices are 1-based (record_syscall increments
          then returns); this dispatch is audited right after us. *)
       let ev =
@@ -1414,6 +1455,34 @@ let prov_record (k : kernel) (t : task) ~nr ~path ~ts0 =
       (match k.obs with
       | Some o -> Sim_obs.Obs.note_site o ~cpu:k.cur_cpu ~site ~cycles
       | None -> ())
+
+(* Consult the syscall-flow-integrity engine for one application
+   dispatch.  Site recovery reuses the provenance candidate logic —
+   the result write has not happened yet, so rsp/rip are exactly as
+   the interposer left them.  Returns [Some p] when the engine is
+   enforcing (deny/kill) and the dispatch violated the policy; the
+   caller suppresses the syscall and applies the verdict.  In report
+   or learning mode the check is observation-only: it never charges
+   cycles and never influences the run. *)
+let policy_gate (k : kernel) (t : task) ~nr ~path : Policy.t option =
+  match k.policy with
+  | None -> None
+  | Some p -> (
+      Policy.clear_denial_tag p ~tid:t.tid;
+      let enforcing =
+        (not p.Policy.learning) && p.Policy.mode <> Policy.Report
+      in
+      if enforcing then charge k k.cost.policy_check;
+      let site = recover_site t ~path in
+      let pkey = Mem.pkey_at t.mem site in
+      let index =
+        match k.auditor with
+        | Some a -> Sim_audit.Audit.app_count a + 1
+        | None -> -1
+      in
+      match Policy.check p ~tid:t.tid ~nr ~site ~pkey ~index with
+      | Some _ when enforcing -> Some p
+      | _ -> None)
 
 let syscall_entry (k : kernel) (t : task) =
   let c = t.ctx in
@@ -1515,6 +1584,11 @@ let syscall_entry (k : kernel) (t : task) =
           Kmetrics.count_syscall m ~nr ~path:Ev.Seccomp_path;
           Kmetrics.observe_latency m (Int64.to_int (Int64.sub (now k) ts0))
       | None -> ());
+      (* The application observes this dispatch (a -errno result), so
+         the policy state machine must see it too; seccomp already
+         suppressed it, so an enforcing verdict has nothing to add. *)
+      if not t.retrying then
+        ignore (policy_gate k t ~nr ~path:Ev.Seccomp_path : Policy.t option);
       prov_record k t ~nr ~path:Ev.Seccomp_path ~ts0;
       audit_syscall k t ~nr ~args:aud_args ~ret:(Some (i64 (-e)))
         ~path:Ev.Seccomp_path;
@@ -1555,13 +1629,32 @@ let syscall_entry (k : kernel) (t : task) =
             Sim_chaos.Chaos.errno_injection ch ~tid:t.tid ~nr
         | _ -> None
       in
+      (* Syscall-flow-integrity gate: consulted once per application
+         dispatch, at first issue like the chaos injections (retries
+         of a blocked syscall re-enter here without passing through
+         the interposer, and EINTR abandonment audits at the same
+         index); [rt_sigreturn] is signal plumbing, not application
+         flow.  Runs before dispatch so a deny/kill verdict can
+         suppress the syscall. *)
+      let policy_verdict =
+        if t.retrying || sigreturning then None
+        else policy_gate k t ~nr ~path
+      in
       let res =
-        match injected_errno with
-        | Some e -> Ret (i64 (-e))
-        | None ->
-            if nr < 0 || nr > Defs.max_syscall then Ret (i64 (-Defs.enosys))
-            else
-              try do_syscall k t nr with Efault -> Ret (i64 (-Defs.efault))
+        match policy_verdict with
+        | Some p ->
+            if p.Policy.mode = Policy.Deny then
+              Policy.note_denied p ~tid:t.tid;
+            Ret (i64 (-Defs.eperm))
+        | None -> (
+            match injected_errno with
+            | Some e -> Ret (i64 (-e))
+            | None ->
+                if nr < 0 || nr > Defs.max_syscall then
+                  Ret (i64 (-Defs.enosys))
+                else
+                  try do_syscall k t nr
+                  with Efault -> Ret (i64 (-Defs.efault)))
       in
       (match k.metrics with
       | Some m ->
@@ -1643,6 +1736,14 @@ let syscall_entry (k : kernel) (t : task) =
         in
         trace_emit k (Ev.Syscall_exit { nr; path; ret; blocked })
       end;
+      (* A kill verdict fires only after the denied dispatch has been
+         fully recorded: the audit stream ends with the violating
+         syscall's -EPERM followed by the task exit. *)
+      (match policy_verdict with
+      | Some p when p.Policy.mode = Policy.Kill && t.state <> Zombie ->
+          Policy.note_killed p;
+          Ksignal.kill_task_group k t ~code:(128 + Defs.sigsys)
+      | _ -> ());
       (* A blocked syscall keeps its tag: the retry re-enters here
          without passing through the interposer again. *)
       match res with

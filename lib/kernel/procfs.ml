@@ -110,7 +110,36 @@ let metrics_text (k : kernel) =
   | Some m -> Kmetrics.prometheus m
   | None -> "# metrics registry not attached (Kernel.enable_metrics)\n"
 
-let pid_entries = [ ("status", false); ("maps", false); ("interposer", false) ]
+(** Syscall-flow-integrity engine state: mode, graph dimensions,
+    check/violation/verdict counters, the task's state-machine
+    position, then one line per recorded violation. *)
+let policy (k : kernel) (t : task) =
+  match k.policy with
+  | None -> "policy:\tdetached\n"
+  | Some p ->
+      let module P = Sim_policy.Policy in
+      let g = p.P.graph in
+      let b = Buffer.create 256 in
+      Printf.bprintf b
+        "policy:\t%s%s\ngraph:\t%s\nnodes:\t%d\nedges:\t%d\n\
+         compartments:\t%d\nchecks:\t%d\nviolations:\t%d\ndenied:\t%d\n\
+         killed:\t%d\nposition:\t%s\n"
+        (P.mode_name p.P.mode)
+        (if p.P.learning then " (learning)" else "")
+        g.P.g_name (P.node_count g) (P.edge_count g) (P.compartment_count g)
+        p.P.checks (P.violation_count p) p.P.denied p.P.killed
+        (P.nr_name ~syscall_name:Defs.syscall_name (P.last_nr p ~tid:t.tid));
+      List.iter
+        (fun v ->
+          Buffer.add_string b
+            (P.describe_violation ~syscall_name:Defs.syscall_name v);
+          Buffer.add_char b '\n')
+        (P.violations p);
+      Buffer.contents b
+
+let pid_entries =
+  [ ("status", false); ("maps", false); ("interposer", false);
+    ("policy", false) ]
 
 let lookup (k : kernel) (comps : string list) : Vfs.sentry option =
   let task_of = function
@@ -141,6 +170,7 @@ let lookup (k : kernel) (comps : string list) : Vfs.sentry option =
           | "status" -> Some (Vfs.Sfile (fun () -> status t))
           | "maps" -> Some (Vfs.Sfile (fun () -> maps t))
           | "interposer" -> Some (Vfs.Sfile (fun () -> interposer k t))
+          | "policy" -> Some (Vfs.Sfile (fun () -> policy k t))
           | _ -> None))
   | _ -> None
 

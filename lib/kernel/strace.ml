@@ -66,12 +66,16 @@ let format_call ~(read_str : int -> string) nr (args : int64 array) : string =
   Printf.sprintf "%s(%s)" (Defs.syscall_name nr) (String.concat ", " parts)
 
 (** Format a syscall result: errnos by name, restarts marked, control
-    transfers (execve, exit, rt_sigreturn — no result write) as [?]. *)
-let format_ret (v : int64) : string =
+    transfers (execve, exit, rt_sigreturn — no result write) as [?].
+    [policy] marks an errno as injected by the syscall-flow-integrity
+    engine rather than returned by the syscall itself. *)
+let format_ret ?(policy = false) (v : int64) : string =
   if v = Int64.min_int then " = ?"
   else if v = -512L then " = ? ERESTARTSYS (restarted)"
   else if v < 0L && v >= -4095L then
-    Printf.sprintf " = %Ld %s" v (Defs.errno_name (Int64.to_int (Int64.neg v)))
+    Printf.sprintf " = %Ld %s%s" v
+      (Defs.errno_name (Int64.to_int (Int64.neg v)))
+      (if policy then " (policy)" else "")
   else Printf.sprintf " = %Ld" v
 
 (* The dispatcher preserves the six argument registers across a
@@ -93,5 +97,13 @@ let attach (k : Types.kernel) : string list ref =
         let c = t.Types.ctx in
         let args = Array.map (fun r -> Sim_cpu.Cpu.peek_reg c r) arg_regs in
         let read_str addr = Sim_mem.Mem.read_cstring t.Types.mem addr in
-        log := (format_call ~read_str nr args ^ format_ret ret) :: !log);
+        (* The policy engine tags a tid whose most recent result was
+           its own -EPERM; the kernel clears the tag at the next
+           dispatch, so at exit-callback time it refers to [ret]. *)
+        let policy =
+          match k.Types.policy with
+          | Some p -> Sim_policy.Policy.denial_tagged p ~tid:t.Types.tid
+          | None -> false
+        in
+        log := (format_call ~read_str nr args ^ format_ret ~policy ret) :: !log);
   log

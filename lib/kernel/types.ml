@@ -237,6 +237,12 @@ type kernel = {
           unwinding, fed at audited syscall dispatches and rewrite
           stamps; observation-only like [tracer] — a provenanced run
           is cycle- and state-identical to a bare one *)
+  mutable policy : Sim_policy.Policy.t option;
+      (** syscall-flow-integrity engine, consulted at every
+          application syscall dispatch.  In report (or learning) mode
+          it is observation-only like [tracer]; in deny/kill mode it
+          suppresses out-of-policy syscalls and charges
+          [cost.policy_check] per dispatch *)
 }
 
 (* Classify the cycles being charged into a causal phase for the span
@@ -272,13 +278,14 @@ let charge (k : kernel) n =
             ~in_kernel:(k.in_kernel > 0) ~sig_depth:t.sig_depth)
   | None -> ()
 
-(** Is any observer (tracer, metrics, auditor, span recorder or
-    provenance ledger) attached?  Dispatch-path staging sites guard
-    on this: the tag exists purely for attribution, so it is only
-    maintained when someone is looking. *)
+(** Is any observer (tracer, metrics, auditor, span recorder,
+    provenance ledger or policy engine) attached?  Dispatch-path
+    staging sites guard on this: the tag exists purely for
+    attribution (and for the policy engine's call-site recovery), so
+    it is only maintained when someone is looking. *)
 let observing (k : kernel) =
   k.tracer <> None || k.metrics <> None || k.auditor <> None || k.obs <> None
-  || k.prov <> None
+  || k.prov <> None || k.policy <> None
 
 let enter_kernel (k : kernel) = k.in_kernel <- k.in_kernel + 1
 let leave_kernel (k : kernel) = k.in_kernel <- max 0 (k.in_kernel - 1)

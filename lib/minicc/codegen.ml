@@ -21,10 +21,17 @@ type genv = {
   mutable strings : (string * string) list;  (** label, contents *)
   mutable next_str : int;
   mutable next_label : int;
+  mutable sites : (string * int option * string) list;
+      (** every emitted [syscall] instruction: its (zero-byte) label,
+          the statically known syscall number when the first argument
+          is a literal, and the enclosing function — the raw material
+          of the flow-graph extractor.  Collected in reverse emission
+          order. *)
 }
 
 type fenv = {
   g : genv;
+  fname : string;  (** enclosing function, for site attribution *)
   locals : (string, slot) Hashtbl.t;
   mutable frame : int;  (** bytes of locals allocated so far *)
   epilogue : string;
@@ -146,9 +153,14 @@ let rec compile_expr (fe : fenv) (e : expr) : item list =
   | Call ("syscall", args) ->
       let n = List.length args in
       if n < 1 || n > 7 then error "syscall takes 1-7 arguments";
+      let nr = match args with Num v :: _ -> Some (Int64.to_int v) | _ -> None in
+      let lbl = fresh_label fe.g "sc" in
+      fe.g.sites <- (lbl, nr, fe.fname) :: fe.g.sites;
       List.concat_map (fun a -> compile_expr fe a @ [ push Isa.rax ]) args
       @ (List.init n (fun j -> pop syscall_regs.(n - 1 - j)))
-      @ [ syscall ]
+      (* the label binds the address of the [syscall] instruction
+         itself and emits no bytes, so the binary is unchanged *)
+      @ [ Label lbl; syscall ]
   | Call ("peek8", [ p ]) ->
       compile_expr fe p @ [ load8 Isa.rax Isa.rax 0 ]
   | Call ("peek64", [ p ]) ->
@@ -316,6 +328,7 @@ let compile_func (g : genv) (f : func) : item list =
   let fe =
     {
       g;
+      fname = f.fname;
       locals = Hashtbl.create 16;
       frame = 0;
       epilogue = Printf.sprintf ".ret_%s" f.fname;
@@ -346,9 +359,19 @@ let le64 (v : int64) =
   String.init 8 (fun j ->
       Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * j)) land 0xFF))
 
+type syscall_site = {
+  site_pc : int;  (** address of the [syscall] instruction *)
+  site_nr : int option;  (** statically known number, [None] if computed *)
+  site_fn : string;  (** enclosing function ([_start] for the shim) *)
+}
+
 (** Compile a program.  Returns the text blob (at [code_base], entry
-    at the [start] label) and the data blob (at [data_base]). *)
-let compile ?(code_base = 0x400000) ?(data_base = 0x600000) (src : string) :
+    at the [start] label) and the data blob (at [data_base]).
+    [sites], when given, receives every [syscall] instruction's
+    resolved call-site record in emission order — the start shim's
+    [exit_group] included. *)
+let compile ?(code_base = 0x400000) ?(data_base = 0x600000)
+    ?(sites : syscall_site list ref option) (src : string) :
     Sim_asm.Asm.blob * Sim_asm.Asm.blob =
   let prog = Parser.parse src in
   let g =
@@ -359,6 +382,7 @@ let compile ?(code_base = 0x400000) ?(data_base = 0x600000) (src : string) :
       strings = [];
       next_str = 0;
       next_label = 0;
+      sites = [];
     }
   in
   List.iter
@@ -368,18 +392,21 @@ let compile ?(code_base = 0x400000) ?(data_base = 0x600000) (src : string) :
       | Gbuf (name, _, _) -> Hashtbl.replace g.gbufs name ("g_" ^ name))
     prog.globals;
   List.iter
-    (fun f ->
+    (fun (f : Ast.func) ->
       if Hashtbl.mem g.funcs f.fname then
         error "duplicate function %s" f.fname;
       Hashtbl.replace g.funcs f.fname (List.length f.params))
     prog.funcs;
   if not (Hashtbl.mem g.funcs "main") then error "no main function";
+  g.sites <-
+    [ (".sc_exit", Some Sim_kernel.Defs.sys_exit_group, "_start") ];
   let text_items =
     [
       Label "start";
       Call_l "fn_main";
       mov_rr Isa.rdi Isa.rax;
       mov_ri Isa.rax Sim_kernel.Defs.sys_exit_group;
+      Label ".sc_exit";
       syscall;
     ]
     @ List.concat_map (compile_func g) prog.funcs
@@ -408,6 +435,15 @@ let compile ?(code_base = 0x400000) ?(data_base = 0x600000) (src : string) :
     Sim_asm.Asm.assemble ~base:code_base ~env:data.Sim_asm.Asm.symbols
       text_items
   in
+  (match sites with
+  | None -> ()
+  | Some out ->
+      out :=
+        List.rev_map
+          (fun (lbl, nr, fn) ->
+            { site_pc = Sim_asm.Asm.symbol text lbl; site_nr = nr;
+              site_fn = fn })
+          g.sites);
   (text, data)
 
 (** Compile straight to a loadable image. *)

@@ -1,0 +1,303 @@
+(** Static syscall-flow-graph extraction from minicc programs.
+
+    The compiler already knows every interposition site it emits —
+    {!Codegen.compile} labels each [syscall] instruction and reports
+    its resolved PC, static number and enclosing function.  This
+    module adds the *flow* between those sites: an abstract
+    interpretation of the AST computes, for every program region, the
+    set of syscall numbers that can run first ([en]), last ([ex]) and
+    whether the region can execute without any syscall ([eps]), and
+    emits a [Policy.graph] edge for every possible adjacent pair.
+
+    The analysis is a deliberate over-approximation: loops are treated
+    as zero-or-more iterations, both branch arms as possible,
+    [break]/[continue] frontiers flow both back to the loop condition
+    and out of the loop, and a computed syscall number becomes the
+    [Policy.any_nr] wildcard.  Extra edges only cost detection
+    coverage; a missing edge would be a false positive in enforcement,
+    so we never drop one.
+
+    For JIT programs ({!Jit.driver_image}) the payload is re-analyzed
+    at the JIT load addresses and prefixed with the driver's own
+    write/mmap/mmap/mprotect chain, whose call-site PCs come from the
+    driver image's labels — the graph a static rewriter could never
+    recover is exactly what the compiler hands us for free. *)
+
+module Policy = Sim_policy.Policy
+module IntSet = Policy.IntSet
+
+(* ------------------------------------------------------------------ *)
+(* Region summaries                                                    *)
+
+type region = {
+  en : IntSet.t;  (** numbers that can be the first syscall executed *)
+  ex : IntSet.t;  (** numbers that can be the last one *)
+  eps : bool;  (** the region can run with zero syscalls *)
+  ret_ex : IntSet.t;  (** last-before-[return] frontier *)
+  ret_eps : bool;  (** a [return] is reachable syscall-free *)
+  jmp_ex : IntSet.t;  (** last-before-[break]/[continue] frontier *)
+  jmp_eps : bool;  (** a jump is reachable syscall-free *)
+}
+
+let rnil =
+  {
+    en = IntSet.empty;
+    ex = IntSet.empty;
+    eps = true;
+    ret_ex = IntSet.empty;
+    ret_eps = false;
+    jmp_ex = IntSet.empty;
+    jmp_eps = false;
+  }
+
+(* One syscall with number [nr]. *)
+let rsc nr = { rnil with en = IntSet.singleton nr; ex = IntSet.singleton nr; eps = false }
+
+let cross g a b =
+  IntSet.iter
+    (fun x -> IntSet.iter (fun y -> Policy.add_edge g ~from_nr:x ~to_nr:y) b)
+    a
+
+let union_if c s = if c then s else IntSet.empty
+
+(* [a] then [b]. *)
+let seq g a b =
+  cross g a.ex b.en;
+  {
+    en = IntSet.union a.en (union_if a.eps b.en);
+    ex = IntSet.union b.ex (union_if b.eps a.ex);
+    eps = a.eps && b.eps;
+    ret_ex =
+      IntSet.union a.ret_ex
+        (IntSet.union b.ret_ex (union_if b.ret_eps a.ex));
+    ret_eps = a.ret_eps || (a.eps && b.ret_eps);
+    jmp_ex =
+      IntSet.union a.jmp_ex
+        (IntSet.union b.jmp_ex (union_if b.jmp_eps a.ex));
+    jmp_eps = a.jmp_eps || (a.eps && b.jmp_eps);
+  }
+
+(* [a] or [b]. *)
+let alt a b =
+  {
+    en = IntSet.union a.en b.en;
+    ex = IntSet.union a.ex b.ex;
+    eps = a.eps || b.eps;
+    ret_ex = IntSet.union a.ret_ex b.ret_ex;
+    ret_eps = a.ret_eps || b.ret_eps;
+    jmp_ex = IntSet.union a.jmp_ex b.jmp_ex;
+    jmp_eps = a.jmp_eps || b.jmp_eps;
+  }
+
+(* Zero or more repetitions of [a]. *)
+let star g a =
+  cross g a.ex a.en;
+  {
+    a with
+    eps = true;
+    ret_ex = IntSet.union a.ret_ex (union_if a.ret_eps a.ex);
+    jmp_ex = IntSet.union a.jmp_ex (union_if a.jmp_eps a.ex);
+  }
+
+(* A loop [cond (body step cond)*]; break/continue frontiers flow back
+   to the condition (continue) and out of the loop (break) — both
+   directions, conservatively. *)
+let loop g ~cond ~body ~step =
+  let r = seq g (star g (seq g (seq g cond body) step)) cond in
+  cross g r.jmp_ex cond.en;
+  {
+    en = r.en;
+    ex = IntSet.union r.ex r.jmp_ex;
+    eps = r.eps || r.jmp_eps;
+    ret_ex = r.ret_ex;
+    ret_eps = r.ret_eps;
+    jmp_ex = IntSet.empty;
+    jmp_eps = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* AST walk                                                            *)
+
+(* Static syscall number of a [syscall(nr, ...)] occurrence. *)
+let static_nr (args : Ast.expr list) =
+  match args with Ast.Num v :: _ -> Int64.to_int v | _ -> Policy.any_nr
+
+let rec expr_region g summaries (e : Ast.expr) : region =
+  let expr = expr_region g summaries in
+  match e with
+  | Ast.Num _ | Ast.Str _ | Ast.Var _ -> rnil
+  | Ast.Index (a, b) -> seq g (expr a) (expr b)
+  | Ast.Un (_, a) -> expr a
+  | Ast.Bin ((Ast.LAnd | Ast.LOr), a, b) ->
+      (* the right operand may be skipped *)
+      seq g (expr a) (alt (expr b) rnil)
+  | Ast.Bin (_, a, b) -> seq g (expr a) (expr b)
+  | Ast.Call ("syscall", args) ->
+      let r = List.fold_left (fun acc a -> seq g acc (expr a)) rnil args in
+      seq g r (rsc (static_nr args))
+  | Ast.Call (f, args) -> (
+      let r = List.fold_left (fun acc a -> seq g acc (expr a)) rnil args in
+      match Hashtbl.find_opt summaries f with
+      | Some callee -> seq g r callee
+      | None -> r (* syscall-free builtin (peek64, poke64, ...) *))
+
+and stmt_region g summaries (s : Ast.stmt) : region =
+  let expr = expr_region g summaries in
+  let opt_expr = function Some e -> expr e | None -> rnil in
+  let opt_stmt = function
+    | Some s -> stmt_region g summaries s
+    | None -> rnil
+  in
+  match s with
+  | Ast.Decl (_, init) -> opt_expr init
+  | Ast.Decl_buf _ -> rnil
+  | Ast.Assign (_, e) | Ast.Expr e -> expr e
+  | Ast.Store_byte (a, b, c) -> seq g (seq g (expr a) (expr b)) (expr c)
+  | Ast.If (c, t, e) ->
+      seq g (expr c)
+        (alt (body_region g summaries t) (body_region g summaries e))
+  | Ast.While (c, b) ->
+      loop g ~cond:(expr c) ~body:(body_region g summaries b) ~step:rnil
+  | Ast.For (init, c, step, b) ->
+      seq g (opt_stmt init)
+        (loop g ~cond:(opt_expr c) ~body:(body_region g summaries b)
+           ~step:(opt_stmt step))
+  | Ast.Return e ->
+      let r = opt_expr e in
+      {
+        rnil with
+        en = r.en;
+        eps = false;
+        ret_ex = r.ex;
+        ret_eps = r.eps;
+      }
+  | Ast.Break | Ast.Continue -> { rnil with eps = false; jmp_eps = true }
+
+and body_region g summaries (stmts : Ast.stmt list) : region =
+  List.fold_left (fun acc s -> seq g acc (stmt_region g summaries s)) rnil
+    stmts
+
+(* Fold abnormal exits into a callee-effect region: a [return] is just
+   the function's exit, and a stray break/continue (codegen rejects
+   none, it compiles them only inside loops) is treated the same. *)
+let call_effect (b : region) : region =
+  {
+    rnil with
+    en = b.en;
+    ex = IntSet.union b.ex (IntSet.union b.ret_ex b.jmp_ex);
+    eps = b.eps || b.ret_eps || b.jmp_eps;
+  }
+
+let region_equal a b =
+  IntSet.equal a.en b.en && IntSet.equal a.ex b.ex && a.eps = b.eps
+
+(* Iterate per-function call-effect summaries to their least fixpoint
+   (recursion starts from the empty effect), emitting graph edges along
+   the way — emission is monotone in the summaries, so the converged
+   pass emits the complete edge set. *)
+let function_summaries g (prog : Ast.program) :
+    (string, region) Hashtbl.t =
+  let summaries = Hashtbl.create 8 in
+  let bottom = { rnil with eps = false } in
+  List.iter
+    (fun (f : Ast.func) -> Hashtbl.replace summaries f.fname bottom)
+    prog.funcs;
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed do
+    changed := false;
+    incr rounds;
+    if !rounds > 64 then failwith "flowgraph: summary fixpoint diverged";
+    List.iter
+      (fun (f : Ast.func) ->
+        let eff = call_effect (body_region g summaries f.body) in
+        if not (region_equal eff (Hashtbl.find summaries f.fname)) then begin
+          Hashtbl.replace summaries f.fname eff;
+          changed := true
+        end)
+      prog.funcs
+  done;
+  summaries
+
+(* ------------------------------------------------------------------ *)
+(* Whole-program extraction                                            *)
+
+(* Analyze [src]'s AST into [g] and return the whole-program region:
+   main's body followed by the start shim's [exit_group]. *)
+let analyze g (src : string) : region =
+  let prog = Parser.parse src in
+  let summaries = function_summaries g prog in
+  let main =
+    match Hashtbl.find_opt summaries "main" with
+    | Some r -> r
+    | None -> Ast.error "no main function"
+  in
+  seq g main (rsc Sim_kernel.Defs.sys_exit_group)
+
+(* Every syscall number with a node in [g]. *)
+let graph_nrs g =
+  Hashtbl.fold (fun nr _ acc -> nr :: acc) g.Policy.nodes []
+
+let add_sites g (sites : Codegen.syscall_site list) =
+  List.iter
+    (fun (s : Codegen.syscall_site) ->
+      let nr =
+        match s.Codegen.site_nr with Some nr -> nr | None -> Policy.any_nr
+      in
+      Policy.add_node g ~nr ~sites:[ s.Codegen.site_pc ] ())
+    sites
+
+(** Extract the flow graph of a statically loaded minicc program:
+    nodes carry the call-site PCs codegen resolved at [code_base],
+    edges come from the AST analysis, and the whole text lives in
+    compartment pkey 0. *)
+let graph_of ?(name = "minicc") ?code_base ?data_base (src : string) :
+    Policy.graph =
+  let g = Policy.create_graph ~name () in
+  let sites = ref [] in
+  let (_ : Sim_asm.Asm.blob * Sim_asm.Asm.blob) =
+    Codegen.compile ?code_base ?data_base ~sites src
+  in
+  add_sites g !sites;
+  let p = analyze g src in
+  IntSet.iter (fun nr -> Policy.add_edge g ~from_nr:Policy.start_nr ~to_nr:nr) p.en;
+  Policy.add_compartment g ~pkey:0 ~nrs:(graph_nrs g);
+  g
+
+(** Extract the flow graph of [Jit.driver_image src]: the driver's
+    own banner-write/mmap/mmap/mprotect chain (sites from the driver
+    image's labels) followed by the payload analyzed at the JIT load
+    addresses. *)
+let graph_of_jit ?(name = "minicc-jit") (src : string) : Policy.graph =
+  let g = Policy.create_graph ~name ~jit:true () in
+  let sites = ref [] in
+  let (_ : Sim_asm.Asm.blob * Sim_asm.Asm.blob) =
+    Codegen.compile ~code_base:Jit.jit_code_base ~data_base:Jit.jit_data_base
+      ~sites src
+  in
+  add_sites g !sites;
+  let img = Jit.driver_image src in
+  let pc lbl = List.assoc lbl img.Sim_kernel.Types.img_symbols in
+  List.iter
+    (fun (lbl, nr) -> Policy.add_node g ~nr ~sites:[ pc lbl ] ())
+    Jit.driver_sites;
+  (* the driver chain runs in order, then jumps into the payload *)
+  let chain = List.map snd Jit.driver_sites in
+  let rec link prev = function
+    | [] -> prev
+    | nr :: rest ->
+        Policy.add_edge g ~from_nr:prev ~to_nr:nr;
+        link nr rest
+  in
+  let last_driver = link Policy.start_nr chain in
+  let p = analyze g src in
+  IntSet.iter
+    (fun nr -> Policy.add_edge g ~from_nr:last_driver ~to_nr:nr)
+    p.en;
+  Policy.add_compartment g ~pkey:0 ~nrs:(graph_nrs g);
+  g
+
+(** Front end used by the CLI: extract from a source file, [jit]
+    selecting the loader. *)
+let extract ?name ~jit (src : string) : Policy.graph =
+  if jit then graph_of_jit ?name src else graph_of ?name src

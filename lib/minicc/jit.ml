@@ -52,7 +52,10 @@ let decode_copy ~tag ~src ~dst ~len =
     Jcc_l (Isa.Ne, "copy_" ^ tag);
   ]
 
-let mmap_fixed_rw addr len =
+(* The [~tag] labels the [syscall] instruction itself (zero bytes, so
+   the emitted image is unchanged) — the flow-graph extractor reads
+   the driver's call-site PCs from the image symbols. *)
+let mmap_fixed_rw ~tag addr len =
   [
     mov_ri Isa.rdi addr;
     mov_ri Isa.rsi len;
@@ -61,7 +64,17 @@ let mmap_fixed_rw addr len =
     mov_ri64 Isa.r8 (-1L);
     mov_ri Isa.r9 0;
     mov_ri Isa.rax Sim_kernel.Defs.sys_mmap;
+    Label tag;
     syscall;
+  ]
+
+(* Driver call-site labels, in the order the driver issues them. *)
+let driver_sites =
+  [
+    ("sc_banner", Sim_kernel.Defs.sys_write);
+    ("sc_mmap_code", Sim_kernel.Defs.sys_mmap);
+    ("sc_mmap_data", Sim_kernel.Defs.sys_mmap);
+    ("sc_mprotect", Sim_kernel.Defs.sys_mprotect);
   ]
 
 (** Build the [tcc -run]-style driver image for minicc source [src].
@@ -91,10 +104,13 @@ let driver_image (src : string) : Sim_kernel.Types.image =
       Lea_ip (Isa.rsi, "banner");
       mov_ri Isa.rdx (String.length banner);
       mov_ri Isa.rax Sim_kernel.Defs.sys_write;
+      Label "sc_banner";
       syscall;
     ]
-    @ mmap_fixed_rw jit_code_base (String.length code_bytes)
-    @ mmap_fixed_rw jit_data_base (max 8 (String.length data_bytes))
+    @ mmap_fixed_rw ~tag:"sc_mmap_code" jit_code_base
+        (String.length code_bytes)
+    @ mmap_fixed_rw ~tag:"sc_mmap_data" jit_data_base
+        (max 8 (String.length data_bytes))
     @ decode_copy ~tag:"code" ~src:"payload_code" ~dst:jit_code_base
         ~len:(String.length code_bytes)
     @ decode_copy ~tag:"data" ~src:"payload_data" ~dst:jit_data_base
@@ -105,6 +121,7 @@ let driver_image (src : string) : Sim_kernel.Types.image =
         mov_ri Isa.rsi (String.length code_bytes);
         mov_ri Isa.rdx Sim_kernel.Defs.(prot_read lor prot_exec);
         mov_ri Isa.rax Sim_kernel.Defs.sys_mprotect;
+        Label "sc_mprotect";
         syscall;
         (* enter the JITted program (its exit_group ends the process,
            as with tcc -run) *)

@@ -517,13 +517,13 @@ let completed_dropped t = t.completed_dropped
 (* /2 appended the hottest call site of each exemplar's window as a
    trailing column; the rid stays field 2, so tooling that extracts
    ids positionally keeps working, and /1 files still parse. *)
-let sidecar_magic = "% simtrace-spans/2"
-let sidecar_magic_v1 = "% simtrace-spans/1"
+let sidecar_artifact_kind = "spans"
+let sidecar_artifact_version = 2
 
 let sidecar t : string =
   let b = Buffer.create 256 in
-  Buffer.add_string b sidecar_magic;
-  Buffer.add_char b '\n';
+  Sim_artifact.Artifact.add_magic b ~kind:sidecar_artifact_kind
+    ~version:sidecar_artifact_version;
   List.iter
     (fun r ->
       let site = match hot_site r with Some (pc, _) -> pc | None -> -1 in
@@ -546,12 +546,14 @@ type sidecar_row = {
 (** Parse a sidecar produced by {!sidecar} (/2, or the site-less /1);
     rows keep file (slowest first) order.  Raises [Failure] on a bad
     magic or row. *)
-let parse_sidecar (s : string) : sidecar_row list =
-  match String.split_on_char '\n' s with
-  | magic :: rows
-    when String.trim magic = sidecar_magic
-         || String.trim magic = sidecar_magic_v1 ->
-      let v1 = String.trim magic = sidecar_magic_v1 in
+let parse_sidecar ?file (s : string) : sidecar_row list =
+  match
+    Sim_artifact.Artifact.parse_magic ?file ~kind:sidecar_artifact_kind
+      ~accept:[ 1; sidecar_artifact_version ] s
+  with
+  | Error e -> failwith e
+  | Ok (v, rows) ->
+      let v1 = v = 1 in
       List.filter_map
         (fun line ->
           let line = String.trim line in
@@ -579,7 +581,6 @@ let parse_sidecar (s : string) : sidecar_row list =
             with Scanf.Scan_failure _ | Failure _ | End_of_file ->
               failwith ("bad spans sidecar row: " ^ line))
         rows
-  | _ -> failwith "not a simtrace-spans file"
 
 (** {1 Reports} *)
 

@@ -136,6 +136,10 @@ let create ?(max_depth = 16) ?(max_sites = 4096) ?(max_stacks = 64)
     preceding function. *)
 
 let add_symbols t (syms : (string * int) list) =
+  (* Dot-prefixed labels are assembler-local (branch targets, syscall
+     site markers like [.sc3]) — they would shadow the enclosing
+     function symbol, so the symbolizer ignores them. *)
+  let syms = List.filter (fun (n, _) -> String.length n = 0 || n.[0] <> '.') syms in
   let a =
     Array.of_list (List.map (fun (n, addr) -> (addr, n)) syms @ Array.to_list t.syms)
   in

@@ -1,0 +1,430 @@
+(** Syscall-flow-integrity policies.
+
+    A policy is a coarse-grained syscall-flow graph in the SFIP mold
+    plus a per-compartment syscall allowlist in the "syscall as an MPK
+    privilege" mold:
+
+    - {b nodes} are syscall numbers, each carrying the set of call-site
+      PCs the program may issue it from (empty = any site);
+    - {b edges} are the possible successor relations between syscall
+      numbers, with a distinguished START pseudo-node ([start_nr]) for
+      the first syscall of a task and a wildcard node ([any_nr]) for
+      statically unresolvable numbers;
+    - {b compartments} map a memory protection key to the set of
+      syscall numbers code tagged with that pkey may issue at all.
+
+    Graphs come from three producers: static extraction out of minicc
+    codegen ({!Minicc.Flowgraph}), a learning run (attach a policy in
+    {!learning} mode, run the workload, freeze), or the builder API
+    below.  They serialize as versioned [% simtrace-policy/1]
+    artifacts.
+
+    The enforcement engine is deliberately kernel-agnostic: the kernel
+    hands {!check} the task id, syscall number, recovered call-site PC
+    and the pkey active at that PC, and gets back an optional
+    violation.  What happens next — count it (report mode), fail the
+    syscall with [-EPERM], or kill the task — is the caller's job,
+    driven by {!mode}.  In report mode the engine is observation-only:
+    it never charges cycles and never mutates anything outside its own
+    counters, so a report-mode run is bit-identical to a bare one. *)
+
+module Artifact = Sim_artifact.Artifact
+module IntSet = Set.Make (Int)
+
+(** Pseudo syscall number for "no syscall yet" (task start). *)
+let start_nr = -1
+
+(** Pseudo syscall number for "statically unknown": an [any_nr] node
+    matches every number, an edge touching it matches on that side. *)
+let any_nr = -2
+
+let nr_name ?(syscall_name = fun nr -> Printf.sprintf "sys_%d" nr) nr =
+  if nr = start_nr then "START"
+  else if nr = any_nr then "ANY"
+  else syscall_name nr
+
+(* ------------------------------------------------------------------ *)
+(* Graphs                                                              *)
+
+type graph = {
+  g_name : string;  (** provenance label, e.g. the source file *)
+  g_jit : bool;
+  mutable nodes : (int, IntSet.t) Hashtbl.t;
+      (** nr -> allowed site PCs; an empty set means any site *)
+  edges : (int * int, unit) Hashtbl.t;
+  compartments : (int, IntSet.t) Hashtbl.t;  (** pkey -> allowed nrs *)
+}
+
+let create_graph ?(name = "?") ?(jit = false) () =
+  {
+    g_name = name;
+    g_jit = jit;
+    nodes = Hashtbl.create 16;
+    edges = Hashtbl.create 32;
+    compartments = Hashtbl.create 4;
+  }
+
+(** {2 Builder} *)
+
+let add_node g ~nr ?(sites = []) () =
+  let cur =
+    match Hashtbl.find_opt g.nodes nr with
+    | Some s -> s
+    | None -> IntSet.empty
+  in
+  Hashtbl.replace g.nodes nr (List.fold_left (fun s pc -> IntSet.add pc s) cur sites)
+
+let add_edge g ~from_nr ~to_nr =
+  if not (Hashtbl.mem g.edges (from_nr, to_nr)) then
+    Hashtbl.replace g.edges (from_nr, to_nr) ()
+
+let add_compartment g ~pkey ~nrs =
+  let cur =
+    match Hashtbl.find_opt g.compartments pkey with
+    | Some s -> s
+    | None -> IntSet.empty
+  in
+  Hashtbl.replace g.compartments pkey
+    (List.fold_left (fun s nr -> IntSet.add nr s) cur nrs)
+
+let node_count g = Hashtbl.length g.nodes
+let edge_count g = Hashtbl.length g.edges
+let compartment_count g = Hashtbl.length g.compartments
+
+let has_node g nr = nr = any_nr || Hashtbl.mem g.nodes nr || Hashtbl.mem g.nodes any_nr
+
+let has_edge g ~from_nr ~to_nr =
+  Hashtbl.mem g.edges (from_nr, to_nr)
+  || Hashtbl.mem g.edges (from_nr, any_nr)
+  || Hashtbl.mem g.edges (any_nr, to_nr)
+  || Hashtbl.mem g.edges (any_nr, any_nr)
+
+(** Is [pc] an allowed site for [nr]?  True when the node's site set
+    is empty (site-agnostic node) or when an [any_nr] node exists. *)
+let site_ok g ~nr ~pc =
+  match Hashtbl.find_opt g.nodes nr with
+  | Some sites -> IntSet.is_empty sites || IntSet.mem pc sites
+  | None -> Hashtbl.mem g.nodes any_nr
+
+(** Compartment verdict for issuing [nr] from a page tagged [pkey].
+    An empty compartment table disables the check (a flow-graph-only
+    policy); a pkey absent from a non-empty table allows nothing. *)
+let compartment_ok g ~pkey ~nr =
+  Hashtbl.length g.compartments = 0
+  ||
+  match Hashtbl.find_opt g.compartments pkey with
+  | Some nrs -> IntSet.mem nr nrs || IntSet.mem any_nr nrs
+  | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* Serialization: % simtrace-policy/1                                  *)
+
+let artifact_kind = "policy"
+let artifact_version = 1
+
+(** Serialize [g].  Row shapes:
+
+    {v
+    N <nr> [<site-pc-hex> ...]      node + its sites
+    E <from-nr> <to-nr>             edge (START = -1, ANY = -2)
+    C <pkey> <nr> [<nr> ...]        compartment allowlist
+    v} *)
+let graph_to_string (g : graph) : string =
+  let buf = Buffer.create 1024 in
+  Artifact.add_magic buf ~kind:artifact_kind ~version:artifact_version;
+  Artifact.add_header buf "file" g.g_name;
+  Artifact.add_header buf "jit" (string_of_bool g.g_jit);
+  Hashtbl.fold (fun nr sites acc -> (nr, sites) :: acc) g.nodes []
+  |> List.sort compare
+  |> List.iter (fun (nr, sites) ->
+         Printf.bprintf buf "N %d" nr;
+         IntSet.iter (fun pc -> Printf.bprintf buf " 0x%x" pc) sites;
+         Buffer.add_char buf '\n');
+  Hashtbl.fold (fun e () acc -> e :: acc) g.edges []
+  |> List.sort compare
+  |> List.iter (fun (a, b) -> Printf.bprintf buf "E %d %d\n" a b);
+  Hashtbl.fold (fun pk nrs acc -> (pk, nrs) :: acc) g.compartments []
+  |> List.sort compare
+  |> List.iter (fun (pk, nrs) ->
+         Printf.bprintf buf "C %d" pk;
+         IntSet.iter (fun nr -> Printf.bprintf buf " %d" nr) nrs;
+         Buffer.add_char buf '\n');
+  Buffer.contents buf
+
+let graph_of_string ?file (s : string) : (graph, string) result =
+  match
+    Artifact.parse_magic ?file ~kind:artifact_kind
+      ~accept:[ artifact_version ] s
+  with
+  | Error e -> Error e
+  | Ok (_v, rest) -> (
+      let name =
+        match Artifact.header_value ~key:"file" rest with
+        | Some f -> f
+        | None -> "?"
+      in
+      let jit = Artifact.header_value ~key:"jit" rest = Some "true" in
+      let g = create_graph ~name ~jit () in
+      try
+        List.iter
+          (fun line ->
+            match String.split_on_char ' ' (String.trim line) with
+            | "N" :: nr :: sites ->
+                add_node g ~nr:(int_of_string nr)
+                  ~sites:(List.map int_of_string sites)
+                  ()
+            | [ "E"; a; b ] ->
+                add_edge g ~from_nr:(int_of_string a)
+                  ~to_nr:(int_of_string b)
+            | "C" :: pk :: nrs ->
+                add_compartment g ~pkey:(int_of_string pk)
+                  ~nrs:(List.map int_of_string nrs)
+            | _ -> failwith ("bad policy row: " ^ line))
+          (Artifact.body rest);
+        Ok g
+      with Failure m -> Error (Artifact.describe_file file ^ m))
+
+(* ------------------------------------------------------------------ *)
+(* The enforcement engine                                              *)
+
+(** What to do when a check fails.  [Report] only counts (and is
+    observation-only); [Deny] fails the syscall with [-EPERM] without
+    dispatching it; [Kill] terminates the offending task group. *)
+type mode = Report | Deny | Kill
+
+let mode_name = function
+  | Report -> "report"
+  | Deny -> "enforce"
+  | Kill -> "kill"
+
+let mode_of_string = function
+  | "report" -> Some Report
+  | "enforce" | "deny" | "eperm" -> Some Deny
+  | "kill" -> Some Kill
+  | _ -> None
+
+type vkind =
+  | Vnode  (** syscall number has no node at all *)
+  | Vedge  (** number exists but not as a successor of the last one *)
+  | Vsite  (** right number, wrong call-site PC *)
+  | Vcompartment  (** site's pkey may not issue this number *)
+
+let vkind_name = function
+  | Vnode -> "node"
+  | Vedge -> "edge"
+  | Vsite -> "site"
+  | Vcompartment -> "compartment"
+
+type violation = {
+  v_index : int;
+      (** 1-based app-stream syscall index the violation localizes to *)
+  v_tid : int;
+  v_nr : int;
+  v_prev : int;  (** the state machine's position: last in-graph nr *)
+  v_site : int;  (** recovered call-site PC *)
+  v_pkey : int;
+  v_kind : vkind;
+}
+
+let describe_violation ?syscall_name v =
+  Printf.sprintf
+    "policy %s violation: tid %d app syscall #%d: %s -> %s (site 0x%x, pkey \
+     %d)"
+    (vkind_name v.v_kind) v.v_tid v.v_index
+    (nr_name ?syscall_name v.v_prev)
+    (nr_name ?syscall_name v.v_nr)
+    v.v_site v.v_pkey
+
+type t = {
+  mutable graph : graph;
+  mutable mode : mode;
+  mutable learning : bool;
+      (** record instead of check: every observed transition, site and
+          (pkey, nr) pair is added to the graph *)
+  last : (int, int) Hashtbl.t;  (** tid -> last in-graph nr *)
+  mutable checks : int;
+  mutable denied : int;  (** syscalls failed with -EPERM *)
+  mutable killed : int;  (** tasks killed *)
+  mutable v_counts : int array;  (** per-{!vkind} violation counts *)
+  mutable violations : violation list;  (** newest first, bounded *)
+  max_violations : int;
+  denial_tag : (int, unit) Hashtbl.t;
+      (** tids whose most recent syscall result was a policy -EPERM;
+          consumed by the strace decoder to tag the rendered errno *)
+}
+
+let create ?(mode = Report) ?(max_violations = 256) (graph : graph) : t =
+  {
+    graph;
+    mode;
+    learning = false;
+    last = Hashtbl.create 8;
+    checks = 0;
+    denied = 0;
+    killed = 0;
+    v_counts = Array.make 4 0;
+    violations = [];
+    max_violations = max 1 max_violations;
+    denial_tag = Hashtbl.create 4;
+  }
+
+(** A fresh policy in learning mode: run the workload, then
+    {!freeze}. *)
+let learner ?name ?jit () : t =
+  let p = create (create_graph ?name ?jit ()) in
+  p.learning <- true;
+  p
+
+let freeze (p : t) =
+  p.learning <- false;
+  Hashtbl.reset p.last
+
+let reset_state (p : t) =
+  Hashtbl.reset p.last;
+  Hashtbl.reset p.denial_tag;
+  p.checks <- 0;
+  p.denied <- 0;
+  p.killed <- 0;
+  p.v_counts <- Array.make 4 0;
+  p.violations <- []
+
+let vkind_index = function
+  | Vnode -> 0
+  | Vedge -> 1
+  | Vsite -> 2
+  | Vcompartment -> 3
+
+let violation_count p = Array.fold_left ( + ) 0 p.v_counts
+let violations p = List.rev p.violations
+
+let kind_count p kind = p.v_counts.(vkind_index kind)
+
+let last_nr p ~tid =
+  match Hashtbl.find_opt p.last tid with Some nr -> nr | None -> start_nr
+
+let record_violation p v =
+  p.v_counts.(vkind_index v.v_kind) <- p.v_counts.(vkind_index v.v_kind) + 1;
+  if violation_count p <= p.max_violations then
+    p.violations <- v :: p.violations
+
+(** Check (or, in learning mode, record) one application syscall
+    dispatch: task [tid] issues [nr] from call-site [site] whose page
+    carries protection key [pkey]; [index] is the 1-based app-stream
+    position the dispatch will be audited at.  Returns the first
+    violated property, most fundamental first: node, then edge, then
+    site, then compartment.
+
+    State-machine advance mirrors what the application observes: in
+    report mode (and on a clean check) the rogue syscall executed, so
+    the position moves to [nr]; under [Deny]/[Kill] the caller
+    suppresses the syscall, so the position stays — the next in-graph
+    syscall is judged as the successor of the last one that really
+    ran. *)
+let check (p : t) ~tid ~nr ~site ~pkey ~index : violation option =
+  p.checks <- p.checks + 1;
+  let prev = last_nr p ~tid in
+  if p.learning then begin
+    add_node p.graph ~nr ~sites:[ site ] ();
+    add_edge p.graph ~from_nr:prev ~to_nr:nr;
+    add_compartment p.graph ~pkey ~nrs:[ nr ];
+    Hashtbl.replace p.last tid nr;
+    None
+  end
+  else begin
+    let g = p.graph in
+    let kind =
+      if not (has_node g nr) then Some Vnode
+      else if not (has_edge g ~from_nr:prev ~to_nr:nr) then Some Vedge
+      else if not (site_ok g ~nr ~pc:site) then Some Vsite
+      else if not (compartment_ok g ~pkey ~nr) then Some Vcompartment
+      else None
+    in
+    match kind with
+    | None ->
+        Hashtbl.replace p.last tid nr;
+        None
+    | Some v_kind ->
+        let v =
+          { v_index = index; v_tid = tid; v_nr = nr; v_prev = prev;
+            v_site = site; v_pkey = pkey; v_kind }
+        in
+        record_violation p v;
+        if p.mode = Report then Hashtbl.replace p.last tid nr;
+        Some v
+  end
+
+(** Bookkeeping for the caller's verdict application. *)
+let note_denied p ~tid =
+  p.denied <- p.denied + 1;
+  Hashtbl.replace p.denial_tag tid ()
+
+let note_killed p = p.killed <- p.killed + 1
+
+let clear_denial_tag p ~tid = Hashtbl.remove p.denial_tag tid
+
+(** Was [tid]'s most recent syscall result a policy denial?  Reading
+    does not consume the tag; the kernel clears it at the next
+    dispatch. *)
+let denial_tagged p ~tid = Hashtbl.mem p.denial_tag tid
+
+(** Replay a recorded (prev, nr) transition sequence against the
+    graph without touching engine state — the ground-truth oracle the
+    chaos harness walks over audited app streams.  Returns the 1-based
+    indices of out-of-graph transitions. *)
+let out_of_graph_indices (g : graph) (nrs : int list) : int list =
+  let rec go i prev acc = function
+    | [] -> List.rev acc
+    | nr :: rest ->
+        let ok = has_node g nr && has_edge g ~from_nr:prev ~to_nr:nr in
+        let prev' = if ok then nr else prev in
+        go (i + 1) prev' (if ok then acc else i :: acc) rest
+  in
+  go 1 start_nr [] nrs
+
+(* ------------------------------------------------------------------ *)
+(* Reports                                                             *)
+
+let summary ?syscall_name (p : t) : string =
+  let b = Buffer.create 512 in
+  let out fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let g = p.graph in
+  out "policy %s (%s%s): %d node(s), %d edge(s), %d compartment(s)\n"
+    g.g_name (mode_name p.mode)
+    (if p.learning then ", learning" else "")
+    (node_count g) (edge_count g) (compartment_count g);
+  out
+    "  %d check(s), %d violation(s) (node=%d edge=%d site=%d compartment=%d), \
+     %d denied, %d killed\n"
+    p.checks (violation_count p) p.v_counts.(0) p.v_counts.(1) p.v_counts.(2)
+    p.v_counts.(3) p.denied p.killed;
+  List.iter
+    (fun v -> out "  %s\n" (describe_violation ?syscall_name v))
+    (violations p);
+  Buffer.contents b
+
+(** Render the graph itself, nodes then edges, for the CLI and
+    /proc. *)
+let graph_summary ?syscall_name (g : graph) : string =
+  let b = Buffer.create 512 in
+  let out fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  out "flow graph %s (jit=%b): %d node(s), %d edge(s)\n" g.g_name g.g_jit
+    (node_count g) (edge_count g);
+  Hashtbl.fold (fun nr sites acc -> (nr, sites) :: acc) g.nodes []
+  |> List.sort compare
+  |> List.iter (fun (nr, sites) ->
+         out "  node %-16s" (nr_name ?syscall_name nr);
+         if IntSet.is_empty sites then out " (any site)"
+         else IntSet.iter (fun pc -> out " 0x%x" pc) sites;
+         out "\n");
+  Hashtbl.fold (fun e () acc -> e :: acc) g.edges []
+  |> List.sort compare
+  |> List.iter (fun (a, b') ->
+         out "  edge %s -> %s\n" (nr_name ?syscall_name a)
+           (nr_name ?syscall_name b'));
+  Hashtbl.fold (fun pk nrs acc -> (pk, nrs) :: acc) g.compartments []
+  |> List.sort compare
+  |> List.iter (fun (pk, nrs) ->
+         out "  compartment pkey=%d:" pk;
+         IntSet.iter (fun nr -> out " %s" (nr_name ?syscall_name nr)) nrs;
+         out "\n");
+  Buffer.contents b

@@ -75,6 +75,7 @@ let run ?(iters = 20_000) ?(nr = 500) ?(icache = true) ?blocks
     ?(profiler : Sim_metrics.Profiler.t option)
     ?(auditor : Sim_audit.Audit.t option)
     ?(chaos : Sim_chaos.Chaos.t option)
+    ?(policy : Sim_policy.Policy.t option)
     ?(on_done : Types.kernel -> Types.task -> unit = fun _ _ -> ())
     (config : config) : float =
   let k = Kernel.create ~icache ?blocks () in
@@ -82,6 +83,7 @@ let run ?(iters = 20_000) ?(nr = 500) ?(icache = true) ?blocks
   (match metrics with Some m -> Kernel.attach_metrics k m | None -> ());
   (match auditor with Some a -> Kernel.attach_audit k a | None -> ());
   (match chaos with Some ch -> Kernel.attach_chaos k ch | None -> ());
+  (match policy with Some p -> Kernel.attach_policy k p | None -> ());
   (match profiler with
   | Some p ->
       k.Types.profiler <- Some p;

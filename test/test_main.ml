@@ -30,4 +30,5 @@ let () =
       ("chaos", Test_chaos.tests);
       ("debug", Test_debug.tests);
       ("obs", Test_obs.tests);
+      ("policy", Test_policy.tests);
     ]

@@ -1,0 +1,561 @@
+(** Syscall-flow-integrity policy engine: graph builder + artifact
+    round-trip, enforcement state machine semantics, static minicc
+    flow-graph extraction, the observation-only (report-mode) qcheck
+    gate, zero-false-positive enforcement across mechanisms and
+    workloads, pkey compartment edge cases (pkey_mprotect mid-run,
+    munmap/remap with fresh code), strace denial tagging,
+    /proc/<pid>/policy, and chaos-as-attacker detection. *)
+
+open Sim_isa
+open Sim_asm.Asm
+open Sim_kernel
+module P = Sim_policy.Policy
+module D = Harness.Divergence
+module Sfi = Harness.Sfi
+module A = Sim_audit.Audit
+
+let contains ~needle hay =
+  let nl = String.length needle and l = String.length hay in
+  let rec go i = i + nl <= l && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let all_mechs = [ D.Raw; D.Sud; D.Zpoline; D.Lazypoline_m; D.Seccomp; D.Ptrace ]
+
+(* --- graphs and artifacts ------------------------------------------ *)
+
+let sample_graph () =
+  let g = P.create_graph ~name:"sample.c" ~jit:true () in
+  P.add_node g ~nr:Defs.sys_getpid ~sites:[ 0x400010; 0x400020 ] ();
+  P.add_node g ~nr:Defs.sys_write ();
+  P.add_node g ~nr:Defs.sys_exit_group ~sites:[ 0x400030 ] ();
+  P.add_edge g ~from_nr:P.start_nr ~to_nr:Defs.sys_getpid;
+  P.add_edge g ~from_nr:Defs.sys_getpid ~to_nr:Defs.sys_write;
+  P.add_edge g ~from_nr:Defs.sys_write ~to_nr:Defs.sys_getpid;
+  P.add_edge g ~from_nr:Defs.sys_getpid ~to_nr:Defs.sys_exit_group;
+  P.add_compartment g ~pkey:0
+    ~nrs:[ Defs.sys_getpid; Defs.sys_write; Defs.sys_exit_group ];
+  g
+
+let test_artifact_roundtrip () =
+  let g = sample_graph () in
+  let text = P.graph_to_string g in
+  match P.graph_of_string text with
+  | Error e -> Alcotest.fail e
+  | Ok g2 ->
+      Alcotest.(check string) "name" "sample.c" g2.P.g_name;
+      Alcotest.(check bool) "jit" true g2.P.g_jit;
+      Alcotest.(check int) "nodes" (P.node_count g) (P.node_count g2);
+      Alcotest.(check int) "edges" (P.edge_count g) (P.edge_count g2);
+      Alcotest.(check int) "compartments" (P.compartment_count g)
+        (P.compartment_count g2);
+      Alcotest.(check bool) "site kept" true
+        (P.site_ok g2 ~nr:Defs.sys_getpid ~pc:0x400010);
+      Alcotest.(check bool) "site not invented" false
+        (P.site_ok g2 ~nr:Defs.sys_getpid ~pc:0x999);
+      Alcotest.(check bool) "edge kept" true
+        (P.has_edge g2 ~from_nr:Defs.sys_write ~to_nr:Defs.sys_getpid);
+      Alcotest.(check bool) "compartment kept" true
+        (P.compartment_ok g2 ~pkey:0 ~nr:Defs.sys_write);
+      Alcotest.(check bool) "foreign pkey denied" false
+        (P.compartment_ok g2 ~pkey:1 ~nr:Defs.sys_write);
+      (* serialization is canonical: a round-trip reproduces the text *)
+      Alcotest.(check string) "idempotent" text (P.graph_to_string g2)
+
+let test_artifact_errors () =
+  let expect_error what = function
+    | Ok _ -> Alcotest.failf "%s: parsed but should not" what
+    | Error _ -> ()
+  in
+  expect_error "future version"
+    (P.graph_of_string "% simtrace-policy/9\nN 39\n");
+  expect_error "wrong kind" (P.graph_of_string "% simtrace-audit/1\nN 39\n");
+  expect_error "no magic" (P.graph_of_string "N 39\n");
+  let good = P.graph_to_string (sample_graph ()) in
+  expect_error "bad row" (P.graph_of_string (good ^ "X nonsense\n"))
+
+(* --- the enforcement state machine --------------------------------- *)
+
+let kind = Alcotest.testable (Fmt.of_to_string P.vkind_name) ( = )
+
+let check_v what expected = function
+  | Some (v : P.violation) -> Alcotest.check kind what expected v.P.v_kind
+  | None -> Alcotest.failf "%s: no violation" what
+
+let test_engine_kinds () =
+  let g = sample_graph () in
+  (* unknown number: node check fires first whatever else is wrong *)
+  let p = P.create g in
+  check_v "node" P.Vnode
+    (P.check p ~tid:1 ~nr:Defs.sys_close ~site:0x999 ~pkey:7 ~index:1);
+  (* report mode advances past the rogue syscall (it did execute) *)
+  Alcotest.(check int) "report advances" Defs.sys_close (P.last_nr p ~tid:1);
+  (* known number, impossible successor *)
+  let p = P.create g in
+  check_v "edge" P.Vedge
+    (P.check p ~tid:1 ~nr:Defs.sys_write ~site:0x0 ~pkey:0 ~index:1);
+  (* right number and edge, wrong call site *)
+  let p = P.create g in
+  check_v "site" P.Vsite
+    (P.check p ~tid:1 ~nr:Defs.sys_getpid ~site:0x999 ~pkey:0 ~index:1);
+  (* everything right but the issuing page's pkey has no privilege *)
+  let p = P.create g in
+  check_v "compartment" P.Vcompartment
+    (P.check p ~tid:1 ~nr:Defs.sys_getpid ~site:0x400010 ~pkey:2 ~index:1);
+  Alcotest.(check int) "kind counters" 1 (P.kind_count p P.Vcompartment)
+
+let test_engine_deny_holds_position () =
+  let g = sample_graph () in
+  let p = P.create ~mode:P.Deny g in
+  Alcotest.(check bool) "getpid clean" true
+    (P.check p ~tid:1 ~nr:Defs.sys_getpid ~site:0x400010 ~pkey:0 ~index:1
+    = None);
+  check_v "close denied" P.Vnode
+    (P.check p ~tid:1 ~nr:Defs.sys_close ~site:0x400010 ~pkey:0 ~index:2);
+  (* the denied syscall never ran: the next one is judged as getpid's
+     successor, so write is still reachable *)
+  Alcotest.(check int) "deny holds position" Defs.sys_getpid
+    (P.last_nr p ~tid:1);
+  Alcotest.(check bool) "write still a successor" true
+    (P.check p ~tid:1 ~nr:Defs.sys_write ~site:0x0 ~pkey:0 ~index:3 = None);
+  Alcotest.(check int) "checks counted" 3 p.P.checks;
+  Alcotest.(check int) "one violation" 1 (P.violation_count p)
+
+let test_learning () =
+  let p = P.learner ~name:"learned" () in
+  Alcotest.(check bool) "learning never flags" true
+    (P.check p ~tid:1 ~nr:Defs.sys_getpid ~site:0x400010 ~pkey:0 ~index:1
+    = None);
+  Alcotest.(check bool) "learning never flags 2" true
+    (P.check p ~tid:1 ~nr:Defs.sys_write ~site:0x400020 ~pkey:0 ~index:2
+    = None);
+  P.freeze p;
+  P.reset_state p;
+  let g = p.P.graph in
+  Alcotest.(check int) "nodes learned" 2 (P.node_count g);
+  Alcotest.(check bool) "start edge" true
+    (P.has_edge g ~from_nr:P.start_nr ~to_nr:Defs.sys_getpid);
+  Alcotest.(check bool) "transition edge" true
+    (P.has_edge g ~from_nr:Defs.sys_getpid ~to_nr:Defs.sys_write);
+  Alcotest.(check bool) "site learned" true
+    (P.site_ok g ~nr:Defs.sys_write ~pc:0x400020);
+  Alcotest.(check bool) "compartment learned" true
+    (P.compartment_ok g ~pkey:0 ~nr:Defs.sys_getpid)
+
+let test_oracle () =
+  let g = sample_graph () in
+  (* close at #3 is out of graph; the oracle's position skips it, so
+     the write at #4 is still judged as getpid's successor *)
+  let nrs =
+    [ Defs.sys_getpid; Defs.sys_write; Defs.sys_close; Defs.sys_getpid;
+      Defs.sys_exit_group ]
+  in
+  Alcotest.(check (list int)) "oracle indices" [ 3 ]
+    (P.out_of_graph_indices g nrs);
+  Alcotest.(check (list int)) "clean stream" []
+    (P.out_of_graph_indices g
+       [ Defs.sys_getpid; Defs.sys_write; Defs.sys_getpid;
+         Defs.sys_exit_group ])
+
+(* --- static extraction (minicc flow graphs) ------------------------ *)
+
+let flow_src =
+  "long main() { long i = 0; while (i < 3) { syscall(39); i = i + 1; } \
+   syscall(1, 1, \"hi\\n\", 3); return 0; }"
+
+let test_flowgraph_static () =
+  let g = Minicc.Flowgraph.extract ~name:"flow.c" ~jit:false flow_src in
+  Alcotest.(check bool) "getpid node" true (P.has_node g Defs.sys_getpid);
+  Alcotest.(check bool) "write node" true (P.has_node g Defs.sys_write);
+  Alcotest.(check bool) "exit node" true (P.has_node g Defs.sys_exit_group);
+  Alcotest.(check bool) "start edge" true
+    (P.has_edge g ~from_nr:P.start_nr ~to_nr:Defs.sys_getpid);
+  (* the loop may run zero times *)
+  Alcotest.(check bool) "loop-skipped edge" true
+    (P.has_edge g ~from_nr:P.start_nr ~to_nr:Defs.sys_write);
+  Alcotest.(check bool) "loop back-edge" true
+    (P.has_edge g ~from_nr:Defs.sys_getpid ~to_nr:Defs.sys_getpid);
+  Alcotest.(check bool) "loop exit edge" true
+    (P.has_edge g ~from_nr:Defs.sys_getpid ~to_nr:Defs.sys_write);
+  Alcotest.(check bool) "shim exit edge" true
+    (P.has_edge g ~from_nr:Defs.sys_write ~to_nr:Defs.sys_exit_group);
+  (* no flow from write back into the loop *)
+  Alcotest.(check bool) "no bogus edge" false
+    (P.has_edge g ~from_nr:Defs.sys_write ~to_nr:Defs.sys_getpid);
+  Alcotest.(check int) "one compartment" 1 (P.compartment_count g)
+
+let test_flowgraph_jit () =
+  let g = Minicc.Flowgraph.extract ~name:"flow.c" ~jit:true flow_src in
+  Alcotest.(check bool) "jit flag" true g.P.g_jit;
+  (* the driver's own mmap/mprotect chain is part of the graph *)
+  Alcotest.(check bool) "driver mmap node" true (P.has_node g Defs.sys_mmap);
+  Alcotest.(check bool) "driver mprotect node" true
+    (P.has_node g Defs.sys_mprotect);
+  Alcotest.(check bool) "payload node" true (P.has_node g Defs.sys_getpid)
+
+(* --- report mode is observation-only (qcheck) ---------------------- *)
+
+let report_only_prop =
+  let graphs =
+    [| Minicc.Flowgraph.extract ~name:"flow.c" ~jit:false flow_src;
+       Minicc.Flowgraph.extract ~name:"flow.c" ~jit:true flow_src |]
+  in
+  QCheck.Test.make
+    ~name:"report-mode policy is bit-identical (six mechanisms, ±jit)"
+    ~count:10
+    QCheck.(pair (int_range 0 5) bool)
+    (fun (mi, jit) ->
+      let mech = List.nth all_mechs mi in
+      let graph = graphs.(if jit then 1 else 0) in
+      let ok, detail =
+        Sfi.report_identical graph mech (D.Prog { src = flow_src; jit })
+      in
+      if not ok then QCheck.Test.fail_report detail;
+      true)
+
+(* --- zero false positives under enforcement ------------------------ *)
+
+let test_enforce_clean_micro () =
+  let micro = D.Micro { iters = 12; nr = Defs.sys_getpid } in
+  let graph = Sfi.learn micro in
+  List.iter
+    (fun mech ->
+      let ok, detail = Sfi.enforce_clean graph mech micro in
+      if not ok then
+        Alcotest.failf "micro under %s: %s" (D.mech_name mech) detail)
+    all_mechs
+
+let test_enforce_clean_prog () =
+  let graph = Minicc.Flowgraph.extract ~name:"flow.c" ~jit:false flow_src in
+  let jgraph = Minicc.Flowgraph.extract ~name:"flow.c" ~jit:true flow_src in
+  List.iter
+    (fun mech ->
+      let ok, detail =
+        Sfi.enforce_clean graph mech (D.Prog { src = flow_src; jit = false })
+      in
+      if not ok then
+        Alcotest.failf "prog under %s: %s" (D.mech_name mech) detail)
+    all_mechs;
+  List.iter
+    (fun mech ->
+      let ok, detail =
+        Sfi.enforce_clean jgraph mech (D.Prog { src = flow_src; jit = true })
+      in
+      if not ok then
+        Alcotest.failf "jit prog under %s: %s" (D.mech_name mech) detail)
+    [ D.Zpoline; D.Lazypoline_m ]
+
+let test_enforce_clean_wrk () =
+  let wrk =
+    D.Wrk
+      {
+        flavour = Workloads.Webserver.Nginx_like;
+        size_kb = 4;
+        conns = 8;
+        requests = 200;
+      }
+  in
+  let graph = Sfi.learn wrk in
+  let ok, detail = Sfi.enforce_clean ~require_exit:false graph D.Lazypoline_m wrk in
+  if not ok then Alcotest.fail detail
+
+(* --- pkey compartment edge cases ----------------------------------- *)
+
+(** Run [items] under a kernel with [policy] attached (plus an auditor,
+    so violations localize to app-stream indices). *)
+let run_items ?policy items =
+  let k = Kernel.create () in
+  (match policy with Some p -> Kernel.attach_policy k p | None -> ());
+  Kernel.attach_audit k (A.create ());
+  let img = Loader.image_of_items items in
+  let t = Kernel.spawn k img in
+  if not (Kernel.run_until_exit ~max_slices:200_000 k) then
+    Alcotest.fail "program did not terminate";
+  (t.Types.exit_code, k, t)
+
+(* pkey_mprotect of the program's own text page mid-run: syscalls after
+   the retag are issued from a pkey the compartment table never granted
+   privileges to. *)
+let retag_items =
+  [
+    mov_ri Isa.rdi Loader.code_base;
+    mov_ri Isa.rsi 4096;
+    mov_ri Isa.rdx (Defs.prot_read lor Defs.prot_exec);
+    mov_ri Isa.r10 1;
+    mov_ri Isa.rax Defs.sys_pkey_mprotect;
+    syscall;
+    mov_ri Isa.rax Defs.sys_getpid;
+    syscall;
+    mov_ri Isa.rdi 0;
+    mov_ri Isa.rax Defs.sys_exit_group;
+    syscall;
+  ]
+
+let retag_graph () =
+  let g = P.create_graph ~name:"retag" () in
+  P.add_node g ~nr:Defs.sys_pkey_mprotect ();
+  P.add_node g ~nr:Defs.sys_getpid ();
+  P.add_node g ~nr:Defs.sys_exit_group ();
+  P.add_edge g ~from_nr:P.start_nr ~to_nr:Defs.sys_pkey_mprotect;
+  P.add_edge g ~from_nr:Defs.sys_pkey_mprotect ~to_nr:Defs.sys_getpid;
+  P.add_edge g ~from_nr:Defs.sys_getpid ~to_nr:Defs.sys_exit_group;
+  P.add_compartment g ~pkey:0
+    ~nrs:[ Defs.sys_pkey_mprotect; Defs.sys_getpid; Defs.sys_exit_group ];
+  g
+
+let test_pkey_retag_reported () =
+  let p = P.create (retag_graph ()) in
+  let code, _, _ = run_items ~policy:p retag_items in
+  Alcotest.(check int) "exited" 0 code;
+  (* the retag syscall itself still issues from pkey 0 (the check runs
+     pre-dispatch); getpid and exit_group come from the pkey-1 page *)
+  Alcotest.(check int) "two compartment violations" 2
+    (P.kind_count p P.Vcompartment);
+  Alcotest.(check int) "nothing else" 2 (P.violation_count p);
+  match P.violations p with
+  | v :: _ ->
+      Alcotest.(check int) "first is getpid" Defs.sys_getpid v.P.v_nr;
+      Alcotest.(check int) "pkey recorded" 1 v.P.v_pkey
+  | [] -> Alcotest.fail "no violations"
+
+let test_pkey_retag_killed () =
+  let p = P.create ~mode:P.Kill (retag_graph ()) in
+  let code, _, _ = run_items ~policy:p retag_items in
+  Alcotest.(check int) "killed by SIGSYS" (128 + Defs.sigsys) code;
+  Alcotest.(check int) "one kill" 1 p.P.killed;
+  Alcotest.(check int) "localized" 1 (P.violation_count p)
+
+(* munmap/remap: the engine's pkey lookup is live, so a scratch page
+   that held pkey-3 code loses the taint when it is unmapped and a
+   fresh mapping (pkey 0) is populated with new code — which also
+   forces the icache to refetch the rewritten page. *)
+let scratch = 0x9000
+
+let stub_bytes =
+  (Sim_asm.Asm.assemble ~base:scratch
+     [ mov_ri Isa.rax Defs.sys_getpid; syscall; ret ])
+    .Sim_asm.Asm.bytes
+
+(* Write [stub_bytes] to [scratch] with 8-byte guest stores. *)
+let write_stub_items =
+  let word_at i =
+    let w = ref 0L in
+    for j = 7 downto 0 do
+      let b =
+        if i + j < String.length stub_bytes then
+          Char.code stub_bytes.[i + j]
+        else 0
+      in
+      w := Int64.logor (Int64.shift_left !w 8) (Int64.of_int b)
+    done;
+    !w
+  in
+  let items = ref [] in
+  let i = ref 0 in
+  while !i < String.length stub_bytes do
+    items :=
+      store Isa.rbx !i Isa.rcx :: mov_ri64 Isa.rcx (word_at !i) :: !items;
+    i := !i + 8
+  done;
+  (mov_ri Isa.rbx scratch :: List.rev !items)
+  @ [ mov_ri64 Isa.rdx (Int64.of_int scratch); call_reg Isa.rdx ]
+
+let map_scratch_items =
+  [
+    mov_ri Isa.rdi scratch;
+    mov_ri Isa.rsi 4096;
+    mov_ri Isa.rdx (Defs.prot_read lor Defs.prot_write lor Defs.prot_exec);
+    mov_ri Isa.r10 (Defs.map_fixed lor Defs.map_anonymous);
+    mov_ri64 Isa.r8 (-1L);
+    mov_ri Isa.r9 0;
+    mov_ri Isa.rax Defs.sys_mmap;
+    syscall;
+  ]
+
+let remap_items =
+  map_scratch_items
+  (* tag the scratch page pkey 3 *)
+  @ [
+      mov_ri Isa.rdi scratch;
+      mov_ri Isa.rsi 4096;
+      mov_ri Isa.rdx (Defs.prot_read lor Defs.prot_write lor Defs.prot_exec);
+      mov_ri Isa.r10 3;
+      mov_ri Isa.rax Defs.sys_pkey_mprotect;
+      syscall;
+    ]
+  @ write_stub_items (* getpid from the pkey-3 page: violation *)
+  @ [
+      mov_ri Isa.rdi scratch;
+      mov_ri Isa.rsi 4096;
+      mov_ri Isa.rax Defs.sys_munmap;
+      syscall;
+    ]
+  @ map_scratch_items (* fresh mapping: pkey back to 0 *)
+  @ write_stub_items (* same call, now clean *)
+  @ [ mov_ri Isa.rdi 0; mov_ri Isa.rax Defs.sys_exit_group; syscall ]
+
+let remap_graph () =
+  let g = P.create_graph ~name:"remap" () in
+  List.iter
+    (fun nr -> P.add_node g ~nr ())
+    [ Defs.sys_mmap; Defs.sys_pkey_mprotect; Defs.sys_munmap;
+      Defs.sys_getpid; Defs.sys_exit_group ];
+  List.iter
+    (fun (a, b) -> P.add_edge g ~from_nr:a ~to_nr:b)
+    [
+      (P.start_nr, Defs.sys_mmap);
+      (Defs.sys_mmap, Defs.sys_pkey_mprotect);
+      (Defs.sys_pkey_mprotect, Defs.sys_getpid);
+      (Defs.sys_getpid, Defs.sys_munmap);
+      (Defs.sys_munmap, Defs.sys_mmap);
+      (Defs.sys_mmap, Defs.sys_getpid);
+      (Defs.sys_getpid, Defs.sys_exit_group);
+    ];
+  P.add_compartment g ~pkey:0
+    ~nrs:
+      [ Defs.sys_mmap; Defs.sys_pkey_mprotect; Defs.sys_munmap;
+        Defs.sys_getpid; Defs.sys_exit_group ];
+  g
+
+let test_pkey_unmap_remap () =
+  let p = P.create (remap_graph ()) in
+  let code, _, _ = run_items ~policy:p remap_items in
+  Alcotest.(check int) "exited" 0 code;
+  (* exactly the first stub call violates: same code, same site page,
+     but only the first mapping carried pkey 3 *)
+  Alcotest.(check int) "one violation" 1 (P.violation_count p);
+  match P.violations p with
+  | [ v ] ->
+      Alcotest.check kind "compartment kind" P.Vcompartment v.P.v_kind;
+      Alcotest.(check int) "getpid" Defs.sys_getpid v.P.v_nr;
+      Alcotest.(check int) "tainted pkey" 3 v.P.v_pkey;
+      Alcotest.(check bool) "site inside the scratch page" true
+        (v.P.v_site >= scratch && v.P.v_site < scratch + 4096)
+  | _ -> Alcotest.fail "expected exactly one violation"
+
+(* --- strace tagging and /proc -------------------------------------- *)
+
+let test_strace_policy_tag () =
+  let g = P.create_graph ~name:"nowrite" () in
+  P.add_node g ~nr:Defs.sys_getpid ();
+  P.add_node g ~nr:Defs.sys_exit_group ();
+  P.add_edge g ~from_nr:P.start_nr ~to_nr:Defs.sys_getpid;
+  P.add_edge g ~from_nr:Defs.sys_getpid ~to_nr:Defs.sys_exit_group;
+  let p = P.create ~mode:P.Deny g in
+  let k = Kernel.create () in
+  Kernel.attach_policy k p;
+  let log = Strace.attach k in
+  let img =
+    Loader.image_of_items
+      [
+        mov_ri Isa.rax Defs.sys_getpid;
+        syscall;
+        mov_ri Isa.rdi 1;
+        mov_ri Isa.rsi 0;
+        mov_ri Isa.rdx 0;
+        mov_ri Isa.rax Defs.sys_write;
+        syscall;
+        mov_ri Isa.rdi 0;
+        mov_ri Isa.rax Defs.sys_exit_group;
+        syscall;
+      ]
+  in
+  let t = Kernel.spawn k img in
+  if not (Kernel.run_until_exit ~max_slices:200_000 k) then
+    Alcotest.fail "program did not terminate";
+  Alcotest.(check int) "exited cleanly" 0 t.Types.exit_code;
+  Alcotest.(check int) "write denied" 1 p.P.denied;
+  let lines = List.rev !log in
+  Alcotest.(check bool) "denial tagged" true
+    (List.exists
+       (fun l -> contains ~needle:"EPERM (policy)" l)
+       lines);
+  List.iter
+    (fun l ->
+      if contains ~needle:"getpid" l then
+        Alcotest.(check bool) "clean call untagged" false
+          (contains ~needle:"(policy)" l))
+    lines
+
+let test_procfs_policy () =
+  let p = P.create (retag_graph ()) in
+  let _, k, t = run_items ~policy:p retag_items in
+  let s =
+    match Vfs.read_file k.Types.vfs (Printf.sprintf "/proc/%d/policy" t.Types.tid) with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "read /proc policy: error %d" e
+  in
+  Alcotest.(check bool) "mode line" true (contains ~needle:"policy:\treport" s);
+  Alcotest.(check bool) "graph name" true (contains ~needle:"retag" s);
+  Alcotest.(check bool) "violations rendered" true
+    (contains ~needle:"policy compartment violation" s);
+  let k2 = Kernel.create () in
+  let t2 = Kernel.spawn k2 (Loader.image_of_items retag_items) in
+  ignore (Kernel.run_until_exit ~max_slices:200_000 k2 : bool);
+  match Vfs.read_file k2.Types.vfs (Printf.sprintf "/proc/%d/policy" t2.Types.tid) with
+  | Ok s -> Alcotest.(check bool) "detached" true (contains ~needle:"detached" s)
+  | Error e -> Alcotest.failf "read /proc policy: error %d" e
+
+(* --- chaos as the attacker ----------------------------------------- *)
+
+let test_detect_forced_ptrace () =
+  (* ptrace writes the saved tracee context: the clobber persists and
+     the rogue syscalls reach the kernel — all must be flagged *)
+  let d = Sfi.detect_forced D.Ptrace 3 in
+  if not d.Sfi.det_ok then Alcotest.fail (Sfi.describe_detection d);
+  Alcotest.(check bool) "escapes detected" true (d.Sfi.det_truth <> [])
+
+let test_detect_forced_sud_contained () =
+  (* SUD's hook runs in a SIGSYS handler: sigreturn restores the saved
+     frame, so the clobber never escapes and the engine must not cry
+     wolf *)
+  let d = Sfi.detect_forced D.Sud 3 in
+  if not d.Sfi.det_ok then Alcotest.fail (Sfi.describe_detection d);
+  Alcotest.(check (list int)) "contained" [] d.Sfi.det_truth
+
+let test_attack_report () =
+  let ok, report = Sfi.attack_report () in
+  if not ok then Alcotest.fail report
+
+let test_chaos_attack_sweep () =
+  let ok, report =
+    Sfi.chaos_attack_sweep ~seeds:5 ~mechs:[ D.Zpoline; D.Ptrace ] ()
+  in
+  if not ok then Alcotest.fail report
+
+let tests =
+  [
+    Alcotest.test_case "artifact round-trip" `Quick test_artifact_roundtrip;
+    Alcotest.test_case "artifact errors" `Quick test_artifact_errors;
+    Alcotest.test_case "violation kinds + precedence" `Quick test_engine_kinds;
+    Alcotest.test_case "deny holds the position" `Quick
+      test_engine_deny_holds_position;
+    Alcotest.test_case "learning builds the graph" `Quick test_learning;
+    Alcotest.test_case "ground-truth oracle" `Quick test_oracle;
+    Alcotest.test_case "static flow graph" `Quick test_flowgraph_static;
+    Alcotest.test_case "jit flow graph (driver chain)" `Quick
+      test_flowgraph_jit;
+    QCheck_alcotest.to_alcotest report_only_prop;
+    Alcotest.test_case "enforce clean: micro, six mechanisms" `Quick
+      test_enforce_clean_micro;
+    Alcotest.test_case "enforce clean: minicc prog ±jit" `Quick
+      test_enforce_clean_prog;
+    Alcotest.test_case "enforce clean: wrk macrobench" `Quick
+      test_enforce_clean_wrk;
+    Alcotest.test_case "pkey retag mid-run: reported" `Quick
+      test_pkey_retag_reported;
+    Alcotest.test_case "pkey retag mid-run: kill verdict" `Quick
+      test_pkey_retag_killed;
+    Alcotest.test_case "pkey taint dies with the mapping" `Quick
+      test_pkey_unmap_remap;
+    Alcotest.test_case "strace tags policy denials" `Quick
+      test_strace_policy_tag;
+    Alcotest.test_case "/proc/<pid>/policy" `Quick test_procfs_policy;
+    Alcotest.test_case "forced clobber: ptrace escape flagged" `Quick
+      test_detect_forced_ptrace;
+    Alcotest.test_case "forced clobber: SUD containment" `Quick
+      test_detect_forced_sud_contained;
+    Alcotest.test_case "attack report: all classes, all mechanisms" `Quick
+      test_attack_report;
+    Alcotest.test_case "chaos attack sweep (enforce mode)" `Quick
+      test_chaos_attack_sweep;
+  ]
